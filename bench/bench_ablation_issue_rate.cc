@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Dynamic companion to Fig. 7: the quantum-operation issue-rate
+ * problem observed *at runtime* on the microarchitecture model
+ * (Section 1.2: execution fails when R_req > R_allowed).
+ *
+ * A randomized-benchmarking program (back-to-back bundles, the
+ * worst-case R_req workload) is compiled for the two-qubit chip and
+ * executed while sweeping R_allowed — the classical pipeline's issue
+ * rate — and the reserve-pipeline depth. Timing-point underruns are
+ * counted instead of faulting. The static Fig. 7 counts tell how many
+ * instructions exist; this harness shows when the pipeline can no
+ * longer deliver them on time.
+ */
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "compiler/codegen.h"
+#include "compiler/schedule.h"
+#include "runtime/platform.h"
+#include "runtime/quantum_processor.h"
+#include "workloads/rb.h"
+
+using namespace eqasm;
+
+namespace {
+
+std::string
+denseRbProgram(int cliffords)
+{
+    // 7 parallel independent Clifford streams: the paper's RB workload
+    // and the worst case for R_req — every cycle needs ~4-5 distinct
+    // operations (3 bundle instructions at w = 2) plus SMIS churn.
+    Rng rng(7);
+    compiler::Circuit circuit = workloads::rbCircuit(7, cliffords, rng);
+    auto timed = compiler::scheduleAsap(
+        circuit, isa::OperationSet::defaultSet());
+    compiler::ProgramOptions options;
+    options.initWaitCycles = 100;
+    return compiler::generateProgram(timed,
+                                     isa::OperationSet::defaultSet(),
+                                     chip::Topology::surface7(),
+                                     options);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::string source = denseRbProgram(256);
+
+    std::printf("=== Ablation: the issue-rate problem at runtime "
+                "(Section 1.2) ===\n\n");
+    std::printf("workload: 7-qubit back-to-back RB, 256 Cliffords per "
+                "qubit, Config 9 code generation\n"
+                "metric: timing-point underruns (reserve phase too late "
+                "for the trigger phase)\n\n");
+
+    Table table({"classical issue rate", "pipeline depth", "bundles",
+                 "underruns", "verdict"});
+    for (int issue_rate : {1, 2, 4, 8}) {
+        for (int depth : {10, 4}) {
+            runtime::Platform platform =
+                runtime::Platform::ideal(runtime::Platform::surface7());
+            platform.uarch.classicalIssueRate = issue_rate;
+            platform.uarch.quantumPipelineDepthCycles = depth;
+            platform.uarch.underrunPolicy =
+                microarch::MicroarchConfig::UnderrunPolicy::count;
+            // Late triggers collide at the device; count, don't fault.
+            platform.device.throwOnOverlap = false;
+            runtime::QuantumProcessor processor(platform, 1);
+            processor.loadSource(source);
+            runtime::ShotRecord record = processor.runShot();
+            table.addRow(
+                {format("%d instr/cycle", issue_rate),
+                 format("%d cycles", depth),
+                 format("%llu", static_cast<unsigned long long>(
+                                    record.stats.bundles)),
+                 format("%llu", static_cast<unsigned long long>(
+                                    record.stats.underruns)),
+                 record.stats.underruns == 0 ? "meets timing"
+                                             : "R_req > R_allowed"});
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("The paper observed the same effect on QuMIS with only "
+                "two qubits; eQASM's denser encoding\n(SOMQ + VLIW + PI "
+                "timing) lowers R_req, and raising the issue rate "
+                "raises R_allowed.\n");
+    return 0;
+}

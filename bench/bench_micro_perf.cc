@@ -1,0 +1,154 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the toolchain itself: assembler
+ * throughput, binary encode/decode, microarchitecture simulation rate
+ * and the density-matrix backend. These quantify the cost of the
+ * infrastructure used by the experiment harnesses.
+ */
+#include <benchmark/benchmark.h>
+
+#include "assembler/assembler.h"
+#include "common/rng.h"
+#include "compiler/codegen.h"
+#include "compiler/schedule.h"
+#include "isa/encoding.h"
+#include "qsim/density_matrix.h"
+#include "qsim/noise.h"
+#include "runtime/platform.h"
+#include "runtime/quantum_processor.h"
+#include "workloads/experiments.h"
+#include "workloads/rb.h"
+
+using namespace eqasm;
+
+namespace {
+
+std::string
+rbSource(int cliffords)
+{
+    Rng rng(1);
+    compiler::Circuit circuit = workloads::rbCircuit(2, cliffords, rng);
+    // Remap logical qubits {0,1} onto the two-qubit chip {0,2}.
+    for (compiler::Gate &gate : circuit.gates) {
+        for (int &qubit : gate.qubits)
+            qubit = qubit == 1 ? 2 : 0;
+    }
+    circuit.numQubits = 3;
+    auto timed = compiler::scheduleAsap(
+        circuit, isa::OperationSet::defaultSet());
+    return compiler::generateProgram(timed,
+                                     isa::OperationSet::defaultSet(),
+                                     chip::Topology::twoQubit());
+}
+
+void
+BM_AssembleRbProgram(benchmark::State &state)
+{
+    std::string source = rbSource(static_cast<int>(state.range(0)));
+    assembler::Assembler asm_(isa::OperationSet::defaultSet(),
+                              chip::Topology::twoQubit());
+    size_t instructions = 0;
+    for (auto _ : state) {
+        auto program = asm_.assemble(source);
+        instructions = program.instructions.size();
+        benchmark::DoNotOptimize(program.image.data());
+    }
+    state.counters["instructions"] =
+        static_cast<double>(instructions);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(instructions));
+}
+BENCHMARK(BM_AssembleRbProgram)->Arg(64)->Arg(512);
+
+void
+BM_EncodeDecodeRoundTrip(benchmark::State &state)
+{
+    assembler::Assembler asm_(isa::OperationSet::defaultSet(),
+                              chip::Topology::twoQubit());
+    auto program = asm_.assemble(rbSource(256));
+    isa::InstantiationParams params;
+    isa::OperationSet ops = isa::OperationSet::defaultSet();
+    for (auto _ : state) {
+        auto decoded = isa::decodeProgram(program.image, params, ops);
+        auto encoded = isa::encodeProgram(decoded, params);
+        benchmark::DoNotOptimize(encoded.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(program.image.size()));
+}
+BENCHMARK(BM_EncodeDecodeRoundTrip);
+
+void
+BM_MicroarchShot(benchmark::State &state)
+{
+    runtime::QuantumProcessor processor(
+        runtime::Platform::ideal(runtime::Platform::twoQubit()), 7);
+    processor.loadSource(rbSource(static_cast<int>(state.range(0))));
+    for (auto _ : state) {
+        auto record = processor.runShot();
+        benchmark::DoNotOptimize(record.stats.cycles);
+    }
+}
+BENCHMARK(BM_MicroarchShot)->Arg(16)->Arg(128);
+
+void
+BM_ActiveResetShot(benchmark::State &state)
+{
+    runtime::QuantumProcessor processor(runtime::Platform::twoQubit(),
+                                        7);
+    processor.loadSource(workloads::activeResetProgram(2));
+    for (auto _ : state) {
+        auto record = processor.runShot();
+        benchmark::DoNotOptimize(record.measurements.size());
+    }
+}
+BENCHMARK(BM_ActiveResetShot);
+
+void
+BM_DensityMatrixGate(benchmark::State &state)
+{
+    int qubits = static_cast<int>(state.range(0));
+    qsim::DensityMatrix rho(qubits);
+    qsim::CMatrix x90 = qsim::matRx(M_PI / 2.0);
+    int target = 0;
+    for (auto _ : state) {
+        rho.applyGate1(x90, target);
+        target = (target + 1) % qubits;
+        benchmark::DoNotOptimize(rho.matrix().data().data());
+    }
+}
+BENCHMARK(BM_DensityMatrixGate)->Arg(2)->Arg(4)->Arg(7);
+
+void
+BM_IdleNoiseChannel(benchmark::State &state)
+{
+    qsim::DensityMatrix rho(2);
+    rho.applyGate1(qsim::matH(), 0);
+    qsim::NoiseModel noise;
+    for (auto _ : state) {
+        qsim::applyIdleNoise(rho, 0, 20.0, noise);
+        benchmark::DoNotOptimize(rho.matrix().data().data());
+    }
+}
+BENCHMARK(BM_IdleNoiseChannel);
+
+void
+BM_RbSurvivalSequence(benchmark::State &state)
+{
+    Rng rng(3);
+    auto sequence = workloads::randomRbSequence(
+        static_cast<int>(state.range(0)), rng);
+    qsim::NoiseModel noise;
+    for (auto _ : state) {
+        double survival =
+            workloads::rbSurvivalProbability(sequence, 20.0, noise);
+        benchmark::DoNotOptimize(survival);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(sequence.gates.size()));
+}
+BENCHMARK(BM_RbSurvivalSequence)->Arg(100)->Arg(1000);
+
+} // namespace
+
+BENCHMARK_MAIN();

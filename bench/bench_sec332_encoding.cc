@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Regenerates the Section 3.3.2 encoding trade-off analysis: how many
+ * bits a two-qubit target specification costs as a mask (one bit per
+ * allowed pair) versus as explicit address pairs, across chips of
+ * different connectivity.
+ *
+ * Paper numbers: on a fully connected 5-qubit ion trap, 2 simultaneous
+ * gates x 2 addresses x 3 bits = 12 bits beat the 20-bit mask; on IBM
+ * QX2 (6 allowed pairs) a 6-bit mask wins.
+ */
+#include <cstdio>
+
+#include "chip/topology.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+using namespace eqasm;
+
+int
+main()
+{
+    std::printf("=== Section 3.3.2: two-qubit target encoding — mask vs "
+                "address pairs ===\n\n");
+
+    Table table({"chip", "qubits", "allowed pairs", "max parallel",
+                 "mask bits", "addr-pair bits", "cheaper"});
+    for (const chip::Topology &chip :
+         {chip::Topology::ionTrap5(), chip::Topology::ibmQx2(),
+          chip::Topology::surface7(), chip::Topology::twoQubit()}) {
+        int parallel = chip.maxParallelPairs();
+        int mask_bits = chip.maskEncodingBits();
+        int pair_bits = chip.addressPairEncodingBits(parallel);
+        table.addRow({chip.name(), format("%d", chip.numQubits()),
+                      format("%d", chip.numEdges()),
+                      format("%d", parallel), format("%d", mask_bits),
+                      format("%d", pair_bits),
+                      mask_bits <= pair_bits ? "mask" : "address pairs"});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("paper: ion trap 12 < 20 bits (address pairs win); IBM "
+                "QX2 6-bit mask wins.\nThe 7-qubit instantiation uses "
+                "the 16-bit mask (Fig. 8) accordingly.\n");
+    return 0;
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Regenerates the Section 5 Grover's-search result: "we executed a
+ * two-qubit Grover's search algorithm. The algorithmic fidelity, i.e.,
+ * correcting for readout infidelity, is found to be 85.6 % using
+ * quantum tomography with maximum likelihood estimation. This fidelity
+ * is limited by the CZ gate."
+ *
+ * Pipeline: for each of the 4 oracles, run the Grover program under 9
+ * tomography pre-rotation settings on the noisy simulated processor,
+ * estimate all 15 Pauli expectation values from the shot records
+ * (corrected for readout error), reconstruct rho by linear inversion,
+ * project with MLE, and compute <m|rho|m>.
+ */
+#include <cstdio>
+#include <map>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "qsim/tomography.h"
+#include "runtime/analysis.h"
+#include "runtime/platform.h"
+#include "runtime/quantum_processor.h"
+#include "workloads/grover2q.h"
+
+using namespace eqasm;
+using workloads::MeasBasis;
+
+namespace {
+
+char
+basisAxis(MeasBasis basis)
+{
+    switch (basis) {
+      case MeasBasis::z: return 'Z';
+      case MeasBasis::x: return 'X';
+      case MeasBasis::y: return 'Y';
+    }
+    return 'Z';
+}
+
+} // namespace
+
+int
+main()
+{
+    runtime::Platform platform = runtime::Platform::twoQubit();
+    const int shots = 3000;
+    const double eps = platform.device.noise.readoutError;
+    // <Z> shrinks by (1 - 2 eps) per qubit under symmetric readout
+    // error; joint <ZZ> by the square.
+    const double z_scale = 1.0 - 2.0 * eps;
+
+    std::printf("=== Section 5: two-qubit Grover's search, tomography + "
+                "MLE ===\n\n");
+    std::printf("%d shots per tomography setting, readout correction "
+                "factor %.3f per qubit, CZ depolarizing %.3f\n\n",
+                shots, z_scale, platform.device.noise.depol2q);
+
+    const MeasBasis bases[] = {MeasBasis::z, MeasBasis::x, MeasBasis::y};
+    Table table({"marked |m>", "P(m) raw", "fidelity <m|rho_MLE|m>"});
+    double total_fidelity = 0.0;
+
+    for (int marked = 0; marked < 4; ++marked) {
+        std::map<std::string, double> expectations;
+        expectations["II"] = 1.0;
+        double raw_p_marked = 0.0;
+
+        for (MeasBasis basis_a : bases) {
+            for (MeasBasis basis_b : bases) {
+                runtime::QuantumProcessor processor(
+                    platform, 9000 + marked * 16 +
+                                  static_cast<uint64_t>(basisAxis(
+                                      basis_a)) +
+                                  2 * static_cast<uint64_t>(basisAxis(
+                                          basis_b)));
+                processor.loadSource(workloads::groverProgram(
+                    marked, basis_a, basis_b, 0, 2));
+                auto records = processor.run(shots);
+
+                double e_a = 0.0, e_b = 0.0, e_ab = 0.0;
+                int count_marked = 0;
+                for (const auto &record : records) {
+                    int bit_a = record.lastMeasurement(0);
+                    int bit_b = record.lastMeasurement(2);
+                    double s_a = 1.0 - 2.0 * bit_a;
+                    double s_b = 1.0 - 2.0 * bit_b;
+                    e_a += s_a;
+                    e_b += s_b;
+                    e_ab += s_a * s_b;
+                    if (basis_a == MeasBasis::z &&
+                        basis_b == MeasBasis::z &&
+                        bit_a == (marked & 1) &&
+                        bit_b == ((marked >> 1) & 1)) {
+                        ++count_marked;
+                    }
+                }
+                e_a /= shots;
+                e_b /= shots;
+                e_ab /= shots;
+                // Readout correction on expectation values.
+                e_a /= z_scale;
+                e_b /= z_scale;
+                e_ab /= z_scale * z_scale;
+
+                // The setting (basis_a, basis_b) measures the Paulis
+                // (A I), (I B), (A B); single-qubit Paulis are only
+                // taken from the settings where the other qubit is
+                // measured in Z (any setting works; this dedupes).
+                std::string axis_a(1, basisAxis(basis_a));
+                std::string axis_b(1, basisAxis(basis_b));
+                expectations[axis_a + axis_b] = e_ab;
+                if (basis_b == MeasBasis::z)
+                    expectations[axis_a + "I"] = e_a;
+                if (basis_a == MeasBasis::z)
+                    expectations["I" + axis_b] = e_b;
+                if (basis_a == MeasBasis::z && basis_b == MeasBasis::z)
+                    raw_p_marked =
+                        static_cast<double>(count_marked) / shots;
+            }
+        }
+
+        qsim::CMatrix rho =
+            qsim::mleProject(qsim::linearInversion(2, expectations));
+        double fidelity =
+            qsim::stateFidelity(rho, workloads::groverIdealState(marked));
+        total_fidelity += fidelity;
+        table.addRow({format("|%d%d>", (marked >> 1) & 1, marked & 1),
+                      format("%.3f", raw_p_marked),
+                      format("%.1f %%", 100.0 * fidelity)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("average algorithmic fidelity: %.1f %%   (paper: "
+                "85.6 %%, limited by the CZ gate)\n",
+                100.0 * total_fidelity / 4.0);
+
+    // CZ-limited claim: rerun one oracle with a perfect CZ.
+    runtime::Platform perfect_cz = platform;
+    perfect_cz.device.noise.depol2q = 0.0;
+    runtime::QuantumProcessor processor(perfect_cz, 555);
+    processor.loadSource(workloads::groverProgram(
+        3, MeasBasis::z, MeasBasis::z, 0, 2));
+    auto records = processor.run(shots);
+    int hits = 0;
+    for (const auto &record : records) {
+        if (record.lastMeasurement(0) == 1 &&
+            record.lastMeasurement(2) == 1) {
+            ++hits;
+        }
+    }
+    std::printf("ablation: P(|11>) with a perfect CZ rises to %.3f "
+                "(raw, readout-limited) — the CZ is the bottleneck.\n",
+                static_cast<double>(hits) / shots);
+    return 0;
+}

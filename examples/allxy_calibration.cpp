@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Single-qubit AllXY calibration (the routine behind Fig. 11): 21 gate
+ * pairs from {I, X, Y, X90, Y90} produce the characteristic
+ * 0 / 0.5 / 1 staircase in the measured |1>-fraction. Deviations from
+ * the staircase diagnose specific calibration errors, which is why the
+ * experiment is a standard tune-up step. The example renders an ASCII
+ * staircase from the simulated (readout-corrected) data.
+ */
+#include <cstdio>
+#include <string>
+
+#include "runtime/analysis.h"
+#include "runtime/platform.h"
+#include "runtime/quantum_processor.h"
+#include "workloads/allxy.h"
+
+int
+main()
+{
+    using namespace eqasm;
+
+    runtime::Platform platform = runtime::Platform::twoQubit();
+    const int shots = 600;
+    double eps = platform.device.noise.readoutError;
+
+    std::printf("single-qubit AllXY on qubit 0, %d shots per pair, "
+                "readout-corrected\n\n",
+                shots);
+    std::printf("idx  pair        F|1>   ideal  "
+                "0.0       0.5       1.0\n");
+
+    for (int pair_index = 0; pair_index < 21; ++pair_index) {
+        runtime::QuantumProcessor processor(
+            platform, 40 + static_cast<uint64_t>(pair_index));
+        processor.loadSource(
+            workloads::singleQubitAllxyProgram(pair_index, 0));
+        auto records = processor.run(shots);
+        double corrected = runtime::readoutCorrect(
+            processor.fractionOne(records, 0), eps, eps);
+        const auto &pair =
+            workloads::allxyPairs()[static_cast<size_t>(pair_index)];
+
+        std::string bar(static_cast<size_t>(corrected * 20.0 + 0.5),
+                        '#');
+        std::printf("%3d  %-4s %-4s   %.3f  %.1f    |%-20s|\n",
+                    pair_index, pair.first, pair.second, corrected,
+                    pair.idealFractionOne, bar.c_str());
+    }
+    std::printf("\nThe three plateaus (0, 0.5, 1) reproduce the Fig. 11 "
+                "staircase; run bench_fig11_allxy\nfor the full "
+                "two-qubit variant.\n");
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Comprehensive feedback control (Fig. 5 of the paper): measure a
+ * condition qubit, fetch the result into a GPR with FMR (which stalls
+ * until the result is valid), compare and branch, and apply X or Y on
+ * a second qubit depending on the outcome.
+ *
+ * Two runs are shown:
+ *  - against the mock-result device (the paper's UHFQC-with-mock-
+ *    results validation), demonstrating deterministic alternation;
+ *  - against the simulated quantum device with the condition qubit in
+ *    superposition, so the branch truly depends on quantum chance.
+ */
+#include <cstdio>
+
+#include "assembler/assembler.h"
+#include "microarch/quma.h"
+#include "runtime/mock_device.h"
+#include "runtime/platform.h"
+#include "runtime/quantum_processor.h"
+#include "workloads/experiments.h"
+
+int
+main()
+{
+    using namespace eqasm;
+
+    std::printf("eQASM program (Fig. 5):\n%s\n",
+                workloads::cfcProgram(2, 0).c_str());
+
+    // --- Part 1: mock results, as in the paper's CFC validation.
+    runtime::Platform platform = runtime::Platform::twoQubit();
+    {
+        microarch::QuMa controller(platform.operations,
+                                   platform.topology, platform.uarch);
+        runtime::MockResultDevice device(15);
+        controller.attachDevice(&device);
+        assembler::Assembler asm_(platform.operations,
+                                  platform.topology, platform.params);
+        controller.loadImage(
+            asm_.assemble(workloads::cfcProgram(2, 0)).image);
+
+        std::printf("mock-result device (alternating 0/1):\n");
+        for (int shot = 0; shot < 6; ++shot) {
+            device.programResults(2, {shot % 2});
+            controller.runShot();
+            for (const auto &pulse : device.shotPulses()) {
+                if (pulse.qubit == 0) {
+                    std::printf("  shot %d: result %d -> pulse %s\n",
+                                shot, shot % 2,
+                                pulse.operation.c_str());
+                }
+            }
+        }
+    }
+
+    // --- Part 2: real (simulated) qubit in superposition decides.
+    {
+        // Prepend an X90 so the condition qubit is 50/50.
+        std::string source = "SMIS S1, {2}\n"
+                             "QWAIT 10000\n"
+                             "X90 S1\n" +
+                             workloads::cfcProgram(2, 0).substr(
+                                 std::string("SMIS S0, {0}\n").size());
+        // Rebuild the S0 definition dropped by the substring surgery.
+        source = "SMIS S0, {0}\n" + source;
+
+        runtime::QuantumProcessor processor(
+            runtime::Platform::ideal(platform), 11);
+        processor.loadSource(source);
+        int ys = 0;
+        const int shots = 400;
+        for (int shot = 0; shot < shots; ++shot) {
+            runtime::ShotRecord record = processor.runShot();
+            ys += record.measurements.front().bit;
+        }
+        std::printf("\nsimulated qubit in superposition: the Y branch "
+                    "was taken in %.1f %% of %d shots\n",
+                    100.0 * ys / shots, shots);
+    }
+    return 0;
+}

@@ -1,0 +1,554 @@
+#include "assembler/assembler.h"
+
+#include <utility>
+
+#include "assembler/lexer.h"
+#include "common/bits.h"
+#include "common/strings.h"
+
+namespace eqasm::assembler {
+
+using isa::Instruction;
+using isa::InstrKind;
+using isa::OpClass;
+using isa::QuantumOperation;
+
+std::string
+Diagnostic::toString() const
+{
+    return format("line %d: %s", line, message.c_str());
+}
+
+namespace {
+
+std::string
+joinDiagnostics(const std::vector<Diagnostic> &diagnostics)
+{
+    std::string out = format("assembly failed with %zu error(s)",
+                             diagnostics.size());
+    for (const Diagnostic &diag : diagnostics)
+        out += "\n  " + diag.toString();
+    return out;
+}
+
+/** Parses one source line's token stream into zero or more instructions. */
+class LineParser
+{
+  public:
+    LineParser(std::vector<Token> tokens, int line,
+               const isa::OperationSet &operations,
+               const chip::Topology &topology,
+               const isa::InstantiationParams &params)
+        : tokens_(std::move(tokens)), line_(line), operations_(operations),
+          topology_(topology), params_(params)
+    {
+    }
+
+    /** Label definitions at the start of the line ("name:"). */
+    std::vector<std::string>
+    takeLabels()
+    {
+        std::vector<std::string> labels;
+        while (peek().kind == TokenKind::identifier &&
+               peekAt(1).kind == TokenKind::colon &&
+               !isMnemonicLike(peek().text)) {
+            labels.push_back(peek().text);
+            pos_ += 2;
+        }
+        return labels;
+    }
+
+    bool atEnd() const { return peek().kind == TokenKind::endOfLine; }
+
+    /** Parses the single instruction on this line (split later). */
+    Instruction
+    parseInstruction()
+    {
+        const Token &first = peek();
+        if (first.kind == TokenKind::integer) {
+            // "[PI,] op ..." — a bundle with explicit pre-interval.
+            int64_t pi = next().value;
+            expect(TokenKind::comma, "',' after the pre-interval");
+            return parseBundle(pi);
+        }
+        if (first.kind != TokenKind::identifier)
+            fail("expected an instruction mnemonic");
+        std::string upper = toUpper(first.text);
+
+        if (upper == "NOP" || upper == "STOP") {
+            next();
+            Instruction instr;
+            instr.kind = upper == "NOP" ? InstrKind::nop : InstrKind::stop;
+            return finish(instr);
+        }
+        if (upper == "CMP") {
+            next();
+            Instruction instr;
+            instr.kind = InstrKind::cmp;
+            instr.rs = parseRegister('R', params_.numGprs);
+            expect(TokenKind::comma, "',' between CMP operands");
+            instr.rt = parseRegister('R', params_.numGprs);
+            return finish(instr);
+        }
+        if (upper == "BR") {
+            next();
+            Instruction instr;
+            instr.kind = InstrKind::br;
+            instr.cond = parseCondFlag();
+            expect(TokenKind::comma, "',' after the branch condition");
+            if (peek().kind == TokenKind::integer) {
+                instr.imm = next().value;
+            } else if (peek().kind == TokenKind::identifier) {
+                instr.label = next().text;
+            } else {
+                fail("expected a branch target (label or offset)");
+            }
+            return finish(instr);
+        }
+        if (upper == "FBR") {
+            next();
+            Instruction instr;
+            instr.kind = InstrKind::fbr;
+            instr.cond = parseCondFlag();
+            expect(TokenKind::comma, "',' after the condition flag");
+            instr.rd = parseRegister('R', params_.numGprs);
+            return finish(instr);
+        }
+        if (upper == "LDI") {
+            next();
+            Instruction instr;
+            instr.kind = InstrKind::ldi;
+            instr.rd = parseRegister('R', params_.numGprs);
+            expect(TokenKind::comma, "',' after the destination");
+            instr.imm = parseInteger();
+            return finish(instr);
+        }
+        if (upper == "LDUI") {
+            next();
+            Instruction instr;
+            instr.kind = InstrKind::ldui;
+            instr.rd = parseRegister('R', params_.numGprs);
+            expect(TokenKind::comma, "',' after the destination");
+            instr.imm = parseInteger();
+            expect(TokenKind::comma, "',' after the immediate");
+            instr.rs = parseRegister('R', params_.numGprs);
+            return finish(instr);
+        }
+        if (upper == "LD" || upper == "ST") {
+            next();
+            Instruction instr;
+            instr.kind = upper == "LD" ? InstrKind::ld : InstrKind::st;
+            int data_reg = parseRegister('R', params_.numGprs);
+            if (instr.kind == InstrKind::ld) {
+                instr.rd = data_reg;
+            } else {
+                instr.rs = data_reg;
+            }
+            expect(TokenKind::comma, "',' after the data register");
+            instr.rt = parseRegister('R', params_.numGprs);
+            expect(TokenKind::lparen, "'(' before the offset");
+            instr.imm = parseInteger();
+            expect(TokenKind::rparen, "')' after the offset");
+            return finish(instr);
+        }
+        if (upper == "FMR") {
+            next();
+            Instruction instr;
+            instr.kind = InstrKind::fmr;
+            instr.rd = parseRegister('R', params_.numGprs);
+            expect(TokenKind::comma, "',' after the destination");
+            instr.qubit = parseRegister('Q', topology_.numQubits());
+            return finish(instr);
+        }
+        if (upper == "AND" || upper == "OR" || upper == "XOR" ||
+            upper == "ADD" || upper == "SUB") {
+            next();
+            Instruction instr;
+            instr.kind = upper == "AND"   ? InstrKind::logicAnd
+                         : upper == "OR"  ? InstrKind::logicOr
+                         : upper == "XOR" ? InstrKind::logicXor
+                         : upper == "ADD" ? InstrKind::add
+                                          : InstrKind::sub;
+            instr.rd = parseRegister('R', params_.numGprs);
+            expect(TokenKind::comma, "',' after the destination");
+            instr.rs = parseRegister('R', params_.numGprs);
+            expect(TokenKind::comma, "',' after the first source");
+            instr.rt = parseRegister('R', params_.numGprs);
+            return finish(instr);
+        }
+        if (upper == "NOT") {
+            next();
+            Instruction instr;
+            instr.kind = InstrKind::logicNot;
+            instr.rd = parseRegister('R', params_.numGprs);
+            expect(TokenKind::comma, "',' after the destination");
+            instr.rt = parseRegister('R', params_.numGprs);
+            return finish(instr);
+        }
+        if (upper == "QWAIT") {
+            next();
+            Instruction instr;
+            instr.kind = InstrKind::qwait;
+            instr.imm = parseInteger();
+            if (instr.imm < 0)
+                fail("QWAIT interval must be non-negative");
+            return finish(instr);
+        }
+        if (upper == "QWAITR") {
+            next();
+            Instruction instr;
+            instr.kind = InstrKind::qwaitr;
+            instr.rs = parseRegister('R', params_.numGprs);
+            return finish(instr);
+        }
+        if (upper == "SMIS")
+            return parseSmis();
+        if (upper == "SMIT")
+            return parseSmit();
+
+        // Anything else must be a configured quantum operation starting
+        // a bundle with the default pre-interval of 1 (Section 3.1.2).
+        if (operations_.findByName(upper) != nullptr)
+            return parseBundle(1);
+        fail(format("unknown mnemonic or quantum operation '%s'",
+                    first.text.c_str()));
+    }
+
+    [[noreturn]] void
+    fail(const std::string &message) const
+    {
+        throwError(ErrorCode::parseError, message);
+    }
+
+  private:
+    const Token &peek() const { return tokens_[pos_]; }
+    const Token &
+    peekAt(size_t offset) const
+    {
+        size_t index = pos_ + offset;
+        return index < tokens_.size() ? tokens_[index] : tokens_.back();
+    }
+    const Token &
+    next()
+    {
+        const Token &token = tokens_[pos_];
+        if (token.kind != TokenKind::endOfLine)
+            ++pos_;
+        return token;
+    }
+
+    void
+    expect(TokenKind kind, const char *what)
+    {
+        if (peek().kind != kind)
+            fail(format("expected %s", what));
+        next();
+    }
+
+    /** True when the identifier names an instruction or quantum op, to
+     *  disambiguate "X :" (never valid) from a label definition. */
+    bool
+    isMnemonicLike(const std::string &text) const
+    {
+        return operations_.findByName(text) != nullptr;
+    }
+
+    Instruction
+    finish(Instruction instr)
+    {
+        instr.sourceLine = line_;
+        if (peek().kind != TokenKind::endOfLine)
+            fail("trailing tokens after instruction");
+        return instr;
+    }
+
+    int64_t
+    parseInteger()
+    {
+        if (peek().kind != TokenKind::integer)
+            fail("expected an integer");
+        return next().value;
+    }
+
+    int
+    parseRegister(char prefix, int count)
+    {
+        if (peek().kind != TokenKind::identifier)
+            fail(format("expected a %c-register", prefix));
+        std::string text = toUpper(next().text);
+        if (text.size() < 2 || text[0] != prefix)
+            fail(format("expected a %c-register, got '%s'", prefix,
+                        text.c_str()));
+        int64_t index;
+        try {
+            index = parseInt(text.substr(1));
+        } catch (const Error &) {
+            fail(format("bad register name '%s'", text.c_str()));
+        }
+        if (index < 0 || index >= count) {
+            fail(format("register %s out of range [%c0, %c%d)",
+                        text.c_str(), prefix, prefix, count));
+        }
+        return static_cast<int>(index);
+    }
+
+    isa::CondFlag
+    parseCondFlag()
+    {
+        if (peek().kind != TokenKind::identifier)
+            fail("expected a comparison flag name");
+        std::string text = next().text;
+        auto flag = isa::parseCondFlag(text);
+        if (!flag)
+            fail(format("unknown comparison flag '%s'", text.c_str()));
+        return *flag;
+    }
+
+    Instruction
+    parseSmis()
+    {
+        next(); // SMIS
+        Instruction instr;
+        instr.kind = InstrKind::smis;
+        instr.targetReg = parseRegister('S', params_.numSRegisters);
+        expect(TokenKind::comma, "',' after the S register");
+        expect(TokenKind::lbrace, "'{' starting the qubit list");
+        uint64_t mask = 0;
+        while (peek().kind != TokenKind::rbrace) {
+            int64_t qubit = parseInteger();
+            if (!topology_.validQubit(static_cast<int>(qubit))) {
+                fail(format("qubit %lld is not on chip '%s'",
+                            static_cast<long long>(qubit),
+                            topology_.name().c_str()));
+            }
+            mask |= uint64_t{1} << qubit;
+            if (peek().kind == TokenKind::comma)
+                next();
+        }
+        next(); // '}'
+        instr.mask = mask;
+        return finish(instr);
+    }
+
+    Instruction
+    parseSmit()
+    {
+        next(); // SMIT
+        Instruction instr;
+        instr.kind = InstrKind::smit;
+        instr.targetReg = parseRegister('T', params_.numTRegisters);
+        expect(TokenKind::comma, "',' after the T register");
+        expect(TokenKind::lbrace, "'{' starting the pair list");
+        uint64_t mask = 0;
+        while (peek().kind != TokenKind::rbrace) {
+            expect(TokenKind::lparen, "'(' starting a qubit pair");
+            int64_t source = parseInteger();
+            expect(TokenKind::comma, "',' inside the qubit pair");
+            int64_t target = parseInteger();
+            expect(TokenKind::rparen, "')' closing the qubit pair");
+            auto edge = topology_.edgeIndex(static_cast<int>(source),
+                                            static_cast<int>(target));
+            if (!edge) {
+                fail(format("(%lld, %lld) is not an allowed qubit pair "
+                            "on chip '%s'",
+                            static_cast<long long>(source),
+                            static_cast<long long>(target),
+                            topology_.name().c_str()));
+            }
+            mask |= uint64_t{1} << *edge;
+            if (peek().kind == TokenKind::comma)
+                next();
+        }
+        next(); // '}'
+        if (auto conflict = topology_.maskConflict(mask)) {
+            fail(format("invalid T register value: qubit %d appears in "
+                        "two selected pairs",
+                        *conflict));
+        }
+        instr.mask = mask;
+        return finish(instr);
+    }
+
+    Instruction
+    parseBundle(int64_t pre_interval)
+    {
+        if (pre_interval < 0 ||
+            pre_interval > params_.maxPreInterval()) {
+            fail(format("pre-interval %lld outside [0, %d] — use QWAIT "
+                        "for longer waits",
+                        static_cast<long long>(pre_interval),
+                        params_.maxPreInterval()));
+        }
+        Instruction instr;
+        instr.kind = InstrKind::bundle;
+        instr.preInterval = static_cast<int>(pre_interval);
+        for (;;) {
+            instr.operations.push_back(parseQuantumOperation());
+            if (peek().kind != TokenKind::pipe)
+                break;
+            next();
+        }
+        return finish(instr);
+    }
+
+    QuantumOperation
+    parseQuantumOperation()
+    {
+        if (peek().kind != TokenKind::identifier)
+            fail("expected a quantum operation name");
+        std::string name = next().text;
+        const isa::OperationInfo *info = operations_.findByName(name);
+        if (info == nullptr) {
+            fail(format("quantum operation '%s' is not configured",
+                        name.c_str()));
+        }
+        QuantumOperation op;
+        op.name = info->name;
+        op.opcode = info->opcode;
+        op.opClass = info->opClass;
+        op.targetKind = isa::targetKindForClass(info->opClass);
+        switch (op.targetKind) {
+          case QuantumOperation::TargetKind::none:
+            break;
+          case QuantumOperation::TargetKind::sreg:
+            op.targetReg = parseRegister('S', params_.numSRegisters);
+            break;
+          case QuantumOperation::TargetKind::treg:
+            op.targetReg = parseRegister('T', params_.numTRegisters);
+            break;
+        }
+        return op;
+    }
+
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+    int line_;
+    const isa::OperationSet &operations_;
+    const chip::Topology &topology_;
+    const isa::InstantiationParams &params_;
+};
+
+/**
+ * Splits a bundle wider than the VLIW width into consecutive bundle
+ * instructions with PI = 0 (Section 3.4.2). The encoder pads missing
+ * slots with QNOP.
+ */
+std::vector<Instruction>
+splitBundle(Instruction instr, int vliw_width)
+{
+    std::vector<Instruction> out;
+    if (instr.kind != InstrKind::bundle ||
+        static_cast<int>(instr.operations.size()) <= vliw_width) {
+        out.push_back(std::move(instr));
+        return out;
+    }
+    std::vector<QuantumOperation> ops = std::move(instr.operations);
+    size_t offset = 0;
+    bool first = true;
+    while (offset < ops.size()) {
+        Instruction part;
+        part.kind = InstrKind::bundle;
+        part.sourceLine = instr.sourceLine;
+        part.preInterval = first ? instr.preInterval : 0;
+        first = false;
+        for (int slot = 0; slot < vliw_width && offset < ops.size();
+             ++slot, ++offset) {
+            part.operations.push_back(ops[offset]);
+        }
+        out.push_back(std::move(part));
+    }
+    return out;
+}
+
+} // namespace
+
+AssemblyError::AssemblyError(std::vector<Diagnostic> diagnostics)
+    : Error(ErrorCode::parseError, joinDiagnostics(diagnostics)),
+      diagnostics_(std::move(diagnostics))
+{
+}
+
+Assembler::Assembler(isa::OperationSet operations, chip::Topology topology,
+                     isa::InstantiationParams params)
+    : operations_(std::move(operations)), topology_(std::move(topology)),
+      params_(params)
+{
+}
+
+Program
+Assembler::assemble(const std::string &source) const
+{
+    Program program;
+    std::vector<Diagnostic> diagnostics;
+    std::vector<std::string> pending_labels;
+
+    std::vector<std::string> lines = split(source, '\n');
+    for (size_t line_index = 0; line_index < lines.size(); ++line_index) {
+        int line_number = static_cast<int>(line_index) + 1;
+        try {
+            LineParser parser(tokenizeLine(lines[line_index]), line_number,
+                              operations_, topology_, params_);
+            for (std::string &label : parser.takeLabels())
+                pending_labels.push_back(std::move(label));
+            if (parser.atEnd())
+                continue;
+            Instruction instr = parser.parseInstruction();
+            int address = static_cast<int>(program.instructions.size());
+            for (const std::string &label : pending_labels) {
+                if (program.labels.count(label)) {
+                    throwError(ErrorCode::semanticError,
+                               format("duplicate label '%s'",
+                                      label.c_str()));
+                }
+                program.labels[label] = address;
+            }
+            pending_labels.clear();
+            for (Instruction &part :
+                 splitBundle(std::move(instr), params_.vliwWidth)) {
+                program.instructions.push_back(std::move(part));
+            }
+        } catch (const Error &error) {
+            diagnostics.push_back({line_number, error.message()});
+        }
+    }
+
+    // A trailing label points one past the last instruction.
+    for (const std::string &label : pending_labels) {
+        program.labels[label] =
+            static_cast<int>(program.instructions.size());
+    }
+
+    // Resolve symbolic branch targets: "BR <flag>, Offset" jumps to
+    // PC + Offset where PC is the address of the BR itself.
+    for (size_t address = 0; address < program.instructions.size();
+         ++address) {
+        Instruction &instr = program.instructions[address];
+        if (instr.kind != InstrKind::br || instr.label.empty())
+            continue;
+        auto it = program.labels.find(instr.label);
+        if (it == program.labels.end()) {
+            diagnostics.push_back(
+                {instr.sourceLine,
+                 format("undefined label '%s'", instr.label.c_str())});
+            continue;
+        }
+        instr.imm = it->second - static_cast<int>(address);
+    }
+
+    if (!diagnostics.empty())
+        throw AssemblyError(std::move(diagnostics));
+
+    // Encode; encoding errors carry the source line in their message.
+    for (const Instruction &instr : program.instructions) {
+        try {
+            program.image.push_back(isa::encode(instr, params_));
+        } catch (const Error &error) {
+            diagnostics.push_back({instr.sourceLine, error.message()});
+        }
+    }
+    if (!diagnostics.empty())
+        throw AssemblyError(std::move(diagnostics));
+    return program;
+}
+
+} // namespace eqasm::assembler

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The eQASM assembler: text -> instructions -> 32-bit binary.
+ *
+ * The assembler is configured with the quantum operation set (Section
+ * 3.2: mnemonics are not fixed by the QISA), the target chip topology
+ * (SMIS qubit lists and SMIT pair lists are encoded against it) and the
+ * instantiation parameters (field widths, VLIW width).
+ *
+ * Responsibilities, all from the paper:
+ *  - parse the assembly grammar of Figs. 3-5, including quantum bundles
+ *    "[PI,] op reg [| op reg]*" with a defaulted PI of 1 (Section 3.1.2);
+ *  - split long bundles into consecutive bundle instructions with PI = 0
+ *    and QNOP fill (Section 3.4.2);
+ *  - validate SMIT masks: "it is invalid if two edges connecting to the
+ *    same qubit are selected in the same T register" (Section 4.3);
+ *  - resolve branch labels to PC-relative offsets;
+ *  - encode to the Fig. 8 binary formats.
+ */
+#ifndef EQASM_ASSEMBLER_ASSEMBLER_H
+#define EQASM_ASSEMBLER_ASSEMBLER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chip/topology.h"
+#include "common/error.h"
+#include "isa/encoding.h"
+#include "isa/instruction.h"
+#include "isa/operation_set.h"
+
+namespace eqasm::assembler {
+
+/** One assembler diagnostic (always an error; assembly is all-or-nothing). */
+struct Diagnostic {
+    int line = 0;  ///< 1-based source line.
+    std::string message;
+
+    std::string toString() const;
+};
+
+/** An assembled program: machine-form instructions plus binary image. */
+struct Program {
+    std::vector<isa::Instruction> instructions;
+    std::vector<uint32_t> image;
+    std::map<std::string, int> labels;  ///< label -> instruction address.
+};
+
+/** Thrown when assembly fails; carries all collected diagnostics. */
+class AssemblyError : public Error
+{
+  public:
+    explicit AssemblyError(std::vector<Diagnostic> diagnostics);
+
+    const std::vector<Diagnostic> &diagnostics() const
+    {
+        return diagnostics_;
+    }
+
+  private:
+    std::vector<Diagnostic> diagnostics_;
+};
+
+/** The assembler object; cheap to construct, reusable across programs. */
+class Assembler
+{
+  public:
+    Assembler(isa::OperationSet operations, chip::Topology topology,
+              isa::InstantiationParams params = {});
+
+    /**
+     * Assembles a full source text.
+     * @throws AssemblyError listing every diagnosed problem.
+     */
+    Program assemble(const std::string &source) const;
+
+    const isa::OperationSet &operations() const { return operations_; }
+    const chip::Topology &topology() const { return topology_; }
+    const isa::InstantiationParams &params() const { return params_; }
+
+  private:
+    isa::OperationSet operations_;
+    chip::Topology topology_;
+    isa::InstantiationParams params_;
+};
+
+} // namespace eqasm::assembler
+
+#endif // EQASM_ASSEMBLER_ASSEMBLER_H

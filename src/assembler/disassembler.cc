@@ -1,0 +1,88 @@
+#include "assembler/disassembler.h"
+
+#include "common/bits.h"
+#include "common/strings.h"
+#include "isa/encoding.h"
+#include "isa/instruction.h"
+
+namespace eqasm::assembler {
+
+namespace {
+
+std::string
+renderSmit(const isa::Instruction &instr, const chip::Topology &topology)
+{
+    std::string out = format("SMIT T%d, {", instr.targetReg);
+    bool first = true;
+    for (int edge : topology.maskToEdges(instr.mask)) {
+        if (!first)
+            out += ", ";
+        const chip::QubitPair &pair = topology.edge(edge);
+        out += format("(%d, %d)", pair.source, pair.target);
+        first = false;
+    }
+    out += "}";
+    return out;
+}
+
+std::string
+renderBundle(const isa::Instruction &instr)
+{
+    std::string out = format("%d, ", instr.preInterval);
+    bool first = true;
+    for (const isa::QuantumOperation &op : instr.operations) {
+        if (op.isQnop() && instr.operations.size() > 1)
+            continue; // QNOP padding is an encoding artefact.
+        if (!first)
+            out += " | ";
+        out += op.name;
+        switch (op.targetKind) {
+          case isa::QuantumOperation::TargetKind::none:
+            break;
+          case isa::QuantumOperation::TargetKind::sreg:
+            out += format(" S%d", op.targetReg);
+            break;
+          case isa::QuantumOperation::TargetKind::treg:
+            out += format(" T%d", op.targetReg);
+            break;
+        }
+        first = false;
+    }
+    if (first)
+        out += "QNOP"; // all slots empty
+    return out;
+}
+
+} // namespace
+
+std::string
+disassembleWord(uint32_t word, const isa::OperationSet &operations,
+                const chip::Topology &topology,
+                const isa::InstantiationParams &params)
+{
+    isa::Instruction instr = isa::decode(word, params, operations);
+    switch (instr.kind) {
+      case isa::InstrKind::smit:
+        return renderSmit(instr, topology);
+      case isa::InstrKind::bundle:
+        return renderBundle(instr);
+      default:
+        return isa::toString(instr);
+    }
+}
+
+std::string
+disassemble(const std::vector<uint32_t> &image,
+            const isa::OperationSet &operations,
+            const chip::Topology &topology,
+            const isa::InstantiationParams &params)
+{
+    std::string out;
+    for (uint32_t word : image) {
+        out += disassembleWord(word, operations, topology, params);
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace eqasm::assembler

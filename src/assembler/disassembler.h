@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Disassembler: 32-bit eQASM binary back to canonical assembly text.
+ *
+ * The disassembler needs the same configuration as the assembler (the
+ * operation set gives q opcodes their mnemonics; the topology turns
+ * SMIT edge masks back into qubit pair lists). Round-tripping
+ * assemble(disassemble(image)) reproduces the image bit-for-bit, which
+ * the test suite verifies as a property.
+ */
+#ifndef EQASM_ASSEMBLER_DISASSEMBLER_H
+#define EQASM_ASSEMBLER_DISASSEMBLER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chip/topology.h"
+#include "isa/opcodes.h"
+#include "isa/operation_set.h"
+
+namespace eqasm::assembler {
+
+/** Renders one decoded word as assembly text. */
+std::string disassembleWord(uint32_t word,
+                            const isa::OperationSet &operations,
+                            const chip::Topology &topology,
+                            const isa::InstantiationParams &params);
+
+/** Renders a whole image, one instruction per line. */
+std::string disassemble(const std::vector<uint32_t> &image,
+                        const isa::OperationSet &operations,
+                        const chip::Topology &topology,
+                        const isa::InstantiationParams &params = {});
+
+} // namespace eqasm::assembler
+
+#endif // EQASM_ASSEMBLER_DISASSEMBLER_H

@@ -1,0 +1,83 @@
+#include "assembler/lexer.h"
+
+#include <cctype>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace eqasm::assembler {
+
+std::string_view
+stripComment(std::string_view line)
+{
+    for (size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == '#')
+            return line.substr(0, i);
+        if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '/')
+            return line.substr(0, i);
+    }
+    return line;
+}
+
+std::vector<Token>
+tokenizeLine(std::string_view line)
+{
+    line = stripComment(line);
+    std::vector<Token> tokens;
+    size_t i = 0;
+    while (i < line.size()) {
+        char c = line[i];
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        Token token;
+        token.column = static_cast<int>(i) + 1;
+        switch (c) {
+          case ',': token.kind = TokenKind::comma; ++i; break;
+          case '|': token.kind = TokenKind::pipe; ++i; break;
+          case ':': token.kind = TokenKind::colon; ++i; break;
+          case '{': token.kind = TokenKind::lbrace; ++i; break;
+          case '}': token.kind = TokenKind::rbrace; ++i; break;
+          case '(': token.kind = TokenKind::lparen; ++i; break;
+          case ')': token.kind = TokenKind::rparen; ++i; break;
+          default:
+            if (std::isdigit(static_cast<unsigned char>(c)) ||
+                ((c == '-' || c == '+') && i + 1 < line.size() &&
+                 std::isdigit(static_cast<unsigned char>(line[i + 1])))) {
+                size_t start = i;
+                if (c == '-' || c == '+')
+                    ++i;
+                while (i < line.size() &&
+                       (std::isalnum(static_cast<unsigned char>(line[i])))) {
+                    ++i;
+                }
+                token.kind = TokenKind::integer;
+                token.text = std::string(line.substr(start, i - start));
+                token.value = parseInt(token.text);
+            } else if (std::isalpha(static_cast<unsigned char>(c)) ||
+                       c == '_' || c == '.') {
+                size_t start = i;
+                while (i < line.size() &&
+                       (std::isalnum(static_cast<unsigned char>(line[i])) ||
+                        line[i] == '_' || line[i] == '.')) {
+                    ++i;
+                }
+                token.kind = TokenKind::identifier;
+                token.text = std::string(line.substr(start, i - start));
+            } else {
+                throwError(ErrorCode::parseError,
+                           format("unexpected character '%c' at column %zu",
+                                  c, i + 1));
+            }
+        }
+        tokens.push_back(std::move(token));
+    }
+    Token eol;
+    eol.kind = TokenKind::endOfLine;
+    eol.column = static_cast<int>(line.size()) + 1;
+    tokens.push_back(eol);
+    return tokens;
+}
+
+} // namespace eqasm::assembler

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Line tokenizer for eQASM assembly.
+ *
+ * The assembly grammar is line-oriented (Fig. 3/4/5 of the paper):
+ * comments start with '#' (also '//' is accepted), labels end with ':',
+ * operands are separated by commas, bundle slots by '|'. The lexer
+ * produces a flat token stream per line; the parser in assembler.cc
+ * consumes it.
+ */
+#ifndef EQASM_ASSEMBLER_LEXER_H
+#define EQASM_ASSEMBLER_LEXER_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eqasm::assembler {
+
+/** Token categories produced by the lexer. */
+enum class TokenKind {
+    identifier,  ///< mnemonics, label names, register names.
+    integer,     ///< decimal/hex/binary literal (value in Token::value).
+    comma,
+    pipe,        ///< '|' bundle separator.
+    colon,       ///< label definition.
+    lbrace,      ///< '{'
+    rbrace,      ///< '}'
+    lparen,      ///< '('
+    rparen,      ///< ')'
+    endOfLine,
+};
+
+struct Token {
+    TokenKind kind = TokenKind::endOfLine;
+    std::string text;     ///< raw spelling (identifiers/integers).
+    int64_t value = 0;    ///< parsed value for integer tokens.
+    int column = 0;       ///< 1-based column for diagnostics.
+};
+
+/**
+ * Tokenizes one source line (comment already allowed in the input).
+ * @throws Error{parseError} on an unrecognised character.
+ */
+std::vector<Token> tokenizeLine(std::string_view line);
+
+/** Strips a trailing '#' or '//' comment. */
+std::string_view stripComment(std::string_view line);
+
+} // namespace eqasm::assembler
+
+#endif // EQASM_ASSEMBLER_LEXER_H

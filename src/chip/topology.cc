@@ -1,0 +1,263 @@
+#include "chip/topology.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace eqasm::chip {
+
+Topology::Topology(std::string name, int num_qubits,
+                   std::vector<QubitPair> edges, std::vector<int> feedline)
+    : name_(std::move(name)), numQubits_(num_qubits),
+      edges_(std::move(edges)), feedline_(std::move(feedline))
+{
+    if (numQubits_ <= 0) {
+        throwError(ErrorCode::configError,
+                   "topology needs at least one qubit");
+    }
+    for (size_t i = 0; i < edges_.size(); ++i) {
+        const QubitPair &pair = edges_[i];
+        if (!validQubit(pair.source) || !validQubit(pair.target) ||
+            pair.source == pair.target) {
+            throwError(ErrorCode::configError,
+                       format("edge %zu (%d, %d) is not a valid qubit pair",
+                              i, pair.source, pair.target));
+        }
+        for (size_t j = 0; j < i; ++j) {
+            if (edges_[j] == pair) {
+                throwError(ErrorCode::configError,
+                           format("duplicate edge (%d, %d)", pair.source,
+                                  pair.target));
+            }
+        }
+    }
+    if (feedline_.empty()) {
+        feedline_.assign(static_cast<size_t>(numQubits_), 0);
+    }
+    if (feedline_.size() != static_cast<size_t>(numQubits_)) {
+        throwError(ErrorCode::configError,
+                   "feedline map must cover every qubit");
+    }
+    numFeedlines_ = 1 + *std::max_element(feedline_.begin(), feedline_.end());
+}
+
+const QubitPair &
+Topology::edge(int index) const
+{
+    if (index < 0 || index >= numEdges()) {
+        throwError(ErrorCode::invalidArgument,
+                   format("edge address %d out of range (chip has %d)",
+                          index, numEdges()));
+    }
+    return edges_[static_cast<size_t>(index)];
+}
+
+std::optional<int>
+Topology::edgeIndex(int source, int target) const
+{
+    for (size_t i = 0; i < edges_.size(); ++i) {
+        if (edges_[i].source == source && edges_[i].target == target)
+            return static_cast<int>(i);
+    }
+    return std::nullopt;
+}
+
+std::vector<int>
+Topology::edgesOfQubit(int qubit) const
+{
+    std::vector<int> out;
+    for (size_t i = 0; i < edges_.size(); ++i) {
+        if (edges_[i].source == qubit || edges_[i].target == qubit)
+            out.push_back(static_cast<int>(i));
+    }
+    return out;
+}
+
+int
+Topology::feedlineOfQubit(int qubit) const
+{
+    if (!validQubit(qubit)) {
+        throwError(ErrorCode::invalidArgument,
+                   format("qubit %d out of range", qubit));
+    }
+    return feedline_[static_cast<size_t>(qubit)];
+}
+
+std::optional<int>
+Topology::maskConflict(uint64_t edge_mask) const
+{
+    std::vector<int> selections(static_cast<size_t>(numQubits_), 0);
+    for (int e = 0; e < numEdges(); ++e) {
+        if (!bit(edge_mask, static_cast<unsigned>(e)))
+            continue;
+        for (int qubit : {edges_[static_cast<size_t>(e)].source,
+                          edges_[static_cast<size_t>(e)].target}) {
+            if (++selections[static_cast<size_t>(qubit)] > 1)
+                return qubit;
+        }
+    }
+    return std::nullopt;
+}
+
+uint64_t
+Topology::edgesToMask(const std::vector<int> &edge_addresses) const
+{
+    uint64_t mask = 0;
+    for (int e : edge_addresses) {
+        if (e < 0 || e >= numEdges()) {
+            throwError(ErrorCode::invalidArgument,
+                       format("edge address %d out of range", e));
+        }
+        mask |= uint64_t{1} << e;
+    }
+    return mask;
+}
+
+std::vector<int>
+Topology::maskToEdges(uint64_t edge_mask) const
+{
+    std::vector<int> out;
+    for (int e = 0; e < numEdges(); ++e) {
+        if (bit(edge_mask, static_cast<unsigned>(e)))
+            out.push_back(e);
+    }
+    return out;
+}
+
+int
+Topology::maskEncodingBits() const
+{
+    return numEdges();
+}
+
+int
+Topology::addressPairEncodingBits(int simultaneous_pairs) const
+{
+    int address_bits = 1;
+    while ((1 << address_bits) < numQubits_)
+        ++address_bits;
+    return simultaneous_pairs * 2 * address_bits;
+}
+
+int
+Topology::maxParallelPairs() const
+{
+    // Greedy maximum-matching search over the (small) edge sets; exact
+    // via branch and bound since numEdges <= 20 on all shipped chips.
+    int best = 0;
+    std::vector<int> stack;
+    std::function<void(int, uint64_t)> explore =
+        [&](int from, uint64_t used_qubits) {
+            best = std::max(best, static_cast<int>(stack.size()));
+            for (int e = from; e < numEdges(); ++e) {
+                const QubitPair &pair = edges_[static_cast<size_t>(e)];
+                uint64_t occupancy = (uint64_t{1} << pair.source) |
+                                     (uint64_t{1} << pair.target);
+                if (used_qubits & occupancy)
+                    continue;
+                stack.push_back(e);
+                explore(e + 1, used_qubits | occupancy);
+                stack.pop_back();
+            }
+        };
+    explore(0, 0);
+    return best;
+}
+
+Topology
+Topology::fromJson(const Json &json)
+{
+    std::string name = json.getString("name", "unnamed");
+    int num_qubits = static_cast<int>(json.at("qubits").asInt());
+    std::vector<QubitPair> edges;
+    for (const Json &entry : json.at("edges").asArray()) {
+        edges.push_back({static_cast<int>(entry.at(size_t{0}).asInt()),
+                         static_cast<int>(entry.at(size_t{1}).asInt())});
+    }
+    std::vector<int> feedline;
+    if (const Json *lines = json.find("feedlines")) {
+        for (const Json &entry : lines->asArray())
+            feedline.push_back(static_cast<int>(entry.asInt()));
+    }
+    return Topology(std::move(name), num_qubits, std::move(edges),
+                    std::move(feedline));
+}
+
+Json
+Topology::toJson() const
+{
+    Json out = Json::makeObject();
+    out.set("name", name_);
+    out.set("qubits", static_cast<int64_t>(numQubits_));
+    Json edges = Json::makeArray();
+    for (const QubitPair &pair : edges_) {
+        Json entry = Json::makeArray();
+        entry.append(pair.source);
+        entry.append(pair.target);
+        edges.append(std::move(entry));
+    }
+    out.set("edges", std::move(edges));
+    Json lines = Json::makeArray();
+    for (int line : feedline_)
+        lines.append(line);
+    out.set("feedlines", std::move(lines));
+    return out;
+}
+
+Topology
+Topology::surface7()
+{
+    // Undirected couplings (source-first orientation); coupling k owns
+    // directed edges 2k (as listed) and 2k+1 (reversed). This satisfies
+    // the published constraints: edge 0 = (2, 0), edge 8 = (0, 5), and
+    // OpSel0 = (T[0] | T[9]) :: (T[1] | T[8]).
+    const QubitPair couplings[8] = {
+        {2, 0}, {2, 3}, {3, 5}, {4, 1}, {0, 5}, {5, 1}, {5, 6}, {6, 4},
+    };
+    std::vector<QubitPair> edges;
+    for (const QubitPair &c : couplings) {
+        edges.push_back(c);
+        edges.push_back({c.target, c.source});
+    }
+    // Feedline 0 measures qubits 0, 2, 3, 5, 6; feedline 1 measures 1, 4.
+    std::vector<int> feedline = {0, 1, 0, 0, 1, 0, 0};
+    return Topology("surface7", 7, std::move(edges), std::move(feedline));
+}
+
+Topology
+Topology::twoQubit()
+{
+    // Section 5: two interconnected transmons on one feedline, renamed
+    // to physical addresses 0 and 2 (address 1 is a hole).
+    std::vector<QubitPair> edges = {{0, 2}, {2, 0}};
+    std::vector<int> feedline = {0, 0, 0};
+    return Topology("two_qubit", 3, std::move(edges), std::move(feedline));
+}
+
+Topology
+Topology::ibmQx2()
+{
+    // IBM Q 5 Yorktown: CNOT-allowed directed pairs.
+    std::vector<QubitPair> edges = {
+        {0, 2}, {1, 2}, {3, 2}, {4, 2}, {0, 1}, {3, 4},
+    };
+    return Topology("ibm_qx2", 5, std::move(edges));
+}
+
+Topology
+Topology::ionTrap5()
+{
+    std::vector<QubitPair> edges;
+    for (int a = 0; a < 5; ++a) {
+        for (int b = 0; b < 5; ++b) {
+            if (a != b)
+                edges.push_back({a, b});
+        }
+    }
+    return Topology("ion_trap_5", 5, std::move(edges));
+}
+
+} // namespace eqasm::chip

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Quantum chip topology: qubits as vertices, allowed qubit pairs as
+ * directed edges (Section 3.3 of the eQASM paper).
+ *
+ * A two-qubit physical gate can only be applied to an "allowed qubit
+ * pair"; because a gate may act differently on its two operands, the
+ * pairs (A, B) and (B, A) are distinct directed edges with distinct
+ * addresses. The topology also records which feedline measures each
+ * qubit, since measurement pulses are frequency-multiplexed per
+ * feedline (Section 4.1).
+ */
+#ifndef EQASM_CHIP_TOPOLOGY_H
+#define EQASM_CHIP_TOPOLOGY_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace eqasm::chip {
+
+/** A directed allowed qubit pair: (source qubit, target qubit). */
+struct QubitPair {
+    int source = -1;
+    int target = -1;
+
+    bool operator==(const QubitPair &other) const = default;
+};
+
+/**
+ * Immutable description of a quantum chip: number of qubits, the list
+ * of allowed directed pairs (the vector index is the pair's address),
+ * and the qubit → feedline map.
+ */
+class Topology
+{
+  public:
+    /**
+     * @param name      human-readable chip name.
+     * @param num_qubits number of physical qubits (addresses 0..n-1).
+     * @param edges     directed allowed pairs; index = edge address.
+     * @param feedline  per-qubit feedline index (may be empty: one line).
+     */
+    Topology(std::string name, int num_qubits, std::vector<QubitPair> edges,
+             std::vector<int> feedline = {});
+
+    const std::string &name() const { return name_; }
+    int numQubits() const { return numQubits_; }
+    int numEdges() const { return static_cast<int>(edges_.size()); }
+    const std::vector<QubitPair> &edges() const { return edges_; }
+
+    /** @return the pair stored at edge address @p index. */
+    const QubitPair &edge(int index) const;
+
+    /** @return the edge address of (source, target), if allowed. */
+    std::optional<int> edgeIndex(int source, int target) const;
+
+    /** @return all edge addresses in which @p qubit participates. */
+    std::vector<int> edgesOfQubit(int qubit) const;
+
+    /** @return the feedline measuring @p qubit. */
+    int feedlineOfQubit(int qubit) const;
+
+    /** @return the number of feedlines. */
+    int numFeedlines() const { return numFeedlines_; }
+
+    /** @return true iff @p qubit is a valid physical address. */
+    bool validQubit(int qubit) const
+    {
+        return qubit >= 0 && qubit < numQubits_;
+    }
+
+    /**
+     * Checks a two-qubit-target mask for validity: it is illegal for two
+     * selected edges to share a qubit (Section 4.3: "it is invalid if two
+     * edges connecting to the same qubit are selected in the same T
+     * register").
+     *
+     * @return std::nullopt when valid; otherwise the address of the qubit
+     *         shared by two selected edges.
+     */
+    std::optional<int> maskConflict(uint64_t edge_mask) const;
+
+    /** Converts a list of edge addresses to a mask. */
+    uint64_t edgesToMask(const std::vector<int> &edge_addresses) const;
+
+    /** Converts a mask to the sorted list of selected edge addresses. */
+    std::vector<int> maskToEdges(uint64_t edge_mask) const;
+
+    /**
+     * Loads a topology from JSON:
+     * {"name": ..., "qubits": N,
+     *  "edges": [[src,tgt], ...], "feedlines": [f0, f1, ...]}.
+     */
+    static Topology fromJson(const Json &json);
+
+    /** Serialises to the JSON schema accepted by fromJson(). */
+    Json toJson() const;
+
+    /**
+     * The seven-qubit surface-7 chip of Fig. 6. The undirected coupling
+     * set is reconstructed from the constraints in the paper: 8 couplings
+     * (16 directed edges), qubit 0 participates in edges {0, 1, 8, 9}
+     * with OpSel0 = (T[0] | T[9]) :: (T[1] | T[8]), i.e. coupling k owns
+     * edges {2k, 2k+1}; qubit 5 is the degree-4 centre ancilla; feedline
+     * 0 measures qubits {0, 2, 3, 5, 6} and feedline 1 measures {1, 4}.
+     */
+    static Topology surface7();
+
+    /**
+     * The two-transmon processor used for the Section 5 experiments:
+     * "the two qubits renamed as qubit 0 and 2", interconnected, one
+     * feedline. Qubit 1 exists as an address hole (never used).
+     */
+    static Topology twoQubit();
+
+    /** IBM QX2 (5 qubits, 6 allowed pairs) from the Section 3.3.2
+     *  encoding discussion. Directed edges follow the published
+     *  CNOT orientation. */
+    static Topology ibmQx2();
+
+    /** Fully connected 5-qubit trapped-ion processor (20 directed
+     *  pairs), also from Section 3.3.2. */
+    static Topology ionTrap5();
+
+    /**
+     * The Section 3.3.2 encoding trade-off, as bit costs for this
+     * chip's two-qubit target registers:
+     *
+     *  - mask encoding: one bit per allowed pair (numEdges bits);
+     *  - address-pair encoding: k simultaneous pairs, each as two
+     *    qubit addresses of ceil(log2 numQubits) bits.
+     *
+     * "it is more efficient to put the address pairs in the
+     * instruction for a highly-connected quantum processor, while a
+     * mask format could be more efficient when the qubit connectivity
+     * is limited."
+     */
+    int maskEncodingBits() const;
+    int addressPairEncodingBits(int simultaneous_pairs) const;
+
+    /** Largest number of pairwise-disjoint allowed pairs (how many
+     *  two-qubit gates can run simultaneously). */
+    int maxParallelPairs() const;
+
+  private:
+    std::string name_;
+    int numQubits_ = 0;
+    std::vector<QubitPair> edges_;
+    std::vector<int> feedline_;
+    int numFeedlines_ = 1;
+};
+
+} // namespace eqasm::chip
+
+#endif // EQASM_CHIP_TOPOLOGY_H

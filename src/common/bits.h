@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the instruction encoders/decoders.
+ *
+ * All helpers operate on uint64_t containers with [lo, hi] inclusive bit
+ * ranges, matching the convention used in the eQASM instantiation figures
+ * (Fig. 8 of the paper labels fields most-significant-first; we address
+ * bits LSB = 0).
+ */
+#ifndef EQASM_COMMON_BITS_H
+#define EQASM_COMMON_BITS_H
+
+#include <cstdint>
+
+#include "common/error.h"
+
+namespace eqasm {
+
+/** @return a mask with bits [lo, hi] (inclusive) set. Requires hi >= lo. */
+constexpr uint64_t
+bitMask(unsigned hi, unsigned lo)
+{
+    return ((hi - lo) >= 63 ? ~uint64_t{0}
+                            : ((uint64_t{1} << (hi - lo + 1)) - 1))
+           << lo;
+}
+
+/** Extract bits [lo, hi] of @p value, right-aligned. */
+constexpr uint64_t
+bits(uint64_t value, unsigned hi, unsigned lo)
+{
+    return (value & bitMask(hi, lo)) >> lo;
+}
+
+/** Extract a single bit of @p value. */
+constexpr uint64_t
+bit(uint64_t value, unsigned index)
+{
+    return (value >> index) & 1;
+}
+
+/** Insert @p field into bits [lo, hi] of @p container (field must fit). */
+constexpr uint64_t
+insertBits(uint64_t container, unsigned hi, unsigned lo, uint64_t field)
+{
+    uint64_t mask = bitMask(hi, lo);
+    return (container & ~mask) | ((field << lo) & mask);
+}
+
+/** @return true iff @p field fits into @p width unsigned bits. */
+constexpr bool
+fitsUnsigned(uint64_t field, unsigned width)
+{
+    return width >= 64 || field < (uint64_t{1} << width);
+}
+
+/** @return true iff the signed value @p field fits into @p width bits. */
+constexpr bool
+fitsSigned(int64_t field, unsigned width)
+{
+    if (width >= 64)
+        return true;
+    int64_t lo = -(int64_t{1} << (width - 1));
+    int64_t hi = (int64_t{1} << (width - 1)) - 1;
+    return field >= lo && field <= hi;
+}
+
+/**
+ * Sign-extend the low @p width bits of @p value to 64 bits. This is the
+ * sign_ext(Imm, 32) helper from Table 1 generalised to any width.
+ */
+constexpr int64_t
+signExtend(uint64_t value, unsigned width)
+{
+    if (width == 0 || width >= 64)
+        return static_cast<int64_t>(value);
+    uint64_t sign = uint64_t{1} << (width - 1);
+    uint64_t masked = value & (( uint64_t{1} << width) - 1);
+    return static_cast<int64_t>((masked ^ sign) - sign);
+}
+
+/** Population count for mask registers. */
+constexpr int
+popcount(uint64_t value)
+{
+    int count = 0;
+    while (value) {
+        value &= value - 1;
+        ++count;
+    }
+    return count;
+}
+
+} // namespace eqasm
+
+#endif // EQASM_COMMON_BITS_H

@@ -1,0 +1,46 @@
+#include "common/error.h"
+
+#include <cstdio>
+
+namespace eqasm {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::invalidArgument: return "invalid_argument";
+      case ErrorCode::parseError: return "parse_error";
+      case ErrorCode::encodeError: return "encode_error";
+      case ErrorCode::semanticError: return "semantic_error";
+      case ErrorCode::runtimeError: return "runtime_error";
+      case ErrorCode::configError: return "config_error";
+      case ErrorCode::notFound: return "not_found";
+    }
+    return "unknown_error";
+}
+
+Error::Error(ErrorCode code, const std::string &message)
+    : std::runtime_error(std::string(errorCodeName(code)) + ": " + message),
+      code_(code), message_(message)
+{
+}
+
+void
+throwError(ErrorCode code, const std::string &message)
+{
+    throw Error(code, message);
+}
+
+namespace detail {
+
+void
+assertFailed(const char *expr, const char *file, int line,
+             const std::string &message)
+{
+    std::fprintf(stderr, "eqasm internal assertion failed: %s\n  at %s:%d\n  %s\n",
+                 expr, file, line, message.c_str());
+    std::abort();
+}
+
+} // namespace detail
+} // namespace eqasm

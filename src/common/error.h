@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Error handling primitives for the eQASM toolchain.
+ *
+ * Two failure modes are distinguished, following the usual simulator
+ * convention (cf. gem5's fatal/panic split):
+ *
+ *  - Error: a user-visible failure (bad assembly, invalid configuration,
+ *    malformed program). Thrown as an exception carrying a category and a
+ *    human-readable message; callers such as the assembler catch these and
+ *    convert them into diagnostics.
+ *  - EQASM_ASSERT: an internal invariant violation, i.e. a bug in this
+ *    library. Aborts.
+ */
+#ifndef EQASM_COMMON_ERROR_H
+#define EQASM_COMMON_ERROR_H
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace eqasm {
+
+/** Coarse error category, used to route and test failures. */
+enum class ErrorCode {
+    invalidArgument,   ///< Caller passed an out-of-domain value.
+    parseError,        ///< Textual input (assembly, JSON) failed to parse.
+    encodeError,       ///< A value does not fit the instantiated binary format.
+    semanticError,     ///< Structurally valid input with illegal meaning.
+    runtimeError,      ///< A failure during microarchitecture execution.
+    configError,       ///< Bad platform / operation configuration.
+    notFound,          ///< Lookup failure (label, register, opcode, ...).
+};
+
+/** @return a stable lower-case name for @p code (used in messages/tests). */
+const char *errorCodeName(ErrorCode code);
+
+/**
+ * Exception type thrown for all user-visible failures in the library.
+ *
+ * The what() string always embeds the category name so that uncaught
+ * errors remain diagnosable from the terminating message alone.
+ */
+class Error : public std::runtime_error
+{
+  public:
+    Error(ErrorCode code, const std::string &message);
+
+    /** @return the machine-readable category of this failure. */
+    ErrorCode code() const { return code_; }
+
+    /** @return the message without the category prefix. */
+    const std::string &message() const { return message_; }
+
+  private:
+    ErrorCode code_;
+    std::string message_;
+};
+
+/** Throws Error with printf-less formatting done by the caller. */
+[[noreturn]] void throwError(ErrorCode code, const std::string &message);
+
+namespace detail {
+[[noreturn]] void assertFailed(const char *expr, const char *file, int line,
+                               const std::string &message);
+} // namespace detail
+
+/**
+ * Internal invariant check. Unlike assert(3) this is active in all build
+ * types: simulator state corruption must never be silently ignored.
+ */
+#define EQASM_ASSERT(expr, message)                                          \
+    do {                                                                     \
+        if (!(expr)) {                                                       \
+            ::eqasm::detail::assertFailed(#expr, __FILE__, __LINE__,         \
+                                          (message));                        \
+        }                                                                    \
+    } while (false)
+
+} // namespace eqasm
+
+#endif // EQASM_COMMON_ERROR_H

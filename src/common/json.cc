@@ -1,0 +1,536 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace eqasm {
+namespace {
+
+/** Recursive-descent JSON parser with comment support. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Json
+    parseDocument()
+    {
+        skipWhitespace();
+        Json value = parseValue();
+        skipWhitespace();
+        if (pos_ != text_.size())
+            fail("trailing characters after JSON document");
+        return value;
+    }
+
+  private:
+    std::string_view text_;
+    size_t pos_ = 0;
+
+    [[noreturn]] void
+    fail(const std::string &message)
+    {
+        size_t line = 1, column = 1;
+        for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                column = 1;
+            } else {
+                ++column;
+            }
+        }
+        throwError(ErrorCode::parseError,
+                   format("json:%zu:%zu: %s", line, column, message.c_str()));
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+
+    char
+    peek() const
+    {
+        return atEnd() ? '\0' : text_[pos_];
+    }
+
+    char
+    advance()
+    {
+        if (atEnd())
+            return '\0';
+        return text_[pos_++];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(format("expected '%c'", c));
+        ++pos_;
+    }
+
+    void
+    skipWhitespace()
+    {
+        for (;;) {
+            while (!atEnd() && (peek() == ' ' || peek() == '\t' ||
+                                peek() == '\n' || peek() == '\r')) {
+                ++pos_;
+            }
+            if (!atEnd() && peek() == '/' && pos_ + 1 < text_.size()) {
+                if (text_[pos_ + 1] == '/') {
+                    while (!atEnd() && peek() != '\n')
+                        ++pos_;
+                    continue;
+                }
+                if (text_[pos_ + 1] == '*') {
+                    pos_ += 2;
+                    while (pos_ + 1 < text_.size() &&
+                           !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+                        ++pos_;
+                    }
+                    if (pos_ + 1 >= text_.size())
+                        fail("unterminated block comment");
+                    pos_ += 2;
+                    continue;
+                }
+            }
+            break;
+        }
+    }
+
+    Json
+    parseValue()
+    {
+        skipWhitespace();
+        if (atEnd())
+            fail("unexpected end of input");
+        char c = peek();
+        switch (c) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return Json(parseString());
+          case 't': parseLiteral("true"); return Json(true);
+          case 'f': parseLiteral("false"); return Json(false);
+          case 'n': parseLiteral("null"); return Json();
+          default: return parseNumber();
+        }
+    }
+
+    void
+    parseLiteral(std::string_view literal)
+    {
+        if (text_.substr(pos_, literal.size()) != literal)
+            fail(format("expected '%s'", std::string(literal).c_str()));
+        pos_ += literal.size();
+    }
+
+    Json
+    parseObject()
+    {
+        expect('{');
+        Json out = Json::makeObject();
+        skipWhitespace();
+        if (peek() == '}') {
+            ++pos_;
+            return out;
+        }
+        for (;;) {
+            skipWhitespace();
+            if (peek() != '"')
+                fail("expected object key string");
+            std::string key = parseString();
+            if (out.find(key) != nullptr)
+                fail(format("duplicate object key \"%s\"", key.c_str()));
+            skipWhitespace();
+            expect(':');
+            out.set(std::move(key), parseValue());
+            skipWhitespace();
+            char c = advance();
+            if (c == '}')
+                return out;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    Json
+    parseArray()
+    {
+        expect('[');
+        Json out = Json::makeArray();
+        skipWhitespace();
+        if (peek() == ']') {
+            ++pos_;
+            return out;
+        }
+        for (;;) {
+            out.append(parseValue());
+            skipWhitespace();
+            char c = advance();
+            if (c == ']')
+                return out;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (atEnd())
+                fail("unterminated string");
+            char c = advance();
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                char esc = advance();
+                switch (esc) {
+                  case '"': out.push_back('"'); break;
+                  case '\\': out.push_back('\\'); break;
+                  case '/': out.push_back('/'); break;
+                  case 'b': out.push_back('\b'); break;
+                  case 'f': out.push_back('\f'); break;
+                  case 'n': out.push_back('\n'); break;
+                  case 'r': out.push_back('\r'); break;
+                  case 't': out.push_back('\t'); break;
+                  case 'u': appendUnicodeEscape(out); break;
+                  default: fail("bad string escape");
+                }
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+
+    void
+    appendUnicodeEscape(std::string &out)
+    {
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = advance();
+            code <<= 4;
+            if (c >= '0' && c <= '9') {
+                code |= static_cast<unsigned>(c - '0');
+            } else if (c >= 'a' && c <= 'f') {
+                code |= static_cast<unsigned>(c - 'a' + 10);
+            } else if (c >= 'A' && c <= 'F') {
+                code |= static_cast<unsigned>(c - 'A' + 10);
+            } else {
+                fail("bad \\u escape");
+            }
+        }
+        // UTF-8 encode a BMP code point.
+        if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        } else {
+            out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        }
+    }
+
+    Json
+    parseNumber()
+    {
+        size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (!atEnd() && ((peek() >= '0' && peek() <= '9') ||
+                            peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                            peek() == '+' || peek() == '-')) {
+            ++pos_;
+        }
+        std::string token(text_.substr(start, pos_ - start));
+        if (token.empty())
+            fail("expected a JSON value");
+        char *end = nullptr;
+        double value = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            fail(format("bad number literal '%s'", token.c_str()));
+        return Json(value);
+    }
+};
+
+void
+dumpString(const std::string &s, std::string &out)
+{
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                out += format("\\u%04x", c);
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+void
+dumpNumber(double value, std::string &out)
+{
+    if (std::isfinite(value) && value == std::floor(value) &&
+        std::fabs(value) < 9.0e15) {
+        out += format("%lld", static_cast<long long>(value));
+    } else {
+        out += format("%.17g", value);
+    }
+}
+
+void
+dumpValue(const Json &value, std::string &out, int indent, int depth)
+{
+    auto newline = [&](int d) {
+        if (indent >= 0) {
+            out.push_back('\n');
+            out.append(static_cast<size_t>(indent * d), ' ');
+        }
+    };
+    switch (value.kind()) {
+      case Json::Kind::null:
+        out += "null";
+        break;
+      case Json::Kind::boolean:
+        out += value.asBool() ? "true" : "false";
+        break;
+      case Json::Kind::number:
+        dumpNumber(value.asDouble(), out);
+        break;
+      case Json::Kind::string:
+        dumpString(value.asString(), out);
+        break;
+      case Json::Kind::array: {
+        const auto &items = value.asArray();
+        if (items.empty()) {
+            out += "[]";
+            break;
+        }
+        out.push_back('[');
+        for (size_t i = 0; i < items.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            newline(depth + 1);
+            dumpValue(items[i], out, indent, depth + 1);
+        }
+        newline(depth);
+        out.push_back(']');
+        break;
+      }
+      case Json::Kind::object: {
+        const auto &members = value.asObject();
+        if (members.empty()) {
+            out += "{}";
+            break;
+        }
+        out.push_back('{');
+        for (size_t i = 0; i < members.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            newline(depth + 1);
+            dumpString(members[i].first, out);
+            out.push_back(':');
+            if (indent >= 0)
+                out.push_back(' ');
+            dumpValue(members[i].second, out, indent, depth + 1);
+        }
+        newline(depth);
+        out.push_back('}');
+        break;
+      }
+    }
+}
+
+} // namespace
+
+bool
+Json::asBool() const
+{
+    if (kind_ != Kind::boolean)
+        throwError(ErrorCode::invalidArgument, "json value is not a boolean");
+    return bool_;
+}
+
+double
+Json::asDouble() const
+{
+    if (kind_ != Kind::number)
+        throwError(ErrorCode::invalidArgument, "json value is not a number");
+    return number_;
+}
+
+int64_t
+Json::asInt() const
+{
+    double value = asDouble();
+    if (value != std::floor(value) || std::fabs(value) > 9.0e15)
+        throwError(ErrorCode::invalidArgument,
+                   format("json number %g is not an exact integer", value));
+    return static_cast<int64_t>(value);
+}
+
+const std::string &
+Json::asString() const
+{
+    if (kind_ != Kind::string)
+        throwError(ErrorCode::invalidArgument, "json value is not a string");
+    return string_;
+}
+
+const Json::Array &
+Json::asArray() const
+{
+    if (kind_ != Kind::array)
+        throwError(ErrorCode::invalidArgument, "json value is not an array");
+    return array_;
+}
+
+const Json::Object &
+Json::asObject() const
+{
+    if (kind_ != Kind::object)
+        throwError(ErrorCode::invalidArgument, "json value is not an object");
+    return object_;
+}
+
+const Json &
+Json::at(size_t index) const
+{
+    const auto &items = asArray();
+    if (index >= items.size())
+        throwError(ErrorCode::invalidArgument,
+                   format("json array index %zu out of range (size %zu)",
+                          index, items.size()));
+    return items[index];
+}
+
+const Json &
+Json::at(std::string_view key) const
+{
+    const Json *member = find(key);
+    if (member == nullptr)
+        throwError(ErrorCode::notFound,
+                   format("json object has no member \"%s\"",
+                          std::string(key).c_str()));
+    return *member;
+}
+
+const Json *
+Json::find(std::string_view key) const
+{
+    if (kind_ != Kind::object)
+        return nullptr;
+    for (const auto &[name, value] : object_) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+int64_t
+Json::getInt(std::string_view key, int64_t fallback) const
+{
+    const Json *member = find(key);
+    return member != nullptr ? member->asInt() : fallback;
+}
+
+double
+Json::getDouble(std::string_view key, double fallback) const
+{
+    const Json *member = find(key);
+    return member != nullptr ? member->asDouble() : fallback;
+}
+
+bool
+Json::getBool(std::string_view key, bool fallback) const
+{
+    const Json *member = find(key);
+    return member != nullptr ? member->asBool() : fallback;
+}
+
+std::string
+Json::getString(std::string_view key, const std::string &fallback) const
+{
+    const Json *member = find(key);
+    return member != nullptr ? member->asString() : fallback;
+}
+
+void
+Json::append(Json value)
+{
+    if (kind_ != Kind::array)
+        throwError(ErrorCode::invalidArgument, "append on non-array json");
+    array_.push_back(std::move(value));
+}
+
+void
+Json::set(std::string key, Json value)
+{
+    if (kind_ != Kind::object)
+        throwError(ErrorCode::invalidArgument, "set on non-object json");
+    for (auto &[name, existing] : object_) {
+        if (name == key) {
+            existing = std::move(value);
+            return;
+        }
+    }
+    object_.emplace_back(std::move(key), std::move(value));
+}
+
+size_t
+Json::size() const
+{
+    if (kind_ == Kind::array)
+        return array_.size();
+    if (kind_ == Kind::object)
+        return object_.size();
+    return 0;
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpValue(*this, out, indent, 0);
+    return out;
+}
+
+Json
+Json::parse(std::string_view text)
+{
+    return Parser(text).parseDocument();
+}
+
+bool
+Json::operator==(const Json &other) const
+{
+    if (kind_ != other.kind_)
+        return false;
+    switch (kind_) {
+      case Kind::null: return true;
+      case Kind::boolean: return bool_ == other.bool_;
+      case Kind::number: return number_ == other.number_;
+      case Kind::string: return string_ == other.string_;
+      case Kind::array: return array_ == other.array_;
+      case Kind::object: return object_ == other.object_;
+    }
+    return false;
+}
+
+} // namespace eqasm

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * A small self-contained JSON value model, parser and printer.
+ *
+ * The eQASM toolchain is configured by files (chip topology, quantum
+ * operation sets, device noise parameters — see Section 3.2 of the paper:
+ * "the assembler, the microcode unit, and the pulse generator should be
+ * configured consistently at compile time"). JSON is the configuration
+ * syntax; this header provides the only JSON implementation in the tree
+ * so the library carries no third-party dependencies.
+ *
+ * Supported: null, booleans, numbers (stored as double, with exact
+ * integer access when representable), strings with \uXXXX escapes (BMP
+ * only), arrays, objects (insertion-ordered). Comments are accepted on
+ * input: both // line and /x block x/ forms, since hand-written
+ * configuration benefits from them.
+ */
+#ifndef EQASM_COMMON_JSON_H
+#define EQASM_COMMON_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace eqasm {
+
+/** Discriminated union over the JSON value kinds. */
+class Json
+{
+  public:
+    enum class Kind { null, boolean, number, string, array, object };
+
+    using Array = std::vector<Json>;
+    /// Insertion-ordered list of key/value pairs (duplicate keys rejected
+    /// by the parser; last-write-wins through set()).
+    using Object = std::vector<std::pair<std::string, Json>>;
+
+    /** Constructs null. */
+    Json() = default;
+    Json(std::nullptr_t) : Json() {}
+    Json(bool value) : kind_(Kind::boolean), bool_(value) {}
+    Json(int value) : kind_(Kind::number), number_(value) {}
+    Json(int64_t value) : kind_(Kind::number),
+                          number_(static_cast<double>(value)) {}
+    Json(size_t value) : kind_(Kind::number),
+                         number_(static_cast<double>(value)) {}
+    Json(double value) : kind_(Kind::number), number_(value) {}
+    Json(const char *value) : kind_(Kind::string), string_(value) {}
+    Json(std::string value) : kind_(Kind::string),
+                              string_(std::move(value)) {}
+    Json(Array value) : kind_(Kind::array), array_(std::move(value)) {}
+    Json(Object value) : kind_(Kind::object), object_(std::move(value)) {}
+
+    /** Factory helpers for the composite kinds. */
+    static Json makeArray() { return Json(Array{}); }
+    static Json makeObject() { return Json(Object{}); }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::null; }
+    bool isBool() const { return kind_ == Kind::boolean; }
+    bool isNumber() const { return kind_ == Kind::number; }
+    bool isString() const { return kind_ == Kind::string; }
+    bool isArray() const { return kind_ == Kind::array; }
+    bool isObject() const { return kind_ == Kind::object; }
+
+    /**
+     * Typed accessors. Each throws Error{invalidArgument} when the value
+     * has a different kind, so configuration mistakes surface with a
+     * message instead of UB.
+     */
+    bool asBool() const;
+    double asDouble() const;
+    /** @throws if the number is not integral or out of int64 range. */
+    int64_t asInt() const;
+    const std::string &asString() const;
+    const Array &asArray() const;
+    const Object &asObject() const;
+
+    /** Array element access with bounds checking. */
+    const Json &at(size_t index) const;
+
+    /** Object member access; @throws Error{notFound} if absent. */
+    const Json &at(std::string_view key) const;
+
+    /** @return the member or nullptr if absent / not an object. */
+    const Json *find(std::string_view key) const;
+
+    /** @return member if present, else @p fallback (for scalars). */
+    int64_t getInt(std::string_view key, int64_t fallback) const;
+    double getDouble(std::string_view key, double fallback) const;
+    bool getBool(std::string_view key, bool fallback) const;
+    std::string getString(std::string_view key,
+                          const std::string &fallback) const;
+
+    /** Appends to an array value. @throws unless isArray(). */
+    void append(Json value);
+
+    /** Sets (or replaces) an object member. @throws unless isObject(). */
+    void set(std::string key, Json value);
+
+    /** Number of elements (array) or members (object); 0 otherwise. */
+    size_t size() const;
+
+    /** Serialises compactly (indent < 0) or pretty-printed. */
+    std::string dump(int indent = -1) const;
+
+    /**
+     * Parses a complete JSON document.
+     * @throws Error{parseError} with line/column context on failure.
+     */
+    static Json parse(std::string_view text);
+
+    bool operator==(const Json &other) const;
+
+  private:
+    Kind kind_ = Kind::null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    Array array_;
+    Object object_;
+};
+
+} // namespace eqasm
+
+#endif // EQASM_COMMON_JSON_H

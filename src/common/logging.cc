@@ -1,0 +1,60 @@
+#include "common/logging.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace eqasm {
+namespace {
+
+LogLevel globalLevel = LogLevel::warn;
+
+void
+emit(LogLevel level, const std::string &component, const char *fmt,
+     va_list args)
+{
+    if (static_cast<int>(level) > static_cast<int>(globalLevel))
+        return;
+    const char *tag = "";
+    switch (level) {
+      case LogLevel::error: tag = "ERROR"; break;
+      case LogLevel::warn: tag = "WARN "; break;
+      case LogLevel::info: tag = "INFO "; break;
+      case LogLevel::trace: tag = "TRACE"; break;
+      case LogLevel::none: return;
+    }
+    std::fprintf(stderr, "[%s] %-12s ", tag, component.c_str());
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+#define EQASM_DEFINE_LOG_METHOD(name, level)                                 \
+    void Logger::name(const char *fmt, ...) const                           \
+    {                                                                        \
+        va_list args;                                                        \
+        va_start(args, fmt);                                                 \
+        emit(level, component_, fmt, args);                                  \
+        va_end(args);                                                        \
+    }
+
+EQASM_DEFINE_LOG_METHOD(error, LogLevel::error)
+EQASM_DEFINE_LOG_METHOD(warn, LogLevel::warn)
+EQASM_DEFINE_LOG_METHOD(info, LogLevel::info)
+EQASM_DEFINE_LOG_METHOD(trace, LogLevel::trace)
+
+#undef EQASM_DEFINE_LOG_METHOD
+
+} // namespace eqasm

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal leveled logging for the simulator.
+ *
+ * Logging is off by default (benchmarks must not drown in trace output);
+ * tests and debugging sessions raise the level. A Logger is cheap to copy
+ * and tags every line with its component name, mirroring how hardware
+ * modules of Fig. 9 are identified in the paper.
+ */
+#ifndef EQASM_COMMON_LOGGING_H
+#define EQASM_COMMON_LOGGING_H
+
+#include <string>
+
+namespace eqasm {
+
+enum class LogLevel { none = 0, error = 1, warn = 2, info = 3, trace = 4 };
+
+/** Sets the process-wide log level. */
+void setLogLevel(LogLevel level);
+
+/** @return the process-wide log level. */
+LogLevel logLevel();
+
+/** Component-tagged logger front-end. */
+class Logger
+{
+  public:
+    explicit Logger(std::string component)
+        : component_(std::move(component)) {}
+
+    void error(const char *fmt, ...) const
+        __attribute__((format(printf, 2, 3)));
+    void warn(const char *fmt, ...) const
+        __attribute__((format(printf, 2, 3)));
+    void info(const char *fmt, ...) const
+        __attribute__((format(printf, 2, 3)));
+    void trace(const char *fmt, ...) const
+        __attribute__((format(printf, 2, 3)));
+
+    const std::string &component() const { return component_; }
+
+  private:
+    std::string component_;
+};
+
+} // namespace eqasm
+
+#endif // EQASM_COMMON_LOGGING_H

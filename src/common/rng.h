@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Every stochastic component of the simulator (measurement collapse, noise
+ * channel sampling, workload generation) draws from an explicitly seeded
+ * Rng so that all experiments are bit-for-bit reproducible. The generator
+ * is xoshiro256**, seeded through splitmix64, which is both fast and of
+ * far higher quality than std::minstd and has a well-defined cross-platform
+ * stream (unlike distributions in <random>).
+ */
+#ifndef EQASM_COMMON_RNG_H
+#define EQASM_COMMON_RNG_H
+
+#include <array>
+#include <cstdint>
+
+namespace eqasm {
+
+/** xoshiro256** pseudo random generator with explicit seeding. */
+class Rng
+{
+  public:
+    /** Constructs a generator from a 64-bit seed via splitmix64. */
+    explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL);
+
+    /** @return the next raw 64-bit output. */
+    uint64_t next();
+
+    /** @return a double uniformly distributed in [0, 1). */
+    double uniform();
+
+    /** @return a double uniformly distributed in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** @return an integer uniformly distributed in [0, bound). bound > 0. */
+    uint64_t uniformInt(uint64_t bound);
+
+    /** @return a standard-normal sample (Box-Muller, cached pair). */
+    double normal();
+
+    /** @return true with probability @p p (clamped to [0,1]). */
+    bool bernoulli(double p);
+
+    /** Creates an independent child stream (for per-shot reproducibility). */
+    Rng fork();
+
+  private:
+    std::array<uint64_t, 4> state_;
+    double cachedNormal_ = 0.0;
+    bool hasCachedNormal_ = false;
+};
+
+} // namespace eqasm
+
+#endif // EQASM_COMMON_RNG_H

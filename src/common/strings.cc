@@ -1,0 +1,152 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace eqasm {
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string out;
+    if (needed > 0) {
+        out.resize(static_cast<size_t>(needed) + 1);
+        std::vsnprintf(out.data(), out.size(), fmt, args);
+        out.resize(static_cast<size_t>(needed));
+    }
+    va_end(args);
+    return out;
+}
+
+std::vector<std::string>
+split(std::string_view text, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    for (size_t i = 0; i <= text.size(); ++i) {
+        if (i == text.size() || text[i] == sep) {
+            out.emplace_back(text.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::string_view
+trim(std::string_view text)
+{
+    size_t begin = 0;
+    while (begin < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[begin]))) {
+        ++begin;
+    }
+    size_t end = text.size();
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+        --end;
+    }
+    return text.substr(begin, end - begin);
+}
+
+std::string
+toLower(std::string_view text)
+{
+    std::string out(text);
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+std::string
+toUpper(std::string_view text)
+{
+    std::string out(text);
+    for (char &c : out)
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    return out;
+}
+
+bool
+startsWith(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.substr(0, prefix.size()) == prefix;
+}
+
+std::string
+join(const std::vector<std::string> &parts, std::string_view sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out.append(sep);
+        out.append(parts[i]);
+    }
+    return out;
+}
+
+int64_t
+parseInt(std::string_view text)
+{
+    std::string_view body = trim(text);
+    if (body.empty())
+        throwError(ErrorCode::parseError, "empty integer literal");
+
+    bool negative = false;
+    if (body.front() == '+' || body.front() == '-') {
+        negative = body.front() == '-';
+        body.remove_prefix(1);
+    }
+    if (body.empty())
+        throwError(ErrorCode::parseError, "sign without digits");
+
+    int base = 10;
+    if (body.size() > 2 && body[0] == '0' &&
+        (body[1] == 'x' || body[1] == 'X')) {
+        base = 16;
+        body.remove_prefix(2);
+    } else if (body.size() > 2 && body[0] == '0' &&
+               (body[1] == 'b' || body[1] == 'B')) {
+        base = 2;
+        body.remove_prefix(2);
+    }
+
+    uint64_t magnitude = 0;
+    for (char c : body) {
+        int digit;
+        if (c >= '0' && c <= '9') {
+            digit = c - '0';
+        } else if (c >= 'a' && c <= 'f') {
+            digit = c - 'a' + 10;
+        } else if (c >= 'A' && c <= 'F') {
+            digit = c - 'A' + 10;
+        } else {
+            throwError(ErrorCode::parseError,
+                       format("bad digit '%c' in integer literal", c));
+        }
+        if (digit >= base) {
+            throwError(ErrorCode::parseError,
+                       format("digit '%c' out of range for base %d", c, base));
+        }
+        uint64_t next = magnitude * base + static_cast<uint64_t>(digit);
+        if (next < magnitude || next > (uint64_t{1} << 63)) {
+            throwError(ErrorCode::parseError, "integer literal overflows");
+        }
+        magnitude = next;
+    }
+    if (!negative && magnitude == (uint64_t{1} << 63))
+        throwError(ErrorCode::parseError, "integer literal overflows");
+    return negative ? -static_cast<int64_t>(magnitude)
+                    : static_cast<int64_t>(magnitude);
+}
+
+} // namespace eqasm

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Small string utilities shared by the assembler and configuration code.
+ */
+#ifndef EQASM_COMMON_STRINGS_H
+#define EQASM_COMMON_STRINGS_H
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eqasm {
+
+/** printf-style formatting into std::string. */
+std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Splits @p text on @p sep; empty fields are preserved. */
+std::vector<std::string> split(std::string_view text, char sep);
+
+/** Strips leading and trailing ASCII whitespace. */
+std::string_view trim(std::string_view text);
+
+/** Lower-cases ASCII letters. */
+std::string toLower(std::string_view text);
+
+/** Upper-cases ASCII letters. */
+std::string toUpper(std::string_view text);
+
+/** @return true if @p text starts with @p prefix. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/** Joins @p parts with @p sep. */
+std::string join(const std::vector<std::string> &parts,
+                 std::string_view sep);
+
+/**
+ * Parses a signed integer with optional 0x/0b prefix and +/- sign.
+ * @throws Error{parseError} on malformed input or overflow.
+ */
+int64_t parseInt(std::string_view text);
+
+} // namespace eqasm
+
+#endif // EQASM_COMMON_STRINGS_H

@@ -1,0 +1,80 @@
+#include "common/table.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace eqasm {
+namespace {
+/// Sentinel row content marking a separator line.
+const std::string kSeparator = "\x01--";
+} // namespace
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    EQASM_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    EQASM_ASSERT(cells.size() == headers_.size(),
+                 "row arity does not match header");
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addSeparator()
+{
+    rows_.push_back({kSeparator});
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        if (row.size() == 1 && row[0] == kSeparator)
+            continue;
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (size_t c = 0; c < cells.size(); ++c) {
+            line += "| ";
+            line += cells[c];
+            line.append(widths[c] - cells[c].size() + 1, ' ');
+        }
+        line += "|\n";
+        return line;
+    };
+    auto renderSep = [&]() {
+        std::string line;
+        for (size_t c = 0; c < widths.size(); ++c) {
+            line += "+";
+            line.append(widths[c] + 2, '-');
+        }
+        line += "+\n";
+        return line;
+    };
+
+    std::string out = renderSep();
+    out += renderRow(headers_);
+    out += renderSep();
+    for (const auto &row : rows_) {
+        if (row.size() == 1 && row[0] == kSeparator) {
+            out += renderSep();
+        } else {
+            out += renderRow(row);
+        }
+    }
+    out += renderSep();
+    return out;
+}
+
+} // namespace eqasm

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harnesses.
+ *
+ * Every bench binary regenerating a paper table/figure prints its rows
+ * through this formatter so the output is aligned and diff-able against
+ * EXPERIMENTS.md.
+ */
+#ifndef EQASM_COMMON_TABLE_H
+#define EQASM_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace eqasm {
+
+/** Column-aligned ASCII table builder. */
+class Table
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Appends a data row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: appends a horizontal separator row. */
+    void addSeparator();
+
+    /** Renders the table with single-space-padded column alignment. */
+    std::string render() const;
+
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace eqasm
+
+#endif // EQASM_COMMON_TABLE_H

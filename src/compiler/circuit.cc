@@ -1,0 +1,62 @@
+#include "compiler/circuit.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace eqasm::compiler {
+
+double
+Circuit::twoQubitFraction() const
+{
+    if (gates.empty())
+        return 0.0;
+    size_t two = 0;
+    for (const Gate &gate : gates) {
+        if (gate.qubits.size() == 2)
+            ++two;
+    }
+    return static_cast<double>(two) / static_cast<double>(gates.size());
+}
+
+void
+Circuit::validate(const isa::OperationSet &operations) const
+{
+    for (const Gate &gate : gates) {
+        const isa::OperationInfo *info = operations.findByName(gate.op);
+        if (info == nullptr) {
+            throwError(ErrorCode::semanticError,
+                       format("gate '%s' is not a configured operation",
+                              gate.op.c_str()));
+        }
+        size_t expected_arity =
+            info->opClass == isa::OpClass::twoQubit ? 2 : 1;
+        if (gate.qubits.size() != expected_arity) {
+            throwError(ErrorCode::semanticError,
+                       format("gate '%s' expects %zu operand(s), got %zu",
+                              gate.op.c_str(), expected_arity,
+                              gate.qubits.size()));
+        }
+        for (int qubit : gate.qubits) {
+            if (qubit < 0 || qubit >= numQubits) {
+                throwError(ErrorCode::semanticError,
+                           format("gate '%s' addresses qubit %d outside "
+                                  "[0, %d)",
+                                  gate.op.c_str(), qubit, numQubits));
+            }
+        }
+    }
+}
+
+uint64_t
+TimedCircuit::makespan() const
+{
+    uint64_t end = 0;
+    for (const TimedGate &timed : gates) {
+        end = std::max(end, timed.startCycle +
+                                static_cast<uint64_t>(
+                                    timed.durationCycles));
+    }
+    return end;
+}
+
+} // namespace eqasm::compiler

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Circuit intermediate representation used by the compiler backend.
+ *
+ * A Circuit is the hardware-independent "QASM-level" product of the
+ * first compilation step in the paper's Fig. 1 flow; the second step
+ * (scheduling + eQASM code generation) is implemented by schedule.h and
+ * codegen.h. Gates reference quantum operations by their configured
+ * mnemonic so that the same circuit can be lowered against different
+ * operation sets.
+ */
+#ifndef EQASM_COMPILER_CIRCUIT_H
+#define EQASM_COMPILER_CIRCUIT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/operation_set.h"
+
+namespace eqasm::compiler {
+
+/** One gate in the IR: an operation name applied to 1 or 2 qubits. */
+struct Gate {
+    std::string op;
+    std::vector<int> qubits;
+
+    Gate() = default;
+    Gate(std::string op_name, int qubit)
+        : op(std::move(op_name)), qubits{qubit} {}
+    Gate(std::string op_name, int qubit0, int qubit1)
+        : op(std::move(op_name)), qubits{qubit0, qubit1} {}
+};
+
+/** A hardware-independent gate list. */
+struct Circuit {
+    int numQubits = 0;
+    std::vector<Gate> gates;
+
+    void add(Gate gate) { gates.push_back(std::move(gate)); }
+    void add1(std::string op, int qubit)
+    {
+        gates.emplace_back(std::move(op), qubit);
+    }
+    void add2(std::string op, int qubit0, int qubit1)
+    {
+        gates.emplace_back(std::move(op), qubit0, qubit1);
+    }
+
+    /** Fraction of gates acting on two qubits. */
+    double twoQubitFraction() const;
+
+    /** Sanity checks: known ops, valid arity, in-range qubits.
+     *  @throws Error{semanticError} on the first violation. */
+    void validate(const isa::OperationSet &operations) const;
+};
+
+/** A gate with an assigned start cycle. */
+struct TimedGate {
+    uint64_t startCycle = 0;
+    int durationCycles = 1;
+    Gate gate;
+};
+
+/** A scheduled circuit: gates sorted by (startCycle, qubit). */
+struct TimedCircuit {
+    int numQubits = 0;
+    std::vector<TimedGate> gates;
+
+    /** Total schedule length in cycles. */
+    uint64_t makespan() const;
+};
+
+} // namespace eqasm::compiler
+
+#endif // EQASM_COMPILER_CIRCUIT_H

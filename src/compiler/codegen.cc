@@ -1,0 +1,294 @@
+#include "compiler/codegen.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace eqasm::compiler {
+
+namespace {
+
+/** One timing point: the gates starting at a common cycle. */
+struct TimingPoint {
+    uint64_t cycle = 0;
+    std::vector<const TimedGate *> gates;
+};
+
+std::vector<TimingPoint>
+groupByStartCycle(const TimedCircuit &circuit)
+{
+    std::map<uint64_t, TimingPoint> points;
+    for (const TimedGate &timed : circuit.gates) {
+        TimingPoint &point = points[timed.startCycle];
+        point.cycle = timed.startCycle;
+        point.gates.push_back(&timed);
+    }
+    std::vector<TimingPoint> out;
+    out.reserve(points.size());
+    for (auto &[cycle, point] : points)
+        out.push_back(std::move(point));
+    return out;
+}
+
+/**
+ * Number of quantum-operation slots a timing point occupies. With SOMQ
+ * all same-named gates merge into one slot (one target register holds
+ * the whole qubit/pair list); without it every gate is its own slot.
+ */
+uint64_t
+slotsAtPoint(const TimingPoint &point, bool somq)
+{
+    if (!somq)
+        return point.gates.size();
+    std::vector<std::string> names;
+    for (const TimedGate *timed : point.gates) {
+        if (std::find(names.begin(), names.end(), timed->gate.op) ==
+            names.end()) {
+            names.push_back(timed->gate.op);
+        }
+    }
+    return names.size();
+}
+
+uint64_t
+ceilDiv(uint64_t value, uint64_t divisor)
+{
+    return (value + divisor - 1) / divisor;
+}
+
+} // namespace
+
+CodegenStats
+countInstructions(const TimedCircuit &circuit,
+                  const CodegenOptions &options)
+{
+    if (options.vliwWidth < 1) {
+        throwError(ErrorCode::invalidArgument,
+                   "VLIW width must be at least 1");
+    }
+    if (options.timing == TimingMethod::ts2 && options.vliwWidth < 2) {
+        // Section 4.2: "A minimum w of 2 is required by ts2 to
+        // distinguish it from ts1."
+        throwError(ErrorCode::invalidArgument,
+                   "ts2 requires a VLIW width of at least 2");
+    }
+
+    CodegenStats stats;
+    auto w = static_cast<uint64_t>(options.vliwWidth);
+    uint64_t previous_cycle = 0;
+    bool first = true;
+
+    for (const TimingPoint &point : groupByStartCycle(circuit)) {
+        uint64_t interval = first ? point.cycle
+                                  : point.cycle - previous_cycle;
+        first = false;
+        previous_cycle = point.cycle;
+        uint64_t slots = slotsAtPoint(point, options.somq);
+        stats.operationSlots += slots;
+        ++stats.timingPoints;
+
+        switch (options.timing) {
+          case TimingMethod::ts1:
+            // Every timing point is specified by its own QWAIT; bundles
+            // carry operations only.
+            if (interval > 0)
+                ++stats.qwaitInstructions;
+            stats.bundleInstructions += ceilDiv(slots, w);
+            break;
+          case TimingMethod::ts2: {
+            // The wait occupies one VLIW slot of the point's bundle.
+            uint64_t effective = slots + (interval > 0 ? 1 : 0);
+            stats.bundleInstructions += ceilDiv(effective, w);
+            break;
+          }
+          case TimingMethod::ts3:
+            // Short intervals ride in the PI field; longer ones need a
+            // separate QWAIT ahead of the bundle.
+            if (interval > static_cast<uint64_t>(options.maxPreInterval()))
+                ++stats.qwaitInstructions;
+            stats.bundleInstructions += ceilDiv(slots, w);
+            break;
+        }
+    }
+    stats.totalInstructions =
+        stats.bundleInstructions + stats.qwaitInstructions;
+    return stats;
+}
+
+namespace {
+
+/**
+ * Round-robin allocator for S/T target registers. Registers hold the
+ * mask they were last set to; reusing an existing assignment avoids an
+ * SMIS/SMIT instruction (the registers survive across bundles because
+ * the generated program is straight-line).
+ */
+class RegisterAllocator
+{
+  public:
+    RegisterAllocator(char prefix, int count)
+        : prefix_(prefix), count_(count)
+    {
+    }
+
+    /**
+     * @return the register index holding @p key, emitting a setup line
+     * into @p out when a (re)assignment is needed. Registers in
+     * @p locked (already referenced by the current bundle) are never
+     * evicted — reassigning one before its bundle executes would
+     * corrupt the earlier slot's target list.
+     */
+    int
+    acquire(const std::string &key, const std::string &setup_operand,
+            std::string &out, const std::set<int> &locked)
+    {
+        auto it = assignment_.find(key);
+        if (it != assignment_.end())
+            return it->second;
+        EQASM_ASSERT(static_cast<int>(locked.size()) < count_,
+                     "one bundle references every target register");
+        while (locked.count(nextVictim_))
+            nextVictim_ = (nextVictim_ + 1) % count_;
+        int reg = nextVictim_;
+        nextVictim_ = (nextVictim_ + 1) % count_;
+        // Drop whatever key previously owned this register.
+        for (auto iter = assignment_.begin(); iter != assignment_.end();
+             ++iter) {
+            if (iter->second == reg) {
+                assignment_.erase(iter);
+                break;
+            }
+        }
+        assignment_[key] = reg;
+        out += format("SMI%c %c%d, %s\n", prefix_ == 'S' ? 'S' : 'T',
+                      prefix_, reg, setup_operand.c_str());
+        return reg;
+    }
+
+  private:
+    char prefix_;
+    int count_;
+    int nextVictim_ = 0;
+    std::map<std::string, int> assignment_;
+};
+
+} // namespace
+
+std::string
+generateProgram(const TimedCircuit &circuit,
+                const isa::OperationSet &operations,
+                const chip::Topology &topology,
+                const ProgramOptions &options)
+{
+    std::string out;
+    out += format("# generated eQASM program: %d qubits, %zu gates\n",
+                  circuit.numQubits, circuit.gates.size());
+    if (options.initWaitCycles > 0) {
+        out += format("QWAIT %llu\n", static_cast<unsigned long long>(
+                                          options.initWaitCycles));
+    }
+
+    RegisterAllocator sregs('S', 32);
+    RegisterAllocator tregs('T', 32);
+    uint64_t previous_cycle = 0;
+    bool first = true;
+
+    for (const TimingPoint &point : groupByStartCycle(circuit)) {
+        uint64_t interval = first ? point.cycle
+                                  : point.cycle - previous_cycle;
+        first = false;
+        previous_cycle = point.cycle;
+
+        // SOMQ merge: same-named gates share one operation slot whose
+        // target register holds all qubits / pairs.
+        std::vector<std::string> order;
+        std::map<std::string, std::vector<const TimedGate *>> merged;
+        for (const TimedGate *timed : point.gates) {
+            if (!merged.count(timed->gate.op))
+                order.push_back(timed->gate.op);
+            merged[timed->gate.op].push_back(timed);
+        }
+
+        std::string bundle;
+        std::string setup;
+        std::set<int> locked_s;
+        std::set<int> locked_t;
+        for (const std::string &name : order) {
+            const isa::OperationInfo &info = operations.byName(name);
+            std::string slot = info.name;
+            if (info.opClass == isa::OpClass::twoQubit) {
+                std::string key = name;
+                std::string operand = "{";
+                bool first_pair = true;
+                for (const TimedGate *timed : merged[name]) {
+                    int source = timed->gate.qubits[0];
+                    int target = timed->gate.qubits[1];
+                    if (!topology.edgeIndex(source, target)) {
+                        throwError(
+                            ErrorCode::semanticError,
+                            format("(%d, %d) is not an allowed qubit "
+                                   "pair on chip '%s'",
+                                   source, target,
+                                   topology.name().c_str()));
+                    }
+                    if (!first_pair)
+                        operand += ", ";
+                    operand += format("(%d, %d)", source, target);
+                    key += format("|%d,%d", source, target);
+                    first_pair = false;
+                }
+                operand += "}";
+                int reg = tregs.acquire(key, operand, setup,
+                                        locked_t);
+                locked_t.insert(reg);
+                slot += format(" T%d", reg);
+            } else if (info.opClass != isa::OpClass::qnop) {
+                std::string key = name;
+                std::string operand = "{";
+                bool first_qubit = true;
+                std::vector<int> qubits;
+                for (const TimedGate *timed : merged[name])
+                    qubits.push_back(timed->gate.qubits[0]);
+                std::sort(qubits.begin(), qubits.end());
+                for (int qubit : qubits) {
+                    if (!first_qubit)
+                        operand += ", ";
+                    operand += format("%d", qubit);
+                    key += format("|%d", qubit);
+                    first_qubit = false;
+                }
+                operand += "}";
+                int reg = sregs.acquire(key, operand, setup,
+                                        locked_s);
+                locked_s.insert(reg);
+                slot += format(" S%d", reg);
+            }
+            if (!bundle.empty())
+                bundle += " | ";
+            bundle += slot;
+        }
+
+        // Timing: PI when the interval fits, QWAIT + PI 0 otherwise.
+        uint64_t pre_interval = interval;
+        if (interval > static_cast<uint64_t>(options.maxPreInterval)) {
+            out += setup;
+            out += format("QWAIT %llu\n",
+                          static_cast<unsigned long long>(interval));
+            pre_interval = 0;
+        } else {
+            out += setup;
+        }
+        out += format("%llu, %s\n",
+                      static_cast<unsigned long long>(pre_interval),
+                      bundle.c_str());
+    }
+
+    if (options.emitStop)
+        out += "STOP\n";
+    return out;
+}
+
+} // namespace eqasm::compiler

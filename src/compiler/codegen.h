@@ -1,0 +1,98 @@
+/**
+ * @file
+ * eQASM code generation and the Fig. 7 design-space instruction model.
+ *
+ * Two consumers share the grouping of a scheduled circuit into timing
+ * points:
+ *
+ *  - countInstructions() is the analytical model behind the paper's
+ *    instantiation design-space exploration (Section 4.2 / Fig. 7). It
+ *    counts the eQASM instructions a circuit needs under a given
+ *    configuration of (timing-specification method, PI field width,
+ *    SOMQ, VLIW width). Like the paper's analysis it assumes the
+ *    quantum operation target registers "can always provide the
+ *    required qubit (pair) list", i.e. SMIS/SMIT setup is excluded.
+ *
+ *  - generateProgram() emits executable eQASM assembly for the Config-9
+ *    instantiation (ts3, wPI = 3, SOMQ), including target-register
+ *    allocation, the initial 200 us initialisation wait, measurement
+ *    and STOP — the code path used to run workloads on the simulated
+ *    processor.
+ */
+#ifndef EQASM_COMPILER_CODEGEN_H
+#define EQASM_COMPILER_CODEGEN_H
+
+#include <cstdint>
+#include <string>
+
+#include "chip/topology.h"
+#include "compiler/circuit.h"
+#include "isa/operation_set.h"
+
+namespace eqasm::compiler {
+
+/** The three timing-specification methods compared in Section 4.2. */
+enum class TimingMethod {
+    ts1,  ///< every timing point via a separate QWAIT (QuMIS fashion).
+    ts2,  ///< QWAIT may occupy a VLIW slot inside a bundle instruction.
+    ts3,  ///< short waits in the PI field, long waits via QWAIT.
+};
+
+/** One architecture configuration of the Fig. 7 design space. */
+struct CodegenOptions {
+    TimingMethod timing = TimingMethod::ts3;
+    int preIntervalWidth = 3;  ///< wPI (ts3 only).
+    bool somq = true;          ///< single-operation-multiple-qubit.
+    int vliwWidth = 2;         ///< quantum operations per instruction.
+
+    int maxPreInterval() const { return (1 << preIntervalWidth) - 1; }
+};
+
+/** Instruction-count statistics under a CodegenOptions configuration. */
+struct CodegenStats {
+    uint64_t totalInstructions = 0;   ///< bundles + waits.
+    uint64_t bundleInstructions = 0;
+    uint64_t qwaitInstructions = 0;
+    uint64_t operationSlots = 0;      ///< op slots after SOMQ merging.
+    uint64_t timingPoints = 0;
+
+    /** Effective quantum operations per bundle instruction (the
+     *  Section 4.2 occupancy metric for Config 9). */
+    double opsPerBundle() const
+    {
+        return bundleInstructions == 0
+                   ? 0.0
+                   : static_cast<double>(operationSlots) /
+                         static_cast<double>(bundleInstructions);
+    }
+};
+
+/** Counts instructions for @p circuit under @p options (see above). */
+CodegenStats countInstructions(const TimedCircuit &circuit,
+                               const CodegenOptions &options);
+
+/** Options for executable code generation. */
+struct ProgramOptions {
+    /** Initialisation wait before the first operation; the paper's
+     *  programs idle 200 us = 10000 cycles (Fig. 3/4). */
+    uint64_t initWaitCycles = 10000;
+    /** Largest value representable in the PI field (wPI = 3). */
+    int maxPreInterval = 7;
+    bool emitStop = true;
+};
+
+/**
+ * Emits executable eQASM assembly for the scheduled circuit, using
+ * SOMQ merging and allocating S/T target registers on demand.
+ *
+ * @throws Error on a two-qubit gate whose operand pair is not an
+ *         allowed qubit pair of @p topology.
+ */
+std::string generateProgram(const TimedCircuit &circuit,
+                            const isa::OperationSet &operations,
+                            const chip::Topology &topology,
+                            const ProgramOptions &options = {});
+
+} // namespace eqasm::compiler
+
+#endif // EQASM_COMPILER_CODEGEN_H

@@ -1,0 +1,39 @@
+#include "compiler/schedule.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace eqasm::compiler {
+
+TimedCircuit
+scheduleAsap(const Circuit &circuit, const isa::OperationSet &operations)
+{
+    circuit.validate(operations);
+    TimedCircuit timed;
+    timed.numQubits = circuit.numQubits;
+    std::vector<uint64_t> busy_until(
+        static_cast<size_t>(circuit.numQubits), 0);
+
+    for (const Gate &gate : circuit.gates) {
+        const isa::OperationInfo &info = operations.byName(gate.op);
+        uint64_t start = 0;
+        for (int qubit : gate.qubits) {
+            start = std::max(start, busy_until[static_cast<size_t>(qubit)]);
+        }
+        int duration = std::max(1, info.durationCycles);
+        for (int qubit : gate.qubits) {
+            busy_until[static_cast<size_t>(qubit)] =
+                start + static_cast<uint64_t>(duration);
+        }
+        timed.gates.push_back({start, duration, gate});
+    }
+
+    std::stable_sort(timed.gates.begin(), timed.gates.end(),
+                     [](const TimedGate &lhs, const TimedGate &rhs) {
+                         return lhs.startCycle < rhs.startCycle;
+                     });
+    return timed;
+}
+
+} // namespace eqasm::compiler

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * ASAP scheduling of circuits onto the cycle grid.
+ *
+ * The scheduler performs the timing half of the paper's second
+ * compilation step: every gate starts as soon as all its operand qubits
+ * are free, with durations taken from the configured operation set
+ * (1 cycle for single-qubit gates, 2 for CZ, 15 for measurement in the
+ * Section 4.2 analysis). The result is the input both to the Fig. 7
+ * instruction-count study and to executable code generation.
+ */
+#ifndef EQASM_COMPILER_SCHEDULE_H
+#define EQASM_COMPILER_SCHEDULE_H
+
+#include "compiler/circuit.h"
+#include "isa/operation_set.h"
+
+namespace eqasm::compiler {
+
+/**
+ * Schedules @p circuit as-soon-as-possible in program order: a gate
+ * starts at the max busy-until time of its operands.
+ * @throws Error{semanticError} when the circuit fails validation.
+ */
+TimedCircuit scheduleAsap(const Circuit &circuit,
+                          const isa::OperationSet &operations);
+
+} // namespace eqasm::compiler
+
+#endif // EQASM_COMPILER_SCHEDULE_H

@@ -1,0 +1,340 @@
+#include "isa/encoding.h"
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace eqasm::isa {
+namespace {
+
+/// Bit positions shared by all single-format instructions.
+constexpr unsigned kOpcodeHi = 30;
+constexpr unsigned kOpcodeLo = 25;
+
+void
+checkRegister(int reg, int count, const char *what)
+{
+    if (reg < 0 || reg >= count) {
+        throwError(ErrorCode::encodeError,
+                   format("%s address %d out of range [0, %d)", what, reg,
+                          count));
+    }
+}
+
+void
+checkUnsignedField(uint64_t value, unsigned width, const char *what)
+{
+    if (!fitsUnsigned(value, width)) {
+        throwError(ErrorCode::encodeError,
+                   format("%s value %llu does not fit in %u bits", what,
+                          static_cast<unsigned long long>(value), width));
+    }
+}
+
+void
+checkSignedField(int64_t value, unsigned width, const char *what)
+{
+    if (!fitsSigned(value, width)) {
+        throwError(ErrorCode::encodeError,
+                   format("%s value %lld does not fit in %u signed bits",
+                          what, static_cast<long long>(value), width));
+    }
+}
+
+uint32_t
+encodeBundle(const Instruction &instr, const InstantiationParams &params)
+{
+    if (static_cast<int>(instr.operations.size()) > params.vliwWidth) {
+        throwError(ErrorCode::encodeError,
+                   format("bundle with %zu operations exceeds VLIW width "
+                          "%d (assembler must split bundles first)",
+                          instr.operations.size(), params.vliwWidth));
+    }
+    checkUnsignedField(static_cast<uint64_t>(instr.preInterval),
+                       static_cast<unsigned>(params.preIntervalWidth), "PI");
+    uint64_t word = 0;
+    word = insertBits(word, 31, 31, 1);
+    word = insertBits(word, 2, 0, static_cast<uint64_t>(instr.preInterval));
+    // Slot 0 occupies [30:17], slot 1 occupies [16:3].
+    const unsigned slot_hi[2] = {30, 16};
+    for (size_t slot = 0; slot < 2; ++slot) {
+        QuantumOperation op; // defaults to QNOP
+        if (slot < instr.operations.size())
+            op = instr.operations[slot];
+        checkUnsignedField(static_cast<uint64_t>(op.opcode),
+                           static_cast<unsigned>(params.qOpcodeWidth),
+                           "q opcode");
+        checkRegister(op.targetReg, params.numSRegisters,
+                      "bundle target register");
+        unsigned hi = slot_hi[slot];
+        word = insertBits(word, hi, hi - 8,
+                          static_cast<uint64_t>(op.opcode));
+        word = insertBits(word, hi - 9, hi - 13,
+                          static_cast<uint64_t>(op.targetReg));
+    }
+    return static_cast<uint32_t>(word);
+}
+
+} // namespace
+
+uint32_t
+encode(const Instruction &instr, const InstantiationParams &params)
+{
+    if (instr.kind == InstrKind::bundle)
+        return encodeBundle(instr, params);
+
+    uint64_t word = 0;
+    word = insertBits(word, kOpcodeHi, kOpcodeLo,
+                      opcodeForInstrKind(instr.kind));
+    switch (instr.kind) {
+      case InstrKind::nop:
+      case InstrKind::stop:
+        break;
+      case InstrKind::cmp:
+        checkRegister(instr.rs, params.numGprs, "GPR");
+        checkRegister(instr.rt, params.numGprs, "GPR");
+        word = insertBits(word, 24, 20, static_cast<uint64_t>(instr.rs));
+        word = insertBits(word, 19, 15, static_cast<uint64_t>(instr.rt));
+        break;
+      case InstrKind::br:
+        checkSignedField(instr.imm,
+                         static_cast<unsigned>(params.branchOffsetWidth),
+                         "branch offset");
+        word = insertBits(word, 24, 21,
+                          static_cast<uint64_t>(instr.cond));
+        word = insertBits(word, 20, 0,
+                          static_cast<uint64_t>(instr.imm) &
+                              bitMask(20, 0));
+        break;
+      case InstrKind::fbr:
+        checkRegister(instr.rd, params.numGprs, "GPR");
+        word = insertBits(word, 24, 21,
+                          static_cast<uint64_t>(instr.cond));
+        word = insertBits(word, 20, 16, static_cast<uint64_t>(instr.rd));
+        break;
+      case InstrKind::ldi:
+        checkRegister(instr.rd, params.numGprs, "GPR");
+        checkSignedField(instr.imm,
+                         static_cast<unsigned>(params.ldiImmWidth),
+                         "LDI immediate");
+        word = insertBits(word, 24, 20, static_cast<uint64_t>(instr.rd));
+        word = insertBits(word, 19, 0,
+                          static_cast<uint64_t>(instr.imm) &
+                              bitMask(19, 0));
+        break;
+      case InstrKind::ldui:
+        checkRegister(instr.rd, params.numGprs, "GPR");
+        checkRegister(instr.rs, params.numGprs, "GPR");
+        checkUnsignedField(static_cast<uint64_t>(instr.imm),
+                           static_cast<unsigned>(params.lduiImmWidth),
+                           "LDUI immediate");
+        word = insertBits(word, 24, 20, static_cast<uint64_t>(instr.rd));
+        word = insertBits(word, 19, 15, static_cast<uint64_t>(instr.rs));
+        word = insertBits(word, 14, 0, static_cast<uint64_t>(instr.imm));
+        break;
+      case InstrKind::ld:
+      case InstrKind::st: {
+        int data_reg = instr.kind == InstrKind::ld ? instr.rd : instr.rs;
+        checkRegister(data_reg, params.numGprs, "GPR");
+        checkRegister(instr.rt, params.numGprs, "GPR");
+        checkSignedField(instr.imm,
+                         static_cast<unsigned>(params.memOffsetWidth),
+                         "memory offset");
+        word = insertBits(word, 24, 20, static_cast<uint64_t>(data_reg));
+        word = insertBits(word, 19, 15, static_cast<uint64_t>(instr.rt));
+        word = insertBits(word, 14, 0,
+                          static_cast<uint64_t>(instr.imm) &
+                              bitMask(14, 0));
+        break;
+      }
+      case InstrKind::fmr:
+        checkRegister(instr.rd, params.numGprs, "GPR");
+        checkUnsignedField(static_cast<uint64_t>(instr.qubit), 5,
+                           "qubit address");
+        word = insertBits(word, 24, 20, static_cast<uint64_t>(instr.rd));
+        word = insertBits(word, 19, 15,
+                          static_cast<uint64_t>(instr.qubit));
+        break;
+      case InstrKind::logicAnd:
+      case InstrKind::logicOr:
+      case InstrKind::logicXor:
+      case InstrKind::add:
+      case InstrKind::sub:
+        checkRegister(instr.rd, params.numGprs, "GPR");
+        checkRegister(instr.rs, params.numGprs, "GPR");
+        checkRegister(instr.rt, params.numGprs, "GPR");
+        word = insertBits(word, 24, 20, static_cast<uint64_t>(instr.rd));
+        word = insertBits(word, 19, 15, static_cast<uint64_t>(instr.rs));
+        word = insertBits(word, 14, 10, static_cast<uint64_t>(instr.rt));
+        break;
+      case InstrKind::logicNot:
+        checkRegister(instr.rd, params.numGprs, "GPR");
+        checkRegister(instr.rt, params.numGprs, "GPR");
+        word = insertBits(word, 24, 20, static_cast<uint64_t>(instr.rd));
+        word = insertBits(word, 14, 10, static_cast<uint64_t>(instr.rt));
+        break;
+      case InstrKind::qwait:
+        checkUnsignedField(static_cast<uint64_t>(instr.imm),
+                           static_cast<unsigned>(params.qwaitImmWidth),
+                           "QWAIT immediate");
+        word = insertBits(word, 19, 0, static_cast<uint64_t>(instr.imm));
+        break;
+      case InstrKind::qwaitr:
+        checkRegister(instr.rs, params.numGprs, "GPR");
+        word = insertBits(word, 19, 15, static_cast<uint64_t>(instr.rs));
+        break;
+      case InstrKind::smis:
+        checkRegister(instr.targetReg, params.numSRegisters, "S register");
+        checkUnsignedField(instr.mask,
+                           static_cast<unsigned>(params.sMaskWidth),
+                           "qubit mask");
+        word = insertBits(word, 24, 20,
+                          static_cast<uint64_t>(instr.targetReg));
+        word = insertBits(word, 6, 0, instr.mask);
+        break;
+      case InstrKind::smit:
+        checkRegister(instr.targetReg, params.numTRegisters, "T register");
+        checkUnsignedField(instr.mask,
+                           static_cast<unsigned>(params.tMaskWidth),
+                           "qubit pair mask");
+        word = insertBits(word, 24, 20,
+                          static_cast<uint64_t>(instr.targetReg));
+        word = insertBits(word, 15, 0, instr.mask);
+        break;
+      case InstrKind::bundle:
+        EQASM_ASSERT(false, "unreachable");
+    }
+    return static_cast<uint32_t>(word);
+}
+
+std::vector<uint32_t>
+encodeProgram(const std::vector<Instruction> &program,
+              const InstantiationParams &params)
+{
+    std::vector<uint32_t> image;
+    image.reserve(program.size());
+    for (const Instruction &instr : program)
+        image.push_back(encode(instr, params));
+    return image;
+}
+
+Instruction
+decode(uint32_t word, const InstantiationParams &params,
+       const OperationSet &ops)
+{
+    Instruction instr;
+    if (bit(word, 31)) {
+        instr.kind = InstrKind::bundle;
+        instr.preInterval = static_cast<int>(bits(word, 2, 0));
+        const unsigned slot_hi[2] = {30, 16};
+        for (unsigned hi : slot_hi) {
+            int opcode = static_cast<int>(bits(word, hi, hi - 8));
+            int reg = static_cast<int>(bits(word, hi - 9, hi - 13));
+            const OperationInfo *info = ops.findByOpcode(opcode);
+            if (info == nullptr) {
+                throwError(ErrorCode::parseError,
+                           format("q opcode %d is not configured", opcode));
+            }
+            QuantumOperation op;
+            op.name = info->name;
+            op.opcode = opcode;
+            op.opClass = info->opClass;
+            op.targetKind = targetKindForClass(info->opClass);
+            op.targetReg = reg;
+            instr.operations.push_back(std::move(op));
+        }
+        return instr;
+    }
+
+    auto opcode = static_cast<uint8_t>(bits(word, kOpcodeHi, kOpcodeLo));
+    auto kind = instrKindForOpcode(opcode);
+    if (!kind) {
+        throwError(ErrorCode::parseError,
+                   format("unknown opcode 0x%02x", opcode));
+    }
+    instr.kind = *kind;
+    switch (instr.kind) {
+      case InstrKind::nop:
+      case InstrKind::stop:
+        break;
+      case InstrKind::cmp:
+        instr.rs = static_cast<int>(bits(word, 24, 20));
+        instr.rt = static_cast<int>(bits(word, 19, 15));
+        break;
+      case InstrKind::br:
+        instr.cond = static_cast<CondFlag>(bits(word, 24, 21));
+        instr.imm = signExtend(bits(word, 20, 0), 21);
+        break;
+      case InstrKind::fbr:
+        instr.cond = static_cast<CondFlag>(bits(word, 24, 21));
+        instr.rd = static_cast<int>(bits(word, 20, 16));
+        break;
+      case InstrKind::ldi:
+        instr.rd = static_cast<int>(bits(word, 24, 20));
+        instr.imm = signExtend(bits(word, 19, 0), 20);
+        break;
+      case InstrKind::ldui:
+        instr.rd = static_cast<int>(bits(word, 24, 20));
+        instr.rs = static_cast<int>(bits(word, 19, 15));
+        instr.imm = static_cast<int64_t>(bits(word, 14, 0));
+        break;
+      case InstrKind::ld:
+        instr.rd = static_cast<int>(bits(word, 24, 20));
+        instr.rt = static_cast<int>(bits(word, 19, 15));
+        instr.imm = signExtend(bits(word, 14, 0), 15);
+        break;
+      case InstrKind::st:
+        instr.rs = static_cast<int>(bits(word, 24, 20));
+        instr.rt = static_cast<int>(bits(word, 19, 15));
+        instr.imm = signExtend(bits(word, 14, 0), 15);
+        break;
+      case InstrKind::fmr:
+        instr.rd = static_cast<int>(bits(word, 24, 20));
+        instr.qubit = static_cast<int>(bits(word, 19, 15));
+        break;
+      case InstrKind::logicAnd:
+      case InstrKind::logicOr:
+      case InstrKind::logicXor:
+      case InstrKind::add:
+      case InstrKind::sub:
+        instr.rd = static_cast<int>(bits(word, 24, 20));
+        instr.rs = static_cast<int>(bits(word, 19, 15));
+        instr.rt = static_cast<int>(bits(word, 14, 10));
+        break;
+      case InstrKind::logicNot:
+        instr.rd = static_cast<int>(bits(word, 24, 20));
+        instr.rt = static_cast<int>(bits(word, 14, 10));
+        break;
+      case InstrKind::qwait:
+        instr.imm = static_cast<int64_t>(bits(word, 19, 0));
+        break;
+      case InstrKind::qwaitr:
+        instr.rs = static_cast<int>(bits(word, 19, 15));
+        break;
+      case InstrKind::smis:
+        instr.targetReg = static_cast<int>(bits(word, 24, 20));
+        instr.mask = bits(word, 6, 0);
+        break;
+      case InstrKind::smit:
+        instr.targetReg = static_cast<int>(bits(word, 24, 20));
+        instr.mask = bits(word, 15, 0);
+        break;
+      case InstrKind::bundle:
+        EQASM_ASSERT(false, "unreachable");
+    }
+    (void)params;
+    return instr;
+}
+
+std::vector<Instruction>
+decodeProgram(const std::vector<uint32_t> &image,
+              const InstantiationParams &params, const OperationSet &ops)
+{
+    std::vector<Instruction> program;
+    program.reserve(image.size());
+    for (uint32_t word : image)
+        program.push_back(decode(word, params, ops));
+    return program;
+}
+
+} // namespace eqasm::isa

@@ -1,0 +1,200 @@
+#include "isa/instruction.h"
+
+#include "common/bits.h"
+#include "common/strings.h"
+
+namespace eqasm::isa {
+
+QuantumOperation::TargetKind
+targetKindForClass(OpClass op_class)
+{
+    switch (op_class) {
+      case OpClass::qnop:
+        return QuantumOperation::TargetKind::none;
+      case OpClass::singleQubit:
+      case OpClass::measurement:
+        return QuantumOperation::TargetKind::sreg;
+      case OpClass::twoQubit:
+        return QuantumOperation::TargetKind::treg;
+    }
+    return QuantumOperation::TargetKind::none;
+}
+
+Instruction
+Instruction::makeNop()
+{
+    return Instruction{};
+}
+
+Instruction
+Instruction::makeStop()
+{
+    Instruction instr;
+    instr.kind = InstrKind::stop;
+    return instr;
+}
+
+Instruction
+Instruction::makeLdi(int rd, int64_t imm)
+{
+    Instruction instr;
+    instr.kind = InstrKind::ldi;
+    instr.rd = rd;
+    instr.imm = imm;
+    return instr;
+}
+
+Instruction
+Instruction::makeQwait(int64_t cycles)
+{
+    Instruction instr;
+    instr.kind = InstrKind::qwait;
+    instr.imm = cycles;
+    return instr;
+}
+
+Instruction
+Instruction::makeQwaitr(int rs)
+{
+    Instruction instr;
+    instr.kind = InstrKind::qwaitr;
+    instr.rs = rs;
+    return instr;
+}
+
+Instruction
+Instruction::makeSmis(int sd, uint64_t qubit_mask)
+{
+    Instruction instr;
+    instr.kind = InstrKind::smis;
+    instr.targetReg = sd;
+    instr.mask = qubit_mask;
+    return instr;
+}
+
+Instruction
+Instruction::makeSmit(int td, uint64_t edge_mask)
+{
+    Instruction instr;
+    instr.kind = InstrKind::smit;
+    instr.targetReg = td;
+    instr.mask = edge_mask;
+    return instr;
+}
+
+Instruction
+Instruction::makeBundle(int pre_interval, std::vector<QuantumOperation> ops)
+{
+    Instruction instr;
+    instr.kind = InstrKind::bundle;
+    instr.preInterval = pre_interval;
+    instr.operations = std::move(ops);
+    return instr;
+}
+
+namespace {
+
+std::string
+maskToList(uint64_t mask)
+{
+    std::string out = "{";
+    bool first = true;
+    for (unsigned i = 0; i < 64; ++i) {
+        if (bit(mask, i)) {
+            if (!first)
+                out += ", ";
+            out += format("%u", i);
+            first = false;
+        }
+    }
+    out += "}";
+    return out;
+}
+
+std::string
+operandName(const QuantumOperation &op)
+{
+    switch (op.targetKind) {
+      case QuantumOperation::TargetKind::none:
+        return "";
+      case QuantumOperation::TargetKind::sreg:
+        return format(" S%d", op.targetReg);
+      case QuantumOperation::TargetKind::treg:
+        return format(" T%d", op.targetReg);
+    }
+    return "";
+}
+
+} // namespace
+
+std::string
+toString(const Instruction &instr)
+{
+    auto name = std::string(instrKindName(instr.kind));
+    switch (instr.kind) {
+      case InstrKind::nop:
+      case InstrKind::stop:
+        return name;
+      case InstrKind::cmp:
+        return format("CMP R%d, R%d", instr.rs, instr.rt);
+      case InstrKind::br:
+        if (!instr.label.empty()) {
+            return format("BR %s, %s",
+                          std::string(condFlagName(instr.cond)).c_str(),
+                          instr.label.c_str());
+        }
+        return format("BR %s, %lld",
+                      std::string(condFlagName(instr.cond)).c_str(),
+                      static_cast<long long>(instr.imm));
+      case InstrKind::fbr:
+        return format("FBR %s, R%d",
+                      std::string(condFlagName(instr.cond)).c_str(),
+                      instr.rd);
+      case InstrKind::ldi:
+        return format("LDI R%d, %lld", instr.rd,
+                      static_cast<long long>(instr.imm));
+      case InstrKind::ldui:
+        return format("LDUI R%d, %lld, R%d", instr.rd,
+                      static_cast<long long>(instr.imm), instr.rs);
+      case InstrKind::ld:
+        return format("LD R%d, R%d(%lld)", instr.rd, instr.rt,
+                      static_cast<long long>(instr.imm));
+      case InstrKind::st:
+        return format("ST R%d, R%d(%lld)", instr.rs, instr.rt,
+                      static_cast<long long>(instr.imm));
+      case InstrKind::fmr:
+        return format("FMR R%d, Q%d", instr.rd, instr.qubit);
+      case InstrKind::logicAnd:
+      case InstrKind::logicOr:
+      case InstrKind::logicXor:
+      case InstrKind::add:
+      case InstrKind::sub:
+        return format("%s R%d, R%d, R%d", name.c_str(), instr.rd,
+                      instr.rs, instr.rt);
+      case InstrKind::logicNot:
+        return format("NOT R%d, R%d", instr.rd, instr.rt);
+      case InstrKind::qwait:
+        return format("QWAIT %lld", static_cast<long long>(instr.imm));
+      case InstrKind::qwaitr:
+        return format("QWAITR R%d", instr.rs);
+      case InstrKind::smis:
+        return format("SMIS S%d, %s", instr.targetReg,
+                      maskToList(instr.mask).c_str());
+      case InstrKind::smit:
+        return format("SMIT T%d, [%s]", instr.targetReg,
+                      maskToList(instr.mask).c_str());
+      case InstrKind::bundle: {
+        std::string out = format("%d, ", instr.preInterval);
+        for (size_t i = 0; i < instr.operations.size(); ++i) {
+            if (i)
+                out += " | ";
+            const QuantumOperation &op = instr.operations[i];
+            out += op.name + operandName(op);
+        }
+        return out;
+      }
+    }
+    return name;
+}
+
+} // namespace eqasm::isa

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * In-memory representation of eQASM instructions (Table 1).
+ *
+ * A single Instruction struct covers all instruction kinds; which fields
+ * are meaningful depends on `kind`. This flat representation keeps the
+ * decoder, assembler and microarchitecture simple and is cheap enough
+ * for the program sizes involved.
+ */
+#ifndef EQASM_ISA_INSTRUCTION_H
+#define EQASM_ISA_INSTRUCTION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/opcodes.h"
+#include "isa/operation_set.h"
+
+namespace eqasm::isa {
+
+/** One quantum operation slot inside a bundle. */
+struct QuantumOperation {
+    /** Whether the operand names an S register, a T register or nothing
+     *  (QNOP). Derived from the operation's OpClass. */
+    enum class TargetKind { none, sreg, treg };
+
+    std::string name;       ///< configured mnemonic, e.g. "X90".
+    int opcode = 0;         ///< resolved q opcode.
+    OpClass opClass = OpClass::qnop;
+    TargetKind targetKind = TargetKind::none;
+    int targetReg = 0;      ///< S/T register address.
+
+    bool isQnop() const { return opClass == OpClass::qnop; }
+};
+
+/** @return the operand register kind implied by @p op_class. */
+QuantumOperation::TargetKind targetKindForClass(OpClass op_class);
+
+/**
+ * A decoded/parsed eQASM instruction. Field usage by kind:
+ *
+ *   CMP           rs, rt
+ *   BR            cond, imm (signed offset), label (unresolved operand)
+ *   FBR           cond, rd
+ *   LDI           rd, imm (20-bit signed)
+ *   LDUI          rd, imm (15-bit unsigned), rs
+ *   LD / ST       rd/rs, rt, imm (15-bit signed offset)
+ *   FMR           rd, qubit
+ *   AND/OR/XOR    rd, rs, rt       NOT rd, rt
+ *   ADD/SUB       rd, rs, rt
+ *   QWAIT         imm (20-bit unsigned)       QWAITR rs
+ *   SMIS          targetReg, mask (one bit per qubit)
+ *   SMIT          targetReg, mask (one bit per edge address)
+ *   bundle        preInterval, operations
+ */
+struct Instruction {
+    InstrKind kind = InstrKind::nop;
+
+    int rd = 0;
+    int rs = 0;
+    int rt = 0;
+    int64_t imm = 0;
+    CondFlag cond = CondFlag::always;
+    int qubit = 0;
+
+    int targetReg = 0;
+    uint64_t mask = 0;
+
+    int preInterval = 1;
+    std::vector<QuantumOperation> operations;
+
+    /** Unresolved symbolic branch target (assembler only). */
+    std::string label;
+    /** 1-based source line for diagnostics; 0 when synthesised. */
+    int sourceLine = 0;
+
+    /** Convenience factories for the common kinds. */
+    static Instruction makeNop();
+    static Instruction makeStop();
+    static Instruction makeLdi(int rd, int64_t imm);
+    static Instruction makeQwait(int64_t cycles);
+    static Instruction makeQwaitr(int rs);
+    static Instruction makeSmis(int sd, uint64_t qubit_mask);
+    static Instruction makeSmit(int td, uint64_t edge_mask);
+    static Instruction makeBundle(int pre_interval,
+                                  std::vector<QuantumOperation> ops);
+};
+
+/**
+ * Renders an instruction in canonical eQASM assembly syntax. SMIS/SMIT
+ * masks are rendered as qubit lists; pair lists need the chip topology,
+ * so SMIT is rendered with edge addresses when no topology is given
+ * (the assembler's disassembler passes one).
+ */
+std::string toString(const Instruction &instr);
+
+} // namespace eqasm::isa
+
+#endif // EQASM_ISA_INSTRUCTION_H

@@ -1,0 +1,148 @@
+#include "isa/opcodes.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace eqasm::isa {
+
+std::string_view
+instrKindName(InstrKind kind)
+{
+    switch (kind) {
+      case InstrKind::nop: return "NOP";
+      case InstrKind::stop: return "STOP";
+      case InstrKind::cmp: return "CMP";
+      case InstrKind::br: return "BR";
+      case InstrKind::fbr: return "FBR";
+      case InstrKind::ldi: return "LDI";
+      case InstrKind::ldui: return "LDUI";
+      case InstrKind::ld: return "LD";
+      case InstrKind::st: return "ST";
+      case InstrKind::fmr: return "FMR";
+      case InstrKind::logicAnd: return "AND";
+      case InstrKind::logicOr: return "OR";
+      case InstrKind::logicXor: return "XOR";
+      case InstrKind::logicNot: return "NOT";
+      case InstrKind::add: return "ADD";
+      case InstrKind::sub: return "SUB";
+      case InstrKind::qwait: return "QWAIT";
+      case InstrKind::qwaitr: return "QWAITR";
+      case InstrKind::smis: return "SMIS";
+      case InstrKind::smit: return "SMIT";
+      case InstrKind::bundle: return "BUNDLE";
+    }
+    return "UNKNOWN";
+}
+
+bool
+isQuantum(InstrKind kind)
+{
+    switch (kind) {
+      case InstrKind::qwait:
+      case InstrKind::qwaitr:
+      case InstrKind::smis:
+      case InstrKind::smit:
+      case InstrKind::bundle:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string_view
+condFlagName(CondFlag flag)
+{
+    switch (flag) {
+      case CondFlag::always: return "ALWAYS";
+      case CondFlag::never: return "NEVER";
+      case CondFlag::eq: return "EQ";
+      case CondFlag::ne: return "NE";
+      case CondFlag::ltu: return "LTU";
+      case CondFlag::geu: return "GEU";
+      case CondFlag::leu: return "LEU";
+      case CondFlag::gtu: return "GTU";
+      case CondFlag::lt: return "LT";
+      case CondFlag::ge: return "GE";
+      case CondFlag::le: return "LE";
+      case CondFlag::gt: return "GT";
+    }
+    return "UNKNOWN";
+}
+
+std::optional<CondFlag>
+parseCondFlag(std::string_view name)
+{
+    std::string upper = toUpper(name);
+    for (int i = 0; i < kNumCondFlags; ++i) {
+        auto flag = static_cast<CondFlag>(i);
+        if (upper == condFlagName(flag))
+            return flag;
+    }
+    return std::nullopt;
+}
+
+std::optional<InstrKind>
+instrKindForOpcode(uint8_t opcode)
+{
+    switch (static_cast<SingleOpcode>(opcode)) {
+      case SingleOpcode::nop: return InstrKind::nop;
+      case SingleOpcode::stop: return InstrKind::stop;
+      case SingleOpcode::add: return InstrKind::add;
+      case SingleOpcode::sub: return InstrKind::sub;
+      case SingleOpcode::logicAnd: return InstrKind::logicAnd;
+      case SingleOpcode::logicOr: return InstrKind::logicOr;
+      case SingleOpcode::logicXor: return InstrKind::logicXor;
+      case SingleOpcode::logicNot: return InstrKind::logicNot;
+      case SingleOpcode::cmp: return InstrKind::cmp;
+      case SingleOpcode::br: return InstrKind::br;
+      case SingleOpcode::fbr: return InstrKind::fbr;
+      case SingleOpcode::ldi: return InstrKind::ldi;
+      case SingleOpcode::ldui: return InstrKind::ldui;
+      case SingleOpcode::ld: return InstrKind::ld;
+      case SingleOpcode::st: return InstrKind::st;
+      case SingleOpcode::fmr: return InstrKind::fmr;
+      case SingleOpcode::smis: return InstrKind::smis;
+      case SingleOpcode::smit: return InstrKind::smit;
+      case SingleOpcode::qwait: return InstrKind::qwait;
+      case SingleOpcode::qwaitr: return InstrKind::qwaitr;
+    }
+    return std::nullopt;
+}
+
+uint8_t
+opcodeForInstrKind(InstrKind kind)
+{
+    switch (kind) {
+      case InstrKind::nop: return static_cast<uint8_t>(SingleOpcode::nop);
+      case InstrKind::stop: return static_cast<uint8_t>(SingleOpcode::stop);
+      case InstrKind::cmp: return static_cast<uint8_t>(SingleOpcode::cmp);
+      case InstrKind::br: return static_cast<uint8_t>(SingleOpcode::br);
+      case InstrKind::fbr: return static_cast<uint8_t>(SingleOpcode::fbr);
+      case InstrKind::ldi: return static_cast<uint8_t>(SingleOpcode::ldi);
+      case InstrKind::ldui: return static_cast<uint8_t>(SingleOpcode::ldui);
+      case InstrKind::ld: return static_cast<uint8_t>(SingleOpcode::ld);
+      case InstrKind::st: return static_cast<uint8_t>(SingleOpcode::st);
+      case InstrKind::fmr: return static_cast<uint8_t>(SingleOpcode::fmr);
+      case InstrKind::logicAnd:
+        return static_cast<uint8_t>(SingleOpcode::logicAnd);
+      case InstrKind::logicOr:
+        return static_cast<uint8_t>(SingleOpcode::logicOr);
+      case InstrKind::logicXor:
+        return static_cast<uint8_t>(SingleOpcode::logicXor);
+      case InstrKind::logicNot:
+        return static_cast<uint8_t>(SingleOpcode::logicNot);
+      case InstrKind::add: return static_cast<uint8_t>(SingleOpcode::add);
+      case InstrKind::sub: return static_cast<uint8_t>(SingleOpcode::sub);
+      case InstrKind::qwait:
+        return static_cast<uint8_t>(SingleOpcode::qwait);
+      case InstrKind::qwaitr:
+        return static_cast<uint8_t>(SingleOpcode::qwaitr);
+      case InstrKind::smis: return static_cast<uint8_t>(SingleOpcode::smis);
+      case InstrKind::smit: return static_cast<uint8_t>(SingleOpcode::smit);
+      case InstrKind::bundle:
+        EQASM_ASSERT(false, "bundle has no single-format opcode");
+    }
+    return 0;
+}
+
+} // namespace eqasm::isa

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Instruction kinds, comparison flags and the fixed binary opcode
+ * assignments of the 32-bit eQASM instantiation (Section 4.2).
+ *
+ * eQASM separates the assembly-level definition (Table 1 of the paper)
+ * from the instantiated binary format (Fig. 8). The enumerations here
+ * cover the assembly level; the numeric opcode constants belong to the
+ * seven-qubit instantiation. Quantum operation opcodes (q opcodes) are
+ * deliberately NOT listed here: they are configured at compile time
+ * through isa::OperationSet (Section 3.2 of the paper).
+ */
+#ifndef EQASM_ISA_OPCODES_H
+#define EQASM_ISA_OPCODES_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace eqasm::isa {
+
+/**
+ * Assembly-level instruction kinds (Table 1), plus NOP/STOP which any
+ * real instantiation needs (QWAIT 0 doubles as a NOP per Section 3.1.3,
+ * but an explicit NOP costs nothing and STOP terminates execution).
+ */
+enum class InstrKind {
+    // Auxiliary classical instructions.
+    nop,
+    stop,
+    cmp,     ///< CMP Rs, Rt — set all comparison flags.
+    br,      ///< BR <flag>, Offset — PC-relative conditional branch.
+    fbr,     ///< FBR <flag>, Rd — fetch a comparison flag into a GPR.
+    ldi,     ///< LDI Rd, Imm — Rd = sign_ext(Imm[19:0], 32).
+    ldui,    ///< LDUI Rd, Imm, Rs — Rd = Imm[14:0] :: Rs[16:0].
+    ld,      ///< LD Rd, Rt(Imm) — load from data memory.
+    st,      ///< ST Rs, Rt(Imm) — store to data memory.
+    fmr,     ///< FMR Rd, Qi — fetch last measurement result (may stall).
+    logicAnd,
+    logicOr,
+    logicXor,
+    logicNot,
+    add,
+    sub,
+    // Quantum instructions.
+    qwait,   ///< QWAIT Imm — advance the timeline by Imm cycles.
+    qwaitr,  ///< QWAITR Rs — advance the timeline by GPR Rs cycles.
+    smis,    ///< SMIS Sd, {qubits} — set single-qubit target register.
+    smit,    ///< SMIT Td, {(pairs)} — set two-qubit target register.
+    bundle,  ///< [PI,] op reg [| op reg]* — quantum bundle.
+};
+
+/** @return the canonical assembly mnemonic for @p kind. */
+std::string_view instrKindName(InstrKind kind);
+
+/** @return true for QWAIT/QWAITR/SMIS/SMIT/bundle. */
+bool isQuantum(InstrKind kind);
+
+/**
+ * Comparison flags written by CMP and consumed by BR/FBR.
+ *
+ * ALWAYS/NEVER are constant pseudo-flags so unconditional jumps need no
+ * separate opcode (the Fig. 5 example uses "BR ALWAYS, next").
+ */
+enum class CondFlag : uint8_t {
+    always = 0,
+    never = 1,
+    eq = 2,
+    ne = 3,
+    ltu = 4,   ///< unsigned <
+    geu = 5,   ///< unsigned >=
+    leu = 6,   ///< unsigned <=
+    gtu = 7,   ///< unsigned >
+    lt = 8,    ///< signed <
+    ge = 9,    ///< signed >=
+    le = 10,   ///< signed <=
+    gt = 11,   ///< signed >
+};
+
+/** Number of distinct comparison flags (encoding width is 4 bits). */
+inline constexpr int kNumCondFlags = 12;
+
+/** @return assembly name ("EQ", "ALWAYS", ...) of @p flag. */
+std::string_view condFlagName(CondFlag flag);
+
+/** Parses a comparison flag name (case-insensitive). */
+std::optional<CondFlag> parseCondFlag(std::string_view name);
+
+/**
+ * Binary opcodes of single-format (bit 31 = '0') instructions in the
+ * seven-qubit instantiation. Six bits wide (Fig. 8). The split mirrors
+ * the figure: quantum single-format instructions occupy the upper half
+ * of the opcode space.
+ */
+enum class SingleOpcode : uint8_t {
+    nop = 0x00,
+    stop = 0x01,
+    add = 0x02,
+    sub = 0x03,
+    logicAnd = 0x04,
+    logicOr = 0x05,
+    logicXor = 0x06,
+    logicNot = 0x07,
+    cmp = 0x08,
+    br = 0x09,
+    fbr = 0x0a,
+    ldi = 0x0b,
+    ldui = 0x0c,
+    ld = 0x0d,
+    st = 0x0e,
+    fmr = 0x0f,
+    smis = 0x20,
+    smit = 0x28,
+    qwait = 0x30,
+    qwaitr = 0x38,
+};
+
+/** Maps a single-format opcode back to its instruction kind. */
+std::optional<InstrKind> instrKindForOpcode(uint8_t opcode);
+
+/** Maps an instruction kind to its single-format opcode. */
+uint8_t opcodeForInstrKind(InstrKind kind);
+
+/**
+ * Architectural constants of the eQASM definition and of the 32-bit
+ * seven-qubit instantiation (Section 4.2): register file sizes, field
+ * widths and the chosen design point (Config 9: ts3, wPI = 3, SOMQ,
+ * VLIW width w = 2).
+ */
+struct InstantiationParams {
+    int numGprs = 32;             ///< 32-bit general purpose registers.
+    int numSRegisters = 32;       ///< single-qubit target registers.
+    int numTRegisters = 32;       ///< two-qubit target registers.
+    int numQubits = 7;            ///< physical qubits on the target chip.
+    int numEdges = 16;            ///< allowed (directed) qubit pairs.
+    int vliwWidth = 2;            ///< quantum ops per bundle instruction.
+    int preIntervalWidth = 3;     ///< wPI — bits of the PI field.
+    int sMaskWidth = 7;           ///< SMIS qubit-mask width.
+    int tMaskWidth = 16;          ///< SMIT pair-mask width.
+    int targetRegAddrWidth = 5;   ///< Sd/Td field width.
+    int qOpcodeWidth = 9;         ///< q opcode field width.
+    int qwaitImmWidth = 20;       ///< QWAIT immediate width.
+    int ldiImmWidth = 20;         ///< LDI immediate width.
+    int lduiImmWidth = 15;        ///< LDUI immediate width.
+    int memOffsetWidth = 15;      ///< LD/ST offset width.
+    int branchOffsetWidth = 21;   ///< BR offset width (signed).
+
+    /** @return the largest PI value encodable in the bundle format. */
+    int maxPreInterval() const { return (1 << preIntervalWidth) - 1; }
+};
+
+} // namespace eqasm::isa
+
+#endif // EQASM_ISA_OPCODES_H

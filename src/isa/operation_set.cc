@@ -1,0 +1,283 @@
+#include "isa/operation_set.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace eqasm::isa {
+
+std::string_view
+opClassName(OpClass op_class)
+{
+    switch (op_class) {
+      case OpClass::qnop: return "qnop";
+      case OpClass::singleQubit: return "single_qubit";
+      case OpClass::twoQubit: return "two_qubit";
+      case OpClass::measurement: return "measurement";
+    }
+    return "unknown";
+}
+
+std::string_view
+execFlagName(ExecFlag flag)
+{
+    switch (flag) {
+      case ExecFlag::always: return "always";
+      case ExecFlag::lastOne: return "last_one";
+      case ExecFlag::lastZero: return "last_zero";
+      case ExecFlag::lastTwoSame: return "last_two_same";
+    }
+    return "unknown";
+}
+
+std::optional<ExecFlag>
+parseExecFlag(std::string_view name)
+{
+    std::string lower = toLower(name);
+    for (int i = 0; i < kNumExecFlags; ++i) {
+        auto flag = static_cast<ExecFlag>(i);
+        if (lower == execFlagName(flag))
+            return flag;
+    }
+    return std::nullopt;
+}
+
+std::string_view
+channelName(Channel channel)
+{
+    switch (channel) {
+      case Channel::none: return "none";
+      case Channel::microwave: return "microwave";
+      case Channel::flux: return "flux";
+      case Channel::readout: return "readout";
+    }
+    return "unknown";
+}
+
+std::optional<Channel>
+parseChannel(std::string_view name)
+{
+    std::string lower = toLower(name);
+    if (lower == "none")
+        return Channel::none;
+    if (lower == "microwave")
+        return Channel::microwave;
+    if (lower == "flux")
+        return Channel::flux;
+    if (lower == "readout")
+        return Channel::readout;
+    return std::nullopt;
+}
+
+namespace {
+std::optional<OpClass>
+parseOpClass(std::string_view name)
+{
+    std::string lower = toLower(name);
+    if (lower == "qnop")
+        return OpClass::qnop;
+    if (lower == "single_qubit")
+        return OpClass::singleQubit;
+    if (lower == "two_qubit")
+        return OpClass::twoQubit;
+    if (lower == "measurement")
+        return OpClass::measurement;
+    return std::nullopt;
+}
+} // namespace
+
+void
+OperationSet::add(OperationInfo info)
+{
+    std::string key = toUpper(info.name);
+    if (key.empty())
+        throwError(ErrorCode::configError, "operation needs a name");
+    if (byName_.count(key)) {
+        throwError(ErrorCode::configError,
+                   format("duplicate operation name '%s'",
+                          info.name.c_str()));
+    }
+    if (info.opcode < 0 || info.opcode >= (1 << 9)) {
+        throwError(ErrorCode::configError,
+                   format("q opcode %d of '%s' does not fit in 9 bits",
+                          info.opcode, info.name.c_str()));
+    }
+    if ((info.opcode == 0) != (info.opClass == OpClass::qnop)) {
+        throwError(ErrorCode::configError,
+                   "q opcode 0 is reserved for (and required by) QNOP");
+    }
+    if (byOpcode_.count(info.opcode)) {
+        throwError(ErrorCode::configError,
+                   format("duplicate q opcode %d ('%s')", info.opcode,
+                          info.name.c_str()));
+    }
+    if (info.opClass != OpClass::singleQubit &&
+        info.condition != ExecFlag::always) {
+        // Fast conditional execution gates single-qubit micro-operations
+        // only (Section 3.5); cancelling one half of a two-qubit gate
+        // would corrupt the other qubit.
+        throwError(ErrorCode::configError,
+                   format("operation '%s': only single-qubit operations "
+                          "may be conditional",
+                          info.name.c_str()));
+    }
+    if (info.durationCycles <= 0 && info.opClass != OpClass::qnop) {
+        throwError(ErrorCode::configError,
+                   format("operation '%s' needs a positive duration",
+                          info.name.c_str()));
+    }
+    byName_[key] = ops_.size();
+    byOpcode_[info.opcode] = ops_.size();
+    ops_.push_back(std::move(info));
+}
+
+const OperationInfo *
+OperationSet::findByName(std::string_view name) const
+{
+    auto it = byName_.find(toUpper(name));
+    return it == byName_.end() ? nullptr : &ops_[it->second];
+}
+
+const OperationInfo *
+OperationSet::findByOpcode(int opcode) const
+{
+    auto it = byOpcode_.find(opcode);
+    return it == byOpcode_.end() ? nullptr : &ops_[it->second];
+}
+
+const OperationInfo &
+OperationSet::byName(std::string_view name) const
+{
+    const OperationInfo *info = findByName(name);
+    if (info == nullptr) {
+        throwError(ErrorCode::notFound,
+                   format("quantum operation '%s' is not configured",
+                          std::string(name).c_str()));
+    }
+    return *info;
+}
+
+const OperationInfo &
+OperationSet::byOpcode(int opcode) const
+{
+    const OperationInfo *info = findByOpcode(opcode);
+    if (info == nullptr) {
+        throwError(ErrorCode::notFound,
+                   format("q opcode %d is not configured", opcode));
+    }
+    return *info;
+}
+
+OperationSet
+OperationSet::defaultSet()
+{
+    OperationSet set;
+    set.add({"QNOP", 0, OpClass::qnop, 0, ExecFlag::always, Channel::none,
+             "i"});
+    struct Entry {
+        const char *name;
+        int opcode;
+        Channel channel;
+        const char *unitary;
+    };
+    // Single-qubit rotations available on the target transmon processor
+    // (Section 4.1): x/y axis rotations by microwave pulses, z rotations
+    // by flux pulses.
+    const Entry singles[] = {
+        {"I", 1, Channel::none, "i"},
+        {"X", 2, Channel::microwave, "x"},
+        {"Y", 3, Channel::microwave, "y"},
+        {"Z", 4, Channel::flux, "z"},
+        {"X90", 5, Channel::microwave, "x90"},
+        {"Y90", 6, Channel::microwave, "y90"},
+        {"Xm90", 7, Channel::microwave, "xm90"},
+        {"Ym90", 8, Channel::microwave, "ym90"},
+        {"Z90", 9, Channel::flux, "z90"},
+        {"Zm90", 10, Channel::flux, "zm90"},
+    };
+    for (const Entry &entry : singles) {
+        set.add({entry.name, entry.opcode, OpClass::singleQubit, 1,
+                 ExecFlag::always, entry.channel, entry.unitary});
+    }
+    // Conditional gates for fast conditional execution: C_X executes
+    // iff the last finished measurement of the target qubit was |1>
+    // (used for active qubit reset, Fig. 4).
+    set.add({"C_X", 24, OpClass::singleQubit, 1, ExecFlag::lastOne,
+             Channel::microwave, "x"});
+    set.add({"C_Y", 25, OpClass::singleQubit, 1, ExecFlag::lastOne,
+             Channel::microwave, "y"});
+    // Two-qubit controlled-phase gate: ~40 ns = 2 cycles.
+    set.add({"CZ", 32, OpClass::twoQubit, 2, ExecFlag::always,
+             Channel::flux, "cz"});
+    // Measurement: 300 ns = 15 cycles in the Section 4.2 analysis.
+    set.add({"MEASZ", 16, OpClass::measurement, 15, ExecFlag::always,
+             Channel::readout, "measz"});
+    return set;
+}
+
+OperationSet
+OperationSet::fromJson(const Json &json)
+{
+    OperationSet set;
+    set.add({"QNOP", 0, OpClass::qnop, 0, ExecFlag::always, Channel::none,
+             "i"});
+    for (const Json &entry : json.at("operations").asArray()) {
+        OperationInfo info;
+        info.name = entry.at("name").asString();
+        if (toUpper(info.name) == "QNOP")
+            continue; // implied
+        info.opcode = static_cast<int>(entry.at("opcode").asInt());
+        auto op_class = parseOpClass(
+            entry.getString("class", "single_qubit"));
+        if (!op_class) {
+            throwError(ErrorCode::configError,
+                       format("operation '%s': bad class",
+                              info.name.c_str()));
+        }
+        info.opClass = *op_class;
+        info.durationCycles =
+            static_cast<int>(entry.getInt("duration", 1));
+        auto condition = parseExecFlag(
+            entry.getString("condition", "always"));
+        if (!condition) {
+            throwError(ErrorCode::configError,
+                       format("operation '%s': bad condition",
+                              info.name.c_str()));
+        }
+        info.condition = *condition;
+        auto channel = parseChannel(
+            entry.getString("channel", "microwave"));
+        if (!channel) {
+            throwError(ErrorCode::configError,
+                       format("operation '%s': bad channel",
+                              info.name.c_str()));
+        }
+        info.channel = *channel;
+        info.unitary = entry.getString("unitary", "i");
+        set.add(std::move(info));
+    }
+    return set;
+}
+
+Json
+OperationSet::toJson() const
+{
+    Json ops = Json::makeArray();
+    for (const OperationInfo &info : ops_) {
+        if (info.opClass == OpClass::qnop)
+            continue;
+        Json entry = Json::makeObject();
+        entry.set("name", info.name);
+        entry.set("opcode", static_cast<int64_t>(info.opcode));
+        entry.set("class", std::string(opClassName(info.opClass)));
+        entry.set("duration", static_cast<int64_t>(info.durationCycles));
+        entry.set("condition", std::string(execFlagName(info.condition)));
+        entry.set("channel", std::string(channelName(info.channel)));
+        entry.set("unitary", info.unitary);
+        ops.append(std::move(entry));
+    }
+    Json out = Json::makeObject();
+    out.set("operations", std::move(ops));
+    return out;
+}
+
+} // namespace eqasm::isa

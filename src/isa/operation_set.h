@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The compile-time-configurable quantum operation set (Section 3.2).
+ *
+ * eQASM does not fix quantum operations at QISA design time. Instead the
+ * programmer configures, per program, the mapping
+ *
+ *     assembly mnemonic  ->  q opcode  ->  micro-operation(s)  ->  pulse
+ *
+ * and "the assembler, the microcode unit, and the pulse generator should
+ * be configured consistently at compile time". OperationSet is that
+ * single consistent configuration object: the assembler resolves
+ * mnemonics through it, the microarchitecture's microcode unit (Q control
+ * store) expands opcodes through it, and the simulated device interprets
+ * the resulting micro-operation codewords through it.
+ */
+#ifndef EQASM_ISA_OPERATION_SET_H
+#define EQASM_ISA_OPERATION_SET_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+
+namespace eqasm::isa {
+
+/** Structural class of a configured quantum operation. */
+enum class OpClass {
+    qnop,         ///< no-operation filler (q opcode 0).
+    singleQubit,  ///< one micro-op applied to each masked qubit.
+    twoQubit,     ///< src/tgt micro-op pair applied to each masked edge.
+    measurement,  ///< readout; invalidates Qi and returns a result later.
+};
+
+/** @return a stable lower-case name for @p op_class. */
+std::string_view opClassName(OpClass op_class);
+
+/**
+ * Execution-flag selector for fast conditional execution (Sections 3.5
+ * and 4.3). The instantiation defines four combinatorial flag types;
+ * `always` is the mandatory default that is constant '1'.
+ */
+enum class ExecFlag : uint8_t {
+    always = 0,       ///< unconditional execution.
+    lastOne = 1,      ///< '1' iff the last finished measurement was |1>.
+    lastZero = 2,     ///< '1' iff the last finished measurement was |0>.
+    lastTwoSame = 3,  ///< '1' iff the last two measurements agreed.
+};
+
+inline constexpr int kNumExecFlags = 4;
+
+/** @return the configuration name of @p flag ("always", ...). */
+std::string_view execFlagName(ExecFlag flag);
+
+/** Parses an execution-flag name. */
+std::optional<ExecFlag> parseExecFlag(std::string_view name);
+
+/** Analog-digital-interface channel driven by an operation (Fig. 10). */
+enum class Channel {
+    none,       ///< QNOP / identity-like operations.
+    microwave,  ///< HDAWG + VSM microwave drive (x/y rotations).
+    flux,       ///< flux AWG (z rotations, CZ).
+    readout,    ///< UHFQC measurement pulse.
+};
+
+std::string_view channelName(Channel channel);
+std::optional<Channel> parseChannel(std::string_view name);
+
+/**
+ * One configured quantum operation. `unitary` carries the pulse
+ * semantics for the simulated device in a small gate language:
+ * "i", "x", "y", "z", "x90", "y90", "xm90", "ym90", "z90", "zm90",
+ * "h", "cz", "cnot", "swap", "measz", or parametric "rx:<deg>",
+ * "ry:<deg>", "rz:<deg>" (used e.g. by the Rabi amplitude sweep).
+ */
+struct OperationInfo {
+    std::string name;             ///< assembly mnemonic (case-insensitive).
+    int opcode = 0;               ///< q opcode (9 bits; 0 reserved: QNOP).
+    OpClass opClass = OpClass::singleQubit;
+    int durationCycles = 1;       ///< cycles the operation occupies.
+    ExecFlag condition = ExecFlag::always;  ///< FCE flag selector.
+    Channel channel = Channel::microwave;
+    std::string unitary = "i";    ///< pulse semantics (see above).
+};
+
+/**
+ * A consistent set of configured quantum operations with lookup by
+ * mnemonic and by opcode.
+ */
+class OperationSet
+{
+  public:
+    OperationSet() = default;
+
+    /**
+     * Registers an operation.
+     * @throws Error{configError} on duplicate name/opcode, opcode
+     *         overflow, a non-QNOP with opcode 0, a conditional
+     *         two-qubit operation (FCE is restricted to single-qubit
+     *         operations per Section 3.5), or a non-positive duration.
+     */
+    void add(OperationInfo info);
+
+    /** @return the operation named @p name (case-insensitive), if any. */
+    const OperationInfo *findByName(std::string_view name) const;
+
+    /** @return the operation with q opcode @p opcode, if any. */
+    const OperationInfo *findByOpcode(int opcode) const;
+
+    /** Like findByName but throws Error{notFound}. */
+    const OperationInfo &byName(std::string_view name) const;
+
+    /** Like findByOpcode but throws Error{notFound}. */
+    const OperationInfo &byOpcode(int opcode) const;
+
+    /** All operations in registration order (QNOP first). */
+    const std::vector<OperationInfo> &operations() const { return ops_; }
+
+    size_t size() const { return ops_.size(); }
+
+    /**
+     * The operation set configured for the Section 5 experiments:
+     * {I, X, Y, Z, X90, Y90, Xm90, Ym90, Z90, Zm90}, the two-qubit CZ,
+     * MEASZ, and the conditional gates C_X / C_Y (execute iff the last
+     * measurement returned |1>) used by active qubit reset.
+     */
+    static OperationSet defaultSet();
+
+    /**
+     * Loads a set from JSON:
+     * {"operations": [{"name": "X90", "opcode": 5, "class":
+     *  "single_qubit", "duration": 1, "condition": "always",
+     *  "channel": "microwave", "unitary": "x90"}, ...]}.
+     * A QNOP entry is implied and need not be listed.
+     */
+    static OperationSet fromJson(const Json &json);
+
+    /** Serialises to the fromJson() schema. */
+    Json toJson() const;
+
+  private:
+    std::vector<OperationInfo> ops_;
+    std::map<std::string, size_t> byName_;
+    std::map<int, size_t> byOpcode_;
+};
+
+} // namespace eqasm::isa
+
+#endif // EQASM_ISA_OPERATION_SET_H

@@ -1,0 +1,17 @@
+#include "microarch/device.h"
+
+#include "common/error.h"
+
+namespace eqasm::microarch {
+
+Device::~Device() = default;
+
+void
+Device::reportResult(int qubit, int bit, uint64_t ready_cycle)
+{
+    EQASM_ASSERT(resultSink_ != nullptr,
+                 "device has no result sink; attach it to a controller");
+    resultSink_(qubit, bit, ready_cycle);
+}
+
+} // namespace eqasm::microarch

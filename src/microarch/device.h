@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The analog-digital interface (ADI) between the central controller and
+ * the electronics driving the qubits (right-hand side of Fig. 9/10).
+ *
+ * After the timing controller triggers a device operation and fast
+ * conditional execution releases it, the operation crosses the ADI as a
+ * codeword-triggered pulse. A Device implementation turns those pulses
+ * into physics: the SimulatedDevice in src/runtime applies them to a
+ * density-matrix simulator with a calibrated noise model, while the
+ * MockResultDevice replays programmed measurement results (the paper
+ * validated CFC the same way, with a UHFQC "programmed to generate
+ * alternative mock measurement results").
+ */
+#ifndef EQASM_MICROARCH_DEVICE_H
+#define EQASM_MICROARCH_DEVICE_H
+
+#include <cstdint>
+#include <functional>
+
+#include "isa/operation_set.h"
+
+namespace eqasm::microarch {
+
+/** Role of a micro-operation within its quantum operation (Table 2). */
+enum class MicroOpRole {
+    single,  ///< a single-qubit operation's only micro-op ('11').
+    source,  ///< two-qubit micro-op on the pair's source qubit ('01').
+    target,  ///< two-qubit micro-op on the pair's target qubit ('10').
+};
+
+/**
+ * A qubit-level operation released to the ADI. For a two-qubit gate the
+ * controller emits one source-role and one target-role micro-op at the
+ * same cycle; the simulated device applies the joint unitary when it
+ * sees the source-role half and treats the target-role half as the
+ * second pulse of the same gate.
+ */
+struct TriggeredOp {
+    uint64_t cycle = 0;     ///< trigger cycle (20 ns granularity).
+    int qubit = -1;         ///< the qubit this micro-op addresses.
+    int pairQubit = -1;     ///< other qubit of the pair (two-qubit only).
+    MicroOpRole role = MicroOpRole::single;
+    const isa::OperationInfo *info = nullptr;  ///< configured operation.
+};
+
+/**
+ * Abstract ADI device. Implementations must be deterministic given
+ * their seed so experiments are reproducible.
+ */
+class Device
+{
+  public:
+    /** Callback used to return measurement results to the controller:
+     *  (qubit, reported bit, cycle at which the result arrives). */
+    using ResultSink =
+        std::function<void(int qubit, int bit, uint64_t ready_cycle)>;
+
+    virtual ~Device();
+
+    /** Begins a new shot: re-initialises all qubits at @p cycle. */
+    virtual void startShot(uint64_t cycle) = 0;
+
+    /** Applies one released operation. Measurement operations must
+     *  eventually report through the result sink. */
+    virtual void apply(const TriggeredOp &op) = 0;
+
+    /** Ends the shot (the controller drained all queues). */
+    virtual void endShot(uint64_t cycle) = 0;
+
+    void setResultSink(ResultSink sink) { resultSink_ = std::move(sink); }
+
+  protected:
+    void reportResult(int qubit, int bit, uint64_t ready_cycle);
+
+  private:
+    ResultSink resultSink_;
+};
+
+} // namespace eqasm::microarch
+
+#endif // EQASM_MICROARCH_DEVICE_H

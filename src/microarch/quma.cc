@@ -1,0 +1,626 @@
+#include "microarch/quma.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace eqasm::microarch {
+
+using isa::CondFlag;
+using isa::ExecFlag;
+using isa::Instruction;
+using isa::InstrKind;
+using isa::OpClass;
+
+QuMa::QuMa(isa::OperationSet operations, chip::Topology topology,
+           MicroarchConfig config)
+    : operations_(std::move(operations)), topology_(std::move(topology)),
+      config_(config)
+{
+    gpr_.assign(static_cast<size_t>(config_.params.numGprs), 0);
+    sRegs_.assign(static_cast<size_t>(config_.params.numSRegisters), 0);
+    tRegs_.assign(static_cast<size_t>(config_.params.numTRegisters), 0);
+    dataMem_.assign(config_.dataMemoryWords, 0);
+    size_t n = static_cast<size_t>(topology_.numQubits());
+    qi_.assign(n, 0);
+    pendingMeasurements_.assign(n, 0);
+    lastResult_.assign(n, 0);
+    prevResult_.assign(n, 0);
+    resultCount_.assign(n, 0);
+}
+
+void
+QuMa::loadImage(std::vector<uint32_t> image)
+{
+    program_ = isa::decodeProgram(image, config_.params, operations_);
+}
+
+void
+QuMa::loadProgram(std::vector<Instruction> program)
+{
+    program_ = std::move(program);
+}
+
+void
+QuMa::attachDevice(Device *device)
+{
+    device_ = device;
+    if (device_ != nullptr) {
+        device_->setResultSink(
+            [this](int qubit, int bit, uint64_t ready_cycle) {
+                if (!topology_.validQubit(qubit)) {
+                    architecturalError(
+                        format("device reported a result for invalid "
+                               "qubit %d",
+                               qubit));
+                }
+                inFlight_.push_back({ready_cycle, qubit, bit});
+            });
+    }
+}
+
+void
+QuMa::resetState()
+{
+    cycle_ = 0;
+    pc_ = 0;
+    halted_ = false;
+    std::fill(gpr_.begin(), gpr_.end(), 0);
+    cmpFlags_.fill(false);
+    cmpFlags_[static_cast<size_t>(CondFlag::always)] = true;
+    std::fill(sRegs_.begin(), sRegs_.end(), 0);
+    std::fill(tRegs_.begin(), tRegs_.end(), 0);
+    timelineLabel_ = 0;
+    collectorLabel_ = 0;
+    collector_.clear();
+    inTransit_.clear();
+    eventQueue_.clear();
+    std::fill(qi_.begin(), qi_.end(), 0);
+    std::fill(pendingMeasurements_.begin(), pendingMeasurements_.end(), 0);
+    std::fill(lastResult_.begin(), lastResult_.end(), 0);
+    std::fill(prevResult_.begin(), prevResult_.end(), 0);
+    std::fill(resultCount_.begin(), resultCount_.end(), 0);
+    inFlight_.clear();
+    trace_.clear();
+    stats_ = RunStats{};
+}
+
+uint64_t
+QuMa::labelToCycle(uint64_t label) const
+{
+    return static_cast<uint64_t>(config_.startDelayCycles) + label;
+}
+
+void
+QuMa::architecturalError(const std::string &message) const
+{
+    throwError(ErrorCode::runtimeError,
+               format("cycle %llu: %s",
+                      static_cast<unsigned long long>(cycle_),
+                      message.c_str()));
+}
+
+bool
+QuMa::drained() const
+{
+    return halted_ && collector_.empty() && inTransit_.empty() &&
+           eventQueue_.empty() && inFlight_.empty();
+}
+
+RunStats
+QuMa::runShot()
+{
+    if (device_ == nullptr) {
+        throwError(ErrorCode::runtimeError,
+                   "no device attached to the controller");
+    }
+    if (program_.empty()) {
+        throwError(ErrorCode::runtimeError, "no program loaded");
+    }
+    resetState();
+    device_->startShot(0);
+
+    while (!drained()) {
+        if (cycle_ > config_.maxCycles) {
+            architecturalError("watchdog: shot exceeded the cycle limit");
+        }
+        deliverDueResults();
+        issueClassical();
+        drainTransitPipeline();
+        triggerDueEvents();
+        ++cycle_;
+
+        // Fast-forward idle stretches: when the classical pipeline can
+        // make no progress this turn (halted or FMR-stalled with no
+        // deliverable result), jump to the next cycle where something
+        // is due. This keeps 200 us initialisation waits cheap.
+        bool stalled = !halted_ && pc_ < program_.size() &&
+                       program_[pc_].kind == InstrKind::fmr &&
+                       pendingMeasurements_[static_cast<size_t>(
+                           program_[pc_].qubit)] > 0;
+        if (halted_ || stalled) {
+            uint64_t next = std::numeric_limits<uint64_t>::max();
+            if (!eventQueue_.empty()) {
+                next = std::min(next,
+                                labelToCycle(eventQueue_.begin()->first));
+            }
+            if (!inTransit_.empty())
+                next = std::min(next, inTransit_.front().readyCycle);
+            for (const PendingResult &result : inFlight_) {
+                next = std::min(
+                    next, result.readyCycle +
+                              static_cast<uint64_t>(
+                                  config_.resultUpdateCycles));
+            }
+            if (next != std::numeric_limits<uint64_t>::max() &&
+                next > cycle_) {
+                cycle_ = next;
+            }
+        }
+    }
+
+    device_->endShot(cycle_);
+    stats_.cycles = cycle_;
+    return stats_;
+}
+
+void
+QuMa::deliverDueResults()
+{
+    for (size_t i = 0; i < inFlight_.size();) {
+        const PendingResult &result = inFlight_[i];
+        uint64_t effective =
+            result.readyCycle +
+            static_cast<uint64_t>(config_.resultUpdateCycles);
+        if (effective > cycle_) {
+            ++i;
+            continue;
+        }
+        size_t q = static_cast<size_t>(result.qubit);
+        // Qubit measurement result register + CFC counter.
+        qi_[q] = result.bit;
+        if (pendingMeasurements_[q] <= 0) {
+            architecturalError(
+                format("unexpected measurement result for qubit %d",
+                       result.qubit));
+        }
+        --pendingMeasurements_[q];
+        // Execution flag history for fast conditional execution.
+        prevResult_[q] = lastResult_[q];
+        lastResult_[q] = result.bit;
+        ++resultCount_[q];
+        if (config_.enableTrace) {
+            trace_.push_back({TraceEvent::Kind::resultArrived,
+                              result.readyCycle, result.qubit, result.bit,
+                              "MEAS_RESULT"});
+        }
+        inFlight_.erase(inFlight_.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+    }
+}
+
+void
+QuMa::updateComparisonFlags(uint32_t lhs, uint32_t rhs)
+{
+    auto set = [this](CondFlag flag, bool value) {
+        cmpFlags_[static_cast<size_t>(flag)] = value;
+    };
+    auto slhs = static_cast<int32_t>(lhs);
+    auto srhs = static_cast<int32_t>(rhs);
+    set(CondFlag::always, true);
+    set(CondFlag::never, false);
+    set(CondFlag::eq, lhs == rhs);
+    set(CondFlag::ne, lhs != rhs);
+    set(CondFlag::ltu, lhs < rhs);
+    set(CondFlag::geu, lhs >= rhs);
+    set(CondFlag::leu, lhs <= rhs);
+    set(CondFlag::gtu, lhs > rhs);
+    set(CondFlag::lt, slhs < srhs);
+    set(CondFlag::ge, slhs >= srhs);
+    set(CondFlag::le, slhs <= srhs);
+    set(CondFlag::gt, slhs > srhs);
+}
+
+void
+QuMa::issueClassical()
+{
+    for (int slot = 0; slot < config_.classicalIssueRate; ++slot) {
+        if (halted_)
+            return;
+        if (pc_ >= program_.size()) {
+            // Running off the end behaves as an implicit STOP.
+            halted_ = true;
+            flushCollector();
+            return;
+        }
+        const Instruction &instr = program_[pc_];
+
+        if (instr.kind == InstrKind::fmr) {
+            size_t q = static_cast<size_t>(instr.qubit);
+            if (q >= qi_.size()) {
+                architecturalError(
+                    format("FMR on invalid qubit %d", instr.qubit));
+            }
+            if (pendingMeasurements_[q] > 0) {
+                // Qi invalid: stall the pipeline (Section 4.3). A
+                // stalled pipeline can contribute no further operations
+                // to the current timing point, so the operation
+                // collector is flushed — otherwise a measurement still
+                // buffered there could never trigger and the FMR would
+                // deadlock waiting for its own result.
+                flushCollector();
+                ++stats_.fmrStallCycles;
+                return;
+            }
+        }
+
+        ++pc_;
+        if (isa::isQuantum(instr.kind)) {
+            ++stats_.quantumInstructions;
+            executeQuantum(instr);
+        } else {
+            ++stats_.classicalInstructions;
+            executeClassical(instr);
+        }
+    }
+}
+
+void
+QuMa::executeClassical(const Instruction &instr)
+{
+    auto reg = [this](int index) -> uint32_t & {
+        return gpr_[static_cast<size_t>(index)];
+    };
+    switch (instr.kind) {
+      case InstrKind::nop:
+        break;
+      case InstrKind::stop:
+        halted_ = true;
+        flushCollector();
+        break;
+      case InstrKind::cmp:
+        updateComparisonFlags(reg(instr.rs), reg(instr.rt));
+        break;
+      case InstrKind::br:
+        if (cmpFlags_[static_cast<size_t>(instr.cond)]) {
+            int64_t target = static_cast<int64_t>(pc_) - 1 + instr.imm;
+            if (target < 0 ||
+                target > static_cast<int64_t>(program_.size())) {
+                architecturalError(
+                    format("branch target %lld out of range",
+                           static_cast<long long>(target)));
+            }
+            pc_ = static_cast<size_t>(target);
+        }
+        break;
+      case InstrKind::fbr:
+        reg(instr.rd) =
+            cmpFlags_[static_cast<size_t>(instr.cond)] ? 1 : 0;
+        break;
+      case InstrKind::ldi:
+        reg(instr.rd) = static_cast<uint32_t>(
+            signExtend(static_cast<uint64_t>(instr.imm), 20));
+        break;
+      case InstrKind::ldui:
+        // Rd = Imm[14:0] :: Rs[16:0] (Table 1).
+        reg(instr.rd) = (static_cast<uint32_t>(instr.imm & 0x7fff) << 17) |
+                        (reg(instr.rs) & 0x1ffff);
+        break;
+      case InstrKind::ld: {
+        int64_t address = static_cast<int64_t>(
+                              static_cast<int32_t>(reg(instr.rt))) +
+                          instr.imm;
+        if (address < 0 ||
+            static_cast<size_t>(address) >= dataMem_.size()) {
+            architecturalError(format("load address %lld out of range",
+                                      static_cast<long long>(address)));
+        }
+        reg(instr.rd) = dataMem_[static_cast<size_t>(address)];
+        break;
+      }
+      case InstrKind::st: {
+        int64_t address = static_cast<int64_t>(
+                              static_cast<int32_t>(reg(instr.rt))) +
+                          instr.imm;
+        if (address < 0 ||
+            static_cast<size_t>(address) >= dataMem_.size()) {
+            architecturalError(format("store address %lld out of range",
+                                      static_cast<long long>(address)));
+        }
+        dataMem_[static_cast<size_t>(address)] = reg(instr.rs);
+        break;
+      }
+      case InstrKind::fmr:
+        // The stall check happened at issue; Qi is valid here.
+        reg(instr.rd) =
+            static_cast<uint32_t>(qi_[static_cast<size_t>(instr.qubit)]);
+        break;
+      case InstrKind::logicAnd:
+        reg(instr.rd) = reg(instr.rs) & reg(instr.rt);
+        break;
+      case InstrKind::logicOr:
+        reg(instr.rd) = reg(instr.rs) | reg(instr.rt);
+        break;
+      case InstrKind::logicXor:
+        reg(instr.rd) = reg(instr.rs) ^ reg(instr.rt);
+        break;
+      case InstrKind::logicNot:
+        reg(instr.rd) = ~reg(instr.rt);
+        break;
+      case InstrKind::add:
+        reg(instr.rd) = reg(instr.rs) + reg(instr.rt);
+        break;
+      case InstrKind::sub:
+        reg(instr.rd) = reg(instr.rs) - reg(instr.rt);
+        break;
+      default:
+        EQASM_ASSERT(false, "quantum instruction in classical path");
+    }
+}
+
+void
+QuMa::executeQuantum(const Instruction &instr)
+{
+    switch (instr.kind) {
+      case InstrKind::qwait:
+        advanceTimeline(static_cast<uint64_t>(instr.imm));
+        break;
+      case InstrKind::qwaitr:
+        // Only the least significant 20 bits are used (Section 4.2).
+        advanceTimeline(gpr_[static_cast<size_t>(instr.rs)] & 0xfffff);
+        break;
+      case InstrKind::smis:
+        sRegs_[static_cast<size_t>(instr.targetReg)] = instr.mask;
+        break;
+      case InstrKind::smit:
+        if (auto conflict = topology_.maskConflict(instr.mask)) {
+            architecturalError(
+                format("invalid T%d value: qubit %d appears in two "
+                       "selected pairs",
+                       instr.targetReg, *conflict));
+        }
+        tRegs_[static_cast<size_t>(instr.targetReg)] = instr.mask;
+        break;
+      case InstrKind::bundle:
+        ++stats_.bundles;
+        processBundle(instr);
+        break;
+      default:
+        EQASM_ASSERT(false, "classical instruction in quantum path");
+    }
+}
+
+void
+QuMa::processBundle(const Instruction &instr)
+{
+    advanceTimeline(static_cast<uint64_t>(instr.preInterval));
+    for (const isa::QuantumOperation &slot : instr.operations) {
+        if (slot.isQnop())
+            continue;
+        const isa::OperationInfo *info = operations_.findByOpcode(
+            slot.opcode);
+        if (info == nullptr) {
+            architecturalError(
+                format("q opcode %d missing from the Q control store",
+                       slot.opcode));
+        }
+        switch (info->opClass) {
+          case OpClass::qnop:
+            break;
+          case OpClass::singleQubit:
+          case OpClass::measurement: {
+            uint64_t mask = sRegs_[static_cast<size_t>(slot.targetReg)];
+            for (int qubit = 0; qubit < topology_.numQubits(); ++qubit) {
+                if (!bit(mask, static_cast<unsigned>(qubit)))
+                    continue;
+                if (info->opClass == OpClass::measurement) {
+                    // Issuing a measurement invalidates Qi (Section 3.6).
+                    ++pendingMeasurements_[static_cast<size_t>(qubit)];
+                }
+                addMicroOp({qubit, -1, MicroOpRole::single, info});
+            }
+            break;
+          }
+          case OpClass::twoQubit: {
+            uint64_t mask = tRegs_[static_cast<size_t>(slot.targetReg)];
+            if (auto conflict = topology_.maskConflict(mask)) {
+                architecturalError(
+                    format("T%d selects qubit %d twice", slot.targetReg,
+                           *conflict));
+            }
+            for (int edge : topology_.maskToEdges(mask)) {
+                const chip::QubitPair &pair = topology_.edge(edge);
+                addMicroOp({pair.source, pair.target,
+                            MicroOpRole::source, info});
+                addMicroOp({pair.target, pair.source,
+                            MicroOpRole::target, info});
+            }
+            break;
+          }
+        }
+    }
+}
+
+void
+QuMa::addMicroOp(MicroOp op)
+{
+    // Operation combination module: two micro-operations on the same
+    // qubit at the same timing point are an error; the quantum
+    // processor stops (Section 4.3).
+    for (const MicroOp &existing : collector_) {
+        if (existing.qubit == op.qubit) {
+            architecturalError(
+                format("operation combination conflict on qubit %d "
+                       "('%s' vs '%s') at timing point %llu",
+                       op.qubit, existing.info->name.c_str(),
+                       op.info->name.c_str(),
+                       static_cast<unsigned long long>(collectorLabel_)));
+        }
+    }
+    ++stats_.microOps;
+    collector_.push_back(op);
+}
+
+void
+QuMa::flushCollector()
+{
+    if (collector_.empty())
+        return;
+    // Flushed micro-operations traverse the reserve pipeline (Fig. 9)
+    // before reaching the event queues of the timing control unit.
+    uint64_t ready =
+        cycle_ + static_cast<uint64_t>(config_.quantumPipelineDepthCycles);
+    for (MicroOp &op : collector_)
+        inTransit_.push_back({ready, collectorLabel_, op});
+    collector_.clear();
+}
+
+void
+QuMa::drainTransitPipeline()
+{
+    while (!inTransit_.empty() && inTransit_.front().readyCycle <= cycle_) {
+        TransitOp transit = inTransit_.front();
+        inTransit_.pop_front();
+        if (labelToCycle(transit.label) < cycle_) {
+            // The reserve phase missed the timing point: this is the
+            // quantum-operation issue-rate problem surfacing at runtime.
+            ++stats_.underruns;
+            if (config_.underrunPolicy ==
+                MicroarchConfig::UnderrunPolicy::error) {
+                architecturalError(format(
+                    "timing violation: operations for timing point "
+                    "%llu (cycle %llu) arrived too late",
+                    static_cast<unsigned long long>(transit.label),
+                    static_cast<unsigned long long>(
+                        labelToCycle(transit.label))));
+            }
+        }
+        eventQueue_.emplace(transit.label, transit.op);
+        stats_.maxQueueDepth =
+            std::max(stats_.maxQueueDepth,
+                     static_cast<uint64_t>(eventQueue_.size()));
+    }
+}
+
+void
+QuMa::advanceTimeline(uint64_t cycles)
+{
+    if (cycles == 0)
+        return; // same timing point (Section 3.1.2).
+    flushCollector();
+    timelineLabel_ += cycles;
+    collectorLabel_ = timelineLabel_;
+}
+
+bool
+QuMa::executionFlag(int qubit, ExecFlag flag) const
+{
+    size_t q = static_cast<size_t>(qubit);
+    switch (flag) {
+      case ExecFlag::always:
+        return true;
+      case ExecFlag::lastOne:
+        return resultCount_[q] >= 1 && lastResult_[q] == 1;
+      case ExecFlag::lastZero:
+        return resultCount_[q] >= 1 && lastResult_[q] == 0;
+      case ExecFlag::lastTwoSame:
+        return resultCount_[q] >= 2 && lastResult_[q] == prevResult_[q];
+    }
+    return false;
+}
+
+void
+QuMa::triggerDueEvents()
+{
+    while (!eventQueue_.empty() &&
+           labelToCycle(eventQueue_.begin()->first) <= cycle_) {
+        MicroOp op = eventQueue_.begin()->second;
+        eventQueue_.erase(eventQueue_.begin());
+        uint64_t output_cycle =
+            cycle_ + static_cast<uint64_t>(config_.triggerOutputCycles);
+
+        // Fast conditional execution: Go/No-go per single-qubit
+        // micro-operation based on the selected execution flag.
+        if (op.role == MicroOpRole::single &&
+            op.info->condition != ExecFlag::always &&
+            !executionFlag(op.qubit, op.info->condition)) {
+            ++stats_.cancelled;
+            if (config_.enableTrace) {
+                trace_.push_back({TraceEvent::Kind::opCancelled,
+                                  output_cycle, op.qubit, -1,
+                                  op.info->name});
+            }
+            continue;
+        }
+        ++stats_.triggered;
+        if (config_.enableTrace) {
+            trace_.push_back({TraceEvent::Kind::opOutput, output_cycle,
+                              op.qubit, -1, op.info->name});
+        }
+        device_->apply({output_cycle, op.qubit, op.pairQubit, op.role,
+                        op.info});
+    }
+}
+
+uint32_t
+QuMa::gpr(int index) const
+{
+    EQASM_ASSERT(index >= 0 && index < config_.params.numGprs,
+                 "GPR index out of range");
+    return gpr_[static_cast<size_t>(index)];
+}
+
+bool
+QuMa::comparisonFlag(CondFlag flag) const
+{
+    return cmpFlags_[static_cast<size_t>(flag)];
+}
+
+int
+QuMa::measurementRegister(int qubit) const
+{
+    EQASM_ASSERT(topology_.validQubit(qubit), "qubit out of range");
+    return qi_[static_cast<size_t>(qubit)];
+}
+
+bool
+QuMa::measurementRegisterValid(int qubit) const
+{
+    EQASM_ASSERT(topology_.validQubit(qubit), "qubit out of range");
+    return pendingMeasurements_[static_cast<size_t>(qubit)] == 0;
+}
+
+uint64_t
+QuMa::sRegister(int index) const
+{
+    EQASM_ASSERT(index >= 0 && index < config_.params.numSRegisters,
+                 "S register index out of range");
+    return sRegs_[static_cast<size_t>(index)];
+}
+
+uint64_t
+QuMa::tRegister(int index) const
+{
+    EQASM_ASSERT(index >= 0 && index < config_.params.numTRegisters,
+                 "T register index out of range");
+    return tRegs_[static_cast<size_t>(index)];
+}
+
+uint32_t
+QuMa::dataWord(size_t address) const
+{
+    EQASM_ASSERT(address < dataMem_.size(), "data address out of range");
+    return dataMem_[address];
+}
+
+void
+QuMa::setDataWord(size_t address, uint32_t value)
+{
+    EQASM_ASSERT(address < dataMem_.size(), "data address out of range");
+    dataMem_[address] = value;
+}
+
+} // namespace eqasm::microarch

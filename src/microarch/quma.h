@@ -1,0 +1,252 @@
+/**
+ * @file
+ * QuMA_v2 — the quantum control microarchitecture implementing the
+ * instantiated eQASM (Fig. 9 of the paper), as a cycle-level model.
+ *
+ * The model is organised around the paper's two timing domains:
+ *
+ *  - non-deterministic domain (reserve phase): the classical pipeline
+ *    fetches and executes instructions; quantum instructions flow
+ *    through the VLIW front-end, microcode unit, target registers and
+ *    quantum microinstruction buffer, producing micro-operations
+ *    associated with timing points on a timeline (the timestamp
+ *    manager);
+ *  - deterministic domain (trigger phase): the timing controller walks
+ *    the timeline at one timing point per cycle and triggers the
+ *    buffered device operations exactly at their timing points; fast
+ *    conditional execution then releases or cancels each single-qubit
+ *    micro-operation based on the selected execution flag.
+ *
+ * The quantum-operation issue-rate problem (Section 1.2) is modelled
+ * faithfully: when the reserve phase falls behind the trigger phase —
+ * a micro-operation reaches the event queues after its timing point has
+ * already passed — the controller records a timing-violation
+ * (underrun) and, per the paper, "cannot execute the quantum program
+ * correctly"; policy decides whether this raises an error or is only
+ * counted (the Fig. 7 ablation uses the counting mode).
+ */
+#ifndef EQASM_MICROARCH_QUMA_H
+#define EQASM_MICROARCH_QUMA_H
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chip/topology.h"
+#include "isa/encoding.h"
+#include "isa/instruction.h"
+#include "isa/operation_set.h"
+#include "microarch/device.h"
+
+namespace eqasm::microarch {
+
+/** Tunable microarchitecture parameters. */
+struct MicroarchConfig {
+    isa::InstantiationParams params;
+
+    /** Classical instructions processed per 20 ns cycle. The classical
+     *  pipeline runs at 100 MHz against the 50 MHz timing grid
+     *  (Section 4.4), hence the default of 2. */
+    int classicalIssueRate = 2;
+
+    /** Cycles between the start of the timeline (label 0) and the start
+     *  of instruction execution; models the external start trigger and
+     *  gives the reserve phase initial slack over the trigger phase. */
+    int startDelayCycles = 16;
+
+    /** Trigger -> ADI output path length in cycles (timing controller,
+     *  FCE gating and codeword output registers). */
+    int triggerOutputCycles = 2;
+
+    /** Result-arrival -> execution-flag/Qi-update path in cycles. */
+    int resultUpdateCycles = 2;
+
+    /** Reserve-phase pipeline depth in cycles: a micro-operation
+     *  flushed from the quantum microinstruction buffer traverses the
+     *  multi-level decoding path of Fig. 9 (VLIW front-end, microcode
+     *  unit, address resolution, operation combination, device event
+     *  distributor) before it reaches the event queues. This depth is
+     *  what makes CFC's feedback latency much larger than fast
+     *  conditional execution's (~316 ns vs ~92 ns in the paper). The
+     *  default is the largest depth for which the paper's Fig. 5
+     *  program (QWAIT 30 between measurement and feedback) still meets
+     *  its timing point. */
+    int quantumPipelineDepthCycles = 10;
+
+    /** Data memory size in 32-bit words. */
+    size_t dataMemoryWords = 4096;
+
+    /** Watchdog: abort shots exceeding this many cycles. */
+    uint64_t maxCycles = 50'000'000;
+
+    /** What to do when the reserve phase misses a timing point. */
+    enum class UnderrunPolicy { error, count };
+    UnderrunPolicy underrunPolicy = UnderrunPolicy::error;
+
+    /** Record a TraceEvent log (outputs, cancellations, results). */
+    bool enableTrace = true;
+};
+
+/** One entry of the execution trace, used by tests and benches. */
+struct TraceEvent {
+    enum class Kind {
+        opOutput,       ///< operation released to the ADI.
+        opCancelled,    ///< operation cancelled by FCE.
+        resultArrived,  ///< measurement result entered the controller.
+    };
+    Kind kind = Kind::opOutput;
+    uint64_t cycle = 0;
+    int qubit = -1;
+    int bit = -1;          ///< resultArrived only.
+    std::string operation; ///< op mnemonic for op events.
+};
+
+/** Counters exposed after a run. */
+struct RunStats {
+    uint64_t cycles = 0;
+    uint64_t classicalInstructions = 0;
+    uint64_t quantumInstructions = 0;
+    uint64_t bundles = 0;
+    uint64_t microOps = 0;
+    uint64_t triggered = 0;
+    uint64_t cancelled = 0;
+    uint64_t fmrStallCycles = 0;
+    uint64_t underruns = 0;
+    uint64_t maxQueueDepth = 0;
+};
+
+/**
+ * The central controller. Owns all architectural state of Fig. 2 and
+ * the pipeline of Fig. 9; drives one Device through the ADI.
+ */
+class QuMa
+{
+  public:
+    QuMa(isa::OperationSet operations, chip::Topology topology,
+         MicroarchConfig config = {});
+
+    /** Loads a binary program image into the instruction memory. */
+    void loadImage(std::vector<uint32_t> image);
+
+    /** Loads pre-decoded instructions (bypasses the decoder; used by
+     *  tests that construct instructions directly). */
+    void loadProgram(std::vector<isa::Instruction> program);
+
+    /** Attaches the ADI device (not owned). */
+    void attachDevice(Device *device);
+
+    /**
+     * Runs one shot: resets all architectural state (GPRs, flags,
+     * target registers, queues, timeline), starts the device, executes
+     * until STOP + all queues drained.
+     *
+     * @throws Error{runtimeError} on architectural error conditions
+     *         (operation combination conflict, invalid T register,
+     *         underrun with the error policy, watchdog).
+     */
+    RunStats runShot();
+
+    // --- post-run observation (architectural state of Fig. 2) ---
+
+    uint32_t gpr(int index) const;
+    bool comparisonFlag(isa::CondFlag flag) const;
+    int measurementRegister(int qubit) const;        ///< Qi
+    bool measurementRegisterValid(int qubit) const;  ///< Ci == 0
+    uint64_t sRegister(int index) const;
+    uint64_t tRegister(int index) const;
+    uint32_t dataWord(size_t address) const;
+    void setDataWord(size_t address, uint32_t value);
+
+    const std::vector<TraceEvent> &trace() const { return trace_; }
+    const RunStats &stats() const { return stats_; }
+    const MicroarchConfig &config() const { return config_; }
+    const chip::Topology &topology() const { return topology_; }
+    const isa::OperationSet &operations() const { return operations_; }
+
+  private:
+    /** A micro-operation waiting in the quantum microinstruction
+     *  buffer / event queues. */
+    struct MicroOp {
+        int qubit = -1;
+        int pairQubit = -1;
+        MicroOpRole role = MicroOpRole::single;
+        const isa::OperationInfo *info = nullptr;
+    };
+
+    /** A measurement result in flight from the device. */
+    struct PendingResult {
+        uint64_t readyCycle = 0;
+        int qubit = -1;
+        int bit = 0;
+    };
+
+    void resetState();
+    void issueClassical();
+    void executeClassical(const isa::Instruction &instr);
+    void executeQuantum(const isa::Instruction &instr);
+    void processBundle(const isa::Instruction &instr);
+    void addMicroOp(MicroOp op);
+    void flushCollector();
+    void drainTransitPipeline();
+    void advanceTimeline(uint64_t cycles);
+    void triggerDueEvents();
+    void deliverDueResults();
+    void updateComparisonFlags(uint32_t lhs, uint32_t rhs);
+    bool executionFlag(int qubit, isa::ExecFlag flag) const;
+    uint64_t labelToCycle(uint64_t label) const;
+    bool drained() const;
+    [[noreturn]] void architecturalError(const std::string &message) const;
+
+    isa::OperationSet operations_;
+    chip::Topology topology_;
+    MicroarchConfig config_;
+    Device *device_ = nullptr;
+
+    std::vector<isa::Instruction> program_;
+
+    // Classical pipeline state.
+    uint64_t cycle_ = 0;
+    size_t pc_ = 0;
+    bool halted_ = false;
+    std::vector<uint32_t> gpr_;
+    std::array<bool, isa::kNumCondFlags> cmpFlags_{};
+    std::vector<uint32_t> dataMem_;
+
+    // Quantum front-end state.
+    std::vector<uint64_t> sRegs_;
+    std::vector<uint64_t> tRegs_;
+    uint64_t timelineLabel_ = 0;
+    std::vector<MicroOp> collector_;
+    uint64_t collectorLabel_ = 0;
+
+    /** A flushed micro-op still traversing the reserve pipeline. */
+    struct TransitOp {
+        uint64_t readyCycle = 0;
+        uint64_t label = 0;
+        MicroOp op;
+    };
+
+    // Micro-ops in flight between the collector and the event queues.
+    std::deque<TransitOp> inTransit_;
+
+    // Timing control unit: label -> queued micro-ops.
+    std::multimap<uint64_t, MicroOp> eventQueue_;
+
+    // Measurement result registers + CFC counters + FCE history.
+    std::vector<int> qi_;
+    std::vector<int> pendingMeasurements_;  ///< Ci counters.
+    std::vector<int> lastResult_;
+    std::vector<int> prevResult_;
+    std::vector<int> resultCount_;
+    std::vector<PendingResult> inFlight_;
+
+    std::vector<TraceEvent> trace_;
+    RunStats stats_;
+};
+
+} // namespace eqasm::microarch
+
+#endif // EQASM_MICROARCH_QUMA_H

@@ -1,0 +1,339 @@
+#include "qsim/density_matrix.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace eqasm::qsim {
+
+DensityMatrix::DensityMatrix(int num_qubits) : numQubits_(num_qubits)
+{
+    if (num_qubits < 1 || num_qubits > 8) {
+        throwError(ErrorCode::invalidArgument,
+                   format("density matrix supports 1..8 qubits, got %d",
+                          num_qubits));
+    }
+    rho_ = CMatrix(dim(), dim());
+    rho_(0, 0) = 1.0;
+}
+
+DensityMatrix::DensityMatrix(const StateVector &state)
+    : numQubits_(state.numQubits())
+{
+    if (numQubits_ > 8) {
+        throwError(ErrorCode::invalidArgument,
+                   "density matrix supports at most 8 qubits");
+    }
+    rho_ = CMatrix(dim(), dim());
+    const auto &amp = state.amplitudes();
+    for (size_t i = 0; i < dim(); ++i) {
+        for (size_t j = 0; j < dim(); ++j)
+            rho_(i, j) = amp[i] * std::conj(amp[j]);
+    }
+}
+
+void
+DensityMatrix::reset()
+{
+    rho_ = CMatrix(dim(), dim());
+    rho_(0, 0) = 1.0;
+}
+
+void
+DensityMatrix::resetQubit(int qubit)
+{
+    checkQubit(qubit);
+    // Trace out the qubit and re-prepare it in |0>: rho' =
+    // P0 rho P0 + X P1 rho P1 X restricted appropriately. Implemented as
+    // the amplitude-damping channel with gamma = 1.
+    CMatrix k0(2, 2, {1.0, 0.0, 0.0, 0.0});
+    CMatrix k1(2, 2, {0.0, 1.0, 0.0, 0.0});
+    applyChannel1({k0, k1}, qubit);
+}
+
+void
+DensityMatrix::checkQubit(int qubit) const
+{
+    if (qubit < 0 || qubit >= numQubits_) {
+        throwError(ErrorCode::invalidArgument,
+                   format("qubit %d out of range [0, %d)", qubit,
+                          numQubits_));
+    }
+}
+
+void
+DensityMatrix::applyGate1(const CMatrix &unitary, int qubit)
+{
+    checkQubit(qubit);
+    EQASM_ASSERT(unitary.rows() == 2 && unitary.cols() == 2,
+                 "applyGate1 needs a 2x2 matrix");
+    size_t stride = size_t{1} << qubit;
+    size_t n = dim();
+    // Left multiply: rows mix in pairs differing in the qubit bit.
+    for (size_t col = 0; col < n; ++col) {
+        for (size_t base = 0; base < n; base += 2 * stride) {
+            for (size_t offset = 0; offset < stride; ++offset) {
+                size_t r0 = base + offset;
+                size_t r1 = r0 + stride;
+                Complex a0 = rho_(r0, col);
+                Complex a1 = rho_(r1, col);
+                rho_(r0, col) = unitary(0, 0) * a0 + unitary(0, 1) * a1;
+                rho_(r1, col) = unitary(1, 0) * a0 + unitary(1, 1) * a1;
+            }
+        }
+    }
+    // Right multiply by U^dagger: columns mix.
+    for (size_t row = 0; row < n; ++row) {
+        for (size_t base = 0; base < n; base += 2 * stride) {
+            for (size_t offset = 0; offset < stride; ++offset) {
+                size_t c0 = base + offset;
+                size_t c1 = c0 + stride;
+                Complex a0 = rho_(row, c0);
+                Complex a1 = rho_(row, c1);
+                rho_(row, c0) = a0 * std::conj(unitary(0, 0)) +
+                                a1 * std::conj(unitary(0, 1));
+                rho_(row, c1) = a0 * std::conj(unitary(1, 0)) +
+                                a1 * std::conj(unitary(1, 1));
+            }
+        }
+    }
+}
+
+void
+DensityMatrix::applyGate2(const CMatrix &unitary, int qubit0, int qubit1)
+{
+    checkQubit(qubit0);
+    checkQubit(qubit1);
+    EQASM_ASSERT(qubit0 != qubit1, "two-qubit gate needs distinct qubits");
+    EQASM_ASSERT(unitary.rows() == 4 && unitary.cols() == 4,
+                 "applyGate2 needs a 4x4 matrix");
+    size_t bit0 = size_t{1} << qubit0;
+    size_t bit1 = size_t{1} << qubit1;
+    size_t n = dim();
+    auto indexOf = [&](size_t base, size_t k) {
+        return base | (k & 1 ? bit0 : 0) | (k & 2 ? bit1 : 0);
+    };
+    // Left multiply.
+    for (size_t col = 0; col < n; ++col) {
+        for (size_t base = 0; base < n; ++base) {
+            if (base & (bit0 | bit1))
+                continue;
+            Complex a[4];
+            for (size_t k = 0; k < 4; ++k)
+                a[k] = rho_(indexOf(base, k), col);
+            for (size_t r = 0; r < 4; ++r) {
+                Complex sum = 0.0;
+                for (size_t c = 0; c < 4; ++c)
+                    sum += unitary(r, c) * a[c];
+                rho_(indexOf(base, r), col) = sum;
+            }
+        }
+    }
+    // Right multiply by U^dagger.
+    for (size_t row = 0; row < n; ++row) {
+        for (size_t base = 0; base < n; ++base) {
+            if (base & (bit0 | bit1))
+                continue;
+            Complex a[4];
+            for (size_t k = 0; k < 4; ++k)
+                a[k] = rho_(row, indexOf(base, k));
+            for (size_t c = 0; c < 4; ++c) {
+                Complex sum = 0.0;
+                for (size_t k = 0; k < 4; ++k)
+                    sum += a[k] * std::conj(unitary(c, k));
+                rho_(row, indexOf(base, c)) = sum;
+            }
+        }
+    }
+}
+
+void
+DensityMatrix::apply(const Gate &gate, const std::vector<int> &qubits)
+{
+    if (gate.numQubits == 1) {
+        EQASM_ASSERT(qubits.size() == 1, "gate arity mismatch");
+        applyGate1(gate.matrix, qubits[0]);
+    } else {
+        EQASM_ASSERT(qubits.size() == 2, "gate arity mismatch");
+        applyGate2(gate.matrix, qubits[0], qubits[1]);
+    }
+}
+
+void
+DensityMatrix::leftMultiply1(const CMatrix &m, int qubit,
+                             CMatrix &target) const
+{
+    size_t stride = size_t{1} << qubit;
+    size_t n = dim();
+    for (size_t col = 0; col < n; ++col) {
+        for (size_t base = 0; base < n; base += 2 * stride) {
+            for (size_t offset = 0; offset < stride; ++offset) {
+                size_t r0 = base + offset;
+                size_t r1 = r0 + stride;
+                Complex a0 = target(r0, col);
+                Complex a1 = target(r1, col);
+                target(r0, col) = m(0, 0) * a0 + m(0, 1) * a1;
+                target(r1, col) = m(1, 0) * a0 + m(1, 1) * a1;
+            }
+        }
+    }
+}
+
+void
+DensityMatrix::applyChannel1(const std::vector<CMatrix> &kraus, int qubit)
+{
+    checkQubit(qubit);
+    CMatrix accum(dim(), dim());
+    for (const CMatrix &k : kraus) {
+        EQASM_ASSERT(k.rows() == 2 && k.cols() == 2,
+                     "single-qubit Kraus operator must be 2x2");
+        // term = K rho K^dagger via a scratch density matrix.
+        DensityMatrix scratch = *this;
+        scratch.leftMultiply1(k, qubit, scratch.rho_);
+        // right multiply by K^dagger: (K rho)^ op on columns.
+        size_t stride = size_t{1} << qubit;
+        size_t n = dim();
+        for (size_t row = 0; row < n; ++row) {
+            for (size_t base = 0; base < n; base += 2 * stride) {
+                for (size_t offset = 0; offset < stride; ++offset) {
+                    size_t c0 = base + offset;
+                    size_t c1 = c0 + stride;
+                    Complex a0 = scratch.rho_(row, c0);
+                    Complex a1 = scratch.rho_(row, c1);
+                    scratch.rho_(row, c0) = a0 * std::conj(k(0, 0)) +
+                                            a1 * std::conj(k(0, 1));
+                    scratch.rho_(row, c1) = a0 * std::conj(k(1, 0)) +
+                                            a1 * std::conj(k(1, 1));
+                }
+            }
+        }
+        accum = accum + scratch.rho_;
+    }
+    rho_ = std::move(accum);
+}
+
+void
+DensityMatrix::applyChannel2(const std::vector<CMatrix> &kraus, int qubit0,
+                             int qubit1)
+{
+    checkQubit(qubit0);
+    checkQubit(qubit1);
+    CMatrix accum(dim(), dim());
+    for (const CMatrix &k : kraus) {
+        EQASM_ASSERT(k.rows() == 4 && k.cols() == 4,
+                     "two-qubit Kraus operator must be 4x4");
+        DensityMatrix scratch = *this;
+        // K rho K^dagger implemented through the (unitary-shaped)
+        // two-qubit update, which never relies on unitarity.
+        scratch.applyGate2(k, qubit0, qubit1);
+        accum = accum + scratch.rho_;
+    }
+    rho_ = std::move(accum);
+}
+
+double
+DensityMatrix::probabilityOne(int qubit) const
+{
+    checkQubit(qubit);
+    size_t mask = size_t{1} << qubit;
+    double p1 = 0.0;
+    for (size_t i = 0; i < dim(); ++i) {
+        if (i & mask)
+            p1 += rho_(i, i).real();
+    }
+    return p1;
+}
+
+int
+DensityMatrix::measure(int qubit, Rng &rng)
+{
+    double p1 = probabilityOne(qubit);
+    int outcome = rng.uniform() < p1 ? 1 : 0;
+    postselect(qubit, outcome);
+    return outcome;
+}
+
+void
+DensityMatrix::postselect(int qubit, int outcome)
+{
+    checkQubit(qubit);
+    size_t mask = size_t{1} << qubit;
+    double kept = outcome == 1 ? probabilityOne(qubit)
+                               : 1.0 - probabilityOne(qubit);
+    if (kept <= 1e-15) {
+        throwError(ErrorCode::invalidArgument,
+                   format("postselecting qubit %d on %d has probability 0",
+                          qubit, outcome));
+    }
+    for (size_t i = 0; i < dim(); ++i) {
+        for (size_t j = 0; j < dim(); ++j) {
+            bool keep_i = ((i & mask) != 0) == (outcome == 1);
+            bool keep_j = ((j & mask) != 0) == (outcome == 1);
+            if (!keep_i || !keep_j)
+                rho_(i, j) = 0.0;
+        }
+    }
+    rho_ = rho_ * Complex{1.0 / kept, 0.0};
+}
+
+double
+DensityMatrix::pauliExpectation(const std::string &axes) const
+{
+    if (axes.size() != static_cast<size_t>(numQubits_)) {
+        throwError(ErrorCode::invalidArgument,
+                   format("pauli string length %zu != %d qubits",
+                          axes.size(), numQubits_));
+    }
+    // tr(rho P) with P = (x)_q pauli(axes[q]); apply P on the left and
+    // take the trace.
+    CMatrix scratch = rho_;
+    for (int q = 0; q < numQubits_; ++q) {
+        char axis = axes[static_cast<size_t>(q)];
+        if (axis == 'I' || axis == 'i')
+            continue;
+        leftMultiply1(pauli(axis), q, scratch);
+    }
+    return scratch.trace().real();
+}
+
+double
+DensityMatrix::fidelityWith(const StateVector &psi) const
+{
+    EQASM_ASSERT(psi.numQubits() == numQubits_,
+                 "fidelity needs equal qubit counts");
+    const auto &amp = psi.amplitudes();
+    Complex value = 0.0;
+    for (size_t i = 0; i < dim(); ++i) {
+        for (size_t j = 0; j < dim(); ++j)
+            value += std::conj(amp[i]) * rho_(i, j) * amp[j];
+    }
+    return value.real();
+}
+
+double
+DensityMatrix::purity() const
+{
+    double sum = 0.0;
+    for (size_t i = 0; i < dim(); ++i) {
+        for (size_t j = 0; j < dim(); ++j)
+            sum += std::norm(rho_(i, j));
+    }
+    return sum;
+}
+
+double
+DensityMatrix::traceReal() const
+{
+    return rho_.trace().real();
+}
+
+void
+DensityMatrix::normalize()
+{
+    double trace = traceReal();
+    EQASM_ASSERT(trace > 1e-12, "density matrix trace collapsed to zero");
+    rho_ = rho_ * Complex{1.0 / trace, 0.0};
+}
+
+} // namespace eqasm::qsim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Density-matrix quantum simulator with Kraus-channel noise.
+ *
+ * This backend represents the full mixed state of up to 8 qubits and is
+ * used by the simulated device to model decoherence (T1/T2), gate
+ * depolarization and measurement back-action — the physics behind the
+ * paper's Fig. 11, Fig. 12 and Section 5 fidelity numbers.
+ *
+ * Qubit 0 is the least significant bit of the basis index, matching
+ * StateVector.
+ */
+#ifndef EQASM_QSIM_DENSITY_MATRIX_H
+#define EQASM_QSIM_DENSITY_MATRIX_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "qsim/gates.h"
+#include "qsim/linalg.h"
+#include "qsim/state_vector.h"
+
+namespace eqasm::qsim {
+
+/** Mixed-state simulator for up to 8 qubits. */
+class DensityMatrix
+{
+  public:
+    /** Initialises |0...0><0...0| on @p num_qubits qubits. */
+    explicit DensityMatrix(int num_qubits);
+
+    /** Builds the pure density matrix of @p state. */
+    explicit DensityMatrix(const StateVector &state);
+
+    int numQubits() const { return numQubits_; }
+    size_t dim() const { return size_t{1} << numQubits_; }
+
+    /** Resets to |0...0><0...0|. */
+    void reset();
+
+    /** Resets one qubit to |0> (used by active-reset modelling). */
+    void resetQubit(int qubit);
+
+    const CMatrix &matrix() const { return rho_; }
+    CMatrix &matrix() { return rho_; }
+
+    /** Applies a 2x2 unitary to @p qubit: rho -> U rho U^dagger. */
+    void applyGate1(const CMatrix &unitary, int qubit);
+
+    /** Applies a 4x4 unitary to (qubit0 = LSB operand, qubit1). */
+    void applyGate2(const CMatrix &unitary, int qubit0, int qubit1);
+
+    /** Applies a named/parsed Gate to the listed qubits. */
+    void apply(const Gate &gate, const std::vector<int> &qubits);
+
+    /** Applies a single-qubit Kraus channel {K_k} to @p qubit. */
+    void applyChannel1(const std::vector<CMatrix> &kraus, int qubit);
+
+    /** Applies a two-qubit Kraus channel to (qubit0, qubit1). */
+    void applyChannel2(const std::vector<CMatrix> &kraus, int qubit0,
+                       int qubit1);
+
+    /** @return probability of measuring |1> on @p qubit. */
+    double probabilityOne(int qubit) const;
+
+    /** Samples a projective measurement and collapses the state. */
+    int measure(int qubit, Rng &rng);
+
+    /** Collapses @p qubit to @p outcome and renormalises. */
+    void postselect(int qubit, int outcome);
+
+    /** @return tr(rho P) where @p axes gives a Pauli per qubit
+     *  (axes[q] in {'I','X','Y','Z'}, axes.size() == numQubits()). */
+    double pauliExpectation(const std::string &axes) const;
+
+    /** @return <psi| rho |psi>. */
+    double fidelityWith(const StateVector &psi) const;
+
+    /** @return tr(rho^2). */
+    double purity() const;
+
+    /** @return tr(rho) (should stay 1 within rounding). */
+    double traceReal() const;
+
+    /** Renormalises to unit trace (guards against drift). */
+    void normalize();
+
+  private:
+    void checkQubit(int qubit) const;
+    /** rho -> M rho (2x2 block acting on @p qubit rows). */
+    void leftMultiply1(const CMatrix &m, int qubit, CMatrix &target) const;
+
+    int numQubits_;
+    CMatrix rho_;
+};
+
+} // namespace eqasm::qsim
+
+#endif // EQASM_QSIM_DENSITY_MATRIX_H

@@ -1,0 +1,206 @@
+#include "qsim/gates.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace eqasm::qsim {
+namespace {
+const Complex kI{0.0, 1.0};
+} // namespace
+
+CMatrix
+matI()
+{
+    return CMatrix(2, 2, {1.0, 0.0, 0.0, 1.0});
+}
+
+CMatrix
+matX()
+{
+    return CMatrix(2, 2, {0.0, 1.0, 1.0, 0.0});
+}
+
+CMatrix
+matY()
+{
+    return CMatrix(2, 2, {0.0, -kI, kI, 0.0});
+}
+
+CMatrix
+matZ()
+{
+    return CMatrix(2, 2, {1.0, 0.0, 0.0, -1.0});
+}
+
+CMatrix
+matH()
+{
+    double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+    return CMatrix(2, 2,
+                   {inv_sqrt2, inv_sqrt2, inv_sqrt2, -inv_sqrt2});
+}
+
+CMatrix
+matS()
+{
+    return CMatrix(2, 2, {1.0, 0.0, 0.0, kI});
+}
+
+CMatrix
+matSdg()
+{
+    return CMatrix(2, 2, {1.0, 0.0, 0.0, -kI});
+}
+
+CMatrix
+matT()
+{
+    return CMatrix(2, 2, {1.0, 0.0, 0.0, std::exp(kI * (M_PI / 4.0))});
+}
+
+CMatrix
+matTdg()
+{
+    return CMatrix(2, 2, {1.0, 0.0, 0.0, std::exp(-kI * (M_PI / 4.0))});
+}
+
+CMatrix
+matRx(double radians)
+{
+    double c = std::cos(radians / 2.0);
+    double s = std::sin(radians / 2.0);
+    return CMatrix(2, 2, {c, -kI * s, -kI * s, c});
+}
+
+CMatrix
+matRy(double radians)
+{
+    double c = std::cos(radians / 2.0);
+    double s = std::sin(radians / 2.0);
+    return CMatrix(2, 2, {c, -s, s, c});
+}
+
+CMatrix
+matRz(double radians)
+{
+    return CMatrix(2, 2,
+                   {std::exp(-kI * (radians / 2.0)), 0.0, 0.0,
+                    std::exp(kI * (radians / 2.0))});
+}
+
+CMatrix
+matCz()
+{
+    CMatrix out = CMatrix::identity(4);
+    out(3, 3) = -1.0;
+    return out;
+}
+
+CMatrix
+matCnot()
+{
+    // Operand 0 (LSB of the index) is the control: basis order
+    // |q1 q0> = |00>, |01>, |10>, |11>; control set in |01> and |11>.
+    CMatrix out(4, 4);
+    out(0, 0) = 1.0;
+    out(1, 3) = 1.0;
+    out(2, 2) = 1.0;
+    out(3, 1) = 1.0;
+    return out;
+}
+
+CMatrix
+matSwap()
+{
+    CMatrix out(4, 4);
+    out(0, 0) = 1.0;
+    out(1, 2) = 1.0;
+    out(2, 1) = 1.0;
+    out(3, 3) = 1.0;
+    return out;
+}
+
+std::optional<Gate>
+makeGate(std::string_view name)
+{
+    std::string lower = toLower(trim(name));
+    auto single = [&](CMatrix matrix) {
+        return Gate{lower, 1, std::move(matrix)};
+    };
+    auto twoQ = [&](CMatrix matrix) {
+        return Gate{lower, 2, std::move(matrix)};
+    };
+
+    if (lower == "i" || lower == "id")
+        return single(matI());
+    if (lower == "x")
+        return single(matX());
+    if (lower == "y")
+        return single(matY());
+    if (lower == "z")
+        return single(matZ());
+    if (lower == "h")
+        return single(matH());
+    if (lower == "s")
+        return single(matS());
+    if (lower == "sdg")
+        return single(matSdg());
+    if (lower == "t")
+        return single(matT());
+    if (lower == "tdg")
+        return single(matTdg());
+    if (lower == "x90")
+        return single(matRx(M_PI / 2.0));
+    if (lower == "xm90")
+        return single(matRx(-M_PI / 2.0));
+    if (lower == "y90")
+        return single(matRy(M_PI / 2.0));
+    if (lower == "ym90")
+        return single(matRy(-M_PI / 2.0));
+    if (lower == "z90")
+        return single(matRz(M_PI / 2.0));
+    if (lower == "zm90")
+        return single(matRz(-M_PI / 2.0));
+    if (lower == "cz")
+        return twoQ(matCz());
+    if (lower == "cnot")
+        return twoQ(matCnot());
+    if (lower == "swap")
+        return twoQ(matSwap());
+
+    // Parametric rotations: "rx:<degrees>".
+    for (const char *prefix : {"rx:", "ry:", "rz:"}) {
+        if (startsWith(lower, prefix)) {
+            double degrees = 0.0;
+            try {
+                degrees = std::stod(lower.substr(3));
+            } catch (const std::exception &) {
+                return std::nullopt;
+            }
+            double radians = degrees * M_PI / 180.0;
+            CMatrix matrix = prefix[1] == 'x'   ? matRx(radians)
+                             : prefix[1] == 'y' ? matRy(radians)
+                                                : matRz(radians);
+            return single(std::move(matrix));
+        }
+    }
+    return std::nullopt;
+}
+
+CMatrix
+pauli(char axis)
+{
+    switch (axis) {
+      case 'I': case 'i': return matI();
+      case 'X': case 'x': return matX();
+      case 'Y': case 'y': return matY();
+      case 'Z': case 'z': return matZ();
+      default:
+        throwError(ErrorCode::invalidArgument,
+                   format("bad Pauli axis '%c'", axis));
+    }
+}
+
+} // namespace eqasm::qsim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Gate library: named unitaries used across the simulator.
+ *
+ * Gate semantics strings come from the operation-set configuration
+ * (isa::OperationInfo::unitary). The grammar is:
+ *
+ *   fixed:      i x y z h s sdg t tdg x90 y90 xm90 ym90 z90 zm90
+ *   parametric: rx:<deg>  ry:<deg>  rz:<deg>
+ *   two-qubit:  cz cnot swap
+ *
+ * Rotations follow the physics convention R_a(theta) = exp(-i theta A/2),
+ * so "x90" = R_x(+pi/2) and "xm90" = R_x(-pi/2).
+ */
+#ifndef EQASM_QSIM_GATES_H
+#define EQASM_QSIM_GATES_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "qsim/linalg.h"
+
+namespace eqasm::qsim {
+
+/** A named unitary acting on one or two qubits. */
+struct Gate {
+    std::string name;
+    int numQubits = 1;
+    CMatrix matrix;  ///< 2x2 or 4x4 unitary.
+};
+
+/** Fixed 2x2 matrices. */
+CMatrix matI();
+CMatrix matX();
+CMatrix matY();
+CMatrix matZ();
+CMatrix matH();
+CMatrix matS();
+CMatrix matSdg();
+CMatrix matT();
+CMatrix matTdg();
+
+/** Rotations by @p radians around the x/y/z axis. */
+CMatrix matRx(double radians);
+CMatrix matRy(double radians);
+CMatrix matRz(double radians);
+
+/** Fixed 4x4 matrices (qubit order: operand 0 is the least significant
+ *  index bit; for CNOT/CZ operand 0 is the control). */
+CMatrix matCz();
+CMatrix matCnot();
+CMatrix matSwap();
+
+/**
+ * Resolves a gate semantics string (see file comment).
+ * @return std::nullopt for the non-unitary "measz" marker or an
+ *         unrecognised name.
+ */
+std::optional<Gate> makeGate(std::string_view name);
+
+/** @return the single-qubit Pauli matrix for axis 'I','X','Y','Z'. */
+CMatrix pauli(char axis);
+
+} // namespace eqasm::qsim
+
+#endif // EQASM_QSIM_GATES_H

@@ -1,0 +1,276 @@
+#include "qsim/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace eqasm::qsim {
+
+CMatrix::CMatrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, Complex{0.0, 0.0})
+{
+}
+
+CMatrix::CMatrix(size_t rows, size_t cols, std::vector<Complex> data)
+    : rows_(rows), cols_(cols), data_(std::move(data))
+{
+    if (data_.size() != rows_ * cols_) {
+        throwError(ErrorCode::invalidArgument,
+                   format("matrix data size %zu does not match %zux%zu",
+                          data_.size(), rows_, cols_));
+    }
+}
+
+CMatrix
+CMatrix::identity(size_t n)
+{
+    CMatrix out(n, n);
+    for (size_t i = 0; i < n; ++i)
+        out(i, i) = 1.0;
+    return out;
+}
+
+CMatrix
+CMatrix::operator*(const CMatrix &other) const
+{
+    if (cols_ != other.rows_) {
+        throwError(ErrorCode::invalidArgument,
+                   "matrix product dimension mismatch");
+    }
+    CMatrix out(rows_, other.cols_);
+    for (size_t i = 0; i < rows_; ++i) {
+        for (size_t k = 0; k < cols_; ++k) {
+            Complex aik = (*this)(i, k);
+            if (aik == Complex{0.0, 0.0})
+                continue;
+            for (size_t j = 0; j < other.cols_; ++j)
+                out(i, j) += aik * other(k, j);
+        }
+    }
+    return out;
+}
+
+CMatrix
+CMatrix::operator+(const CMatrix &other) const
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_) {
+        throwError(ErrorCode::invalidArgument,
+                   "matrix sum dimension mismatch");
+    }
+    CMatrix out = *this;
+    for (size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] += other.data_[i];
+    return out;
+}
+
+CMatrix
+CMatrix::operator-(const CMatrix &other) const
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_) {
+        throwError(ErrorCode::invalidArgument,
+                   "matrix difference dimension mismatch");
+    }
+    CMatrix out = *this;
+    for (size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] -= other.data_[i];
+    return out;
+}
+
+CMatrix
+CMatrix::operator*(Complex scalar) const
+{
+    CMatrix out = *this;
+    for (Complex &value : out.data_)
+        value *= scalar;
+    return out;
+}
+
+CMatrix
+CMatrix::dagger() const
+{
+    CMatrix out(cols_, rows_);
+    for (size_t i = 0; i < rows_; ++i) {
+        for (size_t j = 0; j < cols_; ++j)
+            out(j, i) = std::conj((*this)(i, j));
+    }
+    return out;
+}
+
+CMatrix
+CMatrix::kron(const CMatrix &other) const
+{
+    CMatrix out(rows_ * other.rows_, cols_ * other.cols_);
+    for (size_t i = 0; i < rows_; ++i) {
+        for (size_t j = 0; j < cols_; ++j) {
+            Complex aij = (*this)(i, j);
+            if (aij == Complex{0.0, 0.0})
+                continue;
+            for (size_t k = 0; k < other.rows_; ++k) {
+                for (size_t l = 0; l < other.cols_; ++l) {
+                    out(i * other.rows_ + k, j * other.cols_ + l) =
+                        aij * other(k, l);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Complex
+CMatrix::trace() const
+{
+    Complex sum = 0.0;
+    size_t n = std::min(rows_, cols_);
+    for (size_t i = 0; i < n; ++i)
+        sum += (*this)(i, i);
+    return sum;
+}
+
+double
+CMatrix::distance(const CMatrix &other) const
+{
+    double sum = 0.0;
+    for (size_t i = 0; i < data_.size(); ++i)
+        sum += std::norm(data_[i] - other.data_[i]);
+    return std::sqrt(sum);
+}
+
+double
+CMatrix::maxAbsDiff(const CMatrix &other) const
+{
+    double max_diff = 0.0;
+    for (size_t i = 0; i < data_.size(); ++i)
+        max_diff = std::max(max_diff, std::abs(data_[i] - other.data_[i]));
+    return max_diff;
+}
+
+bool
+CMatrix::isHermitian(double tol) const
+{
+    if (rows_ != cols_)
+        return false;
+    for (size_t i = 0; i < rows_; ++i) {
+        for (size_t j = i; j < cols_; ++j) {
+            if (std::abs((*this)(i, j) - std::conj((*this)(j, i))) > tol)
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+CMatrix::isUnitary(double tol) const
+{
+    if (rows_ != cols_)
+        return false;
+    CMatrix product = *this * dagger();
+    return product.maxAbsDiff(CMatrix::identity(rows_)) <= tol;
+}
+
+std::vector<Complex>
+multiply(const CMatrix &matrix, const std::vector<Complex> &vec)
+{
+    if (matrix.cols() != vec.size()) {
+        throwError(ErrorCode::invalidArgument,
+                   "matrix-vector dimension mismatch");
+    }
+    std::vector<Complex> out(matrix.rows(), Complex{0.0, 0.0});
+    for (size_t i = 0; i < matrix.rows(); ++i) {
+        Complex sum = 0.0;
+        for (size_t j = 0; j < matrix.cols(); ++j)
+            sum += matrix(i, j) * vec[j];
+        out[i] = sum;
+    }
+    return out;
+}
+
+EigenResult
+eigenHermitian(const CMatrix &matrix, double tol, int max_sweeps)
+{
+    if (matrix.rows() != matrix.cols()) {
+        throwError(ErrorCode::invalidArgument,
+                   "eigenHermitian needs a square matrix");
+    }
+    if (!matrix.isHermitian(1e-8)) {
+        throwError(ErrorCode::invalidArgument,
+                   "eigenHermitian needs a Hermitian matrix");
+    }
+    size_t n = matrix.rows();
+    CMatrix a = matrix;
+    CMatrix v = CMatrix::identity(n);
+
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        double off = 0.0;
+        for (size_t p = 0; p < n; ++p) {
+            for (size_t q = p + 1; q < n; ++q)
+                off += std::norm(a(p, q));
+        }
+        if (off < tol * tol)
+            break;
+
+        for (size_t p = 0; p < n; ++p) {
+            for (size_t q = p + 1; q < n; ++q) {
+                Complex apq = a(p, q);
+                double mag = std::abs(apq);
+                if (mag < 1e-300)
+                    continue;
+                // Phase of the off-diagonal element and the rotation
+                // angle that annihilates it.
+                Complex phase = apq / mag;
+                double app = a(p, p).real();
+                double aqq = a(q, q).real();
+                double theta = 0.5 * std::atan2(2.0 * mag, aqq - app);
+                double c = std::cos(theta);
+                double s = std::sin(theta);
+
+                // Columns p and q of A <- A J, with
+                // J[p][p]=c, J[p][q]=-s*conj(phase)... chosen so that
+                // (J^dagger A J)[p][q] = 0.
+                for (size_t i = 0; i < n; ++i) {
+                    Complex aip = a(i, p);
+                    Complex aiq = a(i, q);
+                    a(i, p) = c * aip - s * std::conj(phase) * aiq;
+                    a(i, q) = s * phase * aip + c * aiq;
+                }
+                // Rows p and q of A <- J^dagger A.
+                for (size_t j = 0; j < n; ++j) {
+                    Complex apj = a(p, j);
+                    Complex aqj = a(q, j);
+                    a(p, j) = c * apj - s * phase * aqj;
+                    a(q, j) = s * std::conj(phase) * apj + c * aqj;
+                }
+                // Accumulate eigenvectors: V <- V J.
+                for (size_t i = 0; i < n; ++i) {
+                    Complex vip = v(i, p);
+                    Complex viq = v(i, q);
+                    v(i, p) = c * vip - s * std::conj(phase) * viq;
+                    v(i, q) = s * phase * vip + c * viq;
+                }
+            }
+        }
+    }
+
+    // Collect and sort ascending.
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::vector<double> diag(n);
+    for (size_t i = 0; i < n; ++i)
+        diag[i] = a(i, i).real();
+    std::sort(order.begin(), order.end(),
+              [&](size_t lhs, size_t rhs) { return diag[lhs] < diag[rhs]; });
+
+    EigenResult result;
+    result.values.resize(n);
+    result.vectors = CMatrix(n, n);
+    for (size_t k = 0; k < n; ++k) {
+        result.values[k] = diag[order[k]];
+        for (size_t i = 0; i < n; ++i)
+            result.vectors(i, k) = v(i, order[k]);
+    }
+    return result;
+}
+
+} // namespace eqasm::qsim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Dense complex linear algebra for the quantum state simulators.
+ *
+ * Dimensions in this library are tiny (at most 2^8 for the density
+ * matrix backend), so a straightforward dense row-major implementation
+ * is both adequate and easy to audit. The Hermitian eigensolver is a
+ * cyclic complex Jacobi iteration, used by the maximum-likelihood
+ * tomography projection.
+ */
+#ifndef EQASM_QSIM_LINALG_H
+#define EQASM_QSIM_LINALG_H
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace eqasm::qsim {
+
+using Complex = std::complex<double>;
+
+/** Dense row-major complex matrix. */
+class CMatrix
+{
+  public:
+    CMatrix() = default;
+
+    /** Zero matrix of shape rows x cols. */
+    CMatrix(size_t rows, size_t cols);
+
+    /** Builds from a row-major initializer (size must be rows*cols). */
+    CMatrix(size_t rows, size_t cols, std::vector<Complex> data);
+
+    /** @return the n x n identity. */
+    static CMatrix identity(size_t n);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    Complex &operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    const Complex &
+    operator()(size_t r, size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    const std::vector<Complex> &data() const { return data_; }
+    std::vector<Complex> &data() { return data_; }
+
+    CMatrix operator*(const CMatrix &other) const;
+    CMatrix operator+(const CMatrix &other) const;
+    CMatrix operator-(const CMatrix &other) const;
+    CMatrix operator*(Complex scalar) const;
+
+    /** Conjugate transpose. */
+    CMatrix dagger() const;
+
+    /** Kronecker product: this (x) other. */
+    CMatrix kron(const CMatrix &other) const;
+
+    Complex trace() const;
+
+    /** Frobenius norm of (this - other). */
+    double distance(const CMatrix &other) const;
+
+    /** max_ij |a_ij - b_ij|; convenient for approximate comparisons. */
+    double maxAbsDiff(const CMatrix &other) const;
+
+    /** @return true iff max |A - A^dagger| element is below @p tol. */
+    bool isHermitian(double tol = 1e-9) const;
+
+    /** @return true iff max |A A^dagger - I| element is below @p tol. */
+    bool isUnitary(double tol = 1e-9) const;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<Complex> data_;
+};
+
+/** Matrix-vector product. */
+std::vector<Complex> multiply(const CMatrix &matrix,
+                              const std::vector<Complex> &vec);
+
+/** Result of a Hermitian eigendecomposition: A = V diag(values) V^dagger. */
+struct EigenResult {
+    std::vector<double> values;  ///< ascending eigenvalues.
+    CMatrix vectors;             ///< column k is the k-th eigenvector.
+};
+
+/**
+ * Eigendecomposition of a Hermitian matrix by cyclic complex Jacobi
+ * rotations. @p matrix must be Hermitian (checked within tolerance).
+ *
+ * @throws Error{invalidArgument} when not square/Hermitian.
+ */
+EigenResult eigenHermitian(const CMatrix &matrix, double tol = 1e-12,
+                           int max_sweeps = 100);
+
+} // namespace eqasm::qsim
+
+#endif // EQASM_QSIM_LINALG_H

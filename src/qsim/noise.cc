@@ -1,0 +1,137 @@
+#include "qsim/noise.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace eqasm::qsim {
+
+std::vector<CMatrix>
+krausAmplitudeDamping(double gamma)
+{
+    EQASM_ASSERT(gamma >= 0.0 && gamma <= 1.0, "gamma out of [0, 1]");
+    CMatrix k0(2, 2, {1.0, 0.0, 0.0, std::sqrt(1.0 - gamma)});
+    CMatrix k1(2, 2, {0.0, std::sqrt(gamma), 0.0, 0.0});
+    return {k0, k1};
+}
+
+std::vector<CMatrix>
+krausPhaseDamping(double lambda)
+{
+    EQASM_ASSERT(lambda >= 0.0 && lambda <= 1.0, "lambda out of [0, 1]");
+    CMatrix k0(2, 2, {1.0, 0.0, 0.0, std::sqrt(1.0 - lambda)});
+    CMatrix k1(2, 2, {0.0, 0.0, 0.0, std::sqrt(lambda)});
+    return {k0, k1};
+}
+
+std::vector<CMatrix>
+krausDepolarizing1(double p)
+{
+    EQASM_ASSERT(p >= 0.0 && p <= 1.0, "p out of [0, 1]");
+    std::vector<CMatrix> kraus;
+    kraus.push_back(matI() * Complex{std::sqrt(1.0 - p), 0.0});
+    double w = std::sqrt(p / 3.0);
+    kraus.push_back(matX() * Complex{w, 0.0});
+    kraus.push_back(matY() * Complex{w, 0.0});
+    kraus.push_back(matZ() * Complex{w, 0.0});
+    return kraus;
+}
+
+std::vector<CMatrix>
+krausDepolarizing2(double p)
+{
+    EQASM_ASSERT(p >= 0.0 && p <= 1.0, "p out of [0, 1]");
+    std::vector<CMatrix> kraus;
+    const CMatrix paulis[4] = {matI(), matX(), matY(), matZ()};
+    double w = std::sqrt(p / 15.0);
+    for (int a = 0; a < 4; ++a) {
+        for (int b = 0; b < 4; ++b) {
+            double weight = (a == 0 && b == 0) ? std::sqrt(1.0 - p) : w;
+            // Operand 0 is the LSB: P_b (x) P_a with a on qubit0.
+            kraus.push_back(paulis[b].kron(paulis[a]) *
+                            Complex{weight, 0.0});
+        }
+    }
+    return kraus;
+}
+
+NoiseModel
+NoiseModel::ideal()
+{
+    NoiseModel model;
+    model.enabled = false;
+    model.depol1q = 0.0;
+    model.depol2q = 0.0;
+    model.readoutError = 0.0;
+    return model;
+}
+
+NoiseModel
+NoiseModel::fromJson(const Json &json)
+{
+    NoiseModel model;
+    model.enabled = json.getBool("enabled", true);
+    model.t1Ns = json.getDouble("t1_ns", model.t1Ns);
+    model.t2Ns = json.getDouble("t2_ns", model.t2Ns);
+    model.depol1q = json.getDouble("depol_1q", model.depol1q);
+    model.depol2q = json.getDouble("depol_2q", model.depol2q);
+    model.readoutError = json.getDouble("readout_error",
+                                        model.readoutError);
+    model.measDephase = json.getDouble("meas_dephase", model.measDephase);
+    if (model.t2Ns > 2.0 * model.t1Ns) {
+        throwError(ErrorCode::configError,
+                   "noise model violates T2 <= 2 T1");
+    }
+    return model;
+}
+
+Json
+NoiseModel::toJson() const
+{
+    Json out = Json::makeObject();
+    out.set("enabled", enabled);
+    out.set("t1_ns", t1Ns);
+    out.set("t2_ns", t2Ns);
+    out.set("depol_1q", depol1q);
+    out.set("depol_2q", depol2q);
+    out.set("readout_error", readoutError);
+    out.set("meas_dephase", measDephase);
+    return out;
+}
+
+void
+applyIdleNoise(DensityMatrix &rho, int qubit, double duration_ns,
+               const NoiseModel &model)
+{
+    if (!model.enabled || duration_ns <= 0.0)
+        return;
+    double gamma = 1.0 - std::exp(-duration_ns / model.t1Ns);
+    rho.applyChannel1(krausAmplitudeDamping(gamma), qubit);
+    // Pure dephasing rate: 1/T_phi = 1/T2 - 1/(2 T1). The phase-damping
+    // channel multiplies coherences by sqrt(1 - lambda), so lambda =
+    // 1 - exp(-2 t / T_phi) realises the exp(-t/T_phi) factor.
+    double inv_tphi = 1.0 / model.t2Ns - 0.5 / model.t1Ns;
+    if (inv_tphi > 0.0) {
+        double lambda = 1.0 - std::exp(-2.0 * duration_ns * inv_tphi);
+        rho.applyChannel1(krausPhaseDamping(lambda), qubit);
+    }
+}
+
+void
+applyGateNoise1(DensityMatrix &rho, int qubit, const NoiseModel &model)
+{
+    if (!model.enabled || model.depol1q <= 0.0)
+        return;
+    rho.applyChannel1(krausDepolarizing1(model.depol1q), qubit);
+}
+
+void
+applyGateNoise2(DensityMatrix &rho, int qubit0, int qubit1,
+                const NoiseModel &model)
+{
+    if (!model.enabled || model.depol2q <= 0.0)
+        return;
+    rho.applyChannel2(krausDepolarizing2(model.depol2q), qubit0, qubit1);
+}
+
+} // namespace eqasm::qsim

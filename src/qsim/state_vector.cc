@@ -1,0 +1,190 @@
+#include "qsim/state_vector.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace eqasm::qsim {
+
+StateVector::StateVector(int num_qubits) : numQubits_(num_qubits)
+{
+    if (num_qubits < 1 || num_qubits > 24) {
+        throwError(ErrorCode::invalidArgument,
+                   format("state vector supports 1..24 qubits, got %d",
+                          num_qubits));
+    }
+    amplitudes_.assign(size_t{1} << num_qubits, Complex{0.0, 0.0});
+    amplitudes_[0] = 1.0;
+}
+
+void
+StateVector::reset()
+{
+    std::fill(amplitudes_.begin(), amplitudes_.end(), Complex{0.0, 0.0});
+    amplitudes_[0] = 1.0;
+}
+
+void
+StateVector::checkQubit(int qubit) const
+{
+    if (qubit < 0 || qubit >= numQubits_) {
+        throwError(ErrorCode::invalidArgument,
+                   format("qubit %d out of range [0, %d)", qubit,
+                          numQubits_));
+    }
+}
+
+void
+StateVector::applyGate1(const CMatrix &unitary, int qubit)
+{
+    checkQubit(qubit);
+    EQASM_ASSERT(unitary.rows() == 2 && unitary.cols() == 2,
+                 "applyGate1 needs a 2x2 matrix");
+    size_t stride = size_t{1} << qubit;
+    for (size_t base = 0; base < amplitudes_.size(); base += 2 * stride) {
+        for (size_t offset = 0; offset < stride; ++offset) {
+            size_t i0 = base + offset;
+            size_t i1 = i0 + stride;
+            Complex a0 = amplitudes_[i0];
+            Complex a1 = amplitudes_[i1];
+            amplitudes_[i0] = unitary(0, 0) * a0 + unitary(0, 1) * a1;
+            amplitudes_[i1] = unitary(1, 0) * a0 + unitary(1, 1) * a1;
+        }
+    }
+}
+
+void
+StateVector::applyGate2(const CMatrix &unitary, int qubit0, int qubit1)
+{
+    checkQubit(qubit0);
+    checkQubit(qubit1);
+    EQASM_ASSERT(unitary.rows() == 4 && unitary.cols() == 4,
+                 "applyGate2 needs a 4x4 matrix");
+    EQASM_ASSERT(qubit0 != qubit1, "two-qubit gate needs distinct qubits");
+    size_t bit0 = size_t{1} << qubit0;
+    size_t bit1 = size_t{1} << qubit1;
+    for (size_t index = 0; index < amplitudes_.size(); ++index) {
+        if (index & (bit0 | bit1))
+            continue;
+        size_t i00 = index;
+        size_t i01 = index | bit0;
+        size_t i10 = index | bit1;
+        size_t i11 = index | bit0 | bit1;
+        Complex a[4] = {amplitudes_[i00], amplitudes_[i01],
+                        amplitudes_[i10], amplitudes_[i11]};
+        for (size_t r = 0; r < 4; ++r) {
+            Complex sum = 0.0;
+            for (size_t c = 0; c < 4; ++c)
+                sum += unitary(r, c) * a[c];
+            size_t target = r == 0 ? i00 : r == 1 ? i01 : r == 2 ? i10 : i11;
+            amplitudes_[target] = sum;
+        }
+    }
+}
+
+void
+StateVector::apply(const Gate &gate, const std::vector<int> &qubits)
+{
+    if (gate.numQubits == 1) {
+        EQASM_ASSERT(qubits.size() == 1, "gate arity mismatch");
+        applyGate1(gate.matrix, qubits[0]);
+    } else {
+        EQASM_ASSERT(qubits.size() == 2, "gate arity mismatch");
+        applyGate2(gate.matrix, qubits[0], qubits[1]);
+    }
+}
+
+double
+StateVector::probabilityOne(int qubit) const
+{
+    checkQubit(qubit);
+    size_t mask = size_t{1} << qubit;
+    double p1 = 0.0;
+    for (size_t index = 0; index < amplitudes_.size(); ++index) {
+        if (index & mask)
+            p1 += std::norm(amplitudes_[index]);
+    }
+    return p1;
+}
+
+int
+StateVector::measure(int qubit, Rng &rng)
+{
+    double p1 = probabilityOne(qubit);
+    int outcome = rng.uniform() < p1 ? 1 : 0;
+    postselect(qubit, outcome);
+    return outcome;
+}
+
+void
+StateVector::postselect(int qubit, int outcome)
+{
+    checkQubit(qubit);
+    size_t mask = size_t{1} << qubit;
+    double kept = 0.0;
+    for (size_t index = 0; index < amplitudes_.size(); ++index) {
+        bool is_one = (index & mask) != 0;
+        if (is_one != (outcome == 1)) {
+            amplitudes_[index] = 0.0;
+        } else {
+            kept += std::norm(amplitudes_[index]);
+        }
+    }
+    if (kept <= 0.0) {
+        throwError(ErrorCode::invalidArgument,
+                   format("postselecting qubit %d on %d has probability 0",
+                          qubit, outcome));
+    }
+    double scale = 1.0 / std::sqrt(kept);
+    for (Complex &amp : amplitudes_)
+        amp *= scale;
+}
+
+double
+StateVector::fidelity(const StateVector &other) const
+{
+    EQASM_ASSERT(numQubits_ == other.numQubits_,
+                 "fidelity needs equal qubit counts");
+    Complex overlap = 0.0;
+    for (size_t index = 0; index < amplitudes_.size(); ++index)
+        overlap += std::conj(amplitudes_[index]) * other.amplitudes_[index];
+    return std::norm(overlap);
+}
+
+double
+StateVector::probabilityOf(uint64_t index) const
+{
+    EQASM_ASSERT(index < amplitudes_.size(), "basis index out of range");
+    return std::norm(amplitudes_[index]);
+}
+
+uint64_t
+StateVector::sampleAll(Rng &rng) const
+{
+    double r = rng.uniform();
+    double cumulative = 0.0;
+    for (size_t index = 0; index < amplitudes_.size(); ++index) {
+        cumulative += std::norm(amplitudes_[index]);
+        if (r < cumulative)
+            return index;
+    }
+    return amplitudes_.size() - 1;
+}
+
+double
+StateVector::expectationZ(int qubit) const
+{
+    return 1.0 - 2.0 * probabilityOne(qubit);
+}
+
+double
+StateVector::norm() const
+{
+    double sum = 0.0;
+    for (const Complex &amp : amplitudes_)
+        sum += std::norm(amp);
+    return sum;
+}
+
+} // namespace eqasm::qsim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Pure-state (state-vector) quantum simulator.
+ *
+ * Qubit 0 is the least significant bit of the basis index. The backend
+ * supports arbitrary single- and two-qubit unitaries, projective
+ * measurement with explicit RNG, and fidelity/probability queries. It is
+ * the noise-free reference backend; the density-matrix backend adds
+ * noise channels.
+ */
+#ifndef EQASM_QSIM_STATE_VECTOR_H
+#define EQASM_QSIM_STATE_VECTOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "qsim/gates.h"
+#include "qsim/linalg.h"
+
+namespace eqasm::qsim {
+
+/** State-vector simulator for up to 24 qubits. */
+class StateVector
+{
+  public:
+    /** Initialises |0...0> on @p num_qubits qubits. */
+    explicit StateVector(int num_qubits);
+
+    int numQubits() const { return numQubits_; }
+    size_t dim() const { return amplitudes_.size(); }
+
+    /** Resets to |0...0>. */
+    void reset();
+
+    const std::vector<Complex> &amplitudes() const { return amplitudes_; }
+
+    /** Applies a 2x2 unitary to @p qubit. */
+    void applyGate1(const CMatrix &unitary, int qubit);
+
+    /** Applies a 4x4 unitary to (qubit0 = LSB operand, qubit1). */
+    void applyGate2(const CMatrix &unitary, int qubit0, int qubit1);
+
+    /** Applies a named/parsed Gate to the listed qubits. */
+    void apply(const Gate &gate, const std::vector<int> &qubits);
+
+    /** @return probability of measuring |1> on @p qubit. */
+    double probabilityOne(int qubit) const;
+
+    /**
+     * Projective measurement of @p qubit in the computational basis:
+     * samples via @p rng, collapses and renormalises.
+     * @return the observed bit.
+     */
+    int measure(int qubit, Rng &rng);
+
+    /** Collapses @p qubit to @p outcome (must have nonzero probability). */
+    void postselect(int qubit, int outcome);
+
+    /** @return |<this|other>|^2. */
+    double fidelity(const StateVector &other) const;
+
+    /** @return probability of the computational basis state @p index. */
+    double probabilityOf(uint64_t index) const;
+
+    /** Samples a full computational-basis outcome without collapse. */
+    uint64_t sampleAll(Rng &rng) const;
+
+    /** @return <Z_qubit>. */
+    double expectationZ(int qubit) const;
+
+    /** Squared norm (should stay 1 within rounding). */
+    double norm() const;
+
+  private:
+    void checkQubit(int qubit) const;
+
+    int numQubits_;
+    std::vector<Complex> amplitudes_;
+};
+
+} // namespace eqasm::qsim
+
+#endif // EQASM_QSIM_STATE_VECTOR_H

@@ -1,0 +1,132 @@
+#include "qsim/tomography.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace eqasm::qsim {
+
+std::vector<std::string>
+pauliStrings(int num_qubits)
+{
+    EQASM_ASSERT(num_qubits >= 1 && num_qubits <= 8,
+                 "pauliStrings supports 1..8 qubits");
+    const char axes[4] = {'I', 'X', 'Y', 'Z'};
+    std::vector<std::string> out;
+    size_t total = size_t{1} << (2 * num_qubits);
+    out.reserve(total);
+    for (size_t code = 0; code < total; ++code) {
+        std::string s(static_cast<size_t>(num_qubits), 'I');
+        size_t rest = code;
+        for (int q = 0; q < num_qubits; ++q) {
+            s[static_cast<size_t>(q)] = axes[rest & 3];
+            rest >>= 2;
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+CMatrix
+pauliStringMatrix(const std::string &axes)
+{
+    EQASM_ASSERT(!axes.empty(), "empty Pauli string");
+    // Qubit 0 is the LSB, so it is the rightmost kron factor.
+    CMatrix out = pauli(axes[0]);
+    for (size_t q = 1; q < axes.size(); ++q)
+        out = pauli(axes[q]).kron(out);
+    return out;
+}
+
+CMatrix
+linearInversion(int num_qubits,
+                const std::map<std::string, double> &expectations)
+{
+    size_t dim = size_t{1} << num_qubits;
+    CMatrix rho(dim, dim);
+    size_t expected = size_t{1} << (2 * num_qubits);
+    if (expectations.size() != expected) {
+        throwError(ErrorCode::invalidArgument,
+                   format("linear inversion needs all %zu Pauli "
+                          "expectations, got %zu",
+                          expected, expectations.size()));
+    }
+    double scale = 1.0 / static_cast<double>(dim);
+    for (const auto &[axes, value] : expectations) {
+        if (axes.size() != static_cast<size_t>(num_qubits)) {
+            throwError(ErrorCode::invalidArgument,
+                       format("Pauli string '%s' has wrong length",
+                              axes.c_str()));
+        }
+        rho = rho + pauliStringMatrix(axes) * Complex{value * scale, 0.0};
+    }
+    return rho;
+}
+
+CMatrix
+mleProject(const CMatrix &rho)
+{
+    if (rho.rows() != rho.cols()) {
+        throwError(ErrorCode::invalidArgument,
+                   "mleProject needs a square matrix");
+    }
+    // Symmetrise to guard against rounding, then eigendecompose.
+    CMatrix herm = (rho + rho.dagger()) * Complex{0.5, 0.0};
+    EigenResult eig = eigenHermitian(herm);
+    size_t n = eig.values.size();
+
+    // Smolin-Gambetta-Smith: walk eigenvalues from the smallest; when a
+    // value (plus accumulated deficit spread over the remaining ones)
+    // would be negative, zero it and spread its mass over the rest.
+    std::vector<double> values = eig.values; // ascending
+    double accumulator = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        double share = accumulator / static_cast<double>(n - i);
+        if (values[i] + share < 0.0) {
+            accumulator += values[i];
+            values[i] = 0.0;
+        } else {
+            for (size_t j = i; j < n; ++j)
+                values[j] += accumulator / static_cast<double>(n - i);
+            accumulator = 0.0;
+            break;
+        }
+    }
+
+    CMatrix out(n, n);
+    for (size_t k = 0; k < n; ++k) {
+        if (values[k] <= 0.0)
+            continue;
+        for (size_t i = 0; i < n; ++i) {
+            Complex vik = eig.vectors(i, k);
+            if (vik == Complex{0.0, 0.0})
+                continue;
+            for (size_t j = 0; j < n; ++j) {
+                out(i, j) += values[k] * vik *
+                             std::conj(eig.vectors(j, k));
+            }
+        }
+    }
+    // Normalise the trace exactly.
+    double trace = out.trace().real();
+    EQASM_ASSERT(trace > 1e-12, "MLE projection collapsed to zero");
+    return out * Complex{1.0 / trace, 0.0};
+}
+
+double
+stateFidelity(const CMatrix &rho, const StateVector &psi)
+{
+    const auto &amp = psi.amplitudes();
+    EQASM_ASSERT(rho.rows() == amp.size(),
+                 "state fidelity dimension mismatch");
+    Complex value = 0.0;
+    for (size_t i = 0; i < rho.rows(); ++i) {
+        for (size_t j = 0; j < rho.cols(); ++j)
+            value += std::conj(amp[i]) * rho(i, j) * amp[j];
+    }
+    return value.real();
+}
+
+} // namespace eqasm::qsim

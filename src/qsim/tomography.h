@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Quantum state tomography with maximum-likelihood estimation.
+ *
+ * The paper's two-qubit Grover experiment reports an algorithmic
+ * fidelity of 85.6 % "using quantum tomography with maximum likelihood
+ * estimation". This module provides the same pipeline: measure Pauli
+ * expectation values, reconstruct rho by linear inversion, and project
+ * the (generally unphysical) estimate onto the closest positive
+ * semidefinite unit-trace matrix using the fast MLE algorithm of
+ * Smolin, Gambetta and Smith (PRL 108, 070502).
+ */
+#ifndef EQASM_QSIM_TOMOGRAPHY_H
+#define EQASM_QSIM_TOMOGRAPHY_H
+
+#include <map>
+#include <string>
+
+#include "qsim/density_matrix.h"
+#include "qsim/linalg.h"
+#include "qsim/state_vector.h"
+
+namespace eqasm::qsim {
+
+/** All 4^n Pauli strings on @p num_qubits qubits ("II", "IX", ...).
+ *  Character k of the string addresses qubit k (LSB first). */
+std::vector<std::string> pauliStrings(int num_qubits);
+
+/** Builds the full 2^n x 2^n matrix of a Pauli string. */
+CMatrix pauliStringMatrix(const std::string &axes);
+
+/**
+ * Linear-inversion reconstruction from Pauli expectation values:
+ * rho = 2^-n * sum_P <P> P. The identity string must be present
+ * (its value is 1 for properly normalised data).
+ */
+CMatrix linearInversion(int num_qubits,
+                        const std::map<std::string, double> &expectations);
+
+/**
+ * Projects a Hermitian unit-trace matrix onto the physical state space
+ * (PSD, trace 1) in the Frobenius norm — the MLE estimate for Gaussian
+ * measurement noise.
+ */
+CMatrix mleProject(const CMatrix &rho);
+
+/** @return <psi| rho |psi> for a pure target state. */
+double stateFidelity(const CMatrix &rho, const StateVector &psi);
+
+} // namespace eqasm::qsim
+
+#endif // EQASM_QSIM_TOMOGRAPHY_H

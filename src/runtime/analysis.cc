@@ -1,0 +1,118 @@
+#include "runtime/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace eqasm::runtime {
+
+double
+readoutCorrect(double raw_fraction_one, double eps0, double eps1)
+{
+    double denominator = 1.0 - eps0 - eps1;
+    EQASM_ASSERT(denominator > 1e-9,
+                 "readout errors too large to invert the assignment");
+    double corrected = (raw_fraction_one - eps0) / denominator;
+    return std::clamp(corrected, 0.0, 1.0);
+}
+
+namespace {
+
+/** Solves A, B for fixed p by linear least squares; returns the SSE. */
+double
+solveLinear(const std::vector<double> &ks, const std::vector<double> &ys,
+            double p, double &amplitude, double &floor_value)
+{
+    // Basis functions f1 = p^k, f2 = 1.
+    double s11 = 0.0, s12 = 0.0, s22 = 0.0, sy1 = 0.0, sy2 = 0.0;
+    size_t n = ks.size();
+    for (size_t i = 0; i < n; ++i) {
+        double f1 = std::pow(p, ks[i]);
+        s11 += f1 * f1;
+        s12 += f1;
+        s22 += 1.0;
+        sy1 += f1 * ys[i];
+        sy2 += ys[i];
+    }
+    double det = s11 * s22 - s12 * s12;
+    if (std::fabs(det) < 1e-15) {
+        amplitude = 0.0;
+        floor_value = sy2 / s22;
+    } else {
+        amplitude = (sy1 * s22 - sy2 * s12) / det;
+        floor_value = (s11 * sy2 - s12 * sy1) / det;
+    }
+    double sse = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        double model = amplitude * std::pow(p, ks[i]) + floor_value;
+        sse += (ys[i] - model) * (ys[i] - model);
+    }
+    return sse;
+}
+
+} // namespace
+
+DecayFit
+fitExponentialDecay(const std::vector<double> &ks,
+                    const std::vector<double> &ys)
+{
+    if (ks.size() != ys.size() || ks.size() < 3) {
+        throwError(ErrorCode::invalidArgument,
+                   "decay fit needs at least 3 (k, y) samples");
+    }
+    DecayFit best;
+    best.residual = std::numeric_limits<double>::infinity();
+
+    double lo = 0.0, hi = 1.0;
+    // Three rounds of grid refinement reach ~1e-6 resolution in p.
+    for (int round = 0; round < 3; ++round) {
+        const int steps = 200;
+        double best_p = best.decay;
+        for (int i = 0; i <= steps; ++i) {
+            double p = lo + (hi - lo) * static_cast<double>(i) / steps;
+            double amplitude, floor_value;
+            double sse = solveLinear(ks, ys, p, amplitude, floor_value);
+            if (sse < best.residual) {
+                best = {amplitude, p, floor_value, sse};
+                best_p = p;
+            }
+        }
+        double width = (hi - lo) / steps;
+        lo = std::max(0.0, best_p - 2.0 * width);
+        hi = std::min(1.0, best_p + 2.0 * width);
+    }
+    return best;
+}
+
+double
+rbErrorPerGate(double decay, double gates_per_clifford)
+{
+    double clifford_fidelity = (1.0 + decay) / 2.0;
+    return 1.0 - std::pow(clifford_fidelity, 1.0 / gates_per_clifford);
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double value : values)
+        sum += value;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+standardDeviation(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    double m = mean(values);
+    double sum = 0.0;
+    for (double value : values)
+        sum += (value - m) * (value - m);
+    return std::sqrt(sum / static_cast<double>(values.size() - 1));
+}
+
+} // namespace eqasm::runtime

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Experiment analysis helpers: readout correction, exponential-decay
+ * fitting for randomized benchmarking, and summary statistics.
+ */
+#ifndef EQASM_RUNTIME_ANALYSIS_H
+#define EQASM_RUNTIME_ANALYSIS_H
+
+#include <vector>
+
+namespace eqasm::runtime {
+
+/**
+ * Corrects a raw |1>-fraction for symmetric readout assignment error:
+ * given P(report 1 | state 0) = eps0 and P(report 0 | state 1) = eps1,
+ * inverts the 2x2 assignment matrix. The result is clamped to [0, 1].
+ */
+double readoutCorrect(double raw_fraction_one, double eps0, double eps1);
+
+/** Result of fitting p(k) = A * p^k + B. */
+struct DecayFit {
+    double amplitude = 0.0;  ///< A
+    double decay = 1.0;      ///< p
+    double floor = 0.0;      ///< B
+    double residual = 0.0;   ///< sum of squared errors.
+};
+
+/**
+ * Least-squares fit of an exponential decay through (k, y) samples.
+ * The decay parameter is grid-searched and refined; A and B are solved
+ * linearly for each candidate p. Used to extract the Clifford fidelity
+ * from RB survival curves (Fig. 12).
+ */
+DecayFit fitExponentialDecay(const std::vector<double> &ks,
+                             const std::vector<double> &ys);
+
+/**
+ * Average error rate per primitive gate from the RB decay parameter:
+ * F_Cl = (1 + p) / 2 for a single qubit, and per the paper each
+ * Clifford costs 1.875 primitive gates on average, so
+ * eps = 1 - F_Cl^(1/1.875).
+ */
+double rbErrorPerGate(double decay, double gates_per_clifford = 1.875);
+
+/** Sample mean. */
+double mean(const std::vector<double> &values);
+
+/** Unbiased sample standard deviation (0 for fewer than 2 samples). */
+double standardDeviation(const std::vector<double> &values);
+
+} // namespace eqasm::runtime
+
+#endif // EQASM_RUNTIME_ANALYSIS_H

@@ -1,0 +1,55 @@
+#include "runtime/mock_device.h"
+
+namespace eqasm::runtime {
+
+MockResultDevice::MockResultDevice(int measurement_latency_cycles)
+    : measurementLatencyCycles_(measurement_latency_cycles)
+{
+}
+
+void
+MockResultDevice::programResults(int qubit, std::vector<int> bits)
+{
+    auto &queue = programmed_[qubit];
+    for (int bit : bits)
+        queue.push_back(bit);
+}
+
+void
+MockResultDevice::startShot(uint64_t cycle)
+{
+    (void)cycle;
+    shotPulses_.clear();
+}
+
+void
+MockResultDevice::endShot(uint64_t cycle)
+{
+    (void)cycle;
+}
+
+void
+MockResultDevice::apply(const microarch::TriggeredOp &op)
+{
+    // Two-qubit target-role micro-ops belong to the pulse already
+    // recorded for the source role.
+    if (op.role == microarch::MicroOpRole::target)
+        return;
+    ObservedPulse pulse{op.cycle, op.qubit, op.info->name};
+    pulses_.push_back(pulse);
+    shotPulses_.push_back(pulse);
+
+    if (op.info->opClass == isa::OpClass::measurement) {
+        int bit = defaultResult_;
+        auto it = programmed_.find(op.qubit);
+        if (it != programmed_.end() && !it->second.empty()) {
+            bit = it->second.front();
+            it->second.pop_front();
+        }
+        reportResult(op.qubit, bit,
+                     op.cycle + static_cast<uint64_t>(
+                                    measurementLatencyCycles_));
+    }
+}
+
+} // namespace eqasm::runtime

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Mock-result ADI device.
+ *
+ * Reproduces the paper's CFC validation setup: "The UHFQC is programmed
+ * to generate alternative mock measurement results for qubit 0. The
+ * alternation between X and Y operations is verified by detecting the
+ * output digital signals using an oscilloscope." Here, programmed
+ * result sequences replace the UHFQC and the applied-operation log
+ * replaces the oscilloscope.
+ */
+#ifndef EQASM_RUNTIME_MOCK_DEVICE_H
+#define EQASM_RUNTIME_MOCK_DEVICE_H
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "microarch/device.h"
+
+namespace eqasm::runtime {
+
+/** An operation pulse observed on the "oscilloscope". */
+struct ObservedPulse {
+    uint64_t cycle = 0;
+    int qubit = -1;
+    std::string operation;
+};
+
+/** ADI device replaying programmed measurement results. */
+class MockResultDevice : public microarch::Device
+{
+  public:
+    explicit MockResultDevice(int measurement_latency_cycles = 15);
+
+    /** Programs the result sequence for @p qubit; consumed in order and
+     *  NOT re-armed between shots (call again or use setDefault). */
+    void programResults(int qubit, std::vector<int> bits);
+
+    /** Result returned when a qubit's programmed sequence is empty. */
+    void setDefaultResult(int bit) { defaultResult_ = bit; }
+
+    void startShot(uint64_t cycle) override;
+    void apply(const microarch::TriggeredOp &op) override;
+    void endShot(uint64_t cycle) override;
+
+    /** All pulses observed since construction (across shots). */
+    const std::vector<ObservedPulse> &pulses() const { return pulses_; }
+
+    /** Pulses of the current/last shot only. */
+    const std::vector<ObservedPulse> &shotPulses() const
+    {
+        return shotPulses_;
+    }
+
+  private:
+    int measurementLatencyCycles_;
+    int defaultResult_ = 0;
+    std::map<int, std::deque<int>> programmed_;
+    std::vector<ObservedPulse> pulses_;
+    std::vector<ObservedPulse> shotPulses_;
+};
+
+} // namespace eqasm::runtime
+
+#endif // EQASM_RUNTIME_MOCK_DEVICE_H

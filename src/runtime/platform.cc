@@ -1,0 +1,97 @@
+#include "runtime/platform.h"
+
+namespace eqasm::runtime {
+
+namespace {
+
+qsim::NoiseModel
+calibratedNoise()
+{
+    qsim::NoiseModel noise;
+    noise.enabled = true;
+    // Calibrated against Fig. 12: the error-per-gate ladder from 20 ns
+    // to 320 ns inter-gate intervals (0.10 % ... 0.71 %) is reproduced
+    // by decoherence over the idle time plus a small intrinsic
+    // depolarizing error per pulse.
+    noise.t1Ns = 28'000.0;
+    noise.t2Ns = 23'000.0;
+    noise.depol1q = 1.55e-3;
+    // The Section 5 Grover fidelity (85.6 %) is CZ-limited.
+    noise.depol2q = 8.5e-2;
+    // Active reset lands at ~82.7 %, "limited by the readout fidelity".
+    noise.readoutError = 0.085;
+    return noise;
+}
+
+} // namespace
+
+Platform
+Platform::twoQubit()
+{
+    Platform platform;
+    platform.topology = chip::Topology::twoQubit();
+    platform.operations = isa::OperationSet::defaultSet();
+    platform.device.noise = calibratedNoise();
+    platform.device.measurementLatencyCycles = 15;
+    return platform;
+}
+
+Platform
+Platform::surface7()
+{
+    Platform platform = twoQubit();
+    platform.topology = chip::Topology::surface7();
+    return platform;
+}
+
+Platform
+Platform::ideal(Platform base)
+{
+    base.device.noise = qsim::NoiseModel::ideal();
+    return base;
+}
+
+Platform
+Platform::fromJson(const Json &json)
+{
+    Platform platform = twoQubit();
+    if (const Json *topology = json.find("topology"))
+        platform.topology = chip::Topology::fromJson(*topology);
+    if (const Json *operations = json.find("operations"))
+        platform.operations = isa::OperationSet::fromJson(*operations);
+    if (const Json *noise = json.find("noise"))
+        platform.device.noise = qsim::NoiseModel::fromJson(*noise);
+    platform.params.vliwWidth = static_cast<int>(
+        json.getInt("vliw_width", platform.params.vliwWidth));
+    platform.params.preIntervalWidth = static_cast<int>(json.getInt(
+        "pre_interval_width", platform.params.preIntervalWidth));
+    platform.params.numQubits = platform.topology.numQubits();
+    platform.params.numEdges = platform.topology.numEdges();
+    platform.uarch.params = platform.params;
+    platform.uarch.classicalIssueRate = static_cast<int>(json.getInt(
+        "classical_issue_rate", platform.uarch.classicalIssueRate));
+    platform.device.measurementLatencyCycles =
+        static_cast<int>(json.getInt(
+            "measurement_latency_cycles",
+            platform.device.measurementLatencyCycles));
+    return platform;
+}
+
+Json
+Platform::toJson() const
+{
+    Json out = Json::makeObject();
+    out.set("topology", topology.toJson());
+    out.set("operations", operations.toJson());
+    out.set("noise", device.noise.toJson());
+    out.set("vliw_width", static_cast<int64_t>(params.vliwWidth));
+    out.set("pre_interval_width",
+            static_cast<int64_t>(params.preIntervalWidth));
+    out.set("classical_issue_rate",
+            static_cast<int64_t>(uarch.classicalIssueRate));
+    out.set("measurement_latency_cycles",
+            static_cast<int64_t>(device.measurementLatencyCycles));
+    return out;
+}
+
+} // namespace eqasm::runtime

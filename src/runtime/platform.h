@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Platform presets: a Platform bundles everything a program needs to be
+ * assembled and executed — the chip topology, the configured quantum
+ * operation set, the instantiation parameters, the microarchitecture
+ * configuration and the device's physical (noise) configuration.
+ *
+ * The calibration values in the presets were chosen once so that the
+ * reproduced experiments land in the paper's ballpark (see DESIGN.md
+ * section 4 and EXPERIMENTS.md for the paper-vs-measured record).
+ */
+#ifndef EQASM_RUNTIME_PLATFORM_H
+#define EQASM_RUNTIME_PLATFORM_H
+
+#include "chip/topology.h"
+#include "isa/opcodes.h"
+#include "isa/operation_set.h"
+#include "microarch/quma.h"
+#include "runtime/simulated_device.h"
+
+namespace eqasm::runtime {
+
+/** Complete execution platform description. */
+struct Platform {
+    chip::Topology topology = chip::Topology::twoQubit();
+    isa::OperationSet operations = isa::OperationSet::defaultSet();
+    isa::InstantiationParams params;
+    microarch::MicroarchConfig uarch;
+    DeviceConfig device;
+
+    /**
+     * The Section 5 validation platform: the two-transmon chip (qubits
+     * 0 and 2), the default operation set, and noise calibrated so
+     * single-qubit RB at back-to-back spacing gives eps ~ 0.1 %,
+     * readout infidelity ~ 8.5 % and a CZ error dominating Grover.
+     */
+    static Platform twoQubit();
+
+    /** The seven-qubit surface-7 target chip of Fig. 6 (same noise). */
+    static Platform surface7();
+
+    /** Noise-free variant of any platform (for functional tests). */
+    static Platform ideal(Platform base);
+
+    /**
+     * Loads a platform from a JSON configuration document — the
+     * workflow of Section 5, where "a configuration file is used to
+     * specify the quantum chip topology ... used by the quantum
+     * compiler and the assembler". Recognised members (all optional,
+     * defaults from twoQubit()):
+     *
+     *   {"topology": {...Topology::fromJson schema...},
+     *    "operations": {...OperationSet::fromJson schema...},
+     *    "noise": {...NoiseModel::fromJson schema...},
+     *    "vliw_width": 2, "pre_interval_width": 3,
+     *    "classical_issue_rate": 2, "measurement_latency_cycles": 15}
+     */
+    static Platform fromJson(const Json &json);
+
+    /** Serialises to the fromJson() schema. */
+    Json toJson() const;
+};
+
+} // namespace eqasm::runtime
+
+#endif // EQASM_RUNTIME_PLATFORM_H

@@ -1,0 +1,89 @@
+#include "runtime/quantum_processor.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace eqasm::runtime {
+
+int
+ShotRecord::lastMeasurement(int qubit) const
+{
+    int last = -1;
+    for (const MeasurementRecord &record : measurements) {
+        if (record.qubit == qubit)
+            last = record.bit;
+    }
+    return last;
+}
+
+QuantumProcessor::QuantumProcessor(Platform platform, uint64_t seed)
+    : platform_(platform),
+      assembler_(platform.operations, platform.topology, platform.params),
+      controller_(platform.operations, platform.topology, platform.uarch),
+      device_(std::make_unique<SimulatedDevice>(platform.topology,
+                                                platform.device, seed))
+{
+    controller_.attachDevice(device_.get());
+}
+
+void
+QuantumProcessor::loadSource(const std::string &source)
+{
+    program_ = assembler_.assemble(source);
+    controller_.loadImage(program_.image);
+}
+
+void
+QuantumProcessor::loadImage(std::vector<uint32_t> image)
+{
+    program_ = assembler::Program{};
+    program_.image = image;
+    controller_.loadImage(std::move(image));
+}
+
+ShotRecord
+QuantumProcessor::runShot()
+{
+    ShotRecord record;
+    record.stats = controller_.runShot();
+    for (const microarch::TraceEvent &event : controller_.trace()) {
+        if (event.kind == microarch::TraceEvent::Kind::resultArrived) {
+            record.measurements.push_back(
+                {event.cycle, event.qubit, event.bit});
+        }
+    }
+    return record;
+}
+
+std::vector<ShotRecord>
+QuantumProcessor::run(int shots)
+{
+    std::vector<ShotRecord> records;
+    records.reserve(static_cast<size_t>(shots));
+    for (int shot = 0; shot < shots; ++shot)
+        records.push_back(runShot());
+    return records;
+}
+
+double
+QuantumProcessor::fractionOne(const std::vector<ShotRecord> &records,
+                              int qubit) const
+{
+    if (records.empty()) {
+        throwError(ErrorCode::invalidArgument,
+                   "fractionOne needs at least one shot");
+    }
+    int ones = 0;
+    for (const ShotRecord &record : records) {
+        int bit = record.lastMeasurement(qubit);
+        if (bit < 0) {
+            throwError(ErrorCode::invalidArgument,
+                       format("a shot never measured qubit %d", qubit));
+        }
+        ones += bit;
+    }
+    return static_cast<double>(ones) /
+           static_cast<double>(records.size());
+}
+
+} // namespace eqasm::runtime

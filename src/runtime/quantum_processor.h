@@ -1,0 +1,91 @@
+/**
+ * @file
+ * QuantumProcessor — the top-level public API of the library.
+ *
+ * Owns a QuMA_v2 controller and a simulated device, assembles eQASM
+ * source against the platform configuration, and runs shots. This is
+ * the object the examples and experiment harnesses drive; it mirrors
+ * the paper's execution model: "After the host CPU has loaded the
+ * quantum code, microcode, and pulses into the quantum processor, the
+ * quantum code can be directly executed."
+ */
+#ifndef EQASM_RUNTIME_QUANTUM_PROCESSOR_H
+#define EQASM_RUNTIME_QUANTUM_PROCESSOR_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "assembler/assembler.h"
+#include "microarch/quma.h"
+#include "runtime/platform.h"
+#include "runtime/simulated_device.h"
+
+namespace eqasm::runtime {
+
+/** One measurement result observed during a shot. */
+struct MeasurementRecord {
+    uint64_t cycle = 0;  ///< cycle the result entered the controller.
+    int qubit = -1;
+    int bit = 0;
+};
+
+/** Everything observed during one shot. */
+struct ShotRecord {
+    std::vector<MeasurementRecord> measurements;  ///< in arrival order.
+    microarch::RunStats stats;
+
+    /** @return the last measurement of @p qubit, or -1 if none. */
+    int lastMeasurement(int qubit) const;
+};
+
+/** The executable quantum processor (controller + device). */
+class QuantumProcessor
+{
+  public:
+    explicit QuantumProcessor(Platform platform, uint64_t seed = 1);
+
+    /**
+     * Assembles and loads eQASM source. The program is encoded to the
+     * 32-bit binary image and decoded back through the instruction
+     * decoder — shots execute from the binary, exercising the entire
+     * ISA round trip.
+     * @throws assembler::AssemblyError on bad source.
+     */
+    void loadSource(const std::string &source);
+
+    /** Loads an already-assembled binary image. */
+    void loadImage(std::vector<uint32_t> image);
+
+    /** Runs a single shot. */
+    ShotRecord runShot();
+
+    /** Runs @p shots shots and collects all records. */
+    std::vector<ShotRecord> run(int shots);
+
+    /**
+     * Convenience: fraction of shots whose *last* measurement of
+     * @p qubit reported |1>. Shots that never measure the qubit are an
+     * error.
+     */
+    double fractionOne(const std::vector<ShotRecord> &records,
+                       int qubit) const;
+
+    microarch::QuMa &controller() { return controller_; }
+    const microarch::QuMa &controller() const { return controller_; }
+    SimulatedDevice &device() { return *device_; }
+    const SimulatedDevice &device() const { return *device_; }
+    const Platform &platform() const { return platform_; }
+    const assembler::Program &program() const { return program_; }
+
+  private:
+    Platform platform_;
+    assembler::Assembler assembler_;
+    microarch::QuMa controller_;
+    std::unique_ptr<SimulatedDevice> device_;
+    assembler::Program program_;
+};
+
+} // namespace eqasm::runtime
+
+#endif // EQASM_RUNTIME_QUANTUM_PROCESSOR_H

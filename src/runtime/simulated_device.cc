@@ -1,0 +1,174 @@
+#include "runtime/simulated_device.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace eqasm::runtime {
+
+using microarch::MicroOpRole;
+using microarch::TriggeredOp;
+
+SimulatedDevice::SimulatedDevice(chip::Topology topology,
+                                 DeviceConfig config, uint64_t seed)
+    : topology_(std::move(topology)), config_(config), masterRng_(seed),
+      shotRng_(seed), state_(topology_.numQubits())
+{
+    lastUpdateNs_.assign(static_cast<size_t>(topology_.numQubits()), 0.0);
+    busyUntilCycle_.assign(static_cast<size_t>(topology_.numQubits()), 0);
+}
+
+void
+SimulatedDevice::startShot(uint64_t cycle)
+{
+    state_.reset();
+    double now_ns = static_cast<double>(cycle) * config_.cycleNs;
+    std::fill(lastUpdateNs_.begin(), lastUpdateNs_.end(), now_ns);
+    std::fill(busyUntilCycle_.begin(), busyUntilCycle_.end(), cycle);
+    appliedGates_.clear();
+    shotRng_ = masterRng_.fork();
+}
+
+void
+SimulatedDevice::endShot(uint64_t cycle)
+{
+    (void)cycle;
+}
+
+const qsim::Gate &
+SimulatedDevice::gateFor(const std::string &unitary)
+{
+    auto it = gateCache_.find(unitary);
+    if (it != gateCache_.end())
+        return it->second;
+    auto gate = qsim::makeGate(unitary);
+    if (!gate) {
+        throwError(ErrorCode::configError,
+                   format("operation unitary '%s' is not in the gate "
+                          "language",
+                          unitary.c_str()));
+    }
+    return gateCache_.emplace(unitary, std::move(*gate)).first->second;
+}
+
+void
+SimulatedDevice::advanceIdle(int qubit, uint64_t cycle)
+{
+    double now_ns = static_cast<double>(cycle) * config_.cycleNs;
+    size_t q = static_cast<size_t>(qubit);
+    double idle_ns = now_ns - lastUpdateNs_[q];
+    if (idle_ns > 0.0)
+        qsim::applyIdleNoise(state_, qubit, idle_ns, config_.noise);
+    lastUpdateNs_[q] = now_ns;
+}
+
+void
+SimulatedDevice::checkBusy(int qubit, uint64_t cycle,
+                           const std::string &op)
+{
+    size_t q = static_cast<size_t>(qubit);
+    if (cycle < busyUntilCycle_[q]) {
+        ++overlapViolations_;
+        if (config_.throwOnOverlap) {
+            throwError(ErrorCode::runtimeError,
+                       format("operation '%s' hits busy qubit %d at "
+                              "cycle %llu (busy until %llu)",
+                              op.c_str(), qubit,
+                              static_cast<unsigned long long>(cycle),
+                              static_cast<unsigned long long>(
+                                  busyUntilCycle_[q])));
+        }
+    }
+}
+
+void
+SimulatedDevice::apply(const TriggeredOp &op)
+{
+    EQASM_ASSERT(op.info != nullptr, "triggered op without operation info");
+    const isa::OperationInfo &info = *op.info;
+    auto duration = static_cast<uint64_t>(info.durationCycles);
+
+    switch (info.opClass) {
+      case isa::OpClass::qnop:
+        return;
+      case isa::OpClass::singleQubit: {
+        checkBusy(op.qubit, op.cycle, info.name);
+        advanceIdle(op.qubit, op.cycle);
+        const qsim::Gate &gate = gateFor(info.unitary);
+        if (gate.numQubits != 1) {
+            throwError(ErrorCode::configError,
+                       format("operation '%s' is single-qubit but its "
+                              "unitary '%s' is not",
+                              info.name.c_str(), info.unitary.c_str()));
+        }
+        state_.applyGate1(gate.matrix, op.qubit);
+        qsim::applyGateNoise1(state_, op.qubit, config_.noise);
+        size_t q = static_cast<size_t>(op.qubit);
+        busyUntilCycle_[q] = op.cycle + duration;
+        lastUpdateNs_[q] =
+            static_cast<double>(op.cycle + duration) * config_.cycleNs;
+        appliedGates_.push_back({op.cycle, info.name, {op.qubit}});
+        return;
+      }
+      case isa::OpClass::twoQubit: {
+        // The source-role micro-op carries the joint unitary and checks
+        // both qubits; the target-role micro-op is the second pulse of
+        // the same gate (already accounted for) and is skipped.
+        if (op.role == MicroOpRole::target) {
+            return;
+        }
+        checkBusy(op.qubit, op.cycle, info.name);
+        if (op.pairQubit < 0 ||
+            !topology_.validQubit(op.pairQubit)) {
+            throwError(ErrorCode::runtimeError,
+                       format("two-qubit operation '%s' without a valid "
+                              "pair qubit",
+                              info.name.c_str()));
+        }
+        checkBusy(op.pairQubit, op.cycle, info.name);
+        advanceIdle(op.qubit, op.cycle);
+        advanceIdle(op.pairQubit, op.cycle);
+        const qsim::Gate &gate = gateFor(info.unitary);
+        if (gate.numQubits != 2) {
+            throwError(ErrorCode::configError,
+                       format("operation '%s' is two-qubit but its "
+                              "unitary '%s' is not",
+                              info.name.c_str(), info.unitary.c_str()));
+        }
+        // Operand order: (source, target) of the allowed qubit pair.
+        state_.applyGate2(gate.matrix, op.qubit, op.pairQubit);
+        qsim::applyGateNoise2(state_, op.qubit, op.pairQubit,
+                              config_.noise);
+        for (int qubit : {op.qubit, op.pairQubit}) {
+            size_t q = static_cast<size_t>(qubit);
+            busyUntilCycle_[q] = op.cycle + duration;
+            lastUpdateNs_[q] = static_cast<double>(op.cycle + duration) *
+                               config_.cycleNs;
+        }
+        appliedGates_.push_back(
+            {op.cycle, info.name, {op.qubit, op.pairQubit}});
+        return;
+      }
+      case isa::OpClass::measurement: {
+        checkBusy(op.qubit, op.cycle, info.name);
+        advanceIdle(op.qubit, op.cycle);
+        // Strong projective readout: sample, collapse, and dephase.
+        int actual = state_.measure(op.qubit, shotRng_);
+        int reported = actual;
+        if (config_.noise.enabled &&
+            shotRng_.bernoulli(config_.noise.readoutError)) {
+            reported ^= 1;
+        }
+        size_t q = static_cast<size_t>(op.qubit);
+        busyUntilCycle_[q] = op.cycle + duration;
+        lastUpdateNs_[q] =
+            static_cast<double>(op.cycle + duration) * config_.cycleNs;
+        appliedGates_.push_back({op.cycle, info.name, {op.qubit}});
+        reportResult(op.qubit, reported,
+                     op.cycle + static_cast<uint64_t>(
+                                    config_.measurementLatencyCycles));
+        return;
+      }
+    }
+}
+
+} // namespace eqasm::runtime

@@ -1,0 +1,95 @@
+#include "workloads/allxy.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace eqasm::workloads {
+
+const std::array<AllxyPair, 21> &
+allxyPairs()
+{
+    // The canonical ordering: 5 identity-like pairs (expect 0), 12
+    // half-rotation pairs (expect 0.5), 4 full-excitation pairs
+    // (expect 1), producing the staircase of Fig. 11.
+    static const std::array<AllxyPair, 21> pairs = {{
+        {"I", "I", 0.0},
+        {"X", "X", 0.0},
+        {"Y", "Y", 0.0},
+        {"X", "Y", 0.0},
+        {"Y", "X", 0.0},
+        {"X90", "I", 0.5},
+        {"Y90", "I", 0.5},
+        {"X90", "Y90", 0.5},
+        {"Y90", "X90", 0.5},
+        {"X90", "Y", 0.5},
+        {"Y90", "X", 0.5},
+        {"X", "Y90", 0.5},
+        {"Y", "X90", 0.5},
+        {"X90", "X", 0.5},
+        {"X", "X90", 0.5},
+        {"Y90", "Y", 0.5},
+        {"Y", "Y90", 0.5},
+        {"X", "I", 1.0},
+        {"Y", "I", 1.0},
+        {"X90", "X90", 1.0},
+        {"Y90", "Y90", 1.0},
+    }};
+    return pairs;
+}
+
+int
+allxyFirstQubitPair(int combination)
+{
+    EQASM_ASSERT(combination >= 0 &&
+                     combination < kTwoQubitAllxyCombinations,
+                 "combination out of range");
+    return combination / 2;
+}
+
+int
+allxySecondQubitPair(int combination)
+{
+    EQASM_ASSERT(combination >= 0 &&
+                     combination < kTwoQubitAllxyCombinations,
+                 "combination out of range");
+    return combination % 21;
+}
+
+std::string
+twoQubitAllxyProgram(int combination, int qubit_a, int qubit_b)
+{
+    const AllxyPair &pair_a = allxyPairs()[static_cast<size_t>(
+        allxyFirstQubitPair(combination))];
+    const AllxyPair &pair_b = allxyPairs()[static_cast<size_t>(
+        allxySecondQubitPair(combination))];
+    // Mirrors Fig. 3: S0/S2 address the individual qubits, S7 both.
+    return format("SMIS S0, {%d}\n"
+                  "SMIS S2, {%d}\n"
+                  "SMIS S7, {%d, %d}\n"
+                  "QWAIT 10000\n"
+                  "0, %s S0 | %s S2\n"
+                  "1, %s S0 | %s S2\n"
+                  "1, MEASZ S7\n"
+                  "QWAIT 50\n"
+                  "STOP\n",
+                  qubit_a, qubit_b, qubit_a, qubit_b, pair_a.first,
+                  pair_b.first, pair_a.second, pair_b.second);
+}
+
+std::string
+singleQubitAllxyProgram(int pair_index, int qubit)
+{
+    EQASM_ASSERT(pair_index >= 0 && pair_index < 21,
+                 "pair index out of range");
+    const AllxyPair &pair = allxyPairs()[static_cast<size_t>(pair_index)];
+    return format("SMIS S0, {%d}\n"
+                  "QWAIT 10000\n"
+                  "0, %s S0\n"
+                  "1, %s S0\n"
+                  "1, MEASZ S0\n"
+                  "QWAIT 50\n"
+                  "STOP\n",
+                  qubit, pair.first, pair.second);
+}
+
+} // namespace eqasm::workloads

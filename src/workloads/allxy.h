@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The AllXY calibration experiment (Fig. 3 / Fig. 11 of the paper).
+ *
+ * AllXY applies 21 pairs of gates drawn from {I, X, Y, X90, Y90} to a
+ * qubit prepared in |0> and measures it; the ideal |1>-fractions form
+ * the characteristic 0 / 0.5 / 1 staircase that is highly sensitive to
+ * calibration errors.
+ *
+ * The two-qubit variant used for Fig. 11 distinguishes the qubits by
+ * repetition: "each gate pair in the sequence is repeated on the first
+ * qubit while the entire sequence is repeated on the second qubit",
+ * giving 42 gate-pair combinations.
+ */
+#ifndef EQASM_WORKLOADS_ALLXY_H
+#define EQASM_WORKLOADS_ALLXY_H
+
+#include <array>
+#include <string>
+
+namespace eqasm::workloads {
+
+/** One AllXY gate pair and its ideal measured |1>-fraction. */
+struct AllxyPair {
+    const char *first;
+    const char *second;
+    double idealFractionOne;
+};
+
+/** The canonical 21-pair AllXY sequence. */
+const std::array<AllxyPair, 21> &allxyPairs();
+
+/** Number of combinations in the two-qubit AllXY experiment. */
+inline constexpr int kTwoQubitAllxyCombinations = 42;
+
+/** Gate-pair index applied to the first qubit in combination @p c
+ *  (each pair repeated twice: c / 2). */
+int allxyFirstQubitPair(int combination);
+
+/** Gate-pair index applied to the second qubit in combination @p c
+ *  (the whole sequence repeated: c % 21). */
+int allxySecondQubitPair(int combination);
+
+/**
+ * Builds the eQASM program (Fig. 3 style) for one combination of the
+ * two-qubit AllXY experiment on qubits @p qubit_a and @p qubit_b:
+ * 200 us initialisation, the two gate pairs applied simultaneously as
+ * VLIW bundles, simultaneous measurement via SOMQ, and STOP.
+ */
+std::string twoQubitAllxyProgram(int combination, int qubit_a,
+                                 int qubit_b);
+
+/** Single-qubit AllXY program for pair @p pair_index on @p qubit. */
+std::string singleQubitAllxyProgram(int pair_index, int qubit);
+
+} // namespace eqasm::workloads
+
+#endif // EQASM_WORKLOADS_ALLXY_H

@@ -1,0 +1,94 @@
+#include "workloads/experiments.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace eqasm::workloads {
+
+std::string
+activeResetProgram(int qubit)
+{
+    // Fig. 4 of the paper, plus STOP.
+    return format("SMIS S2, {%d}\n"
+                  "QWAIT 10000\n"
+                  "X90 S2\n"
+                  "MEASZ S2\n"
+                  "QWAIT 50\n"
+                  "C_X S2\n"
+                  "MEASZ S2\n"
+                  "QWAIT 50\n"
+                  "STOP\n",
+                  qubit);
+}
+
+std::string
+cfcProgram(int condition_qubit, int driven_qubit)
+{
+    // Fig. 5 of the paper, with both paths converging on STOP.
+    return format("SMIS S0, {%d}\n"
+                  "SMIS S1, {%d}\n"
+                  "LDI R0, 1\n"
+                  "QWAIT 10000\n"
+                  "MEASZ S1\n"
+                  "QWAIT 30\n"
+                  "FMR R1, Q%d      # fetch msmt result\n"
+                  "CMP R1, R0       # compare\n"
+                  "BR EQ, eq_path   # jump if R0 == R1\n"
+                  "ne_path:\n"
+                  "X S0             # happen if msmt result is 0\n"
+                  "BR ALWAYS, next  # this flag is always '1'\n"
+                  "eq_path:\n"
+                  "Y S0             # happen if msmt result is 1\n"
+                  "next:\n"
+                  "QWAIT 20\n"
+                  "STOP\n",
+                  driven_qubit, condition_qubit, condition_qubit);
+}
+
+isa::OperationSet
+rabiOperationSet(int steps)
+{
+    EQASM_ASSERT(steps >= 2, "a Rabi sweep needs at least two amplitudes");
+    isa::OperationSet set = isa::OperationSet::defaultSet();
+    // Uncalibrated pulses occupy a free opcode block; the amplitude is
+    // modelled as the rotation angle the pulse would produce.
+    for (int step = 0; step < steps; ++step) {
+        double degrees = 360.0 * step / (steps - 1);
+        isa::OperationInfo info;
+        info.name = format("X_AMP_%d", step);
+        info.opcode = 64 + step;
+        info.opClass = isa::OpClass::singleQubit;
+        info.durationCycles = 1;
+        info.channel = isa::Channel::microwave;
+        info.unitary = format("rx:%.6f", degrees);
+        set.add(std::move(info));
+    }
+    return set;
+}
+
+std::string
+rabiProgram(int step, int qubit)
+{
+    return format("SMIS S0, {%d}\n"
+                  "QWAIT 10000\n"
+                  "X_AMP_%d S0\n"
+                  "MEASZ S0\n"
+                  "QWAIT 50\n"
+                  "STOP\n",
+                  qubit, step);
+}
+
+std::string
+t1Program(uint64_t wait_cycles, int qubit)
+{
+    return format("SMIS S0, {%d}\n"
+                  "QWAIT 10000\n"
+                  "X S0\n"
+                  "QWAIT %llu\n"
+                  "1, MEASZ S0\n"
+                  "QWAIT 50\n"
+                  "STOP\n",
+                  qubit, static_cast<unsigned long long>(wait_cycles));
+}
+
+} // namespace eqasm::workloads

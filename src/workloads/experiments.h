@@ -1,0 +1,48 @@
+/**
+ * @file
+ * eQASM programs for the Section 5 validation experiments: active qubit
+ * reset (Fig. 4), comprehensive feedback control (Fig. 5), Rabi
+ * amplitude calibration and the T1 relaxation experiment.
+ */
+#ifndef EQASM_WORKLOADS_EXPERIMENTS_H
+#define EQASM_WORKLOADS_EXPERIMENTS_H
+
+#include <cstdint>
+#include <string>
+
+#include "isa/operation_set.h"
+
+namespace eqasm::workloads {
+
+/**
+ * The Fig. 4 active-reset program: prepare an equal superposition,
+ * measure, conditionally apply C_X (fast conditional execution on the
+ * "last result is |1>" flag), measure again for verification.
+ */
+std::string activeResetProgram(int qubit);
+
+/**
+ * The Fig. 5 CFC program, verbatim: measure @p condition_qubit; fetch
+ * the result via FMR (stalling until valid), compare and branch; apply
+ * Y on @p driven_qubit if the result was 1, X otherwise.
+ */
+std::string cfcProgram(int condition_qubit, int driven_qubit);
+
+/**
+ * Builds an operation set for the Rabi experiment: the default set plus
+ * @p steps uncalibrated pulses X_AMP_0 .. X_AMP_{steps-1} with rotation
+ * angles spread over [0, 2 pi] — "a sequence of fixed-length x-rotation
+ * pulses with variable amplitudes" (Section 5). Demonstrates the
+ * compile-time configurability of the QISA (Section 3.2).
+ */
+isa::OperationSet rabiOperationSet(int steps);
+
+/** The Rabi program for amplitude step @p step on @p qubit. */
+std::string rabiProgram(int step, int qubit);
+
+/** T1 experiment: excite with X, idle @p wait_cycles, measure. */
+std::string t1Program(uint64_t wait_cycles, int qubit);
+
+} // namespace eqasm::workloads
+
+#endif // EQASM_WORKLOADS_EXPERIMENTS_H

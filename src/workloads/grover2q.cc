@@ -1,0 +1,118 @@
+#include "workloads/grover2q.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace eqasm::workloads {
+
+const char *
+basisPreRotation(MeasBasis basis)
+{
+    switch (basis) {
+      case MeasBasis::z: return "I";
+      case MeasBasis::x: return "Ym90";
+      case MeasBasis::y: return "X90";
+    }
+    return "I";
+}
+
+namespace {
+
+/**
+ * Z corrections turning CZ into the oracle O_m (up to global phase):
+ * the diagonal (-1)^(a q0 + b q1 + q0 q1) has its single -1 at
+ * (q0, q1) = (m0, m1) for the (a, b) returned here.
+ */
+void
+oracleZs(int marked, bool &z_on_q0, bool &z_on_q1)
+{
+    int m0 = marked & 1;
+    int m1 = (marked >> 1) & 1;
+    if (marked == 0) {
+        z_on_q0 = true;
+        z_on_q1 = true;
+    } else {
+        z_on_q0 = (m0 == 1 && m1 == 0);
+        z_on_q1 = (m1 == 1 && m0 == 0);
+    }
+}
+
+} // namespace
+
+compiler::Circuit
+groverCircuit(int marked)
+{
+    EQASM_ASSERT(marked >= 0 && marked < 4, "marked element out of range");
+    compiler::Circuit circuit;
+    circuit.numQubits = 2;
+
+    // Telescoped form: Ry90 layer, D1 = (Z (x) Z) O_m, Ry90 layer,
+    // D2 = (Z (x) Z) O_00 = CZ, Ry90 layer (see header comment).
+    circuit.add1("Y90", 0);
+    circuit.add1("Y90", 1);
+    bool z0, z1;
+    oracleZs(marked, z0, z1);
+    // D1's extra Z (x) Z toggles both corrections.
+    if (!z0)
+        circuit.add1("Z", 0);
+    if (!z1)
+        circuit.add1("Z", 1);
+    circuit.add2("CZ", 0, 1);
+    circuit.add1("Y90", 0);
+    circuit.add1("Y90", 1);
+    circuit.add2("CZ", 0, 1);
+    circuit.add1("Y90", 0);
+    circuit.add1("Y90", 1);
+    return circuit;
+}
+
+std::string
+groverProgram(int marked, MeasBasis basis_a, MeasBasis basis_b,
+              int qubit_a, int qubit_b)
+{
+    compiler::Circuit circuit = groverCircuit(marked);
+    bool z0, z1;
+    oracleZs(marked, z0, z1);
+
+    std::string out;
+    out += format("SMIS S0, {%d}\n", qubit_a);
+    out += format("SMIS S1, {%d}\n", qubit_b);
+    out += format("SMIS S7, {%d, %d}\n", qubit_a, qubit_b);
+    out += format("SMIT T0, {(%d, %d)}\n", qubit_a, qubit_b);
+    out += "QWAIT 10000\n";
+    out += "0, Y90 S7\n";
+    if (!z0 && !z1) {
+        out += "1, Z S7\n";
+    } else if (!z0) {
+        out += "1, Z S0\n";
+    } else if (!z1) {
+        out += "1, Z S1\n";
+    } else {
+        out += "1, I S7\n"; // keep the timing identical across oracles.
+    }
+    out += "1, CZ T0\n";
+    out += "2, Y90 S7\n";
+    out += "1, CZ T0\n";
+    out += "2, Y90 S7\n";
+    // Tomography pre-rotations.
+    out += format("1, %s S0 | %s S1\n", basisPreRotation(basis_a),
+                  basisPreRotation(basis_b));
+    out += "1, MEASZ S7\n";
+    out += "QWAIT 50\n";
+    out += "STOP\n";
+    return out;
+}
+
+qsim::StateVector
+groverIdealState(int marked)
+{
+    EQASM_ASSERT(marked >= 0 && marked < 4, "marked element out of range");
+    qsim::StateVector state(2);
+    if (marked & 1)
+        state.applyGate1(qsim::matX(), 0);
+    if (marked & 2)
+        state.applyGate1(qsim::matX(), 1);
+    return state;
+}
+
+} // namespace eqasm::workloads

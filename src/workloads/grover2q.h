@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Two-qubit Grover's search (the Section 5 proof-of-concept algorithm).
+ *
+ * For N = 4 a single Grover iteration finds the marked element exactly:
+ *
+ *     |result> = (H (x) H) O_00 (H (x) H) O_m (H (x) H) |00>  =  |m>
+ *
+ * With Hadamards expressed as H = Ry(90) Z and all the diagonal
+ * operators (oracles and Z corrections) commuting, the circuit
+ * telescopes into three Y90 layers interleaved with two CZ stages plus
+ * per-qubit Z corrections that select the marked element — exactly the
+ * gate set of the target processor ({x, y, z rotations} + CZ). The
+ * paper reports 85.6 % algorithmic fidelity via tomography with MLE.
+ */
+#ifndef EQASM_WORKLOADS_GROVER2Q_H
+#define EQASM_WORKLOADS_GROVER2Q_H
+
+#include <string>
+
+#include "compiler/circuit.h"
+#include "qsim/state_vector.h"
+
+namespace eqasm::workloads {
+
+/** Tomography pre-rotation basis for one qubit. */
+enum class MeasBasis {
+    z,  ///< no pre-rotation.
+    x,  ///< Ym90 maps <X> onto <Z>.
+    y,  ///< X90 maps <Y> onto <Z>.
+};
+
+/** @return the pre-rotation mnemonic ("I", "Ym90", "X90"). */
+const char *basisPreRotation(MeasBasis basis);
+
+/**
+ * The Grover circuit for marked element @p marked (0..3, bit 0 = first
+ * qubit of the pair). Qubit operands are logical {0, 1}; callers remap
+ * to physical addresses.
+ */
+compiler::Circuit groverCircuit(int marked);
+
+/**
+ * Full eQASM program for the two-qubit chip (physical qubits
+ * @p qubit_a, @p qubit_b with allowed pair (qubit_a, qubit_b)): Grover
+ * iteration for @p marked, tomography pre-rotations, simultaneous
+ * measurement, STOP.
+ */
+std::string groverProgram(int marked, MeasBasis basis_a,
+                          MeasBasis basis_b, int qubit_a, int qubit_b);
+
+/** The ideal post-algorithm state |marked> on two qubits. */
+qsim::StateVector groverIdealState(int marked);
+
+} // namespace eqasm::workloads
+
+#endif // EQASM_WORKLOADS_GROVER2Q_H

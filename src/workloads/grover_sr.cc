@@ -1,0 +1,42 @@
+#include "workloads/grover_sr.h"
+
+#include "common/error.h"
+
+namespace eqasm::workloads {
+
+compiler::Circuit
+groverSquareRootCircuit(const GroverSrOptions &options)
+{
+    EQASM_ASSERT(options.numQubits >= 3, "SR needs at least 3 qubits");
+    compiler::Circuit circuit;
+    circuit.numQubits = options.numQubits;
+    int n = options.numQubits;
+
+    for (int iteration = 0; iteration < options.iterations; ++iteration) {
+        // Oracle: a sequential chain of CZ with basis-change rotations,
+        // the shape of a multi-controlled phase decomposed into CZ +
+        // single-qubit gates. Each link touches the previous link's
+        // qubit, keeping the whole stage a single dependency chain.
+        for (int i = 0; i + 1 < n; ++i) {
+            circuit.add1("Y90", i + 1);
+            circuit.add2("CZ", i, i + 1);
+            circuit.add1("Ym90", i + 1);
+            circuit.add2("CZ", i, i + 1);
+            circuit.add1("X90", i + 1);
+        }
+        // Diffusion: invert about the mean — rotations on the chain
+        // head plus a CZ ladder back down.
+        circuit.add1("Y90", n - 1);
+        circuit.add1("X90", 0);
+        circuit.add1("X90", n - 1);
+        for (int i = n - 2; i >= 0; --i) {
+            circuit.add2("CZ", i, i + 1);
+            circuit.add1("X90", i);
+        }
+        circuit.add1("Xm90", 0);
+        circuit.add1("Ym90", 0);
+    }
+    return circuit;
+}
+
+} // namespace eqasm::workloads

@@ -1,0 +1,37 @@
+#include "workloads/ising.h"
+
+#include "common/error.h"
+
+namespace eqasm::workloads {
+
+compiler::Circuit
+isingCircuit(const chip::Topology &topology, const IsingOptions &options)
+{
+    EQASM_ASSERT(options.numQubits <= topology.numQubits(),
+                 "Ising circuit does not fit the chip");
+    EQASM_ASSERT(topology.numEdges() > 0, "chip has no allowed pairs");
+    compiler::Circuit circuit;
+    circuit.numQubits = topology.numQubits();
+
+    // Rotation axes cycled per layer: transverse field (x), then the
+    // mixed-axis corrections a first-order trotterization produces.
+    const char *axes[] = {"X90", "Y90", "Xm90", "Ym90"};
+    int edge_cursor = 0;
+    for (int step = 0; step < options.trotterSteps; ++step) {
+        for (int layer = 0; layer < options.singleLayersPerStep; ++layer) {
+            const char *axis = axes[(step + layer) % 4];
+            for (int qubit = 0; qubit < options.numQubits; ++qubit)
+                circuit.add1(axis, qubit);
+        }
+        if (options.czPeriod > 0 && (step + 1) % options.czPeriod == 0) {
+            // One ZZ coupling on the next allowed pair, round-robin.
+            const chip::QubitPair &pair =
+                topology.edge(edge_cursor % topology.numEdges());
+            edge_cursor += 2; // skip the reversed duplicate.
+            circuit.add2("CZ", pair.source, pair.target);
+        }
+    }
+    return circuit;
+}
+
+} // namespace eqasm::workloads

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Ising-model benchmark circuit (the "IM" workload of Fig. 7).
+ *
+ * The paper takes IM from ScaffCC: a parallel 7-qubit algorithm with
+ * fewer than 1 % two-qubit gates. ScaffCC itself is not available
+ * offline, so this generator produces a trotterized transverse-field
+ * Ising evolution with the same structural statistics: dense layers of
+ * simultaneous single-qubit rotations across all qubits, with sparse
+ * ZZ-coupling (CZ) insertions keeping the two-qubit fraction below 1 %.
+ * Fig. 7's results depend only on these timing/parallelism statistics.
+ */
+#ifndef EQASM_WORKLOADS_ISING_H
+#define EQASM_WORKLOADS_ISING_H
+
+#include "chip/topology.h"
+#include "compiler/circuit.h"
+
+namespace eqasm::workloads {
+
+/** Generation knobs; the defaults match the paper's description. */
+struct IsingOptions {
+    int numQubits = 7;
+    int trotterSteps = 120;
+    /** Single-qubit rotation layers per trotter step. */
+    int singleLayersPerStep = 4;
+    /** A CZ coupling is inserted every this many steps. */
+    int czPeriod = 5;
+};
+
+/**
+ * Builds the IM circuit. Two-qubit gates use allowed pairs of
+ * @p topology so the result also runs on the simulated processor.
+ */
+compiler::Circuit isingCircuit(const chip::Topology &topology,
+                               const IsingOptions &options = {});
+
+} // namespace eqasm::workloads
+
+#endif // EQASM_WORKLOADS_ISING_H

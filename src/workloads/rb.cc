@@ -1,0 +1,69 @@
+#include "workloads/rb.h"
+
+#include "common/error.h"
+#include "qsim/density_matrix.h"
+#include "qsim/gates.h"
+
+namespace eqasm::workloads {
+
+compiler::Circuit
+rbCircuit(int num_qubits, int cliffords_per_qubit, Rng &rng)
+{
+    const CliffordGroup &group = CliffordGroup::instance();
+    compiler::Circuit circuit;
+    circuit.numQubits = num_qubits;
+    // Emit per-qubit gate streams; ASAP scheduling restores the
+    // back-to-back per-qubit timing regardless of emission order.
+    for (int qubit = 0; qubit < num_qubits; ++qubit) {
+        for (int i = 0; i < cliffords_per_qubit; ++i) {
+            int choice = static_cast<int>(rng.uniformInt(kNumCliffords));
+            for (const std::string &gate : group.decomposition(choice))
+                circuit.add1(gate, qubit);
+        }
+    }
+    return circuit;
+}
+
+double
+rbSurvivalProbability(const RbSequence &sequence, double interval_ns,
+                      const qsim::NoiseModel &noise)
+{
+    EQASM_ASSERT(interval_ns > 0.0, "interval must be positive");
+    // Gate pulses are 20 ns; the remainder of each interval is idle.
+    const double pulse_ns = 20.0;
+    qsim::DensityMatrix rho(1);
+    bool first = true;
+    for (const std::string &gate_name : sequence.gates) {
+        if (!first && interval_ns > pulse_ns) {
+            qsim::applyIdleNoise(rho, 0, interval_ns - pulse_ns, noise);
+        }
+        first = false;
+        auto gate = qsim::makeGate(
+            gate_name == "I" ? "i" : gate_name);
+        EQASM_ASSERT(gate.has_value(), "unknown primitive gate");
+        rho.applyGate1(gate->matrix, 0);
+        // The identity is an idle slot, not a pulse: no pulse error.
+        if (gate_name != "I")
+            qsim::applyGateNoise1(rho, 0, noise);
+    }
+    return 1.0 - rho.probabilityOne(0);
+}
+
+std::vector<double>
+rbDecayCurve(const std::vector<int> &lengths, int randomizations,
+             double interval_ns, const qsim::NoiseModel &noise, Rng &rng)
+{
+    std::vector<double> curve;
+    curve.reserve(lengths.size());
+    for (int length : lengths) {
+        double sum = 0.0;
+        for (int r = 0; r < randomizations; ++r) {
+            RbSequence sequence = randomRbSequence(length, rng);
+            sum += rbSurvivalProbability(sequence, interval_ns, noise);
+        }
+        curve.push_back(sum / randomizations);
+    }
+    return curve;
+}
+
+} // namespace eqasm::workloads

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Randomized benchmarking workloads.
+ *
+ * Two layers are provided:
+ *
+ *  - circuit generation for the Fig. 7 instruction-count study
+ *    (7 parallel qubits x 4096 Cliffords decomposed into x/y rotations,
+ *    executed back-to-back);
+ *  - a device-level RB experiment runner that evolves a one-qubit
+ *    density matrix under the calibrated noise model with a chosen
+ *    inter-gate interval, producing the survival probabilities behind
+ *    Fig. 12. Running via the density matrix gives the exact survival
+ *    probability without shot sampling, so the decay fits are smooth.
+ */
+#ifndef EQASM_WORKLOADS_RB_H
+#define EQASM_WORKLOADS_RB_H
+
+#include "common/rng.h"
+#include "compiler/circuit.h"
+#include "qsim/noise.h"
+#include "workloads/clifford.h"
+
+namespace eqasm::workloads {
+
+/**
+ * Builds the Fig. 7 RB benchmark circuit: every one of @p num_qubits
+ * qubits runs its own independent random Clifford stream of
+ * @p cliffords_per_qubit elements (no recovery; the study only counts
+ * instructions).
+ */
+compiler::Circuit rbCircuit(int num_qubits, int cliffords_per_qubit,
+                            Rng &rng);
+
+/**
+ * Runs a single-qubit RB sequence at the device level: gates start
+ * every @p interval_ns (the paper sweeps 320/160/80/40/20 ns), idle
+ * decoherence fills the gaps, and each pulse carries the configured
+ * depolarizing error.
+ *
+ * @return the survival probability P(|0>) after the recovery Clifford.
+ */
+double rbSurvivalProbability(const RbSequence &sequence,
+                             double interval_ns,
+                             const qsim::NoiseModel &noise);
+
+/**
+ * Full RB experiment: draws @p randomizations sequences per length,
+ * returns the mean survival probability for each entry of @p lengths.
+ */
+std::vector<double> rbDecayCurve(const std::vector<int> &lengths,
+                                 int randomizations, double interval_ns,
+                                 const qsim::NoiseModel &noise, Rng &rng);
+
+} // namespace eqasm::workloads
+
+#endif // EQASM_WORKLOADS_RB_H

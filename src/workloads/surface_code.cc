@@ -1,0 +1,71 @@
+#include "workloads/surface_code.h"
+
+#include "common/error.h"
+
+namespace eqasm::workloads {
+
+compiler::Circuit
+zSyndromeRound(int error_qubit)
+{
+    SurfaceCodeLayout layout;
+    compiler::Circuit circuit;
+    circuit.numQubits = 7;
+    if (error_qubit >= 0)
+        circuit.add1("X", error_qubit);
+    circuit.add1("Y90", layout.zAncilla);
+    for (int data : layout.dataQubits)
+        circuit.add2("CZ", layout.zAncilla, data);
+    circuit.add1("Ym90", layout.zAncilla);
+    circuit.add1("MEASZ", layout.zAncilla);
+    return circuit;
+}
+
+compiler::Circuit
+fullSyndromeRound(int rounds)
+{
+    EQASM_ASSERT(rounds >= 1, "at least one syndrome round");
+    SurfaceCodeLayout layout;
+    chip::Topology chip = chip::Topology::surface7();
+    compiler::Circuit circuit;
+    circuit.numQubits = 7;
+
+    for (int round = 0; round < rounds; ++round) {
+        // X stabilizers: ancillas 2 and 4 check their two data qubits
+        // in the X basis — the "well-patterned" parallel part: every
+        // basis-change layer is the same gate on many qubits (SOMQ).
+        for (int ancilla : layout.xAncillas)
+            circuit.add1("Y90", ancilla);
+        for (int data : layout.dataQubits)
+            circuit.add1("Y90", data);
+        // Couplings: (2,0), (2,3) then (4,1), (6,4) — both ancillas
+        // work in parallel.
+        circuit.add2("CZ", 2, 0);
+        circuit.add2("CZ", 4, 1);
+        circuit.add2("CZ", 2, 3);
+        circuit.add2("CZ", 6, 4);
+        for (int data : layout.dataQubits)
+            circuit.add1("Ym90", data);
+        for (int ancilla : layout.xAncillas)
+            circuit.add1("Ym90", ancilla);
+        for (int ancilla : layout.xAncillas)
+            circuit.add1("MEASZ", ancilla);
+
+        // Z stabilizer on the centre ancilla.
+        circuit.add1("Y90", layout.zAncilla);
+        for (int data : layout.dataQubits)
+            circuit.add2("CZ", layout.zAncilla, data);
+        circuit.add1("Ym90", layout.zAncilla);
+        circuit.add1("MEASZ", layout.zAncilla);
+    }
+    // Sanity: every CZ must be an allowed pair on the chip.
+    for (const compiler::Gate &gate : circuit.gates) {
+        if (gate.qubits.size() == 2) {
+            EQASM_ASSERT(chip.edgeIndex(gate.qubits[0], gate.qubits[1])
+                             .has_value(),
+                         "syndrome circuit uses a disallowed pair");
+        }
+    }
+    return circuit;
+}
+
+} // namespace eqasm::workloads

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Distance-2 surface-code syndrome extraction on the surface-7 chip.
+ *
+ * The paper's target chip "can implement a distance-2 surface code,
+ * which can detect one physical error" (Section 4.1), and names
+ * quantum error correction as the application that "would benefit
+ * significantly from SOMQ ... performing well-patterned error syndrome
+ * measurements repeatedly presenting high parallelism" (Section 4.2).
+ *
+ * On the reconstructed Fig. 6 topology the data qubits are {0, 1, 3, 6}
+ * and the ancillas are qubit 5 (weight-4 Z stabilizer, the degree-4
+ * centre) and qubits 2 and 4 (weight-2 X stabilizers). Syndrome
+ * circuits use the chip's native gate set: ancilla Y90 / Ym90 basis
+ * changes around CZ couplings, so a Z-ancilla ends in |1> iff the
+ * joint Z-parity of its data qubits is odd.
+ */
+#ifndef EQASM_WORKLOADS_SURFACE_CODE_H
+#define EQASM_WORKLOADS_SURFACE_CODE_H
+
+#include <vector>
+
+#include "chip/topology.h"
+#include "compiler/circuit.h"
+
+namespace eqasm::workloads {
+
+/** Qubit roles in the distance-2 layout on surface-7. */
+struct SurfaceCodeLayout {
+    std::vector<int> dataQubits = {0, 1, 3, 6};
+    int zAncilla = 5;                  ///< measures Z0 Z1 Z3 Z6.
+    std::vector<int> xAncillas = {2, 4};  ///< X0 X3 and X1 X6.
+};
+
+/**
+ * One Z-syndrome extraction round, optionally preceded by an injected
+ * X error on @p error_qubit (-1 for no error): ancilla Y90, CZ with
+ * each data qubit in sequence, ancilla Ym90, measure ancilla.
+ * The ancilla reports the data qubits' joint Z-parity.
+ */
+compiler::Circuit zSyndromeRound(int error_qubit = -1);
+
+/**
+ * A full syndrome round including the two X stabilizers (data qubits
+ * conjugated into the X basis around the CZs). Used for the
+ * instruction-density analysis; its measurement outcomes on |0...0>
+ * are random for the X checks.
+ */
+compiler::Circuit fullSyndromeRound(int rounds = 1);
+
+} // namespace eqasm::workloads
+
+#endif // EQASM_WORKLOADS_SURFACE_CODE_H

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Unit tests for the assembler: grammar coverage (the paper's Figs.
+ * 3-5), bundle splitting, semantic checks, label resolution, error
+ * reporting, and the assemble/disassemble round-trip property.
+ */
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "assembler/disassembler.h"
+#include "assembler/lexer.h"
+#include "chip/topology.h"
+#include "isa/operation_set.h"
+
+using namespace eqasm;
+using assembler::Assembler;
+using assembler::AssemblyError;
+using assembler::Program;
+using isa::InstrKind;
+
+namespace {
+
+Assembler
+surfaceAssembler()
+{
+    return Assembler(isa::OperationSet::defaultSet(),
+                     chip::Topology::surface7());
+}
+
+Assembler
+twoQubitAssembler()
+{
+    return Assembler(isa::OperationSet::defaultSet(),
+                     chip::Topology::twoQubit());
+}
+
+} // namespace
+
+// --------------------------------------------------------------- lexer
+
+TEST(Lexer, TokenizesPunctuationAndIdentifiers)
+{
+    auto tokens = assembler::tokenizeLine("SMIT T3, {(1, 3), (2, 4)}");
+    // SMIT T3 , { ( 1 , 3 ) , ( 2 , 4 ) } EOL
+    EXPECT_EQ(tokens.size(), 17u);
+    EXPECT_EQ(tokens[0].kind, assembler::TokenKind::identifier);
+    EXPECT_EQ(tokens[0].text, "SMIT");
+    EXPECT_EQ(tokens[2].kind, assembler::TokenKind::comma);
+    EXPECT_EQ(tokens[3].kind, assembler::TokenKind::lbrace);
+}
+
+TEST(Lexer, StripsComments)
+{
+    auto tokens = assembler::tokenizeLine("QWAIT 5 # wait a bit");
+    EXPECT_EQ(tokens.size(), 3u); // QWAIT 5 EOL
+    tokens = assembler::tokenizeLine("X S0 // slash comment");
+    EXPECT_EQ(tokens.size(), 3u);
+}
+
+TEST(Lexer, ParsesNumericBases)
+{
+    auto tokens = assembler::tokenizeLine("LDI R0, 0x1F");
+    EXPECT_EQ(tokens[3].value, 31);
+    tokens = assembler::tokenizeLine("LDI R0, -5");
+    EXPECT_EQ(tokens[3].value, -5);
+}
+
+TEST(Lexer, RejectsStrayCharacters)
+{
+    EXPECT_THROW(assembler::tokenizeLine("LDI R0, $5"), Error);
+}
+
+// ---------------------------------------------------- basic assembling
+
+TEST(Assembler, AssemblesFig3Program)
+{
+    // The two-qubit AllXY routine from Fig. 3 of the paper.
+    Program program = twoQubitAssembler().assemble(
+        "SMIS S0, {0}\n"
+        "SMIS S2, {2}\n"
+        "SMIS S7, {0, 2}\n"
+        "QWAIT 10000\n"
+        "0, Y S7\n"
+        "1, X90 S0 | X S2\n"
+        "1, MEASZ S7\n"
+        "QWAIT 50\n");
+    ASSERT_EQ(program.instructions.size(), 8u);
+    EXPECT_EQ(program.instructions[0].kind, InstrKind::smis);
+    EXPECT_EQ(program.instructions[0].mask, 0b1u);
+    EXPECT_EQ(program.instructions[2].mask, 0b101u);
+    EXPECT_EQ(program.instructions[4].kind, InstrKind::bundle);
+    EXPECT_EQ(program.instructions[4].preInterval, 0);
+    EXPECT_EQ(program.instructions[5].operations.size(), 2u);
+    EXPECT_EQ(program.image.size(), 8u);
+}
+
+TEST(Assembler, DefaultPreIntervalIsOne)
+{
+    Program program = twoQubitAssembler().assemble("X S0\n");
+    ASSERT_EQ(program.instructions.size(), 1u);
+    EXPECT_EQ(program.instructions[0].preInterval, 1);
+}
+
+TEST(Assembler, MixedCaseMnemonics)
+{
+    Program program = twoQubitAssembler().assemble(
+        "smis s0, {0}\nqwait 10\nx90 s0\nmeasz S0\nstop\n");
+    EXPECT_EQ(program.instructions.size(), 5u);
+}
+
+TEST(Assembler, AllClassicalInstructionsParse)
+{
+    Program program = twoQubitAssembler().assemble(
+        "NOP\n"
+        "LDI R1, -100\n"
+        "LDUI R1, 0x7fff, R1\n"
+        "ADD R2, R1, R0\n"
+        "SUB R3, R2, R1\n"
+        "AND R4, R3, R2\n"
+        "OR R5, R4, R3\n"
+        "XOR R6, R5, R4\n"
+        "NOT R7, R6\n"
+        "CMP R1, R2\n"
+        "FBR EQ, R8\n"
+        "LD R9, R1(12)\n"
+        "ST R9, R1(-12)\n"
+        "FMR R10, Q2\n"
+        "QWAITR R1\n"
+        "STOP\n");
+    EXPECT_EQ(program.instructions.size(), 16u);
+    EXPECT_EQ(program.instructions[1].imm, -100);
+    EXPECT_EQ(program.instructions[13].qubit, 2);
+}
+
+TEST(Assembler, BundleSplitAcrossVliwWidth)
+{
+    // Section 3.4.2: a 3-op bundle splits into two instructions, the
+    // second with PI = 0 and a QNOP filler.
+    Program program = surfaceAssembler().assemble(
+        "SMIS S1, {1}\nSMIS S2, {2}\nSMIS S3, {3}\n"
+        "2, X S1 | Y S2 | X90 S3\n");
+    ASSERT_EQ(program.instructions.size(), 5u);
+    const auto &first = program.instructions[3];
+    const auto &second = program.instructions[4];
+    EXPECT_EQ(first.preInterval, 2);
+    EXPECT_EQ(first.operations.size(), 2u);
+    EXPECT_EQ(second.preInterval, 0);
+    EXPECT_EQ(second.operations.size(), 1u);
+    EXPECT_EQ(second.operations[0].name, "X90");
+}
+
+TEST(Assembler, LabelsResolveToRelativeOffsets)
+{
+    Program program = twoQubitAssembler().assemble(
+        "LDI R0, 1\n"
+        "loop:\n"
+        "ADD R1, R1, R0\n"
+        "CMP R1, R0\n"
+        "BR LT, loop\n"
+        "STOP\n");
+    EXPECT_EQ(program.labels.at("loop"), 1);
+    // BR at address 3, target 1 -> offset -2.
+    EXPECT_EQ(program.instructions[3].imm, -2);
+}
+
+TEST(Assembler, ForwardLabelAndTrailingLabel)
+{
+    Program program = twoQubitAssembler().assemble(
+        "BR ALWAYS, end\n"
+        "NOP\n"
+        "end:\n");
+    EXPECT_EQ(program.labels.at("end"), 2);
+    EXPECT_EQ(program.instructions[0].imm, 2);
+}
+
+TEST(Assembler, Fig5CfcProgramAssembles)
+{
+    Program program = twoQubitAssembler().assemble(
+        "SMIS S0, {0}\n"
+        "SMIS S1, {2}\n"
+        "LDI R0, 1\n"
+        "MEASZ S1\n"
+        "QWAIT 30\n"
+        "FMR R1, Q2\n"
+        "CMP R1, R0\n"
+        "BR EQ, eq_path\n"
+        "ne_path:\n"
+        "X S0\n"
+        "BR ALWAYS, next\n"
+        "eq_path:\n"
+        "Y S0\n"
+        "next:\n"
+        "STOP\n");
+    EXPECT_EQ(program.labels.at("ne_path"), 8);
+    EXPECT_EQ(program.labels.at("eq_path"), 10);
+    EXPECT_EQ(program.labels.at("next"), 11);
+}
+
+TEST(Assembler, SmitAcceptsAllowedPairs)
+{
+    Program program = surfaceAssembler().assemble(
+        "SMIT T3, {(2, 0), (4, 1)}\n");
+    // Edge 0 = (2,0), edge 6 = (4,1).
+    EXPECT_EQ(program.instructions[0].mask, (1u << 0) | (1u << 6));
+}
+
+// --------------------------------------------------------- diagnostics
+
+TEST(AssemblerErrors, UnknownMnemonic)
+{
+    EXPECT_THROW(twoQubitAssembler().assemble("FROB R1\n"),
+                 AssemblyError);
+}
+
+TEST(AssemblerErrors, UnknownQuantumOperation)
+{
+    // H is not in the configured set for the transmon platform.
+    EXPECT_THROW(twoQubitAssembler().assemble("H S0\n"), AssemblyError);
+}
+
+TEST(AssemblerErrors, QubitNotOnChip)
+{
+    EXPECT_THROW(twoQubitAssembler().assemble("SMIS S0, {5}\n"),
+                 AssemblyError);
+}
+
+TEST(AssemblerErrors, DisallowedPair)
+{
+    EXPECT_THROW(surfaceAssembler().assemble("SMIT T0, {(0, 1)}\n"),
+                 AssemblyError);
+}
+
+TEST(AssemblerErrors, TRegisterSharedQubitRejected)
+{
+    // Section 4.3: two edges connecting to the same qubit in one T
+    // register are invalid; (2,0) and (0,5) share qubit 0.
+    EXPECT_THROW(
+        surfaceAssembler().assemble("SMIT T0, {(2, 0), (0, 5)}\n"),
+        AssemblyError);
+}
+
+TEST(AssemblerErrors, RegisterOutOfRange)
+{
+    EXPECT_THROW(twoQubitAssembler().assemble("LDI R32, 1\n"),
+                 AssemblyError);
+    EXPECT_THROW(twoQubitAssembler().assemble("X S32\n"), AssemblyError);
+}
+
+TEST(AssemblerErrors, PreIntervalTooLarge)
+{
+    // wPI = 3 bits: PI must fit [0, 7].
+    EXPECT_THROW(twoQubitAssembler().assemble("8, X S0\n"),
+                 AssemblyError);
+}
+
+TEST(AssemblerErrors, ImmediateOverflow)
+{
+    EXPECT_THROW(twoQubitAssembler().assemble("QWAIT 1048576\n"),
+                 AssemblyError);
+    EXPECT_THROW(twoQubitAssembler().assemble("LDI R0, 600000\n"),
+                 AssemblyError);
+}
+
+TEST(AssemblerErrors, UndefinedLabel)
+{
+    EXPECT_THROW(twoQubitAssembler().assemble("BR ALWAYS, nowhere\n"),
+                 AssemblyError);
+}
+
+TEST(AssemblerErrors, DuplicateLabel)
+{
+    EXPECT_THROW(
+        twoQubitAssembler().assemble("a:\nNOP\na:\nNOP\n"),
+        AssemblyError);
+}
+
+TEST(AssemblerErrors, WrongTargetRegisterKind)
+{
+    EXPECT_THROW(twoQubitAssembler().assemble("X T0\n"), AssemblyError);
+    EXPECT_THROW(twoQubitAssembler().assemble("CZ S0\n"), AssemblyError);
+}
+
+TEST(AssemblerErrors, ReportsAllErrorsWithLines)
+{
+    try {
+        twoQubitAssembler().assemble("LDI R99, 1\nQWAIT -2\nFOO\n");
+        FAIL() << "expected assembly errors";
+    } catch (const AssemblyError &error) {
+        EXPECT_EQ(error.diagnostics().size(), 3u);
+        EXPECT_EQ(error.diagnostics()[0].line, 1);
+        EXPECT_EQ(error.diagnostics()[1].line, 2);
+        EXPECT_EQ(error.diagnostics()[2].line, 3);
+    }
+}
+
+TEST(AssemblerErrors, TrailingTokens)
+{
+    EXPECT_THROW(twoQubitAssembler().assemble("NOP NOP\n"),
+                 AssemblyError);
+}
+
+// ------------------------------------------------- round-trip property
+
+class AsmRoundTrip : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(AsmRoundTrip, AssembleDisassembleAssembleFixedPoint)
+{
+    Assembler asm_ = surfaceAssembler();
+    Program first = asm_.assemble(GetParam());
+    std::string text = assembler::disassemble(
+        first.image, asm_.operations(), asm_.topology(), asm_.params());
+    Program second = asm_.assemble(text);
+    EXPECT_EQ(first.image, second.image) << "disassembly:\n" << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, AsmRoundTrip,
+    ::testing::Values(
+        "SMIS S0, {0}\nQWAIT 10000\nX S0\nMEASZ S0\nSTOP\n",
+        "SMIS S7, {0, 2, 5}\nSMIT T3, {(2, 0)}\n0, Y S7\n1, CZ T3\n",
+        "LDI R0, -10\nLDUI R1, 32767, R0\nADD R2, R1, R0\nNOP\nSTOP\n",
+        "QWAIT 0\nQWAIT 1048575\nQWAITR R5\n",
+        "SMIS S1, {1}\nSMIS S2, {2}\nSMIS S3, {3}\n"
+        "7, X S1 | Y S2 | X90 S3 | Ym90 S1\n",
+        "CMP R1, R2\nFBR GEU, R3\nFMR R4, Q6\nLD R5, R6(100)\n"
+        "ST R5, R6(-100)\nSTOP\n",
+        "2, MEASZ S0\nQWAIT 50\nC_X S0\nSTOP\n"));
+
+TEST(Disassembler, RendersSmitAsPairList)
+{
+    Assembler asm_ = surfaceAssembler();
+    Program program = asm_.assemble("SMIT T2, {(2, 0), (4, 1)}\n");
+    std::string text = assembler::disassemble(
+        program.image, asm_.operations(), asm_.topology(), asm_.params());
+    EXPECT_NE(text.find("SMIT T2, {(2, 0), (4, 1)}"), std::string::npos)
+        << text;
+}
+
+TEST(Disassembler, HidesQnopPadding)
+{
+    Assembler asm_ = surfaceAssembler();
+    Program program = asm_.assemble("SMIS S1, {1}\n3, X S1\n");
+    std::string text = assembler::disassemble(
+        program.image, asm_.operations(), asm_.topology(), asm_.params());
+    EXPECT_NE(text.find("3, X S1"), std::string::npos);
+    EXPECT_EQ(text.find("QNOP"), std::string::npos);
+}

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit tests for chip topologies: the Fig. 6 surface-7 reconstruction,
+ * the Section 5 two-qubit chip, the Section 3.3.2 comparison chips,
+ * mask handling and validity checking.
+ */
+#include <gtest/gtest.h>
+
+#include "chip/topology.h"
+#include "common/error.h"
+
+using namespace eqasm;
+using chip::Topology;
+
+TEST(Surface7, HasSevenQubitsSixteenEdges)
+{
+    Topology chip = Topology::surface7();
+    EXPECT_EQ(chip.numQubits(), 7);
+    EXPECT_EQ(chip.numEdges(), 16);
+}
+
+TEST(Surface7, EdgeZeroIsQubit2ToQubit0)
+{
+    // Section 3.3.1: "allowed qubit pair 0 has qubit 2 as the source
+    // qubit and qubit 0 as the target qubit".
+    Topology chip = Topology::surface7();
+    EXPECT_EQ(chip.edge(0).source, 2);
+    EXPECT_EQ(chip.edge(0).target, 0);
+}
+
+TEST(Surface7, Qubit0OnEdges0189)
+{
+    // Section 4.3: "qubit 0 ... is connected to edges 0, 1, 8, and 9".
+    Topology chip = Topology::surface7();
+    EXPECT_EQ(chip.edgesOfQubit(0), (std::vector<int>{0, 1, 8, 9}));
+}
+
+TEST(Surface7, OpSel0FormulaEdges)
+{
+    // OpSel0 = (T[0] | T[9]) :: (T[1] | T[8]): qubit 0 is the target of
+    // edges 0 and 9 and the source of edges 1 and 8.
+    Topology chip = Topology::surface7();
+    EXPECT_EQ(chip.edge(0).target, 0);
+    EXPECT_EQ(chip.edge(9).target, 0);
+    EXPECT_EQ(chip.edge(1).source, 0);
+    EXPECT_EQ(chip.edge(8).source, 0);
+}
+
+TEST(Surface7, EveryCouplingHasBothDirections)
+{
+    Topology chip = Topology::surface7();
+    for (const chip::QubitPair &pair : chip.edges()) {
+        EXPECT_TRUE(
+            chip.edgeIndex(pair.target, pair.source).has_value());
+    }
+}
+
+TEST(Surface7, CentreAncillaHasDegreeFour)
+{
+    // The surface-7 code's middle ancilla (qubit 5) couples to all four
+    // data qubits; the other degrees are 2.
+    Topology chip = Topology::surface7();
+    EXPECT_EQ(chip.edgesOfQubit(5).size(), 8u); // 4 couplings x 2 dirs
+    for (int qubit : {0, 1, 2, 3, 4, 6})
+        EXPECT_EQ(chip.edgesOfQubit(qubit).size(), 4u);
+}
+
+TEST(Surface7, FeedlinesMatchThePaper)
+{
+    // Qubits 0, 2, 3, 5, 6 on feedline 0; qubits 1, 4 on feedline 1.
+    Topology chip = Topology::surface7();
+    EXPECT_EQ(chip.numFeedlines(), 2);
+    for (int qubit : {0, 2, 3, 5, 6})
+        EXPECT_EQ(chip.feedlineOfQubit(qubit), 0);
+    for (int qubit : {1, 4})
+        EXPECT_EQ(chip.feedlineOfQubit(qubit), 1);
+}
+
+TEST(TwoQubitChip, QubitsZeroAndTwo)
+{
+    Topology chip = Topology::twoQubit();
+    EXPECT_TRUE(chip.validQubit(0));
+    EXPECT_TRUE(chip.validQubit(2));
+    EXPECT_TRUE(chip.edgeIndex(0, 2).has_value());
+    EXPECT_TRUE(chip.edgeIndex(2, 0).has_value());
+    EXPECT_EQ(chip.numEdges(), 2);
+}
+
+TEST(ComparisonChips, IbmQx2HasSixPairs)
+{
+    // Section 3.3.2: IBM QX2 "also contains five qubits but has only
+    // six allowed qubit pairs", so a 6-bit mask beats address pairs.
+    Topology chip = Topology::ibmQx2();
+    EXPECT_EQ(chip.numQubits(), 5);
+    EXPECT_EQ(chip.numEdges(), 6);
+}
+
+TEST(ComparisonChips, IonTrap5FullyConnected)
+{
+    // Section 3.3.2: 20 directed pairs on the fully connected 5-qubit
+    // trapped-ion processor.
+    Topology chip = Topology::ionTrap5();
+    EXPECT_EQ(chip.numQubits(), 5);
+    EXPECT_EQ(chip.numEdges(), 20);
+    for (int a = 0; a < 5; ++a) {
+        for (int b = 0; b < 5; ++b) {
+            if (a != b)
+                EXPECT_TRUE(chip.edgeIndex(a, b).has_value());
+        }
+    }
+}
+
+TEST(Topology, MaskConflictDetectsSharedQubit)
+{
+    Topology chip = Topology::surface7();
+    // Edges 0 (2->0) and 1 (0->2) share both qubits.
+    uint64_t mask = chip.edgesToMask({0, 1});
+    EXPECT_TRUE(chip.maskConflict(mask).has_value());
+}
+
+TEST(Topology, MaskConflictAcceptsDisjointPairs)
+{
+    Topology chip = Topology::surface7();
+    // Edge 0 = (2, 0) and edge 6 = (4, 1) are disjoint.
+    uint64_t mask = chip.edgesToMask({0, 6});
+    EXPECT_FALSE(chip.maskConflict(mask).has_value());
+    EXPECT_FALSE(chip.maskConflict(0).has_value());
+}
+
+TEST(Topology, MaskRoundTrip)
+{
+    Topology chip = Topology::surface7();
+    std::vector<int> edges = {0, 3, 15};
+    uint64_t mask = chip.edgesToMask(edges);
+    EXPECT_EQ(chip.maskToEdges(mask), edges);
+}
+
+TEST(Topology, EdgesToMaskRejectsOutOfRange)
+{
+    Topology chip = Topology::twoQubit();
+    EXPECT_THROW(chip.edgesToMask({5}), Error);
+    EXPECT_THROW(chip.edge(99), Error);
+    EXPECT_THROW(chip.feedlineOfQubit(-1), Error);
+}
+
+TEST(Topology, JsonRoundTrip)
+{
+    Topology original = Topology::surface7();
+    Topology loaded = Topology::fromJson(original.toJson());
+    EXPECT_EQ(loaded.name(), original.name());
+    EXPECT_EQ(loaded.numQubits(), original.numQubits());
+    EXPECT_EQ(loaded.numEdges(), original.numEdges());
+    for (int e = 0; e < original.numEdges(); ++e) {
+        EXPECT_EQ(loaded.edge(e), original.edge(e));
+    }
+    for (int q = 0; q < original.numQubits(); ++q)
+        EXPECT_EQ(loaded.feedlineOfQubit(q), original.feedlineOfQubit(q));
+}
+
+TEST(Topology, FromJsonParsesHandWrittenConfig)
+{
+    // A configuration file is how the Section 5 setup renamed its two
+    // qubits ("A configuration file is used to specify the quantum chip
+    // topology").
+    Json doc = Json::parse(R"({
+        "name": "custom",          // free-form chip name
+        "qubits": 3,
+        "edges": [[0, 2], [2, 0]],
+        "feedlines": [0, 0, 0]
+    })");
+    Topology chip = Topology::fromJson(doc);
+    EXPECT_EQ(chip.name(), "custom");
+    EXPECT_TRUE(chip.edgeIndex(0, 2).has_value());
+}
+
+TEST(EncodingCost, IonTrapPrefersAddressPairs)
+{
+    // Section 3.3.2: "only 2 x 2 x 3 bits = 12 bits are required ...
+    // more efficient than a mask of 20 bits".
+    Topology chip = Topology::ionTrap5();
+    EXPECT_EQ(chip.maskEncodingBits(), 20);
+    EXPECT_EQ(chip.maxParallelPairs(), 2);
+    EXPECT_EQ(chip.addressPairEncodingBits(2), 12);
+}
+
+TEST(EncodingCost, Qx2PrefersMask)
+{
+    // "a mask of 6 bits is more efficient for the IBM QX2".
+    Topology chip = Topology::ibmQx2();
+    EXPECT_EQ(chip.maskEncodingBits(), 6);
+    EXPECT_LT(chip.maskEncodingBits(),
+              chip.addressPairEncodingBits(chip.maxParallelPairs()));
+}
+
+TEST(EncodingCost, MaxParallelPairsIsAMatching)
+{
+    // Surface-7: the centre ancilla (qubit 5) blocks most pairs; three
+    // disjoint couplings exist, e.g. (2,0), (4,1), (5,6).
+    EXPECT_EQ(Topology::surface7().maxParallelPairs(), 3);
+    EXPECT_EQ(Topology::twoQubit().maxParallelPairs(), 1);
+}
+
+TEST(Topology, ConstructorRejectsBadEdges)
+{
+    EXPECT_THROW(Topology("bad", 2, {{0, 0}}), Error);   // self loop
+    EXPECT_THROW(Topology("bad", 2, {{0, 5}}), Error);   // out of range
+    EXPECT_THROW(Topology("bad", 2, {{0, 1}, {0, 1}}), Error); // dup
+    EXPECT_THROW(Topology("bad", 0, {}), Error);         // no qubits
+    EXPECT_THROW(Topology("bad", 2, {{0, 1}}, {0}), Error); // feedline
+}

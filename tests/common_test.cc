@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Unit tests for the common substrate: bit utilities, RNG, strings,
+ * JSON and table rendering.
+ */
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+using namespace eqasm;
+
+// ---------------------------------------------------------------- bits
+
+TEST(Bits, MaskCoversInclusiveRange)
+{
+    EXPECT_EQ(bitMask(0, 0), 0x1u);
+    EXPECT_EQ(bitMask(3, 0), 0xfu);
+    EXPECT_EQ(bitMask(7, 4), 0xf0u);
+    EXPECT_EQ(bitMask(63, 0), ~uint64_t{0});
+}
+
+TEST(Bits, ExtractAndInsertRoundTrip)
+{
+    uint64_t word = 0;
+    word = insertBits(word, 30, 25, 0x2a);
+    word = insertBits(word, 24, 20, 0x11);
+    EXPECT_EQ(bits(word, 30, 25), 0x2au);
+    EXPECT_EQ(bits(word, 24, 20), 0x11u);
+    EXPECT_EQ(bits(word, 19, 0), 0u);
+}
+
+TEST(Bits, InsertTruncatesOversizedField)
+{
+    uint64_t word = insertBits(0, 3, 0, 0xff);
+    EXPECT_EQ(word, 0xfu);
+}
+
+TEST(Bits, SingleBit)
+{
+    EXPECT_EQ(bit(0b100, 2), 1u);
+    EXPECT_EQ(bit(0b100, 1), 0u);
+}
+
+TEST(Bits, SignExtend)
+{
+    EXPECT_EQ(signExtend(0xfffff, 20), -1);
+    EXPECT_EQ(signExtend(0x7ffff, 20), 0x7ffff);
+    EXPECT_EQ(signExtend(0x80000, 20), -524288);
+    EXPECT_EQ(signExtend(0, 20), 0);
+    EXPECT_EQ(signExtend(5, 4), 5);
+    EXPECT_EQ(signExtend(0xf, 4), -1);
+}
+
+TEST(Bits, FitsUnsigned)
+{
+    EXPECT_TRUE(fitsUnsigned(7, 3));
+    EXPECT_FALSE(fitsUnsigned(8, 3));
+    EXPECT_TRUE(fitsUnsigned(0, 1));
+}
+
+TEST(Bits, FitsSigned)
+{
+    EXPECT_TRUE(fitsSigned(-4, 3));
+    EXPECT_TRUE(fitsSigned(3, 3));
+    EXPECT_FALSE(fitsSigned(4, 3));
+    EXPECT_FALSE(fitsSigned(-5, 3));
+}
+
+TEST(Bits, Popcount)
+{
+    EXPECT_EQ(popcount(0), 0);
+    EXPECT_EQ(popcount(0b1011), 3);
+    EXPECT_EQ(popcount(~uint64_t{0}), 64);
+}
+
+// ----------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double value = rng.uniform();
+        EXPECT_GE(value, 0.0);
+        EXPECT_LT(value, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntRespectsBound)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.uniformInt(24), 24u);
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(3);
+    std::vector<int> counts(6, 0);
+    for (int i = 0; i < 6000; ++i)
+        ++counts[rng.uniformInt(6)];
+    for (int count : counts)
+        EXPECT_GT(count, 800);
+}
+
+TEST(Rng, BernoulliEdges)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(5);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(11);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(9);
+    Rng child = parent.fork();
+    EXPECT_NE(parent.next(), child.next());
+}
+
+// ------------------------------------------------------------- strings
+
+TEST(Strings, Format)
+{
+    EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+    EXPECT_EQ(format("%05d", 42), "00042");
+}
+
+TEST(Strings, SplitKeepsEmptyFields)
+{
+    auto parts = split("a,,b", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(trim("  x y \t"), "x y");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, CaseConversion)
+{
+    EXPECT_EQ(toLower("MeasZ"), "measz");
+    EXPECT_EQ(toUpper("x90"), "X90");
+}
+
+TEST(Strings, StartsWith)
+{
+    EXPECT_TRUE(startsWith("rx:90", "rx:"));
+    EXPECT_FALSE(startsWith("rx", "rx:"));
+}
+
+TEST(Strings, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, ParseIntDecimal)
+{
+    EXPECT_EQ(parseInt("42"), 42);
+    EXPECT_EQ(parseInt("-17"), -17);
+    EXPECT_EQ(parseInt("+3"), 3);
+    EXPECT_EQ(parseInt("  10 "), 10);
+}
+
+TEST(Strings, ParseIntHexAndBinary)
+{
+    EXPECT_EQ(parseInt("0x1f"), 31);
+    EXPECT_EQ(parseInt("0b101"), 5);
+    EXPECT_EQ(parseInt("-0x10"), -16);
+}
+
+TEST(Strings, ParseIntRejectsGarbage)
+{
+    EXPECT_THROW(parseInt(""), Error);
+    EXPECT_THROW(parseInt("x"), Error);
+    EXPECT_THROW(parseInt("12a"), Error);
+    EXPECT_THROW(parseInt("-"), Error);
+    EXPECT_THROW(parseInt("99999999999999999999999"), Error);
+}
+
+// ---------------------------------------------------------------- json
+
+TEST(Json, ParseScalars)
+{
+    EXPECT_TRUE(Json::parse("null").isNull());
+    EXPECT_EQ(Json::parse("true").asBool(), true);
+    EXPECT_EQ(Json::parse("false").asBool(), false);
+    EXPECT_EQ(Json::parse("42").asInt(), 42);
+    EXPECT_DOUBLE_EQ(Json::parse("-2.5e2").asDouble(), -250.0);
+    EXPECT_EQ(Json::parse("\"hi\"").asString(), "hi");
+}
+
+TEST(Json, ParseNested)
+{
+    Json doc = Json::parse(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+    EXPECT_EQ(doc.at("a").size(), 3u);
+    EXPECT_EQ(doc.at("a").at(size_t{2}).at("b").asBool(), true);
+    EXPECT_EQ(doc.at("c").asString(), "x");
+}
+
+TEST(Json, ParseComments)
+{
+    Json doc = Json::parse("// leading\n{\"a\": 1 /* mid */, \"b\": 2}");
+    EXPECT_EQ(doc.at("a").asInt(), 1);
+    EXPECT_EQ(doc.at("b").asInt(), 2);
+}
+
+TEST(Json, StringEscapes)
+{
+    Json doc = Json::parse(R"("a\nb\t\"q\" A")");
+    EXPECT_EQ(doc.asString(), "a\nb\t\"q\" A");
+}
+
+TEST(Json, UnicodeEscape)
+{
+    EXPECT_EQ(Json::parse(R"("A")").asString(), "A");
+}
+
+TEST(Json, RejectsMalformed)
+{
+    EXPECT_THROW(Json::parse(""), Error);
+    EXPECT_THROW(Json::parse("{"), Error);
+    EXPECT_THROW(Json::parse("[1,]"), Error);
+    EXPECT_THROW(Json::parse("tru"), Error);
+    EXPECT_THROW(Json::parse("1 2"), Error);
+    EXPECT_THROW(Json::parse(R"({"a":1, "a":2})"), Error);
+}
+
+TEST(Json, ErrorsCarryLocation)
+{
+    try {
+        Json::parse("{\n  \"a\": !\n}");
+        FAIL() << "expected parse error";
+    } catch (const Error &error) {
+        EXPECT_NE(error.message().find("json:2"), std::string::npos)
+            << error.message();
+    }
+}
+
+TEST(Json, AccessorsEnforceKind)
+{
+    Json number(1.5);
+    EXPECT_THROW(number.asString(), Error);
+    EXPECT_THROW(number.asBool(), Error);
+    EXPECT_THROW(number.asArray(), Error);
+    EXPECT_THROW(number.asInt(), Error); // not integral
+    EXPECT_THROW(Json("x").asDouble(), Error);
+}
+
+TEST(Json, DefaultingGetters)
+{
+    Json doc = Json::parse(R"({"a": 1})");
+    EXPECT_EQ(doc.getInt("a", 9), 1);
+    EXPECT_EQ(doc.getInt("missing", 9), 9);
+    EXPECT_EQ(doc.getString("missing", "d"), "d");
+    EXPECT_EQ(doc.getBool("missing", true), true);
+    EXPECT_DOUBLE_EQ(doc.getDouble("missing", 2.5), 2.5);
+}
+
+TEST(Json, DumpParseRoundTrip)
+{
+    const char *source =
+        R"({"name":"chip","qubits":7,"edges":[[2,0],[0,2]],"f":1.5})";
+    Json doc = Json::parse(source);
+    Json reparsed = Json::parse(doc.dump());
+    EXPECT_TRUE(doc == reparsed);
+    Json pretty = Json::parse(doc.dump(2));
+    EXPECT_TRUE(doc == pretty);
+}
+
+TEST(Json, SetReplacesExistingKey)
+{
+    Json obj = Json::makeObject();
+    obj.set("k", 1);
+    obj.set("k", 2);
+    EXPECT_EQ(obj.size(), 1u);
+    EXPECT_EQ(obj.at("k").asInt(), 2);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder)
+{
+    Json obj = Json::makeObject();
+    obj.set("z", 1);
+    obj.set("a", 2);
+    EXPECT_EQ(obj.asObject()[0].first, "z");
+    EXPECT_EQ(obj.asObject()[1].first, "a");
+}
+
+TEST(Json, FindReturnsNullForMissing)
+{
+    Json doc = Json::parse(R"({"a": 1})");
+    EXPECT_EQ(doc.find("b"), nullptr);
+    EXPECT_NE(doc.find("a"), nullptr);
+    EXPECT_EQ(Json(1).find("a"), nullptr);
+    EXPECT_THROW(doc.at("b"), Error);
+}
+
+// --------------------------------------------------------------- table
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table table({"name", "value"});
+    table.addRow({"x", "1"});
+    table.addRow({"longer", "22"});
+    std::string out = table.render();
+    EXPECT_NE(out.find("| name"), std::string::npos);
+    EXPECT_NE(out.find("| longer"), std::string::npos);
+    auto lines = split(out, '\n');
+    size_t width = lines[0].size();
+    for (const auto &line : lines) {
+        if (!line.empty())
+            EXPECT_EQ(line.size(), width);
+    }
+}
+
+TEST(Table, SeparatorRows)
+{
+    Table table({"a"});
+    table.addRow({"1"});
+    table.addSeparator();
+    table.addRow({"2"});
+    EXPECT_EQ(table.rowCount(), 3u);
+    EXPECT_FALSE(table.render().empty());
+}
+
+// --------------------------------------------------------------- error
+
+TEST(ErrorHandling, CodesHaveNames)
+{
+    EXPECT_STREQ(errorCodeName(ErrorCode::parseError), "parse_error");
+    EXPECT_STREQ(errorCodeName(ErrorCode::configError), "config_error");
+}
+
+TEST(ErrorHandling, WhatEmbedsCategory)
+{
+    Error error(ErrorCode::notFound, "no such thing");
+    EXPECT_NE(std::string(error.what()).find("not_found"),
+              std::string::npos);
+    EXPECT_EQ(error.code(), ErrorCode::notFound);
+    EXPECT_EQ(error.message(), "no such thing");
+}

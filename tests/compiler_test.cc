@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Unit tests for the compiler backend: circuit validation, ASAP
+ * scheduling, the Fig. 7 instruction-count model and executable code
+ * generation (which must assemble and run).
+ */
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "compiler/circuit.h"
+#include "compiler/codegen.h"
+#include "compiler/schedule.h"
+#include "runtime/platform.h"
+#include "runtime/quantum_processor.h"
+
+using namespace eqasm;
+using namespace eqasm::compiler;
+
+namespace {
+
+isa::OperationSet
+ops()
+{
+    return isa::OperationSet::defaultSet();
+}
+
+} // namespace
+
+// ------------------------------------------------------------- circuit
+
+TEST(Circuit, TwoQubitFraction)
+{
+    Circuit circuit;
+    circuit.numQubits = 3;
+    circuit.add1("X", 0);
+    circuit.add1("Y", 1);
+    circuit.add2("CZ", 0, 1);
+    EXPECT_NEAR(circuit.twoQubitFraction(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Circuit, ValidateRejectsUnknownGate)
+{
+    Circuit circuit;
+    circuit.numQubits = 1;
+    circuit.add1("H", 0); // not in the transmon set
+    EXPECT_THROW(circuit.validate(ops()), Error);
+}
+
+TEST(Circuit, ValidateRejectsWrongArity)
+{
+    Circuit circuit;
+    circuit.numQubits = 2;
+    circuit.add1("CZ", 0);
+    EXPECT_THROW(circuit.validate(ops()), Error);
+}
+
+TEST(Circuit, ValidateRejectsOutOfRangeQubit)
+{
+    Circuit circuit;
+    circuit.numQubits = 2;
+    circuit.add1("X", 5);
+    EXPECT_THROW(circuit.validate(ops()), Error);
+}
+
+// ------------------------------------------------------------ schedule
+
+TEST(Schedule, IndependentGatesShareStartCycle)
+{
+    Circuit circuit;
+    circuit.numQubits = 3;
+    circuit.add1("X", 0);
+    circuit.add1("Y", 1);
+    circuit.add1("X90", 2);
+    TimedCircuit timed = scheduleAsap(circuit, ops());
+    for (const TimedGate &gate : timed.gates)
+        EXPECT_EQ(gate.startCycle, 0u);
+    EXPECT_EQ(timed.makespan(), 1u);
+}
+
+TEST(Schedule, DependentGatesSerialise)
+{
+    Circuit circuit;
+    circuit.numQubits = 1;
+    circuit.add1("X", 0);
+    circuit.add1("Y", 0);
+    circuit.add1("X90", 0);
+    TimedCircuit timed = scheduleAsap(circuit, ops());
+    EXPECT_EQ(timed.gates[0].startCycle, 0u);
+    EXPECT_EQ(timed.gates[1].startCycle, 1u);
+    EXPECT_EQ(timed.gates[2].startCycle, 2u);
+}
+
+TEST(Schedule, DurationsRespected)
+{
+    Circuit circuit;
+    circuit.numQubits = 2;
+    circuit.add2("CZ", 0, 1);   // 2 cycles
+    circuit.add1("X", 0);       // starts at 2
+    circuit.add1("MEASZ", 1);   // starts at 2, lasts 15
+    circuit.add1("Y", 1);       // starts at 17
+    TimedCircuit timed = scheduleAsap(circuit, ops());
+    EXPECT_EQ(timed.gates[1].startCycle, 2u);
+    EXPECT_EQ(timed.gates[2].startCycle, 2u);
+    EXPECT_EQ(timed.gates[3].startCycle, 17u);
+    EXPECT_EQ(timed.makespan(), 18u);
+}
+
+TEST(Schedule, TwoQubitGateWaitsForBothOperands)
+{
+    Circuit circuit;
+    circuit.numQubits = 2;
+    circuit.add1("X", 0);
+    circuit.add1("X", 0);
+    circuit.add2("CZ", 0, 1);
+    TimedCircuit timed = scheduleAsap(circuit, ops());
+    EXPECT_EQ(timed.gates[2].startCycle, 2u);
+}
+
+// -------------------------------------------- Fig. 7 instruction model
+
+namespace {
+
+/** Back-to-back single-qubit chain: n points, 1 op each, interval 1. */
+TimedCircuit
+chainCircuit(int length)
+{
+    Circuit circuit;
+    circuit.numQubits = 1;
+    for (int i = 0; i < length; ++i)
+        circuit.add1("X", 0);
+    return scheduleAsap(circuit, ops());
+}
+
+/** Parallel layer circuit: n layers of the same op on all qubits. */
+TimedCircuit
+layerCircuit(int layers, int qubits)
+{
+    Circuit circuit;
+    circuit.numQubits = qubits;
+    for (int layer = 0; layer < layers; ++layer) {
+        for (int q = 0; q < qubits; ++q)
+            circuit.add1("X", q);
+    }
+    return scheduleAsap(circuit, ops());
+}
+
+} // namespace
+
+TEST(CountModel, Ts1ChargesOneQwaitPerPoint)
+{
+    CodegenOptions options;
+    options.timing = TimingMethod::ts1;
+    options.somq = false;
+    options.vliwWidth = 1;
+    TimedCircuit timed = chainCircuit(10);
+    CodegenStats stats = countInstructions(timed, options);
+    // Point 0 at cycle 0 needs no wait; 9 remaining points do.
+    EXPECT_EQ(stats.qwaitInstructions, 9u);
+    EXPECT_EQ(stats.bundleInstructions, 10u);
+    EXPECT_EQ(stats.totalInstructions, 19u);
+}
+
+TEST(CountModel, Ts2FoldsWaitIntoBundleSlot)
+{
+    CodegenOptions options;
+    options.timing = TimingMethod::ts2;
+    options.somq = false;
+    options.vliwWidth = 2;
+    TimedCircuit timed = chainCircuit(10);
+    CodegenStats stats = countInstructions(timed, options);
+    // Each point: 1 op + 1 wait slot except the first -> 1 bundle each.
+    EXPECT_EQ(stats.totalInstructions, 10u);
+    EXPECT_EQ(stats.qwaitInstructions, 0u);
+}
+
+TEST(CountModel, Ts3ShortWaitsRideInPi)
+{
+    CodegenOptions options;
+    options.timing = TimingMethod::ts3;
+    options.preIntervalWidth = 3;
+    options.somq = false;
+    options.vliwWidth = 1;
+    TimedCircuit timed = chainCircuit(10);
+    CodegenStats stats = countInstructions(timed, options);
+    EXPECT_EQ(stats.totalInstructions, 10u); // no QWAITs at all.
+}
+
+TEST(CountModel, Ts3LongWaitNeedsQwait)
+{
+    Circuit circuit;
+    circuit.numQubits = 1;
+    circuit.add1("X", 0);
+    circuit.add1("MEASZ", 0); // 15-cycle duration -> interval 15 next
+    circuit.add1("X", 0);
+    TimedCircuit timed = scheduleAsap(circuit, ops());
+    CodegenOptions options;
+    options.timing = TimingMethod::ts3;
+    options.preIntervalWidth = 3; // max PI 7 < 15
+    options.vliwWidth = 1;
+    CodegenStats stats = countInstructions(timed, options);
+    EXPECT_EQ(stats.qwaitInstructions, 1u);
+
+    options.preIntervalWidth = 4; // max PI 15 >= 15
+    stats = countInstructions(timed, options);
+    EXPECT_EQ(stats.qwaitInstructions, 0u);
+}
+
+TEST(CountModel, Ts2RequiresVliwWidthTwo)
+{
+    CodegenOptions options;
+    options.timing = TimingMethod::ts2;
+    options.vliwWidth = 1;
+    EXPECT_THROW(countInstructions(chainCircuit(2), options), Error);
+}
+
+TEST(CountModel, SomqMergesSameNamedGates)
+{
+    CodegenOptions with;
+    with.timing = TimingMethod::ts3;
+    with.somq = true;
+    with.vliwWidth = 1;
+    CodegenOptions without = with;
+    without.somq = false;
+
+    TimedCircuit timed = layerCircuit(5, 7);
+    CodegenStats merged = countInstructions(timed, with);
+    CodegenStats flat = countInstructions(timed, without);
+    // All 7 qubits run X simultaneously: one slot per layer with SOMQ.
+    EXPECT_EQ(merged.operationSlots, 5u);
+    EXPECT_EQ(flat.operationSlots, 35u);
+    EXPECT_LT(merged.totalInstructions, flat.totalInstructions);
+}
+
+TEST(CountModel, WiderVliwReducesInstructions)
+{
+    // Layers of *different* gates so SOMQ cannot merge them.
+    Circuit circuit;
+    circuit.numQubits = 4;
+    const char *gates[] = {"X", "Y", "X90", "Y90"};
+    for (int layer = 0; layer < 10; ++layer) {
+        for (int q = 0; q < 4; ++q)
+            circuit.add1(gates[q], q);
+    }
+    TimedCircuit timed = scheduleAsap(circuit, ops());
+    CodegenOptions options;
+    options.timing = TimingMethod::ts3;
+    options.somq = false;
+    uint64_t previous = ~0ull;
+    for (int w : {1, 2, 4}) {
+        options.vliwWidth = w;
+        CodegenStats stats = countInstructions(timed, options);
+        EXPECT_LT(stats.totalInstructions, previous) << "w=" << w;
+        previous = stats.totalInstructions;
+    }
+}
+
+TEST(CountModel, OpsPerBundleBounded)
+{
+    CodegenOptions options;
+    options.vliwWidth = 2;
+    TimedCircuit timed = layerCircuit(8, 7);
+    CodegenStats stats = countInstructions(timed, options);
+    EXPECT_GT(stats.opsPerBundle(), 0.0);
+    EXPECT_LE(stats.opsPerBundle(), 2.0);
+}
+
+// ------------------------------------------------------------- codegen
+
+TEST(Codegen, GeneratedProgramAssembles)
+{
+    Circuit circuit;
+    circuit.numQubits = 3; // two-qubit chip address space {0, _, 2}
+    circuit.add1("Y90", 0);
+    circuit.add1("Y90", 2);
+    circuit.add2("CZ", 0, 2);
+    circuit.add1("MEASZ", 0);
+    circuit.add1("MEASZ", 2);
+    TimedCircuit timed = scheduleAsap(circuit, ops());
+    std::string source = generateProgram(timed, ops(),
+                                         chip::Topology::twoQubit());
+    assembler::Assembler asm_(ops(), chip::Topology::twoQubit());
+    EXPECT_NO_THROW(asm_.assemble(source)) << source;
+}
+
+TEST(Codegen, GeneratedProgramExecutesCorrectPhysics)
+{
+    // X on qubit 0, nothing on qubit 2, measure both — through codegen,
+    // assembler, binary, decoder, microarchitecture and device.
+    Circuit circuit;
+    circuit.numQubits = 3;
+    circuit.add1("X", 0);
+    circuit.add1("MEASZ", 0);
+    circuit.add1("MEASZ", 2);
+    TimedCircuit timed = scheduleAsap(circuit, ops());
+    std::string source = generateProgram(timed, ops(),
+                                         chip::Topology::twoQubit());
+
+    runtime::QuantumProcessor processor(
+        runtime::Platform::ideal(runtime::Platform::twoQubit()), 5);
+    processor.loadSource(source);
+    auto record = processor.runShot();
+    EXPECT_EQ(record.lastMeasurement(0), 1);
+    EXPECT_EQ(record.lastMeasurement(2), 0);
+}
+
+TEST(Codegen, ReusesTargetRegisters)
+{
+    // The same mask used repeatedly must not emit repeated SMIS.
+    Circuit circuit;
+    circuit.numQubits = 1;
+    for (int i = 0; i < 20; ++i)
+        circuit.add1("X", 0);
+    TimedCircuit timed = scheduleAsap(circuit, ops());
+    std::string source = generateProgram(timed, ops(),
+                                         chip::Topology::twoQubit());
+    size_t count = 0;
+    for (size_t pos = source.find("SMIS"); pos != std::string::npos;
+         pos = source.find("SMIS", pos + 1)) {
+        ++count;
+    }
+    EXPECT_EQ(count, 1u);
+}
+
+TEST(Codegen, RejectsDisallowedPair)
+{
+    Circuit circuit;
+    circuit.numQubits = 3;
+    circuit.add2("CZ", 0, 1); // qubit 1 is the address hole
+    TimedCircuit timed = scheduleAsap(circuit, ops());
+    EXPECT_THROW(
+        generateProgram(timed, ops(), chip::Topology::twoQubit()),
+        Error);
+}
+
+TEST(Codegen, LongIntervalEmitsQwait)
+{
+    Circuit circuit;
+    circuit.numQubits = 1;
+    circuit.add1("MEASZ", 0);
+    circuit.add1("X", 0); // 15 cycles later > max PI 7
+    TimedCircuit timed = scheduleAsap(circuit, ops());
+    std::string source = generateProgram(timed, ops(),
+                                         chip::Topology::twoQubit());
+    EXPECT_NE(source.find("QWAIT 15"), std::string::npos) << source;
+}

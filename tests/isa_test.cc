@@ -1,0 +1,470 @@
+/**
+ * @file
+ * Unit tests for the ISA layer: instruction kinds, comparison flags,
+ * the configurable operation set, the Fig. 8 binary formats, and an
+ * encode/decode round-trip property over a generated corpus.
+ */
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "isa/encoding.h"
+#include "isa/instruction.h"
+#include "isa/opcodes.h"
+#include "isa/operation_set.h"
+
+using namespace eqasm;
+using namespace eqasm::isa;
+
+namespace {
+
+OperationSet
+defaultOps()
+{
+    return OperationSet::defaultSet();
+}
+
+QuantumOperation
+makeOp(const OperationSet &ops, const std::string &name, int reg)
+{
+    const OperationInfo &info = ops.byName(name);
+    QuantumOperation op;
+    op.name = info.name;
+    op.opcode = info.opcode;
+    op.opClass = info.opClass;
+    op.targetKind = targetKindForClass(info.opClass);
+    op.targetReg = reg;
+    return op;
+}
+
+} // namespace
+
+// ------------------------------------------------------------- opcodes
+
+TEST(Opcodes, NamesRoundTrip)
+{
+    EXPECT_EQ(instrKindName(InstrKind::qwait), "QWAIT");
+    EXPECT_EQ(instrKindName(InstrKind::smis), "SMIS");
+    EXPECT_EQ(instrKindName(InstrKind::logicAnd), "AND");
+}
+
+TEST(Opcodes, QuantumClassification)
+{
+    EXPECT_TRUE(isQuantum(InstrKind::qwait));
+    EXPECT_TRUE(isQuantum(InstrKind::bundle));
+    EXPECT_TRUE(isQuantum(InstrKind::smit));
+    EXPECT_FALSE(isQuantum(InstrKind::fmr));
+    EXPECT_FALSE(isQuantum(InstrKind::cmp));
+}
+
+TEST(Opcodes, SingleOpcodeRoundTrip)
+{
+    for (InstrKind kind :
+         {InstrKind::nop, InstrKind::stop, InstrKind::cmp, InstrKind::br,
+          InstrKind::fbr, InstrKind::ldi, InstrKind::ldui, InstrKind::ld,
+          InstrKind::st, InstrKind::fmr, InstrKind::logicAnd,
+          InstrKind::logicOr, InstrKind::logicXor, InstrKind::logicNot,
+          InstrKind::add, InstrKind::sub, InstrKind::qwait,
+          InstrKind::qwaitr, InstrKind::smis, InstrKind::smit}) {
+        uint8_t opcode = opcodeForInstrKind(kind);
+        auto back = instrKindForOpcode(opcode);
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, kind);
+    }
+}
+
+TEST(Opcodes, UnknownOpcodeRejected)
+{
+    EXPECT_FALSE(instrKindForOpcode(0x3f).has_value());
+}
+
+TEST(CondFlags, ParseNamesCaseInsensitive)
+{
+    EXPECT_EQ(parseCondFlag("eq"), CondFlag::eq);
+    EXPECT_EQ(parseCondFlag("ALWAYS"), CondFlag::always);
+    EXPECT_EQ(parseCondFlag("GtU"), CondFlag::gtu);
+    EXPECT_FALSE(parseCondFlag("bogus").has_value());
+}
+
+TEST(Params, Config9Defaults)
+{
+    InstantiationParams params;
+    EXPECT_EQ(params.vliwWidth, 2);
+    EXPECT_EQ(params.preIntervalWidth, 3);
+    EXPECT_EQ(params.maxPreInterval(), 7);
+    EXPECT_EQ(params.sMaskWidth, 7);
+    EXPECT_EQ(params.tMaskWidth, 16);
+    EXPECT_EQ(params.qOpcodeWidth, 9);
+}
+
+// ------------------------------------------------------- operation set
+
+TEST(OperationSet, DefaultSetContainsSection5Operations)
+{
+    OperationSet ops = defaultOps();
+    for (const char *name :
+         {"QNOP", "I", "X", "Y", "X90", "Y90", "Xm90", "Ym90", "CZ",
+          "MEASZ", "C_X"}) {
+        EXPECT_NE(ops.findByName(name), nullptr) << name;
+    }
+}
+
+TEST(OperationSet, LookupIsCaseInsensitive)
+{
+    OperationSet ops = defaultOps();
+    EXPECT_NE(ops.findByName("measz"), nullptr);
+    EXPECT_NE(ops.findByName("x90"), nullptr);
+    EXPECT_EQ(ops.findByName("nonexistent"), nullptr);
+}
+
+TEST(OperationSet, DurationsMatchSection42)
+{
+    // "a single- (two-)qubit gate time of 1 (2) cycle(s), and a
+    // measurement time of 15 cycles".
+    OperationSet ops = defaultOps();
+    EXPECT_EQ(ops.byName("X").durationCycles, 1);
+    EXPECT_EQ(ops.byName("CZ").durationCycles, 2);
+    EXPECT_EQ(ops.byName("MEASZ").durationCycles, 15);
+}
+
+TEST(OperationSet, ConditionalGateUsesLastOneFlag)
+{
+    OperationSet ops = defaultOps();
+    EXPECT_EQ(ops.byName("C_X").condition, ExecFlag::lastOne);
+    EXPECT_EQ(ops.byName("X").condition, ExecFlag::always);
+}
+
+TEST(OperationSet, RejectsDuplicates)
+{
+    OperationSet ops = defaultOps();
+    EXPECT_THROW(ops.add({"X", 100, OpClass::singleQubit, 1,
+                          ExecFlag::always, Channel::microwave, "x"}),
+                 Error);
+    EXPECT_THROW(ops.add({"X2", 2, OpClass::singleQubit, 1,
+                          ExecFlag::always, Channel::microwave, "x"}),
+                 Error);
+}
+
+TEST(OperationSet, RejectsConditionalTwoQubit)
+{
+    // FCE gates single-qubit operations only (Section 3.5).
+    OperationSet ops;
+    ops.add({"QNOP", 0, OpClass::qnop, 0, ExecFlag::always, Channel::none,
+             "i"});
+    EXPECT_THROW(ops.add({"C_CZ", 33, OpClass::twoQubit, 2,
+                          ExecFlag::lastOne, Channel::flux, "cz"}),
+                 Error);
+}
+
+TEST(OperationSet, RejectsNonQnopOpcodeZero)
+{
+    OperationSet ops;
+    EXPECT_THROW(ops.add({"X", 0, OpClass::singleQubit, 1,
+                          ExecFlag::always, Channel::microwave, "x"}),
+                 Error);
+}
+
+TEST(OperationSet, RejectsOversizedOpcode)
+{
+    OperationSet ops = defaultOps();
+    EXPECT_THROW(ops.add({"BIG", 512, OpClass::singleQubit, 1,
+                          ExecFlag::always, Channel::microwave, "x"}),
+                 Error);
+}
+
+TEST(OperationSet, JsonRoundTrip)
+{
+    OperationSet original = defaultOps();
+    OperationSet loaded = OperationSet::fromJson(original.toJson());
+    EXPECT_EQ(loaded.size(), original.size());
+    for (const OperationInfo &info : original.operations()) {
+        const OperationInfo *copy = loaded.findByName(info.name);
+        ASSERT_NE(copy, nullptr) << info.name;
+        EXPECT_EQ(copy->opcode, info.opcode);
+        EXPECT_EQ(copy->opClass, info.opClass);
+        EXPECT_EQ(copy->durationCycles, info.durationCycles);
+        EXPECT_EQ(copy->condition, info.condition);
+        EXPECT_EQ(copy->channel, info.channel);
+        EXPECT_EQ(copy->unitary, info.unitary);
+    }
+}
+
+TEST(OperationSet, CustomConfigurationFromJson)
+{
+    // Compile-time configurability (Section 3.2): a CNOT-based set for
+    // a different platform parses from user JSON.
+    Json doc = Json::parse(R"({"operations": [
+        {"name": "H", "opcode": 1, "unitary": "h"},
+        {"name": "CNOT", "opcode": 40, "class": "two_qubit",
+         "duration": 2, "channel": "flux", "unitary": "cnot"},
+        {"name": "MEASZ", "opcode": 16, "class": "measurement",
+         "duration": 15, "channel": "readout", "unitary": "measz"}
+    ]})");
+    OperationSet ops = OperationSet::fromJson(doc);
+    EXPECT_EQ(ops.byName("CNOT").opClass, OpClass::twoQubit);
+    EXPECT_EQ(ops.byName("H").unitary, "h");
+}
+
+// ------------------------------------------------------------ encoding
+
+TEST(Encoding, BundleFormatFields)
+{
+    // Fig. 8 bottom: [31]=1 | 9-bit q opcode | 5-bit reg | 9 | 5 | 3 PI.
+    OperationSet ops = defaultOps();
+    InstantiationParams params;
+    Instruction instr = Instruction::makeBundle(
+        5, {makeOp(ops, "X90", 3), makeOp(ops, "CZ", 17)});
+    uint32_t word = encode(instr, params);
+    EXPECT_EQ(bit(word, 31), 1u);
+    EXPECT_EQ(bits(word, 2, 0), 5u);
+    EXPECT_EQ(bits(word, 30, 22),
+              static_cast<uint64_t>(ops.byName("X90").opcode));
+    EXPECT_EQ(bits(word, 21, 17), 3u);
+    EXPECT_EQ(bits(word, 16, 8),
+              static_cast<uint64_t>(ops.byName("CZ").opcode));
+    EXPECT_EQ(bits(word, 7, 3), 17u);
+}
+
+TEST(Encoding, SingleFormatHighBitZero)
+{
+    InstantiationParams params;
+    for (const Instruction &instr :
+         {Instruction::makeQwait(100), Instruction::makeSmis(1, 0x7f),
+          Instruction::makeSmit(2, 0xffff), Instruction::makeLdi(3, -4)}) {
+        EXPECT_EQ(bit(encode(instr, params), 31), 0u);
+    }
+}
+
+TEST(Encoding, QwaitUses20BitImmediate)
+{
+    InstantiationParams params;
+    uint32_t word = encode(Instruction::makeQwait(0xfffff), params);
+    EXPECT_EQ(bits(word, 19, 0), 0xfffffu);
+    EXPECT_THROW(encode(Instruction::makeQwait(0x100000), params), Error);
+}
+
+TEST(Encoding, SmisMaskWidthEnforced)
+{
+    InstantiationParams params;
+    EXPECT_NO_THROW(encode(Instruction::makeSmis(0, 0x7f), params));
+    EXPECT_THROW(encode(Instruction::makeSmis(0, 0x80), params), Error);
+    EXPECT_THROW(encode(Instruction::makeSmis(32, 1), params), Error);
+}
+
+TEST(Encoding, SmitMaskWidthEnforced)
+{
+    InstantiationParams params;
+    EXPECT_NO_THROW(encode(Instruction::makeSmit(0, 0xffff), params));
+    EXPECT_THROW(encode(Instruction::makeSmit(0, 0x10000), params), Error);
+}
+
+TEST(Encoding, BundleWiderThanVliwRejected)
+{
+    OperationSet ops = defaultOps();
+    InstantiationParams params;
+    Instruction instr = Instruction::makeBundle(
+        1, {makeOp(ops, "X", 0), makeOp(ops, "Y", 1),
+            makeOp(ops, "X90", 2)});
+    EXPECT_THROW(encode(instr, params), Error);
+}
+
+TEST(Encoding, PreIntervalWidthEnforced)
+{
+    OperationSet ops = defaultOps();
+    InstantiationParams params;
+    Instruction instr =
+        Instruction::makeBundle(8, {makeOp(ops, "X", 0)});
+    EXPECT_THROW(encode(instr, params), Error);
+}
+
+TEST(Encoding, BranchOffsetsSigned)
+{
+    InstantiationParams params;
+    OperationSet ops = defaultOps();
+    Instruction instr;
+    instr.kind = InstrKind::br;
+    instr.cond = CondFlag::ne;
+    instr.imm = -3;
+    Instruction back = decode(encode(instr, params), params, ops);
+    EXPECT_EQ(back.imm, -3);
+    EXPECT_EQ(back.cond, CondFlag::ne);
+}
+
+TEST(Encoding, DecodeRejectsUnknownQOpcode)
+{
+    InstantiationParams params;
+    OperationSet ops = defaultOps();
+    // Craft a bundle with q opcode 0x1ff (unconfigured).
+    uint32_t word = 0x80000000u;
+    word = static_cast<uint32_t>(insertBits(word, 30, 22, 0x1ff));
+    EXPECT_THROW(decode(word, params, ops), Error);
+}
+
+TEST(Encoding, DecodeRejectsUnknownOpcode)
+{
+    InstantiationParams params;
+    OperationSet ops = defaultOps();
+    uint32_t word = static_cast<uint32_t>(insertBits(0, 30, 25, 0x3f));
+    EXPECT_THROW(decode(word, params, ops), Error);
+}
+
+// ---------------------------------------- round-trip property (TEST_P)
+
+/** Corpus of machine-form instructions covering every kind and several
+ *  boundary values per field. */
+std::vector<Instruction>
+roundTripCorpus()
+{
+    OperationSet ops = defaultOps();
+    std::vector<Instruction> corpus;
+    auto push = [&corpus](Instruction instr) {
+        corpus.push_back(std::move(instr));
+    };
+
+    push(Instruction::makeNop());
+    push(Instruction::makeStop());
+
+    for (int64_t imm : {0ll, 1ll, 524287ll, -1ll, -524288ll})
+        push(Instruction::makeLdi(imm >= 0 ? 1 : 31, imm));
+
+    Instruction ldui;
+    ldui.kind = InstrKind::ldui;
+    ldui.rd = 2;
+    ldui.rs = 3;
+    ldui.imm = 0x7fff;
+    push(ldui);
+
+    for (int64_t offset : {0ll, 16383ll, -16384ll}) {
+        Instruction ld;
+        ld.kind = InstrKind::ld;
+        ld.rd = 4;
+        ld.rt = 5;
+        ld.imm = offset;
+        push(ld);
+        Instruction st;
+        st.kind = InstrKind::st;
+        st.rs = 6;
+        st.rt = 7;
+        st.imm = offset;
+        push(st);
+    }
+
+    for (int flag = 0; flag < kNumCondFlags; ++flag) {
+        Instruction br;
+        br.kind = InstrKind::br;
+        br.cond = static_cast<CondFlag>(flag);
+        br.imm = flag - 6;
+        push(br);
+        Instruction fbr;
+        fbr.kind = InstrKind::fbr;
+        fbr.cond = static_cast<CondFlag>(flag);
+        fbr.rd = flag;
+        push(fbr);
+    }
+
+    Instruction cmp;
+    cmp.kind = InstrKind::cmp;
+    cmp.rs = 30;
+    cmp.rt = 31;
+    push(cmp);
+
+    for (InstrKind kind : {InstrKind::logicAnd, InstrKind::logicOr,
+                           InstrKind::logicXor, InstrKind::add,
+                           InstrKind::sub}) {
+        Instruction alu;
+        alu.kind = kind;
+        alu.rd = 1;
+        alu.rs = 2;
+        alu.rt = 3;
+        push(alu);
+    }
+    Instruction logic_not;
+    logic_not.kind = InstrKind::logicNot;
+    logic_not.rd = 9;
+    logic_not.rt = 10;
+    push(logic_not);
+
+    Instruction fmr;
+    fmr.kind = InstrKind::fmr;
+    fmr.rd = 11;
+    fmr.qubit = 6;
+    push(fmr);
+
+    for (int64_t wait : {0ll, 1ll, 30ll, 10000ll, 1048575ll})
+        push(Instruction::makeQwait(wait));
+    push(Instruction::makeQwaitr(12));
+
+    for (uint64_t mask : {0x0ull, 0x1ull, 0x55ull & 0x7f, 0x7full})
+        push(Instruction::makeSmis(static_cast<int>(mask) % 32, mask));
+    for (uint64_t mask : {0x0ull, 0x1ull, 0x8001ull, 0xffffull})
+        push(Instruction::makeSmit(5, mask));
+
+    push(Instruction::makeBundle(0, {makeOp(ops, "X", 0)}));
+    push(Instruction::makeBundle(7, {makeOp(ops, "MEASZ", 7),
+                                     makeOp(ops, "CZ", 31)}));
+    push(Instruction::makeBundle(1, {makeOp(ops, "QNOP", 0),
+                                     makeOp(ops, "Y90", 2)}));
+    push(Instruction::makeBundle(3, {makeOp(ops, "C_X", 2)}));
+    return corpus;
+}
+
+class EncodingRoundTrip : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(EncodingRoundTrip, EncodeDecodeEncodeIsIdentity)
+{
+    OperationSet ops = defaultOps();
+    InstantiationParams params;
+    const Instruction original = roundTripCorpus()[GetParam()];
+
+    uint32_t word = encode(original, params);
+    Instruction decoded = decode(word, params, ops);
+    EXPECT_EQ(decoded.kind, original.kind);
+    uint32_t word2 = encode(decoded, params);
+    EXPECT_EQ(word, word2);
+
+    // Field-level equality for the semantically relevant fields.
+    switch (original.kind) {
+      case InstrKind::bundle:
+        EXPECT_EQ(decoded.preInterval, original.preInterval);
+        for (size_t i = 0; i < original.operations.size(); ++i) {
+            EXPECT_EQ(decoded.operations[i].opcode,
+                      original.operations[i].opcode);
+            EXPECT_EQ(decoded.operations[i].targetReg,
+                      original.operations[i].targetReg);
+        }
+        break;
+      case InstrKind::smis:
+      case InstrKind::smit:
+        EXPECT_EQ(decoded.targetReg, original.targetReg);
+        EXPECT_EQ(decoded.mask, original.mask);
+        break;
+      default:
+        EXPECT_EQ(decoded.rd, original.rd);
+        EXPECT_EQ(decoded.rs, original.rs);
+        EXPECT_EQ(decoded.rt, original.rt);
+        EXPECT_EQ(decoded.imm, original.imm);
+        EXPECT_EQ(decoded.cond, original.cond);
+        EXPECT_EQ(decoded.qubit, original.qubit);
+        break;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, EncodingRoundTrip,
+                         ::testing::Range(size_t{0},
+                                          roundTripCorpus().size()));
+
+// ------------------------------------------------------------ toString
+
+TEST(InstructionPrinting, CanonicalSyntax)
+{
+    OperationSet ops = defaultOps();
+    EXPECT_EQ(toString(Instruction::makeQwait(100)), "QWAIT 100");
+    EXPECT_EQ(toString(Instruction::makeLdi(0, 1)), "LDI R0, 1");
+    EXPECT_EQ(toString(Instruction::makeSmis(7, 0b101)),
+              "SMIS S7, {0, 2}");
+    Instruction bundle = Instruction::makeBundle(
+        1, {makeOp(ops, "X90", 0), makeOp(ops, "X", 2)});
+    EXPECT_EQ(toString(bundle), "1, X90 S0 | X S2");
+}

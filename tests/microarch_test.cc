@@ -1,0 +1,551 @@
+/**
+ * @file
+ * Unit tests for the QuMA_v2 model: classical instruction semantics
+ * (Table 1), comparison flags, the timeline/trigger machinery, fast
+ * conditional execution (all four flag types), CFC counters and FMR
+ * stalling, error conditions (operation combination conflicts, invalid
+ * T registers, underruns) and the issue-rate problem.
+ */
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.h"
+#include "chip/topology.h"
+#include "common/strings.h"
+#include "isa/operation_set.h"
+#include "microarch/quma.h"
+#include "runtime/mock_device.h"
+
+using namespace eqasm;
+using isa::CondFlag;
+using microarch::MicroarchConfig;
+using microarch::QuMa;
+using runtime::MockResultDevice;
+
+namespace {
+
+/** Assembles a program and runs it on a QuMa with a mock device. */
+struct Rig {
+    isa::OperationSet ops;
+    chip::Topology topology;
+    QuMa controller;
+    MockResultDevice device;
+
+    explicit Rig(isa::OperationSet operation_set =
+                     isa::OperationSet::defaultSet(),
+                 MicroarchConfig config = {})
+        : ops(std::move(operation_set)),
+          topology(chip::Topology::twoQubit()),
+          controller(ops, topology, config), device(15)
+    {
+        controller.attachDevice(&device);
+    }
+
+    microarch::RunStats
+    run(const std::string &source)
+    {
+        assembler::Assembler asm_(ops, topology);
+        controller.loadImage(asm_.assemble(source).image);
+        return controller.runShot();
+    }
+};
+
+/** Operation set with conditional gates for every execution flag. */
+isa::OperationSet
+flagOps()
+{
+    auto set = isa::OperationSet::defaultSet();
+    set.add({"CX_SAME", 26, isa::OpClass::singleQubit, 1,
+             isa::ExecFlag::lastTwoSame, isa::Channel::microwave, "x"});
+    set.add({"CX_ZERO", 27, isa::OpClass::singleQubit, 1,
+             isa::ExecFlag::lastZero, isa::Channel::microwave, "x"});
+    return set;
+}
+
+} // namespace
+
+// ----------------------------------------------- classical instructions
+
+TEST(Classical, LdiSignExtends)
+{
+    Rig rig;
+    rig.run("LDI R1, -1\nLDI R2, 524287\nSTOP\n");
+    EXPECT_EQ(rig.controller.gpr(1), 0xffffffffu);
+    EXPECT_EQ(rig.controller.gpr(2), 524287u);
+}
+
+TEST(Classical, LduiConcatenatesBitFields)
+{
+    // Rd = Imm[14:0] :: Rs[16:0] (Table 1).
+    Rig rig;
+    rig.run("LDI R1, 0x1ffff\nLDUI R2, 0x7fff, R1\nSTOP\n");
+    EXPECT_EQ(rig.controller.gpr(2), 0xffffffffu);
+    Rig rig2;
+    rig2.run("LDI R1, 3\nLDUI R2, 1, R1\nSTOP\n");
+    EXPECT_EQ(rig2.controller.gpr(2), (1u << 17) | 3u);
+}
+
+TEST(Classical, ArithmeticAndLogic)
+{
+    Rig rig;
+    rig.run("LDI R1, 12\nLDI R2, 10\n"
+            "ADD R3, R1, R2\nSUB R4, R1, R2\n"
+            "AND R5, R1, R2\nOR R6, R1, R2\nXOR R7, R1, R2\n"
+            "NOT R8, R1\nSTOP\n");
+    EXPECT_EQ(rig.controller.gpr(3), 22u);
+    EXPECT_EQ(rig.controller.gpr(4), 2u);
+    EXPECT_EQ(rig.controller.gpr(5), 8u);
+    EXPECT_EQ(rig.controller.gpr(6), 14u);
+    EXPECT_EQ(rig.controller.gpr(7), 6u);
+    EXPECT_EQ(rig.controller.gpr(8), ~12u);
+}
+
+TEST(Classical, SubtractionWraps)
+{
+    Rig rig;
+    rig.run("LDI R1, 0\nLDI R2, 1\nSUB R3, R1, R2\nSTOP\n");
+    EXPECT_EQ(rig.controller.gpr(3), 0xffffffffu);
+}
+
+TEST(Classical, LoadStoreDataMemory)
+{
+    Rig rig;
+    rig.run("LDI R1, 100\nLDI R2, 77\nST R2, R1(5)\nLD R3, R1(5)\nSTOP\n");
+    EXPECT_EQ(rig.controller.gpr(3), 77u);
+    EXPECT_EQ(rig.controller.dataWord(105), 77u);
+}
+
+TEST(Classical, LoadOutOfRangeFaults)
+{
+    Rig rig;
+    EXPECT_THROW(rig.run("LDI R1, 100000\nLD R2, R1(0)\nSTOP\n"), Error);
+}
+
+struct CmpCase {
+    int32_t lhs;
+    int32_t rhs;
+    CondFlag flag;
+    bool expected;
+};
+
+class ComparisonFlags : public ::testing::TestWithParam<CmpCase>
+{
+};
+
+TEST_P(ComparisonFlags, CmpSetsAllFlags)
+{
+    const CmpCase &c = GetParam();
+    Rig rig;
+    rig.run(format("LDI R1, %d\nLDI R2, %d\nCMP R1, R2\nSTOP\n", c.lhs,
+                   c.rhs));
+    EXPECT_EQ(rig.controller.comparisonFlag(c.flag), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ComparisonFlags,
+    ::testing::Values(
+        CmpCase{5, 5, CondFlag::eq, true},
+        CmpCase{5, 6, CondFlag::eq, false},
+        CmpCase{5, 6, CondFlag::ne, true},
+        CmpCase{-1, 1, CondFlag::lt, true},   // signed
+        CmpCase{-1, 1, CondFlag::ltu, false}, // unsigned: 0xffffffff > 1
+        CmpCase{-1, 1, CondFlag::gtu, true},
+        CmpCase{2, 2, CondFlag::ge, true},
+        CmpCase{2, 2, CondFlag::le, true},
+        CmpCase{3, 2, CondFlag::gt, true},
+        CmpCase{2, 3, CondFlag::leu, true},
+        CmpCase{7, 7, CondFlag::geu, true},
+        CmpCase{0, 0, CondFlag::always, true},
+        CmpCase{0, 0, CondFlag::never, false}));
+
+TEST(Classical, FbrFetchesFlagIntoGpr)
+{
+    Rig rig;
+    rig.run("LDI R1, 4\nLDI R2, 4\nCMP R1, R2\nFBR EQ, R3\nFBR NE, R4\n"
+            "STOP\n");
+    EXPECT_EQ(rig.controller.gpr(3), 1u);
+    EXPECT_EQ(rig.controller.gpr(4), 0u);
+}
+
+TEST(Classical, BranchTakenAndNotTaken)
+{
+    Rig rig;
+    rig.run("LDI R1, 1\nLDI R2, 2\nCMP R1, R2\n"
+            "BR EQ, skip\n"
+            "LDI R3, 111\n"
+            "skip:\n"
+            "STOP\n");
+    EXPECT_EQ(rig.controller.gpr(3), 111u); // EQ false: not taken.
+
+    Rig rig2;
+    rig2.run("LDI R1, 2\nLDI R2, 2\nCMP R1, R2\n"
+             "BR EQ, skip\n"
+             "LDI R3, 111\n"
+             "skip:\n"
+             "STOP\n");
+    EXPECT_EQ(rig2.controller.gpr(3), 0u); // taken.
+}
+
+TEST(Classical, BranchOutOfRangeFaults)
+{
+    Rig rig;
+    EXPECT_THROW(rig.run("BR ALWAYS, -5\nSTOP\n"), Error);
+}
+
+TEST(Classical, ProgramWithoutStopHaltsAtEnd)
+{
+    Rig rig;
+    auto stats = rig.run("LDI R1, 5\n");
+    EXPECT_EQ(rig.controller.gpr(1), 5u);
+    EXPECT_GT(stats.classicalInstructions, 0u);
+}
+
+// --------------------------------------------------- timeline & trigger
+
+TEST(Timing, PulseCycleMatchesTimelineLabel)
+{
+    MicroarchConfig config;
+    Rig rig(isa::OperationSet::defaultSet(), config);
+    rig.run("SMIS S0, {0}\nQWAIT 100\nX S0\nSTOP\n");
+    ASSERT_EQ(rig.device.pulses().size(), 1u);
+    // Label = 100 (QWAIT) + 1 (default PI); trigger at startDelay +
+    // label; output triggerOutputCycles later.
+    uint64_t expected = static_cast<uint64_t>(config.startDelayCycles) +
+                        101 + static_cast<uint64_t>(
+                            config.triggerOutputCycles);
+    EXPECT_EQ(rig.device.pulses()[0].cycle, expected);
+}
+
+TEST(Timing, QwaitZeroSharesTimingPoint)
+{
+    Rig rig;
+    rig.run("SMIS S0, {0}\nSMIS S1, {2}\nQWAIT 100\n"
+            "0, X S0\nQWAIT 0\n0, Y S1\nSTOP\n");
+    ASSERT_EQ(rig.device.pulses().size(), 2u);
+    EXPECT_EQ(rig.device.pulses()[0].cycle, rig.device.pulses()[1].cycle);
+}
+
+TEST(Timing, PreIntervalSpacesOperations)
+{
+    Rig rig;
+    rig.run("SMIS S0, {0}\nQWAIT 100\n1, X S0\n5, Y S0\nSTOP\n");
+    ASSERT_EQ(rig.device.pulses().size(), 2u);
+    EXPECT_EQ(rig.device.pulses()[1].cycle - rig.device.pulses()[0].cycle,
+              5u);
+}
+
+TEST(Timing, QwaitrUsesRegisterValue)
+{
+    Rig rig;
+    rig.run("SMIS S0, {0}\nLDI R1, 200\nQWAITR R1\nX S0\nSTOP\n");
+    Rig rig2;
+    rig2.run("SMIS S0, {0}\nLDI R1, 300\nQWAITR R1\nX S0\nSTOP\n");
+    EXPECT_EQ(rig2.device.pulses()[0].cycle -
+                  rig.device.pulses()[0].cycle,
+              100u);
+}
+
+TEST(Timing, ExampleFromSection313)
+{
+    // The Section 3.1.3 listing: four operations back-to-back.
+    Rig rig;
+    rig.run("SMIS S0, {0}\n"
+            "LDI R0, 1\n"
+            "QWAIT 100\n"
+            "0, X S0\n"     // Q_OP0 (attach to the QWAIT point)
+            "X S0\n"        // Q_OP1, default PI = 1
+            "QWAITR R0\n"   // register-valued waiting
+            "0, X S0\n"     // Q_OP2
+            "QWAIT 0\n"     // equivalent to NOP
+            "1, X S0\n"     // Q_OP3, explicit PI = 1
+            "STOP\n");
+    ASSERT_EQ(rig.device.pulses().size(), 4u);
+    for (size_t i = 1; i < 4; ++i) {
+        EXPECT_EQ(rig.device.pulses()[i].cycle -
+                      rig.device.pulses()[i - 1].cycle,
+                  1u)
+            << i;
+    }
+}
+
+TEST(Timing, SomqFansOutToAllMaskedQubits)
+{
+    Rig rig;
+    auto stats = rig.run("SMIS S7, {0, 2}\nQWAIT 10\nX S7\nSTOP\n");
+    EXPECT_EQ(stats.microOps, 2u);
+    EXPECT_EQ(rig.device.pulses().size(), 2u);
+    EXPECT_EQ(rig.device.pulses()[0].cycle, rig.device.pulses()[1].cycle);
+}
+
+TEST(Timing, TwoQubitOpEmitsSourceAndTargetMicroOps)
+{
+    Rig rig;
+    auto stats = rig.run("SMIT T0, {(0, 2)}\nQWAIT 10\nCZ T0\nSTOP\n");
+    EXPECT_EQ(stats.microOps, 2u);
+    // The mock device records one pulse for the source role.
+    EXPECT_EQ(rig.device.pulses().size(), 1u);
+    EXPECT_EQ(rig.device.pulses()[0].operation, "CZ");
+}
+
+// ------------------------------------------------------ FCE (Section 3.5)
+
+TEST(Fce, ConditionalExecutesWhenLastResultOne)
+{
+    Rig rig;
+    rig.device.programResults(0, {1});
+    auto stats = rig.run("SMIS S0, {0}\nQWAIT 10\nMEASZ S0\nQWAIT 50\n"
+                         "C_X S0\nSTOP\n");
+    EXPECT_EQ(stats.cancelled, 0u);
+    bool saw_cx = false;
+    for (const auto &pulse : rig.device.pulses())
+        saw_cx |= pulse.operation == "C_X";
+    EXPECT_TRUE(saw_cx);
+}
+
+TEST(Fce, ConditionalCancelledWhenLastResultZero)
+{
+    Rig rig;
+    rig.device.programResults(0, {0});
+    auto stats = rig.run("SMIS S0, {0}\nQWAIT 10\nMEASZ S0\nQWAIT 50\n"
+                         "C_X S0\nSTOP\n");
+    EXPECT_EQ(stats.cancelled, 1u);
+    for (const auto &pulse : rig.device.pulses())
+        EXPECT_NE(pulse.operation, "C_X");
+}
+
+TEST(Fce, LastZeroFlag)
+{
+    Rig rig(flagOps());
+    rig.device.programResults(0, {0});
+    auto stats = rig.run("SMIS S0, {0}\nQWAIT 10\nMEASZ S0\nQWAIT 50\n"
+                         "CX_ZERO S0\nSTOP\n");
+    EXPECT_EQ(stats.cancelled, 0u);
+
+    Rig rig2(flagOps());
+    rig2.device.programResults(0, {1});
+    auto stats2 = rig2.run("SMIS S0, {0}\nQWAIT 10\nMEASZ S0\nQWAIT 50\n"
+                           "CX_ZERO S0\nSTOP\n");
+    EXPECT_EQ(stats2.cancelled, 1u);
+}
+
+TEST(Fce, LastTwoSameFlag)
+{
+    const char *program = "SMIS S0, {0}\nQWAIT 10\nMEASZ S0\nQWAIT 50\n"
+                          "MEASZ S0\nQWAIT 50\nCX_SAME S0\nSTOP\n";
+    Rig same(flagOps());
+    same.device.programResults(0, {1, 1});
+    EXPECT_EQ(same.run(program).cancelled, 0u);
+
+    Rig differ(flagOps());
+    differ.device.programResults(0, {1, 0});
+    EXPECT_EQ(differ.run(program).cancelled, 1u);
+}
+
+TEST(Fce, LastTwoSameNeedsTwoResults)
+{
+    // With only one measurement the flag must read '0'.
+    Rig rig(flagOps());
+    rig.device.programResults(0, {1});
+    auto stats = rig.run("SMIS S0, {0}\nQWAIT 10\nMEASZ S0\nQWAIT 50\n"
+                         "CX_SAME S0\nSTOP\n");
+    EXPECT_EQ(stats.cancelled, 1u);
+}
+
+// ------------------------------------------------------ CFC (Section 3.6)
+
+TEST(Cfc, FmrStallsUntilResultReady)
+{
+    Rig rig;
+    rig.device.programResults(0, {1});
+    auto stats = rig.run("SMIS S0, {0}\nQWAIT 10\nMEASZ S0\n"
+                         "FMR R1, Q0\nSTOP\n");
+    EXPECT_GT(stats.fmrStallCycles, 0u);
+    EXPECT_EQ(rig.controller.gpr(1), 1u);
+    EXPECT_TRUE(rig.controller.measurementRegisterValid(0));
+}
+
+TEST(Cfc, FmrWithoutPendingMeasurementDoesNotStall)
+{
+    Rig rig;
+    auto stats = rig.run("FMR R1, Q0\nSTOP\n");
+    EXPECT_EQ(stats.fmrStallCycles, 0u);
+    EXPECT_EQ(rig.controller.gpr(1), 0u);
+}
+
+TEST(Cfc, FmrFetchesLatestOfMultipleMeasurements)
+{
+    Rig rig;
+    rig.device.programResults(0, {1, 0});
+    rig.run("SMIS S0, {0}\nQWAIT 10\nMEASZ S0\nQWAIT 50\nMEASZ S0\n"
+            "FMR R1, Q0\nSTOP\n");
+    EXPECT_EQ(rig.controller.gpr(1), 0u);
+}
+
+TEST(Cfc, MeasurementRegisterHoldsLastResult)
+{
+    Rig rig;
+    rig.device.programResults(0, {1});
+    rig.run("SMIS S0, {0}\nQWAIT 10\nMEASZ S0\nQWAIT 50\nSTOP\n");
+    EXPECT_EQ(rig.controller.measurementRegister(0), 1);
+}
+
+// ----------------------------------------------------- error conditions
+
+TEST(Errors, OperationCombinationConflict)
+{
+    // Both VLIW lanes target qubit 0 at the same timing point: "an
+    // error is raised, and the quantum processor stops" (Section 4.3).
+    Rig rig;
+    EXPECT_THROW(rig.run("SMIS S0, {0}\nQWAIT 10\n1, X S0 | Y S0\nSTOP\n"),
+                 Error);
+}
+
+TEST(Errors, ConflictAcrossBundlesAtSamePoint)
+{
+    // Two bundle instructions with PI = 0 extend the same timing point;
+    // duplicate qubits across them are also a conflict.
+    Rig rig;
+    EXPECT_THROW(
+        rig.run("SMIS S0, {0}\nQWAIT 10\n1, X S0\n0, Y S0\nSTOP\n"),
+        Error);
+}
+
+TEST(Errors, NoConflictAcrossDifferentPoints)
+{
+    Rig rig;
+    EXPECT_NO_THROW(
+        rig.run("SMIS S0, {0}\nQWAIT 10\n1, X S0\n1, Y S0\nSTOP\n"));
+}
+
+TEST(Errors, InvalidTRegisterAtRuntime)
+{
+    // Bypass the assembler's static check by loading a crafted SMIT.
+    Rig rig;
+    chip::Topology surface = chip::Topology::surface7();
+    QuMa controller(isa::OperationSet::defaultSet(), surface);
+    MockResultDevice device(15);
+    controller.attachDevice(&device);
+    std::vector<isa::Instruction> program;
+    // Edges 0 and 1 share qubits 0 and 2.
+    program.push_back(isa::Instruction::makeSmit(0, 0b11));
+    program.push_back(isa::Instruction::makeStop());
+    controller.loadProgram(program);
+    EXPECT_THROW(controller.runShot(), Error);
+}
+
+TEST(Errors, WatchdogAbortsRunawayShot)
+{
+    MicroarchConfig config;
+    config.maxCycles = 1000;
+    Rig rig(isa::OperationSet::defaultSet(), config);
+    // A shot that outlives the watchdog: huge waits, tiny cycle limit.
+    isa::QuantumOperation x_op;
+    const isa::OperationInfo &x_info = rig.ops.byName("X");
+    x_op.name = x_info.name;
+    x_op.opcode = x_info.opcode;
+    x_op.opClass = x_info.opClass;
+    x_op.targetKind = isa::targetKindForClass(x_info.opClass);
+    x_op.targetReg = 0;
+    rig.controller.loadProgram(
+        {isa::Instruction::makeSmis(0, 1),
+         isa::Instruction::makeQwait(500000),
+         isa::Instruction::makeQwait(600000),
+         isa::Instruction::makeBundle(1, {x_op}),
+         isa::Instruction::makeStop()});
+    EXPECT_THROW(rig.controller.runShot(), Error);
+}
+
+TEST(Errors, RunWithoutDeviceOrProgram)
+{
+    QuMa controller(isa::OperationSet::defaultSet(),
+                    chip::Topology::twoQubit());
+    EXPECT_THROW(controller.runShot(), Error);
+    MockResultDevice device(15);
+    controller.attachDevice(&device);
+    EXPECT_THROW(controller.runShot(), Error);
+}
+
+// --------------------------------------- issue-rate problem (Section 1.2)
+
+TEST(IssueRate, ReserveFallingBehindRaisesUnderrun)
+{
+    // Dense timing points with lots of classical filler between them:
+    // the classical pipeline (2 instructions/cycle) cannot keep the
+    // reserve phase ahead of the trigger phase.
+    MicroarchConfig config;
+    config.underrunPolicy = MicroarchConfig::UnderrunPolicy::count;
+    Rig rig(isa::OperationSet::defaultSet(), config);
+    std::string source = "SMIS S0, {0}\nQWAIT 2\n";
+    for (int i = 0; i < 30; ++i) {
+        source += "1, X S0\n";
+        for (int j = 0; j < 8; ++j)
+            source += "NOP\n";
+    }
+    source += "STOP\n";
+    auto stats = rig.run(source);
+    EXPECT_GT(stats.underruns, 0u);
+}
+
+TEST(IssueRate, ErrorPolicyThrows)
+{
+    MicroarchConfig config;
+    config.underrunPolicy = MicroarchConfig::UnderrunPolicy::error;
+    Rig rig(isa::OperationSet::defaultSet(), config);
+    std::string source = "SMIS S0, {0}\nQWAIT 2\n";
+    for (int i = 0; i < 30; ++i) {
+        source += "1, X S0\n";
+        for (int j = 0; j < 8; ++j)
+            source += "NOP\n";
+    }
+    source += "STOP\n";
+    EXPECT_THROW(rig.run(source), Error);
+}
+
+TEST(IssueRate, FasterClassicalPipelineAvoidsUnderrun)
+{
+    // The same program is fine when the classical pipeline issues 16
+    // instructions per cycle — the microarchitectural fix the paper
+    // mentions (increasing R_allowed).
+    MicroarchConfig config;
+    config.classicalIssueRate = 16;
+    Rig rig(isa::OperationSet::defaultSet(), config);
+    std::string source = "SMIS S0, {0}\nQWAIT 2\n";
+    for (int i = 0; i < 30; ++i) {
+        source += "1, X S0\n";
+        for (int j = 0; j < 8; ++j)
+            source += "NOP\n";
+    }
+    source += "STOP\n";
+    auto stats = rig.run(source);
+    EXPECT_EQ(stats.underruns, 0u);
+}
+
+// ----------------------------------------------------------- statistics
+
+TEST(Stats, CountsInstructionsAndBundles)
+{
+    Rig rig;
+    auto stats = rig.run("SMIS S7, {0, 2}\nQWAIT 10\nX S7\nY S7\nSTOP\n");
+    EXPECT_EQ(stats.bundles, 2u);
+    EXPECT_EQ(stats.microOps, 4u);
+    EXPECT_EQ(stats.triggered, 4u);
+    EXPECT_EQ(stats.quantumInstructions, 4u); // SMIS + QWAIT + 2 bundles
+    EXPECT_GT(stats.classicalInstructions, 0u);
+}
+
+TEST(Stats, TraceRecordsOutputsAndResults)
+{
+    Rig rig;
+    rig.device.programResults(0, {1});
+    rig.run("SMIS S0, {0}\nQWAIT 10\nMEASZ S0\nQWAIT 50\nSTOP\n");
+    bool saw_output = false, saw_result = false;
+    for (const auto &event : rig.controller.trace()) {
+        if (event.kind == microarch::TraceEvent::Kind::opOutput)
+            saw_output = true;
+        if (event.kind == microarch::TraceEvent::Kind::resultArrived) {
+            saw_result = true;
+            EXPECT_EQ(event.bit, 1);
+        }
+    }
+    EXPECT_TRUE(saw_output);
+    EXPECT_TRUE(saw_result);
+}

@@ -1,0 +1,519 @@
+/**
+ * @file
+ * Unit tests for the quantum simulation substrate: linear algebra and
+ * the Hermitian eigensolver, the gate library, state-vector and
+ * density-matrix backends, noise channels, and tomography with MLE.
+ */
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "qsim/density_matrix.h"
+#include "qsim/gates.h"
+#include "qsim/linalg.h"
+#include "qsim/noise.h"
+#include "qsim/state_vector.h"
+#include "qsim/tomography.h"
+
+using namespace eqasm;
+using namespace eqasm::qsim;
+
+// -------------------------------------------------------------- linalg
+
+TEST(Linalg, MatrixProduct)
+{
+    CMatrix a(2, 2, {1.0, 2.0, 3.0, 4.0});
+    CMatrix b(2, 2, {0.0, 1.0, 1.0, 0.0});
+    CMatrix c = a * b;
+    EXPECT_DOUBLE_EQ(c(0, 0).real(), 2.0);
+    EXPECT_DOUBLE_EQ(c(0, 1).real(), 1.0);
+    EXPECT_DOUBLE_EQ(c(1, 0).real(), 4.0);
+    EXPECT_DOUBLE_EQ(c(1, 1).real(), 3.0);
+}
+
+TEST(Linalg, DaggerConjugatesAndTransposes)
+{
+    CMatrix y = matY();
+    CMatrix ydag = y.dagger();
+    EXPECT_EQ(ydag(0, 1), Complex(0.0, -1.0));
+    EXPECT_EQ(ydag(1, 0), Complex(0.0, 1.0));
+}
+
+TEST(Linalg, KroneckerProductDimensions)
+{
+    CMatrix k = matX().kron(matI());
+    EXPECT_EQ(k.rows(), 4u);
+    // X (x) I in basis |q1 q0>: X on the high qubit.
+    EXPECT_DOUBLE_EQ(k(0, 2).real(), 1.0);
+    EXPECT_DOUBLE_EQ(k(1, 3).real(), 1.0);
+}
+
+TEST(Linalg, PauliMatricesAreUnitaryAndHermitian)
+{
+    for (char axis : {'X', 'Y', 'Z', 'I'}) {
+        CMatrix p = pauli(axis);
+        EXPECT_TRUE(p.isUnitary()) << axis;
+        EXPECT_TRUE(p.isHermitian()) << axis;
+    }
+}
+
+TEST(Linalg, EigenPauliZ)
+{
+    EigenResult eig = eigenHermitian(matZ());
+    ASSERT_EQ(eig.values.size(), 2u);
+    EXPECT_NEAR(eig.values[0], -1.0, 1e-10);
+    EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+}
+
+TEST(Linalg, EigenPauliYComplexVectors)
+{
+    EigenResult eig = eigenHermitian(matY());
+    EXPECT_NEAR(eig.values[0], -1.0, 1e-10);
+    EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+    // Check A v = lambda v for the + eigenvector.
+    std::vector<Complex> v = {eig.vectors(0, 1), eig.vectors(1, 1)};
+    std::vector<Complex> av = multiply(matY(), v);
+    EXPECT_NEAR(std::abs(av[0] - v[0]), 0.0, 1e-9);
+    EXPECT_NEAR(std::abs(av[1] - v[1]), 0.0, 1e-9);
+}
+
+TEST(Linalg, EigenReconstructsRandomHermitian)
+{
+    Rng rng(13);
+    const size_t n = 6;
+    CMatrix a(n, n);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = i; j < n; ++j) {
+            Complex value(rng.normal(), i == j ? 0.0 : rng.normal());
+            a(i, j) = value;
+            a(j, i) = std::conj(value);
+        }
+    }
+    EigenResult eig = eigenHermitian(a);
+    // Reconstruct V D V^dagger.
+    CMatrix d(n, n);
+    for (size_t k = 0; k < n; ++k)
+        d(k, k) = eig.values[k];
+    CMatrix reconstructed = eig.vectors * d * eig.vectors.dagger();
+    EXPECT_LT(reconstructed.maxAbsDiff(a), 1e-8);
+    for (size_t k = 1; k < n; ++k)
+        EXPECT_LE(eig.values[k - 1], eig.values[k]);
+}
+
+TEST(Linalg, EigenRejectsNonHermitian)
+{
+    CMatrix bad(2, 2, {1.0, 2.0, 3.0, 4.0});
+    EXPECT_THROW(eigenHermitian(bad), Error);
+}
+
+// --------------------------------------------------------------- gates
+
+class GateUnitarity : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(GateUnitarity, AllNamedGatesAreUnitary)
+{
+    auto gate = makeGate(GetParam());
+    ASSERT_TRUE(gate.has_value()) << GetParam();
+    EXPECT_TRUE(gate->matrix.isUnitary(1e-10)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Names, GateUnitarity,
+    ::testing::Values("i", "x", "y", "z", "h", "s", "sdg", "t", "tdg",
+                      "x90", "xm90", "y90", "ym90", "z90", "zm90", "cz",
+                      "cnot", "swap", "rx:37.5", "ry:-120", "rz:301"));
+
+TEST(Gates, UnknownNamesRejected)
+{
+    EXPECT_FALSE(makeGate("bogus").has_value());
+    EXPECT_FALSE(makeGate("measz").has_value()); // not a unitary
+    EXPECT_FALSE(makeGate("rx:abc").has_value());
+}
+
+TEST(Gates, RotationComposition)
+{
+    // X90 twice = X (up to global phase): Rx(pi/2)^2 = Rx(pi) = -iX.
+    CMatrix twice = matRx(M_PI / 2.0) * matRx(M_PI / 2.0);
+    Complex overlap = (twice.dagger() * matX()).trace();
+    EXPECT_NEAR(std::abs(overlap), 2.0, 1e-10);
+}
+
+TEST(Gates, HadamardFromYZ)
+{
+    // H = Ry(pi/2) Z exactly (used by the Grover construction).
+    CMatrix h = matRy(M_PI / 2.0) * matZ();
+    EXPECT_LT(h.maxAbsDiff(matH()), 1e-12);
+}
+
+TEST(Gates, ParametricRotationAngle)
+{
+    auto gate = makeGate("rx:180");
+    ASSERT_TRUE(gate.has_value());
+    Complex overlap = (gate->matrix.dagger() * matX()).trace();
+    EXPECT_NEAR(std::abs(overlap), 2.0, 1e-10);
+}
+
+// -------------------------------------------------------- state vector
+
+TEST(StateVector, InitialState)
+{
+    StateVector psi(3);
+    EXPECT_DOUBLE_EQ(psi.probabilityOf(0), 1.0);
+    EXPECT_DOUBLE_EQ(psi.norm(), 1.0);
+}
+
+TEST(StateVector, XFlipsTargetQubitOnly)
+{
+    StateVector psi(3);
+    psi.applyGate1(matX(), 1);
+    EXPECT_DOUBLE_EQ(psi.probabilityOf(0b010), 1.0);
+    EXPECT_DOUBLE_EQ(psi.probabilityOne(1), 1.0);
+    EXPECT_DOUBLE_EQ(psi.probabilityOne(0), 0.0);
+    EXPECT_DOUBLE_EQ(psi.probabilityOne(2), 0.0);
+}
+
+TEST(StateVector, HadamardSuperposition)
+{
+    StateVector psi(1);
+    psi.applyGate1(matH(), 0);
+    EXPECT_NEAR(psi.probabilityOne(0), 0.5, 1e-12);
+    EXPECT_NEAR(psi.expectationZ(0), 0.0, 1e-12);
+}
+
+TEST(StateVector, CnotEntangles)
+{
+    StateVector psi(2);
+    psi.applyGate1(matH(), 0);
+    psi.applyGate2(matCnot(), 0, 1);
+    EXPECT_NEAR(psi.probabilityOf(0b00), 0.5, 1e-12);
+    EXPECT_NEAR(psi.probabilityOf(0b11), 0.5, 1e-12);
+    EXPECT_NEAR(psi.probabilityOf(0b01), 0.0, 1e-12);
+}
+
+TEST(StateVector, CzPhaseOnlyOn11)
+{
+    StateVector psi(2);
+    psi.applyGate1(matH(), 0);
+    psi.applyGate1(matH(), 1);
+    psi.applyGate2(matCz(), 0, 1);
+    // Amplitudes: (1,1,1,-1)/2.
+    EXPECT_NEAR(psi.amplitudes()[3].real(), -0.5, 1e-12);
+    EXPECT_NEAR(psi.amplitudes()[0].real(), 0.5, 1e-12);
+}
+
+TEST(StateVector, TwoQubitGateOnNonAdjacentQubits)
+{
+    StateVector psi(3);
+    psi.applyGate1(matX(), 0);
+    psi.applyGate2(matCnot(), 0, 2); // control qubit 0, target qubit 2
+    EXPECT_DOUBLE_EQ(psi.probabilityOf(0b101), 1.0);
+}
+
+TEST(StateVector, MeasureCollapses)
+{
+    Rng rng(3);
+    StateVector psi(1);
+    psi.applyGate1(matH(), 0);
+    int outcome = psi.measure(0, rng);
+    EXPECT_DOUBLE_EQ(psi.probabilityOne(0),
+                     outcome == 1 ? 1.0 : 0.0);
+    EXPECT_NEAR(psi.norm(), 1.0, 1e-12);
+}
+
+TEST(StateVector, MeasurementStatistics)
+{
+    Rng rng(5);
+    int ones = 0;
+    const int shots = 4000;
+    for (int i = 0; i < shots; ++i) {
+        StateVector psi(1);
+        psi.applyGate1(matRy(M_PI / 3.0), 0);
+        ones += psi.measure(0, rng);
+    }
+    // P(1) = sin^2(pi/6) = 0.25.
+    EXPECT_NEAR(static_cast<double>(ones) / shots, 0.25, 0.03);
+}
+
+TEST(StateVector, PostselectImpossibleOutcomeThrows)
+{
+    StateVector psi(1);
+    EXPECT_THROW(psi.postselect(0, 1), Error);
+}
+
+TEST(StateVector, FidelityBetweenStates)
+{
+    StateVector a(1), b(1);
+    b.applyGate1(matX(), 0);
+    EXPECT_NEAR(a.fidelity(b), 0.0, 1e-12);
+    EXPECT_NEAR(a.fidelity(a), 1.0, 1e-12);
+    StateVector c(1);
+    c.applyGate1(matH(), 0);
+    EXPECT_NEAR(a.fidelity(c), 0.5, 1e-12);
+}
+
+TEST(StateVector, SampleAllMatchesDistribution)
+{
+    Rng rng(9);
+    StateVector psi(2);
+    psi.applyGate1(matX(), 1);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(psi.sampleAll(rng), 0b10u);
+}
+
+TEST(StateVector, RejectsBadArguments)
+{
+    EXPECT_THROW(StateVector(0), Error);
+    EXPECT_THROW(StateVector(25), Error);
+    StateVector psi(2);
+    EXPECT_THROW(psi.applyGate1(matX(), 2), Error);
+    EXPECT_THROW(psi.applyGate1(matX(), -1), Error);
+}
+
+// ------------------------------------------------------ density matrix
+
+TEST(DensityMatrix, PureStateFromStateVector)
+{
+    StateVector psi(2);
+    psi.applyGate1(matH(), 0);
+    DensityMatrix rho(psi);
+    EXPECT_NEAR(rho.purity(), 1.0, 1e-12);
+    EXPECT_NEAR(rho.fidelityWith(psi), 1.0, 1e-12);
+    EXPECT_NEAR(rho.traceReal(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, UnitaryEvolutionMatchesStateVector)
+{
+    StateVector psi(3);
+    DensityMatrix rho(3);
+    struct Step {
+        const char *gate;
+        std::vector<int> qubits;
+    };
+    std::vector<Step> steps = {{"h", {0}},   {"x90", {1}}, {"cz", {0, 2}},
+                               {"y90", {2}}, {"cnot", {1, 2}}};
+    for (const Step &step : steps) {
+        Gate gate = *makeGate(step.gate);
+        psi.apply(gate, step.qubits);
+        rho.apply(gate, step.qubits);
+    }
+    EXPECT_NEAR(rho.fidelityWith(psi), 1.0, 1e-10);
+    for (int q = 0; q < 3; ++q) {
+        EXPECT_NEAR(rho.probabilityOne(q), psi.probabilityOne(q), 1e-10);
+    }
+}
+
+TEST(DensityMatrix, MeasureMatchesProbabilities)
+{
+    Rng rng(17);
+    DensityMatrix rho(1);
+    rho.applyGate1(matRy(M_PI / 2.0), 0);
+    int ones = 0;
+    const int shots = 4000;
+    for (int i = 0; i < shots; ++i) {
+        DensityMatrix copy = rho;
+        ones += copy.measure(0, rng);
+    }
+    EXPECT_NEAR(static_cast<double>(ones) / shots, 0.5, 0.03);
+}
+
+TEST(DensityMatrix, ResetQubitTracesOut)
+{
+    DensityMatrix rho(2);
+    rho.applyGate1(matX(), 0);
+    rho.applyGate1(matH(), 1);
+    rho.resetQubit(0);
+    EXPECT_NEAR(rho.probabilityOne(0), 0.0, 1e-12);
+    // Qubit 1 untouched.
+    EXPECT_NEAR(rho.probabilityOne(1), 0.5, 1e-12);
+}
+
+TEST(DensityMatrix, PauliExpectations)
+{
+    DensityMatrix rho(2);
+    rho.applyGate1(matH(), 0); // |+> on qubit 0
+    rho.applyGate1(matX(), 1); // |1> on qubit 1
+    EXPECT_NEAR(rho.pauliExpectation("XI"), 1.0, 1e-12);
+    EXPECT_NEAR(rho.pauliExpectation("ZI"), 0.0, 1e-12);
+    EXPECT_NEAR(rho.pauliExpectation("IZ"), -1.0, 1e-12);
+    EXPECT_NEAR(rho.pauliExpectation("XZ"), -1.0, 1e-12);
+    EXPECT_NEAR(rho.pauliExpectation("II"), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, DepolarizingShrinksPurity)
+{
+    DensityMatrix rho(1);
+    rho.applyGate1(matH(), 0);
+    rho.applyChannel1(krausDepolarizing1(0.3), 0);
+    EXPECT_LT(rho.purity(), 1.0);
+    EXPECT_NEAR(rho.traceReal(), 1.0, 1e-12);
+    // <X> shrinks by (1 - 4p/3).
+    EXPECT_NEAR(rho.pauliExpectation("X"), 1.0 - 4.0 * 0.3 / 3.0, 1e-12);
+}
+
+TEST(DensityMatrix, AmplitudeDampingDecaysExcitedState)
+{
+    DensityMatrix rho(1);
+    rho.applyGate1(matX(), 0);
+    rho.applyChannel1(krausAmplitudeDamping(0.25), 0);
+    EXPECT_NEAR(rho.probabilityOne(0), 0.75, 1e-12);
+    EXPECT_NEAR(rho.traceReal(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, PhaseDampingKillsCoherence)
+{
+    DensityMatrix rho(1);
+    rho.applyGate1(matH(), 0);
+    rho.applyChannel1(krausPhaseDamping(1.0), 0);
+    EXPECT_NEAR(rho.pauliExpectation("X"), 0.0, 1e-9);
+    EXPECT_NEAR(rho.probabilityOne(0), 0.5, 1e-12);
+}
+
+TEST(DensityMatrix, TwoQubitDepolarizingPreservesTrace)
+{
+    DensityMatrix rho(2);
+    rho.applyGate1(matH(), 0);
+    rho.applyGate2(matCz(), 0, 1);
+    rho.applyChannel2(krausDepolarizing2(0.1), 0, 1);
+    EXPECT_NEAR(rho.traceReal(), 1.0, 1e-10);
+    EXPECT_LT(rho.purity(), 1.0);
+}
+
+// --------------------------------------------------------------- noise
+
+TEST(Noise, IdleNoiseRelaxesTowardGround)
+{
+    NoiseModel model;
+    model.t1Ns = 1000.0;
+    model.t2Ns = 1000.0;
+    DensityMatrix rho(1);
+    rho.applyGate1(matX(), 0);
+    applyIdleNoise(rho, 0, 1000.0, model);
+    EXPECT_NEAR(rho.probabilityOne(0), std::exp(-1.0), 1e-9);
+}
+
+TEST(Noise, IdleNoiseDephasesAtT2)
+{
+    NoiseModel model;
+    model.t1Ns = 1e12; // effectively no relaxation
+    model.t2Ns = 500.0;
+    DensityMatrix rho(1);
+    rho.applyGate1(matH(), 0);
+    applyIdleNoise(rho, 0, 500.0, model);
+    EXPECT_NEAR(rho.pauliExpectation("X"), std::exp(-1.0), 1e-6);
+}
+
+TEST(Noise, DisabledModelIsIdentity)
+{
+    NoiseModel model = NoiseModel::ideal();
+    DensityMatrix rho(1);
+    rho.applyGate1(matH(), 0);
+    applyIdleNoise(rho, 0, 1e6, model);
+    applyGateNoise1(rho, 0, model);
+    EXPECT_NEAR(rho.purity(), 1.0, 1e-12);
+    EXPECT_NEAR(rho.pauliExpectation("X"), 1.0, 1e-12);
+}
+
+TEST(Noise, JsonRoundTrip)
+{
+    NoiseModel model;
+    model.t1Ns = 123.0;
+    model.t2Ns = 200.0;
+    model.readoutError = 0.07;
+    NoiseModel loaded = NoiseModel::fromJson(model.toJson());
+    EXPECT_DOUBLE_EQ(loaded.t1Ns, 123.0);
+    EXPECT_DOUBLE_EQ(loaded.t2Ns, 200.0);
+    EXPECT_DOUBLE_EQ(loaded.readoutError, 0.07);
+}
+
+TEST(Noise, RejectsUnphysicalT2)
+{
+    Json doc = Json::parse(R"({"t1_ns": 100, "t2_ns": 300})");
+    EXPECT_THROW(NoiseModel::fromJson(doc), Error);
+}
+
+TEST(Noise, KrausSetsAreTracePreserving)
+{
+    for (const auto &kraus :
+         {krausAmplitudeDamping(0.3), krausPhaseDamping(0.5),
+          krausDepolarizing1(0.2)}) {
+        CMatrix sum(2, 2);
+        for (const CMatrix &k : kraus)
+            sum = sum + k.dagger() * k;
+        EXPECT_LT(sum.maxAbsDiff(CMatrix::identity(2)), 1e-12);
+    }
+    CMatrix sum(4, 4);
+    for (const CMatrix &k : krausDepolarizing2(0.2))
+        sum = sum + k.dagger() * k;
+    EXPECT_LT(sum.maxAbsDiff(CMatrix::identity(4)), 1e-12);
+}
+
+// ----------------------------------------------------------- tomography
+
+TEST(Tomography, PauliStringsEnumerateAll)
+{
+    auto strings = pauliStrings(2);
+    EXPECT_EQ(strings.size(), 16u);
+    EXPECT_EQ(strings[0], "II");
+    // Character 0 addresses qubit 0.
+    EXPECT_EQ(strings[1], "XI");
+}
+
+TEST(Tomography, LinearInversionRecoversBellState)
+{
+    StateVector bell(2);
+    bell.applyGate1(matH(), 0);
+    bell.applyGate2(matCnot(), 0, 1);
+    DensityMatrix rho(bell);
+
+    std::map<std::string, double> expectations;
+    for (const std::string &axes : pauliStrings(2))
+        expectations[axes] = rho.pauliExpectation(axes);
+    CMatrix reconstructed = linearInversion(2, expectations);
+    EXPECT_LT(reconstructed.maxAbsDiff(rho.matrix()), 1e-10);
+    EXPECT_NEAR(stateFidelity(reconstructed, bell), 1.0, 1e-10);
+}
+
+TEST(Tomography, MlePhysicalStateUnchanged)
+{
+    StateVector psi(1);
+    psi.applyGate1(matRy(1.1), 0);
+    DensityMatrix rho(psi);
+    CMatrix projected = mleProject(rho.matrix());
+    EXPECT_LT(projected.maxAbsDiff(rho.matrix()), 1e-9);
+}
+
+TEST(Tomography, MleRepairsNegativeEigenvalues)
+{
+    // An unphysical "density matrix" with a negative eigenvalue, as
+    // linear inversion produces under shot noise.
+    CMatrix bad(2, 2, {1.1, 0.0, 0.0, -0.1});
+    CMatrix fixed = mleProject(bad);
+    EigenResult eig = eigenHermitian(fixed);
+    for (double value : eig.values)
+        EXPECT_GE(value, -1e-12);
+    EXPECT_NEAR(fixed.trace().real(), 1.0, 1e-12);
+    // Closest physical state is |0><0|.
+    EXPECT_NEAR(fixed(0, 0).real(), 1.0, 1e-12);
+}
+
+TEST(Tomography, MlePreservesTraceOne)
+{
+    Rng rng(31);
+    // Noisy expectations around a random pure state.
+    StateVector psi(2);
+    psi.applyGate1(matRy(0.7), 0);
+    psi.applyGate1(matRx(1.9), 1);
+    psi.applyGate2(matCz(), 0, 1);
+    DensityMatrix rho(psi);
+    std::map<std::string, double> expectations;
+    for (const std::string &axes : pauliStrings(2)) {
+        double noise = axes == "II" ? 0.0 : 0.05 * rng.normal();
+        expectations[axes] = rho.pauliExpectation(axes) + noise;
+    }
+    CMatrix estimate = mleProject(linearInversion(2, expectations));
+    EXPECT_NEAR(estimate.trace().real(), 1.0, 1e-10);
+    EXPECT_GT(stateFidelity(estimate, psi), 0.85);
+}

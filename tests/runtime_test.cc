@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Unit tests for the runtime layer: the simulated device's physics and
+ * interface contract, the mock-result device, platform presets and
+ * JSON configuration, the QuantumProcessor facade and the analysis
+ * helpers.
+ */
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "isa/operation_set.h"
+#include "runtime/analysis.h"
+#include "runtime/mock_device.h"
+#include "runtime/platform.h"
+#include "runtime/quantum_processor.h"
+#include "runtime/simulated_device.h"
+
+using namespace eqasm;
+using namespace eqasm::runtime;
+using microarch::MicroOpRole;
+using microarch::TriggeredOp;
+
+namespace {
+
+/** A device rig driving TriggeredOps directly (no controller). */
+struct DeviceRig {
+    isa::OperationSet ops = isa::OperationSet::defaultSet();
+    SimulatedDevice device;
+    std::vector<std::tuple<int, int, uint64_t>> results;
+
+    explicit DeviceRig(DeviceConfig config = {}, uint64_t seed = 1)
+        : device(chip::Topology::twoQubit(), config, seed)
+    {
+        device.setResultSink(
+            [this](int qubit, int bit, uint64_t ready) {
+                results.emplace_back(qubit, bit, ready);
+            });
+        device.startShot(0);
+    }
+
+    TriggeredOp
+    op(const char *name, int qubit, uint64_t cycle, int pair = -1,
+       MicroOpRole role = MicroOpRole::single)
+    {
+        return {cycle, qubit, pair, role, &ops.byName(name)};
+    }
+};
+
+DeviceConfig
+idealConfig()
+{
+    DeviceConfig config;
+    config.noise = qsim::NoiseModel::ideal();
+    return config;
+}
+
+} // namespace
+
+// ------------------------------------------------------ SimulatedDevice
+
+TEST(SimulatedDevice, AppliesUnitaries)
+{
+    DeviceRig rig(idealConfig());
+    rig.device.apply(rig.op("X", 0, 10));
+    EXPECT_NEAR(rig.device.state().probabilityOne(0), 1.0, 1e-12);
+    EXPECT_NEAR(rig.device.state().probabilityOne(2), 0.0, 1e-12);
+}
+
+TEST(SimulatedDevice, TwoQubitGateUsesSourceRole)
+{
+    DeviceRig rig(idealConfig());
+    rig.device.apply(rig.op("X90", 0, 10));
+    rig.device.apply(rig.op("X90", 2, 10));
+    rig.device.apply(rig.op("CZ", 0, 12, 2, MicroOpRole::source));
+    rig.device.apply(rig.op("CZ", 2, 12, 0, MicroOpRole::target));
+    // One CZ applied (not two): purity stays 1 and the state is the
+    // expected entangled state.
+    EXPECT_NEAR(rig.device.state().purity(), 1.0, 1e-12);
+    EXPECT_EQ(rig.device.appliedGates().size(), 3u);
+}
+
+TEST(SimulatedDevice, MeasurementReportsWithLatency)
+{
+    DeviceConfig config = idealConfig();
+    config.measurementLatencyCycles = 15;
+    DeviceRig rig(config);
+    rig.device.apply(rig.op("X", 0, 10));
+    rig.device.apply(rig.op("MEASZ", 0, 11));
+    ASSERT_EQ(rig.results.size(), 1u);
+    auto [qubit, bit, ready] = rig.results[0];
+    EXPECT_EQ(qubit, 0);
+    EXPECT_EQ(bit, 1);
+    EXPECT_EQ(ready, 26u);
+}
+
+TEST(SimulatedDevice, MeasurementCollapsesState)
+{
+    DeviceRig rig(idealConfig());
+    rig.device.apply(rig.op("X90", 0, 10));
+    rig.device.apply(rig.op("MEASZ", 0, 11));
+    double p1 = rig.device.state().probabilityOne(0);
+    EXPECT_TRUE(p1 < 1e-9 || p1 > 1.0 - 1e-9);
+}
+
+TEST(SimulatedDevice, ReadoutErrorFlipsReportedBitOnly)
+{
+    DeviceConfig config = idealConfig();
+    config.noise.enabled = true;
+    config.noise.readoutError = 1.0; // always misreport
+    config.noise.t1Ns = 1e12;
+    config.noise.t2Ns = 1e12;
+    config.noise.depol1q = 0.0;
+    DeviceRig rig(config);
+    rig.device.apply(rig.op("MEASZ", 0, 10));
+    EXPECT_EQ(std::get<1>(rig.results[0]), 1); // |0> reported as 1
+    // The physical state collapsed to |0> regardless of the report.
+    EXPECT_NEAR(rig.device.state().probabilityOne(0), 0.0, 1e-12);
+}
+
+TEST(SimulatedDevice, OverlapViolationThrows)
+{
+    DeviceRig rig(idealConfig());
+    rig.device.apply(rig.op("MEASZ", 0, 10)); // busy until 25
+    EXPECT_THROW(rig.device.apply(rig.op("X", 0, 12)), Error);
+}
+
+TEST(SimulatedDevice, OverlapCountingPolicy)
+{
+    DeviceConfig config = idealConfig();
+    config.throwOnOverlap = false;
+    DeviceRig rig(config);
+    rig.device.apply(rig.op("MEASZ", 0, 10));
+    rig.device.apply(rig.op("X", 0, 12));
+    EXPECT_EQ(rig.device.overlapViolations(), 1u);
+}
+
+TEST(SimulatedDevice, StartShotResetsState)
+{
+    DeviceRig rig(idealConfig());
+    rig.device.apply(rig.op("X", 0, 10));
+    rig.device.startShot(0);
+    EXPECT_NEAR(rig.device.state().probabilityOne(0), 0.0, 1e-12);
+    EXPECT_TRUE(rig.device.appliedGates().empty());
+}
+
+TEST(SimulatedDevice, IdleDecoherenceBetweenGates)
+{
+    DeviceConfig config;
+    config.noise.enabled = true;
+    config.noise.t1Ns = 1000.0; // fast decay, cycle = 20 ns
+    config.noise.t2Ns = 1000.0;
+    config.noise.depol1q = 0.0;
+    config.noise.readoutError = 0.0;
+    DeviceRig rig(config);
+    rig.device.apply(rig.op("X", 0, 0));
+    // 100 cycles idle = 2000 ns = 2 T1 (minus the 1-cycle gate).
+    rig.device.apply(rig.op("I", 0, 100));
+    double expected = std::exp(-(99.0 * 20.0) / 1000.0);
+    EXPECT_NEAR(rig.device.state().probabilityOne(0), expected, 1e-6);
+}
+
+TEST(SimulatedDevice, UnknownUnitaryIsConfigError)
+{
+    isa::OperationSet broken;
+    broken.add({"QNOP", 0, isa::OpClass::qnop, 0, isa::ExecFlag::always,
+                isa::Channel::none, "i"});
+    broken.add({"BAD", 1, isa::OpClass::singleQubit, 1,
+                isa::ExecFlag::always, isa::Channel::microwave,
+                "not_a_gate"});
+    SimulatedDevice device(chip::Topology::twoQubit(), idealConfig(), 1);
+    device.setResultSink([](int, int, uint64_t) {});
+    device.startShot(0);
+    TriggeredOp op{10, 0, -1, MicroOpRole::single, &broken.byName("BAD")};
+    EXPECT_THROW(device.apply(op), Error);
+}
+
+// ------------------------------------------------------ MockResultDevice
+
+TEST(MockDevice, ReplaysProgrammedResultsInOrder)
+{
+    MockResultDevice device(10);
+    std::vector<int> bits;
+    device.setResultSink(
+        [&](int, int bit, uint64_t) { bits.push_back(bit); });
+    device.programResults(0, {1, 0, 1});
+    isa::OperationSet ops = isa::OperationSet::defaultSet();
+    device.startShot(0);
+    for (int i = 0; i < 4; ++i) {
+        device.apply({static_cast<uint64_t>(20 * i), 0, -1,
+                      MicroOpRole::single, &ops.byName("MEASZ")});
+    }
+    // Fourth measurement falls back to the default result (0).
+    EXPECT_EQ(bits, (std::vector<int>{1, 0, 1, 0}));
+}
+
+TEST(MockDevice, DefaultResultConfigurable)
+{
+    MockResultDevice device(10);
+    int observed = -1;
+    device.setResultSink(
+        [&](int, int bit, uint64_t) { observed = bit; });
+    device.setDefaultResult(1);
+    isa::OperationSet ops = isa::OperationSet::defaultSet();
+    device.startShot(0);
+    device.apply({0, 2, -1, MicroOpRole::single, &ops.byName("MEASZ")});
+    EXPECT_EQ(observed, 1);
+}
+
+TEST(MockDevice, ShotPulsesResetPerShot)
+{
+    MockResultDevice device(10);
+    device.setResultSink([](int, int, uint64_t) {});
+    isa::OperationSet ops = isa::OperationSet::defaultSet();
+    device.startShot(0);
+    device.apply({0, 0, -1, MicroOpRole::single, &ops.byName("X")});
+    device.startShot(0);
+    EXPECT_TRUE(device.shotPulses().empty());
+    EXPECT_EQ(device.pulses().size(), 1u);
+}
+
+// ------------------------------------------------------------- Platform
+
+TEST(Platform, TwoQubitPresetShape)
+{
+    Platform platform = Platform::twoQubit();
+    EXPECT_EQ(platform.topology.name(), "two_qubit");
+    EXPECT_TRUE(platform.device.noise.enabled);
+    EXPECT_NE(platform.operations.findByName("C_X"), nullptr);
+}
+
+TEST(Platform, IdealTurnsNoiseOff)
+{
+    Platform platform = Platform::ideal(Platform::twoQubit());
+    EXPECT_FALSE(platform.device.noise.enabled);
+    EXPECT_DOUBLE_EQ(platform.device.noise.readoutError, 0.0);
+}
+
+TEST(Platform, JsonRoundTrip)
+{
+    Platform original = Platform::surface7();
+    Platform loaded = Platform::fromJson(original.toJson());
+    EXPECT_EQ(loaded.topology.name(), "surface7");
+    EXPECT_EQ(loaded.topology.numEdges(), 16);
+    EXPECT_EQ(loaded.operations.size(), original.operations.size());
+    EXPECT_DOUBLE_EQ(loaded.device.noise.t1Ns,
+                     original.device.noise.t1Ns);
+    EXPECT_EQ(loaded.params.vliwWidth, original.params.vliwWidth);
+}
+
+TEST(Platform, FromJsonCustomChipRuns)
+{
+    // The Section 5 workflow: a config file renames the chip's qubits.
+    Json doc = Json::parse(R"({
+        "topology": {"name": "renamed", "qubits": 3,
+                     "edges": [[0, 2], [2, 0]],
+                     "feedlines": [0, 0, 0]},
+        "noise": {"enabled": false},
+        "classical_issue_rate": 4
+    })");
+    Platform platform = Platform::fromJson(doc);
+    EXPECT_EQ(platform.uarch.classicalIssueRate, 4);
+    QuantumProcessor processor(platform, 3);
+    processor.loadSource("SMIS S0, {0}\nQWAIT 100\nX S0\nMEASZ S0\n"
+                         "QWAIT 50\nSTOP\n");
+    EXPECT_EQ(processor.runShot().lastMeasurement(0), 1);
+}
+
+// ----------------------------------------------------- QuantumProcessor
+
+TEST(Processor, RejectsBadSource)
+{
+    QuantumProcessor processor(Platform::twoQubit(), 1);
+    EXPECT_THROW(processor.loadSource("FROB R1\n"),
+                 assembler::AssemblyError);
+}
+
+TEST(Processor, FractionOneRequiresMeasurements)
+{
+    QuantumProcessor processor(
+        Platform::ideal(Platform::twoQubit()), 1);
+    processor.loadSource("SMIS S0, {0}\nQWAIT 100\nX S0\nMEASZ S0\n"
+                         "QWAIT 50\nSTOP\n");
+    auto records = processor.run(3);
+    EXPECT_DOUBLE_EQ(processor.fractionOne(records, 0), 1.0);
+    // Qubit 2 was never measured.
+    EXPECT_THROW(processor.fractionOne(records, 2), Error);
+    EXPECT_THROW(processor.fractionOne({}, 0), Error);
+}
+
+TEST(Processor, ShotRecordLastMeasurement)
+{
+    ShotRecord record;
+    record.measurements = {{10, 0, 1}, {20, 0, 0}, {30, 2, 1}};
+    EXPECT_EQ(record.lastMeasurement(0), 0);
+    EXPECT_EQ(record.lastMeasurement(2), 1);
+    EXPECT_EQ(record.lastMeasurement(1), -1);
+}
+
+TEST(Processor, LoadImageExecutesRawBinary)
+{
+    Platform platform = Platform::ideal(Platform::twoQubit());
+    assembler::Assembler asm_(platform.operations, platform.topology,
+                              platform.params);
+    auto program = asm_.assemble(
+        "SMIS S0, {0}\nQWAIT 100\nX S0\nMEASZ S0\nQWAIT 50\nSTOP\n");
+    QuantumProcessor processor(platform, 1);
+    processor.loadImage(program.image);
+    EXPECT_EQ(processor.runShot().lastMeasurement(0), 1);
+}
+
+// -------------------------------------------------------------- analysis
+
+TEST(Analysis, ReadoutCorrectInvertsAssignment)
+{
+    // raw = (1 - eps1) p + eps0 (1 - p); invert for several p.
+    double eps0 = 0.08, eps1 = 0.12;
+    for (double p : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+        double raw = (1.0 - eps1) * p + eps0 * (1.0 - p);
+        EXPECT_NEAR(readoutCorrect(raw, eps0, eps1), p, 1e-12);
+    }
+}
+
+TEST(Analysis, FitHandlesFlatData)
+{
+    std::vector<double> ks = {1, 2, 3, 4, 5};
+    std::vector<double> ys = {0.5, 0.5, 0.5, 0.5, 0.5};
+    DecayFit fit = fitExponentialDecay(ks, ys);
+    EXPECT_NEAR(fit.amplitude * std::pow(fit.decay, 3.0) + fit.floor,
+                0.5, 1e-9);
+    EXPECT_LT(fit.residual, 1e-12);
+}
+
+TEST(Analysis, FitRejectsTooFewPoints)
+{
+    EXPECT_THROW(fitExponentialDecay({1.0, 2.0}, {0.9, 0.8}), Error);
+    EXPECT_THROW(fitExponentialDecay({1.0, 2.0, 3.0}, {0.9, 0.8}),
+                 Error);
+}
+
+TEST(Analysis, RbErrorPerGateIdentityAtPerfectDecay)
+{
+    EXPECT_DOUBLE_EQ(rbErrorPerGate(1.0), 0.0);
+    EXPECT_GT(rbErrorPerGate(0.99), 0.0);
+    // Faster decay -> larger error.
+    EXPECT_GT(rbErrorPerGate(0.95), rbErrorPerGate(0.99));
+}

@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Unit tests for the workload generators: the Clifford group and its
+ * 1.875-gate decomposition, RB sequences and survival physics, AllXY
+ * tables and programs, the Fig. 7 benchmark circuits' structural
+ * statistics, and the two-qubit Grover construction.
+ */
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "compiler/schedule.h"
+#include "qsim/state_vector.h"
+#include "runtime/analysis.h"
+#include "runtime/platform.h"
+#include "runtime/quantum_processor.h"
+#include "compiler/codegen.h"
+#include "workloads/allxy.h"
+#include "workloads/clifford.h"
+#include "workloads/experiments.h"
+#include "workloads/grover2q.h"
+#include "workloads/grover_sr.h"
+#include "workloads/ising.h"
+#include "workloads/rb.h"
+#include "workloads/surface_code.h"
+
+using namespace eqasm;
+using namespace eqasm::workloads;
+
+// ------------------------------------------------------- Clifford group
+
+TEST(Clifford, GroupHas24Elements)
+{
+    const CliffordGroup &group = CliffordGroup::instance();
+    // All unitaries pairwise distinct (up to phase) by construction;
+    // spot-check identity and a rotation.
+    EXPECT_EQ(group.indexOf(qsim::CMatrix::identity(2)), 0);
+    EXPECT_GE(group.indexOf(qsim::matRx(M_PI / 2.0)), 0);
+}
+
+TEST(Clifford, AverageDecompositionIs1875)
+{
+    // The paper: "each Clifford gate is decomposed into primitive x-
+    // and y-rotations the gate count is increased by 1.875 on average".
+    EXPECT_DOUBLE_EQ(CliffordGroup::instance().averageGateCount(), 1.875);
+}
+
+TEST(Clifford, DecompositionsReproduceUnitaries)
+{
+    const CliffordGroup &group = CliffordGroup::instance();
+    for (int index = 0; index < kNumCliffords; ++index) {
+        qsim::CMatrix product = qsim::CMatrix::identity(2);
+        for (const std::string &gate : group.decomposition(index)) {
+            if (gate == "I")
+                continue;
+            auto parsed = qsim::makeGate(gate);
+            ASSERT_TRUE(parsed.has_value()) << gate;
+            product = parsed->matrix * product;
+        }
+        EXPECT_EQ(group.indexOf(product), index);
+    }
+}
+
+class CliffordElement : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CliffordElement, InverseComposesToIdentity)
+{
+    const CliffordGroup &group = CliffordGroup::instance();
+    int index = GetParam();
+    EXPECT_EQ(group.compose(index, group.inverse(index)), 0);
+    EXPECT_EQ(group.compose(group.inverse(index), index), 0);
+}
+
+TEST_P(CliffordElement, CompositionStaysInGroup)
+{
+    const CliffordGroup &group = CliffordGroup::instance();
+    int a = GetParam();
+    for (int b = 0; b < kNumCliffords; ++b) {
+        int c = group.compose(a, b);
+        EXPECT_GE(c, 0);
+        EXPECT_LT(c, kNumCliffords);
+    }
+}
+
+TEST_P(CliffordElement, DecompositionAtMostThreePrimitives)
+{
+    const CliffordGroup &group = CliffordGroup::instance();
+    EXPECT_LE(group.decomposition(GetParam()).size(), 3u);
+    EXPECT_GE(group.decomposition(GetParam()).size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(All24, CliffordElement,
+                         ::testing::Range(0, kNumCliffords));
+
+TEST(Clifford, RandomSequenceRecoveryReturnsToZero)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 10; ++trial) {
+        RbSequence sequence = randomRbSequence(20, rng);
+        EXPECT_EQ(sequence.cliffords.size(), 21u);
+        qsim::StateVector psi(1);
+        for (const std::string &gate : sequence.gates) {
+            if (gate == "I")
+                continue;
+            psi.applyGate1(qsim::makeGate(gate)->matrix, 0);
+        }
+        EXPECT_NEAR(psi.probabilityOf(0), 1.0, 1e-9) << "trial " << trial;
+    }
+}
+
+// ------------------------------------------------------------------ RB
+
+TEST(Rb, NoNoiseMeansPerfectSurvival)
+{
+    Rng rng(3);
+    RbSequence sequence = randomRbSequence(50, rng);
+    double survival = rbSurvivalProbability(
+        sequence, 20.0, qsim::NoiseModel::ideal());
+    EXPECT_NEAR(survival, 1.0, 1e-9);
+}
+
+TEST(Rb, SurvivalDecaysWithLength)
+{
+    Rng rng(5);
+    qsim::NoiseModel noise; // calibrated defaults
+    auto curve = rbDecayCurve({4, 64, 512}, 8, 20.0, noise, rng);
+    EXPECT_GT(curve[0], curve[1]);
+    EXPECT_GT(curve[1], curve[2]);
+    EXPECT_GT(curve[0], 0.9);
+}
+
+TEST(Rb, LargerIntervalDecaysFaster)
+{
+    Rng rng(5);
+    qsim::NoiseModel noise;
+    auto fast = rbDecayCurve({256}, 10, 20.0, noise, rng);
+    Rng rng2(5);
+    auto slow = rbDecayCurve({256}, 10, 320.0, noise, rng2);
+    EXPECT_GT(fast[0], slow[0] + 0.02);
+}
+
+TEST(Rb, CircuitHasExpectedDensity)
+{
+    Rng rng(11);
+    compiler::Circuit circuit = rbCircuit(7, 100, rng);
+    EXPECT_EQ(circuit.numQubits, 7);
+    // 7 qubits x 100 Cliffords x 1.875 gates on average.
+    double expected = 7 * 100 * 1.875;
+    EXPECT_NEAR(static_cast<double>(circuit.gates.size()), expected,
+                expected * 0.1);
+    EXPECT_DOUBLE_EQ(circuit.twoQubitFraction(), 0.0);
+}
+
+TEST(Rb, DecayFitRecoversErrorRate)
+{
+    // Generate a synthetic decay and check the fit pipeline.
+    std::vector<double> ks, ys;
+    const double p = 0.995, a = 0.5, b = 0.5;
+    for (int k = 1; k <= 800; k += 40) {
+        ks.push_back(k);
+        ys.push_back(a * std::pow(p, k) + b);
+    }
+    runtime::DecayFit fit = runtime::fitExponentialDecay(ks, ys);
+    EXPECT_NEAR(fit.decay, p, 1e-3);
+    EXPECT_NEAR(fit.amplitude, a, 1e-2);
+    EXPECT_NEAR(fit.floor, b, 1e-2);
+    double eps = runtime::rbErrorPerGate(fit.decay);
+    EXPECT_NEAR(eps, 1.0 - std::pow((1.0 + p) / 2.0, 1.0 / 1.875), 1e-4);
+}
+
+// --------------------------------------------------------------- AllXY
+
+TEST(Allxy, TableShape)
+{
+    const auto &pairs = allxyPairs();
+    int zeros = 0, halves = 0, ones = 0;
+    for (const AllxyPair &pair : pairs) {
+        if (pair.idealFractionOne == 0.0)
+            ++zeros;
+        else if (pair.idealFractionOne == 0.5)
+            ++halves;
+        else
+            ++ones;
+    }
+    EXPECT_EQ(zeros, 5);
+    EXPECT_EQ(halves, 12);
+    EXPECT_EQ(ones, 4);
+}
+
+TEST(Allxy, IdealFractionsMatchStateVector)
+{
+    for (const AllxyPair &pair : allxyPairs()) {
+        qsim::StateVector psi(1);
+        for (const char *gate : {pair.first, pair.second}) {
+            if (std::string(gate) == "I")
+                continue;
+            psi.applyGate1(qsim::makeGate(gate)->matrix, 0);
+        }
+        EXPECT_NEAR(psi.probabilityOne(0), pair.idealFractionOne, 1e-9)
+            << pair.first << ", " << pair.second;
+    }
+}
+
+TEST(Allxy, CombinationIndexing)
+{
+    // "each gate pair ... repeated on the first qubit while the entire
+    // sequence is repeated on the second qubit".
+    EXPECT_EQ(allxyFirstQubitPair(0), 0);
+    EXPECT_EQ(allxyFirstQubitPair(1), 0);
+    EXPECT_EQ(allxyFirstQubitPair(41), 20);
+    EXPECT_EQ(allxySecondQubitPair(0), 0);
+    EXPECT_EQ(allxySecondQubitPair(21), 0);
+    EXPECT_EQ(allxySecondQubitPair(41), 20);
+}
+
+TEST(Allxy, ProgramsContainFig3Structure)
+{
+    std::string program = twoQubitAllxyProgram(7, 0, 2);
+    EXPECT_NE(program.find("QWAIT 10000"), std::string::npos);
+    EXPECT_NE(program.find("MEASZ S7"), std::string::npos);
+    EXPECT_NE(program.find("|"), std::string::npos); // VLIW bundle
+}
+
+// ------------------------------------------- Fig. 7 benchmark circuits
+
+TEST(Ising, MatchesPaperStatistics)
+{
+    compiler::Circuit circuit = isingCircuit(chip::Topology::surface7());
+    EXPECT_EQ(circuit.numQubits, 7);
+    EXPECT_GT(circuit.gates.size(), 1000u);
+    // "< 1% two-qubit gates".
+    EXPECT_LT(circuit.twoQubitFraction(), 0.01);
+    EXPECT_GT(circuit.twoQubitFraction(), 0.0);
+}
+
+TEST(Ising, TwoQubitGatesUseAllowedPairs)
+{
+    chip::Topology chip = chip::Topology::surface7();
+    compiler::Circuit circuit = isingCircuit(chip);
+    for (const compiler::Gate &gate : circuit.gates) {
+        if (gate.qubits.size() == 2) {
+            EXPECT_TRUE(
+                chip.edgeIndex(gate.qubits[0], gate.qubits[1]).has_value());
+        }
+    }
+}
+
+TEST(GroverSr, MatchesPaperStatistics)
+{
+    compiler::Circuit circuit = groverSquareRootCircuit();
+    EXPECT_EQ(circuit.numQubits, 8);
+    // "~39% two-qubit gates".
+    EXPECT_NEAR(circuit.twoQubitFraction(), 0.39, 0.02);
+}
+
+TEST(GroverSr, IsSequential)
+{
+    // The schedule of a sequential circuit is almost as long as the sum
+    // of its gate durations (little parallelism).
+    compiler::Circuit circuit = groverSquareRootCircuit({8, 4});
+    auto timed = compiler::scheduleAsap(
+        circuit, isa::OperationSet::defaultSet());
+    uint64_t total = 0;
+    for (const auto &gate : timed.gates)
+        total += static_cast<uint64_t>(gate.durationCycles);
+    EXPECT_GT(static_cast<double>(timed.makespan()),
+              0.55 * static_cast<double>(total));
+}
+
+// ---------------------------------------------------------- Grover 2q
+
+TEST(Grover2q, CircuitFindsMarkedElementExactly)
+{
+    for (int marked = 0; marked < 4; ++marked) {
+        compiler::Circuit circuit = groverCircuit(marked);
+        qsim::StateVector psi(2);
+        for (const compiler::Gate &gate : circuit.gates) {
+            auto parsed = qsim::makeGate(
+                gate.op == "CZ" ? "cz" : gate.op);
+            ASSERT_TRUE(parsed.has_value()) << gate.op;
+            psi.apply(*parsed, gate.qubits);
+        }
+        EXPECT_NEAR(psi.probabilityOf(static_cast<uint64_t>(marked)), 1.0,
+                    1e-9)
+            << "marked " << marked;
+    }
+}
+
+TEST(Grover2q, IdealStateMatchesMarkedElement)
+{
+    for (int marked = 0; marked < 4; ++marked) {
+        qsim::StateVector ideal = groverIdealState(marked);
+        EXPECT_DOUBLE_EQ(
+            ideal.probabilityOf(static_cast<uint64_t>(marked)), 1.0);
+    }
+}
+
+TEST(Grover2q, BasisPreRotations)
+{
+    EXPECT_STREQ(basisPreRotation(MeasBasis::z), "I");
+    EXPECT_STREQ(basisPreRotation(MeasBasis::x), "Ym90");
+    EXPECT_STREQ(basisPreRotation(MeasBasis::y), "X90");
+}
+
+TEST(Grover2q, PreRotationMapsBasisOntoZ)
+{
+    // |+> measured in the X basis must give +1 deterministically.
+    qsim::StateVector plus(1);
+    plus.applyGate1(qsim::matH(), 0);
+    plus.applyGate1(qsim::makeGate("ym90")->matrix, 0);
+    EXPECT_NEAR(plus.expectationZ(0), 1.0, 1e-9);
+
+    // |+i> measured in the Y basis likewise.
+    qsim::StateVector plus_i(1);
+    plus_i.applyGate1(qsim::makeGate("xm90")->matrix, 0);
+    plus_i.applyGate1(qsim::makeGate("x90")->matrix, 0);
+    EXPECT_NEAR(plus_i.expectationZ(0), 1.0, 1e-9);
+}
+
+// --------------------------------------------------------- surface code
+
+class SurfaceCodeError : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SurfaceCodeError, ZAncillaDetectsInjectedXError)
+{
+    // Through the complete stack: codegen -> assembler -> binary ->
+    // microarchitecture -> simulated chip.
+    int error_qubit = GetParam();
+    auto timed = compiler::scheduleAsap(
+        zSyndromeRound(error_qubit), isa::OperationSet::defaultSet());
+    runtime::Platform platform =
+        runtime::Platform::ideal(runtime::Platform::surface7());
+    runtime::QuantumProcessor processor(platform, 5);
+    processor.loadSource(compiler::generateProgram(
+        timed, isa::OperationSet::defaultSet(), platform.topology));
+    int syndrome = processor.runShot().lastMeasurement(5);
+    EXPECT_EQ(syndrome, error_qubit >= 0 ? 1 : 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(DataQubits, SurfaceCodeError,
+                         ::testing::Values(-1, 0, 1, 3, 6));
+
+TEST(SurfaceCode, TwoErrorsCancelInTheParity)
+{
+    // A weight-4 Z check sees the product: two X errors are invisible
+    // (the distance-2 code detects exactly one error, Section 4.1).
+    compiler::Circuit circuit = zSyndromeRound(0);
+    circuit.gates.insert(circuit.gates.begin(),
+                         compiler::Gate("X", 1));
+    auto timed = compiler::scheduleAsap(
+        circuit, isa::OperationSet::defaultSet());
+    runtime::Platform platform =
+        runtime::Platform::ideal(runtime::Platform::surface7());
+    runtime::QuantumProcessor processor(platform, 5);
+    processor.loadSource(compiler::generateProgram(
+        timed, isa::OperationSet::defaultSet(), platform.topology));
+    EXPECT_EQ(processor.runShot().lastMeasurement(5), 0);
+}
+
+TEST(SurfaceCode, FullRoundUsesOnlyAllowedPairs)
+{
+    compiler::Circuit circuit = fullSyndromeRound(3);
+    chip::Topology chip = chip::Topology::surface7();
+    for (const compiler::Gate &gate : circuit.gates) {
+        if (gate.qubits.size() == 2) {
+            EXPECT_TRUE(chip.edgeIndex(gate.qubits[0], gate.qubits[1])
+                            .has_value());
+        }
+    }
+    circuit.validate(isa::OperationSet::defaultSet());
+}
+
+// ---------------------------------------------------------- experiments
+
+TEST(Experiments, ActiveResetProgramMatchesFig4)
+{
+    std::string program = activeResetProgram(2);
+    EXPECT_NE(program.find("X90 S2"), std::string::npos);
+    EXPECT_NE(program.find("C_X S2"), std::string::npos);
+    EXPECT_NE(program.find("QWAIT 10000"), std::string::npos);
+}
+
+TEST(Experiments, CfcProgramMatchesFig5)
+{
+    std::string program = cfcProgram(1, 0);
+    EXPECT_NE(program.find("FMR R1, Q1"), std::string::npos);
+    EXPECT_NE(program.find("BR EQ, eq_path"), std::string::npos);
+    EXPECT_NE(program.find("BR ALWAYS, next"), std::string::npos);
+}
+
+TEST(Experiments, RabiOperationSetSpansAngles)
+{
+    isa::OperationSet set = rabiOperationSet(5);
+    EXPECT_NE(set.findByName("X_AMP_0"), nullptr);
+    EXPECT_NE(set.findByName("X_AMP_4"), nullptr);
+    EXPECT_EQ(set.byName("X_AMP_0").unitary, "rx:0.000000");
+    EXPECT_EQ(set.byName("X_AMP_4").unitary, "rx:360.000000");
+}
+
+TEST(Experiments, AnalysisHelpers)
+{
+    EXPECT_NEAR(runtime::readoutCorrect(0.5, 0.1, 0.1), 0.5, 1e-12);
+    EXPECT_NEAR(runtime::readoutCorrect(0.9, 0.1, 0.1), 1.0, 1e-12);
+    EXPECT_NEAR(runtime::readoutCorrect(0.05, 0.1, 0.1), 0.0, 1e-12);
+    EXPECT_DOUBLE_EQ(runtime::mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_NEAR(runtime::standardDeviation({1.0, 2.0, 3.0}), 1.0, 1e-12);
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * eqasm-as — command-line assembler / disassembler.
+ *
+ *   eqasm-as [options] <input.eqasm>
+ *     --chip two_qubit|surface7        target topology (default two_qubit)
+ *     --platform <config.json>         full platform configuration
+ *     --hex                            print the image as hex words
+ *     --dis                            disassemble the assembled image
+ *     -o <file>                        write the binary image (little
+ *                                      endian 32-bit words)
+ *
+ * With no input file, reads assembly from stdin.
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "assembler/assembler.h"
+#include "assembler/disassembler.h"
+#include "runtime/platform.h"
+
+using namespace eqasm;
+
+namespace {
+
+std::string
+readAll(std::istream &in)
+{
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: eqasm-as [--chip two_qubit|surface7] "
+                 "[--platform cfg.json] [--hex] [--dis] [-o out.bin] "
+                 "[input.eqasm]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string chip = "two_qubit";
+    std::string platform_file;
+    std::string input_file;
+    std::string output_file;
+    bool hex = false;
+    bool dis = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--chip" && i + 1 < argc) {
+            chip = argv[++i];
+        } else if (arg == "--platform" && i + 1 < argc) {
+            platform_file = argv[++i];
+        } else if (arg == "--hex") {
+            hex = true;
+        } else if (arg == "--dis") {
+            dis = true;
+        } else if (arg == "-o" && i + 1 < argc) {
+            output_file = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            return usage();
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return usage();
+        } else {
+            input_file = arg;
+        }
+    }
+
+    try {
+        runtime::Platform platform;
+        if (!platform_file.empty()) {
+            std::ifstream in(platform_file);
+            if (!in) {
+                std::fprintf(stderr, "cannot open platform file '%s'\n",
+                             platform_file.c_str());
+                return 1;
+            }
+            platform = runtime::Platform::fromJson(
+                Json::parse(readAll(in)));
+        } else if (chip == "surface7") {
+            platform = runtime::Platform::surface7();
+        } else if (chip == "two_qubit") {
+            platform = runtime::Platform::twoQubit();
+        } else {
+            std::fprintf(stderr, "unknown chip '%s'\n", chip.c_str());
+            return usage();
+        }
+
+        std::string source;
+        if (input_file.empty()) {
+            source = readAll(std::cin);
+        } else {
+            std::ifstream in(input_file);
+            if (!in) {
+                std::fprintf(stderr, "cannot open '%s'\n",
+                             input_file.c_str());
+                return 1;
+            }
+            source = readAll(in);
+        }
+
+        assembler::Assembler asm_(platform.operations, platform.topology,
+                                  platform.params);
+        assembler::Program program = asm_.assemble(source);
+
+        std::fprintf(stderr, "assembled %zu instructions\n",
+                     program.instructions.size());
+        if (hex || (!dis && output_file.empty())) {
+            for (uint32_t word : program.image)
+                std::printf("%08x\n", word);
+        }
+        if (dis) {
+            std::printf("%s", assembler::disassemble(
+                                  program.image, platform.operations,
+                                  platform.topology, platform.params)
+                                  .c_str());
+        }
+        if (!output_file.empty()) {
+            std::ofstream out(output_file, std::ios::binary);
+            for (uint32_t word : program.image) {
+                char bytes[4] = {
+                    static_cast<char>(word & 0xff),
+                    static_cast<char>((word >> 8) & 0xff),
+                    static_cast<char>((word >> 16) & 0xff),
+                    static_cast<char>((word >> 24) & 0xff)};
+                out.write(bytes, 4);
+            }
+            std::fprintf(stderr, "wrote %zu words to %s\n",
+                         program.image.size(), output_file.c_str());
+        }
+        return 0;
+    } catch (const assembler::AssemblyError &error) {
+        for (const auto &diagnostic : error.diagnostics())
+            std::fprintf(stderr, "%s\n", diagnostic.toString().c_str());
+        return 1;
+    } catch (const Error &error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return 1;
+    }
+}

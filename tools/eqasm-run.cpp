@@ -1,0 +1,169 @@
+/**
+ * @file
+ * eqasm-run — assemble and execute an eQASM program on the simulated
+ * quantum processor, printing per-qubit measurement statistics.
+ *
+ *   eqasm-run [options] <input.eqasm>
+ *     --chip two_qubit|surface7    target platform (default two_qubit)
+ *     --platform <config.json>     full platform configuration
+ *     --shots N                    number of shots (default 1024)
+ *     --seed S                     RNG seed (default 1)
+ *     --ideal                      disable all noise
+ *     --trace                      dump the execution trace of shot 0
+ */
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "runtime/platform.h"
+#include "runtime/quantum_processor.h"
+
+using namespace eqasm;
+
+namespace {
+
+std::string
+readAll(std::istream &in)
+{
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string chip = "two_qubit";
+    std::string platform_file;
+    std::string input_file;
+    int shots = 1024;
+    uint64_t seed = 1;
+    bool ideal = false;
+    bool trace = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--chip" && i + 1 < argc) {
+            chip = argv[++i];
+        } else if (arg == "--platform" && i + 1 < argc) {
+            platform_file = argv[++i];
+        } else if (arg == "--shots" && i + 1 < argc) {
+            shots = static_cast<int>(parseInt(argv[++i]));
+        } else if (arg == "--seed" && i + 1 < argc) {
+            seed = static_cast<uint64_t>(parseInt(argv[++i]));
+        } else if (arg == "--ideal") {
+            ideal = true;
+        } else if (arg == "--trace") {
+            trace = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr,
+                         "usage: eqasm-run [--chip c] [--platform f] "
+                         "[--shots n] [--seed s] [--ideal] [--trace] "
+                         "[input]\n");
+            return 2;
+        } else {
+            input_file = arg;
+        }
+    }
+
+    try {
+        runtime::Platform platform;
+        if (!platform_file.empty()) {
+            std::ifstream in(platform_file);
+            if (!in) {
+                std::fprintf(stderr, "cannot open platform file '%s'\n",
+                             platform_file.c_str());
+                return 1;
+            }
+            platform = runtime::Platform::fromJson(
+                Json::parse(readAll(in)));
+        } else if (chip == "surface7") {
+            platform = runtime::Platform::surface7();
+        } else {
+            platform = runtime::Platform::twoQubit();
+        }
+        if (ideal)
+            platform = runtime::Platform::ideal(platform);
+
+        std::string source;
+        if (input_file.empty()) {
+            source = readAll(std::cin);
+        } else {
+            std::ifstream in(input_file);
+            if (!in) {
+                std::fprintf(stderr, "cannot open '%s'\n",
+                             input_file.c_str());
+                return 1;
+            }
+            source = readAll(in);
+        }
+
+        runtime::QuantumProcessor processor(platform, seed);
+        processor.loadSource(source);
+
+        std::map<int, int> ones;
+        std::map<int, int> totals;
+        uint64_t cycles = 0;
+        for (int shot = 0; shot < shots; ++shot) {
+            runtime::ShotRecord record = processor.runShot();
+            cycles = record.stats.cycles;
+            if (trace && shot == 0) {
+                for (const auto &event :
+                     processor.controller().trace()) {
+                    const char *kind =
+                        event.kind ==
+                                microarch::TraceEvent::Kind::opOutput
+                            ? "output"
+                        : event.kind == microarch::TraceEvent::Kind::
+                                            opCancelled
+                            ? "cancel"
+                            : "result";
+                    std::printf("cycle %8llu  %-6s q%d %s%s\n",
+                                static_cast<unsigned long long>(
+                                    event.cycle),
+                                kind, event.qubit,
+                                event.operation.c_str(),
+                                event.kind == microarch::TraceEvent::
+                                                  Kind::resultArrived
+                                    ? format(" = %d", event.bit).c_str()
+                                    : "");
+                }
+            }
+            std::map<int, int> last;
+            for (const auto &measurement : record.measurements)
+                last[measurement.qubit] = measurement.bit;
+            for (const auto &[qubit, bit] : last) {
+                ones[qubit] += bit;
+                ++totals[qubit];
+            }
+        }
+
+        std::printf("ran %d shots (%llu cycles per shot)\n", shots,
+                    static_cast<unsigned long long>(cycles));
+        Table table({"qubit", "shots", "F|1> (last measurement)"});
+        for (const auto &[qubit, count] : totals) {
+            if (count == 0)
+                continue;
+            table.addRow({format("%d", qubit), format("%d", count),
+                          format("%.4f", static_cast<double>(
+                                             ones[qubit]) /
+                                             count)});
+        }
+        std::printf("%s", table.render().c_str());
+        return 0;
+    } catch (const assembler::AssemblyError &error) {
+        for (const auto &diagnostic : error.diagnostics())
+            std::fprintf(stderr, "%s\n", diagnostic.toString().c_str());
+        return 1;
+    } catch (const Error &error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return 1;
+    }
+}
