@@ -11,11 +11,12 @@
  */
 #include <cstdio>
 
+#include "assembler/assembler.h"
 #include "common/strings.h"
 #include "common/table.h"
+#include "engine/shot_engine.h"
 #include "runtime/analysis.h"
 #include "runtime/platform.h"
-#include "runtime/quantum_processor.h"
 #include "workloads/allxy.h"
 
 using namespace eqasm;
@@ -35,17 +36,26 @@ main()
 
     Table table({"combination", "pair q0", "pair q2", "F|1> q0",
                  "ideal q0", "F|1> q2", "ideal q2"});
+
+    // One worker pool serves all 42 gate-pair combinations.
+    assembler::Assembler assembler(platform.operations,
+                                   platform.topology, platform.params);
+    engine::ShotEngine pool(platform);
+
     double max_deviation = 0.0;
     for (int combination = 0;
          combination < workloads::kTwoQubitAllxyCombinations;
          ++combination) {
-        runtime::QuantumProcessor processor(platform,
-                                            1000 + combination);
-        processor.loadSource(
-            workloads::twoQubitAllxyProgram(combination, 0, 2));
-        auto records = processor.run(shots);
-        double raw_a = processor.fractionOne(records, 0);
-        double raw_b = processor.fractionOne(records, 2);
+        engine::Job job;
+        job.image = assembler
+                        .assemble(workloads::twoQubitAllxyProgram(
+                            combination, 0, 2))
+                        .image;
+        job.shots = shots;
+        job.seed = 1000 + static_cast<uint64_t>(combination);
+        engine::BatchResult batch = pool.run(std::move(job));
+        double raw_a = batch.fractionOne(0);
+        double raw_b = batch.fractionOne(2);
         double f_a = runtime::readoutCorrect(raw_a, readout_error,
                                              readout_error);
         double f_b = runtime::readoutCorrect(raw_b, readout_error,

@@ -14,11 +14,12 @@
 #include <cmath>
 #include <cstdio>
 
+#include "assembler/assembler.h"
 #include "common/strings.h"
 #include "common/table.h"
+#include "engine/shot_engine.h"
 #include "runtime/analysis.h"
 #include "runtime/platform.h"
-#include "runtime/quantum_processor.h"
 #include "workloads/experiments.h"
 
 using namespace eqasm;
@@ -32,6 +33,12 @@ main()
     platform.operations = workloads::rabiOperationSet(steps);
     double eps = platform.device.noise.readoutError;
 
+    // One worker pool serves the whole amplitude sweep; each step is a
+    // job with its own program image and seed.
+    assembler::Assembler assembler(platform.operations,
+                                   platform.topology, platform.params);
+    engine::ShotEngine pool(platform);
+
     std::printf("=== Section 5: Rabi oscillation with configured "
                 "X_AMP_i operations ===\n\n");
     Table table({"step", "angle (deg)", "F|1> raw", "F|1> corrected",
@@ -39,12 +46,13 @@ main()
     int best_step = 0;
     double best_value = -1.0;
     for (int step = 0; step < steps; ++step) {
-        runtime::QuantumProcessor processor(platform,
-                                            300 + static_cast<uint64_t>(
-                                                      step));
-        processor.loadSource(workloads::rabiProgram(step, 0));
-        auto records = processor.run(shots);
-        double raw = processor.fractionOne(records, 0);
+        engine::Job job;
+        job.image =
+            assembler.assemble(workloads::rabiProgram(step, 0)).image;
+        job.shots = shots;
+        job.seed = 300 + static_cast<uint64_t>(step);
+        engine::BatchResult batch = pool.run(std::move(job));
+        double raw = batch.fractionOne(0);
         double corrected = runtime::readoutCorrect(raw, eps, eps);
         double degrees = 360.0 * step / (steps - 1);
         double ideal = std::pow(std::sin(degrees * M_PI / 360.0), 2);

@@ -15,11 +15,12 @@
 #include <cstdio>
 #include <vector>
 
+#include "assembler/assembler.h"
 #include "common/strings.h"
 #include "common/table.h"
+#include "engine/shot_engine.h"
 #include "runtime/analysis.h"
 #include "runtime/platform.h"
-#include "runtime/quantum_processor.h"
 #include "workloads/experiments.h"
 
 using namespace eqasm;
@@ -37,15 +38,23 @@ main()
                 "driver) ===\n\n");
     Table table({"QWAIT (cycles)", "delay (us)", "F|1> corrected"});
 
+    // One worker pool serves every delay point of the sweep.
+    assembler::Assembler assembler(platform.operations,
+                                   platform.topology, platform.params);
+    engine::ShotEngine pool(platform);
+
     std::vector<double> delays, values;
     for (uint64_t wait :
          {10ull, 250ull, 500ull, 1000ull, 1750ull, 2750ull, 4000ull,
           6000ull, 9000ull, 13000ull}) {
-        runtime::QuantumProcessor processor(platform, 500 + wait);
-        processor.loadSource(workloads::t1Program(wait, 0));
-        auto records = processor.run(shots);
+        engine::Job job;
+        job.image =
+            assembler.assemble(workloads::t1Program(wait, 0)).image;
+        job.shots = shots;
+        job.seed = 500 + wait;
+        engine::BatchResult batch = pool.run(std::move(job));
         double corrected = runtime::readoutCorrect(
-            processor.fractionOne(records, 0), eps, eps);
+            batch.fractionOne(0), eps, eps);
         double delay_ns = static_cast<double>(wait) * cycle_ns;
         delays.push_back(delay_ns / 1000.0); // in us for the fit
         values.push_back(corrected);

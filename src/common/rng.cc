@@ -106,4 +106,15 @@ Rng::fork()
     return Rng(next());
 }
 
+Rng
+Rng::forShot(uint64_t seed, uint64_t shotIndex)
+{
+    // Run the counter through the splitmix64 finaliser before combining
+    // with the seed, so consecutive shot indices select unrelated points
+    // of the seed space; the constructor then expands the combined value
+    // into the full xoshiro state.
+    uint64_t sm = shotIndex;
+    return Rng(seed ^ splitmix64(sm));
+}
+
 } // namespace eqasm

@@ -45,6 +45,16 @@ class Rng
     /** Creates an independent child stream (for per-shot reproducibility). */
     Rng fork();
 
+    /**
+     * Counter-based per-shot stream: the generator for shot @p shotIndex
+     * of a run seeded with @p seed. Unlike a fork() chain, shot k's
+     * stream is derived directly from (seed, k) — shot k is reproducible
+     * without replaying shots 0..k-1, so independent replicas can be
+     * positioned at arbitrary shot indices and still produce bitwise-
+     * identical results regardless of scheduling order.
+     */
+    static Rng forShot(uint64_t seed, uint64_t shotIndex);
+
   private:
     std::array<uint64_t, 4> state_;
     double cachedNormal_ = 0.0;

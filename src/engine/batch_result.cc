@@ -1,0 +1,134 @@
+#include "engine/batch_result.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "runtime/quantum_processor.h"
+
+namespace eqasm::engine {
+
+namespace {
+
+/** Adds @p shot into @p total field-wise (maxQueueDepth by maximum). */
+void
+accumulateStats(microarch::RunStats &total,
+                const microarch::RunStats &shot)
+{
+    total.cycles += shot.cycles;
+    total.classicalInstructions += shot.classicalInstructions;
+    total.quantumInstructions += shot.quantumInstructions;
+    total.bundles += shot.bundles;
+    total.microOps += shot.microOps;
+    total.triggered += shot.triggered;
+    total.cancelled += shot.cancelled;
+    total.fmrStallCycles += shot.fmrStallCycles;
+    total.underruns += shot.underruns;
+    total.maxQueueDepth = std::max(total.maxQueueDepth,
+                                   shot.maxQueueDepth);
+}
+
+} // namespace
+
+void
+BatchResult::addShot(const runtime::ShotRecord &record)
+{
+    ++shots;
+
+    // Last measurement per qubit, in ascending qubit order.
+    std::map<int, int> last;
+    for (const runtime::MeasurementRecord &measurement :
+         record.measurements) {
+        last[measurement.qubit] = measurement.bit;
+    }
+
+    std::string bitstring;
+    for (const auto &[qubit, bit] : last) {
+        QubitCounts &counts = qubitCounts[qubit];
+        ++counts.shots;
+        counts.ones += static_cast<uint64_t>(bit);
+        if (!bitstring.empty())
+            bitstring += ' ';
+        bitstring += format("q%d=%d", qubit, bit);
+    }
+    ++histogram[bitstring];
+
+    accumulateStats(stats, record.stats);
+}
+
+void
+BatchResult::merge(const BatchResult &other)
+{
+    shots += other.shots;
+    for (const auto &[qubit, counts] : other.qubitCounts) {
+        QubitCounts &mine = qubitCounts[qubit];
+        mine.ones += counts.ones;
+        mine.shots += counts.shots;
+    }
+    for (const auto &[bitstring, count] : other.histogram)
+        histogram[bitstring] += count;
+    accumulateStats(stats, other.stats);
+}
+
+double
+BatchResult::fractionOne(int qubit) const
+{
+    if (shots == 0) {
+        throwError(ErrorCode::invalidArgument,
+                   "fractionOne needs at least one shot");
+    }
+    auto it = qubitCounts.find(qubit);
+    if (it == qubitCounts.end() || it->second.shots != shots) {
+        throwError(ErrorCode::invalidArgument,
+                   format("a shot never measured qubit %d", qubit));
+    }
+    return static_cast<double>(it->second.ones) /
+           static_cast<double>(shots);
+}
+
+Json
+BatchResult::toJson() const
+{
+    Json qubits = Json::makeArray();
+    for (const auto &[qubit, counts] : qubitCounts) {
+        Json entry = Json::makeObject();
+        entry.set("qubit", qubit);
+        entry.set("shots", counts.shots);
+        entry.set("ones", counts.ones);
+        if (counts.shots > 0) {
+            entry.set("fraction_one",
+                      static_cast<double>(counts.ones) /
+                          static_cast<double>(counts.shots));
+        }
+        qubits.append(std::move(entry));
+    }
+
+    Json bins = Json::makeObject();
+    for (const auto &[bitstring, count] : histogram)
+        bins.set(bitstring, count);
+
+    Json run_stats = Json::makeObject();
+    run_stats.set("cycles", stats.cycles);
+    run_stats.set("classical_instructions", stats.classicalInstructions);
+    run_stats.set("quantum_instructions", stats.quantumInstructions);
+    run_stats.set("bundles", stats.bundles);
+    run_stats.set("micro_ops", stats.microOps);
+    run_stats.set("triggered", stats.triggered);
+    run_stats.set("cancelled", stats.cancelled);
+    run_stats.set("fmr_stall_cycles", stats.fmrStallCycles);
+    run_stats.set("underruns", stats.underruns);
+    run_stats.set("max_queue_depth", stats.maxQueueDepth);
+
+    Json result = Json::makeObject();
+    if (!label.empty())
+        result.set("label", label);
+    result.set("shots", shots);
+    result.set("qubits", std::move(qubits));
+    result.set("histogram", std::move(bins));
+    result.set("stats", std::move(run_stats));
+    result.set("wall_seconds", wallSeconds);
+    result.set("shots_per_second", shotsPerSecond);
+    return result;
+}
+
+} // namespace eqasm::engine

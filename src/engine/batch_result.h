@@ -1,0 +1,74 @@
+/**
+ * @file
+ * BatchResult — deterministic aggregation of a batch of shots.
+ *
+ * Instead of keeping every ShotRecord (which grows without bound for
+ * the shot counts a serving system handles), the engine folds each shot
+ * into commutative aggregates: per-qubit |1> counts over the *last*
+ * measurement of each qubit (the statistic the Section 5 experiments
+ * report), a bitstring histogram over the measured qubits, and summed
+ * RunStats. Because every aggregate is a sum or a max, merging partial
+ * results from workers is order-independent — the batch result is
+ * bitwise-identical regardless of thread count or scheduling.
+ */
+#ifndef EQASM_ENGINE_BATCH_RESULT_H
+#define EQASM_ENGINE_BATCH_RESULT_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/json.h"
+#include "microarch/quma.h"
+
+namespace eqasm::runtime {
+struct ShotRecord;
+}
+
+namespace eqasm::engine {
+
+/** Per-qubit tally over the shots that measured the qubit. */
+struct QubitCounts {
+    uint64_t ones = 0;   ///< shots whose last measurement reported |1>.
+    uint64_t shots = 0;  ///< shots that measured the qubit at all.
+};
+
+/** Aggregated outcome of one Job. */
+struct BatchResult {
+    std::string label;       ///< copied from the job.
+    uint64_t shots = 0;      ///< shots folded into this result.
+
+    /** qubit -> counts over that qubit's last measurement per shot. */
+    std::map<int, QubitCounts> qubitCounts;
+
+    /** Bitstring ("q0=1 q2=0", qubits ascending) -> occurrence count.
+     *  Shots that measure no qubit land under the empty string. */
+    std::map<std::string, uint64_t> histogram;
+
+    /** RunStats summed over shots (maxQueueDepth is the maximum). */
+    microarch::RunStats stats;
+
+    double wallSeconds = 0.0;     ///< batch wall-clock (not merged).
+    double shotsPerSecond = 0.0;  ///< throughput over the wall-clock.
+
+    /** Folds one shot into the aggregates. */
+    void addShot(const runtime::ShotRecord &record);
+
+    /** Merges another partial result (commutative, associative). */
+    void merge(const BatchResult &other);
+
+    /**
+     * Fraction of shots whose last measurement of @p qubit was |1>.
+     * @throws Error{invalidArgument} when the batch is empty or some
+     *         shot never measured the qubit (mirrors
+     *         QuantumProcessor::fractionOne).
+     */
+    double fractionOne(int qubit) const;
+
+    /** Serialises counts, histogram, stats and throughput. */
+    Json toJson() const;
+};
+
+} // namespace eqasm::engine
+
+#endif // EQASM_ENGINE_BATCH_RESULT_H

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * A Job — the unit of work the shot engine executes.
+ *
+ * A job carries an already-assembled program image (the host CPU has
+ * "loaded the quantum code ... into the quantum processor", per the
+ * paper's execution model), a shot count and a seed. The seed fully
+ * determines every stochastic choice of every shot through the
+ * counter-based per-shot streams (Rng::forShot), so a job's aggregated
+ * result is independent of how its shots are scheduled across workers.
+ */
+#ifndef EQASM_ENGINE_JOB_H
+#define EQASM_ENGINE_JOB_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eqasm::engine {
+
+/** One batch-execution request. */
+struct Job {
+    std::vector<uint32_t> image;  ///< assembled eQASM binary image.
+    int shots = 1;                ///< number of shots to execute.
+    uint64_t seed = 1;            ///< base seed of the per-shot streams.
+    std::string label;            ///< free-form tag echoed in results.
+};
+
+} // namespace eqasm::engine
+
+#endif // EQASM_ENGINE_JOB_H

@@ -1,0 +1,210 @@
+#include "engine/shot_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+#include "common/error.h"
+#include "microarch/quma.h"
+#include "runtime/quantum_processor.h"
+#include "runtime/simulated_device.h"
+
+namespace eqasm::engine {
+
+using Clock = std::chrono::steady_clock;
+
+/** A queued job plus its in-flight aggregation state. The shot claim is
+ *  a lock-free counter; everything else is guarded by the engine
+ *  mutex. */
+struct ShotEngine::JobState {
+    uint64_t id = 0;
+    Job job;
+    Clock::time_point start;
+
+    /** Next unclaimed shot index (may overshoot job.shots). */
+    std::atomic<int> nextShot{0};
+
+    // --- guarded by ShotEngine::mutex_ ---
+    BatchResult aggregate;
+    int completedShots = 0;
+    bool failed = false;
+    std::exception_ptr error;
+
+    std::promise<BatchResult> promise;
+};
+
+/** One worker's private controller + device replica, built from the
+ *  shared Platform. Owning a full replica means workers share no
+ *  mutable state at all during shot execution. */
+struct ShotEngine::Replica {
+    microarch::QuMa controller;
+    runtime::SimulatedDevice device;
+    uint64_t loadedJob = 0;  ///< id of the job whose image is loaded.
+
+    explicit Replica(const runtime::Platform &platform)
+        : controller(platform.operations, platform.topology,
+                     platform.uarch),
+          device(platform.topology, platform.device)
+    {
+        controller.attachDevice(&device);
+    }
+};
+
+ShotEngine::ShotEngine(runtime::Platform platform, EngineConfig config)
+    : platform_(std::move(platform)), config_(config)
+{
+    if (config_.chunkShots < 1)
+        config_.chunkShots = 1;
+    int threads = config_.threads;
+    if (threads <= 0)
+        threads = static_cast<int>(std::thread::hardware_concurrency());
+    threads = std::max(threads, 1);
+    workers_.reserve(static_cast<size_t>(threads));
+    for (int i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ShotEngine::~ShotEngine()
+{
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        stopping_ = true;
+    }
+    workAvailable_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+std::future<BatchResult>
+ShotEngine::submit(Job job)
+{
+    if (job.shots <= 0) {
+        throwError(ErrorCode::invalidArgument,
+                   "a job needs at least one shot");
+    }
+    auto state = std::make_shared<JobState>();
+    state->job = std::move(job);
+    state->aggregate.label = state->job.label;
+    state->start = Clock::now();
+    std::future<BatchResult> future = state->promise.get_future();
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        state->id = nextJobId_++;
+        queue_.push_back(std::move(state));
+    }
+    workAvailable_.notify_all();
+    return future;
+}
+
+BatchResult
+ShotEngine::run(Job job)
+{
+    return submit(std::move(job)).get();
+}
+
+void
+ShotEngine::workerLoop()
+{
+    // The replica is constructed lazily inside runChunk's try block: a
+    // Platform the device rejects (e.g. a topology the simulator cannot
+    // hold) then fails the job it was claimed for instead of letting
+    // the exception escape the thread and terminate the process.
+    std::optional<Replica> replica;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        workAvailable_.wait(
+            lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stopping_)
+                return;
+            continue;
+        }
+        std::shared_ptr<JobState> state = queue_.front();
+        int begin = state->nextShot.fetch_add(config_.chunkShots);
+        if (begin >= state->job.shots) {
+            // Fully claimed: retire it so workers move to the next job.
+            // Completion is signalled by the last finished chunk, which
+            // may still be in flight on another worker.
+            if (queue_.front() == state)
+                queue_.pop_front();
+            continue;
+        }
+        int end = std::min(begin + config_.chunkShots, state->job.shots);
+        lock.unlock();
+        runChunk(replica, *state, begin, end);
+        lock.lock();
+    }
+}
+
+void
+ShotEngine::runChunk(std::optional<Replica> &replica, JobState &state,
+                     int begin, int end)
+{
+    BatchResult partial;
+    std::exception_ptr error;
+
+    bool skip;
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        skip = state.failed;
+    }
+    if (!skip) {
+        try {
+            if (!replica)
+                replica.emplace(platform_);
+            if (replica->loadedJob != state.id) {
+                replica->controller.loadImage(state.job.image);
+                replica->device.reseed(state.job.seed);
+                replica->loadedJob = state.id;
+            }
+            for (int shot = begin; shot < end; ++shot) {
+                // Position the replica: shot k draws from the
+                // counter-based stream (seed, k) no matter which worker
+                // runs it, so aggregation is schedule-independent.
+                replica->device.seekShot(static_cast<uint64_t>(shot));
+                microarch::RunStats stats =
+                    replica->controller.runShot();
+                partial.addShot(
+                    runtime::recordShot(replica->controller, stats));
+            }
+        } catch (...) {
+            error = std::current_exception();
+        }
+    }
+    finishChunk(state, std::move(partial), end - begin, error);
+}
+
+void
+ShotEngine::finishChunk(JobState &state, BatchResult &&partial,
+                        int count, std::exception_ptr error)
+{
+    bool done;
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        if (error && !state.failed) {
+            state.failed = true;
+            state.error = error;
+        }
+        state.aggregate.merge(partial);
+        state.completedShots += count;
+        done = state.completedShots == state.job.shots;
+    }
+    if (!done)
+        return;
+    // Every chunk is accounted for: no other thread touches this state
+    // any more, so the promise can be settled without the lock.
+    if (state.error) {
+        state.promise.set_exception(state.error);
+        return;
+    }
+    double wall = std::chrono::duration<double>(Clock::now() -
+                                                state.start)
+                      .count();
+    state.aggregate.wallSeconds = wall;
+    state.aggregate.shotsPerSecond =
+        wall > 0.0 ? static_cast<double>(state.aggregate.shots) / wall
+                   : 0.0;
+    state.promise.set_value(std::move(state.aggregate));
+}
+
+} // namespace eqasm::engine

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * ShotEngine — parallel shot execution across controller replicas.
+ *
+ * Every experiment the paper validates (Rabi, T1, AllXY, RB, Grover,
+ * surface-code QEC) repeats one program for thousands of shots, and the
+ * shots are independent: the architecture resets all state between
+ * shots. The engine exploits that by keeping a pool of workers, each
+ * owning a full QuMA_v2 controller + SimulatedDevice replica built from
+ * the shared Platform. Jobs enter a FIFO queue; workers claim chunks of
+ * a job's shot range, position their device replica at each shot index
+ * (counter-based Rng::forShot streams), execute, and fold the shots
+ * into commutative BatchResult partials. Aggregation is therefore
+ * deterministic: a job's result is bitwise-identical for any thread
+ * count and any scheduling order.
+ *
+ * An error in any shot (architectural error, timing violation, device
+ * misconfiguration) fails the whole job: the first exception is
+ * captured and rethrown to the waiter, remaining shots of that job are
+ * skipped, and the pool moves on to the next job — a failed job never
+ * wedges the engine.
+ */
+#ifndef EQASM_ENGINE_SHOT_ENGINE_H
+#define EQASM_ENGINE_SHOT_ENGINE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "engine/batch_result.h"
+#include "engine/job.h"
+#include "runtime/platform.h"
+
+namespace eqasm::engine {
+
+/** Pool configuration. */
+struct EngineConfig {
+    /** Worker threads; 0 selects std::thread::hardware_concurrency(). */
+    int threads = 0;
+
+    /** Shots a worker claims per queue visit. Small enough to balance
+     *  load across workers, large enough to amortise the claim. */
+    int chunkShots = 32;
+};
+
+/** Worker-pool batch executor over one Platform. */
+class ShotEngine
+{
+  public:
+    explicit ShotEngine(runtime::Platform platform,
+                        EngineConfig config = {});
+    ~ShotEngine();
+
+    ShotEngine(const ShotEngine &) = delete;
+    ShotEngine &operator=(const ShotEngine &) = delete;
+
+    /**
+     * Enqueues a job. The future yields the aggregated BatchResult, or
+     * rethrows the first error any of the job's shots raised.
+     * @throws Error{invalidArgument} when the job requests no shots.
+     */
+    std::future<BatchResult> submit(Job job);
+
+    /** Convenience: submit and block for the result. */
+    BatchResult run(Job job);
+
+    int threads() const { return static_cast<int>(workers_.size()); }
+    const runtime::Platform &platform() const { return platform_; }
+
+  private:
+    /** A queued job plus its in-flight aggregation state. */
+    struct JobState;
+
+    /** One worker's private controller + device replica. */
+    struct Replica;
+
+    void workerLoop();
+    void runChunk(std::optional<Replica> &replica, JobState &state,
+                  int begin, int end);
+    void finishChunk(JobState &state, BatchResult &&partial, int count,
+                     std::exception_ptr error);
+
+    runtime::Platform platform_;
+    EngineConfig config_;
+
+    std::mutex mutex_;
+    std::condition_variable workAvailable_;
+    std::deque<std::shared_ptr<JobState>> queue_;
+    uint64_t nextJobId_ = 1;
+    bool stopping_ = false;
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace eqasm::engine
+
+#endif // EQASM_ENGINE_SHOT_ENGINE_H

@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "common/strings.h"
+#include "engine/shot_engine.h"
 
 namespace eqasm::runtime {
 
@@ -17,7 +18,7 @@ ShotRecord::lastMeasurement(int qubit) const
 }
 
 QuantumProcessor::QuantumProcessor(Platform platform, uint64_t seed)
-    : platform_(platform),
+    : platform_(platform), seed_(seed),
       assembler_(platform.operations, platform.topology, platform.params),
       controller_(platform.operations, platform.topology, platform.uarch),
       device_(std::make_unique<SimulatedDevice>(platform.topology,
@@ -25,6 +26,8 @@ QuantumProcessor::QuantumProcessor(Platform platform, uint64_t seed)
 {
     controller_.attachDevice(device_.get());
 }
+
+QuantumProcessor::~QuantumProcessor() = default;
 
 void
 QuantumProcessor::loadSource(const std::string &source)
@@ -42,17 +45,23 @@ QuantumProcessor::loadImage(std::vector<uint32_t> image)
 }
 
 ShotRecord
-QuantumProcessor::runShot()
+recordShot(const microarch::QuMa &controller, microarch::RunStats stats)
 {
     ShotRecord record;
-    record.stats = controller_.runShot();
-    for (const microarch::TraceEvent &event : controller_.trace()) {
+    record.stats = stats;
+    for (const microarch::TraceEvent &event : controller.trace()) {
         if (event.kind == microarch::TraceEvent::Kind::resultArrived) {
             record.measurements.push_back(
                 {event.cycle, event.qubit, event.bit});
         }
     }
     return record;
+}
+
+ShotRecord
+QuantumProcessor::runShot()
+{
+    return recordShot(controller_, controller_.runShot());
 }
 
 std::vector<ShotRecord>
@@ -63,6 +72,22 @@ QuantumProcessor::run(int shots)
     for (int shot = 0; shot < shots; ++shot)
         records.push_back(runShot());
     return records;
+}
+
+engine::BatchResult
+QuantumProcessor::runBatch(int shots, int threads)
+{
+    if (!engine_ || (threads > 0 && engine_->threads() != threads)) {
+        engine::EngineConfig config;
+        config.threads = threads;
+        engine_ =
+            std::make_unique<engine::ShotEngine>(platform_, config);
+    }
+    engine::Job job;
+    job.image = program_.image;
+    job.shots = shots;
+    job.seed = seed_;
+    return engine_->run(std::move(job));
 }
 
 double

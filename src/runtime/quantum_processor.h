@@ -17,9 +17,14 @@
 #include <vector>
 
 #include "assembler/assembler.h"
+#include "engine/batch_result.h"
 #include "microarch/quma.h"
 #include "runtime/platform.h"
 #include "runtime/simulated_device.h"
+
+namespace eqasm::engine {
+class ShotEngine;
+}
 
 namespace eqasm::runtime {
 
@@ -44,6 +49,7 @@ class QuantumProcessor
 {
   public:
     explicit QuantumProcessor(Platform platform, uint64_t seed = 1);
+    ~QuantumProcessor();
 
     /**
      * Assembles and loads eQASM source. The program is encoded to the
@@ -64,6 +70,21 @@ class QuantumProcessor
     std::vector<ShotRecord> run(int shots);
 
     /**
+     * Runs @p shots shots on a worker pool of controller + device
+     * replicas (see engine::ShotEngine) and aggregates them into a
+     * BatchResult. Shot k of the batch draws from the same
+     * counter-based stream as shot k of a serial run() on a freshly
+     * constructed processor, and aggregation is commutative, so the
+     * result is bitwise-identical for every thread count.
+     *
+     * The pool is created on first use and kept for the processor's
+     * lifetime; it is rebuilt only when @p threads names a different
+     * non-zero size than the current pool.
+     * @param threads worker threads; 0 selects hardware concurrency.
+     */
+    engine::BatchResult runBatch(int shots, int threads = 0);
+
+    /**
      * Convenience: fraction of shots whose *last* measurement of
      * @p qubit reported |1>. Shots that never measure the qubit are an
      * error.
@@ -77,14 +98,25 @@ class QuantumProcessor
     const SimulatedDevice &device() const { return *device_; }
     const Platform &platform() const { return platform_; }
     const assembler::Program &program() const { return program_; }
+    uint64_t seed() const { return seed_; }
 
   private:
     Platform platform_;
+    uint64_t seed_;
     assembler::Assembler assembler_;
     microarch::QuMa controller_;
     std::unique_ptr<SimulatedDevice> device_;
+    std::unique_ptr<engine::ShotEngine> engine_;  ///< lazy, see runBatch.
     assembler::Program program_;
 };
+
+/**
+ * Builds the ShotRecord of the shot that @p controller just ran: the
+ * result-arrival events of its trace plus @p stats. Shared by
+ * QuantumProcessor::runShot and the engine's worker replicas.
+ */
+ShotRecord recordShot(const microarch::QuMa &controller,
+                      microarch::RunStats stats);
 
 } // namespace eqasm::runtime
 

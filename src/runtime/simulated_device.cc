@@ -10,7 +10,7 @@ using microarch::TriggeredOp;
 
 SimulatedDevice::SimulatedDevice(chip::Topology topology,
                                  DeviceConfig config, uint64_t seed)
-    : topology_(std::move(topology)), config_(config), masterRng_(seed),
+    : topology_(std::move(topology)), config_(config), seed_(seed),
       shotRng_(seed), state_(topology_.numQubits())
 {
     lastUpdateNs_.assign(static_cast<size_t>(topology_.numQubits()), 0.0);
@@ -25,7 +25,17 @@ SimulatedDevice::startShot(uint64_t cycle)
     std::fill(lastUpdateNs_.begin(), lastUpdateNs_.end(), now_ns);
     std::fill(busyUntilCycle_.begin(), busyUntilCycle_.end(), cycle);
     appliedGates_.clear();
-    shotRng_ = masterRng_.fork();
+    // Each shot owns the counter-based stream for its index, so a shot
+    // is reproducible without replaying the ones before it.
+    shotRng_ = Rng::forShot(seed_, nextShotIndex_);
+    ++nextShotIndex_;
+}
+
+void
+SimulatedDevice::reseed(uint64_t seed)
+{
+    seed_ = seed;
+    nextShotIndex_ = 0;
 }
 
 void

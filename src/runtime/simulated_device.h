@@ -51,6 +51,20 @@ class SimulatedDevice : public microarch::Device
     void apply(const microarch::TriggeredOp &op) override;
     void endShot(uint64_t cycle) override;
 
+    /**
+     * Positions the device at @p shotIndex: the next startShot() draws
+     * from the counter-based stream Rng::forShot(seed(), shotIndex).
+     * Replicas in a worker pool use this to execute arbitrary slices of
+     * a batch with results bitwise-identical to a serial run.
+     */
+    void seekShot(uint64_t shotIndex) { nextShotIndex_ = shotIndex; }
+
+    /** Replaces the seed and rewinds to shot 0 (loading a new job). */
+    void reseed(uint64_t seed);
+
+    uint64_t seed() const { return seed_; }
+    uint64_t nextShotIndex() const { return nextShotIndex_; }
+
     /** The current quantum state (after idle-noise catch-up to the last
      *  operation; tests may inspect it mid-shot). */
     const qsim::DensityMatrix &state() const { return state_; }
@@ -74,7 +88,8 @@ class SimulatedDevice : public microarch::Device
 
     chip::Topology topology_;
     DeviceConfig config_;
-    Rng masterRng_;
+    uint64_t seed_;
+    uint64_t nextShotIndex_ = 0;
     Rng shotRng_;
     qsim::DensityMatrix state_;
     std::vector<double> lastUpdateNs_;

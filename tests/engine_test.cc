@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Tests for the parallel shot-execution engine: counter-based per-shot
+ * RNG streams, thread-count-independent deterministic aggregation,
+ * equivalence with the serial QuantumProcessor::run path, job queueing
+ * and error propagation through the worker pool.
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "engine/shot_engine.h"
+#include "runtime/platform.h"
+#include "runtime/quantum_processor.h"
+#include "workloads/experiments.h"
+
+using namespace eqasm;
+using namespace eqasm::engine;
+using namespace eqasm::runtime;
+
+namespace {
+
+/** Assembles @p source for @p platform into a Job. */
+Job
+makeJob(const Platform &platform, const std::string &source, int shots,
+        uint64_t seed)
+{
+    assembler::Assembler asm_(platform.operations, platform.topology,
+                              platform.params);
+    Job job;
+    job.image = asm_.assemble(source).image;
+    job.shots = shots;
+    job.seed = seed;
+    return job;
+}
+
+/** The noisy active-reset workload: plenty of randomness per shot. */
+Job
+activeResetJob(const Platform &platform, int shots, uint64_t seed)
+{
+    return makeJob(platform, workloads::activeResetProgram(2), shots,
+                   seed);
+}
+
+/** Serialised aggregates with the (legitimately nondeterministic)
+ *  wall-clock fields zeroed. */
+std::string
+aggregateKey(BatchResult result)
+{
+    result.wallSeconds = 0.0;
+    result.shotsPerSecond = 0.0;
+    return result.toJson().dump();
+}
+
+} // namespace
+
+// ------------------------------------------------------------ Rng::forShot
+
+TEST(RngForShot, DeterministicPerIndex)
+{
+    Rng a = Rng::forShot(42, 7);
+    Rng b = Rng::forShot(42, 7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngForShot, DistinctAcrossIndicesAndSeeds)
+{
+    EXPECT_NE(Rng::forShot(1, 0).next(), Rng::forShot(1, 1).next());
+    EXPECT_NE(Rng::forShot(1, 0).next(), Rng::forShot(2, 0).next());
+    // Consecutive indices stay distinct over a longer window.
+    Rng previous = Rng::forShot(9, 0);
+    for (uint64_t index = 1; index < 64; ++index) {
+        Rng current = Rng::forShot(9, index);
+        EXPECT_NE(previous.next(), current.next());
+        previous = Rng::forShot(9, index);
+    }
+}
+
+// -------------------------------------------------- SimulatedDevice seeking
+
+TEST(DeviceSeek, ShotIsReproducibleWithoutReplay)
+{
+    // Run five noisy shots serially, then seek back to shot 2: the
+    // replayed shot must reproduce the original bits without the device
+    // having to replay shots 0 and 1 first.
+    Platform platform = Platform::twoQubit();
+    QuantumProcessor processor(platform, 11);
+    processor.loadSource(workloads::activeResetProgram(2));
+    std::vector<std::vector<int>> bits;
+    for (int shot = 0; shot < 5; ++shot) {
+        ShotRecord record = processor.runShot();
+        std::vector<int> shot_bits;
+        for (const auto &measurement : record.measurements)
+            shot_bits.push_back(measurement.bit);
+        bits.push_back(shot_bits);
+    }
+    processor.device().seekShot(2);
+    ShotRecord replayed = processor.runShot();
+    std::vector<int> replayed_bits;
+    for (const auto &measurement : replayed.measurements)
+        replayed_bits.push_back(measurement.bit);
+    EXPECT_EQ(replayed_bits, bits[2]);
+}
+
+// ------------------------------------------------------------- BatchResult
+
+TEST(BatchResult, MergeIsCommutative)
+{
+    Platform platform = Platform::twoQubit();
+    QuantumProcessor processor(platform, 5);
+    processor.loadSource(workloads::activeResetProgram(2));
+
+    BatchResult left, right, forward, backward;
+    std::vector<ShotRecord> records = processor.run(6);
+    for (int shot = 0; shot < 3; ++shot)
+        left.addShot(records[static_cast<size_t>(shot)]);
+    for (int shot = 3; shot < 6; ++shot)
+        right.addShot(records[static_cast<size_t>(shot)]);
+
+    forward.merge(left);
+    forward.merge(right);
+    backward.merge(right);
+    backward.merge(left);
+    EXPECT_EQ(forward.toJson().dump(), backward.toJson().dump());
+    EXPECT_EQ(forward.shots, 6u);
+}
+
+TEST(BatchResult, FractionOneMatchesSemantics)
+{
+    BatchResult result;
+    EXPECT_THROW(result.fractionOne(0), Error);
+
+    Platform platform = Platform::ideal(Platform::twoQubit());
+    QuantumProcessor processor(platform, 1);
+    processor.loadSource("SMIS S0, {0}\nQWAIT 100\nX S0\nMEASZ S0\n"
+                         "QWAIT 50\nSTOP\n");
+    for (const ShotRecord &record : processor.run(4))
+        result.addShot(record);
+    EXPECT_DOUBLE_EQ(result.fractionOne(0), 1.0);
+    // Qubit 2 was never measured.
+    EXPECT_THROW(result.fractionOne(2), Error);
+    EXPECT_EQ(result.histogram.at("q0=1"), 4u);
+}
+
+// -------------------------------------------------------------- ShotEngine
+
+TEST(ShotEngine, SameSeedIdenticalAcrossThreadCounts)
+{
+    Platform platform = Platform::twoQubit();
+    Job job = activeResetJob(platform, 240, 77);
+
+    EngineConfig serial;
+    serial.threads = 1;
+    ShotEngine one(platform, serial);
+    BatchResult reference = one.run(job);
+
+    for (int threads : {2, 4}) {
+        // A tiny chunk size maximises scheduling interleave.
+        EngineConfig config;
+        config.threads = threads;
+        config.chunkShots = 3;
+        ShotEngine pool(platform, config);
+        BatchResult result = pool.run(job);
+        EXPECT_EQ(aggregateKey(result), aggregateKey(reference))
+            << "thread count " << threads
+            << " changed the aggregated result";
+    }
+}
+
+TEST(ShotEngine, BatchEqualsSerialRunAggregation)
+{
+    Platform platform = Platform::twoQubit();
+    const int shots = 120;
+    const uint64_t seed = 31;
+
+    QuantumProcessor serial(platform, seed);
+    serial.loadSource(workloads::activeResetProgram(2));
+    std::vector<ShotRecord> records = serial.run(shots);
+    BatchResult expected;
+    for (const ShotRecord &record : records)
+        expected.addShot(record);
+
+    QuantumProcessor batch(platform, seed);
+    batch.loadSource(workloads::activeResetProgram(2));
+    BatchResult result = batch.runBatch(shots, 4);
+
+    EXPECT_EQ(result.shots, expected.shots);
+    EXPECT_EQ(result.qubitCounts.at(2).ones,
+              expected.qubitCounts.at(2).ones);
+    EXPECT_EQ(result.histogram, expected.histogram);
+    EXPECT_EQ(result.stats.cycles, expected.stats.cycles);
+    EXPECT_EQ(result.stats.triggered, expected.stats.triggered);
+    EXPECT_DOUBLE_EQ(result.fractionOne(2),
+                     serial.fractionOne(records, 2));
+}
+
+TEST(ShotEngine, QueuedJobsAllComplete)
+{
+    Platform platform = Platform::ideal(Platform::twoQubit());
+    EngineConfig config;
+    config.threads = 2;
+    config.chunkShots = 8;
+    ShotEngine pool(platform, config);
+
+    Job excite = makeJob(platform,
+                         "SMIS S0, {0}\nQWAIT 100\nX S0\nMEASZ S0\n"
+                         "QWAIT 50\nSTOP\n",
+                         64, 1);
+    Job idle = makeJob(platform,
+                       "SMIS S0, {0}\nQWAIT 100\nMEASZ S0\n"
+                       "QWAIT 50\nSTOP\n",
+                       64, 2);
+    auto excited = pool.submit(excite);
+    auto ground = pool.submit(idle);
+    BatchResult excited_result = excited.get();
+    BatchResult ground_result = ground.get();
+    EXPECT_DOUBLE_EQ(excited_result.fractionOne(0), 1.0);
+    EXPECT_DOUBLE_EQ(ground_result.fractionOne(0), 0.0);
+    EXPECT_EQ(excited_result.shots, 64u);
+    EXPECT_EQ(ground_result.shots, 64u);
+}
+
+TEST(ShotEngine, ErrorInShotSurfacesWithoutDeadlock)
+{
+    Platform platform = Platform::ideal(Platform::twoQubit());
+    EngineConfig config;
+    config.threads = 4;
+    config.chunkShots = 2;
+    ShotEngine pool(platform, config);
+
+    // X lands on the qubit while the measurement still owns it: the
+    // device raises a busy-qubit violation in every shot.
+    Job bad = makeJob(platform,
+                      "SMIS S0, {0}\nQWAIT 100\nMEASZ S0\nX S0\n"
+                      "QWAIT 50\nSTOP\n",
+                      100, 1);
+    EXPECT_THROW(pool.run(bad), Error);
+
+    // The pool survives the failed job and serves the next one.
+    Job good = makeJob(platform,
+                       "SMIS S0, {0}\nQWAIT 100\nX S0\nMEASZ S0\n"
+                       "QWAIT 50\nSTOP\n",
+                       32, 1);
+    BatchResult result = pool.run(good);
+    EXPECT_DOUBLE_EQ(result.fractionOne(0), 1.0);
+}
+
+TEST(ShotEngine, RejectsEmptyJob)
+{
+    Platform platform = Platform::ideal(Platform::twoQubit());
+    EngineConfig config;
+    config.threads = 1;
+    ShotEngine pool(platform, config);
+    Job job;
+    job.shots = 0;
+    EXPECT_THROW(pool.submit(std::move(job)), Error);
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build everything, run the test suites.
+# Usage: tools/ci.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# Smoke-test the engine determinism + throughput harness.
+"$BUILD_DIR"/bench_engine_throughput

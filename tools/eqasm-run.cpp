@@ -3,23 +3,30 @@
  * eqasm-run — assemble and execute an eQASM program on the simulated
  * quantum processor, printing per-qubit measurement statistics.
  *
+ * Shots run on the parallel shot engine: a worker pool of controller +
+ * device replicas executes the batch, and the counter-based per-shot
+ * RNG streams make the aggregated counts bitwise-identical for every
+ * --threads value.
+ *
  *   eqasm-run [options] <input.eqasm>
  *     --chip two_qubit|surface7    target platform (default two_qubit)
  *     --platform <config.json>     full platform configuration
  *     --shots N                    number of shots (default 1024)
+ *     --threads K                  worker threads (default 0 = auto)
  *     --seed S                     RNG seed (default 1)
  *     --ideal                      disable all noise
- *     --trace                      dump the execution trace of shot 0
+ *     --json                       emit the BatchResult as JSON
+ *     --trace                      dump shot 0's trace to stderr
  */
 #include <cstdio>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <sstream>
 #include <string>
 
 #include "common/strings.h"
 #include "common/table.h"
+#include "engine/shot_engine.h"
 #include "runtime/platform.h"
 #include "runtime/quantum_processor.h"
 
@@ -35,6 +42,33 @@ readAll(std::istream &in)
     return out.str();
 }
 
+/** Prints the trace of shot 0 to stderr — stdout stays reserved for
+ *  the statistics (and must remain parseable under --json). The shot
+ *  runs on a dedicated replica; the batch reproduces the same shot
+ *  from the same counter-based stream. */
+void
+printShotZeroTrace(const runtime::Platform &platform,
+                   const std::string &source, uint64_t seed)
+{
+    runtime::QuantumProcessor processor(platform, seed);
+    processor.loadSource(source);
+    processor.runShot();
+    for (const auto &event : processor.controller().trace()) {
+        const char *kind =
+            event.kind == microarch::TraceEvent::Kind::opOutput ? "output"
+            : event.kind == microarch::TraceEvent::Kind::opCancelled
+                ? "cancel"
+                : "result";
+        std::fprintf(stderr, "cycle %8llu  %-6s q%d %s%s\n",
+                     static_cast<unsigned long long>(event.cycle), kind,
+                     event.qubit, event.operation.c_str(),
+                     event.kind ==
+                             microarch::TraceEvent::Kind::resultArrived
+                         ? format(" = %d", event.bit).c_str()
+                         : "");
+    }
+}
+
 } // namespace
 
 int
@@ -44,8 +78,10 @@ main(int argc, char **argv)
     std::string platform_file;
     std::string input_file;
     int shots = 1024;
+    int threads = 0;
     uint64_t seed = 1;
     bool ideal = false;
+    bool json = false;
     bool trace = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -56,17 +92,21 @@ main(int argc, char **argv)
             platform_file = argv[++i];
         } else if (arg == "--shots" && i + 1 < argc) {
             shots = static_cast<int>(parseInt(argv[++i]));
+        } else if (arg == "--threads" && i + 1 < argc) {
+            threads = static_cast<int>(parseInt(argv[++i]));
         } else if (arg == "--seed" && i + 1 < argc) {
             seed = static_cast<uint64_t>(parseInt(argv[++i]));
         } else if (arg == "--ideal") {
             ideal = true;
+        } else if (arg == "--json") {
+            json = true;
         } else if (arg == "--trace") {
             trace = true;
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr,
                          "usage: eqasm-run [--chip c] [--platform f] "
-                         "[--shots n] [--seed s] [--ideal] [--trace] "
-                         "[input]\n");
+                         "[--shots n] [--threads k] [--seed s] "
+                         "[--ideal] [--json] [--trace] [input]\n");
             return 2;
         } else {
             input_file = arg;
@@ -105,56 +145,36 @@ main(int argc, char **argv)
             source = readAll(in);
         }
 
+        if (trace)
+            printShotZeroTrace(platform, source, seed);
+
         runtime::QuantumProcessor processor(platform, seed);
         processor.loadSource(source);
+        engine::BatchResult result = processor.runBatch(shots, threads);
 
-        std::map<int, int> ones;
-        std::map<int, int> totals;
-        uint64_t cycles = 0;
-        for (int shot = 0; shot < shots; ++shot) {
-            runtime::ShotRecord record = processor.runShot();
-            cycles = record.stats.cycles;
-            if (trace && shot == 0) {
-                for (const auto &event :
-                     processor.controller().trace()) {
-                    const char *kind =
-                        event.kind ==
-                                microarch::TraceEvent::Kind::opOutput
-                            ? "output"
-                        : event.kind == microarch::TraceEvent::Kind::
-                                            opCancelled
-                            ? "cancel"
-                            : "result";
-                    std::printf("cycle %8llu  %-6s q%d %s%s\n",
-                                static_cast<unsigned long long>(
-                                    event.cycle),
-                                kind, event.qubit,
-                                event.operation.c_str(),
-                                event.kind == microarch::TraceEvent::
-                                                  Kind::resultArrived
-                                    ? format(" = %d", event.bit).c_str()
-                                    : "");
-                }
-            }
-            std::map<int, int> last;
-            for (const auto &measurement : record.measurements)
-                last[measurement.qubit] = measurement.bit;
-            for (const auto &[qubit, bit] : last) {
-                ones[qubit] += bit;
-                ++totals[qubit];
-            }
+        if (json) {
+            std::printf("%s\n", result.toJson().dump(2).c_str());
+            return 0;
         }
 
-        std::printf("ran %d shots (%llu cycles per shot)\n", shots,
-                    static_cast<unsigned long long>(cycles));
+        std::printf("ran %llu shots (%llu cycles per shot, %.0f "
+                    "shots/s)\n",
+                    static_cast<unsigned long long>(result.shots),
+                    static_cast<unsigned long long>(
+                        result.shots > 0 ? result.stats.cycles /
+                                               result.shots
+                                         : 0),
+                    result.shotsPerSecond);
         Table table({"qubit", "shots", "F|1> (last measurement)"});
-        for (const auto &[qubit, count] : totals) {
-            if (count == 0)
+        for (const auto &[qubit, counts] : result.qubitCounts) {
+            if (counts.shots == 0)
                 continue;
-            table.addRow({format("%d", qubit), format("%d", count),
-                          format("%.4f", static_cast<double>(
-                                             ones[qubit]) /
-                                             count)});
+            table.addRow(
+                {format("%d", qubit),
+                 format("%llu",
+                        static_cast<unsigned long long>(counts.shots)),
+                 format("%.4f", static_cast<double>(counts.ones) /
+                                    static_cast<double>(counts.shots))});
         }
         std::printf("%s", table.render().c_str());
         return 0;
