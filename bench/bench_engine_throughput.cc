@@ -24,13 +24,12 @@ using namespace eqasm;
 
 namespace {
 
-/** Aggregate fingerprint with the wall-clock fields zeroed. */
+/** Aggregate fingerprint with the wall-clock and pool-size provenance
+ *  fields zeroed. */
 std::string
-countsKey(engine::BatchResult result)
+countsKey(const engine::BatchResult &result)
 {
-    result.wallSeconds = 0.0;
-    result.shotsPerSecond = 0.0;
-    return result.toJson().dump();
+    return result.countsFingerprint();
 }
 
 } // namespace

@@ -460,6 +460,37 @@ splitBundle(Instruction instr, int vliw_width)
     return out;
 }
 
+/**
+ * Splits an SMIS/SMIT whose mask exceeds the 16 bits a single word can
+ * carry into consecutive segment instructions (see
+ * isa::Instruction::maskSegment): segment 0 always first (it *sets* the
+ * register, so the low chunk is emitted even when empty), followed by
+ * every higher segment with a non-zero chunk. Narrow masks pass through
+ * untouched, keeping seven-qubit images bit-identical.
+ */
+std::vector<Instruction>
+splitWideMask(Instruction instr)
+{
+    std::vector<Instruction> out;
+    if ((instr.kind != InstrKind::smis &&
+         instr.kind != InstrKind::smit) ||
+        instr.mask < (uint64_t{1} << 16)) {
+        out.push_back(std::move(instr));
+        return out;
+    }
+    uint64_t mask = instr.mask;
+    for (int segment = 0; segment < 4; ++segment) {
+        uint64_t chunk = (mask >> (16 * segment)) & 0xffff;
+        if (segment > 0 && chunk == 0)
+            continue;
+        Instruction part = instr;
+        part.mask = chunk;
+        part.maskSegment = segment;
+        out.push_back(std::move(part));
+    }
+    return out;
+}
+
 } // namespace
 
 AssemblyError::AssemblyError(std::vector<Diagnostic> diagnostics)
@@ -503,9 +534,10 @@ Assembler::assemble(const std::string &source) const
                 program.labels[label] = address;
             }
             pending_labels.clear();
-            for (Instruction &part :
+            for (Instruction &split :
                  splitBundle(std::move(instr), params_.vliwWidth)) {
-                program.instructions.push_back(std::move(part));
+                for (Instruction &part : splitWideMask(std::move(split)))
+                    program.instructions.push_back(std::move(part));
             }
         } catch (const Error &error) {
             diagnostics.push_back({line_number, error.message()});

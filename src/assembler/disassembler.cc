@@ -1,6 +1,7 @@
 #include "assembler/disassembler.h"
 
 #include "common/bits.h"
+#include "common/error.h"
 #include "common/strings.h"
 #include "isa/encoding.h"
 #include "isa/instruction.h"
@@ -14,7 +15,8 @@ renderSmit(const isa::Instruction &instr, const chip::Topology &topology)
 {
     std::string out = format("SMIT T%d, {", instr.targetReg);
     bool first = true;
-    for (int edge : topology.maskToEdges(instr.mask)) {
+    for (int edge : topology.maskToEdges(isa::expandMaskSegment(
+             instr.mask, instr.maskSegment))) {
         if (!first)
             out += ", ";
         const chip::QubitPair &pair = topology.edge(edge);
@@ -53,14 +55,12 @@ renderBundle(const isa::Instruction &instr)
     return out;
 }
 
-} // namespace
-
+/** Canonical-syntax rendering shared by disassembleWord and
+ *  disassemble(). */
 std::string
-disassembleWord(uint32_t word, const isa::OperationSet &operations,
-                const chip::Topology &topology,
-                const isa::InstantiationParams &params)
+renderInstruction(const isa::Instruction &instr,
+                  const chip::Topology &topology)
 {
-    isa::Instruction instr = isa::decode(word, params, operations);
     switch (instr.kind) {
       case isa::InstrKind::smit:
         return renderSmit(instr, topology);
@@ -71,15 +71,62 @@ disassembleWord(uint32_t word, const isa::OperationSet &operations,
     }
 }
 
+} // namespace
+
+std::string
+disassembleWord(uint32_t word, const isa::OperationSet &operations,
+                const chip::Topology &topology,
+                const isa::InstantiationParams &params)
+{
+    return renderInstruction(isa::decode(word, params, operations),
+                             topology);
+}
+
 std::string
 disassemble(const std::vector<uint32_t> &image,
             const isa::OperationSet &operations,
             const chip::Topology &topology,
             const isa::InstantiationParams &params)
 {
+    // Segmented SMIS/SMIT runs (wide-chip masks, see
+    // isa::Instruction::maskSegment) are folded back into the single
+    // assembly statement the assembler splits them from, so the
+    // disassembly reassembles to a bit-identical image.
+    std::vector<isa::Instruction> program;
+    program.reserve(image.size());
+    for (uint32_t word : image)
+        program.push_back(isa::decode(word, params, operations));
+
     std::string out;
-    for (uint32_t word : image) {
-        out += disassembleWord(word, operations, topology, params);
+    for (size_t index = 0; index < program.size(); ++index) {
+        isa::Instruction instr = program[index];
+        bool maskable = instr.kind == isa::InstrKind::smis ||
+                        instr.kind == isa::InstrKind::smit;
+        if (maskable && instr.maskSegment != 0) {
+            throwError(ErrorCode::parseError,
+                       format("word %zu is mask segment %d of %c%d "
+                              "without a preceding segment 0",
+                              index, instr.maskSegment,
+                              instr.kind == isa::InstrKind::smis ? 'S'
+                                                                 : 'T',
+                              instr.targetReg));
+        }
+        if (maskable) {
+            int previous_segment = 0;
+            while (index + 1 < program.size()) {
+                const isa::Instruction &next = program[index + 1];
+                if (next.kind != instr.kind ||
+                    next.targetReg != instr.targetReg ||
+                    next.maskSegment <= previous_segment) {
+                    break;
+                }
+                instr.mask |= isa::expandMaskSegment(next.mask,
+                                                     next.maskSegment);
+                previous_segment = next.maskSegment;
+                ++index;
+            }
+        }
+        out += renderInstruction(instr, topology);
         out += '\n';
     }
     return out;

@@ -9,6 +9,94 @@
 
 namespace eqasm::chip {
 
+std::vector<int>
+SurfacePlaquette::dataQubits() const
+{
+    std::vector<int> out;
+    for (int corner : corners) {
+        if (corner >= 0)
+            out.push_back(corner);
+    }
+    return out;
+}
+
+std::vector<SurfacePlaquette>
+rotatedSurfacePlaquettes(int distance)
+{
+    if (distance < 2) {
+        throwError(ErrorCode::invalidArgument,
+                   format("rotated surface code needs distance >= 2, "
+                          "got %d",
+                          distance));
+    }
+    const int d = distance;
+    // Plaquette centres sit between data-grid cells: centre (i, j)
+    // covers data (i, j), (i+1, j), (i, j+1), (i+1, j+1) clipped to the
+    // grid. Checkerboard colouring; boundary half-plaquettes survive on
+    // the top/bottom edges for X checks and left/right edges for Z
+    // checks, which yields exactly d^2 - 1 stabilizers.
+    std::vector<SurfacePlaquette> plaquettes;
+    int next_ancilla = d * d;
+    for (int j = -1; j < d; ++j) {
+        for (int i = -1; i < d; ++i) {
+            bool is_x = (((i + j) % 2) + 2) % 2 != 0;
+            bool interior = i >= 0 && i < d - 1 && j >= 0 && j < d - 1;
+            bool top_bottom = (j == -1 || j == d - 1) && i >= 0 &&
+                              i < d - 1;
+            bool left_right = (i == -1 || i == d - 1) && j >= 0 &&
+                              j < d - 1;
+            bool keep = interior || (top_bottom && is_x) ||
+                        (left_right && !is_x);
+            if (!keep)
+                continue;
+            SurfacePlaquette plaquette;
+            plaquette.ancilla = next_ancilla++;
+            plaquette.isX = is_x;
+            const int corner_cols[4] = {i, i + 1, i, i + 1};
+            const int corner_rows[4] = {j, j, j + 1, j + 1};
+            for (int corner = 0; corner < 4; ++corner) {
+                int col = corner_cols[corner];
+                int row = corner_rows[corner];
+                if (col >= 0 && col < d && row >= 0 && row < d)
+                    plaquette.corners[static_cast<size_t>(corner)] =
+                        row * d + col;
+            }
+            plaquettes.push_back(std::move(plaquette));
+        }
+    }
+    EQASM_ASSERT(static_cast<int>(plaquettes.size()) == d * d - 1,
+                 "rotated surface code must have d^2 - 1 stabilizers");
+    return plaquettes;
+}
+
+Topology
+Topology::rotatedSurface(int distance)
+{
+    std::vector<SurfacePlaquette> plaquettes =
+        rotatedSurfacePlaquettes(distance);
+    const int d = distance;
+    int num_qubits = 2 * d * d - 1;
+    std::vector<QubitPair> edges;
+    for (const SurfacePlaquette &plaquette : plaquettes) {
+        for (int data : plaquette.dataQubits()) {
+            edges.push_back({plaquette.ancilla, data});
+            edges.push_back({data, plaquette.ancilla});
+        }
+    }
+    // Feedlines are frequency-multiplexed per data row; ancillas join
+    // the nearest row's line (plaquette scan order is row-major, so the
+    // line of an ancilla's first data corner is adjacent).
+    std::vector<int> feedline(static_cast<size_t>(num_qubits), 0);
+    for (int q = 0; q < d * d; ++q)
+        feedline[static_cast<size_t>(q)] = q / d;
+    for (const SurfacePlaquette &plaquette : plaquettes) {
+        feedline[static_cast<size_t>(plaquette.ancilla)] =
+            plaquette.dataQubits().front() / d;
+    }
+    return Topology(format("rotated_surface_d%d", distance), num_qubits,
+                    std::move(edges), std::move(feedline));
+}
+
 Topology::Topology(std::string name, int num_qubits,
                    std::vector<QubitPair> edges, std::vector<int> feedline)
     : name_(std::move(name)), numQubits_(num_qubits),
@@ -86,9 +174,30 @@ Topology::feedlineOfQubit(int qubit) const
     return feedline_[static_cast<size_t>(qubit)];
 }
 
+namespace {
+
+/** Edge masks live in 64-bit words (SMIT registers, Instruction::mask);
+ *  chips beyond that need the address-pair encoding the paper sketches
+ *  in Section 3.3.2, which this instantiation does not implement. */
+void
+checkMaskAddressable(const std::string &name, int num_edges)
+{
+    if (num_edges > 64) {
+        throwError(ErrorCode::configError,
+                   format("chip '%s' has %d directed edges; edge-mask "
+                          "operations address at most 64 — this chip "
+                          "cannot be driven through the mask-based "
+                          "SMIT encoding",
+                          name.c_str(), num_edges));
+    }
+}
+
+} // namespace
+
 std::optional<int>
 Topology::maskConflict(uint64_t edge_mask) const
 {
+    checkMaskAddressable(name_, numEdges());
     std::vector<int> selections(static_cast<size_t>(numQubits_), 0);
     for (int e = 0; e < numEdges(); ++e) {
         if (!bit(edge_mask, static_cast<unsigned>(e)))
@@ -105,6 +214,7 @@ Topology::maskConflict(uint64_t edge_mask) const
 uint64_t
 Topology::edgesToMask(const std::vector<int> &edge_addresses) const
 {
+    checkMaskAddressable(name_, numEdges());
     uint64_t mask = 0;
     for (int e : edge_addresses) {
         if (e < 0 || e >= numEdges()) {
@@ -119,6 +229,7 @@ Topology::edgesToMask(const std::vector<int> &edge_addresses) const
 std::vector<int>
 Topology::maskToEdges(uint64_t edge_mask) const
 {
+    checkMaskAddressable(name_, numEdges());
     std::vector<int> out;
     for (int e = 0; e < numEdges(); ++e) {
         if (bit(edge_mask, static_cast<unsigned>(e)))

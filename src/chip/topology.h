@@ -13,6 +13,7 @@
 #ifndef EQASM_CHIP_TOPOLOGY_H
 #define EQASM_CHIP_TOPOLOGY_H
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -29,6 +30,32 @@ struct QubitPair {
 
     bool operator==(const QubitPair &other) const = default;
 };
+
+/**
+ * One stabilizer plaquette of a distance-d rotated surface code on the
+ * generated grid layout (see Topology::rotatedSurface). Data qubits are
+ * numbered 0..d*d-1 row-major; ancillas follow from d*d upward in
+ * plaquette scan order.
+ */
+struct SurfacePlaquette {
+    int ancilla = -1;
+    bool isX = false;  ///< X-type (else Z-type) stabilizer.
+    /** Data qubits at the NW, NE, SW, SE corners; -1 where the corner
+     *  falls outside the grid (boundary weight-2 plaquettes). */
+    std::array<int, 4> corners{{-1, -1, -1, -1}};
+
+    /** The present corners, in corner order. */
+    std::vector<int> dataQubits() const;
+};
+
+/**
+ * The plaquette list of the distance-@p distance rotated surface code:
+ * d*d data qubits on a square grid and d*d-1 ancillas, with weight-4
+ * bulk stabilizers and weight-2 boundary stabilizers (X checks on the
+ * top/bottom boundaries, Z checks on the left/right boundaries).
+ * @throws Error{invalidArgument} for distance < 2.
+ */
+std::vector<SurfacePlaquette> rotatedSurfacePlaquettes(int distance);
 
 /**
  * Immutable description of a quantum chip: number of qubits, the list
@@ -125,6 +152,16 @@ class Topology
     /** Fully connected 5-qubit trapped-ion processor (20 directed
      *  pairs), also from Section 3.3.2. */
     static Topology ionTrap5();
+
+    /**
+     * Generated grid chip for the distance-@p distance rotated surface
+     * code: 2 d^2 - 1 qubits (see rotatedSurfacePlaquettes for the
+     * numbering), one ancilla<->data coupling per stabilizer corner in
+     * both directions, and one feedline per data-qubit row. d = 2 is
+     * the 7-qubit code the paper's surface-7 chip targets; d = 3 (17
+     * qubits) is the first distance that corrects an error.
+     */
+    static Topology rotatedSurface(int distance);
 
     /**
      * The Section 3.3.2 encoding trade-off, as bit costs for this

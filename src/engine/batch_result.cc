@@ -59,6 +59,17 @@ BatchResult::addShot(const runtime::ShotRecord &record)
 void
 BatchResult::merge(const BatchResult &other)
 {
+    if (backend.empty()) {
+        backend = other.backend;
+    } else if (!other.backend.empty() && other.backend != backend) {
+        backend = "mixed";
+    }
+    if (seed == 0) {
+        seed = other.seed;
+    } else if (other.seed != 0 && other.seed != seed) {
+        seed = 0;
+    }
+    threads = std::max(threads, other.threads);
     shots += other.shots;
     for (const auto &[qubit, counts] : other.qubitCounts) {
         QubitCounts &mine = qubitCounts[qubit];
@@ -84,6 +95,16 @@ BatchResult::fractionOne(int qubit) const
     }
     return static_cast<double>(it->second.ones) /
            static_cast<double>(shots);
+}
+
+std::string
+BatchResult::countsFingerprint() const
+{
+    BatchResult copy = *this;
+    copy.wallSeconds = 0.0;
+    copy.shotsPerSecond = 0.0;
+    copy.threads = 0;
+    return copy.toJson().dump();
 }
 
 Json
@@ -122,6 +143,10 @@ BatchResult::toJson() const
     Json result = Json::makeObject();
     if (!label.empty())
         result.set("label", label);
+    if (!backend.empty())
+        result.set("backend", backend);
+    result.set("seed", seed);
+    result.set("threads", static_cast<int64_t>(threads));
     result.set("shots", shots);
     result.set("qubits", std::move(qubits));
     result.set("histogram", std::move(bins));

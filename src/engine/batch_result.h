@@ -38,6 +38,12 @@ struct BatchResult {
     std::string label;       ///< copied from the job.
     uint64_t shots = 0;      ///< shots folded into this result.
 
+    // --- run provenance, stamped by the engine at submission so
+    //     sharded/merged result files can be audited ---
+    std::string backend;     ///< simulation backend ("density", ...).
+    uint64_t seed = 0;       ///< base seed of the per-shot streams.
+    int threads = 0;         ///< worker threads of the executing pool.
+
     /** qubit -> counts over that qubit's last measurement per shot. */
     std::map<int, QubitCounts> qubitCounts;
 
@@ -54,8 +60,23 @@ struct BatchResult {
     /** Folds one shot into the aggregates. */
     void addShot(const runtime::ShotRecord &record);
 
-    /** Merges another partial result (commutative, associative). */
+    /**
+     * Merges another partial result (commutative, associative over the
+     * counts). Provenance: an empty/zero field adopts the other side's
+     * value; conflicting backends merge to "mixed" and conflicting
+     * seeds to 0 (unknown), so a merged shard never claims a single
+     * origin it does not have. threads keeps the maximum pool size.
+     */
     void merge(const BatchResult &other);
+
+    /**
+     * Deterministic serialised fingerprint: toJson() with the
+     * legitimately run-varying fields (wallSeconds, shotsPerSecond,
+     * threads) zeroed. Equal fingerprints == identical counts; the
+     * thread-count determinism checks in the tests and benches compare
+     * these.
+     */
+    std::string countsFingerprint() const;
 
     /**
      * Fraction of shots whose last measurement of @p qubit was |1>.

@@ -85,6 +85,12 @@ ShotEngine::submit(Job job)
     auto state = std::make_shared<JobState>();
     state->job = std::move(job);
     state->aggregate.label = state->job.label;
+    // Provenance for sharded/merged result files: which backend and
+    // seed produced these counts, and on how many workers.
+    state->aggregate.backend = std::string(
+        qsim::backendKindName(platform_.device.backend));
+    state->aggregate.seed = state->job.seed;
+    state->aggregate.threads = threads();
     state->start = Clock::now();
     std::future<BatchResult> future = state->promise.get_future();
     {

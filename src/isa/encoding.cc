@@ -184,23 +184,37 @@ encode(const Instruction &instr, const InstantiationParams &params)
         word = insertBits(word, 19, 15, static_cast<uint64_t>(instr.rs));
         break;
       case InstrKind::smis:
-        checkRegister(instr.targetReg, params.numSRegisters, "S register");
-        checkUnsignedField(instr.mask,
-                           static_cast<unsigned>(params.sMaskWidth),
-                           "qubit mask");
+      case InstrKind::smit: {
+        // Wide-chip mask format: a word carries a 16-bit mask chunk in
+        // [15:0] plus a 3-bit segment index in [18:16]; segment 0 sets
+        // the target register, segment k ORs chunk << 16k into it. For
+        // masks that fit 16 bits the segment is 0 and the word is
+        // bit-identical to the original seven-qubit encoding (the
+        // assembler splits wider masks into consecutive words).
+        bool is_smis = instr.kind == InstrKind::smis;
+        checkRegister(instr.targetReg,
+                      is_smis ? params.numSRegisters
+                              : params.numTRegisters,
+                      is_smis ? "S register" : "T register");
+        checkUnsignedField(instr.mask, 16,
+                           is_smis ? "qubit mask chunk"
+                                   : "qubit pair mask chunk");
+        // The field holds 3 bits, but 64-bit mask registers cap the
+        // usable segments at 4 (qubit/edge addresses < 64).
+        checkUnsignedField(static_cast<uint64_t>(instr.maskSegment), 2,
+                           "mask segment");
+        int chip_width = is_smis ? params.sMaskWidth : params.tMaskWidth;
+        checkUnsignedField(expandMaskSegment(instr.mask,
+                                             instr.maskSegment),
+                           static_cast<unsigned>(chip_width),
+                           is_smis ? "qubit mask" : "qubit pair mask");
         word = insertBits(word, 24, 20,
                           static_cast<uint64_t>(instr.targetReg));
-        word = insertBits(word, 6, 0, instr.mask);
-        break;
-      case InstrKind::smit:
-        checkRegister(instr.targetReg, params.numTRegisters, "T register");
-        checkUnsignedField(instr.mask,
-                           static_cast<unsigned>(params.tMaskWidth),
-                           "qubit pair mask");
-        word = insertBits(word, 24, 20,
-                          static_cast<uint64_t>(instr.targetReg));
+        word = insertBits(word, 18, 16,
+                          static_cast<uint64_t>(instr.maskSegment));
         word = insertBits(word, 15, 0, instr.mask);
         break;
+      }
       case InstrKind::bundle:
         EQASM_ASSERT(false, "unreachable");
     }
@@ -312,11 +326,18 @@ decode(uint32_t word, const InstantiationParams &params,
         instr.rs = static_cast<int>(bits(word, 19, 15));
         break;
       case InstrKind::smis:
-        instr.targetReg = static_cast<int>(bits(word, 24, 20));
-        instr.mask = bits(word, 6, 0);
-        break;
       case InstrKind::smit:
         instr.targetReg = static_cast<int>(bits(word, 24, 20));
+        instr.maskSegment = static_cast<int>(bits(word, 18, 16));
+        if (instr.maskSegment > 3) {
+            // The encoder never emits segments 4..7 (64-bit target
+            // registers); reject them like any other malformed field
+            // instead of letting shifts alias downstream.
+            throwError(ErrorCode::parseError,
+                       format("mask segment %d exceeds the 64-bit "
+                              "target registers",
+                              instr.maskSegment));
+        }
         instr.mask = bits(word, 15, 0);
         break;
       case InstrKind::bundle:

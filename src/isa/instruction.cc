@@ -1,6 +1,7 @@
 #include "isa/instruction.h"
 
 #include "common/bits.h"
+#include "common/error.h"
 #include "common/strings.h"
 
 namespace eqasm::isa {
@@ -18,6 +19,25 @@ targetKindForClass(OpClass op_class)
         return QuantumOperation::TargetKind::treg;
     }
     return QuantumOperation::TargetKind::none;
+}
+
+uint64_t
+expandMaskSegment(uint64_t chunk, int segment)
+{
+    if (segment < 0 || segment > 3) {
+        throwError(ErrorCode::invalidArgument,
+                   format("mask segment %d exceeds the 64-bit S/T "
+                          "target registers (segments 0..3)",
+                          segment));
+    }
+    if (segment != 0 && chunk > 0xffff) {
+        throwError(ErrorCode::invalidArgument,
+                   format("mask chunk 0x%llx of segment %d exceeds 16 "
+                          "bits",
+                          static_cast<unsigned long long>(chunk),
+                          segment));
+    }
+    return chunk << (16 * segment);
 }
 
 Instruction
@@ -179,10 +199,14 @@ toString(const Instruction &instr)
         return format("QWAITR R%d", instr.rs);
       case InstrKind::smis:
         return format("SMIS S%d, %s", instr.targetReg,
-                      maskToList(instr.mask).c_str());
+                      maskToList(expandMaskSegment(instr.mask,
+                                                   instr.maskSegment))
+                          .c_str());
       case InstrKind::smit:
         return format("SMIT T%d, [%s]", instr.targetReg,
-                      maskToList(instr.mask).c_str());
+                      maskToList(expandMaskSegment(instr.mask,
+                                                   instr.maskSegment))
+                          .c_str());
       case InstrKind::bundle: {
         std::string out = format("%d, ", instr.preInterval);
         for (size_t i = 0; i < instr.operations.size(); ++i) {

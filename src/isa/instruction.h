@@ -67,6 +67,19 @@ struct Instruction {
     int targetReg = 0;
     uint64_t mask = 0;
 
+    /**
+     * SMIS/SMIT wide-mask segment index (wide-chip instantiation). A
+     * 32-bit word carries at most 16 mask bits, so chips with more
+     * qubits/edges split a target-register write into consecutive
+     * words: segment 0 sets the register to its 16-bit chunk, segment
+     * k > 0 ORs `mask << 16 k` into it. For the seven-qubit
+     * instantiation this is always 0 and the binary format is
+     * bit-identical to the original encoding. Instructions built
+     * directly (tests, loadProgram) may keep a full 64-bit mask with
+     * segment 0.
+     */
+    int maskSegment = 0;
+
     int preInterval = 1;
     std::vector<QuantumOperation> operations;
 
@@ -86,6 +99,16 @@ struct Instruction {
     static Instruction makeBundle(int pre_interval,
                                   std::vector<QuantumOperation> ops);
 };
+
+/**
+ * Places a wide-mask chunk at its segment's bit position:
+ * `chunk << (16 * segment)` (see Instruction::maskSegment). The single
+ * authority for the segment rule — encoder, decoder, microarchitecture
+ * and disassembler all go through it.
+ * @throws Error{invalidArgument} for segments outside 0..3, which
+ *         would shift past the 64-bit S/T target registers.
+ */
+uint64_t expandMaskSegment(uint64_t chunk, int segment);
 
 /**
  * Renders an instruction in canonical eQASM assembly syntax. SMIS/SMIT

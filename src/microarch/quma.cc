@@ -20,6 +20,18 @@ QuMa::QuMa(isa::OperationSet operations, chip::Topology topology,
     : operations_(std::move(operations)), topology_(std::move(topology)),
       config_(config)
 {
+    // S/T target registers are 64-bit qubit/edge masks; a chip beyond
+    // that needs the address-pair encoding of Section 3.3.2, which this
+    // instantiation does not implement. Fail at construction with the
+    // sizes spelled out rather than corrupting masks at runtime.
+    if (topology_.numQubits() > 64 || topology_.numEdges() > 64) {
+        architecturalError(
+            format("chip '%s' (%d qubits, %d directed edges) exceeds "
+                   "the 64-bit mask target registers of this eQASM "
+                   "instantiation",
+                   topology_.name().c_str(), topology_.numQubits(),
+                   topology_.numEdges()));
+    }
     gpr_.assign(static_cast<size_t>(config_.params.numGprs), 0);
     sRegs_.assign(static_cast<size_t>(config_.params.numSRegisters), 0);
     tRegs_.assign(static_cast<size_t>(config_.params.numTRegisters), 0);
@@ -372,18 +384,31 @@ QuMa::executeQuantum(const Instruction &instr)
         // Only the least significant 20 bits are used (Section 4.2).
         advanceTimeline(gpr_[static_cast<size_t>(instr.rs)] & 0xfffff);
         break;
-      case InstrKind::smis:
-        sRegs_[static_cast<size_t>(instr.targetReg)] = instr.mask;
+      case InstrKind::smis: {
+        // Wide-chip masks arrive as 16-bit chunks: segment 0 sets the
+        // register, higher segments OR their shifted chunk in (see
+        // Instruction::maskSegment). Pre-decoded programs carry full
+        // masks with segment 0, which degenerates to a plain set.
+        uint64_t chunk =
+            isa::expandMaskSegment(instr.mask, instr.maskSegment);
+        uint64_t &sreg = sRegs_[static_cast<size_t>(instr.targetReg)];
+        sreg = instr.maskSegment == 0 ? chunk : (sreg | chunk);
         break;
-      case InstrKind::smit:
-        if (auto conflict = topology_.maskConflict(instr.mask)) {
+      }
+      case InstrKind::smit: {
+        uint64_t chunk =
+            isa::expandMaskSegment(instr.mask, instr.maskSegment);
+        uint64_t &treg = tRegs_[static_cast<size_t>(instr.targetReg)];
+        uint64_t value = instr.maskSegment == 0 ? chunk : (treg | chunk);
+        if (auto conflict = topology_.maskConflict(value)) {
             architecturalError(
                 format("invalid T%d value: qubit %d appears in two "
                        "selected pairs",
                        instr.targetReg, *conflict));
         }
-        tRegs_[static_cast<size_t>(instr.targetReg)] = instr.mask;
+        treg = value;
         break;
+      }
       case InstrKind::bundle:
         ++stats_.bundles;
         processBundle(instr);

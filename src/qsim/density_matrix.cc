@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/strings.h"
+#include "qsim/noise.h"
 
 namespace eqasm::qsim {
 
@@ -230,6 +231,30 @@ DensityMatrix::applyChannel2(const std::vector<CMatrix> &kraus, int qubit0,
         accum = accum + scratch.rho_;
     }
     rho_ = std::move(accum);
+}
+
+void
+DensityMatrix::applyIdleNoise(int qubit, double duration_ns,
+                              const NoiseModel &model, Rng &rng)
+{
+    (void)rng;
+    qsim::applyIdleNoise(*this, qubit, duration_ns, model);
+}
+
+void
+DensityMatrix::applyGateNoise1(int qubit, const NoiseModel &model,
+                               Rng &rng)
+{
+    (void)rng;
+    qsim::applyGateNoise1(*this, qubit, model);
+}
+
+void
+DensityMatrix::applyGateNoise2(int qubit0, int qubit1,
+                               const NoiseModel &model, Rng &rng)
+{
+    (void)rng;
+    qsim::applyGateNoise2(*this, qubit0, qubit1, model);
 }
 
 double

@@ -18,12 +18,14 @@
 #include "common/rng.h"
 #include "qsim/gates.h"
 #include "qsim/linalg.h"
+#include "qsim/state_backend.h"
 #include "qsim/state_vector.h"
 
 namespace eqasm::qsim {
 
-/** Mixed-state simulator for up to 8 qubits. */
-class DensityMatrix
+/** Mixed-state simulator for up to 8 qubits; the exact-physics
+ *  StateBackend implementation. */
+class DensityMatrix : public StateBackend
 {
   public:
     /** Initialises |0...0><0...0| on @p num_qubits qubits. */
@@ -32,14 +34,23 @@ class DensityMatrix
     /** Builds the pure density matrix of @p state. */
     explicit DensityMatrix(const StateVector &state);
 
-    int numQubits() const { return numQubits_; }
+    BackendKind kind() const override { return BackendKind::density; }
+    int numQubits() const override { return numQubits_; }
     size_t dim() const { return size_t{1} << numQubits_; }
 
     /** Resets to |0...0><0...0|. */
-    void reset();
+    void reset() override;
 
     /** Resets one qubit to |0> (used by active-reset modelling). */
     void resetQubit(int qubit);
+
+    /** StateBackend reset hook; the Kraus-channel reset is
+     *  deterministic, so @p rng is untouched. */
+    void resetQubit(int qubit, Rng &rng) override
+    {
+        (void)rng;
+        resetQubit(qubit);
+    }
 
     const CMatrix &matrix() const { return rho_; }
     CMatrix &matrix() { return rho_; }
@@ -53,6 +64,24 @@ class DensityMatrix
     /** Applies a named/parsed Gate to the listed qubits. */
     void apply(const Gate &gate, const std::vector<int> &qubits);
 
+    // --- StateBackend gate/noise hooks ---
+    void applyGate1(const Gate &gate, int qubit) override
+    {
+        applyGate1(gate.matrix, qubit);
+    }
+    void applyGate2(const Gate &gate, int qubit0, int qubit1) override
+    {
+        applyGate2(gate.matrix, qubit0, qubit1);
+    }
+    /** Exact Kraus channels; deterministic, @p rng untouched (keeps the
+     *  per-shot draw sequence identical to the pre-backend code). */
+    void applyIdleNoise(int qubit, double duration_ns,
+                        const NoiseModel &model, Rng &rng) override;
+    void applyGateNoise1(int qubit, const NoiseModel &model,
+                         Rng &rng) override;
+    void applyGateNoise2(int qubit0, int qubit1, const NoiseModel &model,
+                         Rng &rng) override;
+
     /** Applies a single-qubit Kraus channel {K_k} to @p qubit. */
     void applyChannel1(const std::vector<CMatrix> &kraus, int qubit);
 
@@ -61,10 +90,10 @@ class DensityMatrix
                        int qubit1);
 
     /** @return probability of measuring |1> on @p qubit. */
-    double probabilityOne(int qubit) const;
+    double probabilityOne(int qubit) const override;
 
     /** Samples a projective measurement and collapses the state. */
-    int measure(int qubit, Rng &rng);
+    int measure(int qubit, Rng &rng) override;
 
     /** Collapses @p qubit to @p outcome and renormalises. */
     void postselect(int qubit, int outcome);

@@ -1,0 +1,548 @@
+#include "qsim/stabilizer_tableau.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "qsim/noise.h"
+
+namespace eqasm::qsim {
+
+StabilizerTableau::StabilizerTableau(int num_qubits)
+    : numQubits_(num_qubits)
+{
+    if (num_qubits < 1 ||
+        num_qubits > backendMaxQubits(BackendKind::stabilizer)) {
+        throwError(ErrorCode::invalidArgument,
+                   format("stabilizer tableau supports 1..%d qubits, "
+                          "got %d",
+                          backendMaxQubits(BackendKind::stabilizer),
+                          num_qubits));
+    }
+    rows_ = 2 * numQubits_ + 1;
+    reset();
+}
+
+uint8_t &
+StabilizerTableau::x(int row, int qubit)
+{
+    return x_[static_cast<size_t>(row) *
+                  static_cast<size_t>(numQubits_) +
+              static_cast<size_t>(qubit)];
+}
+
+uint8_t &
+StabilizerTableau::z(int row, int qubit)
+{
+    return z_[static_cast<size_t>(row) *
+                  static_cast<size_t>(numQubits_) +
+              static_cast<size_t>(qubit)];
+}
+
+uint8_t
+StabilizerTableau::xAt(int row, int qubit) const
+{
+    return x_[static_cast<size_t>(row) *
+                  static_cast<size_t>(numQubits_) +
+              static_cast<size_t>(qubit)];
+}
+
+uint8_t
+StabilizerTableau::zAt(int row, int qubit) const
+{
+    return z_[static_cast<size_t>(row) *
+                  static_cast<size_t>(numQubits_) +
+              static_cast<size_t>(qubit)];
+}
+
+void
+StabilizerTableau::reset()
+{
+    size_t cells = static_cast<size_t>(rows_) *
+                   static_cast<size_t>(numQubits_);
+    x_.assign(cells, 0);
+    z_.assign(cells, 0);
+    r_.assign(static_cast<size_t>(rows_), 0);
+    for (int q = 0; q < numQubits_; ++q) {
+        x(q, q) = 1;               // destabilizer q = X_q
+        z(numQubits_ + q, q) = 1;  // stabilizer q = Z_q
+    }
+}
+
+void
+StabilizerTableau::checkQubit(int qubit) const
+{
+    if (qubit < 0 || qubit >= numQubits_) {
+        throwError(ErrorCode::invalidArgument,
+                   format("qubit %d out of range [0, %d)", qubit,
+                          numQubits_));
+    }
+}
+
+int
+StabilizerTableau::phaseG(int x1, int z1, int x2, int z2)
+{
+    // Exponent of i contributed by multiplying single-qubit Paulis
+    // (x1, z1) * (x2, z2) — Aaronson–Gottesman's g function.
+    if (x1 == 0 && z1 == 0)
+        return 0;
+    if (x1 == 1 && z1 == 1)
+        return z2 - x2;
+    if (x1 == 1)
+        return z2 * (2 * x2 - 1);
+    return x2 * (1 - 2 * z2);
+}
+
+void
+StabilizerTableau::rowsum(int h, int i)
+{
+    int phase = 2 * r_[static_cast<size_t>(h)] +
+                2 * r_[static_cast<size_t>(i)];
+    for (int q = 0; q < numQubits_; ++q)
+        phase += phaseG(xAt(i, q), zAt(i, q), xAt(h, q), zAt(h, q));
+    phase &= 3;
+    // Stabilizer and scratch rows always multiply to a real sign;
+    // destabilizer products may pick up a factor of i, but their phase
+    // bits never influence an outcome (Aaronson–Gottesman Sec. III).
+    EQASM_ASSERT(h < numQubits_ || phase == 0 || phase == 2,
+                 "rowsum produced an imaginary phase");
+    r_[static_cast<size_t>(h)] = (phase >> 1) & 1;
+    for (int q = 0; q < numQubits_; ++q) {
+        x(h, q) ^= xAt(i, q);
+        z(h, q) ^= zAt(i, q);
+    }
+}
+
+// ------------------------------------------------------ Clifford gates
+//
+// Each update conjugates every (de)stabilizer row by the gate; the
+// scratch row (index 2n) is transient measurement state and is skipped.
+
+void
+StabilizerTableau::gateH(int q)
+{
+    checkQubit(q);
+    for (int i = 0; i < 2 * numQubits_; ++i) {
+        r_[static_cast<size_t>(i)] ^= xAt(i, q) & zAt(i, q);
+        std::swap(x(i, q), z(i, q));
+    }
+}
+
+void
+StabilizerTableau::gateS(int q)
+{
+    checkQubit(q);
+    for (int i = 0; i < 2 * numQubits_; ++i) {
+        r_[static_cast<size_t>(i)] ^= xAt(i, q) & zAt(i, q);
+        z(i, q) ^= xAt(i, q);
+    }
+}
+
+void
+StabilizerTableau::gateSdg(int q)
+{
+    checkQubit(q);
+    for (int i = 0; i < 2 * numQubits_; ++i) {
+        r_[static_cast<size_t>(i)] ^=
+            xAt(i, q) & static_cast<uint8_t>(1 - zAt(i, q));
+        z(i, q) ^= xAt(i, q);
+    }
+}
+
+void
+StabilizerTableau::gateX(int q)
+{
+    checkQubit(q);
+    for (int i = 0; i < 2 * numQubits_; ++i)
+        r_[static_cast<size_t>(i)] ^= zAt(i, q);
+}
+
+void
+StabilizerTableau::gateY(int q)
+{
+    checkQubit(q);
+    for (int i = 0; i < 2 * numQubits_; ++i)
+        r_[static_cast<size_t>(i)] ^= xAt(i, q) ^ zAt(i, q);
+}
+
+void
+StabilizerTableau::gateZ(int q)
+{
+    checkQubit(q);
+    for (int i = 0; i < 2 * numQubits_; ++i)
+        r_[static_cast<size_t>(i)] ^= xAt(i, q);
+}
+
+void
+StabilizerTableau::gateX90(int q)
+{
+    // R_x(+90): X -> X, Z -> -Y, Y -> Z.
+    checkQubit(q);
+    for (int i = 0; i < 2 * numQubits_; ++i) {
+        r_[static_cast<size_t>(i)] ^=
+            zAt(i, q) & static_cast<uint8_t>(1 - xAt(i, q));
+        x(i, q) ^= zAt(i, q);
+    }
+}
+
+void
+StabilizerTableau::gateXm90(int q)
+{
+    // R_x(-90): X -> X, Z -> Y, Y -> -Z.
+    checkQubit(q);
+    for (int i = 0; i < 2 * numQubits_; ++i) {
+        r_[static_cast<size_t>(i)] ^= xAt(i, q) & zAt(i, q);
+        x(i, q) ^= zAt(i, q);
+    }
+}
+
+void
+StabilizerTableau::gateY90(int q)
+{
+    // R_y(+90): X -> -Z, Z -> X, Y -> Y.
+    checkQubit(q);
+    for (int i = 0; i < 2 * numQubits_; ++i) {
+        r_[static_cast<size_t>(i)] ^=
+            xAt(i, q) & static_cast<uint8_t>(1 - zAt(i, q));
+        std::swap(x(i, q), z(i, q));
+    }
+}
+
+void
+StabilizerTableau::gateYm90(int q)
+{
+    // R_y(-90): X -> Z, Z -> -X, Y -> Y.
+    checkQubit(q);
+    for (int i = 0; i < 2 * numQubits_; ++i) {
+        r_[static_cast<size_t>(i)] ^=
+            zAt(i, q) & static_cast<uint8_t>(1 - xAt(i, q));
+        std::swap(x(i, q), z(i, q));
+    }
+}
+
+void
+StabilizerTableau::gateCnot(int control, int target)
+{
+    checkQubit(control);
+    checkQubit(target);
+    EQASM_ASSERT(control != target,
+                 "two-qubit gate needs distinct qubits");
+    for (int i = 0; i < 2 * numQubits_; ++i) {
+        r_[static_cast<size_t>(i)] ^=
+            xAt(i, control) & zAt(i, target) &
+            static_cast<uint8_t>(xAt(i, target) ^ zAt(i, control) ^ 1);
+        x(i, target) ^= xAt(i, control);
+        z(i, control) ^= zAt(i, target);
+    }
+}
+
+void
+StabilizerTableau::gateCz(int qubit0, int qubit1)
+{
+    // Fused H(q1)-CNOT-H(q1) update in a single row sweep — CZ is the
+    // dominant gate of the syndrome-extraction workloads. Mapping:
+    // X_a -> X_a Z_b (and symmetrically), Z unchanged; the sign flips
+    // exactly for X(x)Y-type pairs (x0 x1 = 1 with z0 != z1).
+    checkQubit(qubit0);
+    checkQubit(qubit1);
+    EQASM_ASSERT(qubit0 != qubit1,
+                 "two-qubit gate needs distinct qubits");
+    for (int i = 0; i < 2 * numQubits_; ++i) {
+        r_[static_cast<size_t>(i)] ^=
+            xAt(i, qubit0) & xAt(i, qubit1) &
+            static_cast<uint8_t>(zAt(i, qubit0) ^ zAt(i, qubit1));
+        z(i, qubit0) ^= xAt(i, qubit1);
+        z(i, qubit1) ^= xAt(i, qubit0);
+    }
+}
+
+void
+StabilizerTableau::gateSwap(int qubit0, int qubit1)
+{
+    gateCnot(qubit0, qubit1);
+    gateCnot(qubit1, qubit0);
+    gateCnot(qubit0, qubit1);
+}
+
+void
+StabilizerTableau::applyPauli(int qubit, int pauli)
+{
+    switch (pauli) {
+      case 1: gateX(qubit); break;
+      case 2: gateY(qubit); break;
+      case 3: gateZ(qubit); break;
+      default: EQASM_ASSERT(false, "bad Pauli index");
+    }
+}
+
+// ---------------------------------------------------------- dispatch
+
+namespace {
+
+/** Reduces a rotation angle in degrees to {0, 90, 180, 270} or -1 for
+ *  non-Clifford angles. */
+int
+cliffordQuarterTurns(double degrees)
+{
+    double reduced = std::fmod(degrees, 360.0);
+    if (reduced < 0.0)
+        reduced += 360.0;
+    for (int quarter = 0; quarter < 4; ++quarter) {
+        if (std::abs(reduced - 90.0 * quarter) < 1e-6)
+            return quarter;
+    }
+    if (std::abs(reduced - 360.0) < 1e-6)
+        return 0;
+    return -1;
+}
+
+} // namespace
+
+void
+StabilizerTableau::dispatch1(const std::string &name, int qubit)
+{
+    if (name == "i" || name == "id")
+        return;
+    if (name == "x")  return gateX(qubit);
+    if (name == "y")  return gateY(qubit);
+    if (name == "z")  return gateZ(qubit);
+    if (name == "h")  return gateH(qubit);
+    if (name == "s" || name == "z90")  return gateS(qubit);
+    if (name == "sdg" || name == "zm90")  return gateSdg(qubit);
+    if (name == "x90")  return gateX90(qubit);
+    if (name == "xm90") return gateXm90(qubit);
+    if (name == "y90")  return gateY90(qubit);
+    if (name == "ym90") return gateYm90(qubit);
+
+    // Parametric rotations are Clifford at multiples of 90 degrees.
+    if (name.size() > 3 && name[0] == 'r' && name[2] == ':' &&
+        (name[1] == 'x' || name[1] == 'y' || name[1] == 'z')) {
+        double degrees = 0.0;
+        try {
+            degrees = std::stod(name.substr(3));
+        } catch (const std::exception &) {
+            degrees = std::nan("");
+        }
+        int quarters = std::isnan(degrees)
+                           ? -1
+                           : cliffordQuarterTurns(degrees);
+        if (quarters >= 0) {
+            // quarters: 0 = identity, 1 = +90, 2 = 180, 3 = -90.
+            switch (name[1]) {
+              case 'x':
+                if (quarters == 1) gateX90(qubit);
+                else if (quarters == 2) gateX(qubit);
+                else if (quarters == 3) gateXm90(qubit);
+                return;
+              case 'y':
+                if (quarters == 1) gateY90(qubit);
+                else if (quarters == 2) gateY(qubit);
+                else if (quarters == 3) gateYm90(qubit);
+                return;
+              case 'z':
+                if (quarters == 1) gateS(qubit);
+                else if (quarters == 2) gateZ(qubit);
+                else if (quarters == 3) gateSdg(qubit);
+                return;
+            }
+        }
+    }
+    throwError(ErrorCode::configError,
+               format("gate '%s' is not Clifford; the stabilizer "
+                      "backend supports only Clifford circuits — use "
+                      "the density backend for this program",
+                      name.c_str()));
+}
+
+void
+StabilizerTableau::applyGate1(const Gate &gate, int qubit)
+{
+    checkQubit(qubit);
+    dispatch1(gate.name, qubit);
+}
+
+void
+StabilizerTableau::applyGate2(const Gate &gate, int qubit0, int qubit1)
+{
+    checkQubit(qubit0);
+    checkQubit(qubit1);
+    if (gate.name == "cz")
+        return gateCz(qubit0, qubit1);
+    if (gate.name == "cnot")
+        return gateCnot(qubit0, qubit1);
+    if (gate.name == "swap")
+        return gateSwap(qubit0, qubit1);
+    throwError(ErrorCode::configError,
+               format("two-qubit gate '%s' is not Clifford; the "
+                      "stabilizer backend supports cz/cnot/swap",
+                      gate.name.c_str()));
+}
+
+// ---------------------------------------------------------- measurement
+
+bool
+StabilizerTableau::isDeterministic(int qubit) const
+{
+    for (int i = numQubits_; i < 2 * numQubits_; ++i) {
+        if (xAt(i, qubit))
+            return false;
+    }
+    return true;
+}
+
+int
+StabilizerTableau::measure(int qubit, Rng &rng)
+{
+    checkQubit(qubit);
+    // Exactly one draw per measurement (see StateBackend::measure).
+    double u = rng.uniform();
+
+    // A stabilizer with an X component on the qubit anticommutes with
+    // Z_qubit: the outcome is random.
+    int p = -1;
+    for (int i = numQubits_; i < 2 * numQubits_; ++i) {
+        if (xAt(i, qubit)) {
+            p = i;
+            break;
+        }
+    }
+    if (p >= 0) {
+        // Same convention as DensityMatrix::measure (outcome 1 when the
+        // draw lands below P(|1>), here 1/2) so noiseless Clifford
+        // circuits sample identical bits on both backends.
+        int outcome = u < 0.5 ? 1 : 0;
+        for (int i = 0; i < 2 * numQubits_; ++i) {
+            if (i != p && xAt(i, qubit))
+                rowsum(i, p);
+        }
+        // The old anticommuting stabilizer becomes the destabilizer of
+        // the new Z_qubit stabilizer.
+        for (int q = 0; q < numQubits_; ++q) {
+            x(p - numQubits_, q) = xAt(p, q);
+            z(p - numQubits_, q) = zAt(p, q);
+            x(p, q) = 0;
+            z(p, q) = 0;
+        }
+        r_[static_cast<size_t>(p - numQubits_)] =
+            r_[static_cast<size_t>(p)];
+        z(p, qubit) = 1;
+        r_[static_cast<size_t>(p)] = outcome ? 1 : 0;
+        return outcome;
+    }
+
+    // Deterministic outcome: accumulate the product of the stabilizers
+    // whose destabilizer partners anticommute with Z_qubit into the
+    // scratch row; its phase is the outcome.
+    int scratch = 2 * numQubits_;
+    for (int q = 0; q < numQubits_; ++q) {
+        x(scratch, q) = 0;
+        z(scratch, q) = 0;
+    }
+    r_[static_cast<size_t>(scratch)] = 0;
+    for (int i = 0; i < numQubits_; ++i) {
+        if (xAt(i, qubit))
+            rowsum(scratch, i + numQubits_);
+    }
+    return r_[static_cast<size_t>(scratch)];
+}
+
+double
+StabilizerTableau::probabilityOne(int qubit) const
+{
+    checkQubit(qubit);
+    if (!isDeterministic(qubit))
+        return 0.5;
+    StabilizerTableau copy = *this;
+    Rng scratch_rng(0);
+    return copy.measure(qubit, scratch_rng) ? 1.0 : 0.0;
+}
+
+void
+StabilizerTableau::resetQubit(int qubit, Rng &rng)
+{
+    if (measure(qubit, rng))
+        gateX(qubit);
+}
+
+// --------------------------------------------------------------- noise
+
+void
+StabilizerTableau::applyIdleNoise(int qubit, double duration_ns,
+                                  const NoiseModel &model, Rng &rng)
+{
+    checkQubit(qubit);
+    if (!model.enabled || duration_ns <= 0.0)
+        return;
+    double p_relax = 1.0 - std::exp(-duration_ns / model.t1Ns);
+    double p_dephase = 1.0 - std::exp(-duration_ns / model.t2Ns);
+    // Pauli twirl of amplitude + phase damping (see file comment).
+    double px = p_relax / 4.0;
+    double py = px;
+    double pz = std::max(0.0, p_dephase / 2.0 - p_relax / 4.0);
+    double u = rng.uniform();
+    if (u < px)
+        gateX(qubit);
+    else if (u < px + py)
+        gateY(qubit);
+    else if (u < px + py + pz)
+        gateZ(qubit);
+}
+
+void
+StabilizerTableau::applyGateNoise1(int qubit, const NoiseModel &model,
+                                   Rng &rng)
+{
+    checkQubit(qubit);
+    if (!model.enabled || model.depol1q <= 0.0)
+        return;
+    double u = rng.uniform();
+    if (u >= model.depol1q)
+        return;
+    // Reuse the sub-threshold draw to pick uniformly among X/Y/Z.
+    int pauli = 1 + std::min(2, static_cast<int>(u / model.depol1q * 3.0));
+    applyPauli(qubit, pauli);
+}
+
+void
+StabilizerTableau::applyGateNoise2(int qubit0, int qubit1,
+                                   const NoiseModel &model, Rng &rng)
+{
+    checkQubit(qubit0);
+    checkQubit(qubit1);
+    if (!model.enabled || model.depol2q <= 0.0)
+        return;
+    double u = rng.uniform();
+    if (u >= model.depol2q)
+        return;
+    // Index 1..15 over the non-identity two-qubit Paulis.
+    int index = 1 + std::min(14,
+                             static_cast<int>(u / model.depol2q * 15.0));
+    int pauli0 = index & 3;
+    int pauli1 = index >> 2;
+    if (pauli0 != 0)
+        applyPauli(qubit0, pauli0);
+    if (pauli1 != 0)
+        applyPauli(qubit1, pauli1);
+}
+
+// ---------------------------------------------------------- rendering
+
+std::string
+StabilizerTableau::stabilizerString(int index) const
+{
+    if (index < 0 || index >= numQubits_) {
+        throwError(ErrorCode::invalidArgument,
+                   format("stabilizer index %d out of range [0, %d)",
+                          index, numQubits_));
+    }
+    int row = numQubits_ + index;
+    std::string out = r_[static_cast<size_t>(row)] ? "-" : "+";
+    for (int q = 0; q < numQubits_; ++q) {
+        int xb = xAt(row, q);
+        int zb = zAt(row, q);
+        out += xb ? (zb ? 'Y' : 'X') : (zb ? 'Z' : 'I');
+    }
+    return out;
+}
+
+} // namespace eqasm::qsim

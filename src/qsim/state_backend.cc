@@ -1,0 +1,78 @@
+#include "qsim/state_backend.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "qsim/density_matrix.h"
+#include "qsim/stabilizer_tableau.h"
+
+namespace eqasm::qsim {
+
+StateBackend::~StateBackend() = default;
+
+std::string_view
+backendKindName(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::density:
+        return "density";
+      case BackendKind::stabilizer:
+        return "stabilizer";
+    }
+    return "unknown";
+}
+
+std::optional<BackendKind>
+parseBackendKind(std::string_view name)
+{
+    std::string lower = toLower(trim(name));
+    if (lower == "density" || lower == "density_matrix" ||
+        lower == "dm") {
+        return BackendKind::density;
+    }
+    if (lower == "stabilizer" || lower == "chp" || lower == "tableau")
+        return BackendKind::stabilizer;
+    return std::nullopt;
+}
+
+int
+backendMaxQubits(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::density:
+        // O(4^n) storage: 8 qubits is a 65536-entry complex matrix.
+        return 8;
+      case BackendKind::stabilizer:
+        // O(n^2) storage; far beyond what the mask-based ISA can
+        // address, so the tableau never becomes the limit.
+        return 4096;
+    }
+    return 0;
+}
+
+std::unique_ptr<StateBackend>
+makeBackend(BackendKind kind, int num_qubits)
+{
+    int limit = backendMaxQubits(kind);
+    if (num_qubits < 1 || num_qubits > limit) {
+        throwError(
+            ErrorCode::configError,
+            format("topology with %d qubits exceeds the %.*s backend "
+                   "limit of %d qubits%s",
+                   num_qubits,
+                   static_cast<int>(backendKindName(kind).size()),
+                   backendKindName(kind).data(), limit,
+                   kind == BackendKind::density
+                       ? " — select the stabilizer backend for larger "
+                         "Clifford workloads"
+                       : ""));
+    }
+    switch (kind) {
+      case BackendKind::density:
+        return std::make_unique<DensityMatrix>(num_qubits);
+      case BackendKind::stabilizer:
+        return std::make_unique<StabilizerTableau>(num_qubits);
+    }
+    throwError(ErrorCode::invalidArgument, "unknown backend kind");
+}
+
+} // namespace eqasm::qsim

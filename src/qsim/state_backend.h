@@ -1,0 +1,127 @@
+/**
+ * @file
+ * StateBackend — the pluggable quantum-state representation behind the
+ * simulated device.
+ *
+ * The paper's architecture is agnostic to what sits behind the ADI: the
+ * central controller emits codeword-triggered operations and receives
+ * measurement bits. Mirroring that, the runtime's SimulatedDevice drives
+ * an abstract StateBackend, and the concrete state representation is
+ * chosen per DeviceConfig:
+ *
+ *  - BackendKind::density — the O(4^n) DensityMatrix with exact Kraus
+ *    noise channels (T1/T2 amplitude/phase damping, depolarizing).
+ *    Capped at 8 qubits; the physics reference for the Section 5
+ *    experiments.
+ *  - BackendKind::stabilizer — the Aaronson–Gottesman CHP tableau,
+ *    O(n^2) per gate, Clifford-only, with Pauli-twirled stochastic
+ *    noise. Opens distance-3+ surface-code QEC (17+ qubits) — the
+ *    workload the paper names as benefiting most from SOMQ — to the
+ *    parallel shot engine.
+ *
+ * Determinism contract: backends draw randomness only from the Rng
+ * passed into the noise/measurement hooks. The device hands them the
+ * counter-based per-shot stream (Rng::forShot), so shot k produces the
+ * same bits on any engine worker at any thread count.
+ */
+#ifndef EQASM_QSIM_STATE_BACKEND_H
+#define EQASM_QSIM_STATE_BACKEND_H
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "common/rng.h"
+#include "qsim/gates.h"
+
+namespace eqasm::qsim {
+
+struct NoiseModel;
+
+/** Selectable quantum-state representations. */
+enum class BackendKind {
+    density,     ///< exact mixed-state density matrix (<= 8 qubits).
+    stabilizer,  ///< CHP stabilizer tableau (Clifford circuits only).
+};
+
+/** @return a stable lower-case name ("density", "stabilizer"). */
+std::string_view backendKindName(BackendKind kind);
+
+/** Parses a backend name (case-insensitive). */
+std::optional<BackendKind> parseBackendKind(std::string_view name);
+
+/** @return the largest qubit count @p kind can represent. */
+int backendMaxQubits(BackendKind kind);
+
+/**
+ * Abstract quantum-state backend. One instance holds the state of all
+ * qubits of one device replica for the duration of a shot.
+ */
+class StateBackend
+{
+  public:
+    virtual ~StateBackend();
+
+    virtual BackendKind kind() const = 0;
+    virtual int numQubits() const = 0;
+
+    /** Re-initialises to |0...0>. */
+    virtual void reset() = 0;
+
+    /** Re-prepares one qubit in |0> (active-reset modelling). Backends
+     *  whose reset is stochastic draw from @p rng. */
+    virtual void resetQubit(int qubit, Rng &rng) = 0;
+
+    /** Applies a named/parsed single-qubit gate.
+     *  @throws Error{configError} when the backend cannot represent the
+     *          gate (e.g. a non-Clifford gate on the stabilizer
+     *          backend). */
+    virtual void applyGate1(const Gate &gate, int qubit) = 0;
+
+    /** Applies a named/parsed two-qubit gate to (qubit0, qubit1) with
+     *  qubit0 the first operand (LSB for matrix backends). */
+    virtual void applyGate2(const Gate &gate, int qubit0, int qubit1) = 0;
+
+    /**
+     * Applies idle decoherence for @p duration_ns to @p qubit. The
+     * density backend applies the exact T1/T2 Kraus channels and never
+     * touches @p rng; the stabilizer backend samples a Pauli-twirled
+     * error.
+     */
+    virtual void applyIdleNoise(int qubit, double duration_ns,
+                                const NoiseModel &model, Rng &rng) = 0;
+
+    /** Post-gate depolarizing noise for a single-qubit gate. */
+    virtual void applyGateNoise1(int qubit, const NoiseModel &model,
+                                 Rng &rng) = 0;
+
+    /** Post-gate depolarizing noise for a two-qubit gate. */
+    virtual void applyGateNoise2(int qubit0, int qubit1,
+                                 const NoiseModel &model, Rng &rng) = 0;
+
+    /** @return probability of measuring |1> on @p qubit. */
+    virtual double probabilityOne(int qubit) const = 0;
+
+    /**
+     * Samples a projective Z measurement and collapses the state.
+     * Consumes exactly one uniform draw from @p rng regardless of
+     * whether the outcome is deterministic, so backends simulating the
+     * same circuit stay draw-aligned and produce identical bits on
+     * noiseless Clifford programs.
+     */
+    virtual int measure(int qubit, Rng &rng) = 0;
+};
+
+/**
+ * Creates the backend for @p kind over @p num_qubits.
+ * @throws Error{configError} when @p num_qubits exceeds what the
+ *         backend can represent; the message names the qubit count and
+ *         the backend so oversized topologies fail loudly instead of
+ *         silently allocating a 4^n matrix.
+ */
+std::unique_ptr<StateBackend> makeBackend(BackendKind kind,
+                                          int num_qubits);
+
+} // namespace eqasm::qsim
+
+#endif // EQASM_QSIM_STATE_BACKEND_H

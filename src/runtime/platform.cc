@@ -1,8 +1,31 @@
 #include "runtime/platform.h"
 
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/strings.h"
+
 namespace eqasm::runtime {
 
 namespace {
+
+/**
+ * Sizes the instantiation to the chip: qubit/edge counts and the
+ * SMIS/SMIT mask widths (never below the seven-qubit instantiation's
+ * 7/16 bits, so existing chips keep their exact binary format; wider
+ * chips get the segmented wide-mask encoding).
+ */
+void
+syncInstantiation(Platform &platform)
+{
+    platform.params.numQubits = platform.topology.numQubits();
+    platform.params.numEdges = platform.topology.numEdges();
+    platform.params.sMaskWidth =
+        std::max(7, platform.topology.numQubits());
+    platform.params.tMaskWidth =
+        std::max(16, platform.topology.numEdges());
+    platform.uarch.params = platform.params;
+}
 
 qsim::NoiseModel
 calibratedNoise()
@@ -45,6 +68,16 @@ Platform::surface7()
 }
 
 Platform
+Platform::rotatedSurface(int distance)
+{
+    Platform platform = twoQubit();
+    platform.topology = chip::Topology::rotatedSurface(distance);
+    platform.device.backend = qsim::BackendKind::stabilizer;
+    syncInstantiation(platform);
+    return platform;
+}
+
+Platform
 Platform::ideal(Platform base)
 {
     base.device.noise = qsim::NoiseModel::ideal();
@@ -61,13 +94,23 @@ Platform::fromJson(const Json &json)
         platform.operations = isa::OperationSet::fromJson(*operations);
     if (const Json *noise = json.find("noise"))
         platform.device.noise = qsim::NoiseModel::fromJson(*noise);
+    std::string backend_name =
+        json.getString("backend",
+                       std::string(qsim::backendKindName(
+                           platform.device.backend)));
+    auto backend = qsim::parseBackendKind(backend_name);
+    if (!backend) {
+        throwError(ErrorCode::configError,
+                   format("unknown simulation backend '%s' (expected "
+                          "'density' or 'stabilizer')",
+                          backend_name.c_str()));
+    }
+    platform.device.backend = *backend;
     platform.params.vliwWidth = static_cast<int>(
         json.getInt("vliw_width", platform.params.vliwWidth));
     platform.params.preIntervalWidth = static_cast<int>(json.getInt(
         "pre_interval_width", platform.params.preIntervalWidth));
-    platform.params.numQubits = platform.topology.numQubits();
-    platform.params.numEdges = platform.topology.numEdges();
-    platform.uarch.params = platform.params;
+    syncInstantiation(platform);
     platform.uarch.classicalIssueRate = static_cast<int>(json.getInt(
         "classical_issue_rate", platform.uarch.classicalIssueRate));
     platform.device.measurementLatencyCycles =
@@ -84,6 +127,8 @@ Platform::toJson() const
     out.set("topology", topology.toJson());
     out.set("operations", operations.toJson());
     out.set("noise", device.noise.toJson());
+    out.set("backend",
+            std::string(qsim::backendKindName(device.backend)));
     out.set("vliw_width", static_cast<int64_t>(params.vliwWidth));
     out.set("pre_interval_width",
             static_cast<int64_t>(params.preIntervalWidth));

@@ -39,6 +39,15 @@ struct Platform {
     /** The seven-qubit surface-7 target chip of Fig. 6 (same noise). */
     static Platform surface7();
 
+    /**
+     * The generated distance-@p distance rotated surface code chip
+     * (chip::Topology::rotatedSurface) with the same calibrated noise,
+     * running on the stabilizer backend — the d >= 3 QEC platform the
+     * density matrix cannot hold. Instantiation mask widths are sized
+     * to the chip, so SMIS/SMIT use the segmented wide-mask encoding.
+     */
+    static Platform rotatedSurface(int distance);
+
     /** Noise-free variant of any platform (for functional tests). */
     static Platform ideal(Platform base);
 
@@ -52,6 +61,7 @@ struct Platform {
      *   {"topology": {...Topology::fromJson schema...},
      *    "operations": {...OperationSet::fromJson schema...},
      *    "noise": {...NoiseModel::fromJson schema...},
+     *    "backend": "density" | "stabilizer",
      *    "vliw_width": 2, "pre_interval_width": 3,
      *    "classical_issue_rate": 2, "measurement_latency_cycles": 15}
      */

@@ -11,16 +11,43 @@ using microarch::TriggeredOp;
 SimulatedDevice::SimulatedDevice(chip::Topology topology,
                                  DeviceConfig config, uint64_t seed)
     : topology_(std::move(topology)), config_(config), seed_(seed),
-      shotRng_(seed), state_(topology_.numQubits())
+      shotRng_(seed),
+      state_(qsim::makeBackend(config.backend, topology_.numQubits()))
 {
+    touched_.assign(static_cast<size_t>(topology_.numQubits()), 0);
     lastUpdateNs_.assign(static_cast<size_t>(topology_.numQubits()), 0.0);
     busyUntilCycle_.assign(static_cast<size_t>(topology_.numQubits()), 0);
+}
+
+const qsim::DensityMatrix &
+SimulatedDevice::state() const
+{
+    return const_cast<SimulatedDevice *>(this)->state();
+}
+
+qsim::DensityMatrix &
+SimulatedDevice::state()
+{
+    auto *density = dynamic_cast<qsim::DensityMatrix *>(state_.get());
+    if (density == nullptr) {
+        throwError(ErrorCode::configError,
+                   format("state() needs the density backend; this "
+                          "device runs the %.*s backend — inspect it "
+                          "through backend() instead",
+                          static_cast<int>(
+                              qsim::backendKindName(config_.backend)
+                                  .size()),
+                          qsim::backendKindName(config_.backend)
+                              .data()));
+    }
+    return *density;
 }
 
 void
 SimulatedDevice::startShot(uint64_t cycle)
 {
-    state_.reset();
+    state_->reset();
+    std::fill(touched_.begin(), touched_.end(), 0);
     double now_ns = static_cast<double>(cycle) * config_.cycleNs;
     std::fill(lastUpdateNs_.begin(), lastUpdateNs_.end(), now_ns);
     std::fill(busyUntilCycle_.begin(), busyUntilCycle_.end(), cycle);
@@ -66,8 +93,9 @@ SimulatedDevice::advanceIdle(int qubit, uint64_t cycle)
     double now_ns = static_cast<double>(cycle) * config_.cycleNs;
     size_t q = static_cast<size_t>(qubit);
     double idle_ns = now_ns - lastUpdateNs_[q];
-    if (idle_ns > 0.0)
-        qsim::applyIdleNoise(state_, qubit, idle_ns, config_.noise);
+    if (idle_ns > 0.0 && touched_[q])
+        state_->applyIdleNoise(qubit, idle_ns, config_.noise, shotRng_);
+    touched_[q] = 1;
     lastUpdateNs_[q] = now_ns;
 }
 
@@ -110,8 +138,8 @@ SimulatedDevice::apply(const TriggeredOp &op)
                               "unitary '%s' is not",
                               info.name.c_str(), info.unitary.c_str()));
         }
-        state_.applyGate1(gate.matrix, op.qubit);
-        qsim::applyGateNoise1(state_, op.qubit, config_.noise);
+        state_->applyGate1(gate, op.qubit);
+        state_->applyGateNoise1(op.qubit, config_.noise, shotRng_);
         size_t q = static_cast<size_t>(op.qubit);
         busyUntilCycle_[q] = op.cycle + duration;
         lastUpdateNs_[q] =
@@ -145,9 +173,9 @@ SimulatedDevice::apply(const TriggeredOp &op)
                               info.name.c_str(), info.unitary.c_str()));
         }
         // Operand order: (source, target) of the allowed qubit pair.
-        state_.applyGate2(gate.matrix, op.qubit, op.pairQubit);
-        qsim::applyGateNoise2(state_, op.qubit, op.pairQubit,
-                              config_.noise);
+        state_->applyGate2(gate, op.qubit, op.pairQubit);
+        state_->applyGateNoise2(op.qubit, op.pairQubit, config_.noise,
+                                shotRng_);
         for (int qubit : {op.qubit, op.pairQubit}) {
             size_t q = static_cast<size_t>(qubit);
             busyUntilCycle_[q] = op.cycle + duration;
@@ -162,7 +190,7 @@ SimulatedDevice::apply(const TriggeredOp &op)
         checkBusy(op.qubit, op.cycle, info.name);
         advanceIdle(op.qubit, op.cycle);
         // Strong projective readout: sample, collapse, and dephase.
-        int actual = state_.measure(op.qubit, shotRng_);
+        int actual = state_->measure(op.qubit, shotRng_);
         int reported = actual;
         if (config_.noise.enabled &&
             shotRng_.bernoulli(config_.noise.readoutError)) {

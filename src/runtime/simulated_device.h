@@ -14,6 +14,7 @@
 #define EQASM_RUNTIME_SIMULATED_DEVICE_H
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "microarch/device.h"
 #include "qsim/density_matrix.h"
 #include "qsim/noise.h"
+#include "qsim/state_backend.h"
 
 namespace eqasm::runtime {
 
@@ -31,6 +33,13 @@ struct DeviceConfig {
     double cycleNs = 20.0;             ///< controller cycle time.
     int measurementLatencyCycles = 15; ///< pulse start -> result arrival.
     bool throwOnOverlap = true;        ///< gate applied to a busy qubit.
+
+    /** State representation behind the ADI. The density matrix is the
+     *  exact-physics default; the stabilizer tableau opens d >= 3
+     *  surface-code chips (Clifford circuits only). Engine replicas
+     *  are built from this config, so every worker clones the same
+     *  backend choice. */
+    qsim::BackendKind backend = qsim::BackendKind::density;
 };
 
 /** A gate application recorded for inspection by tests. */
@@ -40,10 +49,15 @@ struct AppliedGate {
     std::vector<int> qubits;
 };
 
-/** Density-matrix-backed ADI device. */
+/** ADI device backed by a pluggable qsim::StateBackend. */
 class SimulatedDevice : public microarch::Device
 {
   public:
+    /**
+     * @throws Error{configError} when the topology is larger than the
+     *         configured backend can represent (the message names the
+     *         qubit count and the backend).
+     */
     SimulatedDevice(chip::Topology topology, DeviceConfig config,
                     uint64_t seed = 1);
 
@@ -65,10 +79,16 @@ class SimulatedDevice : public microarch::Device
     uint64_t seed() const { return seed_; }
     uint64_t nextShotIndex() const { return nextShotIndex_; }
 
-    /** The current quantum state (after idle-noise catch-up to the last
-     *  operation; tests may inspect it mid-shot). */
-    const qsim::DensityMatrix &state() const { return state_; }
-    qsim::DensityMatrix &state() { return state_; }
+    /** The current quantum state backend (after idle-noise catch-up to
+     *  the last operation; tests may inspect it mid-shot). */
+    const qsim::StateBackend &backend() const { return *state_; }
+    qsim::StateBackend &backend() { return *state_; }
+
+    /** The density matrix of the current state.
+     *  @throws Error{configError} when the device runs a non-density
+     *          backend (use backend() there). */
+    const qsim::DensityMatrix &state() const;
+    qsim::DensityMatrix &state();
 
     const std::vector<AppliedGate> &appliedGates() const
     {
@@ -91,7 +111,14 @@ class SimulatedDevice : public microarch::Device
     uint64_t seed_;
     uint64_t nextShotIndex_ = 0;
     Rng shotRng_;
-    qsim::DensityMatrix state_;
+    std::unique_ptr<qsim::StateBackend> state_;
+    /** Qubits already driven this shot. Until its first operation a
+     *  qubit sits exactly in the reset state |0>, where idle T1/T2
+     *  channels act trivially, so idle noise is skipped: a no-op for
+     *  the density backend and the correct behaviour for the
+     *  stabilizer twirl (whose state-independent Pauli flips would
+     *  otherwise scramble |0> over the 200 us initialisation wait). */
+    std::vector<uint8_t> touched_;
     std::vector<double> lastUpdateNs_;
     std::vector<uint64_t> busyUntilCycle_;
     std::map<std::string, qsim::Gate> gateCache_;

@@ -1,6 +1,8 @@
 #include "workloads/surface_code.h"
 
 #include "common/error.h"
+#include "compiler/codegen.h"
+#include "compiler/schedule.h"
 
 namespace eqasm::workloads {
 
@@ -66,6 +68,111 @@ fullSyndromeRound(int rounds)
         }
     }
     return circuit;
+}
+
+// ------------------------------------------------- RotatedSurfaceCode
+
+RotatedSurfaceCode::RotatedSurfaceCode(int distance)
+    : distance_(distance),
+      plaquettes_(chip::rotatedSurfacePlaquettes(distance))
+{
+}
+
+std::vector<int>
+RotatedSurfaceCode::xAncillas() const
+{
+    std::vector<int> out;
+    for (const chip::SurfacePlaquette &plaquette : plaquettes_) {
+        if (plaquette.isX)
+            out.push_back(plaquette.ancilla);
+    }
+    return out;
+}
+
+std::vector<int>
+RotatedSurfaceCode::zAncillas() const
+{
+    std::vector<int> out;
+    for (const chip::SurfacePlaquette &plaquette : plaquettes_) {
+        if (!plaquette.isX)
+            out.push_back(plaquette.ancilla);
+    }
+    return out;
+}
+
+chip::Topology
+RotatedSurfaceCode::topology() const
+{
+    return chip::Topology::rotatedSurface(distance_);
+}
+
+compiler::Circuit
+RotatedSurfaceCode::syndromeRounds(int rounds, int error_qubit) const
+{
+    EQASM_ASSERT(rounds >= 1, "at least one syndrome round");
+    compiler::Circuit circuit;
+    circuit.numQubits = numQubits();
+    if (error_qubit >= 0) {
+        EQASM_ASSERT(error_qubit < numDataQubits(),
+                     "injected error must hit a data qubit");
+        circuit.add1("X", error_qubit);
+    }
+
+    // Within one corner step every CZ pairs a distinct ancilla with the
+    // data qubit at the same relative offset, so no qubit appears twice
+    // at a timing point — the SOMQ-friendly "well-patterned" structure
+    // the paper highlights for QEC.
+    auto czSteps = [&](bool x_type) {
+        for (int corner = 0; corner < 4; ++corner) {
+            for (const chip::SurfacePlaquette &plaquette : plaquettes_) {
+                if (plaquette.isX != x_type)
+                    continue;
+                int data =
+                    plaquette.corners[static_cast<size_t>(corner)];
+                if (data >= 0)
+                    circuit.add2("CZ", plaquette.ancilla, data);
+            }
+        }
+    };
+
+    for (int round = 0; round < rounds; ++round) {
+        // X stabilizers: ancillas and data enter the X basis together —
+        // every basis-change layer is the same gate on many qubits.
+        for (int ancilla : xAncillas())
+            circuit.add1("Y90", ancilla);
+        for (int data = 0; data < numDataQubits(); ++data)
+            circuit.add1("Y90", data);
+        czSteps(true);
+        for (int data = 0; data < numDataQubits(); ++data)
+            circuit.add1("Ym90", data);
+        for (int ancilla : xAncillas())
+            circuit.add1("Ym90", ancilla);
+        for (int ancilla : xAncillas())
+            circuit.add1("MEASZ", ancilla);
+
+        // Z stabilizers: only the ancilla is conjugated; it ends in |1>
+        // iff the joint Z parity of its data qubits is odd.
+        for (int ancilla : zAncillas())
+            circuit.add1("Y90", ancilla);
+        czSteps(false);
+        for (int ancilla : zAncillas())
+            circuit.add1("Ym90", ancilla);
+        for (int ancilla : zAncillas())
+            circuit.add1("MEASZ", ancilla);
+    }
+    return circuit;
+}
+
+std::string
+syndromeProgram(int distance, int rounds,
+                const isa::OperationSet &operations, int error_qubit)
+{
+    RotatedSurfaceCode code(distance);
+    compiler::Circuit circuit = code.syndromeRounds(rounds, error_qubit);
+    compiler::TimedCircuit timed =
+        compiler::scheduleAsap(circuit, operations);
+    return compiler::generateProgram(timed, operations,
+                                     code.topology());
 }
 
 } // namespace eqasm::workloads

@@ -18,10 +18,12 @@
 #ifndef EQASM_WORKLOADS_SURFACE_CODE_H
 #define EQASM_WORKLOADS_SURFACE_CODE_H
 
+#include <string>
 #include <vector>
 
 #include "chip/topology.h"
 #include "compiler/circuit.h"
+#include "isa/operation_set.h"
 
 namespace eqasm::workloads {
 
@@ -47,6 +49,60 @@ compiler::Circuit zSyndromeRound(int error_qubit = -1);
  * are random for the X checks.
  */
 compiler::Circuit fullSyndromeRound(int rounds = 1);
+
+/**
+ * Distance-d rotated surface code on the generated grid chip
+ * (chip::Topology::rotatedSurface): d^2 data qubits and d^2 - 1
+ * ancillas. Generalises the fixed surface-7 layout above to any
+ * distance; d = 3 (17 qubits) is the first code that corrects an error
+ * and needs the stabilizer simulation backend.
+ */
+class RotatedSurfaceCode
+{
+  public:
+    explicit RotatedSurfaceCode(int distance);
+
+    int distance() const { return distance_; }
+    int numQubits() const { return 2 * distance_ * distance_ - 1; }
+    int numDataQubits() const { return distance_ * distance_; }
+
+    const std::vector<chip::SurfacePlaquette> &plaquettes() const
+    {
+        return plaquettes_;
+    }
+    std::vector<int> xAncillas() const;
+    std::vector<int> zAncillas() const;
+
+    /** The matching generated chip. */
+    chip::Topology topology() const;
+
+    /**
+     * @p rounds full X+Z syndrome-extraction rounds in the chip's
+     * native gate set, optionally preceded by an injected X error on
+     * @p error_qubit (-1 for none). Per round: X checks first (ancillas
+     * and data conjugated by Y90/Ym90 around four conflict-free CZ
+     * steps, one per plaquette corner), then Z checks (ancilla-only
+     * conjugation), then ancilla readout. On |0...0> every Z ancilla
+     * deterministically reports the data parity — 0 without an error —
+     * while X outcomes are random; with an injected X error the
+     * adjacent Z ancillas flip to 1.
+     */
+    compiler::Circuit syndromeRounds(int rounds = 1,
+                                     int error_qubit = -1) const;
+
+  private:
+    int distance_;
+    std::vector<chip::SurfacePlaquette> plaquettes_;
+};
+
+/**
+ * Convenience: the executable eQASM program of @p rounds syndrome
+ * rounds at distance @p distance — circuit generation, ASAP scheduling
+ * and Config-9 code generation against the generated chip.
+ */
+std::string syndromeProgram(int distance, int rounds,
+                            const isa::OperationSet &operations,
+                            int error_qubit = -1);
 
 } // namespace eqasm::workloads
 

@@ -10,6 +10,8 @@
 #include "assembler/disassembler.h"
 #include "assembler/lexer.h"
 #include "chip/topology.h"
+#include "common/error.h"
+#include "isa/encoding.h"
 #include "isa/operation_set.h"
 
 using namespace eqasm;
@@ -32,6 +34,21 @@ twoQubitAssembler()
 {
     return Assembler(isa::OperationSet::defaultSet(),
                      chip::Topology::twoQubit());
+}
+
+/** Assembler for the 17-qubit distance-3 chip: masks wider than one
+ *  word, exercising the segmented SMIS/SMIT encoding. */
+Assembler
+rotatedSurfaceAssembler()
+{
+    chip::Topology topology = chip::Topology::rotatedSurface(3);
+    isa::InstantiationParams params;
+    params.numQubits = topology.numQubits();
+    params.numEdges = topology.numEdges();
+    params.sMaskWidth = topology.numQubits();
+    params.tMaskWidth = topology.numEdges();
+    return Assembler(isa::OperationSet::defaultSet(),
+                     std::move(topology), params);
 }
 
 } // namespace
@@ -327,6 +344,65 @@ INSTANTIATE_TEST_SUITE_P(
         "CMP R1, R2\nFBR GEU, R3\nFMR R4, Q6\nLD R5, R6(100)\n"
         "ST R5, R6(-100)\nSTOP\n",
         "2, MEASZ S0\nQWAIT 50\nC_X S0\nSTOP\n"));
+
+// ------------------------------------------------- wide-mask segments
+
+TEST(WideMask, SmisBeyondSixteenQubitsSplitsIntoSegments)
+{
+    Assembler asm_ = rotatedSurfaceAssembler();
+    Program narrow = asm_.assemble("SMIS S3, {0, 15}\n");
+    EXPECT_EQ(narrow.image.size(), 1u);
+    Program wide = asm_.assemble("SMIS S3, {0, 15, 16}\n");
+    ASSERT_EQ(wide.image.size(), 2u);
+    // Segment 0 is bit-identical to the narrow encoding of the low
+    // chunk; segment 1 carries qubit 16 in its [18:16] = 1 word.
+    EXPECT_EQ(wide.image[0], narrow.image[0]);
+    isa::Instruction high = isa::decode(wide.image[1], asm_.params(),
+                                        asm_.operations());
+    EXPECT_EQ(high.kind, InstrKind::smis);
+    EXPECT_EQ(high.maskSegment, 1);
+    EXPECT_EQ(high.mask, 1u);
+}
+
+TEST(WideMask, RoundTripRestoresTheFullQubitList)
+{
+    Assembler asm_ = rotatedSurfaceAssembler();
+    Program program =
+        asm_.assemble("SMIS S0, {0, 7, 16}\n"
+                      "SMIT T1, {(9, 0), (16, 8)}\n");
+    std::string text = assembler::disassemble(
+        program.image, asm_.operations(), asm_.topology(),
+        asm_.params());
+    EXPECT_NE(text.find("SMIS S0, {0, 7, 16}"), std::string::npos)
+        << text;
+    Program again = asm_.assemble(text);
+    EXPECT_EQ(program.image, again.image) << text;
+}
+
+TEST(WideMask, DecodeRejectsSegmentsBeyondTheRegisters)
+{
+    // Segments 4..7 fit the 3-bit field but would shift past the
+    // 64-bit S/T registers; the decoder must reject them like any
+    // other malformed word instead of aliasing the shift.
+    Assembler asm_ = rotatedSurfaceAssembler();
+    Program wide = asm_.assemble("SMIS S3, {0, 16}\n");
+    ASSERT_EQ(wide.image.size(), 2u);
+    uint32_t corrupted = (wide.image[1] & ~(0x7u << 16)) | (5u << 16);
+    EXPECT_THROW(isa::decode(corrupted, asm_.params(),
+                             asm_.operations()),
+                 Error);
+}
+
+TEST(WideMask, SevenQubitChipEncodingUnchanged)
+{
+    // The wide-mask format must leave the original instantiation's
+    // binary image untouched: mask in [15:0], segment bits zero.
+    Assembler asm_ = surfaceAssembler();
+    Program program = asm_.assemble("SMIS S7, {0, 2, 5}\n");
+    ASSERT_EQ(program.image.size(), 1u);
+    EXPECT_EQ(program.image[0] & 0xffffu, 0b100101u);
+    EXPECT_EQ((program.image[0] >> 16) & 0x7u, 0u);
+}
 
 TEST(Disassembler, RendersSmitAsPairList)
 {

@@ -1,0 +1,429 @@
+/**
+ * @file
+ * Tests for the pluggable simulation-backend layer: the backend
+ * factory and its qubit-limit errors, stabilizer-tableau Clifford
+ * semantics, density/stabilizer agreement on noiseless Clifford
+ * circuits under shared per-shot seeds, and the distance-3 surface-code
+ * acceptance path through the parallel shot engine.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "assembler/assembler.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "engine/shot_engine.h"
+#include "qsim/stabilizer_tableau.h"
+#include "qsim/state_backend.h"
+#include "runtime/platform.h"
+#include "runtime/quantum_processor.h"
+#include "workloads/surface_code.h"
+
+using namespace eqasm;
+using namespace eqasm::qsim;
+using namespace eqasm::runtime;
+
+namespace {
+
+/** Serialised aggregate with run-varying fields normalised. */
+std::string
+aggregateKey(const engine::BatchResult &result)
+{
+    return result.countsFingerprint();
+}
+
+engine::BatchResult
+runProgram(const Platform &platform, const std::string &source,
+           int shots, uint64_t seed, int threads)
+{
+    QuantumProcessor processor(platform, seed);
+    processor.loadSource(source);
+    return processor.runBatch(shots, threads);
+}
+
+/** Platform copy running on the other backend. */
+Platform
+withBackend(Platform platform, BackendKind kind)
+{
+    platform.device.backend = kind;
+    return platform;
+}
+
+/**
+ * GHZ on (data 0, ancilla 5, data 1) of the distance-2 chip via the
+ * graph-state construction: all three into |+>, CZ along the path,
+ * then rotate the path ends back — stabilizers Z0 Z5, Z5 Z1, X0 X5 X1,
+ * i.e. all-equal Z outcomes.
+ */
+const char kGhzChain[] =
+    "SMIS S0, {0}\nSMIS S1, {5}\nSMIS S2, {1}\nSMIS S3, {0, 1}\n"
+    "SMIT T0, {(0, 5)}\nSMIT T1, {(5, 1)}\n"
+    "QWAIT 100\n"
+    "0, Y90 S0 | Y90 S1\n"
+    "0, Y90 S2\n"
+    "1, CZ T0\n"
+    "2, CZ T1\n"
+    "2, Ym90 S3\n"
+    "1, MEASZ S0 | MEASZ S1\n"
+    "0, MEASZ S2\n"
+    "QWAIT 50\nSTOP\n";
+
+} // namespace
+
+// ------------------------------------------------------------- factory
+
+TEST(BackendFactory, NamesRoundTrip)
+{
+    EXPECT_EQ(backendKindName(BackendKind::density), "density");
+    EXPECT_EQ(backendKindName(BackendKind::stabilizer), "stabilizer");
+    EXPECT_EQ(parseBackendKind("density"), BackendKind::density);
+    EXPECT_EQ(parseBackendKind("Stabilizer"), BackendKind::stabilizer);
+    EXPECT_EQ(parseBackendKind("chp"), BackendKind::stabilizer);
+    EXPECT_FALSE(parseBackendKind("statevector").has_value());
+}
+
+TEST(BackendFactory, CreatesConfiguredKind)
+{
+    auto density = makeBackend(BackendKind::density, 3);
+    EXPECT_EQ(density->kind(), BackendKind::density);
+    EXPECT_EQ(density->numQubits(), 3);
+    auto stabilizer = makeBackend(BackendKind::stabilizer, 17);
+    EXPECT_EQ(stabilizer->kind(), BackendKind::stabilizer);
+    EXPECT_EQ(stabilizer->numQubits(), 17);
+}
+
+TEST(BackendFactory, RejectsOversizedTopologyWithClearError)
+{
+    try {
+        makeBackend(BackendKind::density, 17);
+        FAIL() << "density backend accepted 17 qubits";
+    } catch (const Error &error) {
+        std::string message = error.message();
+        EXPECT_NE(message.find("17 qubits"), std::string::npos)
+            << message;
+        EXPECT_NE(message.find("density"), std::string::npos) << message;
+        EXPECT_NE(message.find("stabilizer"), std::string::npos)
+            << message;
+    }
+}
+
+TEST(BackendFactory, DeviceConstructionFailsForOversizedChip)
+{
+    DeviceConfig config;  // density backend by default
+    EXPECT_THROW(SimulatedDevice(chip::Topology::rotatedSurface(3),
+                                 config),
+                 Error);
+    config.backend = BackendKind::stabilizer;
+    EXPECT_NO_THROW(SimulatedDevice(chip::Topology::rotatedSurface(3),
+                                    config));
+}
+
+TEST(BackendFactory, StateAccessorNeedsDensityBackend)
+{
+    DeviceConfig config;
+    config.backend = BackendKind::stabilizer;
+    SimulatedDevice device(chip::Topology::twoQubit(), config);
+    EXPECT_THROW(device.state(), Error);
+    EXPECT_EQ(device.backend().kind(), BackendKind::stabilizer);
+}
+
+// ----------------------------------------------- result provenance
+
+TEST(BatchProvenance, MergeAdoptsAndReconcilesProvenance)
+{
+    engine::BatchResult shard;
+    shard.backend = "stabilizer";
+    shard.seed = 7;
+    shard.threads = 2;
+
+    engine::BatchResult merged;
+    merged.merge(shard);
+    EXPECT_EQ(merged.backend, "stabilizer");
+    EXPECT_EQ(merged.seed, 7u);
+    EXPECT_EQ(merged.threads, 2);
+
+    // Conflicting origins must not claim a single one.
+    engine::BatchResult foreign;
+    foreign.backend = "density";
+    foreign.seed = 9;
+    foreign.threads = 1;
+    merged.merge(foreign);
+    EXPECT_EQ(merged.backend, "mixed");
+    EXPECT_EQ(merged.seed, 0u);
+    EXPECT_EQ(merged.threads, 2);
+}
+
+// -------------------------------------------------- stabilizer tableau
+
+TEST(StabilizerTableau, InitialStateMeasuresZero)
+{
+    StabilizerTableau tableau(3);
+    Rng rng(7);
+    for (int q = 0; q < 3; ++q) {
+        EXPECT_TRUE(tableau.isDeterministic(q));
+        EXPECT_DOUBLE_EQ(tableau.probabilityOne(q), 0.0);
+        EXPECT_EQ(tableau.measure(q, rng), 0);
+    }
+}
+
+TEST(StabilizerTableau, PauliAndRotationSemantics)
+{
+    StabilizerTableau tableau(2);
+    Rng rng(7);
+    tableau.gateX(0);
+    EXPECT_DOUBLE_EQ(tableau.probabilityOne(0), 1.0);
+    EXPECT_EQ(tableau.measure(0, rng), 1);
+
+    // X90 twice = X (up to phase): |0> -> |1>.
+    tableau.reset();
+    tableau.gateX90(1);
+    EXPECT_FALSE(tableau.isDeterministic(1));
+    EXPECT_DOUBLE_EQ(tableau.probabilityOne(1), 0.5);
+    tableau.gateX90(1);
+    EXPECT_DOUBLE_EQ(tableau.probabilityOne(1), 1.0);
+
+    // Y90 then Ym90 cancels.
+    tableau.reset();
+    tableau.gateY90(0);
+    tableau.gateYm90(0);
+    EXPECT_DOUBLE_EQ(tableau.probabilityOne(0), 0.0);
+
+    // S^4 = identity on stabilizers.
+    tableau.reset();
+    tableau.gateH(0);
+    std::string before = tableau.stabilizerString(0);
+    for (int i = 0; i < 4; ++i)
+        tableau.gateS(0);
+    EXPECT_EQ(tableau.stabilizerString(0), before);
+}
+
+TEST(StabilizerTableau, BellPairIsCorrelated)
+{
+    Rng rng(123);
+    int equal = 0;
+    const int shots = 64;
+    for (int shot = 0; shot < shots; ++shot) {
+        StabilizerTableau tableau(2);
+        tableau.gateH(0);
+        tableau.gateCnot(0, 1);
+        EXPECT_EQ(tableau.stabilizerString(0), "+XX");
+        EXPECT_EQ(tableau.stabilizerString(1), "+ZZ");
+        int a = tableau.measure(0, rng);
+        int b = tableau.measure(1, rng);
+        EXPECT_EQ(a, b);
+        equal += a;
+    }
+    // Both outcomes occur.
+    EXPECT_GT(equal, 0);
+    EXPECT_LT(equal, shots);
+}
+
+TEST(StabilizerTableau, CzMatchesCnotConjugation)
+{
+    // CZ sandwiched in H on the target equals CNOT: |10> -> |11>.
+    StabilizerTableau tableau(2);
+    Rng rng(3);
+    tableau.gateX(0);
+    tableau.gateH(1);
+    tableau.gateCz(0, 1);
+    tableau.gateH(1);
+    EXPECT_DOUBLE_EQ(tableau.probabilityOne(0), 1.0);
+    EXPECT_DOUBLE_EQ(tableau.probabilityOne(1), 1.0);
+    (void)rng;
+}
+
+TEST(StabilizerTableau, ResetQubitReprepares)
+{
+    StabilizerTableau tableau(2);
+    Rng rng(5);
+    tableau.gateX(0);
+    tableau.gateH(1);
+    tableau.resetQubit(0, rng);
+    tableau.resetQubit(1, rng);
+    EXPECT_DOUBLE_EQ(tableau.probabilityOne(0), 0.0);
+    EXPECT_DOUBLE_EQ(tableau.probabilityOne(1), 0.0);
+}
+
+TEST(StabilizerTableau, RejectsNonCliffordGates)
+{
+    StabilizerTableau tableau(1);
+    auto t_gate = makeGate("t");
+    ASSERT_TRUE(t_gate.has_value());
+    EXPECT_THROW(tableau.applyGate1(*t_gate, 0), Error);
+    auto rx45 = makeGate("rx:45");
+    ASSERT_TRUE(rx45.has_value());
+    EXPECT_THROW(tableau.applyGate1(*rx45, 0), Error);
+    // Clifford angles of the parametric form are accepted.
+    auto rx180 = makeGate("rx:180");
+    ASSERT_TRUE(rx180.has_value());
+    tableau.applyGate1(*rx180, 0);
+    EXPECT_DOUBLE_EQ(tableau.probabilityOne(0), 1.0);
+}
+
+TEST(StabilizerTableau, MeasureConsumesExactlyOneDraw)
+{
+    // Deterministic and random measurements must consume the same
+    // number of draws, or backend agreement under shared seeds breaks.
+    StabilizerTableau tableau(2);
+    tableau.gateH(0);  // qubit 0 random, qubit 1 deterministic
+    Rng a(99);
+    Rng b(99);
+    (void)tableau.probabilityOne(0);
+    StabilizerTableau copy = tableau;
+    (void)copy.measure(1, a);  // deterministic: one draw
+    (void)a.uniform();
+    (void)b.uniform();         // align manually
+    (void)b.uniform();
+    EXPECT_EQ(a.next(), b.next());
+}
+
+// -------------------------------------------- density <-> stabilizer
+
+TEST(BackendAgreement, CliffordProgramsProduceIdenticalCounts)
+{
+    // Noiseless Clifford programs on the 7-qubit distance-2 chip: the
+    // AllXY Clifford subset, a GHZ-style entangling chain and one full
+    // syndrome round must sample identical bits on both backends under
+    // the same per-shot seeds, at 1 and 4 engine threads.
+    Platform stab = Platform::ideal(Platform::rotatedSurface(2));
+    Platform dens = withBackend(stab, BackendKind::density);
+
+    const std::string allxy_clifford =
+        "SMIS S0, {0}\nSMIS S1, {1}\nSMIS S2, {2, 3}\n"
+        "QWAIT 100\n"
+        "0, X S0 | Y S1\n"
+        "1, X90 S0 | Y90 S1\n"
+        "1, Xm90 S2\n"
+        "1, Ym90 S0 | I S1\n"
+        "1, MEASZ S2\n"
+        "3, MEASZ S0 | MEASZ S1\n"
+        "QWAIT 50\nSTOP\n";
+    const std::string ghz_chain = kGhzChain;
+    const std::string syndrome =
+        workloads::syndromeProgram(2, 1, stab.operations);
+
+    int index = 0;
+    for (const std::string &source :
+         {allxy_clifford, ghz_chain, syndrome}) {
+        SCOPED_TRACE(index++);
+        for (int threads : {1, 4}) {
+            SCOPED_TRACE(threads);
+            engine::BatchResult on_stab =
+                runProgram(stab, source, 160, 2024, threads);
+            engine::BatchResult on_dens =
+                runProgram(dens, source, 160, 2024, threads);
+            EXPECT_EQ(on_stab.histogram, on_dens.histogram);
+            for (const auto &[qubit, counts] : on_dens.qubitCounts) {
+                EXPECT_EQ(on_stab.qubitCounts.at(qubit).ones,
+                          counts.ones)
+                    << "qubit " << qubit;
+            }
+        }
+    }
+}
+
+TEST(BackendAgreement, GhzChainIsPerfectlyCorrelated)
+{
+    Platform platform = Platform::ideal(Platform::rotatedSurface(2));
+    engine::BatchResult result =
+        runProgram(platform, kGhzChain, 256, 7, 2);
+    uint64_t counted = 0;
+    for (const auto &[bits, count] : result.histogram) {
+        EXPECT_TRUE(bits == "q0=0 q1=0 q5=0" ||
+                    bits == "q0=1 q1=1 q5=1")
+            << bits;
+        counted += count;
+    }
+    EXPECT_EQ(counted, 256u);
+    EXPECT_GT(result.qubitCounts.at(0).ones, 0u);
+    EXPECT_LT(result.qubitCounts.at(0).ones, 256u);
+}
+
+// ------------------------------------------- d = 3 through the engine
+
+TEST(SurfaceQec, Distance3RunsThroughShotEngineDeterministically)
+{
+    // Acceptance criterion: 17 qubits, >= 1000 syndrome-extraction
+    // shots on the stabilizer backend with the calibrated noise model,
+    // bitwise-identical BatchResult across 1/2/4 worker threads.
+    Platform platform = Platform::rotatedSurface(3);
+    EXPECT_EQ(platform.topology.numQubits(), 17);
+    std::string source =
+        workloads::syndromeProgram(3, 1, platform.operations);
+
+    assembler::Assembler asm_(platform.operations, platform.topology,
+                              platform.params);
+    engine::Job job;
+    job.image = asm_.assemble(source).image;
+    job.shots = 1000;
+    job.seed = 99;
+    job.label = "surface_d3";
+
+    engine::EngineConfig serial;
+    serial.threads = 1;
+    engine::ShotEngine one(platform, serial);
+    engine::BatchResult reference = one.run(job);
+    EXPECT_EQ(reference.shots, 1000u);
+    EXPECT_EQ(reference.backend, "stabilizer");
+    EXPECT_EQ(reference.seed, 99u);
+    EXPECT_EQ(reference.threads, 1);
+    // All 8 ancillas are measured every shot.
+    workloads::RotatedSurfaceCode code(3);
+    for (int ancilla : code.xAncillas())
+        EXPECT_EQ(reference.qubitCounts.at(ancilla).shots, 1000u);
+    for (int ancilla : code.zAncillas())
+        EXPECT_EQ(reference.qubitCounts.at(ancilla).shots, 1000u);
+
+    for (int threads : {2, 4}) {
+        engine::EngineConfig config;
+        config.threads = threads;
+        config.chunkShots = 7;  // maximise scheduling interleave
+        engine::ShotEngine pool(platform, config);
+        engine::BatchResult result = pool.run(job);
+        EXPECT_EQ(aggregateKey(result), aggregateKey(reference))
+            << "thread count " << threads
+            << " changed the aggregated result";
+    }
+}
+
+TEST(SurfaceQec, InjectedErrorFlipsAdjacentZChecks)
+{
+    // Noiseless distance-3 round with an X error on data qubit 4 (the
+    // grid centre): exactly the Z ancillas adjacent to it report 1.
+    Platform platform = Platform::ideal(Platform::rotatedSurface(3));
+    std::string source =
+        workloads::syndromeProgram(3, 1, platform.operations, 4);
+    engine::BatchResult result =
+        runProgram(platform, source, 32, 5, 2);
+
+    workloads::RotatedSurfaceCode code(3);
+    for (const chip::SurfacePlaquette &plaquette : code.plaquettes()) {
+        if (plaquette.isX)
+            continue;
+        std::vector<int> data = plaquette.dataQubits();
+        bool adjacent = std::find(data.begin(), data.end(), 4) !=
+                        data.end();
+        EXPECT_DOUBLE_EQ(result.fractionOne(plaquette.ancilla),
+                         adjacent ? 1.0 : 0.0)
+            << "ancilla " << plaquette.ancilla;
+    }
+}
+
+TEST(SurfaceQec, StabilizerRejectsNonCliffordProgram)
+{
+    // The Rabi-style parametric pulse is not Clifford: the stabilizer
+    // backend must fail the job with a clear error instead of
+    // mis-simulating it.
+    Platform platform = Platform::ideal(Platform::rotatedSurface(2));
+    isa::OperationInfo pulse;
+    pulse.name = "X_AMP";
+    pulse.opcode = 100;
+    pulse.opClass = isa::OpClass::singleQubit;
+    pulse.unitary = "rx:45";
+    platform.operations.add(pulse);
+    QuantumProcessor processor(platform, 1);
+    processor.loadSource("SMIS S0, {0}\nQWAIT 100\nX_AMP S0\n"
+                         "MEASZ S0\nQWAIT 50\nSTOP\n");
+    EXPECT_THROW(processor.runBatch(16, 2), Error);
+}

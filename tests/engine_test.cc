@@ -43,13 +43,11 @@ activeResetJob(const Platform &platform, int shots, uint64_t seed)
 }
 
 /** Serialised aggregates with the (legitimately nondeterministic)
- *  wall-clock fields zeroed. */
+ *  wall-clock and pool-size provenance fields zeroed. */
 std::string
-aggregateKey(BatchResult result)
+aggregateKey(const BatchResult &result)
 {
-    result.wallSeconds = 0.0;
-    result.shotsPerSecond = 0.0;
-    return result.toJson().dump();
+    return result.countsFingerprint();
 }
 
 } // namespace

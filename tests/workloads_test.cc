@@ -5,6 +5,7 @@
  * tables and programs, the Fig. 7 benchmark circuits' structural
  * statistics, and the two-qubit Grover construction.
  */
+#include <algorithm>
 #include <cmath>
 #include <gtest/gtest.h>
 
@@ -371,6 +372,133 @@ TEST(SurfaceCode, FullRoundUsesOnlyAllowedPairs)
         }
     }
     circuit.validate(isa::OperationSet::defaultSet());
+}
+
+// ------------------------------------------- rotated surface code (d)
+
+class RotatedSurface : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RotatedSurface, LayoutInvariants)
+{
+    int d = GetParam();
+    RotatedSurfaceCode code(d);
+    EXPECT_EQ(code.numDataQubits(), d * d);
+    EXPECT_EQ(static_cast<int>(code.plaquettes().size()), d * d - 1);
+    // Odd distances split checks evenly; d = 2 has 2 X + 1 Z.
+    int x_count = static_cast<int>(code.xAncillas().size());
+    int z_count = static_cast<int>(code.zAncillas().size());
+    EXPECT_EQ(x_count + z_count, d * d - 1);
+    EXPECT_LE(std::abs(x_count - z_count), 1);
+
+    int bulk = 0;
+    std::vector<int> x_checks_per_data(
+        static_cast<size_t>(code.numDataQubits()), 0);
+    std::vector<int> z_checks_per_data(x_checks_per_data);
+    for (const chip::SurfacePlaquette &plaquette : code.plaquettes()) {
+        std::vector<int> data = plaquette.dataQubits();
+        EXPECT_TRUE(data.size() == 2 || data.size() == 4);
+        bulk += data.size() == 4 ? 1 : 0;
+        EXPECT_GE(plaquette.ancilla, code.numDataQubits());
+        EXPECT_LT(plaquette.ancilla, code.numQubits());
+        for (int qubit : data) {
+            ASSERT_GE(qubit, 0);
+            ASSERT_LT(qubit, code.numDataQubits());
+            auto &per_data =
+                plaquette.isX ? x_checks_per_data : z_checks_per_data;
+            ++per_data[static_cast<size_t>(qubit)];
+        }
+    }
+    EXPECT_EQ(bulk, (d - 1) * (d - 1));
+    // Every data qubit is covered by 1-2 checks of each basis, and
+    // neighbouring checks overlap on at most... (commutation: X and Z
+    // plaquettes share 0 or 2 data qubits).
+    for (int count : x_checks_per_data) {
+        EXPECT_GE(count, 1);
+        EXPECT_LE(count, 2);
+    }
+    for (int count : z_checks_per_data) {
+        EXPECT_GE(count, 1);
+        EXPECT_LE(count, 2);
+    }
+    for (const chip::SurfacePlaquette &x_plaquette : code.plaquettes()) {
+        if (!x_plaquette.isX)
+            continue;
+        for (const chip::SurfacePlaquette &z_plaquette :
+             code.plaquettes()) {
+            if (z_plaquette.isX)
+                continue;
+            std::vector<int> x_data = x_plaquette.dataQubits();
+            int shared = 0;
+            for (int qubit : z_plaquette.dataQubits()) {
+                shared += std::find(x_data.begin(), x_data.end(),
+                                    qubit) != x_data.end();
+            }
+            EXPECT_TRUE(shared == 0 || shared == 2)
+                << "anticommuting X/Z checks share " << shared
+                << " data qubits";
+        }
+    }
+}
+
+TEST_P(RotatedSurface, TopologyMatchesPlaquettes)
+{
+    int d = GetParam();
+    RotatedSurfaceCode code(d);
+    chip::Topology topology = code.topology();
+    EXPECT_EQ(topology.numQubits(), 2 * d * d - 1);
+    int couplings = 0;
+    for (const chip::SurfacePlaquette &plaquette : code.plaquettes()) {
+        for (int data : plaquette.dataQubits()) {
+            ++couplings;
+            EXPECT_TRUE(
+                topology.edgeIndex(plaquette.ancilla, data).has_value());
+            EXPECT_TRUE(
+                topology.edgeIndex(data, plaquette.ancilla).has_value());
+        }
+    }
+    EXPECT_EQ(topology.numEdges(), 2 * couplings);
+}
+
+TEST_P(RotatedSurface, SyndromeCircuitIsConflictFreePerStep)
+{
+    int d = GetParam();
+    RotatedSurfaceCode code(d);
+    compiler::Circuit circuit = code.syndromeRounds(2);
+    circuit.validate(isa::OperationSet::defaultSet());
+    chip::Topology topology = code.topology();
+    for (const compiler::Gate &gate : circuit.gates) {
+        if (gate.qubits.size() == 2) {
+            EXPECT_TRUE(
+                topology.edgeIndex(gate.qubits[0], gate.qubits[1])
+                    .has_value());
+        }
+    }
+    // Each round measures every ancilla exactly once.
+    int measurements = 0;
+    for (const compiler::Gate &gate : circuit.gates)
+        measurements += gate.op == "MEASZ" ? 1 : 0;
+    EXPECT_EQ(measurements, 2 * (d * d - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, RotatedSurface,
+                         ::testing::Values(2, 3, 5));
+
+TEST(RotatedSurfaceCircuit, NoiselessZChecksReadZeroAtDistance2)
+{
+    // d = 2 fits the density backend: run one round end-to-end through
+    // codegen -> assembler -> engine and check the Z ancilla parity.
+    runtime::Platform platform =
+        runtime::Platform::ideal(runtime::Platform::rotatedSurface(2));
+    platform.device.backend = qsim::BackendKind::density;
+    runtime::QuantumProcessor processor(platform, 3);
+    processor.loadSource(
+        syndromeProgram(2, 1, platform.operations));
+    engine::BatchResult result = processor.runBatch(64, 2);
+    RotatedSurfaceCode code(2);
+    for (int ancilla : code.zAncillas())
+        EXPECT_DOUBLE_EQ(result.fractionOne(ancilla), 0.0);
 }
 
 // ---------------------------------------------------------- experiments

@@ -12,3 +12,11 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 # Smoke-test the engine determinism + throughput harness.
 "$BUILD_DIR"/bench_engine_throughput
+
+# Stabilizer-backend smoke: the distance-3 surface-code syndrome
+# workload (17 qubits) through the shot engine. Run separately from the
+# ctest suite so backend regressions fail visibly on their own step.
+echo "== stabilizer backend smoke (d=3 syndrome round) =="
+"$BUILD_DIR"/eqasm-run --qec 3 --backend stabilizer --shots 500 \
+    --threads 4 --json > /dev/null
+echo "stabilizer smoke passed"

@@ -11,11 +11,18 @@
  *   eqasm-run [options] <input.eqasm>
  *     --chip two_qubit|surface7    target platform (default two_qubit)
  *     --platform <config.json>     full platform configuration
+ *     --qec D                      built-in distance-D rotated
+ *                                  surface-code syndrome workload on
+ *                                  the generated chip (no input file)
+ *     --rounds N                   syndrome rounds for --qec (default 1)
+ *     --backend density|stabilizer simulation backend override
  *     --shots N                    number of shots (default 1024)
  *     --threads K                  worker threads (default 0 = auto)
  *     --seed S                     RNG seed (default 1)
  *     --ideal                      disable all noise
  *     --json                       emit the BatchResult as JSON
+ *                                  (includes backend/seed/threads
+ *                                  provenance for sharded runs)
  *     --trace                      dump shot 0's trace to stderr
  */
 #include <cstdio>
@@ -29,6 +36,7 @@
 #include "engine/shot_engine.h"
 #include "runtime/platform.h"
 #include "runtime/quantum_processor.h"
+#include "workloads/surface_code.h"
 
 using namespace eqasm;
 
@@ -75,8 +83,12 @@ int
 main(int argc, char **argv)
 {
     std::string chip = "two_qubit";
+    bool chip_set = false;
     std::string platform_file;
     std::string input_file;
+    std::string backend_name;
+    int qec_distance = 0;
+    int qec_rounds = 1;
     int shots = 1024;
     int threads = 0;
     uint64_t seed = 1;
@@ -88,8 +100,21 @@ main(int argc, char **argv)
         std::string arg = argv[i];
         if (arg == "--chip" && i + 1 < argc) {
             chip = argv[++i];
+            chip_set = true;
         } else if (arg == "--platform" && i + 1 < argc) {
             platform_file = argv[++i];
+        } else if (arg == "--qec" && i + 1 < argc) {
+            qec_distance = static_cast<int>(parseInt(argv[++i]));
+            if (qec_distance < 2) {
+                std::fprintf(stderr,
+                             "--qec needs a distance >= 2, got %d\n",
+                             qec_distance);
+                return 2;
+            }
+        } else if (arg == "--rounds" && i + 1 < argc) {
+            qec_rounds = static_cast<int>(parseInt(argv[++i]));
+        } else if (arg == "--backend" && i + 1 < argc) {
+            backend_name = argv[++i];
         } else if (arg == "--shots" && i + 1 < argc) {
             shots = static_cast<int>(parseInt(argv[++i]));
         } else if (arg == "--threads" && i + 1 < argc) {
@@ -105,6 +130,8 @@ main(int argc, char **argv)
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr,
                          "usage: eqasm-run [--chip c] [--platform f] "
+                         "[--qec d] [--rounds n] "
+                         "[--backend density|stabilizer] "
                          "[--shots n] [--threads k] [--seed s] "
                          "[--ideal] [--json] [--trace] [input]\n");
             return 2;
@@ -113,9 +140,25 @@ main(int argc, char **argv)
         }
     }
 
+    if (qec_rounds < 1) {
+        std::fprintf(stderr, "--rounds needs a value >= 1, got %d\n",
+                     qec_rounds);
+        return 2;
+    }
+    if (qec_distance > 0 &&
+        (chip_set || !platform_file.empty() || !input_file.empty())) {
+        std::fprintf(stderr,
+                     "--qec generates its own platform and program; it "
+                     "cannot be combined with --chip, --platform or an "
+                     "input file\n");
+        return 2;
+    }
+
     try {
         runtime::Platform platform;
-        if (!platform_file.empty()) {
+        if (qec_distance > 0) {
+            platform = runtime::Platform::rotatedSurface(qec_distance);
+        } else if (!platform_file.empty()) {
             std::ifstream in(platform_file);
             if (!in) {
                 std::fprintf(stderr, "cannot open platform file '%s'\n",
@@ -129,11 +172,25 @@ main(int argc, char **argv)
         } else {
             platform = runtime::Platform::twoQubit();
         }
+        if (!backend_name.empty()) {
+            auto backend = qsim::parseBackendKind(backend_name);
+            if (!backend) {
+                std::fprintf(stderr,
+                             "unknown backend '%s' (expected 'density' "
+                             "or 'stabilizer')\n",
+                             backend_name.c_str());
+                return 2;
+            }
+            platform.device.backend = *backend;
+        }
         if (ideal)
             platform = runtime::Platform::ideal(platform);
 
         std::string source;
-        if (input_file.empty()) {
+        if (qec_distance > 0) {
+            source = workloads::syndromeProgram(qec_distance, qec_rounds,
+                                                platform.operations);
+        } else if (input_file.empty()) {
             source = readAll(std::cin);
         } else {
             std::ifstream in(input_file);
@@ -157,9 +214,10 @@ main(int argc, char **argv)
             return 0;
         }
 
-        std::printf("ran %llu shots (%llu cycles per shot, %.0f "
-                    "shots/s)\n",
+        std::printf("ran %llu shots on the %s backend (%llu cycles per "
+                    "shot, %.0f shots/s)\n",
                     static_cast<unsigned long long>(result.shots),
+                    result.backend.c_str(),
                     static_cast<unsigned long long>(
                         result.shots > 0 ? result.stats.cycles /
                                                result.shots
