@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Scheduler latency under load — the serving-system scenario the
+ * ROADMAP's "heavy traffic" north star names: a saturating background
+ * QEC batch (the paper's Section 5 surface-code workload, 100k shots)
+ * shares the engine with small interactive calibration jobs, and the
+ * scheduling policy decides who waits.
+ *
+ * For each policy (fifo, priority, fair_share) the bench submits one
+ * big background job, then a train of 100-shot interactive jobs, and
+ * reports the interactive jobs' p50/p99 completion latency plus the
+ * background job's makespan. Expectations:
+ *
+ *  - fifo: interactive jobs queue behind the background batch — their
+ *    latency is the background's remaining drain time.
+ *  - priority: an interactive job claims the next worker visit (chunk
+ *    boundary, <= chunkShots in-flight shots of delay) — latency drops
+ *    by orders of magnitude; the bench FAILS if the p50 speedup over
+ *    fifo is below 5x (the PR's acceptance bar).
+ *  - fair_share: the calib tenant gets a weighted share of visits —
+ *    latency lands between the two.
+ *
+ * Because shots draw from counter-based per-shot streams, every policy
+ * must fold every job to the identical countsFingerprint(); the bench
+ * verifies that across all policies and fails on any mismatch.
+ *
+ * --quick shrinks the background batch for CI smoke runs (the 5x
+ * check then only warns: a tiny background job can drain before it
+ * saturates anything).
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "assembler/assembler.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "engine/shot_engine.h"
+#include "runtime/platform.h"
+#include "workloads/surface_code.h"
+
+using namespace eqasm;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double
+percentile(std::vector<double> sorted, double fraction)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::sort(sorted.begin(), sorted.end());
+    size_t index = static_cast<size_t>(
+        fraction * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(index, sorted.size() - 1)];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+    }
+
+    const int background_shots = quick ? 4000 : 100000;
+    const int interactive_shots = 100;
+    const int interactive_jobs = 9;
+    const int threads = 2;
+
+    std::printf("=== Multi-tenant scheduling: interactive latency "
+                "under a %d-shot QEC background ===\n\n",
+                background_shots);
+
+    // The distance-3 rotated surface code on the stabilizer backend:
+    // the workload class the background batch represents, fast enough
+    // to push >10k shots/s through the full architecture.
+    runtime::Platform platform = runtime::Platform::rotatedSurface(3);
+    platform.device.backend = qsim::BackendKind::stabilizer;
+    assembler::Assembler assembler(platform.operations,
+                                   platform.topology, platform.params);
+    std::vector<uint32_t> image =
+        assembler
+            .assemble(workloads::syndromeProgram(3, 1,
+                                                 platform.operations))
+            .image;
+
+    const sched::Policy policies[] = {sched::Policy::fifo,
+                                      sched::Policy::priority,
+                                      sched::Policy::fairShare};
+
+    Table table({"policy", "interactive p50 ms", "interactive p99 ms",
+                 "background s", "p50 speedup vs fifo"});
+    double fifo_p50 = 0.0;
+    double priority_speedup = 0.0;
+    // policy -> per-interactive-job fingerprints (must all agree).
+    std::map<int, std::vector<std::string>> fingerprints;
+
+    for (const sched::Policy policy : policies) {
+        engine::EngineConfig config;
+        config.threads = threads;
+        config.scheduler.policy = policy;
+        config.scheduler.tenantWeights["calib"] = 1;
+        config.scheduler.tenantWeights["qec-batch"] = 1;
+        engine::ShotEngine engine(platform, config);
+
+        // Warm-up: build every worker's replica before timing.
+        {
+            engine::Job warm;
+            warm.image = image;
+            warm.shots = threads * config.chunkShots;
+            warm.seed = 999;
+            warm.label = "warmup";
+            engine.run(warm);
+        }
+
+        engine::Job background;
+        background.image = image;
+        background.shots = background_shots;
+        background.seed = 11;
+        background.label = "qec-background";
+        background.tenant = "qec-batch";
+        background.priority = 0;
+
+        auto background_start = Clock::now();
+        sched::JobHandle background_handle =
+            engine.submit(std::move(background));
+
+        // Give the background a head start so every interactive job
+        // arrives at a saturated engine, then submit the whole train
+        // without waiting in between — waiting per job would let the
+        // fifo background drain during the first wait and hand the
+        // later samples an idle engine.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+        std::vector<sched::JobHandle> handles;
+        std::vector<Clock::time_point> submit_times;
+        for (int i = 0; i < interactive_jobs; ++i) {
+            engine::Job interactive;
+            interactive.image = image;
+            interactive.shots = interactive_shots;
+            interactive.seed = 100 + static_cast<uint64_t>(i);
+            interactive.label = format("calib_%d", i);
+            interactive.tenant = "calib";
+            interactive.priority = 10;
+
+            submit_times.push_back(Clock::now());
+            handles.push_back(engine.submit(std::move(interactive)));
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+
+        // Interactive jobs share one lane (equal priority, one
+        // tenant), so they complete in submission order under every
+        // policy and waiting in order observes each completion as it
+        // happens.
+        std::vector<double> latencies_ms;
+        for (int i = 0; i < interactive_jobs; ++i) {
+            handles[static_cast<size_t>(i)].wait();
+            latencies_ms.push_back(
+                std::chrono::duration<double, std::milli>(
+                    Clock::now() - submit_times[static_cast<size_t>(i)])
+                    .count());
+            fingerprints[i].push_back(
+                handles[static_cast<size_t>(i)]
+                    .get()
+                    .countsFingerprint());
+        }
+
+        background_handle.wait();
+        double background_seconds = std::chrono::duration<double>(
+                                        Clock::now() - background_start)
+                                        .count();
+        engine::BatchResult background_result = background_handle.get();
+        fingerprints[-1].push_back(
+            background_result.countsFingerprint());
+
+        double p50 = percentile(latencies_ms, 0.50);
+        double p99 = percentile(latencies_ms, 0.99);
+        double speedup = 0.0;
+        if (policy == sched::Policy::fifo) {
+            fifo_p50 = p50;
+            speedup = 1.0;
+        } else {
+            speedup = p50 > 0.0 ? fifo_p50 / p50 : 0.0;
+        }
+        if (policy == sched::Policy::priority)
+            priority_speedup = speedup;
+        table.addRow({sched::policyName(policy), format("%.1f", p50),
+                      format("%.1f", p99),
+                      format("%.2f", background_seconds),
+                      format("%.1fx", speedup)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // Determinism: the same job must fold to the same counts under
+    // every policy (and for the background, every claim interleaving).
+    for (const auto &[job, keys] : fingerprints) {
+        for (const std::string &key : keys) {
+            if (key != keys.front()) {
+                std::printf("ERROR: scheduling policy changed the "
+                            "aggregate of %s\n",
+                            job < 0 ? "the background job"
+                                    : format("calib_%d", job).c_str());
+                return 1;
+            }
+        }
+    }
+    std::printf("per-job counts identical across all policies: yes\n");
+
+    if (priority_speedup < 5.0) {
+        if (quick) {
+            std::printf("note: priority p50 speedup %.1fx below 5x — "
+                        "expected under --quick (background too small "
+                        "to saturate)\n",
+                        priority_speedup);
+        } else {
+            std::printf("ERROR: priority p50 speedup %.1fx is below "
+                        "the 5x acceptance bar\n",
+                        priority_speedup);
+            return 1;
+        }
+    } else {
+        std::printf("priority p50 speedup %.1fx >= 5x acceptance "
+                    "bar\n",
+                    priority_speedup);
+    }
+    return 0;
+}

@@ -97,18 +97,59 @@ BatchResult::fractionOne(int qubit) const
            static_cast<double>(shots);
 }
 
+namespace {
+
+/** 64-bit FNV-1a over @p text. */
+uint64_t
+fnv1a64(const std::string &text)
+{
+    uint64_t hash = 1469598103934665603ULL;
+    for (unsigned char byte : text) {
+        hash ^= byte;
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+/** Zeroes the legitimately run-varying keys of a serialised body in
+ *  place and hashes the canonical dump. */
+std::string
+fingerprintOf(Json &body)
+{
+    body.set("threads", static_cast<int64_t>(0));
+    body.set("wall_seconds", 0.0);
+    body.set("shots_per_second", 0.0);
+    return format("fnv1a:%016llx",
+                  static_cast<unsigned long long>(
+                      fnv1a64(body.dump())));
+}
+
+} // namespace
+
 std::string
 BatchResult::countsFingerprint() const
 {
-    BatchResult copy = *this;
-    copy.wallSeconds = 0.0;
-    copy.shotsPerSecond = 0.0;
-    copy.threads = 0;
-    return copy.toJson().dump();
+    Json body = toJsonBody();
+    return fingerprintOf(body);
 }
 
 Json
 BatchResult::toJson() const
+{
+    // One body build: zero the run-varying keys for the hash, then put
+    // the real values back (set() overwrites in place, so the key
+    // order — and therefore the canonical form — is unchanged).
+    Json result = toJsonBody();
+    std::string fingerprint = fingerprintOf(result);
+    result.set("threads", static_cast<int64_t>(threads));
+    result.set("wall_seconds", wallSeconds);
+    result.set("shots_per_second", shotsPerSecond);
+    result.set("counts_fingerprint", fingerprint);
+    return result;
+}
+
+Json
+BatchResult::toJsonBody() const
 {
     Json qubits = Json::makeArray();
     for (const auto &[qubit, counts] : qubitCounts) {

@@ -70,11 +70,14 @@ struct BatchResult {
     void merge(const BatchResult &other);
 
     /**
-     * Deterministic serialised fingerprint: toJson() with the
-     * legitimately run-varying fields (wallSeconds, shotsPerSecond,
-     * threads) zeroed. Equal fingerprints == identical counts; the
-     * thread-count determinism checks in the tests and benches compare
-     * these.
+     * Deterministic fingerprint of the counts: a 64-bit FNV-1a hash
+     * (rendered "fnv1a:<16 hex digits>") of the canonical serialisation
+     * with the legitimately run-varying fields (wallSeconds,
+     * shotsPerSecond, threads) zeroed. Equal fingerprints == identical
+     * counts; the thread-count and policy determinism checks in the
+     * tests and benches compare these, and toJson() embeds the value
+     * so sharded-slice merges can verify determinism end to end from
+     * the serialised files alone.
      */
     std::string countsFingerprint() const;
 
@@ -86,8 +89,14 @@ struct BatchResult {
      */
     double fractionOne(int qubit) const;
 
-    /** Serialises counts, histogram, stats and throughput. */
+    /** Serialises counts, histogram, stats, throughput and the
+     *  counts_fingerprint (see countsFingerprint()). */
     Json toJson() const;
+
+  private:
+    /** toJson() without the fingerprint field — the canonical body the
+     *  fingerprint hashes (keeping the two from recursing). */
+    Json toJsonBody() const;
 };
 
 } // namespace eqasm::engine

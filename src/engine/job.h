@@ -8,15 +8,24 @@
  * determines every stochastic choice of every shot through the
  * counter-based per-shot streams (Rng::forShot), so a job's aggregated
  * result is independent of how its shots are scheduled across workers.
+ *
+ * The scheduling fields (tenant, priority, deadline) feed the
+ * sched::JobScheduler policies; they change *when* shots run, never
+ * what they produce. onPartial streams merged snapshots while the
+ * batch runs so long jobs report progress and calibration loops can
+ * stop early (cancel the handle once the estimate converges).
  */
 #ifndef EQASM_ENGINE_JOB_H
 #define EQASM_ENGINE_JOB_H
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 namespace eqasm::engine {
+
+struct BatchResult;
 
 /** One batch-execution request. */
 struct Job {
@@ -24,6 +33,20 @@ struct Job {
     int shots = 1;                ///< number of shots to execute.
     uint64_t seed = 1;            ///< base seed of the per-shot streams.
     std::string label;            ///< free-form tag echoed in results.
+
+    // --- scheduling metadata (see sched::JobScheduler) ---
+    std::string tenant;           ///< fair-share bucket ("" = default).
+    int priority = 0;             ///< higher runs earlier (priority policy).
+    uint64_t deadlineUs = 0;      ///< soft deadline, tie-break only (0 = none).
+
+    // --- streaming partial results ---
+    /** Invoked with a merged snapshot of the aggregate every
+     *  partialEveryChunks finished chunks. Runs on a worker thread;
+     *  snapshots arrive with strictly increasing shot counts. A
+     *  throwing callback fails the job (its exception is rethrown
+     *  from the handle), like a throwing shot would. */
+    std::function<void(const BatchResult &)> onPartial;
+    int partialEveryChunks = 8;   ///< snapshot cadence (>= 1) when set.
 };
 
 } // namespace eqasm::engine

@@ -5,6 +5,7 @@
 #include <chrono>
 
 #include "common/error.h"
+#include "common/strings.h"
 #include "microarch/quma.h"
 #include "runtime/quantum_processor.h"
 #include "runtime/simulated_device.h"
@@ -13,24 +14,57 @@ namespace eqasm::engine {
 
 using Clock = std::chrono::steady_clock;
 
-/** A queued job plus its in-flight aggregation state. The shot claim is
- *  a lock-free counter; everything else is guarded by the engine
- *  mutex. */
-struct ShotEngine::JobState {
+/** A queued job plus its in-flight aggregation state. Chunk claims and
+ *  aggregation are guarded by the engine mutex; the handle-facing
+ *  controls (cancel, progress) are lock-free so a JobHandle stays safe
+ *  from any thread, even after the engine is gone. */
+struct ShotEngine::JobState : sched::JobControl {
     uint64_t id = 0;
     Job job;
     Clock::time_point start;
 
-    /** Next unclaimed shot index (may overshoot job.shots). */
-    std::atomic<int> nextShot{0};
+    // --- handle-facing, lock-free ---
+    std::atomic<bool> cancelRequested{false};
+    std::atomic<int> executedShots{0};  ///< mirror of aggregate.shots.
+    /** Engine-wide cancel counter, shared so a handle can signal after
+     *  the engine is gone (the signal is then simply unobserved). */
+    std::shared_ptr<std::atomic<uint64_t>> cancelEpoch;
 
     // --- guarded by ShotEngine::mutex_ ---
-    BatchResult aggregate;
-    int completedShots = 0;
+    int claimedShots = 0;    ///< shots handed to workers (or skipped).
+    int accountedShots = 0;  ///< shots whose chunks finished/skipped.
+    int chunksSinceSnapshot = 0;
     bool failed = false;
+    bool settled = false;  ///< a thread owns/has done promise settlement.
     std::exception_ptr error;
-
+    BatchResult aggregate;
     std::promise<BatchResult> promise;
+
+    // --- streaming delivery (own mutex; never held with mutex_) ---
+    std::mutex callbackMutex;
+    uint64_t deliveredShots = 0;
+    bool deliveryClosed = false;  ///< set before the promise settles.
+
+    void requestCancel() override
+    {
+        cancelRequested.store(true, std::memory_order_relaxed);
+        // Bump the epoch after the flag so a worker that observes the
+        // new epoch also observes the flag — workers then sweep the
+        // job out of the queue without waiting for a policy pick.
+        if (cancelEpoch)
+            cancelEpoch->fetch_add(1, std::memory_order_release);
+    }
+
+    sched::Progress progress() const override
+    {
+        sched::Progress progress;
+        progress.completedShots =
+            executedShots.load(std::memory_order_relaxed);
+        progress.totalShots = job.shots;
+        progress.cancelRequested =
+            cancelRequested.load(std::memory_order_relaxed);
+        return progress;
+    }
 };
 
 /** One worker's private controller + device replica, built from the
@@ -51,7 +85,9 @@ struct ShotEngine::Replica {
 };
 
 ShotEngine::ShotEngine(runtime::Platform platform, EngineConfig config)
-    : platform_(std::move(platform)), config_(config)
+    : platform_(std::move(platform)), config_(config),
+      scheduler_(config.scheduler),
+      cancelEpoch_(std::make_shared<std::atomic<uint64_t>>(0))
 {
     if (config_.chunkShots < 1)
         config_.chunkShots = 1;
@@ -73,17 +109,34 @@ ShotEngine::~ShotEngine()
     workAvailable_.notify_all();
     for (std::thread &worker : workers_)
         worker.join();
+    // Workers drain the queue before exiting, so every submitted job
+    // has settled by now (join() made their writes visible). This is a
+    // safety net so a future bug can never leave a waiter blocked.
+    for (auto &[id, state] : active_) {
+        if (state->settled)
+            continue;
+        state->settled = true;
+        state->promise.set_exception(std::make_exception_ptr(
+            Error(ErrorCode::runtimeError,
+                  format("engine stopped before job '%s' completed",
+                         state->job.label.c_str()))));
+    }
 }
 
-std::future<BatchResult>
+sched::JobHandle
 ShotEngine::submit(Job job)
 {
     if (job.shots <= 0) {
-        throwError(ErrorCode::invalidArgument,
-                   "a job needs at least one shot");
+        throwError(
+            ErrorCode::invalidArgument,
+            format("job '%s' requests %d shots; a job needs at least "
+                   "one shot",
+                   job.label.empty() ? "(unlabelled)" : job.label.c_str(),
+                   job.shots));
     }
     auto state = std::make_shared<JobState>();
     state->job = std::move(job);
+    state->cancelEpoch = cancelEpoch_;
     state->aggregate.label = state->job.label;
     // Provenance for sharded/merged result files: which backend and
     // seed produced these counts, and on how many workers.
@@ -92,20 +145,46 @@ ShotEngine::submit(Job job)
     state->aggregate.seed = state->job.seed;
     state->aggregate.threads = threads();
     state->start = Clock::now();
-    std::future<BatchResult> future = state->promise.get_future();
+    std::shared_future<BatchResult> future =
+        state->promise.get_future().share();
     {
         std::lock_guard<std::mutex> guard(mutex_);
         state->id = nextJobId_++;
-        queue_.push_back(std::move(state));
+        sched::QueuedJob queued;
+        queued.id = state->id;
+        queued.tenant = state->job.tenant;
+        queued.priority = state->job.priority;
+        queued.deadlineUs = state->job.deadlineUs;
+        scheduler_.enqueue(std::move(queued));
+        active_.emplace(state->id, state);
     }
     workAvailable_.notify_all();
-    return future;
+    return sched::JobHandle(state, std::move(future));
 }
 
 BatchResult
 ShotEngine::run(Job job)
 {
     return submit(std::move(job)).get();
+}
+
+std::vector<std::pair<std::shared_ptr<ShotEngine::JobState>, int>>
+ShotEngine::sweepCancelledJobs()
+{
+    std::vector<std::pair<std::shared_ptr<JobState>, int>> swept;
+    for (auto it = active_.begin(); it != active_.end();) {
+        const std::shared_ptr<JobState> &state = it->second;
+        if (!state->cancelRequested.load(std::memory_order_acquire)) {
+            ++it;
+            continue;
+        }
+        int begin = state->claimedShots;
+        state->claimedShots = state->job.shots;
+        swept.emplace_back(state, begin);
+        scheduler_.remove(it->first);
+        it = active_.erase(it);
+    }
+    return swept;
 }
 
 void
@@ -116,26 +195,65 @@ ShotEngine::workerLoop()
     // hold) then fails the job it was claimed for instead of letting
     // the exception escape the thread and terminate the process.
     std::optional<Replica> replica;
+    uint64_t seenCancelEpoch = 0;
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
         workAvailable_.wait(
-            lock, [this] { return stopping_ || !queue_.empty(); });
-        if (queue_.empty()) {
+            lock, [this] { return stopping_ || !scheduler_.empty(); });
+        if (scheduler_.empty()) {
             if (stopping_)
                 return;
             continue;
         }
-        std::shared_ptr<JobState> state = queue_.front();
-        int begin = state->nextShot.fetch_add(config_.chunkShots);
-        if (begin >= state->job.shots) {
-            // Fully claimed: retire it so workers move to the next job.
+        // A moved cancel epoch means some queued job may be cancelled:
+        // sweep those out now instead of waiting for the policy to pick
+        // them (a starved low-priority cancel would otherwise never
+        // settle). The skipped ranges are accounted like any chunk.
+        uint64_t epoch =
+            cancelEpoch_->load(std::memory_order_acquire);
+        if (epoch != seenCancelEpoch) {
+            seenCancelEpoch = epoch;
+            auto swept = sweepCancelledJobs();
+            if (!swept.empty()) {
+                lock.unlock();
+                for (auto &[state, begin] : swept) {
+                    runChunk(replica, *state, begin,
+                             state->job.shots);
+                }
+                lock.lock();
+                continue;
+            }
+            if (scheduler_.empty())
+                continue;
+        }
+        uint64_t id = scheduler_.pickNext();
+        auto it = active_.find(id);
+        EQASM_ASSERT(it != active_.end(), "scheduled job has no state");
+        std::shared_ptr<JobState> state = it->second;
+        // Failed and cancelled jobs skip execution, so their whole
+        // remaining range is claimed (and accounted) in one visit —
+        // cancellation frees the workers immediately.
+        bool skip =
+            state->failed ||
+            state->cancelRequested.load(std::memory_order_relaxed);
+        int begin = state->claimedShots;
+        int end = skip ? state->job.shots
+                       : std::min(begin + config_.chunkShots,
+                                  state->job.shots);
+        state->claimedShots = end;
+        if (!skip) {
+            // Skipped ranges never execute; charging them would leave
+            // the tenant's fair-share deficit paying for work that
+            // freed the worker instantly.
+            scheduler_.charge(id, end - begin);
+        }
+        if (end == state->job.shots) {
+            // Fully claimed: retire it so visits go to other jobs.
             // Completion is signalled by the last finished chunk, which
             // may still be in flight on another worker.
-            if (queue_.front() == state)
-                queue_.pop_front();
-            continue;
+            scheduler_.remove(id);
+            active_.erase(it);
         }
-        int end = std::min(begin + config_.chunkShots, state->job.shots);
         lock.unlock();
         runChunk(replica, *state, begin, end);
         lock.lock();
@@ -154,6 +272,7 @@ ShotEngine::runChunk(std::optional<Replica> &replica, JobState &state,
         std::lock_guard<std::mutex> guard(mutex_);
         skip = state.failed;
     }
+    skip = skip || state.cancelRequested.load(std::memory_order_relaxed);
     if (!skip) {
         try {
             if (!replica)
@@ -185,6 +304,8 @@ ShotEngine::finishChunk(JobState &state, BatchResult &&partial,
                         int count, std::exception_ptr error)
 {
     bool done;
+    bool snapshot = false;
+    BatchResult snapshotCopy;
     {
         std::lock_guard<std::mutex> guard(mutex_);
         if (error && !state.failed) {
@@ -192,15 +313,91 @@ ShotEngine::finishChunk(JobState &state, BatchResult &&partial,
             state.error = error;
         }
         state.aggregate.merge(partial);
-        state.completedShots += count;
-        done = state.completedShots == state.job.shots;
+        state.executedShots.store(
+            static_cast<int>(state.aggregate.shots),
+            std::memory_order_relaxed);
+        state.accountedShots += count;
+        done = state.accountedShots == state.job.shots;
+        if (done) {
+            state.settled = true;  // this thread owns settlement.
+        } else if (state.job.onPartial && !state.failed &&
+                   !state.cancelRequested.load(
+                       std::memory_order_relaxed)) {
+            int every = std::max(1, state.job.partialEveryChunks);
+            if (++state.chunksSinceSnapshot >= every) {
+                state.chunksSinceSnapshot = 0;
+                snapshotCopy = state.aggregate;
+                snapshot = true;
+            }
+        }
     }
-    if (!done)
+    if (!done) {
+        if (snapshot) {
+            double wall = std::chrono::duration<double>(Clock::now() -
+                                                        state.start)
+                              .count();
+            snapshotCopy.wallSeconds = wall;
+            snapshotCopy.shotsPerSecond =
+                wall > 0.0
+                    ? static_cast<double>(snapshotCopy.shots) / wall
+                    : 0.0;
+            // Deliver outside the engine mutex; the per-job callback
+            // mutex serialises deliveries, drops stale snapshots so
+            // shot counts are strictly increasing for the callback,
+            // and refuses once the completing thread closed delivery —
+            // a snapshot must never chase the final result out of the
+            // engine (the caller may free callback state right after
+            // get() returns).
+            std::exception_ptr callbackError;
+            {
+                std::lock_guard<std::mutex> guard(state.callbackMutex);
+                if (!state.deliveryClosed &&
+                    snapshotCopy.shots > state.deliveredShots) {
+                    state.deliveredShots = snapshotCopy.shots;
+                    try {
+                        state.job.onPartial(snapshotCopy);
+                    } catch (...) {
+                        // A throwing callback must not escape the
+                        // worker thread (std::terminate); it fails the
+                        // job like a throwing shot would.
+                        callbackError = std::current_exception();
+                    }
+                }
+            }
+            if (callbackError) {
+                std::lock_guard<std::mutex> guard(mutex_);
+                if (!state.failed) {
+                    state.failed = true;
+                    state.error = callbackError;
+                }
+            }
+        }
         return;
+    }
+    // Close the delivery window first: once this mutex round completes,
+    // any straggling snapshot from a slower worker is dropped, so no
+    // callback runs after the promise below is settled.
+    {
+        std::lock_guard<std::mutex> guard(state.callbackMutex);
+        state.deliveryClosed = true;
+    }
     // Every chunk is accounted for: no other thread touches this state
     // any more, so the promise can be settled without the lock.
     if (state.error) {
         state.promise.set_exception(state.error);
+        return;
+    }
+    if (state.cancelRequested.load(std::memory_order_relaxed) &&
+        state.aggregate.shots <
+            static_cast<uint64_t>(state.job.shots)) {
+        state.promise.set_exception(std::make_exception_ptr(Error(
+            ErrorCode::runtimeError,
+            format("job '%s' cancelled after %llu of %d shots",
+                   state.job.label.empty() ? "(unlabelled)"
+                                           : state.job.label.c_str(),
+                   static_cast<unsigned long long>(
+                       state.aggregate.shots),
+                   state.job.shots))));
         return;
     }
     double wall = std::chrono::duration<double>(Clock::now() -

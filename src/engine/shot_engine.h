@@ -7,12 +7,23 @@
  * shots are independent: the architecture resets all state between
  * shots. The engine exploits that by keeping a pool of workers, each
  * owning a full QuMA_v2 controller + SimulatedDevice replica built from
- * the shared Platform. Jobs enter a FIFO queue; workers claim chunks of
- * a job's shot range, position their device replica at each shot index
- * (counter-based Rng::forShot streams), execute, and fold the shots
- * into commutative BatchResult partials. Aggregation is therefore
- * deterministic: a job's result is bitwise-identical for any thread
- * count and any scheduling order.
+ * the shared Platform. A sched::JobScheduler decides which pending job
+ * receives each worker visit (FIFO by default; priority lanes and
+ * weighted fair-share across tenants are one config field away);
+ * workers claim chunks of the chosen job's shot range, position their
+ * device replica at each shot index (counter-based Rng::forShot
+ * streams), execute, and fold the shots into commutative BatchResult
+ * partials. Aggregation is therefore deterministic: a job's result is
+ * bitwise-identical for any thread count, any policy, and any
+ * scheduling order.
+ *
+ * Preemption happens at chunk boundaries: a newly arrived
+ * high-priority job claims the very next worker visit; in-flight shots
+ * of the preempted job finish (at most chunkShots of them per worker)
+ * and its remaining range resumes when the scheduler picks it again.
+ * Cancellation uses the same mechanism — unclaimed shots are dropped
+ * at the next visit, in-flight shots complete, and only the cancelled
+ * job fails.
  *
  * An error in any shot (architectural error, timing violation, device
  * misconfiguration) fails the whole job: the first exception is
@@ -23,19 +34,22 @@
 #ifndef EQASM_ENGINE_SHOT_ENGINE_H
 #define EQASM_ENGINE_SHOT_ENGINE_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <future>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "engine/batch_result.h"
 #include "engine/job.h"
 #include "runtime/platform.h"
+#include "sched/job_handle.h"
+#include "sched/job_scheduler.h"
 
 namespace eqasm::engine {
 
@@ -45,8 +59,12 @@ struct EngineConfig {
     int threads = 0;
 
     /** Shots a worker claims per queue visit. Small enough to balance
-     *  load across workers, large enough to amortise the claim. */
+     *  load across workers (and to bound preemption latency), large
+     *  enough to amortise the claim. */
     int chunkShots = 32;
+
+    /** Queue policy + fair-share weights (see sched::JobScheduler). */
+    sched::SchedulerConfig scheduler;
 };
 
 /** Worker-pool batch executor over one Platform. */
@@ -61,17 +79,24 @@ class ShotEngine
     ShotEngine &operator=(const ShotEngine &) = delete;
 
     /**
-     * Enqueues a job. The future yields the aggregated BatchResult, or
-     * rethrows the first error any of the job's shots raised.
-     * @throws Error{invalidArgument} when the job requests no shots.
+     * Enqueues a job. The handle waits for the aggregated BatchResult
+     * (or the first error any of the job's shots raised), reports
+     * progress, streams partial snapshots when job.onPartial is set,
+     * and cancels.
+     * @throws Error{invalidArgument} when the job requests fewer than
+     *         one shot; the message names the job's label.
      */
-    std::future<BatchResult> submit(Job job);
+    sched::JobHandle submit(Job job);
 
     /** Convenience: submit and block for the result. */
     BatchResult run(Job job);
 
     int threads() const { return static_cast<int>(workers_.size()); }
     const runtime::Platform &platform() const { return platform_; }
+    sched::Policy policy() const
+    {
+        return config_.scheduler.policy;
+    }
 
   private:
     /** A queued job plus its in-flight aggregation state. */
@@ -85,15 +110,27 @@ class ShotEngine
                   int begin, int end);
     void finishChunk(JobState &state, BatchResult &&partial, int count,
                      std::exception_ptr error);
+    /** Claims the remaining range of every cancelled queued job (called
+     *  under mutex_); returns the claims to account outside the lock. */
+    std::vector<std::pair<std::shared_ptr<JobState>, int>>
+    sweepCancelledJobs();
 
     runtime::Platform platform_;
     EngineConfig config_;
 
     std::mutex mutex_;
     std::condition_variable workAvailable_;
-    std::deque<std::shared_ptr<JobState>> queue_;
+    sched::JobScheduler scheduler_;
+    /** Jobs with unclaimed shots, by id (removed once fully claimed;
+     *  completion is tracked per job by its chunk accounting). */
+    std::unordered_map<uint64_t, std::shared_ptr<JobState>> active_;
     uint64_t nextJobId_ = 1;
     bool stopping_ = false;
+    /** Bumped by JobHandle::cancel(); workers sweep cancelled jobs out
+     *  of the queue when it moves, so a cancel settles promptly even if
+     *  the policy would never pick the job (shared with the job states
+     *  so handles stay safe after the engine is destroyed). */
+    std::shared_ptr<std::atomic<uint64_t>> cancelEpoch_;
 
     std::vector<std::thread> workers_;
 };

@@ -1,5 +1,6 @@
 #include "qsim/stabilizer_tableau.h"
 
+#include <bit>
 #include <cmath>
 
 #include "common/error.h"
@@ -20,52 +21,22 @@ StabilizerTableau::StabilizerTableau(int num_qubits)
                           num_qubits));
     }
     rows_ = 2 * numQubits_ + 1;
+    words_ = (numQubits_ + 63) / 64;
     reset();
-}
-
-uint8_t &
-StabilizerTableau::x(int row, int qubit)
-{
-    return x_[static_cast<size_t>(row) *
-                  static_cast<size_t>(numQubits_) +
-              static_cast<size_t>(qubit)];
-}
-
-uint8_t &
-StabilizerTableau::z(int row, int qubit)
-{
-    return z_[static_cast<size_t>(row) *
-                  static_cast<size_t>(numQubits_) +
-              static_cast<size_t>(qubit)];
-}
-
-uint8_t
-StabilizerTableau::xAt(int row, int qubit) const
-{
-    return x_[static_cast<size_t>(row) *
-                  static_cast<size_t>(numQubits_) +
-              static_cast<size_t>(qubit)];
-}
-
-uint8_t
-StabilizerTableau::zAt(int row, int qubit) const
-{
-    return z_[static_cast<size_t>(row) *
-                  static_cast<size_t>(numQubits_) +
-              static_cast<size_t>(qubit)];
 }
 
 void
 StabilizerTableau::reset()
 {
     size_t cells = static_cast<size_t>(rows_) *
-                   static_cast<size_t>(numQubits_);
+                   static_cast<size_t>(words_);
     x_.assign(cells, 0);
     z_.assign(cells, 0);
     r_.assign(static_cast<size_t>(rows_), 0);
     for (int q = 0; q < numQubits_; ++q) {
-        x(q, q) = 1;               // destabilizer q = X_q
-        z(numQubits_ + q, q) = 1;  // stabilizer q = Z_q
+        // destabilizer q = X_q; stabilizer q = Z_q.
+        xRow(q)[q >> 6] |= 1ULL << (q & 63);
+        zRow(numQubits_ + q)[q >> 6] |= 1ULL << (q & 63);
     }
 }
 
@@ -79,27 +50,38 @@ StabilizerTableau::checkQubit(int qubit) const
     }
 }
 
-int
-StabilizerTableau::phaseG(int x1, int z1, int x2, int z2)
-{
-    // Exponent of i contributed by multiplying single-qubit Paulis
-    // (x1, z1) * (x2, z2) — Aaronson–Gottesman's g function.
-    if (x1 == 0 && z1 == 0)
-        return 0;
-    if (x1 == 1 && z1 == 1)
-        return z2 - x2;
-    if (x1 == 1)
-        return z2 * (2 * x2 - 1);
-    return x2 * (1 - 2 * z2);
-}
-
 void
 StabilizerTableau::rowsum(int h, int i)
 {
+    // Row h *= row i. The per-qubit phase contribution is the
+    // Aaronson–Gottesman g function, g((x1,z1), (x2,z2)) with (x1,z1)
+    // from row i and (x2,z2) from row h; its +1 and -1 cases are each
+    // a union of three disjoint bit patterns, so one pass of bitwise
+    // masks + popcounts accumulates the whole row's phase 64 qubit
+    // columns at a time.
+    uint64_t *xh = xRow(h);
+    uint64_t *zh = zRow(h);
+    const uint64_t *xi = xRow(i);
+    const uint64_t *zi = zRow(i);
+    int plus = 0;
+    int minus = 0;
+    for (int w = 0; w < words_; ++w) {
+        uint64_t x1 = xi[w], z1 = zi[w];
+        uint64_t x2 = xh[w], z2 = zh[w];
+        // g = +1: Y*Z, X*Y, Z*X.  g = -1: Y*X, X*Z, Z*Y.
+        uint64_t plus_mask = (x1 & z1 & ~x2 & z2) |
+                             (x1 & ~z1 & x2 & z2) |
+                             (~x1 & z1 & x2 & ~z2);
+        uint64_t minus_mask = (x1 & z1 & x2 & ~z2) |
+                              (x1 & ~z1 & ~x2 & z2) |
+                              (~x1 & z1 & x2 & z2);
+        plus += std::popcount(plus_mask);
+        minus += std::popcount(minus_mask);
+        xh[w] ^= x1;
+        zh[w] ^= z1;
+    }
     int phase = 2 * r_[static_cast<size_t>(h)] +
-                2 * r_[static_cast<size_t>(i)];
-    for (int q = 0; q < numQubits_; ++q)
-        phase += phaseG(xAt(i, q), zAt(i, q), xAt(h, q), zAt(h, q));
+                2 * r_[static_cast<size_t>(i)] + plus - minus;
     phase &= 3;
     // Stabilizer and scratch rows always multiply to a real sign;
     // destabilizer products may pick up a factor of i, but their phase
@@ -107,24 +89,29 @@ StabilizerTableau::rowsum(int h, int i)
     EQASM_ASSERT(h < numQubits_ || phase == 0 || phase == 2,
                  "rowsum produced an imaginary phase");
     r_[static_cast<size_t>(h)] = (phase >> 1) & 1;
-    for (int q = 0; q < numQubits_; ++q) {
-        x(h, q) ^= xAt(i, q);
-        z(h, q) ^= zAt(i, q);
-    }
 }
 
 // ------------------------------------------------------ Clifford gates
 //
 // Each update conjugates every (de)stabilizer row by the gate; the
 // scratch row (index 2n) is transient measurement state and is skipped.
+// A single-qubit gate touches one bit per packed row: the loops below
+// read the row's X/Z bits of the gate's column, fold the sign rule into
+// r_, and XOR single-bit masks back.
 
 void
 StabilizerTableau::gateH(int q)
 {
     checkQubit(q);
+    const int w = q >> 6, b = q & 63;
     for (int i = 0; i < 2 * numQubits_; ++i) {
-        r_[static_cast<size_t>(i)] ^= xAt(i, q) & zAt(i, q);
-        std::swap(x(i, q), z(i, q));
+        uint64_t &xw = xRow(i)[w];
+        uint64_t &zw = zRow(i)[w];
+        uint64_t xb = (xw >> b) & 1, zb = (zw >> b) & 1;
+        r_[static_cast<size_t>(i)] ^= static_cast<uint8_t>(xb & zb);
+        uint64_t diff = (xb ^ zb) << b;  // swap the X and Z bits.
+        xw ^= diff;
+        zw ^= diff;
     }
 }
 
@@ -132,9 +119,12 @@ void
 StabilizerTableau::gateS(int q)
 {
     checkQubit(q);
+    const int w = q >> 6, b = q & 63;
     for (int i = 0; i < 2 * numQubits_; ++i) {
-        r_[static_cast<size_t>(i)] ^= xAt(i, q) & zAt(i, q);
-        z(i, q) ^= xAt(i, q);
+        uint64_t xb = (xRow(i)[w] >> b) & 1;
+        uint64_t zb = (zRow(i)[w] >> b) & 1;
+        r_[static_cast<size_t>(i)] ^= static_cast<uint8_t>(xb & zb);
+        zRow(i)[w] ^= xb << b;
     }
 }
 
@@ -142,10 +132,13 @@ void
 StabilizerTableau::gateSdg(int q)
 {
     checkQubit(q);
+    const int w = q >> 6, b = q & 63;
     for (int i = 0; i < 2 * numQubits_; ++i) {
+        uint64_t xb = (xRow(i)[w] >> b) & 1;
+        uint64_t zb = (zRow(i)[w] >> b) & 1;
         r_[static_cast<size_t>(i)] ^=
-            xAt(i, q) & static_cast<uint8_t>(1 - zAt(i, q));
-        z(i, q) ^= xAt(i, q);
+            static_cast<uint8_t>(xb & (zb ^ 1));
+        zRow(i)[w] ^= xb << b;
     }
 }
 
@@ -153,24 +146,30 @@ void
 StabilizerTableau::gateX(int q)
 {
     checkQubit(q);
+    const int w = q >> 6, b = q & 63;
     for (int i = 0; i < 2 * numQubits_; ++i)
-        r_[static_cast<size_t>(i)] ^= zAt(i, q);
+        r_[static_cast<size_t>(i)] ^=
+            static_cast<uint8_t>((zRow(i)[w] >> b) & 1);
 }
 
 void
 StabilizerTableau::gateY(int q)
 {
     checkQubit(q);
+    const int w = q >> 6, b = q & 63;
     for (int i = 0; i < 2 * numQubits_; ++i)
-        r_[static_cast<size_t>(i)] ^= xAt(i, q) ^ zAt(i, q);
+        r_[static_cast<size_t>(i)] ^= static_cast<uint8_t>(
+            ((xRow(i)[w] ^ zRow(i)[w]) >> b) & 1);
 }
 
 void
 StabilizerTableau::gateZ(int q)
 {
     checkQubit(q);
+    const int w = q >> 6, b = q & 63;
     for (int i = 0; i < 2 * numQubits_; ++i)
-        r_[static_cast<size_t>(i)] ^= xAt(i, q);
+        r_[static_cast<size_t>(i)] ^=
+            static_cast<uint8_t>((xRow(i)[w] >> b) & 1);
 }
 
 void
@@ -178,10 +177,13 @@ StabilizerTableau::gateX90(int q)
 {
     // R_x(+90): X -> X, Z -> -Y, Y -> Z.
     checkQubit(q);
+    const int w = q >> 6, b = q & 63;
     for (int i = 0; i < 2 * numQubits_; ++i) {
+        uint64_t xb = (xRow(i)[w] >> b) & 1;
+        uint64_t zb = (zRow(i)[w] >> b) & 1;
         r_[static_cast<size_t>(i)] ^=
-            zAt(i, q) & static_cast<uint8_t>(1 - xAt(i, q));
-        x(i, q) ^= zAt(i, q);
+            static_cast<uint8_t>(zb & (xb ^ 1));
+        xRow(i)[w] ^= zb << b;
     }
 }
 
@@ -190,9 +192,12 @@ StabilizerTableau::gateXm90(int q)
 {
     // R_x(-90): X -> X, Z -> Y, Y -> -Z.
     checkQubit(q);
+    const int w = q >> 6, b = q & 63;
     for (int i = 0; i < 2 * numQubits_; ++i) {
-        r_[static_cast<size_t>(i)] ^= xAt(i, q) & zAt(i, q);
-        x(i, q) ^= zAt(i, q);
+        uint64_t xb = (xRow(i)[w] >> b) & 1;
+        uint64_t zb = (zRow(i)[w] >> b) & 1;
+        r_[static_cast<size_t>(i)] ^= static_cast<uint8_t>(xb & zb);
+        xRow(i)[w] ^= zb << b;
     }
 }
 
@@ -201,10 +206,16 @@ StabilizerTableau::gateY90(int q)
 {
     // R_y(+90): X -> -Z, Z -> X, Y -> Y.
     checkQubit(q);
+    const int w = q >> 6, b = q & 63;
     for (int i = 0; i < 2 * numQubits_; ++i) {
+        uint64_t &xw = xRow(i)[w];
+        uint64_t &zw = zRow(i)[w];
+        uint64_t xb = (xw >> b) & 1, zb = (zw >> b) & 1;
         r_[static_cast<size_t>(i)] ^=
-            xAt(i, q) & static_cast<uint8_t>(1 - zAt(i, q));
-        std::swap(x(i, q), z(i, q));
+            static_cast<uint8_t>(xb & (zb ^ 1));
+        uint64_t diff = (xb ^ zb) << b;
+        xw ^= diff;
+        zw ^= diff;
     }
 }
 
@@ -213,10 +224,16 @@ StabilizerTableau::gateYm90(int q)
 {
     // R_y(-90): X -> Z, Z -> -X, Y -> Y.
     checkQubit(q);
+    const int w = q >> 6, b = q & 63;
     for (int i = 0; i < 2 * numQubits_; ++i) {
+        uint64_t &xw = xRow(i)[w];
+        uint64_t &zw = zRow(i)[w];
+        uint64_t xb = (xw >> b) & 1, zb = (zw >> b) & 1;
         r_[static_cast<size_t>(i)] ^=
-            zAt(i, q) & static_cast<uint8_t>(1 - xAt(i, q));
-        std::swap(x(i, q), z(i, q));
+            static_cast<uint8_t>(zb & (xb ^ 1));
+        uint64_t diff = (xb ^ zb) << b;
+        xw ^= diff;
+        zw ^= diff;
     }
 }
 
@@ -227,12 +244,17 @@ StabilizerTableau::gateCnot(int control, int target)
     checkQubit(target);
     EQASM_ASSERT(control != target,
                  "two-qubit gate needs distinct qubits");
+    const int wc = control >> 6, bc = control & 63;
+    const int wt = target >> 6, bt = target & 63;
     for (int i = 0; i < 2 * numQubits_; ++i) {
+        uint64_t xc = (xRow(i)[wc] >> bc) & 1;
+        uint64_t zc = (zRow(i)[wc] >> bc) & 1;
+        uint64_t xt = (xRow(i)[wt] >> bt) & 1;
+        uint64_t zt = (zRow(i)[wt] >> bt) & 1;
         r_[static_cast<size_t>(i)] ^=
-            xAt(i, control) & zAt(i, target) &
-            static_cast<uint8_t>(xAt(i, target) ^ zAt(i, control) ^ 1);
-        x(i, target) ^= xAt(i, control);
-        z(i, control) ^= zAt(i, target);
+            static_cast<uint8_t>(xc & zt & (xt ^ zc ^ 1));
+        xRow(i)[wt] ^= xc << bt;
+        zRow(i)[wc] ^= zt << bc;
     }
 }
 
@@ -247,12 +269,17 @@ StabilizerTableau::gateCz(int qubit0, int qubit1)
     checkQubit(qubit1);
     EQASM_ASSERT(qubit0 != qubit1,
                  "two-qubit gate needs distinct qubits");
+    const int w0 = qubit0 >> 6, b0 = qubit0 & 63;
+    const int w1 = qubit1 >> 6, b1 = qubit1 & 63;
     for (int i = 0; i < 2 * numQubits_; ++i) {
+        uint64_t x0 = (xRow(i)[w0] >> b0) & 1;
+        uint64_t z0 = (zRow(i)[w0] >> b0) & 1;
+        uint64_t x1 = (xRow(i)[w1] >> b1) & 1;
+        uint64_t z1 = (zRow(i)[w1] >> b1) & 1;
         r_[static_cast<size_t>(i)] ^=
-            xAt(i, qubit0) & xAt(i, qubit1) &
-            static_cast<uint8_t>(zAt(i, qubit0) ^ zAt(i, qubit1));
-        z(i, qubit0) ^= xAt(i, qubit1);
-        z(i, qubit1) ^= xAt(i, qubit0);
+            static_cast<uint8_t>(x0 & x1 & (z0 ^ z1));
+        zRow(i)[w0] ^= x1 << b0;
+        zRow(i)[w1] ^= x0 << b1;
     }
 }
 
@@ -384,7 +411,7 @@ bool
 StabilizerTableau::isDeterministic(int qubit) const
 {
     for (int i = numQubits_; i < 2 * numQubits_; ++i) {
-        if (xAt(i, qubit))
+        if (xBit(i, qubit))
             return false;
     }
     return true;
@@ -401,7 +428,7 @@ StabilizerTableau::measure(int qubit, Rng &rng)
     // Z_qubit: the outcome is random.
     int p = -1;
     for (int i = numQubits_; i < 2 * numQubits_; ++i) {
-        if (xAt(i, qubit)) {
+        if (xBit(i, qubit)) {
             p = i;
             break;
         }
@@ -412,20 +439,20 @@ StabilizerTableau::measure(int qubit, Rng &rng)
         // circuits sample identical bits on both backends.
         int outcome = u < 0.5 ? 1 : 0;
         for (int i = 0; i < 2 * numQubits_; ++i) {
-            if (i != p && xAt(i, qubit))
+            if (i != p && xBit(i, qubit))
                 rowsum(i, p);
         }
         // The old anticommuting stabilizer becomes the destabilizer of
         // the new Z_qubit stabilizer.
-        for (int q = 0; q < numQubits_; ++q) {
-            x(p - numQubits_, q) = xAt(p, q);
-            z(p - numQubits_, q) = zAt(p, q);
-            x(p, q) = 0;
-            z(p, q) = 0;
+        for (int w = 0; w < words_; ++w) {
+            xRow(p - numQubits_)[w] = xRow(p)[w];
+            zRow(p - numQubits_)[w] = zRow(p)[w];
+            xRow(p)[w] = 0;
+            zRow(p)[w] = 0;
         }
         r_[static_cast<size_t>(p - numQubits_)] =
             r_[static_cast<size_t>(p)];
-        z(p, qubit) = 1;
+        zRow(p)[qubit >> 6] = 1ULL << (qubit & 63);
         r_[static_cast<size_t>(p)] = outcome ? 1 : 0;
         return outcome;
     }
@@ -434,13 +461,13 @@ StabilizerTableau::measure(int qubit, Rng &rng)
     // whose destabilizer partners anticommute with Z_qubit into the
     // scratch row; its phase is the outcome.
     int scratch = 2 * numQubits_;
-    for (int q = 0; q < numQubits_; ++q) {
-        x(scratch, q) = 0;
-        z(scratch, q) = 0;
+    for (int w = 0; w < words_; ++w) {
+        xRow(scratch)[w] = 0;
+        zRow(scratch)[w] = 0;
     }
     r_[static_cast<size_t>(scratch)] = 0;
     for (int i = 0; i < numQubits_; ++i) {
-        if (xAt(i, qubit))
+        if (xBit(i, qubit))
             rowsum(scratch, i + numQubits_);
     }
     return r_[static_cast<size_t>(scratch)];
@@ -538,8 +565,8 @@ StabilizerTableau::stabilizerString(int index) const
     int row = numQubits_ + index;
     std::string out = r_[static_cast<size_t>(row)] ? "-" : "+";
     for (int q = 0; q < numQubits_; ++q) {
-        int xb = xAt(row, q);
-        int zb = zAt(row, q);
+        bool xb = xBit(row, q);
+        bool zb = zBit(row, q);
         out += xb ? (zb ? 'Y' : 'X') : (zb ? 'Z' : 'I');
     }
     return out;

@@ -10,6 +10,14 @@
  * qubits — simulate in microseconds per syndrome round where the
  * density matrix backend stops at 8 qubits.
  *
+ * Rows are bit-packed into uint64_t words: a gate touches one bit per
+ * row, and the measurement-dominating row product (rowsum) runs
+ * word-parallel — the Pauli-product phase is accumulated with bitwise
+ * masks and popcounts over 64 qubit columns at a time instead of a
+ * per-qubit g-function loop. The packed layout is an internal change
+ * only: gate semantics, draw counts and therefore every sampled bit
+ * are identical to the byte-per-cell representation it replaces.
+ *
  * Supported gates are the chip's native Clifford set: the Pauli gates,
  * H/S/Sdg, the +-90/180-degree x/y/z rotations (and "rx:<deg>" etc.
  * strings whose angle reduces to a multiple of 90 degrees), CZ, CNOT
@@ -85,27 +93,47 @@ class StabilizerTableau : public StateBackend
 
   private:
     void checkQubit(int qubit) const;
-    /** Row h *= row i (Pauli product with phase tracking). */
+    /** Row h *= row i (word-parallel Pauli product with phase
+     *  tracking). */
     void rowsum(int h, int i);
-    /** Pauli product phase exponent contribution (Aaronson–Gottesman
-     *  g function) for one qubit column. */
-    static int phaseG(int x1, int z1, int x2, int z2);
     /** Applies Pauli @p pauli (1 = X, 2 = Y, 3 = Z) to @p qubit. */
     void applyPauli(int qubit, int pauli);
     /** Resolves a gate name to a Clifford update or throws. */
     void dispatch1(const std::string &name, int qubit);
 
-    uint8_t &x(int row, int qubit);
-    uint8_t &z(int row, int qubit);
-    uint8_t xAt(int row, int qubit) const;
-    uint8_t zAt(int row, int qubit) const;
+    // --- packed-row access ---
+    uint64_t *xRow(int row)
+    {
+        return x_.data() + static_cast<size_t>(row) * words_;
+    }
+    const uint64_t *xRow(int row) const
+    {
+        return x_.data() + static_cast<size_t>(row) * words_;
+    }
+    uint64_t *zRow(int row)
+    {
+        return z_.data() + static_cast<size_t>(row) * words_;
+    }
+    const uint64_t *zRow(int row) const
+    {
+        return z_.data() + static_cast<size_t>(row) * words_;
+    }
+    bool xBit(int row, int qubit) const
+    {
+        return (xRow(row)[qubit >> 6] >> (qubit & 63)) & 1;
+    }
+    bool zBit(int row, int qubit) const
+    {
+        return (zRow(row)[qubit >> 6] >> (qubit & 63)) & 1;
+    }
 
     int numQubits_ = 0;
-    int rows_ = 0;  ///< 2n + 1 (destabilizers, stabilizers, scratch).
-    // Dense byte-per-cell storage: simple and fast enough for the chip
-    // sizes the ISA can address (<= 64 qubits). Bit-packing the rows is
-    // the known next optimisation if larger codes ever matter.
-    std::vector<uint8_t> x_, z_;
+    int rows_ = 0;   ///< 2n + 1 (destabilizers, stabilizers, scratch).
+    int words_ = 0;  ///< uint64_t words per packed row.
+    // Row-major bit-packed storage: row r's X (Z) bits live in words
+    // [r*words_, (r+1)*words_); bits past numQubits_ in the last word
+    // stay zero.
+    std::vector<uint64_t> x_, z_;
     std::vector<uint8_t> r_;
 };
 

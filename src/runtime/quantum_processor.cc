@@ -74,20 +74,43 @@ QuantumProcessor::run(int shots)
     return records;
 }
 
+engine::ShotEngine &
+QuantumProcessor::ensureEngine(int threads)
+{
+    if (engine_ && threads > 0 && engine_->threads() != threads)
+        engine_.reset();
+    if (!engine_) {
+        if (threads > 0)
+            engineConfig_.threads = threads;
+        engine_ = std::make_unique<engine::ShotEngine>(platform_,
+                                                       engineConfig_);
+    }
+    return *engine_;
+}
+
+void
+QuantumProcessor::setEngineConfig(engine::EngineConfig config)
+{
+    engineConfig_ = std::move(config);
+    engine_.reset();
+}
+
+sched::JobHandle
+QuantumProcessor::submitBatch(engine::Job job, int threads)
+{
+    if (job.image.empty())
+        job.image = program_.image;
+    return ensureEngine(threads).submit(std::move(job));
+}
+
 engine::BatchResult
 QuantumProcessor::runBatch(int shots, int threads)
 {
-    if (!engine_ || (threads > 0 && engine_->threads() != threads)) {
-        engine::EngineConfig config;
-        config.threads = threads;
-        engine_ =
-            std::make_unique<engine::ShotEngine>(platform_, config);
-    }
     engine::Job job;
     job.image = program_.image;
     job.shots = shots;
     job.seed = seed_;
-    return engine_->run(std::move(job));
+    return ensureEngine(threads).run(std::move(job));
 }
 
 double

@@ -18,13 +18,11 @@
 
 #include "assembler/assembler.h"
 #include "engine/batch_result.h"
+#include "engine/shot_engine.h"
 #include "microarch/quma.h"
 #include "runtime/platform.h"
 #include "runtime/simulated_device.h"
-
-namespace eqasm::engine {
-class ShotEngine;
-}
+#include "sched/job_handle.h"
 
 namespace eqasm::runtime {
 
@@ -85,6 +83,22 @@ class QuantumProcessor
     engine::BatchResult runBatch(int shots, int threads = 0);
 
     /**
+     * Replaces the engine configuration (worker count, chunk size,
+     * scheduling policy, fair-share weights). The pool is rebuilt on
+     * next use, so queued work should be drained first.
+     */
+    void setEngineConfig(engine::EngineConfig config);
+
+    /**
+     * Submits a batch job to the scheduler without blocking. A job with
+     * an empty image executes the loaded program; its seed, label,
+     * tenant, priority and streaming callback are honoured as set (see
+     * engine::Job). @p threads rebuilds the pool like runBatch.
+     * @return the handle (wait / cancel / progress / onPartial).
+     */
+    sched::JobHandle submitBatch(engine::Job job, int threads = 0);
+
+    /**
      * Convenience: fraction of shots whose *last* measurement of
      * @p qubit reported |1>. Shots that never measure the qubit are an
      * error.
@@ -101,11 +115,14 @@ class QuantumProcessor
     uint64_t seed() const { return seed_; }
 
   private:
+    engine::ShotEngine &ensureEngine(int threads);
+
     Platform platform_;
     uint64_t seed_;
     assembler::Assembler assembler_;
     microarch::QuMa controller_;
     std::unique_ptr<SimulatedDevice> device_;
+    engine::EngineConfig engineConfig_;
     std::unique_ptr<engine::ShotEngine> engine_;  ///< lazy, see runBatch.
     assembler::Program program_;
 };

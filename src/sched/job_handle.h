@@ -1,0 +1,131 @@
+/**
+ * @file
+ * JobHandle — the caller's side of a submitted job.
+ *
+ * ShotEngine::submit used to return a bare std::future, which can only
+ * wait. A serving system needs more: callers cancel jobs they no longer
+ * want (an early-stopping calibration loop), poll progress of long
+ * batches, and stream partial aggregates while the batch runs. The
+ * handle bundles those controls with the result future.
+ *
+ * The handle is a value type (copyable, cheap): it shares ownership of
+ * the engine-side job state, so it stays valid after the job finishes
+ * and even after the engine itself is destroyed — a late cancel() on a
+ * finished job is a harmless no-op.
+ */
+#ifndef EQASM_SCHED_JOB_HANDLE_H
+#define EQASM_SCHED_JOB_HANDLE_H
+
+#include <future>
+#include <memory>
+
+#include "common/error.h"
+#include "engine/batch_result.h"
+
+namespace eqasm::sched {
+
+/** Point-in-time progress of a submitted job. */
+struct Progress {
+    int completedShots = 0;  ///< shots whose chunks have finished.
+    int totalShots = 0;      ///< shots the job asked for.
+    bool cancelRequested = false;
+
+    /** @return completion in [0, 1]. */
+    double fraction() const
+    {
+        return totalShots > 0 ? static_cast<double>(completedShots) /
+                                    static_cast<double>(totalShots)
+                              : 0.0;
+    }
+};
+
+/**
+ * Engine-side control surface a JobHandle drives. Implemented by the
+ * engine's internal per-job state; both operations are lock-free and
+ * safe from any thread.
+ */
+class JobControl
+{
+  public:
+    virtual ~JobControl() = default;
+
+    /** Requests cancellation (idempotent, asynchronous). */
+    virtual void requestCancel() = 0;
+
+    /** @return a consistent snapshot of the job's progress. */
+    virtual Progress progress() const = 0;
+};
+
+/** Caller-facing handle of one submitted job. */
+class JobHandle
+{
+  public:
+    /** An invalid handle; valid() is false. */
+    JobHandle() = default;
+
+    JobHandle(std::shared_ptr<JobControl> control,
+              std::shared_future<engine::BatchResult> future)
+        : control_(std::move(control)), future_(std::move(future))
+    {
+    }
+
+    /** @return true when the handle refers to a submitted job. */
+    bool valid() const { return static_cast<bool>(control_); }
+
+    /**
+     * Requests cancellation. Unclaimed shots are dropped at the next
+     * chunk boundary; in-flight shots finish. get() then rethrows
+     * Error{runtimeError} naming the job — unless every shot already
+     * completed, in which case the result stands and cancel is a no-op.
+     */
+    void cancel()
+    {
+        if (control_)
+            control_->requestCancel();
+    }
+
+    /** @return shots completed / requested so far. */
+    Progress progress() const
+    {
+        return control_ ? control_->progress() : Progress{};
+    }
+
+    /** Blocks until the job completes (successfully or not); returns
+     *  immediately on an invalid handle. */
+    void wait() const
+    {
+        if (future_.valid())
+            future_.wait();
+    }
+
+    /** @return true once the result (or error) is available (false on
+     *  an invalid handle). */
+    bool done() const
+    {
+        return future_.valid() &&
+               future_.wait_for(std::chrono::seconds(0)) ==
+                   std::future_status::ready;
+    }
+
+    /**
+     * Blocks for the aggregated result. Rethrows the first error any
+     * shot raised, or the cancellation error.
+     * @throws Error{invalidArgument} on an invalid handle.
+     */
+    engine::BatchResult get() const
+    {
+        if (!future_.valid()) {
+            throwError(ErrorCode::invalidArgument,
+                       "job handle is not attached to a job");
+        }
+        return future_.get();
+    }
+
+  private:
+    std::shared_ptr<JobControl> control_;
+    std::shared_future<engine::BatchResult> future_;
+};
+
+} // namespace eqasm::sched
+
+#endif // EQASM_SCHED_JOB_HANDLE_H

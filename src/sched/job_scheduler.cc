@@ -1,0 +1,175 @@
+#include "sched/job_scheduler.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace eqasm::sched {
+
+const char *
+policyName(Policy policy)
+{
+    switch (policy) {
+      case Policy::fifo: return "fifo";
+      case Policy::priority: return "priority";
+      case Policy::fairShare: return "fair_share";
+    }
+    return "unknown";
+}
+
+std::optional<Policy>
+parsePolicy(std::string_view name)
+{
+    if (name == "fifo")
+        return Policy::fifo;
+    if (name == "priority")
+        return Policy::priority;
+    if (name == "fair" || name == "fairshare" || name == "fair_share" ||
+        name == "fair-share") {
+        return Policy::fairShare;
+    }
+    return std::nullopt;
+}
+
+JobScheduler::JobScheduler(SchedulerConfig config)
+    : config_(std::move(config))
+{
+    if (config_.quantumShots < 1)
+        config_.quantumShots = 1;
+}
+
+int
+JobScheduler::weightOf(const std::string &tenant) const
+{
+    auto it = config_.tenantWeights.find(tenant);
+    if (it == config_.tenantWeights.end())
+        return 1;
+    return std::max(1, it->second);
+}
+
+void
+JobScheduler::enqueue(QueuedJob job)
+{
+    EQASM_ASSERT(job.id != 0, "scheduler job ids are nonzero");
+    EQASM_ASSERT(!jobs_.count(job.id), "job id already queued");
+    uint64_t id = job.id;
+    std::string tenant = job.tenant;
+    jobs_[id] = std::move(job);
+    order_.push_back(id);
+    if (config_.policy != Policy::fairShare)
+        return;
+    auto [it, inserted] = tenants_.try_emplace(tenant);
+    TenantQueue &queue = it->second;
+    if (queue.jobs.empty()) {
+        // First pending job of this tenant: (re)join the ring with a
+        // fresh quantum so a newly active tenant serves immediately.
+        queue.weight = weightOf(tenant);
+        queue.deficitShots = static_cast<long long>(config_.quantumShots) *
+                             queue.weight;
+        tenantRing_.push_back(tenant);
+    }
+    queue.jobs.push_back(id);
+}
+
+uint64_t
+JobScheduler::pickFairShare()
+{
+    if (tenantRing_.empty())
+        return 0;
+    // Deficit round-robin: serve the front tenant while its deficit
+    // lasts; an exhausted tenant is replenished by quantum * weight and
+    // rotated to the back. Every iteration raises some tenant's deficit
+    // by at least one shot, so the loop terminates with a positive
+    // front deficit.
+    for (;;) {
+        const std::string &tenant = tenantRing_.front();
+        TenantQueue &queue = tenants_.at(tenant);
+        EQASM_ASSERT(!queue.jobs.empty(),
+                     "idle tenants leave the fair-share ring");
+        if (queue.deficitShots > 0)
+            return queue.jobs.front();
+        queue.deficitShots +=
+            static_cast<long long>(config_.quantumShots) * queue.weight;
+        tenantRing_.push_back(tenant);
+        tenantRing_.pop_front();
+    }
+}
+
+uint64_t
+JobScheduler::pickNext()
+{
+    if (jobs_.empty())
+        return 0;
+    switch (config_.policy) {
+      case Policy::fifo:
+        return order_.front();
+      case Policy::priority: {
+        // Highest priority wins; ties break by earlier soft deadline
+        // (0 = none, i.e. last), then admission order. Linear scan:
+        // queues hold jobs, not shots, and stay short.
+        const QueuedJob *best = nullptr;
+        for (uint64_t id : order_) {
+            const QueuedJob &entry = jobs_.at(id);
+            if (!best) {
+                best = &entry;
+                continue;
+            }
+            if (entry.priority != best->priority) {
+                if (entry.priority > best->priority)
+                    best = &entry;
+                continue;
+            }
+            uint64_t lhs = entry.deadlineUs == 0
+                               ? UINT64_MAX
+                               : entry.deadlineUs;
+            uint64_t rhs = best->deadlineUs == 0
+                               ? UINT64_MAX
+                               : best->deadlineUs;
+            if (lhs < rhs)
+                best = &entry;
+            // Equal deadline: admission order, i.e. keep best.
+        }
+        return best->id;
+      }
+      case Policy::fairShare:
+        return pickFairShare();
+    }
+    return 0;
+}
+
+void
+JobScheduler::charge(uint64_t id, int shots)
+{
+    if (config_.policy != Policy::fairShare)
+        return;
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return;
+    tenants_.at(it->second.tenant).deficitShots -= shots;
+}
+
+void
+JobScheduler::remove(uint64_t id)
+{
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return;
+    std::string tenant = it->second.tenant;
+    jobs_.erase(it);
+    order_.erase(std::find(order_.begin(), order_.end(), id));
+    if (config_.policy != Policy::fairShare)
+        return;
+    TenantQueue &queue = tenants_.at(tenant);
+    queue.jobs.erase(
+        std::find(queue.jobs.begin(), queue.jobs.end(), id));
+    if (queue.jobs.empty()) {
+        // Leftover deficit is discarded: an idle tenant must not bank
+        // credit against future arrivals.
+        tenants_.erase(tenant);
+        tenantRing_.erase(std::find(tenantRing_.begin(),
+                                    tenantRing_.end(), tenant));
+    }
+}
+
+} // namespace eqasm::sched

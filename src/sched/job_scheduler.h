@@ -1,0 +1,139 @@
+/**
+ * @file
+ * JobScheduler — pluggable multi-tenant scheduling policies for the
+ * shot engine's job queue.
+ *
+ * The paper's execution model has the host CPU hand assembled eQASM
+ * programs to the quantum control processor; every validated experiment
+ * is a batch of independent shots. A serving system therefore schedules
+ * *jobs*, and the unit of preemption is a *chunk* of shots: each worker
+ * visit asks the scheduler which job receives the next chunk, so a
+ * newly arrived high-priority job claims the very next visit without
+ * killing in-flight shots. Because the counter-based Rng::forShot
+ * streams make shot k's outcome independent of when and where it runs,
+ * any scheduling order folds to a bitwise-identical BatchResult —
+ * reordering and preemption carry no correctness risk.
+ *
+ * Three policies:
+ *  - fifo: strict admission order, bit-compatible with the original
+ *    single-deque engine (workers drain one job before the next).
+ *  - priority: the pending job with the highest Job::priority wins
+ *    every worker visit; ties break by earlier deadline (0 = none),
+ *    then admission order. A long low-priority job is preempted at the
+ *    next chunk boundary.
+ *  - fairShare: deficit round-robin over per-tenant FIFO queues. Each
+ *    tenant visit replenishes its deficit by quantumShots * weight;
+ *    chunks are charged against the deficit, so over time tenants
+ *    receive worker visits proportional to their weights regardless of
+ *    how many jobs each tenant floods into the queue.
+ *
+ * The scheduler is a passive data structure: ShotEngine calls it under
+ * its own mutex. It is not thread-safe on its own.
+ */
+#ifndef EQASM_SCHED_JOB_SCHEDULER_H
+#define EQASM_SCHED_JOB_SCHEDULER_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eqasm::sched {
+
+/** Queue-ordering policy of a JobScheduler. */
+enum class Policy {
+    fifo,       ///< admission order (bit-compatible default).
+    priority,   ///< highest Job::priority first, preemptive.
+    fairShare,  ///< deficit round-robin across tenants.
+};
+
+/** @return a stable lower-case name for @p policy ("fifo", ...). */
+const char *policyName(Policy policy);
+
+/** Parses "fifo" / "priority" / "fair" / "fair_share" / "fairshare". */
+std::optional<Policy> parsePolicy(std::string_view name);
+
+/** Scheduling configuration of an engine's queue. */
+struct SchedulerConfig {
+    Policy policy = Policy::fifo;
+
+    /** Fair-share only: shots granted to a tenant per round-robin
+     *  visit, scaled by the tenant's weight. */
+    int quantumShots = 64;
+
+    /** Fair-share only: tenant -> relative weight (>= 1). Tenants not
+     *  listed weigh 1. */
+    std::map<std::string, int> tenantWeights;
+};
+
+/** What the scheduler knows about one queued job. */
+struct QueuedJob {
+    uint64_t id = 0;          ///< engine job id (nonzero).
+    std::string tenant;       ///< fair-share bucket ("" = default).
+    int priority = 0;         ///< higher runs earlier (priority policy).
+    uint64_t deadlineUs = 0;  ///< soft deadline; tie-break (0 = none).
+};
+
+/**
+ * Decides which pending job receives each worker visit. Jobs stay
+ * queued across many pickNext() calls (a visit claims one chunk, not
+ * the whole job) until the engine remove()s them — fully claimed or
+ * cancelled.
+ */
+class JobScheduler
+{
+  public:
+    explicit JobScheduler(SchedulerConfig config = {});
+
+    /** Admits a job. @p job.id must be nonzero and not yet queued. */
+    void enqueue(QueuedJob job);
+
+    /**
+     * @return the id of the job the next worker visit should serve, or
+     * 0 when nothing is pending. Does not remove the job.
+     */
+    uint64_t pickNext();
+
+    /** Fair-share accounting: @p shots were just claimed for @p id.
+     *  FIFO and priority ignore the charge. */
+    void charge(uint64_t id, int shots);
+
+    /** Removes a fully claimed or cancelled job. Unknown ids are a
+     *  no-op (a job may already be gone when a cancel races in). */
+    void remove(uint64_t id);
+
+    bool empty() const { return jobs_.empty(); }
+    size_t pendingJobs() const { return jobs_.size(); }
+    const SchedulerConfig &config() const { return config_; }
+
+  private:
+    /** Per-tenant fair-share state. */
+    struct TenantQueue {
+        std::deque<uint64_t> jobs;  ///< admission order within tenant.
+        long long deficitShots = 0;
+        int weight = 1;
+    };
+
+    int weightOf(const std::string &tenant) const;
+    uint64_t pickFairShare();
+
+    SchedulerConfig config_;
+
+    /** id -> job. Admission order lives in order_ (and the per-tenant
+     *  deques), which is what the tie-breaks iterate. */
+    std::map<uint64_t, QueuedJob> jobs_;
+
+    // --- fifo / priority: admission order list of ids ---
+    std::vector<uint64_t> order_;
+
+    // --- fairShare: round-robin ring of tenants with pending jobs ---
+    std::map<std::string, TenantQueue> tenants_;
+    std::deque<std::string> tenantRing_;
+};
+
+} // namespace eqasm::sched
+
+#endif // EQASM_SCHED_JOB_SCHEDULER_H

@@ -244,13 +244,45 @@ TEST(ShotEngine, ErrorInShotSurfacesWithoutDeadlock)
     EXPECT_DOUBLE_EQ(result.fractionOne(0), 1.0);
 }
 
-TEST(ShotEngine, RejectsEmptyJob)
+TEST(ShotEngine, RejectsNonPositiveShotCountsNamingTheJob)
 {
     Platform platform = Platform::ideal(Platform::twoQubit());
     EngineConfig config;
     config.threads = 1;
     ShotEngine pool(platform, config);
-    Job job;
-    job.shots = 0;
-    EXPECT_THROW(pool.submit(std::move(job)), Error);
+
+    Job zero;
+    zero.shots = 0;
+    zero.label = "zero-shot-job";
+    try {
+        pool.submit(std::move(zero));
+        FAIL() << "a zero-shot job must be rejected";
+    } catch (const Error &error) {
+        EXPECT_EQ(error.code(), ErrorCode::invalidArgument);
+        EXPECT_NE(error.message().find("zero-shot-job"),
+                  std::string::npos)
+            << error.message();
+    }
+
+    Job negative;
+    negative.shots = -128;
+    negative.label = "negative-shot-job";
+    try {
+        pool.submit(std::move(negative));
+        FAIL() << "a negative-shot job must be rejected";
+    } catch (const Error &error) {
+        EXPECT_EQ(error.code(), ErrorCode::invalidArgument);
+        EXPECT_NE(error.message().find("negative-shot-job"),
+                  std::string::npos)
+            << error.message();
+        EXPECT_NE(error.message().find("-128"), std::string::npos)
+            << error.message();
+    }
+
+    // The pool still serves real work after the rejections.
+    Job good = makeJob(platform,
+                       "SMIS S0, {0}\nQWAIT 100\nX S0\nMEASZ S0\n"
+                       "QWAIT 50\nSTOP\n",
+                       16, 1);
+    EXPECT_DOUBLE_EQ(pool.run(good).fractionOne(0), 1.0);
 }

@@ -1,0 +1,416 @@
+/**
+ * @file
+ * Tests for the multi-tenant job scheduler: policy ordering (FIFO,
+ * priority lanes, fair-share deficit round-robin), preemption at chunk
+ * boundaries, JobHandle cancellation / progress / streaming, and the
+ * load-bearing property of the whole subsystem — every policy at every
+ * thread count folds the same job to the identical countsFingerprint().
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "assembler/assembler.h"
+#include "common/error.h"
+#include "engine/shot_engine.h"
+#include "runtime/platform.h"
+#include "sched/job_handle.h"
+#include "sched/job_scheduler.h"
+#include "workloads/experiments.h"
+
+using namespace eqasm;
+using namespace eqasm::engine;
+using namespace eqasm::runtime;
+
+namespace {
+
+/** Assembles @p source for @p platform into a Job. */
+Job
+makeJob(const Platform &platform, const std::string &source, int shots,
+        uint64_t seed)
+{
+    assembler::Assembler asm_(platform.operations, platform.topology,
+                              platform.params);
+    Job job;
+    job.image = asm_.assemble(source).image;
+    job.shots = shots;
+    job.seed = seed;
+    return job;
+}
+
+/** The noisy active-reset workload: plenty of randomness per shot. */
+Job
+activeResetJob(const Platform &platform, int shots, uint64_t seed)
+{
+    return makeJob(platform, workloads::activeResetProgram(2), shots,
+                   seed);
+}
+
+} // namespace
+
+// ------------------------------------------------------- policy parsing
+
+TEST(Policy, ParseAndName)
+{
+    EXPECT_EQ(sched::parsePolicy("fifo"), sched::Policy::fifo);
+    EXPECT_EQ(sched::parsePolicy("priority"), sched::Policy::priority);
+    EXPECT_EQ(sched::parsePolicy("fair"), sched::Policy::fairShare);
+    EXPECT_EQ(sched::parsePolicy("fair_share"),
+              sched::Policy::fairShare);
+    EXPECT_EQ(sched::parsePolicy("bogus"), std::nullopt);
+    EXPECT_STREQ(sched::policyName(sched::Policy::fifo), "fifo");
+    EXPECT_STREQ(sched::policyName(sched::Policy::priority),
+                 "priority");
+    EXPECT_STREQ(sched::policyName(sched::Policy::fairShare),
+                 "fair_share");
+}
+
+// -------------------------------------------------- JobScheduler (unit)
+
+TEST(JobScheduler, FifoServesAdmissionOrder)
+{
+    sched::JobScheduler scheduler;
+    scheduler.enqueue({1, "", 0, 0});
+    scheduler.enqueue({2, "", 5, 0});  // priority ignored under fifo.
+    EXPECT_EQ(scheduler.pickNext(), 1u);
+    EXPECT_EQ(scheduler.pickNext(), 1u);  // stays until removed.
+    scheduler.remove(1);
+    EXPECT_EQ(scheduler.pickNext(), 2u);
+    scheduler.remove(2);
+    EXPECT_TRUE(scheduler.empty());
+    EXPECT_EQ(scheduler.pickNext(), 0u);
+}
+
+TEST(JobScheduler, PriorityPreemptsAtNextPick)
+{
+    sched::SchedulerConfig config;
+    config.policy = sched::Policy::priority;
+    sched::JobScheduler scheduler(config);
+    scheduler.enqueue({1, "", 0, 0});
+    EXPECT_EQ(scheduler.pickNext(), 1u);
+    // A higher-priority arrival claims the very next visit.
+    scheduler.enqueue({2, "", 10, 0});
+    EXPECT_EQ(scheduler.pickNext(), 2u);
+    scheduler.remove(2);
+    EXPECT_EQ(scheduler.pickNext(), 1u);
+}
+
+TEST(JobScheduler, PriorityTiesBreakByDeadlineThenAdmission)
+{
+    sched::SchedulerConfig config;
+    config.policy = sched::Policy::priority;
+    sched::JobScheduler scheduler(config);
+    scheduler.enqueue({1, "", 5, 0});       // no deadline.
+    scheduler.enqueue({2, "", 5, 8000});    // soonest deadline.
+    scheduler.enqueue({3, "", 5, 9000});
+    EXPECT_EQ(scheduler.pickNext(), 2u);
+    scheduler.remove(2);
+    EXPECT_EQ(scheduler.pickNext(), 3u);
+    scheduler.remove(3);
+    EXPECT_EQ(scheduler.pickNext(), 1u);
+
+    scheduler.enqueue({4, "", 5, 0});  // same lane, admitted later.
+    EXPECT_EQ(scheduler.pickNext(), 1u);
+}
+
+TEST(JobScheduler, FairShareHonoursWeights)
+{
+    sched::SchedulerConfig config;
+    config.policy = sched::Policy::fairShare;
+    config.quantumShots = 8;
+    config.tenantWeights["heavy"] = 3;
+    sched::JobScheduler scheduler(config);
+    scheduler.enqueue({1, "heavy", 0, 0});
+    scheduler.enqueue({2, "light", 0, 0});
+
+    // Claim fixed-size chunks wherever the scheduler points; over many
+    // visits the shots served per tenant track the 3:1 weights.
+    std::map<uint64_t, int> served;
+    const int chunk = 4;
+    for (int visit = 0; visit < 240; ++visit) {
+        uint64_t id = scheduler.pickNext();
+        ASSERT_NE(id, 0u);
+        served[id] += chunk;
+        scheduler.charge(id, chunk);
+    }
+    double ratio = static_cast<double>(served[1]) /
+                   static_cast<double>(served[2]);
+    EXPECT_NEAR(ratio, 3.0, 0.5) << "heavy=" << served[1]
+                                 << " light=" << served[2];
+}
+
+TEST(JobScheduler, FairShareIdleTenantKeepsNoCredit)
+{
+    sched::SchedulerConfig config;
+    config.policy = sched::Policy::fairShare;
+    config.quantumShots = 4;
+    sched::JobScheduler scheduler(config);
+
+    // Tenant a drains alone for a while...
+    scheduler.enqueue({1, "a", 0, 0});
+    for (int visit = 0; visit < 50; ++visit) {
+        EXPECT_EQ(scheduler.pickNext(), 1u);
+        scheduler.charge(1, 4);
+    }
+    // ...then b arrives and is served promptly (fresh quantum), while
+    // a (deep in deficit debt is forgiven nothing) still gets turns.
+    scheduler.enqueue({2, "b", 0, 0});
+    std::map<uint64_t, int> visits;
+    for (int visit = 0; visit < 40; ++visit) {
+        uint64_t id = scheduler.pickNext();
+        ++visits[id];
+        scheduler.charge(id, 4);
+    }
+    EXPECT_GT(visits[1], 0);
+    EXPECT_GT(visits[2], 0);
+
+    scheduler.remove(1);
+    scheduler.remove(2);
+    EXPECT_TRUE(scheduler.empty());
+}
+
+// ------------------------------------- determinism across the policies
+
+TEST(SchedulerDeterminism, PoliciesAndThreadCountsAgreePerJob)
+{
+    Platform platform = Platform::twoQubit();
+
+    // Three noisy jobs with distinct seeds, tenants and priorities.
+    struct Spec {
+        int shots;
+        uint64_t seed;
+        const char *label;
+        const char *tenant;
+        int priority;
+    };
+    const Spec specs[] = {
+        {90, 5, "job_a", "alpha", 0},
+        {120, 7, "job_b", "beta", 3},
+        {60, 9, "job_c", "alpha", 1},
+    };
+
+    // label -> fingerprint of the first run; all others must match.
+    std::map<std::string, std::string> reference;
+    for (sched::Policy policy :
+         {sched::Policy::fifo, sched::Policy::priority,
+          sched::Policy::fairShare}) {
+        for (int threads : {1, 2, 4}) {
+            EngineConfig config;
+            config.threads = threads;
+            config.chunkShots = 3;  // maximise interleave.
+            config.scheduler.policy = policy;
+            config.scheduler.quantumShots = 6;
+            config.scheduler.tenantWeights["beta"] = 2;
+            ShotEngine engine(platform, config);
+
+            std::vector<sched::JobHandle> handles;
+            for (const Spec &spec : specs) {
+                Job job = activeResetJob(platform, spec.shots,
+                                         spec.seed);
+                job.label = spec.label;
+                job.tenant = spec.tenant;
+                job.priority = spec.priority;
+                handles.push_back(engine.submit(std::move(job)));
+            }
+            for (size_t i = 0; i < handles.size(); ++i) {
+                BatchResult result = handles[i].get();
+                std::string key = result.countsFingerprint();
+                auto [it, inserted] =
+                    reference.emplace(specs[i].label, key);
+                EXPECT_EQ(it->second, key)
+                    << specs[i].label << " diverged under policy "
+                    << sched::policyName(policy) << " at " << threads
+                    << " threads";
+            }
+        }
+    }
+}
+
+// ------------------------------------------------ preemption behaviour
+
+TEST(SchedulerPreemption, HighPriorityOvertakesRunningBatch)
+{
+    Platform platform = Platform::ideal(Platform::twoQubit());
+    EngineConfig config;
+    config.threads = 1;  // single worker: ordering is observable.
+    config.chunkShots = 4;
+    config.scheduler.policy = sched::Policy::priority;
+    ShotEngine engine(platform, config);
+
+    Job big = makeJob(platform,
+                      "SMIS S0, {0}\nQWAIT 100\nX S0\nMEASZ S0\n"
+                      "QWAIT 50\nSTOP\n",
+                      4000, 1);
+    big.label = "background";
+    big.priority = 0;
+    Job urgent = makeJob(platform,
+                         "SMIS S0, {0}\nQWAIT 100\nMEASZ S0\n"
+                         "QWAIT 50\nSTOP\n",
+                         8, 2);
+    urgent.label = "urgent";
+    urgent.priority = 10;
+
+    sched::JobHandle big_handle = engine.submit(std::move(big));
+    sched::JobHandle urgent_handle = engine.submit(std::move(urgent));
+
+    BatchResult urgent_result = urgent_handle.get();
+    EXPECT_EQ(urgent_result.shots, 8u);
+    EXPECT_DOUBLE_EQ(urgent_result.fractionOne(0), 0.0);
+    // The urgent job overtook the 4000-shot batch: at the moment it
+    // finished, the background still had most of its range pending.
+    sched::Progress big_progress = big_handle.progress();
+    EXPECT_LT(big_progress.completedShots, 4000);
+
+    BatchResult big_result = big_handle.get();
+    EXPECT_EQ(big_result.shots, 4000u);
+    EXPECT_DOUBLE_EQ(big_result.fractionOne(0), 1.0);
+    EXPECT_EQ(big_handle.progress().completedShots, 4000);
+}
+
+// --------------------------------------------------------- cancellation
+
+TEST(SchedulerCancellation, CancelledJobFailsAloneAndFreesWorkers)
+{
+    Platform platform = Platform::ideal(Platform::twoQubit());
+    EngineConfig config;
+    config.threads = 1;  // the blocker pins the worker deterministically.
+    ShotEngine engine(platform, config);
+
+    // Ideal two-qubit shots run at ~10^6/s: 400k shots keep the single
+    // worker busy for hundreds of milliseconds, so the cancel below
+    // lands (and must settle) while the blocker is still mid-flight.
+    Job blocker = makeJob(platform,
+                          "SMIS S0, {0}\nQWAIT 100\nX S0\nMEASZ S0\n"
+                          "QWAIT 50\nSTOP\n",
+                          400000, 1);
+    blocker.label = "blocker";
+    Job doomed = makeJob(platform,
+                         "SMIS S0, {0}\nQWAIT 100\nX S0\nMEASZ S0\n"
+                         "QWAIT 50\nSTOP\n",
+                         2000, 2);
+    doomed.label = "doomed";
+
+    sched::JobHandle blocker_handle = engine.submit(std::move(blocker));
+    sched::JobHandle doomed_handle = engine.submit(std::move(doomed));
+    // The worker is busy with the blocker, so the cancel lands before
+    // the doomed job executes a single shot.
+    doomed_handle.cancel();
+
+    try {
+        doomed_handle.get();
+        FAIL() << "a cancelled job must not yield a result";
+    } catch (const Error &error) {
+        EXPECT_EQ(error.code(), ErrorCode::runtimeError);
+        EXPECT_NE(error.message().find("doomed"), std::string::npos)
+            << error.message();
+        EXPECT_NE(error.message().find("cancelled"), std::string::npos)
+            << error.message();
+    }
+    EXPECT_TRUE(doomed_handle.progress().cancelRequested);
+    // The cancel settled promptly — workers sweep cancelled jobs out
+    // of the queue instead of waiting for the policy to pick them, so
+    // the 400k-shot blocker is still in flight when get() returns.
+    EXPECT_LT(blocker_handle.progress().completedShots, 400000);
+
+    // Only the cancelled job failed; the queue keeps flowing.
+    EXPECT_EQ(blocker_handle.get().shots, 400000u);
+    Job after = makeJob(platform,
+                        "SMIS S0, {0}\nQWAIT 100\nX S0\nMEASZ S0\n"
+                        "QWAIT 50\nSTOP\n",
+                        16, 3);
+    EXPECT_DOUBLE_EQ(engine.run(after).fractionOne(0), 1.0);
+}
+
+TEST(SchedulerCancellation, CancelAfterCompletionKeepsTheResult)
+{
+    Platform platform = Platform::ideal(Platform::twoQubit());
+    EngineConfig config;
+    config.threads = 1;
+    ShotEngine engine(platform, config);
+
+    Job job = makeJob(platform,
+                      "SMIS S0, {0}\nQWAIT 100\nX S0\nMEASZ S0\n"
+                      "QWAIT 50\nSTOP\n",
+                      32, 1);
+    sched::JobHandle handle = engine.submit(std::move(job));
+    handle.wait();
+    handle.cancel();  // too late to matter — every shot completed.
+    EXPECT_EQ(handle.get().shots, 32u);
+}
+
+// ------------------------------------------------- streaming / progress
+
+TEST(SchedulerStreaming, PartialSnapshotsGrowMonotonically)
+{
+    Platform platform = Platform::twoQubit();
+    EngineConfig config;
+    config.threads = 2;
+    config.chunkShots = 8;
+    ShotEngine engine(platform, config);
+
+    std::mutex seen_mutex;
+    std::vector<uint64_t> seen;
+    Job job = activeResetJob(platform, 400, 21);
+    job.label = "streamed";
+    job.partialEveryChunks = 1;
+    job.onPartial = [&](const BatchResult &partial) {
+        std::lock_guard<std::mutex> guard(seen_mutex);
+        seen.push_back(partial.shots);
+    };
+
+    sched::JobHandle handle = engine.submit(std::move(job));
+    BatchResult result = handle.get();
+    EXPECT_EQ(result.shots, 400u);
+    EXPECT_EQ(handle.progress().completedShots, 400);
+    EXPECT_DOUBLE_EQ(handle.progress().fraction(), 1.0);
+
+    std::lock_guard<std::mutex> guard(seen_mutex);
+    ASSERT_FALSE(seen.empty());
+    for (size_t i = 1; i < seen.size(); ++i)
+        EXPECT_LT(seen[i - 1], seen[i]);
+    // Snapshots are partial by construction: the final aggregate is
+    // delivered through the handle, not the callback.
+    EXPECT_LE(seen.back(), 400u);
+
+    // The streamed run folds to the same counts as an unstreamed one.
+    Job plain_job = activeResetJob(platform, 400, 21);
+    plain_job.label = "streamed";  // fingerprints cover the label too.
+    BatchResult plain = engine.run(std::move(plain_job));
+    EXPECT_EQ(plain.countsFingerprint(), result.countsFingerprint());
+}
+
+TEST(SchedulerStreaming, ThrowingCallbackFailsOnlyThatJob)
+{
+    Platform platform = Platform::twoQubit();
+    EngineConfig config;
+    config.threads = 1;
+    config.chunkShots = 8;
+    ShotEngine engine(platform, config);
+
+    Job job = activeResetJob(platform, 400, 3);
+    job.label = "bad-callback";
+    job.partialEveryChunks = 1;
+    job.onPartial = [](const BatchResult &) {
+        throw Error(ErrorCode::runtimeError, "calibration converged");
+    };
+    sched::JobHandle handle = engine.submit(std::move(job));
+    // The callback's exception fails the job instead of escaping the
+    // worker thread (which would terminate the process).
+    EXPECT_THROW(handle.get(), Error);
+
+    // ...and the pool is unharmed.
+    EXPECT_EQ(engine.run(activeResetJob(platform, 32, 4)).shots, 32u);
+}
+
+TEST(JobHandle, InvalidHandleIsInertNotUndefined)
+{
+    sched::JobHandle handle;
+    EXPECT_FALSE(handle.valid());
+    EXPECT_FALSE(handle.done());
+    handle.wait();    // no-op, not UB.
+    handle.cancel();  // no-op.
+    EXPECT_EQ(handle.progress().totalShots, 0);
+    EXPECT_THROW(handle.get(), Error);
+}

@@ -20,3 +20,14 @@ echo "== stabilizer backend smoke (d=3 syndrome round) =="
 "$BUILD_DIR"/eqasm-run --qec 3 --backend stabilizer --shots 500 \
     --threads 4 --json > /dev/null
 echo "stabilizer smoke passed"
+
+# Scheduler smoke: the three policies + cross-policy determinism on a
+# 2-thread pool (bench_scheduler --quick), the scheduler test suite,
+# and the priority/streaming path through the CLI.
+echo "== scheduler smoke (policies, streaming, 2 threads) =="
+"$BUILD_DIR"/bench_scheduler --quick
+"$BUILD_DIR"/sched_test
+"$BUILD_DIR"/eqasm-run --qec 2 --backend stabilizer --shots 400 \
+    --threads 2 --policy priority --priority 5 --tenant calib \
+    --stream 4 --json > /dev/null
+echo "scheduler smoke passed"

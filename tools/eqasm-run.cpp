@@ -19,10 +19,16 @@
  *     --shots N                    number of shots (default 1024)
  *     --threads K                  worker threads (default 0 = auto)
  *     --seed S                     RNG seed (default 1)
+ *     --policy fifo|priority|fair  engine scheduling policy
+ *     --priority N                 job priority (priority policy)
+ *     --tenant NAME                fair-share tenant of the job
+ *     --stream N                   print a progress line to stderr
+ *                                  every N finished chunks
  *     --ideal                      disable all noise
  *     --json                       emit the BatchResult as JSON
  *                                  (includes backend/seed/threads
- *                                  provenance for sharded runs)
+ *                                  provenance and counts_fingerprint
+ *                                  for sharded runs)
  *     --trace                      dump shot 0's trace to stderr
  */
 #include <cstdio>
@@ -92,6 +98,10 @@ main(int argc, char **argv)
     int shots = 1024;
     int threads = 0;
     uint64_t seed = 1;
+    std::string policy_name;
+    int priority = 0;
+    std::string tenant;
+    int stream_every = 0;
     bool ideal = false;
     bool json = false;
     bool trace = false;
@@ -121,6 +131,21 @@ main(int argc, char **argv)
             threads = static_cast<int>(parseInt(argv[++i]));
         } else if (arg == "--seed" && i + 1 < argc) {
             seed = static_cast<uint64_t>(parseInt(argv[++i]));
+        } else if (arg == "--policy" && i + 1 < argc) {
+            policy_name = argv[++i];
+        } else if (arg == "--priority" && i + 1 < argc) {
+            priority = static_cast<int>(parseInt(argv[++i]));
+        } else if (arg == "--tenant" && i + 1 < argc) {
+            tenant = argv[++i];
+        } else if (arg == "--stream" && i + 1 < argc) {
+            stream_every = static_cast<int>(parseInt(argv[++i]));
+            if (stream_every < 1) {
+                std::fprintf(stderr,
+                             "--stream needs a chunk count >= 1, got "
+                             "%d\n",
+                             stream_every);
+                return 2;
+            }
         } else if (arg == "--ideal") {
             ideal = true;
         } else if (arg == "--json") {
@@ -133,6 +158,8 @@ main(int argc, char **argv)
                          "[--qec d] [--rounds n] "
                          "[--backend density|stabilizer] "
                          "[--shots n] [--threads k] [--seed s] "
+                         "[--policy fifo|priority|fair] "
+                         "[--priority n] [--tenant name] [--stream n] "
                          "[--ideal] [--json] [--trace] [input]\n");
             return 2;
         } else {
@@ -207,7 +234,45 @@ main(int argc, char **argv)
 
         runtime::QuantumProcessor processor(platform, seed);
         processor.loadSource(source);
-        engine::BatchResult result = processor.runBatch(shots, threads);
+
+        engine::EngineConfig engine_config;
+        engine_config.threads = threads;
+        if (!policy_name.empty()) {
+            auto policy = sched::parsePolicy(policy_name);
+            if (!policy) {
+                std::fprintf(stderr,
+                             "unknown policy '%s' (expected 'fifo', "
+                             "'priority' or 'fair')\n",
+                             policy_name.c_str());
+                return 2;
+            }
+            engine_config.scheduler.policy = *policy;
+        }
+        processor.setEngineConfig(engine_config);
+
+        engine::Job job;
+        job.shots = shots;
+        job.seed = seed;
+        job.tenant = tenant;
+        job.priority = priority;
+        if (stream_every > 0) {
+            // Progress to stderr: stdout stays reserved for the
+            // statistics (and must remain parseable under --json).
+            job.partialEveryChunks = stream_every;
+            job.onPartial = [shots](const engine::BatchResult &partial) {
+                std::fprintf(stderr,
+                             "stream: %llu/%d shots (%.1f%%, %.0f "
+                             "shots/s)\n",
+                             static_cast<unsigned long long>(
+                                 partial.shots),
+                             shots,
+                             100.0 * static_cast<double>(partial.shots) /
+                                 static_cast<double>(shots),
+                             partial.shotsPerSecond);
+            };
+        }
+        engine::BatchResult result =
+            processor.submitBatch(std::move(job)).get();
 
         if (json) {
             std::printf("%s\n", result.toJson().dump(2).c_str());
