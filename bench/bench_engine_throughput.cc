@@ -1,99 +1,286 @@
 /**
  * @file
- * Shot-engine throughput: shots/sec of a 1000-shot Rabi batch (the
- * Section 5 amplitude-calibration workload) on worker pools of 1, 2, 4
- * and 8 controller + device replicas.
+ * Shot-engine throughput across the workload mix the repo cares about,
+ * with a before/after comparison of the allocation-free shot fast path
+ * and a machine-readable BENCH_engine.json for perf trajectory
+ * tracking.
  *
- * Every experiment the paper validates is embarrassingly parallel
- * across shots; the engine exploits that by replicating the whole
- * QuMA_v2 + simulated-device stack per worker. The counter-based
- * per-shot RNG streams keep the aggregated counts bitwise-identical at
- * every pool size, which the harness verifies alongside the timing.
+ * Workloads (fixed seeds, so counts_fingerprint values are comparable
+ * across builds):
+ *
+ *  - rabi            — noisy density, the Section 5 amplitude sweep;
+ *  - allxy           — noisy density, one two-qubit AllXY combination;
+ *  - qec_d2_density  — distance-2 surface-code syndrome round on the
+ *                      exact density backend (Kraus-channel bound);
+ *  - qec_d3_stab     — distance-3 (17-qubit) syndrome round on the
+ *                      stabilizer backend.
+ *
+ * Each workload runs on 1/2/4-thread pools (fingerprints must match
+ * across pool sizes) and once in "legacy" configuration — textbook
+ * scratch-matrix channel kernels, no channel cache, per-gate trace
+ * logs kept — which reproduces the pre-fast-path execution profile.
+ * The legacy fingerprint must equal the fast-path fingerprint: the
+ * fast path changes cost, never counts.
+ *
+ * Usage: bench_engine_throughput [--quick] [--out <path>]
+ *   --quick  CI-sized shot counts.
+ *   --out    where to write the JSON report (default BENCH_engine.json
+ *            in the current directory).
  */
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "assembler/assembler.h"
 #include "common/strings.h"
 #include "common/table.h"
 #include "engine/shot_engine.h"
+#include "isa/encoding.h"
 #include "runtime/platform.h"
+#include "workloads/allxy.h"
 #include "workloads/experiments.h"
+#include "workloads/surface_code.h"
 
 using namespace eqasm;
 
 namespace {
 
-/** Aggregate fingerprint with the wall-clock and pool-size provenance
- *  fields zeroed. */
-std::string
-countsKey(const engine::BatchResult &result)
+struct Workload {
+    std::string name;
+    runtime::Platform platform;
+    std::vector<uint32_t> image;
+    int shots = 0;
+    uint64_t seed = 0;
+};
+
+struct Measurement {
+    int threads = 0;
+    double shotsPerSecond = 0.0;
+    std::string fingerprint;
+};
+
+Measurement
+runOnce(const Workload &workload, int threads, bool legacy)
 {
-    return result.countsFingerprint();
+    runtime::Platform platform = workload.platform;
+    engine::EngineConfig config;
+    config.threads = threads;
+    if (legacy) {
+        platform.device.channelCache = false;
+        platform.device.referenceKernels = true;
+        config.keepReplicaTrace = true;
+    }
+    engine::ShotEngine engine(platform, config);
+    engine::Job job;
+    job.image = workload.image;
+    job.shots = workload.shots;
+    job.seed = workload.seed;
+    job.label = workload.name;
+    // Warm-up pass: replica construction, first-touch allocations and
+    // cache fills stay out of the measured run.
+    engine.run(job);
+    Measurement best;
+    best.threads = threads;
+    for (int rep = 0; rep < 3; ++rep) {
+        engine::BatchResult result = engine.run(job);
+        best.fingerprint = result.countsFingerprint();
+        if (result.shotsPerSecond > best.shotsPerSecond)
+            best.shotsPerSecond = result.shotsPerSecond;
+    }
+    return best;
+}
+
+/** Decoded-image bytes one replica stops holding privately now that
+ *  the program is shared (instruction storage incl. bundle slots). */
+size_t
+decodedImageBytes(const Workload &workload)
+{
+    auto program = isa::decodeProgram(workload.image,
+                                      workload.platform.uarch.params,
+                                      workload.platform.operations);
+    size_t bytes = program.capacity() * sizeof(program[0]);
+    for (const isa::Instruction &instr : program) {
+        bytes += instr.operations.capacity() *
+                 sizeof(instr.operations[0]);
+    }
+    return bytes;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const int shots = 1000;
-    const int rabi_step = 8;  // mid-sweep amplitude, maximal randomness
-    const int steps = 17;
-
-    runtime::Platform platform = runtime::Platform::twoQubit();
-    platform.operations = workloads::rabiOperationSet(steps);
-    assembler::Assembler assembler(platform.operations,
-                                   platform.topology, platform.params);
-
-    engine::Job job;
-    job.image =
-        assembler.assemble(workloads::rabiProgram(rabi_step, 0)).image;
-    job.shots = shots;
-    job.seed = 300;
-    job.label = format("rabi step %d", rabi_step);
-
-    std::printf("=== Shot-engine throughput: %d-shot Rabi batch ===\n\n",
-                shots);
-
-    Table table({"threads", "wall (ms)", "shots/s", "speedup vs 1",
-                 "counts identical"});
-    double baseline = 0.0;
-    double fraction = 0.0;
-    std::string reference;
-    for (int threads : {1, 2, 4, 8}) {
-        engine::EngineConfig config;
-        config.threads = threads;
-        engine::ShotEngine engine(platform, config);
-        // Warm-up pass so worker replica construction and first-touch
-        // allocations stay out of the measured run.
-        engine.run(job);
-        engine::BatchResult result = engine.run(job);
-
-        if (threads == 1) {
-            baseline = result.shotsPerSecond;
-            fraction = result.fractionOne(0);
-            reference = countsKey(result);
-        }
-        bool identical = countsKey(result) == reference;
-        table.addRow(
-            {format("%d", threads),
-             format("%.1f", result.wallSeconds * 1e3),
-             format("%.0f", result.shotsPerSecond),
-             format("%.2fx", baseline > 0.0
-                                 ? result.shotsPerSecond / baseline
-                                 : 0.0),
-             identical ? "yes" : "NO"});
-        if (!identical) {
-            std::printf("ERROR: %d-thread aggregate differs from the "
-                        "1-thread reference\n",
-                        threads);
-            return 1;
+    bool quick = false;
+    std::string out_path = "BENCH_engine.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--quick] [--out <path>]\n",
+                         argv[0]);
+            return 2;
         }
     }
+
+    std::vector<Workload> workloads;
+    {
+        Workload w;
+        w.name = "rabi";
+        w.platform = runtime::Platform::twoQubit();
+        w.platform.operations = workloads::rabiOperationSet(17);
+        assembler::Assembler assembler(w.platform.operations,
+                                       w.platform.topology,
+                                       w.platform.params);
+        w.image = assembler.assemble(workloads::rabiProgram(8, 0)).image;
+        w.shots = quick ? 4000 : 30000;
+        w.seed = 300;
+        workloads.push_back(std::move(w));
+    }
+    {
+        Workload w;
+        w.name = "allxy";
+        w.platform = runtime::Platform::twoQubit();
+        assembler::Assembler assembler(w.platform.operations,
+                                       w.platform.topology,
+                                       w.platform.params);
+        w.image = assembler
+                      .assemble(workloads::twoQubitAllxyProgram(10, 0, 2))
+                      .image;
+        w.shots = quick ? 2000 : 10000;
+        w.seed = 1010;
+        workloads.push_back(std::move(w));
+    }
+    {
+        Workload w;
+        w.name = "qec_d2_density";
+        w.platform = runtime::Platform::rotatedSurface(2);
+        w.platform.device.backend = qsim::BackendKind::density;
+        assembler::Assembler assembler(w.platform.operations,
+                                       w.platform.topology,
+                                       w.platform.params);
+        w.image = assembler
+                      .assemble(workloads::syndromeProgram(
+                          2, 1, w.platform.operations))
+                      .image;
+        w.shots = quick ? 40 : 200;
+        w.seed = 11;
+        workloads.push_back(std::move(w));
+    }
+    {
+        Workload w;
+        w.name = "qec_d3_stab";
+        w.platform = runtime::Platform::rotatedSurface(3);
+        assembler::Assembler assembler(w.platform.operations,
+                                       w.platform.topology,
+                                       w.platform.params);
+        w.image = assembler
+                      .assemble(workloads::syndromeProgram(
+                          3, 1, w.platform.operations))
+                      .image;
+        w.shots = quick ? 4000 : 20000;
+        w.seed = 11;
+        workloads.push_back(std::move(w));
+    }
+
+    std::printf("=== Shot-engine throughput: fast path vs legacy ===\n");
+    std::printf("(legacy = textbook channel kernels, no channel cache, "
+                "per-gate trace logs.\n Structural wins — shared "
+                "program image, reused queues, lean aggregation — are "
+                "not\n toggleable, so speedup-vs-legacy is a lower "
+                "bound on speedup vs the pre-fast-path\n engine, which "
+                "measured ~3x on the noisy-density workloads.)\n\n");
+
+    Json report = Json::makeObject();
+    report.set("bench", Json(std::string("bench_engine_throughput")));
+    report.set("quick", Json(quick));
+    Json rows = Json::makeArray();
+
+    Table table({"workload", "backend", "shots", "threads", "shots/s",
+                 "fp identical", "legacy shots/s", "speedup"});
+    bool all_identical = true;
+    for (const Workload &workload : workloads) {
+        Measurement legacy = runOnce(workload, 1, true);
+        std::vector<Measurement> fast;
+        for (int threads : {1, 2, 4})
+            fast.push_back(runOnce(workload, threads, false));
+
+        const std::string &reference = fast.front().fingerprint;
+        bool identical = legacy.fingerprint == reference;
+        for (const Measurement &m : fast)
+            identical = identical && m.fingerprint == reference;
+        all_identical = all_identical && identical;
+
+        double speedup = legacy.shotsPerSecond > 0.0
+                             ? fast.front().shotsPerSecond /
+                                   legacy.shotsPerSecond
+                             : 0.0;
+        std::string backend(qsim::backendKindName(
+            workload.platform.device.backend));
+        for (const Measurement &m : fast) {
+            table.addRow(
+                {workload.name, backend,
+                 format("%d", workload.shots),
+                 format("%d", m.threads),
+                 format("%.0f", m.shotsPerSecond),
+                 identical ? "yes" : "NO",
+                 m.threads == 1 ? format("%.0f", legacy.shotsPerSecond)
+                                : "",
+                 m.threads == 1 ? format("%.2fx", speedup) : ""});
+        }
+
+        size_t image_bytes = decodedImageBytes(workload);
+        runtime::ResolvedGateTable gates(workload.platform.operations);
+
+        Json row = Json::makeObject();
+        row.set("workload", Json(workload.name));
+        row.set("backend", Json(backend));
+        row.set("shots",
+                Json(static_cast<int64_t>(workload.shots)));
+        row.set("seed",
+                Json(static_cast<int64_t>(workload.seed)));
+        row.set("counts_fingerprint", Json(reference));
+        row.set("fingerprints_identical", Json(identical));
+        Json threads_json = Json::makeArray();
+        for (const Measurement &m : fast) {
+            Json entry = Json::makeObject();
+            entry.set("threads",
+                      Json(static_cast<int64_t>(m.threads)));
+            entry.set("shots_per_second", Json(m.shotsPerSecond));
+            threads_json.append(std::move(entry));
+        }
+        row.set("threads", std::move(threads_json));
+        row.set("legacy_shots_per_second",
+                Json(legacy.shotsPerSecond));
+        row.set("speedup_vs_legacy", Json(speedup));
+        // Replica-memory effect of the shared read-only program image:
+        // with a T-thread pool, T - 1 private decoded copies (plus one
+        // resolved gate table per replica) no longer exist.
+        row.set("shared_image_bytes",
+                Json(static_cast<int64_t>(image_bytes)));
+        row.set("gate_table_bytes",
+                Json(static_cast<int64_t>(gates.memoryBytes())));
+        row.set("private_bytes_saved_per_extra_replica",
+                Json(static_cast<int64_t>(image_bytes +
+                                          gates.memoryBytes())));
+        rows.append(std::move(row));
+    }
+    report.set("workloads", std::move(rows));
+
     std::printf("%s\n", table.render().c_str());
-    std::printf("fraction_one(q0) = %.4f at every pool size "
-                "(seed-determined, schedule-independent)\n",
-                fraction);
-    return 0;
+    std::printf("fingerprints: every workload identical across legacy "
+                "and 1/2/4-thread fast path: %s\n",
+                all_identical ? "yes" : "NO");
+
+    std::ofstream out(out_path);
+    out << report.dump(2) << "\n";
+    out.close();
+    std::printf("wrote %s\n", out_path.c_str());
+
+    return all_identical ? 0 : 1;
 }

@@ -132,6 +132,71 @@ BM_IdleNoiseChannel(benchmark::State &state)
 }
 BENCHMARK(BM_IdleNoiseChannel);
 
+/**
+ * The kernel-level unit of the engine fast path: one noisy gate
+ * (applyGate1 + post-gate depolarizing channel), as the simulated
+ * device executes it per triggered single-qubit operation. Arguments:
+ * qubit count, channel-cache on/off — the off rows rebuild the Kraus
+ * set per gate, so the spread is the cache's kernel-level win,
+ * separate from engine-level throughput (bench_engine_throughput).
+ */
+void
+BM_NoisyGate1(benchmark::State &state)
+{
+    int qubits = static_cast<int>(state.range(0));
+    bool cached = state.range(1) != 0;
+    qsim::DensityMatrix rho(qubits);
+    rho.setChannelCacheEnabled(cached);
+    qsim::NoiseModel noise;
+    qsim::CMatrix x90 = qsim::matRx(M_PI / 2.0);
+    Rng rng(1);
+    int target = 0;
+    for (auto _ : state) {
+        rho.applyGate1(x90, target);
+        rho.applyGateNoise1(target, noise, rng);
+        target = (target + 1) % qubits;
+        benchmark::DoNotOptimize(rho.matrix().data().data());
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(cached ? "channel cache" : "uncached");
+}
+BENCHMARK(BM_NoisyGate1)
+    ->ArgNames({"qubits", "cached"})
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({7, 0})
+    ->Args({7, 1});
+
+/** Two-qubit flavour: CZ + the 16-operator depolarizing channel. */
+void
+BM_NoisyGate2(benchmark::State &state)
+{
+    int qubits = static_cast<int>(state.range(0));
+    bool cached = state.range(1) != 0;
+    qsim::DensityMatrix rho(qubits);
+    rho.setChannelCacheEnabled(cached);
+    qsim::NoiseModel noise;
+    qsim::CMatrix cz = qsim::matCz();
+    Rng rng(1);
+    int target = 0;
+    for (auto _ : state) {
+        rho.applyGate2(cz, target, (target + 1) % qubits);
+        rho.applyGateNoise2(target, (target + 1) % qubits, noise, rng);
+        target = (target + 1) % qubits;
+        benchmark::DoNotOptimize(rho.matrix().data().data());
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(cached ? "channel cache" : "uncached");
+}
+BENCHMARK(BM_NoisyGate2)
+    ->ArgNames({"qubits", "cached"})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({7, 0})
+    ->Args({7, 1});
+
 void
 BM_RbSurvivalSequence(benchmark::State &state)
 {

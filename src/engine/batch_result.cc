@@ -1,6 +1,9 @@
 #include "engine/batch_result.h"
 
 #include <algorithm>
+#include <charconv>
+#include <utility>
+#include <vector>
 
 #include "common/error.h"
 #include "common/strings.h"
@@ -35,21 +38,43 @@ BatchResult::addShot(const runtime::ShotRecord &record)
 {
     ++shots;
 
-    // Last measurement per qubit, in ascending qubit order.
-    std::map<int, int> last;
+    // Last measurement per qubit, in ascending qubit order. A shot
+    // measures a handful of qubits, so an insertion-sorted scratch
+    // vector beats a node-allocating map in the per-shot hot path.
+    std::vector<std::pair<int, int>> last;
+    last.reserve(record.measurements.size());
     for (const runtime::MeasurementRecord &measurement :
          record.measurements) {
-        last[measurement.qubit] = measurement.bit;
+        auto it = std::lower_bound(
+            last.begin(), last.end(), measurement.qubit,
+            [](const auto &entry, int qubit) {
+                return entry.first < qubit;
+            });
+        if (it != last.end() && it->first == measurement.qubit)
+            it->second = measurement.bit;
+        else
+            last.insert(it, {measurement.qubit, measurement.bit});
     }
 
+    // Bitstring key, byte-identical to the historical
+    // format("q%d=%d", ...) join (fingerprint compatibility), without
+    // a vsnprintf round-trip per qubit.
     std::string bitstring;
+    bitstring.reserve(last.size() * 6);
     for (const auto &[qubit, bit] : last) {
         QubitCounts &counts = qubitCounts[qubit];
         ++counts.shots;
         counts.ones += static_cast<uint64_t>(bit);
         if (!bitstring.empty())
             bitstring += ' ';
-        bitstring += format("q%d=%d", qubit, bit);
+        bitstring += 'q';
+        char digits[12];
+        auto [end, ec] = std::to_chars(digits, digits + sizeof(digits),
+                                       qubit);
+        (void)ec;
+        bitstring.append(digits, end);
+        bitstring += '=';
+        bitstring += static_cast<char>('0' + (bit ? 1 : 0));
     }
     ++histogram[bitstring];
 

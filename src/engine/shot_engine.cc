@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "common/strings.h"
+#include "isa/encoding.h"
 #include "microarch/quma.h"
 #include "runtime/quantum_processor.h"
 #include "runtime/simulated_device.h"
@@ -45,6 +46,12 @@ struct ShotEngine::JobState : sched::JobControl {
     uint64_t deliveredShots = 0;
     bool deliveryClosed = false;  ///< set before the promise settles.
 
+    // --- shared read-only program image ---
+    /** The job's image decoded once; every worker replica loads this
+     *  same shared copy instead of re-decoding into private storage. */
+    std::mutex decodeMutex;
+    std::shared_ptr<const std::vector<isa::Instruction>> decoded;
+
     void requestCancel() override
     {
         cancelRequested.store(true, std::memory_order_relaxed);
@@ -68,18 +75,23 @@ struct ShotEngine::JobState : sched::JobControl {
 };
 
 /** One worker's private controller + device replica, built from the
- *  shared Platform. Owning a full replica means workers share no
- *  mutable state at all during shot execution. */
+ *  shared Platform. Workers share no *mutable* state during shot
+ *  execution; the read-only program image and resolved gate table are
+ *  shared across the pool, so per-replica private state shrinks to
+ *  the controller's architectural registers, the backend state and
+ *  the RNG. */
 struct ShotEngine::Replica {
     microarch::QuMa controller;
     runtime::SimulatedDevice device;
     uint64_t loadedJob = 0;  ///< id of the job whose image is loaded.
 
-    explicit Replica(const runtime::Platform &platform)
+    Replica(const runtime::Platform &platform,
+            std::shared_ptr<const runtime::ResolvedGateTable> gates)
         : controller(platform.operations, platform.topology,
                      platform.uarch),
           device(platform.topology, platform.device)
     {
+        device.shareGateTable(std::move(gates));
         controller.attachDevice(&device);
     }
 };
@@ -91,6 +103,17 @@ ShotEngine::ShotEngine(runtime::Platform platform, EngineConfig config)
 {
     if (config_.chunkShots < 1)
         config_.chunkShots = 1;
+    // Batch replicas skip the per-gate logs: results come from the
+    // always-on measurement path, and the logs' per-op string pushes
+    // are pure overhead at batch rates (results are bit-identical, as
+    // the fast-path tests assert).
+    replicaPlatform_ = platform_;
+    if (!config_.keepReplicaTrace) {
+        replicaPlatform_.uarch.enableTrace = false;
+        replicaPlatform_.device.recordTrace = false;
+    }
+    gateTable_ = std::make_shared<const runtime::ResolvedGateTable>(
+        platform_.operations);
     int threads = config_.threads;
     if (threads <= 0)
         threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -260,6 +283,23 @@ ShotEngine::workerLoop()
     }
 }
 
+std::shared_ptr<const std::vector<isa::Instruction>>
+ShotEngine::decodedProgram(JobState &state)
+{
+    // Decode on first use (inside the worker's try block, so a bad
+    // image fails its job exactly like loadImage used to) and share
+    // the read-only result with every replica that runs this job.
+    std::lock_guard<std::mutex> guard(state.decodeMutex);
+    if (!state.decoded) {
+        state.decoded =
+            std::make_shared<const std::vector<isa::Instruction>>(
+                isa::decodeProgram(state.job.image,
+                                   platform_.uarch.params,
+                                   platform_.operations));
+    }
+    return state.decoded;
+}
+
 void
 ShotEngine::runChunk(std::optional<Replica> &replica, JobState &state,
                      int begin, int end)
@@ -276,9 +316,9 @@ ShotEngine::runChunk(std::optional<Replica> &replica, JobState &state,
     if (!skip) {
         try {
             if (!replica)
-                replica.emplace(platform_);
+                replica.emplace(replicaPlatform_, gateTable_);
             if (replica->loadedJob != state.id) {
-                replica->controller.loadImage(state.job.image);
+                replica->controller.loadShared(decodedProgram(state));
                 replica->device.reseed(state.job.seed);
                 replica->loadedJob = state.id;
             }

@@ -65,6 +65,17 @@ struct EngineConfig {
 
     /** Queue policy + fair-share weights (see sched::JobScheduler). */
     sched::SchedulerConfig scheduler;
+
+    /**
+     * Keep the per-gate logs (QuMa TraceEvents, device AppliedGates) on
+     * the worker replicas. Off by default: batch results are built from
+     * the always-on measurement log, so recording a per-gate trace that
+     * nothing reads only reallocates strings in the hot shot loop.
+     * Results are bitwise-identical either way (the fast-path identity
+     * tests assert it); turn this on to inspect replica traces or to
+     * benchmark the logging cost.
+     */
+    bool keepReplicaTrace = false;
 };
 
 /** Worker-pool batch executor over one Platform. */
@@ -108,6 +119,10 @@ class ShotEngine
     void workerLoop();
     void runChunk(std::optional<Replica> &replica, JobState &state,
                   int begin, int end);
+    /** The job's decoded read-only program image, decoding on first
+     *  use (thread-safe; every replica then shares the one copy). */
+    std::shared_ptr<const std::vector<isa::Instruction>>
+    decodedProgram(JobState &state);
     void finishChunk(JobState &state, BatchResult &&partial, int count,
                      std::exception_ptr error);
     /** Claims the remaining range of every cancelled queued job (called
@@ -117,6 +132,12 @@ class ShotEngine
 
     runtime::Platform platform_;
     EngineConfig config_;
+    /** platform_ with the per-gate logs switched off for the worker
+     *  replicas (unless config_.keepReplicaTrace). */
+    runtime::Platform replicaPlatform_;
+    /** Gates pre-resolved from the operation set once per engine and
+     *  shared read-only by every replica. */
+    std::shared_ptr<const runtime::ResolvedGateTable> gateTable_;
 
     std::mutex mutex_;
     std::condition_variable workAvailable_;

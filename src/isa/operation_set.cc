@@ -127,6 +127,7 @@ OperationSet::add(OperationInfo info)
     }
     byName_[key] = ops_.size();
     byOpcode_[info.opcode] = ops_.size();
+    info.id = static_cast<int>(ops_.size());
     ops_.push_back(std::move(info));
 }
 

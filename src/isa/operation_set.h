@@ -85,6 +85,16 @@ struct OperationInfo {
     ExecFlag condition = ExecFlag::always;  ///< FCE flag selector.
     Channel channel = Channel::microwave;
     std::string unitary = "i";    ///< pulse semantics (see above).
+
+    /**
+     * Stable dense id assigned by OperationSet::add (the operation's
+     * registration index; copies of a set keep the ids). The simulated
+     * device uses it to index a pre-resolved gate table instead of
+     * re-looking the unitary string up on every triggered operation.
+     * -1 on an OperationInfo never registered with a set, for which
+     * devices fall back to string-keyed resolution.
+     */
+    int id = -1;
 };
 
 /**

@@ -47,11 +47,20 @@ QuMa::QuMa(isa::OperationSet operations, chip::Topology topology,
 void
 QuMa::loadImage(std::vector<uint32_t> image)
 {
-    program_ = isa::decodeProgram(image, config_.params, operations_);
+    program_ = std::make_shared<const std::vector<Instruction>>(
+        isa::decodeProgram(image, config_.params, operations_));
 }
 
 void
 QuMa::loadProgram(std::vector<Instruction> program)
+{
+    program_ = std::make_shared<const std::vector<Instruction>>(
+        std::move(program));
+}
+
+void
+QuMa::loadShared(
+    std::shared_ptr<const std::vector<Instruction>> program)
 {
     program_ = std::move(program);
 }
@@ -83,13 +92,22 @@ QuMa::resetState()
     std::fill(gpr_.begin(), gpr_.end(), 0);
     cmpFlags_.fill(false);
     cmpFlags_[static_cast<size_t>(CondFlag::always)] = true;
+    if (dataMemDirty_) {
+        // Only programs that stored (or hosts that preloaded) pay the
+        // data-memory wipe; for store-free programs the 16 KiB fill per
+        // shot is pure overhead.
+        std::fill(dataMem_.begin(), dataMem_.end(), 0);
+        dataMemDirty_ = false;
+    }
     std::fill(sRegs_.begin(), sRegs_.end(), 0);
     std::fill(tRegs_.begin(), tRegs_.end(), 0);
     timelineLabel_ = 0;
     collectorLabel_ = 0;
     collector_.clear();
     inTransit_.clear();
+    inTransitHead_ = 0;
     eventQueue_.clear();
+    eventQueueHead_ = 0;
     std::fill(qi_.begin(), qi_.end(), 0);
     std::fill(pendingMeasurements_.begin(), pendingMeasurements_.end(), 0);
     std::fill(lastResult_.begin(), lastResult_.end(), 0);
@@ -97,6 +115,7 @@ QuMa::resetState()
     std::fill(resultCount_.begin(), resultCount_.end(), 0);
     inFlight_.clear();
     trace_.clear();
+    measurements_.clear();
     stats_ = RunStats{};
 }
 
@@ -118,8 +137,9 @@ QuMa::architecturalError(const std::string &message) const
 bool
 QuMa::drained() const
 {
-    return halted_ && collector_.empty() && inTransit_.empty() &&
-           eventQueue_.empty() && inFlight_.empty();
+    return halted_ && collector_.empty() &&
+           inTransitHead_ == inTransit_.size() &&
+           eventQueueHead_ == eventQueue_.size() && inFlight_.empty();
 }
 
 RunStats
@@ -129,7 +149,7 @@ QuMa::runShot()
         throwError(ErrorCode::runtimeError,
                    "no device attached to the controller");
     }
-    if (program_.empty()) {
+    if (program_ == nullptr || program_->empty()) {
         throwError(ErrorCode::runtimeError, "no program loaded");
     }
     resetState();
@@ -149,18 +169,21 @@ QuMa::runShot()
         // make no progress this turn (halted or FMR-stalled with no
         // deliverable result), jump to the next cycle where something
         // is due. This keeps 200 us initialisation waits cheap.
-        bool stalled = !halted_ && pc_ < program_.size() &&
-                       program_[pc_].kind == InstrKind::fmr &&
+        bool stalled = !halted_ && pc_ < program_->size() &&
+                       (*program_)[pc_].kind == InstrKind::fmr &&
                        pendingMeasurements_[static_cast<size_t>(
-                           program_[pc_].qubit)] > 0;
+                           (*program_)[pc_].qubit)] > 0;
         if (halted_ || stalled) {
             uint64_t next = std::numeric_limits<uint64_t>::max();
-            if (!eventQueue_.empty()) {
-                next = std::min(next,
-                                labelToCycle(eventQueue_.begin()->first));
+            if (eventQueueHead_ < eventQueue_.size()) {
+                next = std::min(
+                    next,
+                    labelToCycle(eventQueue_[eventQueueHead_].label));
             }
-            if (!inTransit_.empty())
-                next = std::min(next, inTransit_.front().readyCycle);
+            if (inTransitHead_ < inTransit_.size()) {
+                next = std::min(
+                    next, inTransit_[inTransitHead_].readyCycle);
+            }
             for (const PendingResult &result : inFlight_) {
                 next = std::min(
                     next, result.readyCycle +
@@ -204,6 +227,8 @@ QuMa::deliverDueResults()
         prevResult_[q] = lastResult_[q];
         lastResult_[q] = result.bit;
         ++resultCount_[q];
+        measurements_.push_back(
+            {result.readyCycle, result.qubit, result.bit});
         if (config_.enableTrace) {
             trace_.push_back({TraceEvent::Kind::resultArrived,
                               result.readyCycle, result.qubit, result.bit,
@@ -242,13 +267,14 @@ QuMa::issueClassical()
     for (int slot = 0; slot < config_.classicalIssueRate; ++slot) {
         if (halted_)
             return;
-        if (pc_ >= program_.size()) {
+        const std::vector<Instruction> &program = *program_;
+        if (pc_ >= program.size()) {
             // Running off the end behaves as an implicit STOP.
             halted_ = true;
             flushCollector();
             return;
         }
-        const Instruction &instr = program_[pc_];
+        const Instruction &instr = program[pc_];
 
         if (instr.kind == InstrKind::fmr) {
             size_t q = static_cast<size_t>(instr.qubit);
@@ -300,7 +326,7 @@ QuMa::executeClassical(const Instruction &instr)
         if (cmpFlags_[static_cast<size_t>(instr.cond)]) {
             int64_t target = static_cast<int64_t>(pc_) - 1 + instr.imm;
             if (target < 0 ||
-                target > static_cast<int64_t>(program_.size())) {
+                target > static_cast<int64_t>(program_->size())) {
                 architecturalError(
                     format("branch target %lld out of range",
                            static_cast<long long>(target)));
@@ -343,6 +369,7 @@ QuMa::executeClassical(const Instruction &instr)
                                       static_cast<long long>(address)));
         }
         dataMem_[static_cast<size_t>(address)] = reg(instr.rs);
+        dataMemDirty_ = true;
         break;
       }
       case InstrKind::fmr:
@@ -506,9 +533,15 @@ QuMa::flushCollector()
 void
 QuMa::drainTransitPipeline()
 {
-    while (!inTransit_.empty() && inTransit_.front().readyCycle <= cycle_) {
-        TransitOp transit = inTransit_.front();
-        inTransit_.pop_front();
+    while (inTransitHead_ < inTransit_.size() &&
+           inTransit_[inTransitHead_].readyCycle <= cycle_) {
+        TransitOp transit = inTransit_[inTransitHead_];
+        ++inTransitHead_;
+        if (inTransitHead_ == inTransit_.size()) {
+            // Fully drained: rewind so the storage is reused.
+            inTransit_.clear();
+            inTransitHead_ = 0;
+        }
         if (labelToCycle(transit.label) < cycle_) {
             // The reserve phase missed the timing point: this is the
             // quantum-operation issue-rate problem surfacing at runtime.
@@ -523,10 +556,32 @@ QuMa::drainTransitPipeline()
                         labelToCycle(transit.label))));
             }
         }
-        eventQueue_.emplace(transit.label, transit.op);
-        stats_.maxQueueDepth =
-            std::max(stats_.maxQueueDepth,
-                     static_cast<uint64_t>(eventQueue_.size()));
+        if (eventQueue_.size() == eventQueueHead_) {
+            // Queue ran empty: rewind so the storage is reused.
+            eventQueue_.clear();
+            eventQueueHead_ = 0;
+        }
+        if (eventQueue_.empty() ||
+            eventQueue_.back().label <= transit.label) {
+            eventQueue_.push_back({transit.label, transit.op});
+        } else {
+            // Out-of-order label (does not happen on the monotone
+            // timeline, but the structure must not depend on that):
+            // insert at the upper bound, exactly where the previous
+            // multimap representation placed it.
+            auto it = std::upper_bound(
+                eventQueue_.begin() +
+                    static_cast<std::ptrdiff_t>(eventQueueHead_),
+                eventQueue_.end(), transit.label,
+                [](uint64_t label, const QueuedEvent &event) {
+                    return label < event.label;
+                });
+            eventQueue_.insert(it, {transit.label, transit.op});
+        }
+        stats_.maxQueueDepth = std::max(
+            stats_.maxQueueDepth,
+            static_cast<uint64_t>(eventQueue_.size() -
+                                  eventQueueHead_));
     }
 }
 
@@ -560,10 +615,14 @@ QuMa::executionFlag(int qubit, ExecFlag flag) const
 void
 QuMa::triggerDueEvents()
 {
-    while (!eventQueue_.empty() &&
-           labelToCycle(eventQueue_.begin()->first) <= cycle_) {
-        MicroOp op = eventQueue_.begin()->second;
-        eventQueue_.erase(eventQueue_.begin());
+    while (eventQueueHead_ < eventQueue_.size() &&
+           labelToCycle(eventQueue_[eventQueueHead_].label) <= cycle_) {
+        MicroOp op = eventQueue_[eventQueueHead_].op;
+        ++eventQueueHead_;
+        if (eventQueueHead_ == eventQueue_.size()) {
+            eventQueue_.clear();
+            eventQueueHead_ = 0;
+        }
         uint64_t output_cycle =
             cycle_ + static_cast<uint64_t>(config_.triggerOutputCycles);
 
@@ -646,6 +705,7 @@ QuMa::setDataWord(size_t address, uint32_t value)
 {
     EQASM_ASSERT(address < dataMem_.size(), "data address out of range");
     dataMem_[address] = value;
+    dataMemDirty_ = true;
 }
 
 } // namespace eqasm::microarch

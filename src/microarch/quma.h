@@ -30,8 +30,7 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
-#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -90,6 +89,19 @@ struct MicroarchConfig {
     bool enableTrace = true;
 };
 
+/**
+ * One measurement result as observed by the controller. Unlike the
+ * TraceEvent log (which records every output/cancellation and is
+ * switched off for batch replicas), this log is always recorded — it
+ * is the data results are built from, and it stays tiny: one entry per
+ * measurement, no strings.
+ */
+struct MeasurementEvent {
+    uint64_t cycle = 0;  ///< cycle the result entered the controller.
+    int qubit = -1;
+    int bit = 0;
+};
+
 /** One entry of the execution trace, used by tests and benches. */
 struct TraceEvent {
     enum class Kind {
@@ -135,6 +147,16 @@ class QuMa
      *  tests that construct instructions directly). */
     void loadProgram(std::vector<isa::Instruction> program);
 
+    /**
+     * Loads a shared, already-decoded, read-only program image. The
+     * shot engine decodes a job's image once and hands the same
+     * shared_ptr to every worker replica, so an N-worker pool holds one
+     * copy of the program instead of N — the controller only ever reads
+     * the instruction stream during execution.
+     */
+    void
+    loadShared(std::shared_ptr<const std::vector<isa::Instruction>> program);
+
     /** Attaches the ADI device (not owned). */
     void attachDevice(Device *device);
 
@@ -161,6 +183,14 @@ class QuMa
     void setDataWord(size_t address, uint32_t value);
 
     const std::vector<TraceEvent> &trace() const { return trace_; }
+
+    /** Measurement results of the last shot, in arrival order. Always
+     *  recorded (independent of MicroarchConfig::enableTrace). */
+    const std::vector<MeasurementEvent> &measurements() const
+    {
+        return measurements_;
+    }
+
     const RunStats &stats() const { return stats_; }
     const MicroarchConfig &config() const { return config_; }
     const chip::Topology &topology() const { return topology_; }
@@ -205,7 +235,9 @@ class QuMa
     MicroarchConfig config_;
     Device *device_ = nullptr;
 
-    std::vector<isa::Instruction> program_;
+    /** The loaded program: immutable, possibly shared across replicas
+     *  (see loadShared). Null until a program is loaded. */
+    std::shared_ptr<const std::vector<isa::Instruction>> program_;
 
     // Classical pipeline state.
     uint64_t cycle_ = 0;
@@ -214,6 +246,9 @@ class QuMa
     std::vector<uint32_t> gpr_;
     std::array<bool, isa::kNumCondFlags> cmpFlags_{};
     std::vector<uint32_t> dataMem_;
+    /** Data memory has non-zero words (ST executed / host preload);
+     *  lets resetState skip the per-shot wipe for store-free programs. */
+    bool dataMemDirty_ = false;
 
     // Quantum front-end state.
     std::vector<uint64_t> sRegs_;
@@ -230,10 +265,25 @@ class QuMa
     };
 
     // Micro-ops in flight between the collector and the event queues.
-    std::deque<TransitOp> inTransit_;
+    // FIFO as a vector + head index: entries enter in ready-cycle
+    // order and leave from the front, and the backing storage is
+    // reused across shots (no steady-state allocation).
+    std::vector<TransitOp> inTransit_;
+    size_t inTransitHead_ = 0;
 
-    // Timing control unit: label -> queued micro-ops.
-    std::multimap<uint64_t, MicroOp> eventQueue_;
+    /** One queued (timing point, micro-op) entry of the timing control
+     *  unit; kept sorted by label, insertion order within a label. */
+    struct QueuedEvent {
+        uint64_t label = 0;
+        MicroOp op;
+    };
+    // Timing control unit event queue. Labels arrive in non-decreasing
+    // order (the collector flushes along a monotone timeline through a
+    // FIFO pipeline), so pushes are O(1) appends on a reused vector;
+    // an out-of-order label would be placed exactly where the previous
+    // multimap put it (upper bound, preserving equal-label FIFO).
+    std::vector<QueuedEvent> eventQueue_;
+    size_t eventQueueHead_ = 0;
 
     // Measurement result registers + CFC counters + FCE history.
     std::vector<int> qi_;
@@ -244,6 +294,7 @@ class QuMa
     std::vector<PendingResult> inFlight_;
 
     std::vector<TraceEvent> trace_;
+    std::vector<MeasurementEvent> measurements_;
     RunStats stats_;
 };
 

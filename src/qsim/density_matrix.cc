@@ -1,12 +1,43 @@
 #include "qsim/density_matrix.h"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
+#include <utility>
 
 #include "common/error.h"
 #include "common/strings.h"
 #include "qsim/noise.h"
 
 namespace eqasm::qsim {
+
+namespace {
+
+/**
+ * lhs * rhs with the finite-value semantics of complex multiplication.
+ * std::complex's operator* routes through the __muldc3 libcall, whose
+ * NaN-recovery branch makes it non-inlinable — a measurable cost when
+ * the channel kernels execute thousands of multiplies per gate. For
+ * finite operands __muldc3 computes exactly (ac - bd, ad + bc) with
+ * the same three-operation rounding order as this expression, so the
+ * results are bit-identical; a density matrix never holds non-finite
+ * values (any NaN/Inf means the state is already corrupt).
+ */
+inline Complex
+cmul(const Complex &lhs, const Complex &rhs)
+{
+    return Complex{lhs.real() * rhs.real() - lhs.imag() * rhs.imag(),
+                   lhs.real() * rhs.imag() + lhs.imag() * rhs.real()};
+}
+
+/** lhs * conj(rhs), with the same finite-value semantics as cmul. */
+inline Complex
+cmulConj(const Complex &lhs, const Complex &rhs)
+{
+    return cmul(lhs, std::conj(rhs));
+}
+
+} // namespace
 
 DensityMatrix::DensityMatrix(int num_qubits) : numQubits_(num_qubits)
 {
@@ -34,10 +65,49 @@ DensityMatrix::DensityMatrix(const StateVector &state)
     }
 }
 
+DensityMatrix::DensityMatrix(const DensityMatrix &other)
+    : numQubits_(other.numQubits_), rho_(other.rho_),
+      channelCacheEnabled_(other.channelCacheEnabled_),
+      referenceKernels_(other.referenceKernels_)
+{
+}
+
+DensityMatrix &
+DensityMatrix::operator=(const DensityMatrix &other)
+{
+    if (this != &other) {
+        numQubits_ = other.numQubits_;
+        rho_ = other.rho_;
+        channelCacheEnabled_ = other.channelCacheEnabled_;
+        referenceKernels_ = other.referenceKernels_;
+        channelCache_.reset();
+    }
+    return *this;
+}
+
+DensityMatrix::~DensityMatrix() = default;
+
+void
+DensityMatrix::setChannelCacheEnabled(bool enabled)
+{
+    channelCacheEnabled_ = enabled;
+}
+
+NoiseChannelCache *
+DensityMatrix::channelCache()
+{
+    if (!channelCacheEnabled_)
+        return nullptr;
+    if (!channelCache_)
+        channelCache_ = std::make_unique<NoiseChannelCache>();
+    return channelCache_.get();
+}
+
 void
 DensityMatrix::reset()
 {
-    rho_ = CMatrix(dim(), dim());
+    auto &data = rho_.data();
+    std::fill(data.begin(), data.end(), Complex{});
     rho_(0, 0) = 1.0;
 }
 
@@ -47,10 +117,14 @@ DensityMatrix::resetQubit(int qubit)
     checkQubit(qubit);
     // Trace out the qubit and re-prepare it in |0>: rho' =
     // P0 rho P0 + X P1 rho P1 X restricted appropriately. Implemented as
-    // the amplitude-damping channel with gamma = 1.
-    CMatrix k0(2, 2, {1.0, 0.0, 0.0, 0.0});
-    CMatrix k1(2, 2, {0.0, 1.0, 0.0, 0.0});
-    applyChannel1({k0, k1}, qubit);
+    // the amplitude-damping channel with gamma = 1, whose Kraus pair is
+    // constant — the cache builds it once instead of twice per measured
+    // qubit per active-reset shot.
+    if (NoiseChannelCache *cache = channelCache()) {
+        applyChannel1(cache->qubitReset(), qubit);
+        return;
+    }
+    applyChannel1(krausAmplitudeDamping(1.0), qubit);
 }
 
 void
@@ -71,31 +145,42 @@ DensityMatrix::applyGate1(const CMatrix &unitary, int qubit)
                  "applyGate1 needs a 2x2 matrix");
     size_t stride = size_t{1} << qubit;
     size_t n = dim();
-    // Left multiply: rows mix in pairs differing in the qubit bit.
-    for (size_t col = 0; col < n; ++col) {
-        for (size_t base = 0; base < n; base += 2 * stride) {
-            for (size_t offset = 0; offset < stride; ++offset) {
-                size_t r0 = base + offset;
-                size_t r1 = r0 + stride;
-                Complex a0 = rho_(r0, col);
-                Complex a1 = rho_(r1, col);
-                rho_(r0, col) = unitary(0, 0) * a0 + unitary(0, 1) * a1;
-                rho_(r1, col) = unitary(1, 0) * a0 + unitary(1, 1) * a1;
-            }
-        }
-    }
-    // Right multiply by U^dagger: columns mix.
-    for (size_t row = 0; row < n; ++row) {
-        for (size_t base = 0; base < n; base += 2 * stride) {
-            for (size_t offset = 0; offset < stride; ++offset) {
-                size_t c0 = base + offset;
-                size_t c1 = c0 + stride;
-                Complex a0 = rho_(row, c0);
-                Complex a1 = rho_(row, c1);
-                rho_(row, c0) = a0 * std::conj(unitary(0, 0)) +
-                                a1 * std::conj(unitary(0, 1));
-                rho_(row, c1) = a0 * std::conj(unitary(1, 0)) +
-                                a1 * std::conj(unitary(1, 1));
+    // Hoist the unitary's entries into locals: the compiler cannot do
+    // it (the 2x2 could alias rho_'s storage for all it knows), and a
+    // reload per block write defeats the register kernel.
+    const Complex u00 = unitary(0, 0), u01 = unitary(0, 1);
+    const Complex u10 = unitary(1, 0), u11 = unitary(1, 1);
+    // U rho U^dagger in one pass: each 2x2 block spanned by a row pair
+    // and a column pair differing in the qubit bit maps independently
+    // (t = U a, then out = t U^dagger — the same per-element expression
+    // sequence as separate left and right passes, so results are
+    // bit-identical to the two-pass formulation, with half the memory
+    // traffic).
+    for (size_t rbase = 0; rbase < n; rbase += 2 * stride) {
+        for (size_t roffset = 0; roffset < stride; ++roffset) {
+            size_t r0 = rbase + roffset;
+            size_t r1 = r0 + stride;
+            for (size_t cbase = 0; cbase < n; cbase += 2 * stride) {
+                for (size_t coffset = 0; coffset < stride; ++coffset) {
+                    size_t c0 = cbase + coffset;
+                    size_t c1 = c0 + stride;
+                    Complex a00 = rho_(r0, c0);
+                    Complex a01 = rho_(r0, c1);
+                    Complex a10 = rho_(r1, c0);
+                    Complex a11 = rho_(r1, c1);
+                    Complex t00 = cmul(u00, a00) + cmul(u01, a10);
+                    Complex t01 = cmul(u00, a01) + cmul(u01, a11);
+                    Complex t10 = cmul(u10, a00) + cmul(u11, a10);
+                    Complex t11 = cmul(u10, a01) + cmul(u11, a11);
+                    rho_(r0, c0) = cmulConj(t00, u00) +
+                                   cmulConj(t01, u01);
+                    rho_(r0, c1) = cmulConj(t00, u10) +
+                                   cmulConj(t01, u11);
+                    rho_(r1, c0) = cmulConj(t10, u00) +
+                                   cmulConj(t11, u01);
+                    rho_(r1, c1) = cmulConj(t10, u10) +
+                                   cmulConj(t11, u11);
+                }
             }
         }
     }
@@ -109,6 +194,58 @@ DensityMatrix::applyGate2(const CMatrix &unitary, int qubit0, int qubit1)
     EQASM_ASSERT(qubit0 != qubit1, "two-qubit gate needs distinct qubits");
     EQASM_ASSERT(unitary.rows() == 4 && unitary.cols() == 4,
                  "applyGate2 needs a 4x4 matrix");
+    // Single-pass blockwise U rho U^dagger, as in applyGate1 (4x4
+    // blocks over the two qubit bits); bit-identical to the two-pass
+    // applyGate2To with half the memory traffic.
+    Complex u[4][4];
+    for (size_t r = 0; r < 4; ++r) {
+        for (size_t c = 0; c < 4; ++c)
+            u[r][c] = unitary(r, c);
+    }
+    size_t bit0 = size_t{1} << qubit0;
+    size_t bit1 = size_t{1} << qubit1;
+    size_t n = dim();
+    auto indexOf = [&](size_t base, size_t k) {
+        return base | (k & 1 ? bit0 : 0) | (k & 2 ? bit1 : 0);
+    };
+    for (size_t rbase = 0; rbase < n; ++rbase) {
+        if (rbase & (bit0 | bit1))
+            continue;
+        for (size_t cbase = 0; cbase < n; ++cbase) {
+            if (cbase & (bit0 | bit1))
+                continue;
+            Complex a[4][4];
+            for (size_t r = 0; r < 4; ++r) {
+                for (size_t c = 0; c < 4; ++c)
+                    a[r][c] = rho_(indexOf(rbase, r), indexOf(cbase, c));
+            }
+            Complex t[4][4];
+            // t = U a (the left pass, row by row).
+            for (size_t c = 0; c < 4; ++c) {
+                for (size_t r = 0; r < 4; ++r) {
+                    Complex value = 0.0;
+                    for (size_t j = 0; j < 4; ++j)
+                        value += cmul(u[r][j], a[j][c]);
+                    t[r][c] = value;
+                }
+            }
+            // out = t U^dagger (the right pass, column by column).
+            for (size_t r = 0; r < 4; ++r) {
+                for (size_t c = 0; c < 4; ++c) {
+                    Complex value = 0.0;
+                    for (size_t j = 0; j < 4; ++j)
+                        value += cmulConj(t[r][j], u[c][j]);
+                    rho_(indexOf(rbase, r), indexOf(cbase, c)) = value;
+                }
+            }
+        }
+    }
+}
+
+void
+DensityMatrix::applyGate2To(const CMatrix &unitary, int qubit0,
+                            int qubit1, CMatrix &target) const
+{
     size_t bit0 = size_t{1} << qubit0;
     size_t bit1 = size_t{1} << qubit1;
     size_t n = dim();
@@ -122,12 +259,12 @@ DensityMatrix::applyGate2(const CMatrix &unitary, int qubit0, int qubit1)
                 continue;
             Complex a[4];
             for (size_t k = 0; k < 4; ++k)
-                a[k] = rho_(indexOf(base, k), col);
+                a[k] = target(indexOf(base, k), col);
             for (size_t r = 0; r < 4; ++r) {
                 Complex sum = 0.0;
                 for (size_t c = 0; c < 4; ++c)
-                    sum += unitary(r, c) * a[c];
-                rho_(indexOf(base, r), col) = sum;
+                    sum += cmul(unitary(r, c), a[c]);
+                target(indexOf(base, r), col) = sum;
             }
         }
     }
@@ -138,12 +275,12 @@ DensityMatrix::applyGate2(const CMatrix &unitary, int qubit0, int qubit1)
                 continue;
             Complex a[4];
             for (size_t k = 0; k < 4; ++k)
-                a[k] = rho_(row, indexOf(base, k));
+                a[k] = target(row, indexOf(base, k));
             for (size_t c = 0; c < 4; ++c) {
                 Complex sum = 0.0;
                 for (size_t k = 0; k < 4; ++k)
-                    sum += a[k] * std::conj(unitary(c, k));
-                rho_(row, indexOf(base, c)) = sum;
+                    sum += cmulConj(a[k], unitary(c, k));
+                target(row, indexOf(base, c)) = sum;
             }
         }
     }
@@ -185,33 +322,145 @@ void
 DensityMatrix::applyChannel1(const std::vector<CMatrix> &kraus, int qubit)
 {
     checkQubit(qubit);
-    CMatrix accum(dim(), dim());
+    if (referenceKernels_) {
+        applyChannel1Reference(kraus, qubit);
+        return;
+    }
+    // sum_k K rho K^dagger in one allocation-free pass. The channel
+    // maps each 2x2 block of rho spanned by (row pair, column pair)
+    // differing in the qubit bit to a function of that block alone, so
+    // every block is read once, transformed under all Kraus operators
+    // with the sum held locally, and written back in place.
+    //
+    // Equality with the textbook scratch-matrix formulation holds
+    // because every elementary operation sequence per element is
+    // unchanged: t = K a (left pass), out = t K^dagger (right pass),
+    // terms summed in Kraus order starting from zero. The sparse
+    // variant below additionally skips products with exact-zero Kraus
+    // coefficients, which contribute exactly +/-0 to those sums.
     for (const CMatrix &k : kraus) {
         EQASM_ASSERT(k.rows() == 2 && k.cols() == 2,
                      "single-qubit Kraus operator must be 2x2");
-        // term = K rho K^dagger via a scratch density matrix.
-        DensityMatrix scratch = *this;
-        scratch.leftMultiply1(k, qubit, scratch.rho_);
-        // right multiply by K^dagger: (K rho)^ op on columns.
-        size_t stride = size_t{1} << qubit;
-        size_t n = dim();
-        for (size_t row = 0; row < n; ++row) {
-            for (size_t base = 0; base < n; base += 2 * stride) {
-                for (size_t offset = 0; offset < stride; ++offset) {
-                    size_t c0 = base + offset;
+    }
+    size_t num_kraus = kraus.size();
+    // Hoisted Kraus entries (register kernel; see applyGate1 on why
+    // the compiler cannot hoist them itself). Every channel this
+    // library builds has at most 16 operators and stays on the stack;
+    // larger caller-supplied channels spill to the heap.
+    //
+    // Each hoisted operator also records, per row, the column of its
+    // single nonzero entry (or -1 for an all-zero row). Every noise
+    // channel in this library — Pauli depolarizing, amplitude/phase
+    // damping, qubit reset — is "mono-row" (at most one nonzero per
+    // row), which lets the kernel skip the products with exact-zero
+    // coefficients: those contribute exactly +/-0 to each sum, so
+    // every value is unchanged (only the sign of exact zeros can
+    // differ, which no probability, sum or comparison observes).
+    // Operators with a denser row use the full expression.
+    struct Kraus1 {
+        Complex k[4];  ///< k00, k01, k10, k11.
+        int nz[2];     ///< nonzero column of rows 0 and 1, or -1.
+        bool sparse;   ///< both rows mono (use the sparse kernel).
+    };
+    Kraus1 fixed[16];
+    std::vector<Kraus1> overflow;
+    Kraus1 *kk = fixed;
+    if (num_kraus > 16) {
+        overflow.resize(num_kraus);
+        kk = overflow.data();
+    }
+    for (size_t ki = 0; ki < num_kraus; ++ki) {
+        const CMatrix &k = kraus[ki];
+        Kraus1 &h = kk[ki];
+        h.k[0] = k(0, 0);
+        h.k[1] = k(0, 1);
+        h.k[2] = k(1, 0);
+        h.k[3] = k(1, 1);
+        h.sparse = true;
+        for (int row = 0; row < 2; ++row) {
+            h.nz[row] = -1;
+            for (int col = 0; col < 2; ++col) {
+                if (h.k[2 * row + col] == Complex{}) // matches +/-0
+                    continue;
+                if (h.nz[row] >= 0)
+                    h.sparse = false;
+                h.nz[row] = col;
+            }
+        }
+    }
+    size_t stride = size_t{1} << qubit;
+    size_t n = dim();
+    for (size_t rbase = 0; rbase < n; rbase += 2 * stride) {
+        for (size_t roffset = 0; roffset < stride; ++roffset) {
+            size_t r0 = rbase + roffset;
+            size_t r1 = r0 + stride;
+            for (size_t cbase = 0; cbase < n; cbase += 2 * stride) {
+                for (size_t coffset = 0; coffset < stride; ++coffset) {
+                    size_t c0 = cbase + coffset;
                     size_t c1 = c0 + stride;
-                    Complex a0 = scratch.rho_(row, c0);
-                    Complex a1 = scratch.rho_(row, c1);
-                    scratch.rho_(row, c0) = a0 * std::conj(k(0, 0)) +
-                                            a1 * std::conj(k(0, 1));
-                    scratch.rho_(row, c1) = a0 * std::conj(k(1, 0)) +
-                                            a1 * std::conj(k(1, 1));
+                    const Complex a[2][2] = {
+                        {rho_(r0, c0), rho_(r0, c1)},
+                        {rho_(r1, c0), rho_(r1, c1)}};
+                    Complex s00{}, s01{}, s10{}, s11{};
+                    for (size_t ki = 0; ki < num_kraus; ++ki) {
+                        const Kraus1 &h = kk[ki];
+                        if (h.sparse) {
+                            // t row r = K(r, jr) * a row jr; out col c
+                            // picks K row c's nonzero column jc:
+                            // s(r, c) += t(r, jc) * conj(K(c, jc)).
+                            int j0 = h.nz[0], j1 = h.nz[1];
+                            Complex t[2][2] = {};
+                            if (j0 >= 0) {
+                                const Complex k0 = h.k[j0];
+                                t[0][0] = cmul(k0, a[j0][0]);
+                                t[0][1] = cmul(k0, a[j0][1]);
+                            }
+                            if (j1 >= 0) {
+                                const Complex k1 = h.k[2 + j1];
+                                t[1][0] = cmul(k1, a[j1][0]);
+                                t[1][1] = cmul(k1, a[j1][1]);
+                            }
+                            if (j0 >= 0) {
+                                const Complex k0 = h.k[j0];
+                                s00 += cmulConj(t[0][j0], k0);
+                                s10 += cmulConj(t[1][j0], k0);
+                            }
+                            if (j1 >= 0) {
+                                const Complex k1 = h.k[2 + j1];
+                                s01 += cmulConj(t[0][j1], k1);
+                                s11 += cmulConj(t[1][j1], k1);
+                            }
+                        } else {
+                            const Complex k00 = h.k[0], k01 = h.k[1];
+                            const Complex k10 = h.k[2], k11 = h.k[3];
+                            // t = K a on the block's rows...
+                            Complex t00 =
+                                cmul(k00, a[0][0]) + cmul(k01, a[1][0]);
+                            Complex t01 =
+                                cmul(k00, a[0][1]) + cmul(k01, a[1][1]);
+                            Complex t10 =
+                                cmul(k10, a[0][0]) + cmul(k11, a[1][0]);
+                            Complex t11 =
+                                cmul(k10, a[0][1]) + cmul(k11, a[1][1]);
+                            // ...then t K^dagger on its columns.
+                            s00 += cmulConj(t00, k00) +
+                                   cmulConj(t01, k01);
+                            s01 += cmulConj(t00, k10) +
+                                   cmulConj(t01, k11);
+                            s10 += cmulConj(t10, k00) +
+                                   cmulConj(t11, k01);
+                            s11 += cmulConj(t10, k10) +
+                                   cmulConj(t11, k11);
+                        }
+                    }
+                    rho_(r0, c0) = s00;
+                    rho_(r0, c1) = s01;
+                    rho_(r1, c0) = s10;
+                    rho_(r1, c1) = s11;
                 }
             }
         }
-        accum = accum + scratch.rho_;
     }
-    rho_ = std::move(accum);
 }
 
 void
@@ -220,15 +469,171 @@ DensityMatrix::applyChannel2(const std::vector<CMatrix> &kraus, int qubit0,
 {
     checkQubit(qubit0);
     checkQubit(qubit1);
+    if (referenceKernels_) {
+        applyChannel2Reference(kraus, qubit0, qubit1);
+        return;
+    }
+    // Same single-pass block scheme as applyChannel1 over the 4x4
+    // blocks spanned by (row quad, column quad) differing in the two
+    // qubit bits; K rho K^dagger never relies on unitarity.
+    for (const CMatrix &k : kraus) {
+        EQASM_ASSERT(k.rows() == 4 && k.cols() == 4,
+                     "two-qubit Kraus operator must be 4x4");
+    }
+    size_t num_kraus = kraus.size();
+    // Hoisted Kraus entries, as in applyChannel1 (the two-qubit
+    // depolarizing channel has 16 operators), with the same mono-row
+    // sparsity classification: every kron(Pauli, Pauli) operator has
+    // exactly one nonzero per row, so the sparse kernel does 32
+    // multiplies per operator per block instead of 128, and skipped
+    // products contribute exactly +/-0 (values unchanged).
+    struct Kraus2 {
+        std::array<std::array<Complex, 4>, 4> k;
+        int nz[4];    ///< nonzero column per row, or -1.
+        bool sparse;  ///< all four rows mono.
+    };
+    Kraus2 fixed[16];
+    std::vector<Kraus2> overflow;
+    Kraus2 *kk = fixed;
+    if (num_kraus > 16) {
+        overflow.resize(num_kraus);
+        kk = overflow.data();
+    }
+    for (size_t ki = 0; ki < num_kraus; ++ki) {
+        const CMatrix &k = kraus[ki];
+        Kraus2 &h = kk[ki];
+        h.sparse = true;
+        for (size_t r = 0; r < 4; ++r) {
+            h.nz[r] = -1;
+            for (size_t c = 0; c < 4; ++c) {
+                h.k[r][c] = k(r, c);
+                if (h.k[r][c] == Complex{})
+                    continue;
+                if (h.nz[r] >= 0)
+                    h.sparse = false;
+                h.nz[r] = static_cast<int>(c);
+            }
+        }
+    }
+    size_t bit0 = size_t{1} << qubit0;
+    size_t bit1 = size_t{1} << qubit1;
+    size_t n = dim();
+    auto indexOf = [&](size_t base, size_t k) {
+        return base | (k & 1 ? bit0 : 0) | (k & 2 ? bit1 : 0);
+    };
+    for (size_t rbase = 0; rbase < n; ++rbase) {
+        if (rbase & (bit0 | bit1))
+            continue;
+        for (size_t cbase = 0; cbase < n; ++cbase) {
+            if (cbase & (bit0 | bit1))
+                continue;
+            Complex a[4][4];
+            for (size_t r = 0; r < 4; ++r) {
+                for (size_t c = 0; c < 4; ++c)
+                    a[r][c] = rho_(indexOf(rbase, r), indexOf(cbase, c));
+            }
+            Complex sum[4][4] = {};
+            for (size_t ki = 0; ki < num_kraus; ++ki) {
+                const Kraus2 &h = kk[ki];
+                if (h.sparse) {
+                    Complex t[4][4] = {};
+                    for (size_t r = 0; r < 4; ++r) {
+                        int jr = h.nz[r];
+                        if (jr < 0)
+                            continue;
+                        const Complex kr = h.k[r][static_cast<size_t>(jr)];
+                        for (size_t c = 0; c < 4; ++c)
+                            t[r][c] = cmul(kr, a[jr][c]);
+                    }
+                    for (size_t c = 0; c < 4; ++c) {
+                        int jc = h.nz[c];
+                        if (jc < 0)
+                            continue;
+                        const Complex kc = h.k[c][static_cast<size_t>(jc)];
+                        for (size_t r = 0; r < 4; ++r)
+                            sum[r][c] += cmulConj(t[r][jc], kc);
+                    }
+                    continue;
+                }
+                Complex t[4][4];
+                // t = K a (the left pass of applyGate2To, row by row).
+                for (size_t c = 0; c < 4; ++c) {
+                    for (size_t r = 0; r < 4; ++r) {
+                        Complex value = 0.0;
+                        for (size_t j = 0; j < 4; ++j)
+                            value += cmul(h.k[r][j], a[j][c]);
+                        t[r][c] = value;
+                    }
+                }
+                // out = t K^dagger (the right pass, column by column).
+                for (size_t r = 0; r < 4; ++r) {
+                    for (size_t c = 0; c < 4; ++c) {
+                        Complex value = 0.0;
+                        for (size_t j = 0; j < 4; ++j)
+                            value += cmulConj(t[r][j], h.k[c][j]);
+                        sum[r][c] += value;
+                    }
+                }
+            }
+            for (size_t r = 0; r < 4; ++r) {
+                for (size_t c = 0; c < 4; ++c) {
+                    rho_(indexOf(rbase, r), indexOf(cbase, c)) =
+                        sum[r][c];
+                }
+            }
+        }
+    }
+}
+
+void
+DensityMatrix::applyChannel1Reference(const std::vector<CMatrix> &kraus,
+                                      int qubit)
+{
+    // The historical formulation: term = K rho K^dagger via a scratch
+    // matrix per Kraus operator, accumulated out of place. Kept (behind
+    // setReferenceKernels) as the oracle the fused kernel is tested
+    // against and as the bench's before/after baseline.
+    CMatrix accum(dim(), dim());
+    size_t stride = size_t{1} << qubit;
+    size_t n = dim();
+    for (const CMatrix &k : kraus) {
+        EQASM_ASSERT(k.rows() == 2 && k.cols() == 2,
+                     "single-qubit Kraus operator must be 2x2");
+        CMatrix scratch = rho_;
+        leftMultiply1(k, qubit, scratch);
+        // Right multiply by K^dagger: columns mix.
+        for (size_t row = 0; row < n; ++row) {
+            for (size_t base = 0; base < n; base += 2 * stride) {
+                for (size_t offset = 0; offset < stride; ++offset) {
+                    size_t c0 = base + offset;
+                    size_t c1 = c0 + stride;
+                    Complex a0 = scratch(row, c0);
+                    Complex a1 = scratch(row, c1);
+                    scratch(row, c0) = a0 * std::conj(k(0, 0)) +
+                                       a1 * std::conj(k(0, 1));
+                    scratch(row, c1) = a0 * std::conj(k(1, 0)) +
+                                       a1 * std::conj(k(1, 1));
+                }
+            }
+        }
+        accum = accum + scratch;
+    }
+    rho_ = std::move(accum);
+}
+
+void
+DensityMatrix::applyChannel2Reference(const std::vector<CMatrix> &kraus,
+                                      int qubit0, int qubit1)
+{
     CMatrix accum(dim(), dim());
     for (const CMatrix &k : kraus) {
         EQASM_ASSERT(k.rows() == 4 && k.cols() == 4,
                      "two-qubit Kraus operator must be 4x4");
-        DensityMatrix scratch = *this;
-        // K rho K^dagger implemented through the (unitary-shaped)
-        // two-qubit update, which never relies on unitarity.
-        scratch.applyGate2(k, qubit0, qubit1);
-        accum = accum + scratch.rho_;
+        // K rho K^dagger through the (unitary-shaped) two-qubit
+        // update, which never relies on unitarity.
+        CMatrix scratch = rho_;
+        applyGate2To(k, qubit0, qubit1, scratch);
+        accum = accum + scratch;
     }
     rho_ = std::move(accum);
 }
@@ -238,7 +643,8 @@ DensityMatrix::applyIdleNoise(int qubit, double duration_ns,
                               const NoiseModel &model, Rng &rng)
 {
     (void)rng;
-    qsim::applyIdleNoise(*this, qubit, duration_ns, model);
+    qsim::applyIdleNoise(*this, qubit, duration_ns, model,
+                         channelCache());
 }
 
 void
@@ -246,7 +652,7 @@ DensityMatrix::applyGateNoise1(int qubit, const NoiseModel &model,
                                Rng &rng)
 {
     (void)rng;
-    qsim::applyGateNoise1(*this, qubit, model);
+    qsim::applyGateNoise1(*this, qubit, model, channelCache());
 }
 
 void
@@ -254,7 +660,7 @@ DensityMatrix::applyGateNoise2(int qubit0, int qubit1,
                                const NoiseModel &model, Rng &rng)
 {
     (void)rng;
-    qsim::applyGateNoise2(*this, qubit0, qubit1, model);
+    qsim::applyGateNoise2(*this, qubit0, qubit1, model, channelCache());
 }
 
 double
@@ -275,7 +681,11 @@ DensityMatrix::measure(int qubit, Rng &rng)
 {
     double p1 = probabilityOne(qubit);
     int outcome = rng.uniform() < p1 ? 1 : 0;
-    postselect(qubit, outcome);
+    // The collapse reuses p1 instead of re-scanning the diagonal;
+    // probabilityOne is deterministic, so the value is the same double
+    // the public postselect would recompute.
+    postselectWithProbability(qubit, outcome,
+                              outcome == 1 ? p1 : 1.0 - p1);
     return outcome;
 }
 
@@ -283,23 +693,41 @@ void
 DensityMatrix::postselect(int qubit, int outcome)
 {
     checkQubit(qubit);
-    size_t mask = size_t{1} << qubit;
     double kept = outcome == 1 ? probabilityOne(qubit)
                                : 1.0 - probabilityOne(qubit);
+    postselectWithProbability(qubit, outcome, kept);
+}
+
+void
+DensityMatrix::postselectWithProbability(int qubit, int outcome,
+                                         double kept)
+{
+    checkQubit(qubit);
+    size_t mask = size_t{1} << qubit;
     if (kept <= 1e-15) {
         throwError(ErrorCode::invalidArgument,
                    format("postselecting qubit %d on %d has probability 0",
                           qubit, outcome));
     }
+    // Zero the discarded outcome's rows/columns and renormalise the
+    // kept block, in one pass (zeroed entries match the zero-then-scale
+    // formulation exactly: +0.0 either way).
+    Complex scale{1.0 / kept, 0.0};
     for (size_t i = 0; i < dim(); ++i) {
         for (size_t j = 0; j < dim(); ++j) {
             bool keep_i = ((i & mask) != 0) == (outcome == 1);
             bool keep_j = ((j & mask) != 0) == (outcome == 1);
-            if (!keep_i || !keep_j)
-                rho_(i, j) = 0.0;
+            rho_(i, j) = keep_i && keep_j ? cmul(rho_(i, j), scale)
+                                          : Complex{};
         }
     }
-    rho_ = rho_ * Complex{1.0 / kept, 0.0};
+}
+
+void
+DensityMatrix::scaleInPlace(Complex scalar)
+{
+    for (Complex &value : rho_.data())
+        value = cmul(value, scalar);
 }
 
 double
@@ -358,7 +786,7 @@ DensityMatrix::normalize()
 {
     double trace = traceReal();
     EQASM_ASSERT(trace > 1e-12, "density matrix trace collapsed to zero");
-    rho_ = rho_ * Complex{1.0 / trace, 0.0};
+    scaleInPlace(Complex{1.0 / trace, 0.0});
 }
 
 } // namespace eqasm::qsim

@@ -13,6 +13,7 @@
 #ifndef EQASM_QSIM_DENSITY_MATRIX_H
 #define EQASM_QSIM_DENSITY_MATRIX_H
 
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -22,6 +23,8 @@
 #include "qsim/state_vector.h"
 
 namespace eqasm::qsim {
+
+class NoiseChannelCache;
 
 /** Mixed-state simulator for up to 8 qubits; the exact-physics
  *  StateBackend implementation. */
@@ -34,14 +37,24 @@ class DensityMatrix : public StateBackend
     /** Builds the pure density matrix of @p state. */
     explicit DensityMatrix(const StateVector &state);
 
+    /** Copies share no state; the copy starts with a fresh (empty)
+     *  channel cache, which affects only lookup cost, never results. */
+    DensityMatrix(const DensityMatrix &other);
+    DensityMatrix &operator=(const DensityMatrix &other);
+    DensityMatrix(DensityMatrix &&) = default;
+    DensityMatrix &operator=(DensityMatrix &&) = default;
+    ~DensityMatrix() override;
+
     BackendKind kind() const override { return BackendKind::density; }
     int numQubits() const override { return numQubits_; }
     size_t dim() const { return size_t{1} << numQubits_; }
 
-    /** Resets to |0...0><0...0|. */
+    /** Resets to |0...0><0...0| (in place — the storage allocated at
+     *  construction is reused across shots). */
     void reset() override;
 
-    /** Resets one qubit to |0> (used by active-reset modelling). */
+    /** Resets one qubit to |0> (used by active-reset modelling) via the
+     *  cached gamma = 1 amplitude-damping channel. */
     void resetQubit(int qubit);
 
     /** StateBackend reset hook; the Kraus-channel reset is
@@ -82,12 +95,49 @@ class DensityMatrix : public StateBackend
     void applyGateNoise2(int qubit0, int qubit1, const NoiseModel &model,
                          Rng &rng) override;
 
-    /** Applies a single-qubit Kraus channel {K_k} to @p qubit. */
+    /** Applies a single-qubit Kraus channel {K_k} to @p qubit.
+     *  Allocation-free: sum_k K rho K^dagger is evaluated in one
+     *  in-place pass over the independent 2x2 blocks of rho. The
+     *  per-element arithmetic of the textbook scratch-matrix
+     *  formulation is preserved operation for operation; products
+     *  whose Kraus coefficient is exactly zero are skipped, which can
+     *  flip the sign of exact zeros but changes no value — every
+     *  probability, expectation and sampled bit is identical. */
     void applyChannel1(const std::vector<CMatrix> &kraus, int qubit);
 
-    /** Applies a two-qubit Kraus channel to (qubit0, qubit1). */
+    /** Applies a two-qubit Kraus channel to (qubit0, qubit1);
+     *  allocation-free single pass like applyChannel1 (4x4 blocks). */
     void applyChannel2(const std::vector<CMatrix> &kraus, int qubit0,
                        int qubit1);
+
+    /**
+     * Enables/disables the per-instance NoiseChannelCache consulted by
+     * the noise hooks (on by default). Cached and uncached runs are
+     * bit-identical — the cache stores the exact Kraus operators the
+     * uncached path would rebuild — so disabling it is only useful to
+     * measure the cost it removes (bench) and to assert the identity
+     * (tests).
+     */
+    void setChannelCacheEnabled(bool enabled);
+    bool channelCacheEnabled() const { return channelCacheEnabled_; }
+
+    /** The cache the noise hooks use, or nullptr when disabled. */
+    NoiseChannelCache *channelCache();
+
+    /**
+     * Routes applyChannel1/2 through the textbook scratch-matrix
+     * formulation (one full-matrix scratch copy per Kraus operator and
+     * a separate accumulator, exactly the historical implementation)
+     * instead of the fused single-pass kernels. Off by default. The
+     * two paths produce equal states — the fast-path tests assert it
+     * element for element — so this exists only as the bit-identity
+     * oracle and as the bench's before/after baseline.
+     */
+    void setReferenceKernels(bool enabled)
+    {
+        referenceKernels_ = enabled;
+    }
+    bool referenceKernels() const { return referenceKernels_; }
 
     /** @return probability of measuring |1> on @p qubit. */
     double probabilityOne(int qubit) const override;
@@ -118,9 +168,27 @@ class DensityMatrix : public StateBackend
     void checkQubit(int qubit) const;
     /** rho -> M rho (2x2 block acting on @p qubit rows). */
     void leftMultiply1(const CMatrix &m, int qubit, CMatrix &target) const;
+    /** target -> U target U^dagger with U a 4x4 on (qubit0, qubit1) —
+     *  the applyGate2 update on an arbitrary buffer. */
+    void applyGate2To(const CMatrix &unitary, int qubit0, int qubit1,
+                      CMatrix &target) const;
+    /** rho -> rho * scalar, in place. */
+    void scaleInPlace(Complex scalar);
+    /** Collapses @p qubit to @p outcome given its precomputed
+     *  probability (shared by measure and the public postselect). */
+    void postselectWithProbability(int qubit, int outcome, double kept);
+    /** Textbook scratch-matrix channel applications (see
+     *  setReferenceKernels). */
+    void applyChannel1Reference(const std::vector<CMatrix> &kraus,
+                                int qubit);
+    void applyChannel2Reference(const std::vector<CMatrix> &kraus,
+                                int qubit0, int qubit1);
 
     int numQubits_;
     CMatrix rho_;
+    std::unique_ptr<NoiseChannelCache> channelCache_;
+    bool channelCacheEnabled_ = true;
+    bool referenceKernels_ = false;
 };
 
 } // namespace eqasm::qsim

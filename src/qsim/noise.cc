@@ -1,6 +1,7 @@
 #include "qsim/noise.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/error.h"
 
@@ -99,12 +100,99 @@ NoiseModel::toJson() const
     return out;
 }
 
+const std::vector<CMatrix> &
+NoiseChannelCache::qubitReset()
+{
+    if (reset_.empty())
+        reset_ = krausAmplitudeDamping(1.0);
+    return reset_;
+}
+
+const std::vector<CMatrix> &
+NoiseChannelCache::depolarizing1(double p)
+{
+    if (depol1_.empty() || depol1P_ != p) {
+        depol1_ = krausDepolarizing1(p);
+        depol1P_ = p;
+    }
+    return depol1_;
+}
+
+const std::vector<CMatrix> &
+NoiseChannelCache::depolarizing2(double p)
+{
+    if (depol2_.empty() || depol2P_ != p) {
+        depol2_ = krausDepolarizing2(p);
+        depol2P_ = p;
+    }
+    return depol2_;
+}
+
+namespace {
+
+/** Exact cache key of a duration: its IEEE-754 bit pattern. */
+uint64_t
+durationKey(double duration_ns)
+{
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(duration_ns));
+    std::memcpy(&bits, &duration_ns, sizeof(bits));
+    return bits;
+}
+
+/** Builds the idle channels exactly as the uncached path does. */
+NoiseChannelCache::IdleChannels
+buildIdleChannels(double duration_ns, const NoiseModel &model)
+{
+    NoiseChannelCache::IdleChannels channels;
+    double gamma = 1.0 - std::exp(-duration_ns / model.t1Ns);
+    channels.amplitudeDamping = krausAmplitudeDamping(gamma);
+    double inv_tphi = 1.0 / model.t2Ns - 0.5 / model.t1Ns;
+    if (inv_tphi > 0.0) {
+        double lambda = 1.0 - std::exp(-2.0 * duration_ns * inv_tphi);
+        channels.phaseDamping = krausPhaseDamping(lambda);
+    }
+    return channels;
+}
+
+} // namespace
+
+const NoiseChannelCache::IdleChannels &
+NoiseChannelCache::idle(double duration_ns, const NoiseModel &model)
+{
+    // Idle entries are functions of (duration, T1, T2); a model change
+    // invalidates them all. Likewise a pathological workload with more
+    // distinct durations than the cap — dropping the map keeps every
+    // returned reference valid for the duration of one lookup.
+    if (model.t1Ns != idleT1Ns_ || model.t2Ns != idleT2Ns_ ||
+        idle_.size() > kMaxIdleEntries) {
+        idle_.clear();
+        idleT1Ns_ = model.t1Ns;
+        idleT2Ns_ = model.t2Ns;
+    }
+    uint64_t key = durationKey(duration_ns);
+    auto it = idle_.find(key);
+    if (it == idle_.end()) {
+        it = idle_.emplace(key, buildIdleChannels(duration_ns, model))
+                 .first;
+    }
+    return it->second;
+}
+
 void
 applyIdleNoise(DensityMatrix &rho, int qubit, double duration_ns,
-               const NoiseModel &model)
+               const NoiseModel &model, NoiseChannelCache *cache)
 {
     if (!model.enabled || duration_ns <= 0.0)
         return;
+    if (cache != nullptr) {
+        const NoiseChannelCache::IdleChannels &channels =
+            cache->idle(duration_ns, model);
+        rho.applyChannel1(channels.amplitudeDamping, qubit);
+        if (!channels.phaseDamping.empty())
+            rho.applyChannel1(channels.phaseDamping, qubit);
+        return;
+    }
     double gamma = 1.0 - std::exp(-duration_ns / model.t1Ns);
     rho.applyChannel1(krausAmplitudeDamping(gamma), qubit);
     // Pure dephasing rate: 1/T_phi = 1/T2 - 1/(2 T1). The phase-damping
@@ -118,19 +206,29 @@ applyIdleNoise(DensityMatrix &rho, int qubit, double duration_ns,
 }
 
 void
-applyGateNoise1(DensityMatrix &rho, int qubit, const NoiseModel &model)
+applyGateNoise1(DensityMatrix &rho, int qubit, const NoiseModel &model,
+                NoiseChannelCache *cache)
 {
     if (!model.enabled || model.depol1q <= 0.0)
         return;
+    if (cache != nullptr) {
+        rho.applyChannel1(cache->depolarizing1(model.depol1q), qubit);
+        return;
+    }
     rho.applyChannel1(krausDepolarizing1(model.depol1q), qubit);
 }
 
 void
 applyGateNoise2(DensityMatrix &rho, int qubit0, int qubit1,
-                const NoiseModel &model)
+                const NoiseModel &model, NoiseChannelCache *cache)
 {
     if (!model.enabled || model.depol2q <= 0.0)
         return;
+    if (cache != nullptr) {
+        rho.applyChannel2(cache->depolarizing2(model.depol2q), qubit0,
+                          qubit1);
+        return;
+    }
     rho.applyChannel2(krausDepolarizing2(model.depol2q), qubit0, qubit1);
 }
 

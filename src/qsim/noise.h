@@ -20,6 +20,8 @@
 #ifndef EQASM_QSIM_NOISE_H
 #define EQASM_QSIM_NOISE_H
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/json.h"
@@ -61,20 +63,86 @@ struct NoiseModel {
 };
 
 /**
+ * Memoized Kraus sets for the channels of one NoiseModel.
+ *
+ * Building a Kraus set heap-allocates several CMatrix objects (16 for
+ * the two-qubit depolarizing channel) and, for the idle channels, pays
+ * two exp() calls — per gate, per shot, for channels that are functions
+ * of parameters that never change within a batch. The cache computes
+ * each distinct channel once with exactly the kraus*() constructors
+ * above and replays the stored operators afterwards, so cached and
+ * uncached execution are bit-identical (same doubles in, same Kraus
+ * operators out).
+ *
+ * Gate channels are keyed by their error probability; idle channels by
+ * the exact bit pattern of duration_ns (idle gaps are cycle-grid
+ * multiples, so a program has a small set of distinct durations that
+ * repeat exactly — no quantization error is possible). A model change
+ * (different T1/T2/p) invalidates the affected entries, and the idle
+ * map is dropped if a pathological workload exceeds kMaxIdleEntries.
+ *
+ * One cache serves one DensityMatrix (engine replicas each own their
+ * backend), so no locking is needed.
+ */
+class NoiseChannelCache
+{
+  public:
+    /** Kraus pair of the gamma = 1 amplitude-damping channel — the
+     *  trace-out-and-reprepare channel behind resetQubit(). */
+    const std::vector<CMatrix> &qubitReset();
+
+    /** Memoized krausDepolarizing1(p). */
+    const std::vector<CMatrix> &depolarizing1(double p);
+
+    /** Memoized krausDepolarizing2(p). */
+    const std::vector<CMatrix> &depolarizing2(double p);
+
+    /** The idle-decoherence channels for one duration. phaseDamping is
+     *  empty when the model has no pure-dephasing component
+     *  (1/T2 <= 1/(2 T1)). */
+    struct IdleChannels {
+        std::vector<CMatrix> amplitudeDamping;
+        std::vector<CMatrix> phaseDamping;
+    };
+
+    /** Memoized idle channels for @p duration_ns under @p model. */
+    const IdleChannels &idle(double duration_ns, const NoiseModel &model);
+
+    /** Distinct idle durations cached so far (bench/test observability). */
+    size_t idleEntries() const { return idle_.size(); }
+
+  private:
+    static constexpr size_t kMaxIdleEntries = 4096;
+
+    std::vector<CMatrix> reset_;
+    double depol1P_ = -1.0;
+    std::vector<CMatrix> depol1_;
+    double depol2P_ = -1.0;
+    std::vector<CMatrix> depol2_;
+    double idleT1Ns_ = 0.0;
+    double idleT2Ns_ = 0.0;
+    std::unordered_map<uint64_t, IdleChannels> idle_;
+};
+
+/**
  * Applies idle decoherence for @p duration_ns to @p qubit: amplitude
  * damping gamma = 1 - exp(-t/T1) and extra pure dephasing so the total
- * off-diagonal decay matches exp(-t/T2).
+ * off-diagonal decay matches exp(-t/T2). @p cache (when non-null)
+ * memoizes the Kraus sets; results are bit-identical either way.
  */
 void applyIdleNoise(DensityMatrix &rho, int qubit, double duration_ns,
-                    const NoiseModel &model);
+                    const NoiseModel &model,
+                    NoiseChannelCache *cache = nullptr);
 
 /** Applies the post-gate depolarizing channel for a 1q gate. */
 void applyGateNoise1(DensityMatrix &rho, int qubit,
-                     const NoiseModel &model);
+                     const NoiseModel &model,
+                     NoiseChannelCache *cache = nullptr);
 
 /** Applies the post-gate depolarizing channel for a 2q gate. */
 void applyGateNoise2(DensityMatrix &rho, int qubit0, int qubit1,
-                     const NoiseModel &model);
+                     const NoiseModel &model,
+                     NoiseChannelCache *cache = nullptr);
 
 } // namespace eqasm::qsim
 

@@ -49,11 +49,14 @@ recordShot(const microarch::QuMa &controller, microarch::RunStats stats)
 {
     ShotRecord record;
     record.stats = stats;
-    for (const microarch::TraceEvent &event : controller.trace()) {
-        if (event.kind == microarch::TraceEvent::Kind::resultArrived) {
-            record.measurements.push_back(
-                {event.cycle, event.qubit, event.bit});
-        }
+    // The controller's measurement log is recorded independently of the
+    // (switchable) TraceEvent log, so batch replicas running with the
+    // trace disabled still produce full results.
+    record.measurements.reserve(controller.measurements().size());
+    for (const microarch::MeasurementEvent &event :
+         controller.measurements()) {
+        record.measurements.push_back(
+            {event.cycle, event.qubit, event.bit});
     }
     return record;
 }

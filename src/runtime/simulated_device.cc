@@ -8,6 +8,37 @@ namespace eqasm::runtime {
 using microarch::MicroOpRole;
 using microarch::TriggeredOp;
 
+ResolvedGateTable::ResolvedGateTable(const isa::OperationSet &operations)
+{
+    gates_.resize(operations.size());
+    for (const isa::OperationInfo &info : operations.operations()) {
+        if (info.opClass != isa::OpClass::singleQubit &&
+            info.opClass != isa::OpClass::twoQubit) {
+            continue;
+        }
+        if (info.id < 0 ||
+            static_cast<size_t>(info.id) >= gates_.size()) {
+            continue;
+        }
+        if (auto gate = qsim::makeGate(info.unitary))
+            gates_[static_cast<size_t>(info.id)] = std::move(*gate);
+    }
+}
+
+size_t
+ResolvedGateTable::memoryBytes() const
+{
+    size_t bytes = gates_.capacity() * sizeof(gates_[0]);
+    for (const auto &gate : gates_) {
+        if (gate) {
+            bytes += gate->name.capacity() +
+                     gate->matrix.data().capacity() *
+                         sizeof(qsim::Complex);
+        }
+    }
+    return bytes;
+}
+
 SimulatedDevice::SimulatedDevice(chip::Topology topology,
                                  DeviceConfig config, uint64_t seed)
     : topology_(std::move(topology)), config_(config), seed_(seed),
@@ -17,18 +48,18 @@ SimulatedDevice::SimulatedDevice(chip::Topology topology,
     touched_.assign(static_cast<size_t>(topology_.numQubits()), 0);
     lastUpdateNs_.assign(static_cast<size_t>(topology_.numQubits()), 0.0);
     busyUntilCycle_.assign(static_cast<size_t>(topology_.numQubits()), 0);
+    if (auto *density =
+            dynamic_cast<qsim::DensityMatrix *>(state_.get())) {
+        density->setChannelCacheEnabled(config_.channelCache);
+        density->setReferenceKernels(config_.referenceKernels);
+    }
 }
 
 const qsim::DensityMatrix &
-SimulatedDevice::state() const
+SimulatedDevice::densityState() const
 {
-    return const_cast<SimulatedDevice *>(this)->state();
-}
-
-qsim::DensityMatrix &
-SimulatedDevice::state()
-{
-    auto *density = dynamic_cast<qsim::DensityMatrix *>(state_.get());
+    const auto *density =
+        dynamic_cast<const qsim::DensityMatrix *>(state_.get());
     if (density == nullptr) {
         throwError(ErrorCode::configError,
                    format("state() needs the density backend; this "
@@ -41,6 +72,20 @@ SimulatedDevice::state()
                               .data()));
     }
     return *density;
+}
+
+const qsim::DensityMatrix &
+SimulatedDevice::state() const
+{
+    return densityState();
+}
+
+qsim::DensityMatrix &
+SimulatedDevice::state()
+{
+    // densityState never mutates; casting the constness back off is
+    // sound because *this is non-const here.
+    return const_cast<qsim::DensityMatrix &>(densityState());
 }
 
 void
@@ -72,7 +117,37 @@ SimulatedDevice::endShot(uint64_t cycle)
 }
 
 const qsim::Gate &
-SimulatedDevice::gateFor(const std::string &unitary)
+SimulatedDevice::gateFor(const isa::OperationInfo &info)
+{
+    // Hot path: one bounds check + array index into the table shared
+    // by every replica of the pool.
+    if (sharedGates_ != nullptr) {
+        if (const qsim::Gate *gate = sharedGates_->find(info.id))
+            return *gate;
+    }
+    // Operation registered with a set but absent from (or not given) a
+    // shared table: resolve once into the id-indexed private cache.
+    if (info.id >= 0) {
+        size_t id = static_cast<size_t>(info.id);
+        if (id >= localGates_.size())
+            localGates_.resize(id + 1);
+        if (!localGates_[id]) {
+            auto gate = qsim::makeGate(info.unitary);
+            if (!gate) {
+                throwError(ErrorCode::configError,
+                           format("operation unitary '%s' is not in "
+                                  "the gate language",
+                                  info.unitary.c_str()));
+            }
+            localGates_[id] = std::move(*gate);
+        }
+        return *localGates_[id];
+    }
+    return gateByUnitary(info.unitary);
+}
+
+const qsim::Gate &
+SimulatedDevice::gateByUnitary(const std::string &unitary)
 {
     auto it = gateCache_.find(unitary);
     if (it != gateCache_.end())
@@ -131,7 +206,7 @@ SimulatedDevice::apply(const TriggeredOp &op)
       case isa::OpClass::singleQubit: {
         checkBusy(op.qubit, op.cycle, info.name);
         advanceIdle(op.qubit, op.cycle);
-        const qsim::Gate &gate = gateFor(info.unitary);
+        const qsim::Gate &gate = gateFor(info);
         if (gate.numQubits != 1) {
             throwError(ErrorCode::configError,
                        format("operation '%s' is single-qubit but its "
@@ -144,7 +219,8 @@ SimulatedDevice::apply(const TriggeredOp &op)
         busyUntilCycle_[q] = op.cycle + duration;
         lastUpdateNs_[q] =
             static_cast<double>(op.cycle + duration) * config_.cycleNs;
-        appliedGates_.push_back({op.cycle, info.name, {op.qubit}});
+        if (config_.recordTrace)
+            appliedGates_.push_back({op.cycle, info.name, {op.qubit}});
         return;
       }
       case isa::OpClass::twoQubit: {
@@ -165,7 +241,7 @@ SimulatedDevice::apply(const TriggeredOp &op)
         checkBusy(op.pairQubit, op.cycle, info.name);
         advanceIdle(op.qubit, op.cycle);
         advanceIdle(op.pairQubit, op.cycle);
-        const qsim::Gate &gate = gateFor(info.unitary);
+        const qsim::Gate &gate = gateFor(info);
         if (gate.numQubits != 2) {
             throwError(ErrorCode::configError,
                        format("operation '%s' is two-qubit but its "
@@ -182,8 +258,10 @@ SimulatedDevice::apply(const TriggeredOp &op)
             lastUpdateNs_[q] = static_cast<double>(op.cycle + duration) *
                                config_.cycleNs;
         }
-        appliedGates_.push_back(
-            {op.cycle, info.name, {op.qubit, op.pairQubit}});
+        if (config_.recordTrace) {
+            appliedGates_.push_back(
+                {op.cycle, info.name, {op.qubit, op.pairQubit}});
+        }
         return;
       }
       case isa::OpClass::measurement: {
@@ -200,7 +278,8 @@ SimulatedDevice::apply(const TriggeredOp &op)
         busyUntilCycle_[q] = op.cycle + duration;
         lastUpdateNs_[q] =
             static_cast<double>(op.cycle + duration) * config_.cycleNs;
-        appliedGates_.push_back({op.cycle, info.name, {op.qubit}});
+        if (config_.recordTrace)
+            appliedGates_.push_back({op.cycle, info.name, {op.qubit}});
         reportResult(op.qubit, reported,
                      op.cycle + static_cast<uint64_t>(
                                     config_.measurementLatencyCycles));

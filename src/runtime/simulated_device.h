@@ -15,11 +15,13 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "chip/topology.h"
 #include "common/rng.h"
+#include "isa/operation_set.h"
 #include "microarch/device.h"
 #include "qsim/density_matrix.h"
 #include "qsim/noise.h"
@@ -40,6 +42,61 @@ struct DeviceConfig {
      *  are built from this config, so every worker clones the same
      *  backend choice. */
     qsim::BackendKind backend = qsim::BackendKind::density;
+
+    /** Record the AppliedGate log (one entry per triggered operation,
+     *  for tests and single-run inspection). The shot engine turns this
+     *  off for batch replicas: results come from the measurement path,
+     *  and a per-gate log would be reallocated millions of times per
+     *  batch without a reader. */
+    bool recordTrace = true;
+
+    /** Memoize noise-channel Kraus sets in the density backend (see
+     *  qsim::NoiseChannelCache; bit-identical either way — off is only
+     *  useful for benchmarking the cache and testing the identity). */
+    bool channelCache = true;
+
+    /** Route density-backend Kraus channels through the textbook
+     *  scratch-matrix kernels instead of the fused single-pass ones
+     *  (see qsim::DensityMatrix::setReferenceKernels). Equal results;
+     *  exists as the fast path's oracle and the bench's before/after
+     *  baseline. */
+    bool referenceKernels = false;
+};
+
+/**
+ * Gates pre-resolved from an operation set, indexed by
+ * isa::OperationInfo::id. Immutable after construction, so one table
+ * (wrapped in a shared_ptr) serves every worker replica of an engine
+ * pool concurrently — the hot apply() path is an array index instead
+ * of a string-keyed map lookup, and the replicas stop holding N
+ * private copies of the same resolved gates.
+ *
+ * Operations whose semantics string is not a unitary in the gate
+ * language (QNOP's identity marker, "measz") or not resolvable at all
+ * stay unresolved here; the device falls back to string-keyed
+ * resolution for those and raises its usual configError if a program
+ * actually triggers an unresolvable unitary.
+ */
+class ResolvedGateTable
+{
+  public:
+    explicit ResolvedGateTable(const isa::OperationSet &operations);
+
+    /** @return the gate for operation @p id, or nullptr. */
+    const qsim::Gate *find(int id) const
+    {
+        if (id < 0 || static_cast<size_t>(id) >= gates_.size() ||
+            !gates_[static_cast<size_t>(id)]) {
+            return nullptr;
+        }
+        return &*gates_[static_cast<size_t>(id)];
+    }
+
+    /** Approximate heap footprint (bench reporting). */
+    size_t memoryBytes() const;
+
+  private:
+    std::vector<std::optional<qsim::Gate>> gates_;
 };
 
 /** A gate application recorded for inspection by tests. */
@@ -90,6 +147,17 @@ class SimulatedDevice : public microarch::Device
     const qsim::DensityMatrix &state() const;
     qsim::DensityMatrix &state();
 
+    /**
+     * Shares a pre-resolved gate table (typically one table across all
+     * replicas of an engine pool). Operations resolve by
+     * OperationInfo::id through the table first; anything the table
+     * does not cover falls back to the device's private caches.
+     */
+    void shareGateTable(std::shared_ptr<const ResolvedGateTable> table)
+    {
+        sharedGates_ = std::move(table);
+    }
+
     const std::vector<AppliedGate> &appliedGates() const
     {
         return appliedGates_;
@@ -104,7 +172,11 @@ class SimulatedDevice : public microarch::Device
   private:
     void advanceIdle(int qubit, uint64_t cycle);
     void checkBusy(int qubit, uint64_t cycle, const std::string &op);
-    const qsim::Gate &gateFor(const std::string &unitary);
+    const qsim::Gate &gateFor(const isa::OperationInfo &info);
+    const qsim::Gate &gateByUnitary(const std::string &unitary);
+    /** state() body shared by the const and non-const overloads; never
+     *  mutates, so the const path is honestly const. */
+    const qsim::DensityMatrix &densityState() const;
 
     chip::Topology topology_;
     DeviceConfig config_;
@@ -121,6 +193,13 @@ class SimulatedDevice : public microarch::Device
     std::vector<uint8_t> touched_;
     std::vector<double> lastUpdateNs_;
     std::vector<uint64_t> busyUntilCycle_;
+    /** Read-only table shared across replicas (may be null). */
+    std::shared_ptr<const ResolvedGateTable> sharedGates_;
+    /** Private id-indexed cache for operations the shared table does
+     *  not cover: resolved once on first trigger, array-indexed after. */
+    std::vector<std::optional<qsim::Gate>> localGates_;
+    /** Last-resort cache for OperationInfo objects never registered
+     *  with an OperationSet (id == -1). */
     std::map<std::string, qsim::Gate> gateCache_;
     std::vector<AppliedGate> appliedGates_;
     uint64_t overlapViolations_ = 0;

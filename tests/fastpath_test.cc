@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Tests for the allocation-free shot fast path: the load-bearing
+ * property is that every fast-path ingredient — fused channel kernels,
+ * the noise-channel cache, pre-resolved gate tables, the shared
+ * program image, and disabled per-gate trace logs — changes cost only,
+ * never counts. Each ingredient is toggled against a reference run and
+ * the aggregated counts_fingerprint (or the full density matrix) must
+ * come out identical.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "assembler/assembler.h"
+#include "engine/shot_engine.h"
+#include "isa/operation_set.h"
+#include "microarch/quma.h"
+#include "qsim/density_matrix.h"
+#include "qsim/gates.h"
+#include "qsim/noise.h"
+#include "runtime/platform.h"
+#include "runtime/quantum_processor.h"
+#include "runtime/simulated_device.h"
+#include "workloads/allxy.h"
+#include "workloads/experiments.h"
+#include "workloads/surface_code.h"
+
+using namespace eqasm;
+using namespace eqasm::engine;
+using namespace eqasm::qsim;
+using namespace eqasm::runtime;
+
+namespace {
+
+struct Case {
+    std::string name;
+    Platform platform;
+    std::vector<uint32_t> image;
+    int shots;
+    uint64_t seed;
+};
+
+Case
+makeCase(std::string name, Platform platform, const std::string &source,
+         int shots, uint64_t seed)
+{
+    assembler::Assembler assembler(platform.operations,
+                                   platform.topology, platform.params);
+    Case c{std::move(name), std::move(platform),
+           assembler.assemble(source).image, shots, seed};
+    return c;
+}
+
+/** The workload mix: rabi + allxy on the density backend, allxy on the
+ *  stabilizer backend (Clifford-only pairs), and d = 2 / d = 3 QEC on
+ *  density / stabilizer respectively. */
+std::vector<Case>
+fastPathCases()
+{
+    std::vector<Case> cases;
+    {
+        Platform p = Platform::twoQubit();
+        p.operations = workloads::rabiOperationSet(17);
+        cases.push_back(makeCase("rabi_density", p,
+                                 workloads::rabiProgram(8, 0), 200,
+                                 300));
+    }
+    {
+        Platform p = Platform::twoQubit();
+        cases.push_back(
+            makeCase("allxy_density", p,
+                     workloads::twoQubitAllxyProgram(10, 0, 2), 200,
+                     1010));
+    }
+    {
+        // Combination 2 is (X, X) / (Y, Y): Clifford gates only, so
+        // the same program also runs on the stabilizer backend.
+        Platform p = Platform::twoQubit();
+        p.device.backend = BackendKind::stabilizer;
+        cases.push_back(
+            makeCase("allxy_stabilizer", p,
+                     workloads::twoQubitAllxyProgram(2, 0, 2), 200,
+                     1010));
+    }
+    {
+        Platform p = Platform::rotatedSurface(2);
+        p.device.backend = BackendKind::density;
+        cases.push_back(makeCase(
+            "qec_d2_density", p,
+            workloads::syndromeProgram(2, 1, p.operations), 24, 11));
+    }
+    {
+        Platform p = Platform::rotatedSurface(3);
+        cases.push_back(makeCase(
+            "qec_d3_stabilizer", p,
+            workloads::syndromeProgram(3, 1, p.operations), 400, 11));
+    }
+    return cases;
+}
+
+std::string
+runFingerprint(const Case &c, int threads, bool keep_trace,
+               bool channel_cache, bool reference_kernels)
+{
+    Platform platform = c.platform;
+    platform.device.channelCache = channel_cache;
+    platform.device.referenceKernels = reference_kernels;
+    EngineConfig config;
+    config.threads = threads;
+    config.chunkShots = 7;  // odd size: maximise cross-chunk seams.
+    config.keepReplicaTrace = keep_trace;
+    ShotEngine engine(platform, config);
+    Job job;
+    job.image = c.image;
+    job.shots = c.shots;
+    job.seed = c.seed;
+    job.label = c.name;
+    return engine.run(std::move(job)).countsFingerprint();
+}
+
+} // namespace
+
+// ------------------------------------------------ engine-level identity
+
+TEST(FastPath, FingerprintIdenticalAcrossEveryConfiguration)
+{
+    for (const Case &c : fastPathCases()) {
+        SCOPED_TRACE(c.name);
+        std::string reference = runFingerprint(c, 1, false, true, false);
+
+        // Thread counts.
+        EXPECT_EQ(runFingerprint(c, 2, false, true, false), reference);
+        EXPECT_EQ(runFingerprint(c, 4, false, true, false), reference);
+
+        // recordTrace / TraceEvent logs back on.
+        EXPECT_EQ(runFingerprint(c, 2, true, true, false), reference);
+
+        // Channel cache off (density knob; a no-op for stabilizer).
+        EXPECT_EQ(runFingerprint(c, 2, false, false, false), reference);
+
+        // Full legacy configuration: textbook kernels, no cache,
+        // per-gate trace logs.
+        EXPECT_EQ(runFingerprint(c, 1, true, false, true), reference);
+    }
+}
+
+// --------------------------------------------- kernel-level equivalence
+
+namespace {
+
+/** Runs a representative noisy sequence (gates, idle decoherence,
+ *  measurement, active reset) on @p rho. */
+void
+runNoisySequence(DensityMatrix &rho, const NoiseModel &noise)
+{
+    NoiseChannelCache *cache = rho.channelCache();
+    Rng rng(7);
+    CMatrix x90 = matRx(M_PI / 2.0);
+    CMatrix h = matH();
+    CMatrix cz = matCz();
+    for (int rep = 0; rep < 3; ++rep) {
+        rho.applyGate1(x90, 0);
+        applyGateNoise1(rho, 0, noise, cache);
+        rho.applyGate1(h, 1);
+        applyGateNoise1(rho, 1, noise, cache);
+        rho.applyGate2(cz, 0, 1);
+        applyGateNoise2(rho, 0, 1, noise, cache);
+        rho.applyGate2(cz, 2, 3);
+        applyGateNoise2(rho, 2, 3, noise, cache);
+        applyIdleNoise(rho, 2, 140.0, noise, cache);
+        applyIdleNoise(rho, 3, 60.0, noise, cache);
+        rho.measure(1, rng);
+        rho.resetQubit(1);
+    }
+}
+
+/** Exact element equality (treats +0 and -0 as equal, like ==). */
+void
+expectExactlyEqual(const DensityMatrix &a, const DensityMatrix &b)
+{
+    ASSERT_EQ(a.dim(), b.dim());
+    EXPECT_EQ(a.matrix().maxAbsDiff(b.matrix()), 0.0);
+}
+
+} // namespace
+
+TEST(FastPath, FusedChannelKernelsMatchReferenceExactly)
+{
+    NoiseModel noise;
+    DensityMatrix fused(4);
+    DensityMatrix reference(4);
+    reference.setReferenceKernels(true);
+    runNoisySequence(fused, noise);
+    runNoisySequence(reference, noise);
+    expectExactlyEqual(fused, reference);
+}
+
+TEST(FastPath, CachedChannelsMatchUncachedExactly)
+{
+    NoiseModel noise;
+    DensityMatrix cached(4);
+    DensityMatrix uncached(4);
+    uncached.setChannelCacheEnabled(false);
+    ASSERT_EQ(uncached.channelCache(), nullptr);
+    runNoisySequence(cached, noise);
+    runNoisySequence(uncached, noise);
+    expectExactlyEqual(cached, uncached);
+}
+
+TEST(FastPath, ResetQubitMatchesExplicitChannel)
+{
+    DensityMatrix rho(2);
+    rho.applyGate1(matH(), 0);
+    rho.applyGate2(matCnot(), 0, 1);
+    DensityMatrix manual = rho;
+    manual.setChannelCacheEnabled(false);
+
+    rho.resetQubit(0);
+    manual.applyChannel1(krausAmplitudeDamping(1.0), 0);
+    expectExactlyEqual(rho, manual);
+    EXPECT_EQ(rho.probabilityOne(0), 0.0);
+}
+
+TEST(FastPath, NoiseChannelCacheMemoizesPerDuration)
+{
+    NoiseModel noise;
+    NoiseChannelCache cache;
+    const auto &idle_a = cache.idle(20.0, noise);
+    EXPECT_EQ(cache.idleEntries(), 1u);
+    cache.idle(20.0, noise);
+    EXPECT_EQ(cache.idleEntries(), 1u);
+    cache.idle(40.0, noise);
+    EXPECT_EQ(cache.idleEntries(), 2u);
+    EXPECT_EQ(idle_a.amplitudeDamping.size(), 2u);
+    // T2 < 2 T1 in the default model: a dephasing component exists.
+    EXPECT_FALSE(idle_a.phaseDamping.empty());
+
+    // A model change invalidates the idle entries.
+    NoiseModel other = noise;
+    other.t1Ns *= 2.0;
+    cache.idle(20.0, other);
+    EXPECT_EQ(cache.idleEntries(), 1u);
+
+    // Cached channels replay the exact kraus* constructions.
+    double gamma = 1.0 - std::exp(-20.0 / other.t1Ns);
+    const auto &entry = cache.idle(20.0, other);
+    EXPECT_EQ(entry.amplitudeDamping[0].maxAbsDiff(
+                  krausAmplitudeDamping(gamma)[0]),
+              0.0);
+    EXPECT_EQ(cache.depolarizing1(noise.depol1q)[1].maxAbsDiff(
+                  krausDepolarizing1(noise.depol1q)[1]),
+              0.0);
+    EXPECT_EQ(cache.depolarizing2(noise.depol2q)[7].maxAbsDiff(
+                  krausDepolarizing2(noise.depol2q)[7]),
+              0.0);
+}
+
+// ------------------------------------------- device + controller pieces
+
+TEST(FastPath, OperationIdsAreAssignedAndResolvable)
+{
+    isa::OperationSet ops = isa::OperationSet::defaultSet();
+    int index = 0;
+    for (const isa::OperationInfo &info : ops.operations())
+        EXPECT_EQ(info.id, index++);
+    // An OperationInfo never registered with a set keeps id -1.
+    EXPECT_EQ(isa::OperationInfo{}.id, -1);
+
+    ResolvedGateTable table(ops);
+    const isa::OperationInfo &x90 = ops.byName("X90");
+    ASSERT_NE(table.find(x90.id), nullptr);
+    EXPECT_EQ(table.find(x90.id)->numQubits, 1);
+    const isa::OperationInfo &cz = ops.byName("CZ");
+    ASSERT_NE(table.find(cz.id), nullptr);
+    EXPECT_EQ(table.find(cz.id)->numQubits, 2);
+    // Non-unitary operations stay unresolved; out-of-range ids are
+    // answered with null instead of UB.
+    const isa::OperationInfo &measz = ops.byName("MEASZ");
+    EXPECT_EQ(table.find(measz.id), nullptr);
+    EXPECT_EQ(table.find(-1), nullptr);
+    EXPECT_EQ(table.find(1000), nullptr);
+    EXPECT_GT(table.memoryBytes(), 0u);
+}
+
+TEST(FastPath, ConstStateAccessorDoesNotRequireMutableDevice)
+{
+    Platform platform = Platform::twoQubit();
+    SimulatedDevice device(platform.topology, platform.device);
+    const SimulatedDevice &const_device = device;
+    EXPECT_EQ(const_device.state().numQubits(),
+              platform.topology.numQubits());
+
+    DeviceConfig stab = platform.device;
+    stab.backend = BackendKind::stabilizer;
+    SimulatedDevice stab_device(platform.topology, stab);
+    const SimulatedDevice &const_stab = stab_device;
+    EXPECT_THROW(const_stab.state(), Error);
+    EXPECT_THROW(stab_device.state(), Error);
+}
+
+TEST(FastPath, MeasurementLogSurvivesDisabledTrace)
+{
+    Platform platform = Platform::ideal(Platform::twoQubit());
+    platform.uarch.enableTrace = false;
+    platform.device.recordTrace = false;
+    QuantumProcessor processor(platform, 5);
+    processor.loadSource("SMIS S0, {0}\nQWAIT 10\nX S0\n"
+                         "QWAIT 10\nMEASZ S0\nQWAIT 50\nSTOP\n");
+    ShotRecord record = processor.runShot();
+    ASSERT_EQ(record.measurements.size(), 1u);
+    EXPECT_EQ(record.measurements[0].qubit, 0);
+    EXPECT_EQ(record.measurements[0].bit, 1);
+    // The per-gate logs really were off.
+    EXPECT_TRUE(processor.controller().trace().empty());
+    EXPECT_TRUE(processor.device().appliedGates().empty());
+}
+
+TEST(FastPath, SharedProgramImageRunsOnMultipleControllers)
+{
+    Platform platform = Platform::ideal(Platform::twoQubit());
+    assembler::Assembler assembler(platform.operations,
+                                   platform.topology, platform.params);
+    auto image = assembler
+                     .assemble("SMIS S0, {0}\nQWAIT 10\nX S0\n"
+                               "QWAIT 10\nMEASZ S0\nQWAIT 50\nSTOP\n")
+                     .image;
+    auto program =
+        std::make_shared<const std::vector<isa::Instruction>>(
+            isa::decodeProgram(image, platform.uarch.params,
+                               platform.operations));
+
+    for (int replica = 0; replica < 2; ++replica) {
+        microarch::QuMa controller(platform.operations,
+                                   platform.topology, platform.uarch);
+        SimulatedDevice device(platform.topology, platform.device, 3);
+        controller.attachDevice(&device);
+        controller.loadShared(program);
+        controller.runShot();
+        ASSERT_EQ(controller.measurements().size(), 1u);
+        EXPECT_EQ(controller.measurements()[0].bit, 1);
+    }
+    // The image is still owned here too: three owners total survived.
+    EXPECT_EQ(program.use_count(), 1);
+    EXPECT_EQ(program->size(), isa::decodeProgram(
+                                   image, platform.uarch.params,
+                                   platform.operations)
+                                   .size());
+}

@@ -8,6 +8,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <future>
 #include <map>
 #include <mutex>
 #include <vector>
@@ -245,6 +246,18 @@ TEST(SchedulerPreemption, HighPriorityOvertakesRunningBatch)
                       4000, 1);
     big.label = "background";
     big.priority = 0;
+    // Deterministic overtake: the background job's first snapshot
+    // callback (worker thread, after its first 4-shot chunk) blocks
+    // until the urgent job is queued, so the lone worker can never
+    // race through the whole background batch before the urgent job
+    // exists — however fast shots execute.
+    std::promise<void> urgent_submitted;
+    std::shared_future<void> urgent_gate =
+        urgent_submitted.get_future().share();
+    big.partialEveryChunks = 1;
+    big.onPartial = [urgent_gate](const BatchResult &) {
+        urgent_gate.wait();
+    };
     Job urgent = makeJob(platform,
                          "SMIS S0, {0}\nQWAIT 100\nMEASZ S0\n"
                          "QWAIT 50\nSTOP\n",
@@ -254,6 +267,7 @@ TEST(SchedulerPreemption, HighPriorityOvertakesRunningBatch)
 
     sched::JobHandle big_handle = engine.submit(std::move(big));
     sched::JobHandle urgent_handle = engine.submit(std::move(urgent));
+    urgent_submitted.set_value();
 
     BatchResult urgent_result = urgent_handle.get();
     EXPECT_EQ(urgent_result.shots, 8u);

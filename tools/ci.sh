@@ -10,8 +10,15 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
-# Smoke-test the engine determinism + throughput harness.
-"$BUILD_DIR"/bench_engine_throughput
+# Engine fast-path determinism + throughput: the quick bench compares
+# the fast path against the legacy (textbook-kernel, uncached,
+# trace-on) configuration and fails on any fingerprint mismatch (the
+# fastpath_test suite, run by ctest above, covers the same identities
+# at unit level).
+echo "== engine fast path (quick bench + fingerprint identity) =="
+"$BUILD_DIR"/bench_engine_throughput --quick \
+    --out "$BUILD_DIR/BENCH_engine.json"
+echo "engine fast path passed"
 
 # Stabilizer-backend smoke: the distance-3 surface-code syndrome
 # workload (17 qubits) through the shot engine. Run separately from the
