@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Cross-process shard + merge bit-identity across the workload mix.
+ *
+ * For every workload (noisy-density rabi and AllXY, the distance-2
+ * surface-code syndrome round on the exact density backend, distance-3
+ * on the stabilizer backend) the bench runs a 1-process baseline, then
+ * splits the same job over k independent engines (each its own worker
+ * pool — the in-process equivalent of k separate processes/hosts,
+ * since engines share no state), pushes every shard result through the
+ * JSON round trip real shard files take (toJson → parse → fromJson,
+ * fingerprint re-verified), folds them back with the strict
+ * BatchResult::merge, and requires the merged counts_fingerprint AND
+ * histogram to be bit-identical to the baseline. Any mismatch fails
+ * the bench (non-zero exit), making it a determinism gate as much as a
+ * demonstration.
+ *
+ * Usage: bench_shard_merge [--quick]
+ *   --quick  CI-sized shot counts.
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "assembler/assembler.h"
+#include "common/json.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "engine/shot_engine.h"
+#include "runtime/platform.h"
+#include "workloads/allxy.h"
+#include "workloads/experiments.h"
+#include "workloads/surface_code.h"
+
+using namespace eqasm;
+
+namespace {
+
+struct Workload {
+    std::string name;
+    runtime::Platform platform;
+    std::vector<uint32_t> image;
+    int shots = 0;
+    uint64_t seed = 0;
+};
+
+engine::BatchResult
+runSlice(const Workload &workload, engine::ShardSpec shard, int threads)
+{
+    engine::EngineConfig config;
+    config.threads = threads;
+    engine::ShotEngine engine(workload.platform, config);
+    engine::Job job;
+    job.image = workload.image;
+    job.shots = workload.shots;
+    job.seed = workload.seed;
+    job.label = workload.name;
+    job.shard = shard;
+    return engine.run(std::move(job));
+}
+
+/** The serialise → parse → deserialise trip a real shard file takes. */
+engine::BatchResult
+throughJson(const engine::BatchResult &result)
+{
+    return engine::BatchResult::fromJson(
+        Json::parse(result.toJson().dump(2)));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else {
+            std::fprintf(stderr, "usage: %s [--quick]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    std::vector<Workload> workloads;
+    {
+        Workload w;
+        w.name = "rabi";
+        w.platform = runtime::Platform::twoQubit();
+        w.platform.operations = workloads::rabiOperationSet(17);
+        assembler::Assembler assembler(w.platform.operations,
+                                       w.platform.topology,
+                                       w.platform.params);
+        w.image = assembler.assemble(workloads::rabiProgram(8, 0)).image;
+        w.shots = quick ? 3000 : 30000;
+        w.seed = 300;
+        workloads.push_back(std::move(w));
+    }
+    {
+        Workload w;
+        w.name = "allxy";
+        w.platform = runtime::Platform::twoQubit();
+        assembler::Assembler assembler(w.platform.operations,
+                                       w.platform.topology,
+                                       w.platform.params);
+        w.image = assembler
+                      .assemble(workloads::twoQubitAllxyProgram(10, 0, 2))
+                      .image;
+        w.shots = quick ? 1500 : 10000;
+        w.seed = 1010;
+        workloads.push_back(std::move(w));
+    }
+    {
+        Workload w;
+        w.name = "qec_d2_density";
+        w.platform = runtime::Platform::rotatedSurface(2);
+        w.platform.device.backend = qsim::BackendKind::density;
+        assembler::Assembler assembler(w.platform.operations,
+                                       w.platform.topology,
+                                       w.platform.params);
+        w.image = assembler
+                      .assemble(workloads::syndromeProgram(
+                          2, 1, w.platform.operations))
+                      .image;
+        w.shots = quick ? 40 : 200;
+        w.seed = 11;
+        workloads.push_back(std::move(w));
+    }
+    {
+        Workload w;
+        w.name = "qec_d3_stab";
+        w.platform = runtime::Platform::rotatedSurface(3);
+        assembler::Assembler assembler(w.platform.operations,
+                                       w.platform.topology,
+                                       w.platform.params);
+        w.image = assembler
+                      .assemble(workloads::syndromeProgram(
+                          3, 1, w.platform.operations))
+                      .image;
+        w.shots = quick ? 3000 : 20000;
+        w.seed = 11;
+        workloads.push_back(std::move(w));
+    }
+
+    std::printf("=== Shard + merge bit-identity vs 1-process baseline "
+                "===\n");
+    std::printf("(each shard runs on its own engine and crosses the "
+                "JSON round trip real\n shard files take; merge is the "
+                "strict, fingerprint-verified fold)\n\n");
+
+    const std::vector<int> shard_counts = quick
+                                              ? std::vector<int>{3}
+                                              : std::vector<int>{2, 4};
+    Table table({"workload", "backend", "shots", "shards",
+                 "baseline shots/s", "shard shots/s (sum)",
+                 "identical"});
+    bool all_identical = true;
+    for (const Workload &workload : workloads) {
+        engine::BatchResult baseline =
+            runSlice(workload, engine::ShardSpec{}, 1);
+        std::string expected = baseline.countsFingerprint();
+        std::string backend(qsim::backendKindName(
+            workload.platform.device.backend));
+
+        for (int count : shard_counts) {
+            std::vector<engine::BatchResult> shards;
+            double shard_rate_sum = 0.0;
+            for (int index = 0; index < count; ++index) {
+                engine::BatchResult shard = runSlice(
+                    workload, engine::ShardSpec{index, count}, 1);
+                shard_rate_sum += shard.shotsPerSecond;
+                shards.push_back(throughJson(shard));
+            }
+            // Fold in reverse order: merge order must not matter.
+            engine::BatchResult merged;
+            for (size_t i = shards.size(); i-- > 0;)
+                merged.merge(shards[i]);
+            merged.verifyComplete();
+
+            bool identical =
+                merged.countsFingerprint() == expected &&
+                merged.histogram == baseline.histogram &&
+                merged.shots == baseline.shots;
+            all_identical = all_identical && identical;
+            table.addRow({workload.name, backend,
+                          format("%d", workload.shots),
+                          format("%d", count),
+                          format("%.0f", baseline.shotsPerSecond),
+                          format("%.0f", shard_rate_sum),
+                          identical ? "yes" : "NO"});
+        }
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("merged counts_fingerprint + histogram identical to "
+                "the 1-process run for every\nworkload/backend/shard "
+                "count: %s\n",
+                all_identical ? "yes" : "NO");
+    return all_identical ? 0 : 1;
+}

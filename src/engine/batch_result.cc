@@ -81,19 +81,130 @@ BatchResult::addShot(const runtime::ShotRecord &record)
     accumulateStats(stats, record.stats);
 }
 
+namespace {
+
+/** Unions two sorted-disjoint range lists, coalescing adjacent ranges.
+ *  @throws Error{invalidArgument} naming the first colliding pair. */
+std::vector<std::pair<uint64_t, uint64_t>>
+unionRanges(const std::vector<std::pair<uint64_t, uint64_t>> &lhs,
+            const std::vector<std::pair<uint64_t, uint64_t>> &rhs)
+{
+    std::vector<std::pair<uint64_t, uint64_t>> all = lhs;
+    all.insert(all.end(), rhs.begin(), rhs.end());
+    std::sort(all.begin(), all.end());
+    std::vector<std::pair<uint64_t, uint64_t>> merged;
+    for (const auto &range : all) {
+        if (!merged.empty() && range.first < merged.back().second) {
+            throwError(
+                ErrorCode::invalidArgument,
+                format("cannot merge: shot ranges overlap ([%llu, %llu) "
+                       "and [%llu, %llu) cover the same shots — the "
+                       "same shard folded twice?)",
+                       static_cast<unsigned long long>(
+                           merged.back().first),
+                       static_cast<unsigned long long>(
+                           merged.back().second),
+                       static_cast<unsigned long long>(range.first),
+                       static_cast<unsigned long long>(range.second)));
+        }
+        if (!merged.empty() && range.first == merged.back().second)
+            merged.back().second = range.second;
+        else
+            merged.push_back(range);
+    }
+    return merged;
+}
+
+} // namespace
+
 void
 BatchResult::merge(const BatchResult &other)
 {
-    if (backend.empty()) {
+    // Compatibility is checked up front so a refused merge leaves this
+    // result untouched (the CLI reports the error and keeps going).
+    if (!backend.empty() && !other.backend.empty() &&
+        other.backend != backend) {
+        throwError(ErrorCode::invalidArgument,
+                   format("cannot merge: backend mismatch ('%s' vs "
+                          "'%s')",
+                          backend.c_str(), other.backend.c_str()));
+    }
+    if (seed != 0 && other.seed != 0 && other.seed != seed) {
+        throwError(
+            ErrorCode::invalidArgument,
+            format("cannot merge: seed mismatch (%llu vs %llu) — "
+                   "shards of one job must share the base seed",
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(other.seed)));
+    }
+    if (!programHash.empty() && !other.programHash.empty() &&
+        other.programHash != programHash) {
+        throwError(ErrorCode::invalidArgument,
+                   format("cannot merge: program_hash mismatch ('%s' "
+                          "vs '%s') — the shards executed different "
+                          "programs",
+                          programHash.c_str(),
+                          other.programHash.c_str()));
+    }
+    if (totalShots != 0 && other.totalShots != 0 &&
+        other.totalShots != totalShots) {
+        throwError(
+            ErrorCode::invalidArgument,
+            format("cannot merge: total_shots mismatch (%llu vs %llu)",
+                   static_cast<unsigned long long>(totalShots),
+                   static_cast<unsigned long long>(other.totalShots)));
+    }
+    if (!label.empty() && !other.label.empty() &&
+        other.label != label) {
+        // The label is part of the canonical body the fingerprint
+        // hashes, so silently keeping one side's would make the merged
+        // fingerprint depend on merge order — refuse like the other
+        // provenance fields instead.
+        throwError(ErrorCode::invalidArgument,
+                   format("cannot merge: label mismatch ('%s' vs "
+                          "'%s')",
+                          label.c_str(), other.label.c_str()));
+    }
+    if (shard.active() && other.shard.active() &&
+        other.shard.count != shard.count) {
+        throwError(
+            ErrorCode::invalidArgument,
+            format("cannot merge: shard count mismatch (%d/%d vs "
+                   "%d/%d) — slices of different shard plans partition "
+                   "the shot range differently",
+                   shard.index, shard.count, other.shard.index,
+                   other.shard.count));
+    }
+    // unionRanges throws on overlap before any state below mutates.
+    std::vector<std::pair<uint64_t, uint64_t>> ranges =
+        unionRanges(shotRanges, other.shotRanges);
+
+    // The shard identity survives only while the result still *is*
+    // that one slice: a blank accumulator becomes whatever it absorbs,
+    // and folding in a different slice (an active foreign shard, or an
+    // already-merged result carrying foreign ranges) makes this a
+    // multi-slice aggregate — not a shard.
+    const bool blank = shots == 0 && shotRanges.empty();
+    if (blank) {
+        shard = other.shard;
+    } else if (shard.active() &&
+               (other.shard.active()
+                    ? other.shard.index != shard.index
+                    : !other.shotRanges.empty())) {
+        shard = ShardSpec{};
+    }
+
+    shotRanges = std::move(ranges);
+    if (backend.empty())
         backend = other.backend;
-    } else if (!other.backend.empty() && other.backend != backend) {
-        backend = "mixed";
-    }
-    if (seed == 0) {
+    if (seed == 0)
         seed = other.seed;
-    } else if (other.seed != 0 && other.seed != seed) {
-        seed = 0;
-    }
+    if (programHash.empty())
+        programHash = other.programHash;
+    if (totalShots == 0)
+        totalShots = other.totalShots;
+    if (label.empty())
+        label = other.label;
     threads = std::max(threads, other.threads);
     shots += other.shots;
     for (const auto &[qubit, counts] : other.qubitCounts) {
@@ -104,6 +215,64 @@ BatchResult::merge(const BatchResult &other)
     for (const auto &[bitstring, count] : other.histogram)
         histogram[bitstring] += count;
     accumulateStats(stats, other.stats);
+    // Shards execute concurrently on different hosts, so the merged
+    // wall-clock is the slowest shard's, and the throughput follows.
+    wallSeconds = std::max(wallSeconds, other.wallSeconds);
+    shotsPerSecond = wallSeconds > 0.0
+                         ? static_cast<double>(shots) / wallSeconds
+                         : 0.0;
+}
+
+void
+BatchResult::verifyComplete() const
+{
+    if (totalShots == 0) {
+        throwError(ErrorCode::invalidArgument,
+                   "result carries no total_shots provenance; cannot "
+                   "verify shard completeness");
+    }
+    auto missing = [](uint64_t begin, uint64_t end) {
+        throwError(
+            ErrorCode::invalidArgument,
+            format("merged shards are incomplete: shots [%llu, %llu) "
+                   "are missing (a shard file was not merged?)",
+                   static_cast<unsigned long long>(begin),
+                   static_cast<unsigned long long>(end)));
+    };
+    if (shotRanges.empty())
+        missing(0, totalShots);
+    if (shotRanges.back().second > totalShots) {
+        // A hand-edited file can claim ranges past the job size (the
+        // fingerprint does not cover the provenance fields); report
+        // the excess as such rather than as an inverted "missing"
+        // interval.
+        throwError(
+            ErrorCode::invalidArgument,
+            format("result covers shots [%llu, %llu) beyond "
+                   "total_shots %llu — corrupt shard provenance",
+                   static_cast<unsigned long long>(
+                       shotRanges.back().first),
+                   static_cast<unsigned long long>(
+                       shotRanges.back().second),
+                   static_cast<unsigned long long>(totalShots)));
+    }
+    if (shotRanges.front().first != 0)
+        missing(0, shotRanges.front().first);
+    for (size_t i = 1; i < shotRanges.size(); ++i) {
+        if (shotRanges[i - 1].second < shotRanges[i].first)
+            missing(shotRanges[i - 1].second, shotRanges[i].first);
+    }
+    if (shotRanges.back().second != totalShots)
+        missing(shotRanges.back().second, totalShots);
+    if (shots != totalShots) {
+        throwError(
+            ErrorCode::invalidArgument,
+            format("result claims range [0, %llu) but holds %llu "
+                   "shots — a partial snapshot cannot stand in for a "
+                   "completed shard",
+                   static_cast<unsigned long long>(totalShots),
+                   static_cast<unsigned long long>(shots)));
+    }
 }
 
 double
@@ -163,12 +332,35 @@ BatchResult::toJson() const
 {
     // One body build: zero the run-varying keys for the hash, then put
     // the real values back (set() overwrites in place, so the key
-    // order — and therefore the canonical form — is unchanged).
+    // order — and therefore the canonical form — is unchanged). The
+    // shard-provenance fields are appended *after* the fingerprint is
+    // taken: they describe which slice of the job produced the counts,
+    // and must not make equal counts hash differently (a merged shard
+    // set must fingerprint identically to a single-process run).
     Json result = toJsonBody();
     std::string fingerprint = fingerprintOf(result);
     result.set("threads", static_cast<int64_t>(threads));
     result.set("wall_seconds", wallSeconds);
     result.set("shots_per_second", shotsPerSecond);
+    result.set("total_shots", totalShots);
+    if (!programHash.empty())
+        result.set("program_hash", programHash);
+    if (shard.active()) {
+        Json slice = Json::makeObject();
+        slice.set("index", static_cast<int64_t>(shard.index));
+        slice.set("count", static_cast<int64_t>(shard.count));
+        result.set("shard", std::move(slice));
+    }
+    if (!shotRanges.empty()) {
+        Json ranges = Json::makeArray();
+        for (const auto &[begin, end] : shotRanges) {
+            Json range = Json::makeArray();
+            range.append(begin);
+            range.append(end);
+            ranges.append(std::move(range));
+        }
+        result.set("shot_ranges", std::move(ranges));
+    }
     result.set("counts_fingerprint", fingerprint);
     return result;
 }
@@ -220,6 +412,276 @@ BatchResult::toJsonBody() const
     result.set("wall_seconds", wallSeconds);
     result.set("shots_per_second", shotsPerSecond);
     return result;
+}
+
+namespace {
+
+/** The member @p key of @p json, which must exist. */
+const Json &
+require(const Json &json, const char *key)
+{
+    const Json *value = json.find(key);
+    if (!value) {
+        throwError(
+            ErrorCode::invalidArgument,
+            format("BatchResult JSON is missing field '%s'", key));
+    }
+    return *value;
+}
+
+/** The member @p key, which must be an integral number. */
+int64_t
+requireInt(const Json &json, const char *key)
+{
+    const Json &value = require(json, key);
+    if (!value.isNumber()) {
+        throwError(ErrorCode::invalidArgument,
+                   format("BatchResult field '%s' must be a number",
+                          key));
+    }
+    return value.asInt();  // throws on non-integral / out-of-range.
+}
+
+/** The member @p key, which must be an integral number >= 0. */
+uint64_t
+requireUInt(const Json &json, const char *key)
+{
+    int64_t value = requireInt(json, key);
+    if (value < 0) {
+        throwError(ErrorCode::invalidArgument,
+                   format("BatchResult field '%s' must be >= 0, got "
+                          "%lld",
+                          key, static_cast<long long>(value)));
+    }
+    return static_cast<uint64_t>(value);
+}
+
+/** The member @p key, which must be a (possibly fractional) number. */
+double
+requireDouble(const Json &json, const char *key)
+{
+    const Json &value = require(json, key);
+    if (!value.isNumber()) {
+        throwError(ErrorCode::invalidArgument,
+                   format("BatchResult field '%s' must be a number",
+                          key));
+    }
+    return value.asDouble();
+}
+
+/** The member @p key, which must be a string. */
+const std::string &
+requireString(const Json &json, const char *key)
+{
+    const Json &value = require(json, key);
+    if (!value.isString()) {
+        throwError(ErrorCode::invalidArgument,
+                   format("BatchResult field '%s' must be a string",
+                          key));
+    }
+    return value.asString();
+}
+
+/** True when @p text is a well-formed "fnv1a:<16 hex digits>". */
+bool
+isFingerprintFormat(const std::string &text)
+{
+    const std::string prefix = "fnv1a:";
+    if (text.size() != prefix.size() + 16 ||
+        text.compare(0, prefix.size(), prefix) != 0)
+        return false;
+    for (size_t i = prefix.size(); i < text.size(); ++i) {
+        char c = text[i];
+        if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+BatchResult
+BatchResult::fromJson(const Json &json)
+{
+    if (!json.isObject()) {
+        throwError(ErrorCode::invalidArgument,
+                   "a serialised BatchResult must be a JSON object");
+    }
+    BatchResult result;
+    if (const Json *label = json.find("label")) {
+        if (!label->isString()) {
+            throwError(ErrorCode::invalidArgument,
+                       "BatchResult field 'label' must be a string");
+        }
+        result.label = label->asString();
+    }
+    if (const Json *backend = json.find("backend")) {
+        if (!backend->isString()) {
+            throwError(ErrorCode::invalidArgument,
+                       "BatchResult field 'backend' must be a string");
+        }
+        result.backend = backend->asString();
+    }
+    result.seed = requireUInt(json, "seed");
+    result.threads = static_cast<int>(requireInt(json, "threads"));
+    result.shots = requireUInt(json, "shots");
+    result.totalShots = requireUInt(json, "total_shots");
+
+    const Json &qubits = require(json, "qubits");
+    if (!qubits.isArray()) {
+        throwError(ErrorCode::invalidArgument,
+                   "BatchResult field 'qubits' must be an array");
+    }
+    for (const Json &entry : qubits.asArray()) {
+        if (!entry.isObject()) {
+            throwError(ErrorCode::invalidArgument,
+                       "each 'qubits' entry must be an object");
+        }
+        int qubit = static_cast<int>(requireInt(entry, "qubit"));
+        if (result.qubitCounts.count(qubit)) {
+            throwError(ErrorCode::invalidArgument,
+                       format("duplicate 'qubits' entry for qubit %d",
+                              qubit));
+        }
+        QubitCounts counts;
+        counts.shots = requireUInt(entry, "shots");
+        counts.ones = requireUInt(entry, "ones");
+        result.qubitCounts.emplace(qubit, counts);
+    }
+
+    const Json &histogram = require(json, "histogram");
+    if (!histogram.isObject()) {
+        throwError(ErrorCode::invalidArgument,
+                   "BatchResult field 'histogram' must be an object");
+    }
+    for (const auto &[bitstring, count] : histogram.asObject()) {
+        if (!count.isNumber() || count.asInt() < 0) {
+            throwError(ErrorCode::invalidArgument,
+                       format("histogram count of '%s' must be a "
+                              "number >= 0",
+                              bitstring.c_str()));
+        }
+        result.histogram[bitstring] =
+            static_cast<uint64_t>(count.asInt());
+    }
+
+    const Json &run_stats = require(json, "stats");
+    if (!run_stats.isObject()) {
+        throwError(ErrorCode::invalidArgument,
+                   "BatchResult field 'stats' must be an object");
+    }
+    result.stats.cycles = requireUInt(run_stats, "cycles");
+    result.stats.classicalInstructions =
+        requireUInt(run_stats, "classical_instructions");
+    result.stats.quantumInstructions =
+        requireUInt(run_stats, "quantum_instructions");
+    result.stats.bundles = requireUInt(run_stats, "bundles");
+    result.stats.microOps = requireUInt(run_stats, "micro_ops");
+    result.stats.triggered = requireUInt(run_stats, "triggered");
+    result.stats.cancelled = requireUInt(run_stats, "cancelled");
+    result.stats.fmrStallCycles =
+        requireUInt(run_stats, "fmr_stall_cycles");
+    result.stats.underruns = requireUInt(run_stats, "underruns");
+    result.stats.maxQueueDepth =
+        requireUInt(run_stats, "max_queue_depth");
+
+    result.wallSeconds = requireDouble(json, "wall_seconds");
+    result.shotsPerSecond = requireDouble(json, "shots_per_second");
+
+    if (const Json *hash = json.find("program_hash")) {
+        if (!hash->isString() ||
+            !isFingerprintFormat(hash->asString())) {
+            throwError(ErrorCode::invalidArgument,
+                       "BatchResult field 'program_hash' must be an "
+                       "'fnv1a:<16 hex digits>' string");
+        }
+        result.programHash = hash->asString();
+    }
+    if (const Json *slice = json.find("shard")) {
+        if (!slice->isObject()) {
+            throwError(ErrorCode::invalidArgument,
+                       "BatchResult field 'shard' must be an object");
+        }
+        result.shard.index =
+            static_cast<int>(requireInt(*slice, "index"));
+        result.shard.count =
+            static_cast<int>(requireInt(*slice, "count"));
+        if (result.shard.count < 1 || result.shard.index < 0 ||
+            result.shard.index >= result.shard.count) {
+            throwError(ErrorCode::invalidArgument,
+                       format("BatchResult shard %d/%d is not a valid "
+                              "slice (need 0 <= index < count)",
+                              result.shard.index, result.shard.count));
+        }
+    }
+    if (const Json *ranges = json.find("shot_ranges")) {
+        if (!ranges->isArray()) {
+            throwError(ErrorCode::invalidArgument,
+                       "BatchResult field 'shot_ranges' must be an "
+                       "array of [begin, end) pairs");
+        }
+        std::vector<std::pair<uint64_t, uint64_t>> parsed;
+        for (const Json &range : ranges->asArray()) {
+            if (!range.isArray() || range.size() != 2 ||
+                !range.at(0).isNumber() || !range.at(1).isNumber()) {
+                throwError(ErrorCode::invalidArgument,
+                           "each shot_ranges entry must be a [begin, "
+                           "end) pair of numbers");
+            }
+            int64_t begin = range.at(0).asInt();
+            int64_t end = range.at(1).asInt();
+            if (begin < 0 || end <= begin) {
+                throwError(
+                    ErrorCode::invalidArgument,
+                    format("shot range [%lld, %lld) is empty or "
+                           "negative",
+                           static_cast<long long>(begin),
+                           static_cast<long long>(end)));
+            }
+            parsed.emplace_back(static_cast<uint64_t>(begin),
+                                static_cast<uint64_t>(end));
+        }
+        // Normalise (sort + coalesce) and refuse self-overlap.
+        result.shotRanges = unionRanges(parsed, {});
+    }
+
+    // The embedded fingerprint must match the counts we just parsed:
+    // this is what catches truncated or hand-edited shard files and any
+    // silent schema drift between writer and reader.
+    const std::string &claimed =
+        requireString(json, "counts_fingerprint");
+    if (!isFingerprintFormat(claimed)) {
+        throwError(ErrorCode::invalidArgument,
+                   "BatchResult field 'counts_fingerprint' must be an "
+                   "'fnv1a:<16 hex digits>' string");
+    }
+    std::string recomputed = result.countsFingerprint();
+    if (claimed != recomputed) {
+        throwError(
+            ErrorCode::invalidArgument,
+            format("counts_fingerprint mismatch: file claims %s but "
+                   "its counts hash to %s (corrupt file or "
+                   "writer/reader schema drift)",
+                   claimed.c_str(), recomputed.c_str()));
+    }
+    return result;
+}
+
+std::string
+imageFingerprint(const std::vector<uint32_t> &image)
+{
+    // Hash the words little-endian so the fingerprint is a property of
+    // the binary program, not of host byte order.
+    std::string bytes;
+    bytes.reserve(image.size() * 4);
+    for (uint32_t word : image) {
+        bytes.push_back(static_cast<char>(word & 0xff));
+        bytes.push_back(static_cast<char>((word >> 8) & 0xff));
+        bytes.push_back(static_cast<char>((word >> 16) & 0xff));
+        bytes.push_back(static_cast<char>((word >> 24) & 0xff));
+    }
+    return format("fnv1a:%016llx",
+                  static_cast<unsigned long long>(fnv1a64(bytes)));
 }
 
 } // namespace eqasm::engine

@@ -17,8 +17,11 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/json.h"
+#include "engine/job.h"
 #include "microarch/quma.h"
 
 namespace eqasm::runtime {
@@ -44,6 +47,22 @@ struct BatchResult {
     uint64_t seed = 0;       ///< base seed of the per-shot streams.
     int threads = 0;         ///< worker threads of the executing pool.
 
+    // --- shard provenance (see ShardSpec / docs/result_format.md) ---
+    /** Fingerprint of the executed binary image ("fnv1a:<16hex>", see
+     *  imageFingerprint); "" when unknown. merge() refuses to fold
+     *  results of different programs. */
+    std::string programHash;
+    /** Shots of the whole job across all shards (equal to `shots` for
+     *  an unsharded run); 0 when unknown. */
+    uint64_t totalShots = 0;
+    /** Which slice produced this result; count == 0 for unsharded runs
+     *  and for merged multi-shard results. */
+    ShardSpec shard;
+    /** Absolute shot sub-ranges [begin, end) this result covers —
+     *  sorted, disjoint, coalesced. A fresh shard carries exactly its
+     *  assigned range; merge() unions them and refuses overlap. */
+    std::vector<std::pair<uint64_t, uint64_t>> shotRanges;
+
     /** qubit -> counts over that qubit's last measurement per shot. */
     std::map<int, QubitCounts> qubitCounts;
 
@@ -62,12 +81,32 @@ struct BatchResult {
 
     /**
      * Merges another partial result (commutative, associative over the
-     * counts). Provenance: an empty/zero field adopts the other side's
-     * value; conflicting backends merge to "mixed" and conflicting
-     * seeds to 0 (unknown), so a merged shard never claims a single
-     * origin it does not have. threads keeps the maximum pool size.
+     * counts) with strict compatibility checking, so shard files from
+     * different processes/hosts fold back safely. An unknown field
+     * (empty string / zero) adopts the other side's value; two *known*
+     * but different values are a refusal: backend, seed, programHash,
+     * totalShots, label (part of the fingerprinted body) and the
+     * shard count each throw Error{invalidArgument} naming the
+     * offending field, and overlapping shotRanges throw naming the
+     * colliding ranges. On refusal *this is unchanged.
+     *
+     * threads keeps the maximum pool size, wallSeconds the maximum
+     * elapsed wall-clock (shards run concurrently on different hosts),
+     * shotsPerSecond is recomputed from the merged counts, and the
+     * shard index/count survive only when both sides name the same
+     * slice — a merged multi-shard result is no longer a shard.
      */
     void merge(const BatchResult &other);
+
+    /**
+     * Verifies this (typically merged) result covers its whole job:
+     * shotRanges must coalesce to exactly [0, totalShots) and `shots`
+     * must equal totalShots.
+     * @throws Error{invalidArgument} naming the first missing shot
+     *         range (e.g. a forgotten shard file) or the shot-count
+     *         mismatch (e.g. a partial snapshot passed off as a shard).
+     */
+    void verifyComplete() const;
 
     /**
      * Deterministic fingerprint of the counts: a 64-bit FNV-1a hash
@@ -89,15 +128,42 @@ struct BatchResult {
      */
     double fractionOne(int qubit) const;
 
-    /** Serialises counts, histogram, stats, throughput and the
-     *  counts_fingerprint (see countsFingerprint()). */
+    /** Serialises counts, histogram, stats, throughput, the shard
+     *  provenance and the counts_fingerprint (see countsFingerprint()).
+     *  The exact schema is frozen in docs/result_format.md and by the
+     *  schema-stability test in tests/shard_test.cc. */
     Json toJson() const;
 
+    /**
+     * The exact inverse of toJson(): rebuilds a BatchResult such that
+     * fromJson(x.toJson()).toJson() is byte-identical to x.toJson().
+     * Strictly validating — a missing or mistyped field throws
+     * Error{invalidArgument} naming the field, and the embedded
+     * counts_fingerprint is recomputed from the parsed counts and must
+     * match the file's value (so truncated, hand-edited or
+     * schema-drifted files are refused, never silently merged).
+     * Never exhibits UB on malformed input; every failure is a typed
+     * Error (use Json::parse first; it throws Error{parseError} with
+     * line/column context on syntactically bad text).
+     */
+    static BatchResult fromJson(const Json &json);
+
   private:
-    /** toJson() without the fingerprint field — the canonical body the
-     *  fingerprint hashes (keeping the two from recursing). */
+    /** toJson() without the fingerprint and shard-provenance fields —
+     *  the canonical body the fingerprint hashes (keeping the
+     *  fingerprint independent of *which* slice of the job produced
+     *  equal counts, so a merged shard set hashes identically to a
+     *  single-process run). */
     Json toJsonBody() const;
 };
+
+/**
+ * Fingerprint of an assembled binary image ("fnv1a:<16hex>", 64-bit
+ * FNV-1a over the little-endian instruction words). Stamped into
+ * BatchResult::programHash by the engine so shard files can prove they
+ * executed the same program before merging.
+ */
+std::string imageFingerprint(const std::vector<uint32_t> &image);
 
 } // namespace eqasm::engine
 

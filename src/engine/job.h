@@ -21,18 +21,57 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace eqasm::engine {
 
 struct BatchResult;
 
+/**
+ * One slice of a job sharded across processes/hosts. A job submitted
+ * with shard {i, n} executes only the shot sub-range
+ * [floor(i*N/n), floor((i+1)*N/n)) of its N shots — absolute shot
+ * indices, so the counter-based Rng::forShot(seed, k) streams line up
+ * with a single-process run and the n serialised slices fold back
+ * (BatchResult::merge) to a bit-identical aggregate. count == 0 means
+ * the job is not sharded and runs its whole range.
+ */
+struct ShardSpec {
+    int index = 0;  ///< which slice, in [0, count).
+    int count = 0;  ///< total slices; 0 = not sharded.
+
+    bool active() const { return count > 0; }
+};
+
+/**
+ * The shot sub-range [begin, end) that @p shard covers of a
+ * @p totalShots -shot job. Slices are contiguous, disjoint, in index
+ * order, cover [0, totalShots) exactly, and differ in size by at most
+ * one shot. An inactive shard covers the whole range.
+ */
+inline std::pair<int, int>
+shardRange(int totalShots, const ShardSpec &shard)
+{
+    if (!shard.active())
+        return {0, totalShots};
+    auto boundary = [&](int slice) {
+        return static_cast<int>(static_cast<int64_t>(totalShots) *
+                                slice / shard.count);
+    };
+    return {boundary(shard.index), boundary(shard.index + 1)};
+}
+
 /** One batch-execution request. */
 struct Job {
     std::vector<uint32_t> image;  ///< assembled eQASM binary image.
-    int shots = 1;                ///< number of shots to execute.
+    int shots = 1;                ///< shots of the *whole* job (all shards).
     uint64_t seed = 1;            ///< base seed of the per-shot streams.
     std::string label;            ///< free-form tag echoed in results.
+
+    /** Which slice of the job this process executes (see ShardSpec);
+     *  default: not sharded, the whole range runs here. */
+    ShardSpec shard;
 
     // --- scheduling metadata (see sched::JobScheduler) ---
     std::string tenant;           ///< fair-share bucket ("" = default).

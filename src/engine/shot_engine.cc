@@ -23,6 +23,13 @@ struct ShotEngine::JobState : sched::JobControl {
     uint64_t id = 0;
     Job job;
     Clock::time_point start;
+    /** Absolute shot sub-range this process executes — the whole
+     *  [0, job.shots) unless the job is sharded (see ShardSpec). Set
+     *  once at submission, constant afterwards. */
+    int rangeBegin = 0;
+    int rangeEnd = 0;
+
+    int rangeShots() const { return rangeEnd - rangeBegin; }
 
     // --- handle-facing, lock-free ---
     std::atomic<bool> cancelRequested{false};
@@ -32,7 +39,9 @@ struct ShotEngine::JobState : sched::JobControl {
     std::shared_ptr<std::atomic<uint64_t>> cancelEpoch;
 
     // --- guarded by ShotEngine::mutex_ ---
-    int claimedShots = 0;    ///< shots handed to workers (or skipped).
+    /** Absolute claim cursor: the next unclaimed shot index. Starts at
+     *  rangeBegin and advances to rangeEnd as workers claim chunks. */
+    int claimedShots = 0;
     int accountedShots = 0;  ///< shots whose chunks finished/skipped.
     int chunksSinceSnapshot = 0;
     bool failed = false;
@@ -67,7 +76,7 @@ struct ShotEngine::JobState : sched::JobControl {
         sched::Progress progress;
         progress.completedShots =
             executedShots.load(std::memory_order_relaxed);
-        progress.totalShots = job.shots;
+        progress.totalShots = rangeShots();
         progress.cancelRequested =
             cancelRequested.load(std::memory_order_relaxed);
         return progress;
@@ -157,16 +166,48 @@ ShotEngine::submit(Job job)
                    job.label.empty() ? "(unlabelled)" : job.label.c_str(),
                    job.shots));
     }
+    if (job.shard.count < 0 ||
+        (job.shard.active() &&
+         (job.shard.index < 0 || job.shard.index >= job.shard.count))) {
+        throwError(
+            ErrorCode::invalidArgument,
+            format("job '%s' names shard %d/%d; a shard index must lie "
+                   "in [0, count)",
+                   job.label.empty() ? "(unlabelled)" : job.label.c_str(),
+                   job.shard.index, job.shard.count));
+    }
+    auto [rangeBegin, rangeEnd] = shardRange(job.shots, job.shard);
+    if (rangeBegin == rangeEnd) {
+        throwError(
+            ErrorCode::invalidArgument,
+            format("job '%s' shard %d/%d of %d shots is empty; use at "
+                   "most %d shards",
+                   job.label.empty() ? "(unlabelled)" : job.label.c_str(),
+                   job.shard.index, job.shard.count, job.shots,
+                   job.shots));
+    }
     auto state = std::make_shared<JobState>();
     state->job = std::move(job);
     state->cancelEpoch = cancelEpoch_;
+    state->rangeBegin = rangeBegin;
+    state->rangeEnd = rangeEnd;
+    state->claimedShots = rangeBegin;
     state->aggregate.label = state->job.label;
-    // Provenance for sharded/merged result files: which backend and
-    // seed produced these counts, and on how many workers.
+    // Provenance for sharded/merged result files: which backend, seed
+    // and program produced these counts, on how many workers, and
+    // which slice of the job this process is running (merge() checks
+    // compatibility and range disjointness from exactly these fields).
     state->aggregate.backend = std::string(
         qsim::backendKindName(platform_.device.backend));
     state->aggregate.seed = state->job.seed;
     state->aggregate.threads = threads();
+    state->aggregate.programHash = imageFingerprint(state->job.image);
+    state->aggregate.totalShots =
+        static_cast<uint64_t>(state->job.shots);
+    state->aggregate.shard = state->job.shard;
+    state->aggregate.shotRanges = {
+        {static_cast<uint64_t>(rangeBegin),
+         static_cast<uint64_t>(rangeEnd)}};
     state->start = Clock::now();
     std::shared_future<BatchResult> future =
         state->promise.get_future().share();
@@ -202,7 +243,7 @@ ShotEngine::sweepCancelledJobs()
             continue;
         }
         int begin = state->claimedShots;
-        state->claimedShots = state->job.shots;
+        state->claimedShots = state->rangeEnd;
         swept.emplace_back(state, begin);
         scheduler_.remove(it->first);
         it = active_.erase(it);
@@ -241,7 +282,7 @@ ShotEngine::workerLoop()
                 lock.unlock();
                 for (auto &[state, begin] : swept) {
                     runChunk(replica, *state, begin,
-                             state->job.shots);
+                             state->rangeEnd);
                 }
                 lock.lock();
                 continue;
@@ -260,9 +301,9 @@ ShotEngine::workerLoop()
             state->failed ||
             state->cancelRequested.load(std::memory_order_relaxed);
         int begin = state->claimedShots;
-        int end = skip ? state->job.shots
+        int end = skip ? state->rangeEnd
                        : std::min(begin + config_.chunkShots,
-                                  state->job.shots);
+                                  state->rangeEnd);
         state->claimedShots = end;
         if (!skip) {
             // Skipped ranges never execute; charging them would leave
@@ -270,7 +311,7 @@ ShotEngine::workerLoop()
             // freed the worker instantly.
             scheduler_.charge(id, end - begin);
         }
-        if (end == state->job.shots) {
+        if (end == state->rangeEnd) {
             // Fully claimed: retire it so visits go to other jobs.
             // Completion is signalled by the last finished chunk, which
             // may still be in flight on another worker.
@@ -357,7 +398,7 @@ ShotEngine::finishChunk(JobState &state, BatchResult &&partial,
             static_cast<int>(state.aggregate.shots),
             std::memory_order_relaxed);
         state.accountedShots += count;
-        done = state.accountedShots == state.job.shots;
+        done = state.accountedShots == state.rangeShots();
         if (done) {
             state.settled = true;  // this thread owns settlement.
         } else if (state.job.onPartial && !state.failed &&
@@ -429,7 +470,7 @@ ShotEngine::finishChunk(JobState &state, BatchResult &&partial,
     }
     if (state.cancelRequested.load(std::memory_order_relaxed) &&
         state.aggregate.shots <
-            static_cast<uint64_t>(state.job.shots)) {
+            static_cast<uint64_t>(state.rangeShots())) {
         state.promise.set_exception(std::make_exception_ptr(Error(
             ErrorCode::runtimeError,
             format("job '%s' cancelled after %llu of %d shots",
@@ -437,7 +478,7 @@ ShotEngine::finishChunk(JobState &state, BatchResult &&partial,
                                            : state.job.label.c_str(),
                    static_cast<unsigned long long>(
                        state.aggregate.shots),
-                   state.job.shots))));
+                   state.rangeShots()))));
         return;
     }
     double wall = std::chrono::duration<double>(Clock::now() -

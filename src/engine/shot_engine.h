@@ -94,8 +94,18 @@ class ShotEngine
      * (or the first error any of the job's shots raised), reports
      * progress, streams partial snapshots when job.onPartial is set,
      * and cancels.
+     *
+     * A sharded job (job.shard.count > 0) executes only its slice of
+     * the shot range at the *absolute* shot indices shardRange()
+     * assigns, so the per-shot RNG streams — and therefore the counts
+     * — line up with a single-process run; the result carries the
+     * program hash, total shot count and covered range so the slices
+     * can be folded back with BatchResult::merge and verified with
+     * verifyComplete().
      * @throws Error{invalidArgument} when the job requests fewer than
-     *         one shot; the message names the job's label.
+     *         one shot, names an out-of-range shard index, or shards
+     *         so finely that its slice is empty; the message names the
+     *         job's label.
      */
     sched::JobHandle submit(Job job);
 

@@ -107,12 +107,14 @@ QuantumProcessor::submitBatch(engine::Job job, int threads)
 }
 
 engine::BatchResult
-QuantumProcessor::runBatch(int shots, int threads)
+QuantumProcessor::runBatch(int shots, int threads,
+                           engine::ShardSpec shard)
 {
     engine::Job job;
     job.image = program_.image;
     job.shots = shots;
     job.seed = seed_;
+    job.shard = shard;
     return ensureEngine(threads).run(std::move(job));
 }
 

@@ -79,8 +79,14 @@ class QuantumProcessor
      * lifetime; it is rebuilt only when @p threads names a different
      * non-zero size than the current pool.
      * @param threads worker threads; 0 selects hardware concurrency.
+     * @param shard run only slice shard.index of shard.count of the
+     *        batch (see engine::ShardSpec) — the shot sub-range keeps
+     *        its absolute indices so k sharded processes merge
+     *        (engine::BatchResult::merge) to the same counts as one
+     *        unsharded run. Default: the whole range.
      */
-    engine::BatchResult runBatch(int shots, int threads = 0);
+    engine::BatchResult runBatch(int shots, int threads = 0,
+                                 engine::ShardSpec shard = {});
 
     /**
      * Replaces the engine configuration (worker count, chunk size,

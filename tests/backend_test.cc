@@ -130,7 +130,7 @@ TEST(BackendFactory, StateAccessorNeedsDensityBackend)
 
 // ----------------------------------------------- result provenance
 
-TEST(BatchProvenance, MergeAdoptsAndReconcilesProvenance)
+TEST(BatchProvenance, MergeAdoptsProvenanceAndRejectsConflicts)
 {
     engine::BatchResult shard;
     shard.backend = "stabilizer";
@@ -143,15 +143,33 @@ TEST(BatchProvenance, MergeAdoptsAndReconcilesProvenance)
     EXPECT_EQ(merged.seed, 7u);
     EXPECT_EQ(merged.threads, 2);
 
-    // Conflicting origins must not claim a single one.
+    // Conflicting origins are a refusal, not a silent reconciliation:
+    // merging results of different backends or seeds would fold counts
+    // that can never have come from one job.
     engine::BatchResult foreign;
     foreign.backend = "density";
+    foreign.seed = 7;
+    try {
+        merged.merge(foreign);
+        FAIL() << "backend mismatch was merged";
+    } catch (const Error &error) {
+        EXPECT_NE(std::string(error.what()).find("backend"),
+                  std::string::npos)
+            << error.what();
+    }
+    foreign.backend = "stabilizer";
     foreign.seed = 9;
-    foreign.threads = 1;
-    merged.merge(foreign);
-    EXPECT_EQ(merged.backend, "mixed");
-    EXPECT_EQ(merged.seed, 0u);
-    EXPECT_EQ(merged.threads, 2);
+    try {
+        merged.merge(foreign);
+        FAIL() << "seed mismatch was merged";
+    } catch (const Error &error) {
+        EXPECT_NE(std::string(error.what()).find("seed"),
+                  std::string::npos)
+            << error.what();
+    }
+    // The refused merges left the aggregate untouched.
+    EXPECT_EQ(merged.backend, "stabilizer");
+    EXPECT_EQ(merged.seed, 7u);
 }
 
 // -------------------------------------------------- stabilizer tableau

@@ -1,0 +1,613 @@
+/**
+ * @file
+ * Tests for deterministic cross-process job sharding: the shardRange
+ * partition, shard-job execution at absolute shot indices, the
+ * BatchResult JSON round trip (fromJson as the exact inverse of
+ * toJson, fingerprint-verified), strict merge compatibility checking,
+ * completeness verification, and the k-shard merge bit-identity
+ * against a single-process run across workloads, backends, thread
+ * counts and scheduling policies. Also freezes the result-file schema
+ * (docs/result_format.md) so a field rename cannot silently break
+ * shard merging.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "assembler/assembler.h"
+#include "common/error.h"
+#include "common/json.h"
+#include "engine/shot_engine.h"
+#include "runtime/platform.h"
+#include "workloads/experiments.h"
+#include "workloads/surface_code.h"
+
+using namespace eqasm;
+using namespace eqasm::engine;
+using namespace eqasm::runtime;
+
+namespace {
+
+/** Assembles @p source for @p platform into a Job. */
+Job
+makeJob(const Platform &platform, const std::string &source, int shots,
+        uint64_t seed)
+{
+    assembler::Assembler asm_(platform.operations, platform.topology,
+                              platform.params);
+    Job job;
+    job.image = asm_.assemble(source).image;
+    job.shots = shots;
+    job.seed = seed;
+    return job;
+}
+
+/** The noisy active-reset workload: plenty of randomness per shot. */
+Job
+activeResetJob(const Platform &platform, int shots, uint64_t seed)
+{
+    return makeJob(platform, workloads::activeResetProgram(2), shots,
+                   seed);
+}
+
+/** Runs @p job on a fresh engine (its own pool — the in-process
+ *  equivalent of a separate OS process, since workers share nothing
+ *  with other engines). */
+BatchResult
+runOnFreshEngine(const Platform &platform, Job job, int threads,
+                 sched::Policy policy = sched::Policy::fifo)
+{
+    EngineConfig config;
+    config.threads = threads;
+    config.scheduler.policy = policy;
+    ShotEngine engine(platform, config);
+    return engine.run(std::move(job));
+}
+
+/** Serialise to file text and back — exactly what --shard/--merge do
+ *  across process boundaries. */
+BatchResult
+throughJson(const BatchResult &result)
+{
+    return BatchResult::fromJson(Json::parse(result.toJson().dump(2)));
+}
+
+/** Expects fn() to throw Error whose message contains @p needle. */
+template <typename Fn>
+void
+expectErrorContaining(Fn &&fn, const std::string &needle)
+{
+    try {
+        fn();
+        FAIL() << "expected Error mentioning '" << needle << "'";
+    } catch (const Error &error) {
+        EXPECT_NE(std::string(error.what()).find(needle),
+                  std::string::npos)
+            << "message: " << error.what();
+    }
+}
+
+/** Rebuilds @p json without the member named @p key. */
+Json
+without(const Json &json, const std::string &key)
+{
+    Json pruned = Json::makeObject();
+    for (const auto &[name, value] : json.asObject()) {
+        if (name != key)
+            pruned.set(name, value);
+    }
+    return pruned;
+}
+
+} // namespace
+
+// ------------------------------------------------------------- shardRange
+
+TEST(ShardRange, PartitionsTheRangeExactly)
+{
+    for (int total : {1, 2, 5, 7, 32, 100, 999}) {
+        for (int count : {1, 2, 3, 4, 7, 8}) {
+            if (count > total)
+                continue;
+            int expected_begin = 0;
+            for (int index = 0; index < count; ++index) {
+                auto [begin, end] =
+                    shardRange(total, ShardSpec{index, count});
+                EXPECT_EQ(begin, expected_begin)
+                    << total << " shots, shard " << index << "/"
+                    << count;
+                EXPECT_LT(begin, end);
+                // Slice sizes differ by at most one shot.
+                EXPECT_GE(end - begin, total / count);
+                EXPECT_LE(end - begin, total / count + 1);
+                expected_begin = end;
+            }
+            EXPECT_EQ(expected_begin, total);
+        }
+    }
+}
+
+TEST(ShardRange, InactiveShardCoversTheWholeRange)
+{
+    auto [begin, end] = shardRange(1234, ShardSpec{});
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 1234);
+}
+
+// --------------------------------------------------------- shard submission
+
+TEST(ShardSubmit, RejectsInvalidShardSpecs)
+{
+    Platform platform = Platform::twoQubit();
+    ShotEngine engine(platform, {.threads = 1});
+
+    Job job = activeResetJob(platform, 10, 1);
+    job.label = "badshard";
+    job.shard = {2, 2};
+    expectErrorContaining([&] { engine.submit(job); }, "badshard");
+    job.shard = {-1, 2};
+    EXPECT_THROW(engine.submit(job), Error);
+    job.shard = {0, -3};
+    EXPECT_THROW(engine.submit(job), Error);
+
+    // More shards than shots leaves some slices empty (slice 0 of 3
+    // covers [floor(0*2/3), floor(1*2/3)) = [0, 0)).
+    job.shots = 2;
+    job.shard = {0, 3};
+    expectErrorContaining([&] { engine.submit(job); }, "empty");
+}
+
+TEST(ShardSubmit, ShardResultCoversExactlyItsSlice)
+{
+    Platform platform = Platform::twoQubit();
+    Job job = activeResetJob(platform, 30, 5);
+    job.shard = {1, 3};
+    BatchResult result = runOnFreshEngine(platform, job, 2);
+
+    EXPECT_EQ(result.shots, 10u);
+    EXPECT_EQ(result.totalShots, 30u);
+    EXPECT_EQ(result.shard.index, 1);
+    EXPECT_EQ(result.shard.count, 3);
+    ASSERT_EQ(result.shotRanges.size(), 1u);
+    EXPECT_EQ(result.shotRanges.front(),
+              (std::pair<uint64_t, uint64_t>{10, 20}));
+    EXPECT_EQ(result.programHash,
+              imageFingerprint(activeResetJob(platform, 30, 5).image));
+
+    // The slice executed the *absolute* shot indices: its counts are a
+    // sub-aggregate of the unsharded run, not of shots [0, 10).
+    Job full = activeResetJob(platform, 30, 5);
+    BatchResult whole = runOnFreshEngine(platform, full, 1);
+    uint64_t histogram_sum = 0;
+    for (const auto &[bitstring, count] : result.histogram) {
+        EXPECT_LE(count, whole.histogram.at(bitstring));
+        histogram_sum += count;
+    }
+    EXPECT_EQ(histogram_sum, 10u);
+}
+
+// ----------------------------------------------------- JSON round tripping
+
+TEST(ResultRoundTrip, FromJsonIsTheExactInverseOfToJson)
+{
+    Platform platform = Platform::twoQubit();
+    Job job = activeResetJob(platform, 50, 9);
+    job.label = "roundtrip";
+    job.shard = {1, 2};
+    BatchResult result = runOnFreshEngine(platform, job, 2);
+
+    std::string serialised = result.toJson().dump(2);
+    BatchResult parsed = BatchResult::fromJson(Json::parse(serialised));
+    EXPECT_EQ(parsed.toJson().dump(2), serialised);
+
+    EXPECT_EQ(parsed.label, result.label);
+    EXPECT_EQ(parsed.backend, result.backend);
+    EXPECT_EQ(parsed.seed, result.seed);
+    EXPECT_EQ(parsed.threads, result.threads);
+    EXPECT_EQ(parsed.shots, result.shots);
+    EXPECT_EQ(parsed.totalShots, result.totalShots);
+    EXPECT_EQ(parsed.programHash, result.programHash);
+    EXPECT_EQ(parsed.shard.index, result.shard.index);
+    EXPECT_EQ(parsed.shard.count, result.shard.count);
+    EXPECT_EQ(parsed.shotRanges, result.shotRanges);
+    EXPECT_EQ(parsed.histogram, result.histogram);
+    EXPECT_EQ(parsed.wallSeconds, result.wallSeconds);
+    EXPECT_EQ(parsed.shotsPerSecond, result.shotsPerSecond);
+    EXPECT_EQ(parsed.countsFingerprint(), result.countsFingerprint());
+}
+
+TEST(ResultRoundTrip, FingerprintsUseTheDocumentedFormat)
+{
+    Platform platform = Platform::twoQubit();
+    BatchResult result = runOnFreshEngine(
+        platform, activeResetJob(platform, 8, 3), 1);
+    for (const std::string &fingerprint :
+         {result.countsFingerprint(), result.programHash}) {
+        ASSERT_EQ(fingerprint.size(), 6u + 16u) << fingerprint;
+        EXPECT_EQ(fingerprint.substr(0, 6), "fnv1a:");
+        for (size_t i = 6; i < fingerprint.size(); ++i) {
+            char c = fingerprint[i];
+            EXPECT_TRUE((c >= '0' && c <= '9') ||
+                        (c >= 'a' && c <= 'f'))
+                << fingerprint;
+        }
+    }
+}
+
+// ------------------------------------------------------- schema stability
+
+TEST(ResultSchema, FieldNamesAndOrderAreFrozen)
+{
+    // docs/result_format.md freezes this schema; renaming or reordering
+    // a field breaks cross-version shard merging, so it must fail here
+    // first. Bump the doc and this list together — deliberately.
+    Platform platform = Platform::twoQubit();
+    Job job = activeResetJob(platform, 12, 4);
+    job.label = "schema";
+    job.shard = {0, 2};
+    Json json = runOnFreshEngine(platform, job, 1).toJson();
+
+    std::vector<std::string> keys;
+    for (const auto &[key, value] : json.asObject())
+        keys.push_back(key);
+    const std::vector<std::string> expected = {
+        "label",        "backend",        "seed",
+        "threads",      "shots",          "qubits",
+        "histogram",    "stats",          "wall_seconds",
+        "shots_per_second", "total_shots", "program_hash",
+        "shard",        "shot_ranges",    "counts_fingerprint"};
+    EXPECT_EQ(keys, expected);
+
+    std::vector<std::string> stats_keys;
+    for (const auto &[key, value] : json.at("stats").asObject())
+        stats_keys.push_back(key);
+    const std::vector<std::string> expected_stats = {
+        "cycles",          "classical_instructions",
+        "quantum_instructions", "bundles",
+        "micro_ops",       "triggered",
+        "cancelled",       "fmr_stall_cycles",
+        "underruns",       "max_queue_depth"};
+    EXPECT_EQ(stats_keys, expected_stats);
+
+    ASSERT_GT(json.at("qubits").size(), 0u);
+    std::vector<std::string> qubit_keys;
+    for (const auto &[key, value] :
+         json.at("qubits").at(size_t{0}).asObject())
+        qubit_keys.push_back(key);
+    const std::vector<std::string> expected_qubit = {
+        "qubit", "shots", "ones", "fraction_one"};
+    EXPECT_EQ(qubit_keys, expected_qubit);
+
+    std::vector<std::string> shard_keys;
+    for (const auto &[key, value] : json.at("shard").asObject())
+        shard_keys.push_back(key);
+    EXPECT_EQ(shard_keys,
+              (std::vector<std::string>{"index", "count"}));
+}
+
+// -------------------------------------------------- malformed input paths
+
+TEST(FromJson, RejectsMalformedInputWithTypedErrors)
+{
+    Platform platform = Platform::twoQubit();
+    BatchResult result = runOnFreshEngine(
+        platform, activeResetJob(platform, 16, 2), 1);
+    std::string good = result.toJson().dump(2);
+
+    // Syntactically broken text fails in Json::parse — typed Error,
+    // never UB or a std exception.
+    EXPECT_THROW(Json::parse("][ not json"), Error);
+    EXPECT_THROW(Json::parse(good.substr(0, good.size() / 2)), Error);
+    EXPECT_THROW(Json::parse(""), Error);
+
+    // Structurally broken documents fail in fromJson with the field
+    // named in the message.
+    expectErrorContaining(
+        [] { BatchResult::fromJson(Json::parse("[1, 2]")); },
+        "object");
+    Json parsed = Json::parse(good);
+    for (const char *field :
+         {"seed", "threads", "shots", "total_shots", "qubits",
+          "histogram", "stats", "wall_seconds", "shots_per_second",
+          "counts_fingerprint"}) {
+        expectErrorContaining(
+            [&] { BatchResult::fromJson(without(parsed, field)); },
+            field);
+    }
+
+    Json wrong_type = Json::parse(good);
+    wrong_type.set("shots", "many");
+    expectErrorContaining(
+        [&] { BatchResult::fromJson(wrong_type); }, "shots");
+
+    Json negative = Json::parse(good);
+    negative.set("shots", -5);
+    expectErrorContaining([&] { BatchResult::fromJson(negative); },
+                          "shots");
+
+    Json bad_fingerprint = Json::parse(good);
+    bad_fingerprint.set("counts_fingerprint", "sha256:deadbeef");
+    expectErrorContaining(
+        [&] { BatchResult::fromJson(bad_fingerprint); },
+        "counts_fingerprint");
+
+    Json bad_shard = Json::parse(good);
+    Json slice = Json::makeObject();
+    slice.set("index", 3);
+    slice.set("count", 2);
+    bad_shard.set("shard", std::move(slice));
+    expectErrorContaining([&] { BatchResult::fromJson(bad_shard); },
+                          "shard");
+
+    Json bad_ranges = Json::parse(good);
+    Json ranges = Json::makeArray();
+    Json a = Json::makeArray();
+    a.append(0);
+    a.append(10);
+    Json b = Json::makeArray();
+    b.append(5);
+    b.append(15);
+    ranges.append(std::move(a));
+    ranges.append(std::move(b));
+    bad_ranges.set("shot_ranges", std::move(ranges));
+    expectErrorContaining([&] { BatchResult::fromJson(bad_ranges); },
+                          "overlap");
+}
+
+TEST(FromJson, DetectsTamperedCounts)
+{
+    Platform platform = Platform::twoQubit();
+    BatchResult result = runOnFreshEngine(
+        platform, activeResetJob(platform, 16, 2), 1);
+    Json json = Json::parse(result.toJson().dump(2));
+
+    // Flip one histogram count: the embedded fingerprint no longer
+    // matches the counts, so the file is refused, not merged.
+    Json histogram = json.at("histogram");
+    ASSERT_GT(histogram.size(), 0u);
+    const auto &[bitstring, count] = histogram.asObject().front();
+    histogram.set(bitstring, count.asInt() + 1);
+    json.set("histogram", std::move(histogram));
+    expectErrorContaining([&] { BatchResult::fromJson(json); },
+                          "counts_fingerprint mismatch");
+}
+
+// -------------------------------------------------- strict merge refusals
+
+TEST(StrictMerge, RejectsIncompatibleShards)
+{
+    Platform platform = Platform::twoQubit();
+    auto shardResult = [&](const std::string &source, int shots,
+                           uint64_t seed, int index, int count) {
+        Job job = makeJob(platform, source, shots, seed);
+        job.shard = {index, count};
+        return runOnFreshEngine(platform, job, 1);
+    };
+    const std::string reset = workloads::activeResetProgram(2);
+    const std::string t1 = workloads::t1Program(100, 0);
+
+    // Different seeds: the per-shot streams are unrelated.
+    {
+        BatchResult left = shardResult(reset, 20, 1, 0, 2);
+        BatchResult right = shardResult(reset, 20, 2, 1, 2);
+        expectErrorContaining([&] { left.merge(right); }, "seed");
+    }
+    // Different programs.
+    {
+        BatchResult left = shardResult(reset, 20, 1, 0, 2);
+        BatchResult right = shardResult(t1, 20, 1, 1, 2);
+        expectErrorContaining([&] { left.merge(right); },
+                              "program_hash");
+    }
+    // The same shard folded twice: overlapping shot ranges.
+    {
+        BatchResult left = shardResult(reset, 20, 1, 0, 2);
+        BatchResult twin = shardResult(reset, 20, 1, 0, 2);
+        expectErrorContaining([&] { left.merge(twin); }, "overlap");
+    }
+    // Slices of different shard plans.
+    {
+        BatchResult left = shardResult(reset, 20, 1, 0, 2);
+        BatchResult right = shardResult(reset, 20, 1, 1, 3);
+        expectErrorContaining([&] { left.merge(right); },
+                              "shard count");
+    }
+    // Different job sizes.
+    {
+        BatchResult left = shardResult(reset, 20, 1, 0, 2);
+        BatchResult right = shardResult(reset, 40, 1, 1, 2);
+        expectErrorContaining([&] { left.merge(right); },
+                              "total_shots");
+    }
+    // Different labels: the label is part of the fingerprinted body,
+    // so keeping either side's would make the merged fingerprint
+    // depend on merge order.
+    {
+        BatchResult left = shardResult(reset, 20, 1, 0, 2);
+        BatchResult right = shardResult(reset, 20, 1, 1, 2);
+        left.label = "a";
+        right.label = "b";
+        expectErrorContaining([&] { left.merge(right); }, "label");
+    }
+    // Different backends (cross-check via the stabilizer platform).
+    {
+        Platform stab = Platform::rotatedSurface(2);
+        Job job = makeJob(
+            stab, workloads::syndromeProgram(2, 1, stab.operations),
+            20, 1);
+        job.shard = {1, 2};
+        BatchResult right = runOnFreshEngine(stab, job, 1);
+        BatchResult left = shardResult(reset, 20, 1, 0, 2);
+        // Force the other mismatches out of the way so the backend
+        // check is what fires.
+        right.programHash = left.programHash;
+        expectErrorContaining([&] { left.merge(right); }, "backend");
+    }
+}
+
+TEST(StrictMerge, VerifyCompleteNamesMissingShards)
+{
+    Platform platform = Platform::twoQubit();
+    auto shardResult = [&](int index, int count) {
+        Job job = activeResetJob(platform, 30, 7);
+        job.shard = {index, count};
+        return runOnFreshEngine(platform, job, 1);
+    };
+
+    BatchResult merged = shardResult(0, 3);
+    merged.merge(shardResult(2, 3));
+    expectErrorContaining([&] { merged.verifyComplete(); },
+                          "[10, 20)");
+
+    merged.merge(shardResult(1, 3));
+    EXPECT_NO_THROW(merged.verifyComplete());
+    EXPECT_FALSE(merged.shard.active());
+
+    BatchResult handmade;
+    expectErrorContaining([&] { handmade.verifyComplete(); },
+                          "total_shots");
+
+    // Ranges past the job size (only reachable through hand-edited
+    // provenance — the fingerprint does not cover it) are reported as
+    // excess coverage, not as an inverted "missing" interval.
+    BatchResult excess = shardResult(0, 3);
+    excess.merge(shardResult(1, 3));
+    excess.merge(shardResult(2, 3));
+    excess.totalShots = 20;
+    expectErrorContaining([&] { excess.verifyComplete(); }, "beyond");
+}
+
+// --------------------------------------- k-process shard+merge identity
+
+namespace {
+
+struct ShardWorkload {
+    std::string name;
+    Platform platform;
+    std::string source;
+    int shots = 0;
+    uint64_t seed = 0;
+};
+
+std::vector<ShardWorkload>
+shardWorkloads()
+{
+    std::vector<ShardWorkload> workloads;
+    {
+        ShardWorkload w;
+        w.name = "rabi";
+        w.platform = Platform::twoQubit();
+        w.platform.operations = workloads::rabiOperationSet(17);
+        w.source = workloads::rabiProgram(8, 0);
+        w.shots = 300;
+        w.seed = 300;
+        workloads.push_back(std::move(w));
+    }
+    {
+        ShardWorkload w;
+        w.name = "active_reset";
+        w.platform = Platform::twoQubit();
+        w.source = workloads::activeResetProgram(2);
+        w.shots = 200;
+        w.seed = 17;
+        workloads.push_back(std::move(w));
+    }
+    {
+        ShardWorkload w;
+        w.name = "qec_d2_density";
+        w.platform = Platform::rotatedSurface(2);
+        w.platform.device.backend = qsim::BackendKind::density;
+        w.source = workloads::syndromeProgram(2, 1,
+                                              w.platform.operations);
+        w.shots = 40;
+        w.seed = 11;
+        workloads.push_back(std::move(w));
+    }
+    {
+        ShardWorkload w;
+        w.name = "qec_d3_stab";
+        w.platform = Platform::rotatedSurface(3);
+        w.source = workloads::syndromeProgram(3, 1,
+                                              w.platform.operations);
+        w.shots = 300;
+        w.seed = 11;
+        workloads.push_back(std::move(w));
+    }
+    return workloads;
+}
+
+} // namespace
+
+TEST(ShardMerge, KShardsMergeBitIdenticalToOneProcess)
+{
+    for (const ShardWorkload &workload : shardWorkloads()) {
+        Job baseline_job = makeJob(workload.platform, workload.source,
+                                   workload.shots, workload.seed);
+        BatchResult baseline =
+            runOnFreshEngine(workload.platform, baseline_job, 1);
+        std::string expected = baseline.countsFingerprint();
+
+        for (int count : {2, 3}) {
+            // Each shard runs on its own engine — the in-process
+            // equivalent of a separate process — and crosses a JSON
+            // round trip, exactly like real shard files would.
+            std::vector<BatchResult> shards;
+            for (int index = 0; index < count; ++index) {
+                Job job = makeJob(workload.platform, workload.source,
+                                  workload.shots, workload.seed);
+                job.shard = {index, count};
+                shards.push_back(throughJson(runOnFreshEngine(
+                    workload.platform, job, index % 2 + 1)));
+            }
+            // Fold in non-admission order: merge is commutative.
+            BatchResult merged;
+            for (int index = count; index-- > 0;)
+                merged.merge(shards[static_cast<size_t>(index)]);
+            ASSERT_NO_THROW(merged.verifyComplete())
+                << workload.name << " k=" << count;
+
+            EXPECT_EQ(merged.countsFingerprint(), expected)
+                << workload.name << " k=" << count;
+            EXPECT_EQ(merged.histogram, baseline.histogram)
+                << workload.name << " k=" << count;
+            EXPECT_EQ(merged.shots, baseline.shots);
+            EXPECT_EQ(merged.stats.cycles, baseline.stats.cycles);
+            EXPECT_EQ(merged.stats.quantumInstructions,
+                      baseline.stats.quantumInstructions);
+        }
+    }
+}
+
+TEST(ShardMerge, ShardJobsKeepSchedulingMetadata)
+{
+    // Per-shard jobs are ordinary scheduler citizens: tenant, priority
+    // and policy shape *when* a shard's chunks run, never its counts.
+    Platform platform = Platform::twoQubit();
+    Job baseline_job = activeResetJob(platform, 120, 21);
+    // The label is part of the canonical body the fingerprint hashes,
+    // so the baseline must carry the same one as the shards.
+    baseline_job.label = "shard";
+    std::string expected =
+        runOnFreshEngine(platform, baseline_job, 1).countsFingerprint();
+
+    for (sched::Policy policy :
+         {sched::Policy::fifo, sched::Policy::priority,
+          sched::Policy::fairShare}) {
+        BatchResult merged;
+        for (int index = 0; index < 3; ++index) {
+            Job job = activeResetJob(platform, 120, 21);
+            job.shard = {index, 3};
+            job.tenant = index % 2 ? "calib" : "qec";
+            job.priority = index;
+            job.label = "shard";
+            merged.merge(throughJson(
+                runOnFreshEngine(platform, job, 2, policy)));
+        }
+        ASSERT_NO_THROW(merged.verifyComplete());
+        EXPECT_EQ(merged.countsFingerprint(), expected)
+            << "policy " << static_cast<int>(policy);
+        EXPECT_EQ(merged.label, "shard");
+    }
+}

@@ -38,3 +38,18 @@ echo "== scheduler smoke (policies, streaming, 2 threads) =="
     --threads 2 --policy priority --priority 5 --tenant calib \
     --stream 4 --json > /dev/null
 echo "scheduler smoke passed"
+
+# Shard + merge smoke: the rabi point as 3 real eqasm-run processes
+# (--shard i/3 --json), folded with --merge; the merged fingerprint
+# must equal a 1-process run, and an incompatible merge must refuse.
+# bench_shard_merge repeats the identity in-process for the whole
+# workload mix on both backends (shard_test, run by ctest above,
+# covers the unit-level contracts).
+echo "== shard + merge smoke (3 processes, rabi) =="
+tools/shard_smoke.sh "$BUILD_DIR"
+"$BUILD_DIR"/bench_shard_merge --quick
+
+# Docs link check: every relative link in README.md, docs/ and the
+# per-subsystem READMEs must resolve.
+echo "== docs link check =="
+tools/docs_linkcheck.sh

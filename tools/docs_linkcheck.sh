@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Docs link check: every relative markdown link in README.md, docs/
+# and the per-subsystem READMEs must point at a file that exists, so
+# the docs tree cannot silently rot as files move.
+# Usage: tools/docs_linkcheck.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+status=0
+checked=0
+for file in README.md docs/*.md src/*/README.md; do
+    [ -e "$file" ] || continue
+    dir=$(dirname "$file")
+    # Markdown links: ](target) — fenced code blocks (where a C++
+    # lambda looks like a link) and external URLs / pure anchors are
+    # skipped; a #section suffix on a file link is stripped. A target
+    # with whitespace is code, not a link.
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|"#"*) continue ;;
+            *[[:space:]]*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        checked=$((checked + 1))
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            echo "broken link in $file: ($target)" >&2
+            status=1
+        fi
+    done < <(awk '/^```/ { fenced = !fenced; next } !fenced' "$file" |
+             grep -oE '\]\([^)]+\)' | sed 's/^](//; s/)$//')
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "docs link check failed" >&2
+    exit "$status"
+fi
+echo "docs link check passed ($checked links)"

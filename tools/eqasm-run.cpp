@@ -9,6 +9,7 @@
  * --threads value.
  *
  *   eqasm-run [options] <input.eqasm>
+ *   eqasm-run --merge <shard.json>... [--json [out.json]]
  *     --chip two_qubit|surface7    target platform (default two_qubit)
  *     --platform <config.json>     full platform configuration
  *     --qec D                      built-in distance-D rotated
@@ -19,16 +20,30 @@
  *     --shots N                    number of shots (default 1024)
  *     --threads K                  worker threads (default 0 = auto)
  *     --seed S                     RNG seed (default 1)
+ *     --shard I/N                  run only slice I of N of the batch
+ *                                  (absolute shot indices, so N such
+ *                                  processes --merge to the counts of
+ *                                  one unsharded run)
  *     --policy fifo|priority|fair  engine scheduling policy
  *     --priority N                 job priority (priority policy)
  *     --tenant NAME                fair-share tenant of the job
  *     --stream N                   print a progress line to stderr
  *                                  every N finished chunks
  *     --ideal                      disable all noise
- *     --json                       emit the BatchResult as JSON
- *                                  (includes backend/seed/threads
- *                                  provenance and counts_fingerprint
- *                                  for sharded runs)
+ *     --json [out.json]            emit the BatchResult as JSON
+ *                                  (includes backend/seed/threads/
+ *                                  program/shard provenance and
+ *                                  counts_fingerprint); an argument
+ *                                  ending in .json selects an output
+ *                                  file instead of stdout
+ *     --merge                      fold the named shard result files
+ *                                  (written by --shard ... --json)
+ *                                  into one verified result: every
+ *                                  file's fingerprint is re-checked,
+ *                                  compatibility (program, seed,
+ *                                  backend, disjoint ranges) is
+ *                                  enforced, and the merged set must
+ *                                  cover the whole shot range
  *     --trace                      dump shot 0's trace to stderr
  */
 #include <cstdio>
@@ -36,6 +51,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/strings.h"
 #include "common/table.h"
@@ -54,6 +70,118 @@ readAll(std::istream &in)
     std::ostringstream out;
     out << in.rdbuf();
     return out.str();
+}
+
+/** Parses "I/N" into a shard spec; returns false on malformed input. */
+bool
+parseShard(const std::string &text, engine::ShardSpec &shard)
+{
+    size_t slash = text.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= text.size())
+        return false;
+    try {
+        shard.index =
+            static_cast<int>(parseInt(text.substr(0, slash)));
+        shard.count =
+            static_cast<int>(parseInt(text.substr(slash + 1)));
+    } catch (const Error &) {
+        return false;
+    }
+    return shard.count >= 1 && shard.index >= 0 &&
+           shard.index < shard.count;
+}
+
+/** Writes the result JSON to @p path, or to stdout when empty. */
+int
+emitJson(const engine::BatchResult &result, const std::string &path)
+{
+    std::string text = result.toJson().dump(2);
+    if (path.empty()) {
+        std::printf("%s\n", text.c_str());
+        return 0;
+    }
+    std::ofstream out(path);
+    out << text << "\n";
+    // Flush before checking: a buffered write that only fails in the
+    // destructor (full disk) must not exit 0 with a truncated file.
+    out.flush();
+    if (!out) {
+        std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+/** The --merge mode: fold shard result files into one verified
+ *  BatchResult. Every failure (unreadable file, malformed JSON,
+ *  fingerprint mismatch, incompatible provenance, missing shards)
+ *  exits non-zero with a message naming the offending file/field. */
+int
+mergeShardFiles(const std::vector<std::string> &files,
+                const std::string &json_out, bool json)
+{
+    if (!json_out.empty()) {
+        // Refuse to clobber an existing file: `--merge --json a.json
+        // b.json c.json` makes a.json the *output*, and silently
+        // overwriting it would destroy what is most likely a shard
+        // input the user meant to merge.
+        std::ifstream probe(json_out);
+        if (probe) {
+            std::fprintf(stderr,
+                         "merge: output file '%s' already exists; "
+                         "refusing to overwrite (it may be a shard "
+                         "input — note the argument after --json "
+                         "names the output). Delete it or choose "
+                         "another name.\n",
+                         json_out.c_str());
+            return 1;
+        }
+    }
+    engine::BatchResult merged;
+    for (const std::string &file : files) {
+        std::ifstream in(file);
+        if (!in) {
+            std::fprintf(stderr, "merge: cannot open '%s'\n",
+                         file.c_str());
+            return 1;
+        }
+        try {
+            engine::BatchResult shard =
+                engine::BatchResult::fromJson(Json::parse(readAll(in)));
+            merged.merge(shard);
+        } catch (const Error &error) {
+            std::fprintf(stderr, "merge: %s: %s\n", file.c_str(),
+                         error.what());
+            return 1;
+        }
+    }
+    try {
+        merged.verifyComplete();
+    } catch (const Error &error) {
+        std::fprintf(stderr, "merge: %s\n", error.what());
+        return 1;
+    }
+    std::fprintf(stderr,
+                 "merged %zu shard file%s: %llu shots, %s\n",
+                 files.size(), files.size() == 1 ? "" : "s",
+                 static_cast<unsigned long long>(merged.shots),
+                 merged.countsFingerprint().c_str());
+    if (json)
+        return emitJson(merged, json_out);
+    Table table({"qubit", "shots", "F|1> (last measurement)"});
+    for (const auto &[qubit, counts] : merged.qubitCounts) {
+        if (counts.shots == 0)
+            continue;
+        table.addRow(
+            {format("%d", qubit),
+             format("%llu",
+                    static_cast<unsigned long long>(counts.shots)),
+             format("%.4f", static_cast<double>(counts.ones) /
+                                static_cast<double>(counts.shots))});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
 }
 
 /** Prints the trace of shot 0 to stderr — stdout stays reserved for
@@ -91,19 +219,22 @@ main(int argc, char **argv)
     std::string chip = "two_qubit";
     bool chip_set = false;
     std::string platform_file;
-    std::string input_file;
+    std::vector<std::string> inputs;
     std::string backend_name;
     int qec_distance = 0;
     int qec_rounds = 1;
     int shots = 1024;
     int threads = 0;
     uint64_t seed = 1;
+    engine::ShardSpec shard;
     std::string policy_name;
     int priority = 0;
     std::string tenant;
     int stream_every = 0;
     bool ideal = false;
     bool json = false;
+    std::string json_out;
+    bool merge = false;
     bool trace = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -131,6 +262,15 @@ main(int argc, char **argv)
             threads = static_cast<int>(parseInt(argv[++i]));
         } else if (arg == "--seed" && i + 1 < argc) {
             seed = static_cast<uint64_t>(parseInt(argv[++i]));
+        } else if (arg == "--shard" && i + 1 < argc) {
+            std::string spec = argv[++i];
+            if (!parseShard(spec, shard)) {
+                std::fprintf(stderr,
+                             "--shard needs I/N with 0 <= I < N (e.g. "
+                             "--shard 1/3), got '%s'\n",
+                             spec.c_str());
+                return 2;
+            }
         } else if (arg == "--policy" && i + 1 < argc) {
             policy_name = argv[++i];
         } else if (arg == "--priority" && i + 1 < argc) {
@@ -150,6 +290,21 @@ main(int argc, char **argv)
             ideal = true;
         } else if (arg == "--json") {
             json = true;
+            // An optional output file: `--json out.json` writes there
+            // instead of stdout (program inputs are .eqasm, shard
+            // inputs are listed after --merge, so a following .json
+            // argument is unambiguous).
+            if (i + 1 < argc) {
+                std::string next = argv[i + 1];
+                if (next.size() > 5 &&
+                    next.compare(next.size() - 5, 5, ".json") == 0 &&
+                    next[0] != '-') {
+                    json_out = next;
+                    ++i;
+                }
+            }
+        } else if (arg == "--merge") {
+            merge = true;
         } else if (arg == "--trace") {
             trace = true;
         } else if (!arg.empty() && arg[0] == '-') {
@@ -158,15 +313,45 @@ main(int argc, char **argv)
                          "[--qec d] [--rounds n] "
                          "[--backend density|stabilizer] "
                          "[--shots n] [--threads k] [--seed s] "
+                         "[--shard i/n] "
                          "[--policy fifo|priority|fair] "
                          "[--priority n] [--tenant name] [--stream n] "
-                         "[--ideal] [--json] [--trace] [input]\n");
+                         "[--ideal] [--json [out.json]] [--trace] "
+                         "[input]\n"
+                         "       eqasm-run --merge <shard.json>... "
+                         "[--json [out.json]]\n");
             return 2;
         } else {
-            input_file = arg;
+            inputs.push_back(arg);
         }
     }
 
+    if (merge) {
+        if (qec_distance > 0 || chip_set || !platform_file.empty() ||
+            shard.active() || trace) {
+            std::fprintf(stderr,
+                         "--merge folds existing shard result files; "
+                         "it cannot be combined with --qec, --chip, "
+                         "--platform, --shard or --trace\n");
+            return 2;
+        }
+        if (inputs.empty()) {
+            std::fprintf(stderr,
+                         "--merge needs at least one shard result file "
+                         "(written by eqasm-run --shard i/n --json "
+                         "out.json)\n");
+            return 2;
+        }
+        return mergeShardFiles(inputs, json_out, json);
+    }
+    if (inputs.size() > 1) {
+        std::fprintf(stderr,
+                     "more than one input file given (%s, %s, ...); "
+                     "did you mean --merge?\n",
+                     inputs[0].c_str(), inputs[1].c_str());
+        return 2;
+    }
+    std::string input_file = inputs.empty() ? std::string() : inputs[0];
     if (qec_rounds < 1) {
         std::fprintf(stderr, "--rounds needs a value >= 1, got %d\n",
                      qec_rounds);
@@ -253,32 +438,46 @@ main(int argc, char **argv)
         engine::Job job;
         job.shots = shots;
         job.seed = seed;
+        job.shard = shard;
         job.tenant = tenant;
         job.priority = priority;
         if (stream_every > 0) {
             // Progress to stderr: stdout stays reserved for the
             // statistics (and must remain parseable under --json).
+            // A sharded run streams progress over its own slice.
+            auto range = engine::shardRange(shots, shard);
+            int range_shots = range.second - range.first;
             job.partialEveryChunks = stream_every;
-            job.onPartial = [shots](const engine::BatchResult &partial) {
+            job.onPartial = [range_shots](
+                                const engine::BatchResult &partial) {
                 std::fprintf(stderr,
                              "stream: %llu/%d shots (%.1f%%, %.0f "
                              "shots/s)\n",
                              static_cast<unsigned long long>(
                                  partial.shots),
-                             shots,
+                             range_shots,
                              100.0 * static_cast<double>(partial.shots) /
-                                 static_cast<double>(shots),
+                                 static_cast<double>(range_shots),
                              partial.shotsPerSecond);
             };
         }
         engine::BatchResult result =
             processor.submitBatch(std::move(job)).get();
 
-        if (json) {
-            std::printf("%s\n", result.toJson().dump(2).c_str());
-            return 0;
-        }
+        if (json)
+            return emitJson(result, json_out);
 
+        if (shard.active()) {
+            std::fprintf(stderr,
+                         "shard %d/%d: shots [%llu, %llu) of %llu\n",
+                         shard.index, shard.count,
+                         static_cast<unsigned long long>(
+                             result.shotRanges.front().first),
+                         static_cast<unsigned long long>(
+                             result.shotRanges.front().second),
+                         static_cast<unsigned long long>(
+                             result.totalShots));
+        }
         std::printf("ran %llu shots on the %s backend (%llu cycles per "
                     "shot, %.0f shots/s)\n",
                     static_cast<unsigned long long>(result.shots),

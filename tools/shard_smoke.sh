@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Shard + merge smoke: run a Rabi-style calibration point as three
+# *separate* eqasm-run processes (--shard i/3 --json shard_i.json),
+# fold the shard files back with --merge, and require the merged
+# counts_fingerprint to be bit-identical to a 1-process run of the
+# same job. Also checks that merging incompatible shards (different
+# seeds) fails non-zero with a message naming the seed.
+# Usage: tools/shard_smoke.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+RUN="$BUILD_DIR/eqasm-run"
+WORK="$BUILD_DIR/shard_smoke"
+mkdir -p "$WORK"
+
+# A Rabi point with the calibrated X90 pulse (the Section 5 amplitude
+# sweep's midpoint) — assembles against the default two_qubit platform.
+cat > "$WORK/rabi.eqasm" <<'EOF'
+SMIS S0, {0}
+QWAIT 10000
+X90 S0
+MEASZ S0
+QWAIT 50
+STOP
+EOF
+
+SHOTS=900
+SEED=7
+
+for i in 0 1 2; do
+    "$RUN" --shots "$SHOTS" --seed "$SEED" --threads 2 --shard "$i/3" \
+        --json "$WORK/shard_$i.json" "$WORK/rabi.eqasm"
+done
+"$RUN" --shots "$SHOTS" --seed "$SEED" --threads 1 \
+    --json "$WORK/baseline.json" "$WORK/rabi.eqasm"
+# --merge refuses to overwrite an existing output file (it could be a
+# shard input), so clear leftovers from a previous run first.
+rm -f "$WORK/merged.json"
+"$RUN" --merge "$WORK/shard_0.json" "$WORK/shard_1.json" \
+    "$WORK/shard_2.json" --json "$WORK/merged.json"
+
+# ... and verify the refusal actually fires on a second run.
+if "$RUN" --merge "$WORK/shard_0.json" "$WORK/shard_1.json" \
+    "$WORK/shard_2.json" --json "$WORK/merged.json" \
+    > /dev/null 2> "$WORK/clobber.err"; then
+    echo "merge overwrote an existing output file" >&2
+    exit 1
+fi
+grep -q "refusing to overwrite" "$WORK/clobber.err"
+
+fingerprint() {
+    sed -n 's/.*"counts_fingerprint": "\(fnv1a:[0-9a-f]*\)".*/\1/p' "$1"
+}
+merged=$(fingerprint "$WORK/merged.json")
+baseline=$(fingerprint "$WORK/baseline.json")
+if [ -z "$merged" ] || [ "$merged" != "$baseline" ]; then
+    echo "shard merge fingerprint mismatch: merged='$merged'" \
+         "baseline='$baseline'" >&2
+    exit 1
+fi
+
+# Incompatible shards must be refused with a clear message.
+"$RUN" --shots "$SHOTS" --seed 8 --shard 1/3 \
+    --json "$WORK/wrong_seed.json" "$WORK/rabi.eqasm"
+if "$RUN" --merge "$WORK/shard_0.json" "$WORK/wrong_seed.json" \
+    > /dev/null 2> "$WORK/wrong_seed.err"; then
+    echo "merging shards with different seeds unexpectedly succeeded" >&2
+    exit 1
+fi
+grep -q "seed" "$WORK/wrong_seed.err" || {
+    echo "merge refusal did not name the mismatched seed:" >&2
+    cat "$WORK/wrong_seed.err" >&2
+    exit 1
+}
+
+echo "shard + merge smoke passed (3 processes == 1 process: $merged)"
