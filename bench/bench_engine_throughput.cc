@@ -39,6 +39,7 @@
 #include "engine/shot_engine.h"
 #include "isa/encoding.h"
 #include "runtime/platform.h"
+#include "telemetry/metrics.h"
 #include "workloads/allxy.h"
 #include "workloads/experiments.h"
 #include "workloads/surface_code.h"
@@ -90,6 +91,56 @@ runOnce(const Workload &workload, int threads, bool legacy)
             best.shotsPerSecond = result.shotsPerSecond;
     }
     return best;
+}
+
+/** Telemetry overhead on the rabi fast path: interleaved enabled /
+ *  disabled passes (interleaving cancels thermal / frequency drift),
+ *  best-of-N each, overhead = 1 - on/off. The <2% bound is a hard
+ *  gate: the sharded relaxed-atomic counters must stay invisible at
+ *  630k shots/s. */
+struct OverheadResult {
+    double enabledShotsPerSecond = 0.0;
+    double disabledShotsPerSecond = 0.0;
+    double overhead = 0.0;  // fraction; negative = within noise.
+    bool fingerprintsIdentical = false;
+};
+
+OverheadResult
+measureTelemetryOverhead(const Workload &workload)
+{
+    engine::EngineConfig config;
+    config.threads = 1;
+    engine::ShotEngine engine(workload.platform, config);
+    engine::Job job;
+    job.image = workload.image;
+    job.shots = workload.shots;
+    job.seed = workload.seed;
+    job.label = workload.name;
+    engine.run(job);  // warm-up.
+
+    OverheadResult result;
+    std::string fp_on;
+    std::string fp_off;
+    for (int rep = 0; rep < 5; ++rep) {
+        telemetry::setEnabled(true);
+        engine::BatchResult on = engine.run(job);
+        telemetry::setEnabled(false);
+        engine::BatchResult off = engine.run(job);
+        telemetry::setEnabled(true);
+        fp_on = on.countsFingerprint();
+        fp_off = off.countsFingerprint();
+        if (on.shotsPerSecond > result.enabledShotsPerSecond)
+            result.enabledShotsPerSecond = on.shotsPerSecond;
+        if (off.shotsPerSecond > result.disabledShotsPerSecond)
+            result.disabledShotsPerSecond = off.shotsPerSecond;
+    }
+    result.fingerprintsIdentical = fp_on == fp_off;
+    result.overhead =
+        result.disabledShotsPerSecond > 0.0
+            ? 1.0 - result.enabledShotsPerSecond /
+                        result.disabledShotsPerSecond
+            : 0.0;
+    return result;
 }
 
 /** Decoded-image bytes one replica stops holding privately now that
@@ -277,10 +328,36 @@ main(int argc, char **argv)
                 "and 1/2/4-thread fast path: %s\n",
                 all_identical ? "yes" : "NO");
 
+    // Telemetry overhead gate on the rabi fast path (workload 0).
+    OverheadResult overhead = measureTelemetryOverhead(workloads[0]);
+    constexpr double kOverheadBound = 0.02;
+    bool overhead_ok = overhead.overhead < kOverheadBound &&
+                       overhead.fingerprintsIdentical;
+    std::printf("\ntelemetry overhead (rabi, 1 thread): on %.0f "
+                "shots/s, off %.0f shots/s, overhead %.2f%% "
+                "(bound %.0f%%) — %s; fingerprints identical: %s\n",
+                overhead.enabledShotsPerSecond,
+                overhead.disabledShotsPerSecond,
+                100.0 * overhead.overhead, 100.0 * kOverheadBound,
+                overhead_ok ? "ok" : "FAIL",
+                overhead.fingerprintsIdentical ? "yes" : "NO");
+    Json overhead_json = Json::makeObject();
+    overhead_json.set("workload", Json(std::string("rabi")));
+    overhead_json.set("threads", Json(static_cast<int64_t>(1)));
+    overhead_json.set("enabled_shots_per_second",
+                      Json(overhead.enabledShotsPerSecond));
+    overhead_json.set("disabled_shots_per_second",
+                      Json(overhead.disabledShotsPerSecond));
+    overhead_json.set("overhead_fraction", Json(overhead.overhead));
+    overhead_json.set("bound_fraction", Json(kOverheadBound));
+    overhead_json.set("fingerprints_identical",
+                      Json(overhead.fingerprintsIdentical));
+    report.set("telemetry_overhead", std::move(overhead_json));
+
     std::ofstream out(out_path);
     out << report.dump(2) << "\n";
     out.close();
     std::printf("wrote %s\n", out_path.c_str());
 
-    return all_identical ? 0 : 1;
+    return all_identical && overhead_ok ? 0 : 1;
 }

@@ -16,6 +16,7 @@
 #include "qsim/noise.h"
 #include "runtime/platform.h"
 #include "runtime/quantum_processor.h"
+#include "telemetry/metrics.h"
 #include "workloads/experiments.h"
 #include "workloads/rb.h"
 
@@ -196,6 +197,85 @@ BENCHMARK(BM_NoisyGate2)
     ->Args({4, 1})
     ->Args({7, 0})
     ->Args({7, 1});
+
+/**
+ * Telemetry hot-path handles: a counter add, a histogram observe and
+ * the disabled-registry path. These are the operations the shot loop
+ * could in principle see per chunk fold; the rows document that one
+ * increment is a relaxed fetch_add (~1-2 ns) and that a disabled
+ * registry costs one load + branch.
+ */
+void
+BM_TelemetryCounterAdd(benchmark::State &state)
+{
+    telemetry::Registry registry;
+    telemetry::Counter counter =
+        registry.counter("bench_ops_total", "bench");
+    for (auto _ : state)
+        counter.add(1);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryCounterAdd)->ThreadRange(1, 8);
+
+void
+BM_TelemetryHistogramObserve(benchmark::State &state)
+{
+    telemetry::Registry registry;
+    telemetry::Histogram histogram = registry.histogram(
+        "bench_latency_us", "bench",
+        telemetry::defaultLatencyBucketsUs());
+    uint64_t value = 1;
+    for (auto _ : state) {
+        histogram.observe(value);
+        value = value * 31 % 10'000'000;  // walk the buckets.
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryHistogramObserve);
+
+void
+BM_TelemetryDisabledCounterAdd(benchmark::State &state)
+{
+    telemetry::Registry registry;
+    telemetry::Counter counter =
+        registry.counter("bench_gated_total", "bench");
+    registry.setEnabled(false);
+    for (auto _ : state)
+        counter.add(1);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryDisabledCounterAdd);
+
+/** The engine-level contract: a noisy-gate inner step with the live
+ *  process registry enabled vs disabled, mirroring how runChunk folds
+ *  tallies. The per-gate work dwarfs the counter traffic; the row pins
+ *  the <2% overhead budget of bench_engine_throughput down to its
+ *  kernel-level component. */
+void
+BM_NoisyGate1Telemetry(benchmark::State &state)
+{
+    bool enabled = state.range(0) != 0;
+    telemetry::setEnabled(enabled);
+    telemetry::Counter gates = telemetry::registry().counter(
+        "bench_noisy_gates_total", "bench");
+    qsim::DensityMatrix rho(2);
+    qsim::NoiseModel noise;
+    qsim::CMatrix x90 = qsim::matRx(M_PI / 2.0);
+    Rng rng(1);
+    for (auto _ : state) {
+        rho.applyGate1(x90, 0);
+        rho.applyGateNoise1(0, noise, rng);
+        gates.add(1);
+        benchmark::DoNotOptimize(rho.matrix().data().data());
+    }
+    telemetry::setEnabled(true);
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(enabled ? "telemetry on" : "telemetry off");
+}
+BENCHMARK(BM_NoisyGate1Telemetry)
+    ->ArgNames({"enabled"})
+    ->Arg(0)
+    ->Arg(1);
 
 void
 BM_RbSurvivalSequence(benchmark::State &state)

@@ -2,17 +2,52 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "telemetry/metrics.h"
 
 namespace eqasm {
+
+namespace detail {
+
+std::atomic<int> globalLogLevel{kLevelUnset};
+
+LogLevel
+resolveLogLevel()
+{
+    LogLevel resolved = LogLevel::warn;
+    if (const char *env = std::getenv("EQASM_LOG")) {
+        if (std::optional<LogLevel> parsed = parseLogLevel(env))
+            resolved = *parsed;
+    }
+    // A concurrent setLogLevel() wins: only replace the sentinel.
+    int expected = kLevelUnset;
+    globalLogLevel.compare_exchange_strong(
+        expected, static_cast<int>(resolved), std::memory_order_relaxed);
+    return static_cast<LogLevel>(
+        globalLogLevel.load(std::memory_order_relaxed));
+}
+
+} // namespace detail
+
 namespace {
 
-LogLevel globalLevel = LogLevel::warn;
+/** A small stable id per thread (the std::thread::id hash is stable but
+ *  unreadable; a dense counter matches the trace-timeline tracks). */
+int
+threadLogId()
+{
+    static std::atomic<int> next{0};
+    thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
 
 void
 emit(LogLevel level, const std::string &component, const char *fmt,
      va_list args)
 {
-    if (static_cast<int>(level) > static_cast<int>(globalLevel))
+    if (!logEnabled(level))
         return;
     const char *tag = "";
     switch (level) {
@@ -22,9 +57,15 @@ emit(LogLevel level, const std::string &component, const char *fmt,
       case LogLevel::trace: tag = "TRACE"; break;
       case LogLevel::none: return;
     }
-    std::fprintf(stderr, "[%s] %-12s ", tag, component.c_str());
-    std::vfprintf(stderr, fmt, args);
-    std::fputc('\n', stderr);
+    // Format the message into one buffer and write the line with a
+    // single fprintf: lines from concurrent workers stay intact.
+    char message[1024];
+    std::vsnprintf(message, sizeof(message), fmt, args);
+    const uint64_t us = telemetry::nowMonotonicUs();
+    std::fprintf(stderr, "[%7llu.%06llu] [%s] [t%d] %-12s %s\n",
+                 static_cast<unsigned long long>(us / 1000000),
+                 static_cast<unsigned long long>(us % 1000000), tag,
+                 threadLogId(), component.c_str(), message);
 }
 
 } // namespace
@@ -32,18 +73,54 @@ emit(LogLevel level, const std::string &component, const char *fmt,
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    detail::globalLogLevel.store(static_cast<int>(level),
+                                 std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    int current =
+        detail::globalLogLevel.load(std::memory_order_relaxed);
+    if (current == detail::kLevelUnset)
+        return detail::resolveLogLevel();
+    return static_cast<LogLevel>(current);
+}
+
+std::optional<LogLevel>
+parseLogLevel(std::string_view name)
+{
+    if (name == "none" || name == "off")
+        return LogLevel::none;
+    if (name == "error")
+        return LogLevel::error;
+    if (name == "warn" || name == "warning")
+        return LogLevel::warn;
+    if (name == "info")
+        return LogLevel::info;
+    if (name == "trace" || name == "debug")
+        return LogLevel::trace;
+    return std::nullopt;
+}
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::none: return "none";
+      case LogLevel::error: return "error";
+      case LogLevel::warn: return "warn";
+      case LogLevel::info: return "info";
+      case LogLevel::trace: return "trace";
+    }
+    return "?";
 }
 
 #define EQASM_DEFINE_LOG_METHOD(name, level)                                 \
     void Logger::name(const char *fmt, ...) const                           \
     {                                                                        \
+        if (!logEnabled(level))                                              \
+            return;                                                          \
         va_list args;                                                        \
         va_start(args, fmt);                                                 \
         emit(level, component_, fmt, args);                                  \

@@ -8,10 +8,44 @@
 #include "common/error.h"
 #include "common/strings.h"
 #include "runtime/quantum_processor.h"
+#include "telemetry/metrics.h"
 
 namespace eqasm::engine {
 
 namespace {
+
+/** Merge/verify observability. These count *operations*, not shots —
+ *  the serialized result schema is frozen, so the counters live only
+ *  in the registry. */
+struct MergeMetrics {
+    telemetry::Counter merges;
+    telemetry::Counter mergeRefusals;
+    telemetry::Counter verifies;
+    telemetry::Counter verifyFailures;
+};
+
+const MergeMetrics &
+mergeMetrics()
+{
+    static const MergeMetrics metrics = [] {
+        telemetry::Registry &r = telemetry::registry();
+        MergeMetrics m;
+        m.merges = r.counter("eqasm_merge_operations_total",
+                             "BatchResult::merge calls that folded");
+        m.mergeRefusals = r.counter(
+            "eqasm_merge_refusals_total",
+            "Merges refused (incompatible provenance or overlapping "
+            "shot ranges)");
+        m.verifies = r.counter("eqasm_shard_verify_total",
+                               "Shard completeness verifications run");
+        m.verifyFailures = r.counter(
+            "eqasm_shard_verify_failures_total",
+            "Shard completeness verifications that found gaps or "
+            "corrupt provenance");
+        return m;
+    }();
+    return metrics;
+}
 
 /** Adds @p shot into @p total field-wise (maxQueueDepth by maximum). */
 void
@@ -122,6 +156,17 @@ BatchResult::merge(const BatchResult &other)
 {
     // Compatibility is checked up front so a refused merge leaves this
     // result untouched (the CLI reports the error and keeps going).
+    // The early throws below double as the refusal tally.
+    struct RefusalTally {
+        bool folded = false;
+        ~RefusalTally()
+        {
+            if (folded)
+                mergeMetrics().merges.inc();
+            else
+                mergeMetrics().mergeRefusals.inc();
+        }
+    } tally;
     if (!backend.empty() && !other.backend.empty() &&
         other.backend != backend) {
         throwError(ErrorCode::invalidArgument,
@@ -221,11 +266,21 @@ BatchResult::merge(const BatchResult &other)
     shotsPerSecond = wallSeconds > 0.0
                          ? static_cast<double>(shots) / wallSeconds
                          : 0.0;
+    tally.folded = true;
 }
 
 void
 BatchResult::verifyComplete() const
 {
+    struct FailureTally {
+        bool passed = false;
+        ~FailureTally()
+        {
+            mergeMetrics().verifies.inc();
+            if (!passed)
+                mergeMetrics().verifyFailures.inc();
+        }
+    } tally;
     if (totalShots == 0) {
         throwError(ErrorCode::invalidArgument,
                    "result carries no total_shots provenance; cannot "
@@ -273,6 +328,7 @@ BatchResult::verifyComplete() const
                    static_cast<unsigned long long>(totalShots),
                    static_cast<unsigned long long>(shots)));
     }
+    tally.passed = true;
 }
 
 double

@@ -8,12 +8,114 @@
 #include "common/strings.h"
 #include "isa/encoding.h"
 #include "microarch/quma.h"
+#include "qsim/noise.h"
 #include "runtime/quantum_processor.h"
 #include "runtime/simulated_device.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace_log.h"
 
 namespace eqasm::engine {
 
 using Clock = std::chrono::steady_clock;
+
+namespace {
+
+/**
+ * The engine's registry handles, resolved once per process. Every
+ * ShotEngine shares one set of series — the registry dedups by (name,
+ * labels) — so counters mean "across all pools in this process", which
+ * is what a scrape wants.
+ */
+struct EngineMetrics {
+    telemetry::Counter jobsSubmitted;
+    telemetry::Counter jobsCompleted;
+    telemetry::Counter jobsFailed;
+    telemetry::Counter jobsCancelled;
+    telemetry::Counter shotsTotal;
+    telemetry::Counter chunksTotal;
+    telemetry::Counter cancelSweeps;
+    telemetry::Counter cancelSweptJobs;
+    telemetry::Counter cacheHits;
+    telemetry::Counter cacheMisses;
+    telemetry::Counter classicalInstructions;
+    telemetry::Counter quantumInstructions;
+    telemetry::Counter opQnop;
+    telemetry::Counter opSingleQubit;
+    telemetry::Counter opTwoQubit;
+    telemetry::Counter opMeasurement;
+    telemetry::Gauge queueDepth;
+    telemetry::Gauge activeWorkers;
+    telemetry::Histogram queueWaitUs;
+    telemetry::Histogram chunkExecUs;
+};
+
+const EngineMetrics &
+engineMetrics()
+{
+    static const EngineMetrics metrics = [] {
+        telemetry::Registry &r = telemetry::registry();
+        EngineMetrics m;
+        m.jobsSubmitted = r.counter("eqasm_engine_jobs_submitted_total",
+                                    "Jobs admitted to the queue");
+        m.jobsCompleted = r.counter("eqasm_engine_jobs_completed_total",
+                                    "Jobs that settled successfully");
+        m.jobsFailed = r.counter("eqasm_engine_jobs_failed_total",
+                                 "Jobs that settled with an error");
+        m.jobsCancelled = r.counter("eqasm_engine_jobs_cancelled_total",
+                                    "Jobs that settled as cancelled");
+        m.shotsTotal = r.counter("eqasm_engine_shots_total",
+                                 "Shots executed (rate() gives shots/s)");
+        m.chunksTotal = r.counter("eqasm_engine_chunks_total",
+                                  "Chunks executed by the worker pool");
+        m.cancelSweeps = r.counter(
+            "eqasm_engine_cancel_sweeps_total",
+            "Cancel-epoch sweeps that removed at least one queued job");
+        m.cancelSweptJobs = r.counter(
+            "eqasm_engine_cancel_swept_jobs_total",
+            "Queued jobs removed by cancel sweeps");
+        m.cacheHits = r.counter(
+            "eqasm_qsim_channel_cache_hits_total",
+            "Noise-channel cache lookups that replayed a stored Kraus "
+            "set (folded per chunk from the worker replicas)");
+        m.cacheMisses = r.counter(
+            "eqasm_qsim_channel_cache_misses_total",
+            "Noise-channel cache lookups that (re)built a Kraus set");
+        m.classicalInstructions = r.counter(
+            "eqasm_quma_classical_instructions_total",
+            "Classical instructions issued across all worker replicas");
+        m.quantumInstructions = r.counter(
+            "eqasm_quma_quantum_instructions_total",
+            "Quantum instructions issued across all worker replicas");
+        m.opQnop = r.counter("eqasm_quma_micro_ops_total",
+                             "Micro-ops issued, by operation class",
+                             {{"class", "qnop"}});
+        m.opSingleQubit = r.counter("eqasm_quma_micro_ops_total",
+                                    "Micro-ops issued, by operation class",
+                                    {{"class", "single_qubit"}});
+        m.opTwoQubit = r.counter("eqasm_quma_micro_ops_total",
+                                 "Micro-ops issued, by operation class",
+                                 {{"class", "two_qubit"}});
+        m.opMeasurement = r.counter("eqasm_quma_micro_ops_total",
+                                    "Micro-ops issued, by operation class",
+                                    {{"class", "measurement"}});
+        m.queueDepth = r.gauge("eqasm_engine_queue_depth",
+                               "Jobs currently holding unclaimed shots");
+        m.activeWorkers = r.gauge("eqasm_engine_active_workers",
+                                  "Workers currently executing a chunk");
+        m.queueWaitUs = r.histogram(
+            "eqasm_engine_queue_wait_us",
+            "Submit to first claimed chunk, microseconds",
+            telemetry::defaultLatencyBucketsUs());
+        m.chunkExecUs = r.histogram(
+            "eqasm_engine_chunk_exec_us",
+            "Per-chunk execution time, microseconds",
+            telemetry::defaultLatencyBucketsUs());
+        return m;
+    }();
+    return metrics;
+}
+
+} // namespace
 
 /** A queued job plus its in-flight aggregation state. Chunk claims and
  *  aggregation are guarded by the engine mutex; the handle-facing
@@ -44,6 +146,7 @@ struct ShotEngine::JobState : sched::JobControl {
     int claimedShots = 0;
     int accountedShots = 0;  ///< shots whose chunks finished/skipped.
     int chunksSinceSnapshot = 0;
+    bool firstClaimObserved = false;  ///< queue-wait histogram fired.
     bool failed = false;
     bool settled = false;  ///< a thread owns/has done promise settlement.
     std::exception_ptr error;
@@ -127,9 +230,11 @@ ShotEngine::ShotEngine(runtime::Platform platform, EngineConfig config)
     if (threads <= 0)
         threads = static_cast<int>(std::thread::hardware_concurrency());
     threads = std::max(threads, 1);
+    if (config_.traceTimeline)
+        telemetry::traceLog().setEnabled(true);
     workers_.reserve(static_cast<size_t>(threads));
     for (int i = 0; i < threads; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ShotEngine::~ShotEngine()
@@ -145,6 +250,7 @@ ShotEngine::~ShotEngine()
     // has settled by now (join() made their writes visible). This is a
     // safety net so a future bug can never leave a waiter blocked.
     for (auto &[id, state] : active_) {
+        engineMetrics().queueDepth.dec();
         if (state->settled)
             continue;
         state->settled = true;
@@ -222,6 +328,8 @@ ShotEngine::submit(Job job)
         scheduler_.enqueue(std::move(queued));
         active_.emplace(state->id, state);
     }
+    engineMetrics().jobsSubmitted.inc();
+    engineMetrics().queueDepth.inc();
     workAvailable_.notify_all();
     return sched::JobHandle(state, std::move(future));
 }
@@ -247,12 +355,17 @@ ShotEngine::sweepCancelledJobs()
         swept.emplace_back(state, begin);
         scheduler_.remove(it->first);
         it = active_.erase(it);
+        engineMetrics().queueDepth.dec();
+    }
+    if (!swept.empty()) {
+        engineMetrics().cancelSweeps.inc();
+        engineMetrics().cancelSweptJobs.add(swept.size());
     }
     return swept;
 }
 
 void
-ShotEngine::workerLoop()
+ShotEngine::workerLoop(int workerIndex)
 {
     // The replica is constructed lazily inside runChunk's try block: a
     // Platform the device rejects (e.g. a topology the simulator cannot
@@ -282,7 +395,7 @@ ShotEngine::workerLoop()
                 lock.unlock();
                 for (auto &[state, begin] : swept) {
                     runChunk(replica, *state, begin,
-                             state->rangeEnd);
+                             state->rangeEnd, workerIndex);
                 }
                 lock.lock();
                 continue;
@@ -310,6 +423,13 @@ ShotEngine::workerLoop()
             // the tenant's fair-share deficit paying for work that
             // freed the worker instantly.
             scheduler_.charge(id, end - begin);
+            if (!state->firstClaimObserved) {
+                state->firstClaimObserved = true;
+                engineMetrics().queueWaitUs.observe(static_cast<uint64_t>(
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        Clock::now() - state->start)
+                        .count()));
+            }
         }
         if (end == state->rangeEnd) {
             // Fully claimed: retire it so visits go to other jobs.
@@ -317,9 +437,10 @@ ShotEngine::workerLoop()
             // may still be in flight on another worker.
             scheduler_.remove(id);
             active_.erase(it);
+            engineMetrics().queueDepth.dec();
         }
         lock.unlock();
-        runChunk(replica, *state, begin, end);
+        runChunk(replica, *state, begin, end, workerIndex);
         lock.lock();
     }
 }
@@ -343,7 +464,7 @@ ShotEngine::decodedProgram(JobState &state)
 
 void
 ShotEngine::runChunk(std::optional<Replica> &replica, JobState &state,
-                     int begin, int end)
+                     int begin, int end, int workerIndex)
 {
     BatchResult partial;
     std::exception_ptr error;
@@ -355,9 +476,27 @@ ShotEngine::runChunk(std::optional<Replica> &replica, JobState &state,
     }
     skip = skip || state.cancelRequested.load(std::memory_order_relaxed);
     if (!skip) {
+        const EngineMetrics &metrics = engineMetrics();
+        metrics.activeWorkers.inc();
+        const uint64_t startUs = telemetry::nowMonotonicUs();
+        // Per-replica tallies are plain members, so the hot loop pays
+        // zero atomic traffic; the chunk folds the *deltas* into the
+        // sharded registry slots here, once per claim.
+        microarch::OpClassCounts opsBefore;
+        uint64_t cacheHitsBefore = 0;
+        uint64_t cacheMissesBefore = 0;
+        uint64_t classicalSum = 0;
+        uint64_t quantumSum = 0;
+        bool tallied = false;
         try {
             if (!replica)
                 replica.emplace(replicaPlatform_, gateTable_);
+            opsBefore = replica->controller.opClassCounts();
+            if (const auto *cache = replica->device.channelCache()) {
+                cacheHitsBefore = cache->cacheHits();
+                cacheMissesBefore = cache->cacheMisses();
+            }
+            tallied = true;
             if (replica->loadedJob != state.id) {
                 replica->controller.loadShared(decodedProgram(state));
                 replica->device.reseed(state.job.seed);
@@ -370,12 +509,53 @@ ShotEngine::runChunk(std::optional<Replica> &replica, JobState &state,
                 replica->device.seekShot(static_cast<uint64_t>(shot));
                 microarch::RunStats stats =
                     replica->controller.runShot();
+                classicalSum += stats.classicalInstructions;
+                quantumSum += stats.quantumInstructions;
                 partial.addShot(
                     runtime::recordShot(replica->controller, stats));
             }
         } catch (...) {
             error = std::current_exception();
         }
+        if (tallied) {
+            const microarch::OpClassCounts &ops =
+                replica->controller.opClassCounts();
+            metrics.opQnop.add(ops.qnop - opsBefore.qnop);
+            metrics.opSingleQubit.add(ops.singleQubit -
+                                      opsBefore.singleQubit);
+            metrics.opTwoQubit.add(ops.twoQubit - opsBefore.twoQubit);
+            metrics.opMeasurement.add(ops.measurement -
+                                      opsBefore.measurement);
+            if (const auto *cache = replica->device.channelCache()) {
+                metrics.cacheHits.add(cache->cacheHits() -
+                                      cacheHitsBefore);
+                metrics.cacheMisses.add(cache->cacheMisses() -
+                                        cacheMissesBefore);
+            }
+        }
+        metrics.classicalInstructions.add(classicalSum);
+        metrics.quantumInstructions.add(quantumSum);
+        metrics.chunksTotal.inc();
+        const uint64_t endUs = telemetry::nowMonotonicUs();
+        metrics.chunkExecUs.observe(endUs - startUs);
+        telemetry::TraceLog &log = telemetry::traceLog();
+        if (log.enabled()) {
+            telemetry::TraceSpan span;
+            span.name = "chunk";
+            span.cat = "engine";
+            span.track = workerIndex;
+            span.jobId = state.id;
+            span.tenant = state.job.tenant;
+            span.detail = format(
+                "%s [%d,%d)",
+                state.job.label.empty() ? "(unlabelled)"
+                                        : state.job.label.c_str(),
+                begin, end);
+            span.startUs = startUs;
+            span.durUs = endUs - startUs;
+            log.record(std::move(span));
+        }
+        metrics.activeWorkers.dec();
     }
     finishChunk(state, std::move(partial), end - begin, error);
 }
@@ -387,6 +567,7 @@ ShotEngine::finishChunk(JobState &state, BatchResult &&partial,
     bool done;
     bool snapshot = false;
     BatchResult snapshotCopy;
+    engineMetrics().shotsTotal.add(partial.shots);
     {
         std::lock_guard<std::mutex> guard(mutex_);
         if (error && !state.failed) {
@@ -462,15 +643,40 @@ ShotEngine::finishChunk(JobState &state, BatchResult &&partial,
         std::lock_guard<std::mutex> guard(state.callbackMutex);
         state.deliveryClosed = true;
     }
+    // The job's span covers submit to settlement. state.start predates
+    // the trace-log timebase capture of this span, so the start is
+    // reconstructed by subtracting the job's wall time from "now" on
+    // the shared monotonic clock.
+    telemetry::TraceLog &log = telemetry::traceLog();
+    if (log.enabled()) {
+        const uint64_t nowUs = telemetry::nowMonotonicUs();
+        const uint64_t jobUs = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - state.start)
+                .count());
+        telemetry::TraceSpan span;
+        span.name = state.job.label.empty() ? "job" : state.job.label;
+        span.cat = "job";
+        span.track = telemetry::TraceLog::kJobTrackBase +
+                     static_cast<int32_t>(state.id % 256);
+        span.jobId = state.id;
+        span.tenant = state.job.tenant;
+        span.detail = format("%d shots", state.rangeShots());
+        span.startUs = jobUs < nowUs ? nowUs - jobUs : 0;
+        span.durUs = jobUs;
+        log.record(std::move(span));
+    }
     // Every chunk is accounted for: no other thread touches this state
     // any more, so the promise can be settled without the lock.
     if (state.error) {
+        engineMetrics().jobsFailed.inc();
         state.promise.set_exception(state.error);
         return;
     }
     if (state.cancelRequested.load(std::memory_order_relaxed) &&
         state.aggregate.shots <
             static_cast<uint64_t>(state.rangeShots())) {
+        engineMetrics().jobsCancelled.inc();
         state.promise.set_exception(std::make_exception_ptr(Error(
             ErrorCode::runtimeError,
             format("job '%s' cancelled after %llu of %d shots",
@@ -481,6 +687,7 @@ ShotEngine::finishChunk(JobState &state, BatchResult &&partial,
                    state.rangeShots()))));
         return;
     }
+    engineMetrics().jobsCompleted.inc();
     double wall = std::chrono::duration<double>(Clock::now() -
                                                 state.start)
                       .count();

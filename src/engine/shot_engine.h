@@ -76,6 +76,17 @@ struct EngineConfig {
      * benchmark the logging cost.
      */
     bool keepReplicaTrace = false;
+
+    /**
+     * Record job/chunk spans into the process-wide telemetry::TraceLog
+     * (exported as a Chrome trace-event timeline by `eqasm-run
+     * --trace-timeline`). Off by default: span recording allocates
+     * strings at chunk cadence, which the allocation-free fast path
+     * only pays when a timeline was asked for. Metrics counters are
+     * independent of this flag and always recorded (unless the registry
+     * is disabled); results are bit-identical either way.
+     */
+    bool traceTimeline = false;
 };
 
 /** Worker-pool batch executor over one Platform. */
@@ -126,9 +137,9 @@ class ShotEngine
     /** One worker's private controller + device replica. */
     struct Replica;
 
-    void workerLoop();
+    void workerLoop(int workerIndex);
     void runChunk(std::optional<Replica> &replica, JobState &state,
-                  int begin, int end);
+                  int begin, int end, int workerIndex);
     /** The job's decoded read-only program image, decoding on first
      *  use (thread-safe; every replica then shares the one copy). */
     std::shared_ptr<const std::vector<isa::Instruction>>

@@ -450,8 +450,10 @@ QuMa::processBundle(const Instruction &instr)
 {
     advanceTimeline(static_cast<uint64_t>(instr.preInterval));
     for (const isa::QuantumOperation &slot : instr.operations) {
-        if (slot.isQnop())
+        if (slot.isQnop()) {
+            ++opClassCounts_.qnop;
             continue;
+        }
         const isa::OperationInfo *info = operations_.findByOpcode(
             slot.opcode);
         if (info == nullptr) {
@@ -461,6 +463,7 @@ QuMa::processBundle(const Instruction &instr)
         }
         switch (info->opClass) {
           case OpClass::qnop:
+            ++opClassCounts_.qnop;
             break;
           case OpClass::singleQubit:
           case OpClass::measurement: {
@@ -471,6 +474,9 @@ QuMa::processBundle(const Instruction &instr)
                 if (info->opClass == OpClass::measurement) {
                     // Issuing a measurement invalidates Qi (Section 3.6).
                     ++pendingMeasurements_[static_cast<size_t>(qubit)];
+                    ++opClassCounts_.measurement;
+                } else {
+                    ++opClassCounts_.singleQubit;
                 }
                 addMicroOp({qubit, -1, MicroOpRole::single, info});
             }
@@ -485,6 +491,7 @@ QuMa::processBundle(const Instruction &instr)
             }
             for (int edge : topology_.maskToEdges(mask)) {
                 const chip::QubitPair &pair = topology_.edge(edge);
+                ++opClassCounts_.twoQubit;
                 addMicroOp({pair.source, pair.target,
                             MicroOpRole::source, info});
                 addMicroOp({pair.target, pair.source,

@@ -116,6 +116,23 @@ struct TraceEvent {
     std::string operation; ///< op mnemonic for op events.
 };
 
+/**
+ * Cumulative micro-operation issue tallies by operation class — the
+ * paper's Section 5 issue-rate metric, observable live. Single-qubit
+ * and measurement classes count one per selected target qubit,
+ * two-qubit one per selected pair, qnop one per explicit QNOP slot.
+ * Deliberately *not* part of RunStats: these accumulate over the
+ * controller's lifetime (plain increments, no per-shot reset) so the
+ * shot engine can fold per-chunk deltas into the telemetry registry
+ * without touching the frozen BatchResult serialization.
+ */
+struct OpClassCounts {
+    uint64_t qnop = 0;
+    uint64_t singleQubit = 0;
+    uint64_t twoQubit = 0;
+    uint64_t measurement = 0;
+};
+
 /** Counters exposed after a run. */
 struct RunStats {
     uint64_t cycles = 0;
@@ -192,6 +209,10 @@ class QuMa
     }
 
     const RunStats &stats() const { return stats_; }
+
+    /** Lifetime micro-op issue tallies by class (see OpClassCounts). */
+    const OpClassCounts &opClassCounts() const { return opClassCounts_; }
+
     const MicroarchConfig &config() const { return config_; }
     const chip::Topology &topology() const { return topology_; }
     const isa::OperationSet &operations() const { return operations_; }
@@ -296,6 +317,7 @@ class QuMa
     std::vector<TraceEvent> trace_;
     std::vector<MeasurementEvent> measurements_;
     RunStats stats_;
+    OpClassCounts opClassCounts_;  ///< lifetime, never reset per shot.
 };
 
 } // namespace eqasm::microarch

@@ -103,8 +103,12 @@ NoiseModel::toJson() const
 const std::vector<CMatrix> &
 NoiseChannelCache::qubitReset()
 {
-    if (reset_.empty())
+    if (reset_.empty()) {
+        ++misses_;
         reset_ = krausAmplitudeDamping(1.0);
+    } else {
+        ++hits_;
+    }
     return reset_;
 }
 
@@ -112,8 +116,11 @@ const std::vector<CMatrix> &
 NoiseChannelCache::depolarizing1(double p)
 {
     if (depol1_.empty() || depol1P_ != p) {
+        ++misses_;
         depol1_ = krausDepolarizing1(p);
         depol1P_ = p;
+    } else {
+        ++hits_;
     }
     return depol1_;
 }
@@ -122,8 +129,11 @@ const std::vector<CMatrix> &
 NoiseChannelCache::depolarizing2(double p)
 {
     if (depol2_.empty() || depol2P_ != p) {
+        ++misses_;
         depol2_ = krausDepolarizing2(p);
         depol2P_ = p;
+    } else {
+        ++hits_;
     }
     return depol2_;
 }
@@ -173,8 +183,11 @@ NoiseChannelCache::idle(double duration_ns, const NoiseModel &model)
     uint64_t key = durationKey(duration_ns);
     auto it = idle_.find(key);
     if (it == idle_.end()) {
+        ++misses_;
         it = idle_.emplace(key, buildIdleChannels(duration_ns, model))
                  .first;
+    } else {
+        ++hits_;
     }
     return it->second;
 }

@@ -111,8 +111,21 @@ class NoiseChannelCache
     /** Distinct idle durations cached so far (bench/test observability). */
     size_t idleEntries() const { return idle_.size(); }
 
+    /**
+     * Lookup tallies since construction: a hit replayed a stored Kraus
+     * set, a miss (re)built one. Plain members — the cache is
+     * single-threaded per backend — that the engine folds into the
+     * telemetry registry at chunk boundaries, keeping the per-gate cost
+     * at one increment.
+     */
+    uint64_t cacheHits() const { return hits_; }
+    uint64_t cacheMisses() const { return misses_; }
+
   private:
     static constexpr size_t kMaxIdleEntries = 4096;
+
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
 
     std::vector<CMatrix> reset_;
     double depol1P_ = -1.0;

@@ -88,6 +88,13 @@ SimulatedDevice::state()
     return const_cast<qsim::DensityMatrix &>(densityState());
 }
 
+qsim::NoiseChannelCache *
+SimulatedDevice::channelCache()
+{
+    auto *density = dynamic_cast<qsim::DensityMatrix *>(state_.get());
+    return density != nullptr ? density->channelCache() : nullptr;
+}
+
 void
 SimulatedDevice::startShot(uint64_t cycle)
 {

@@ -167,6 +167,12 @@ class SimulatedDevice : public microarch::Device
      *  throwOnOverlap is false). */
     uint64_t overlapViolations() const { return overlapViolations_; }
 
+    /** The density backend's noise-channel cache, or nullptr (stabilizer
+     *  backend, or channelCache disabled). Lets the shot engine fold
+     *  each replica's hit/miss tallies into the telemetry registry at
+     *  chunk boundaries. */
+    qsim::NoiseChannelCache *channelCache();
+
     const DeviceConfig &config() const { return config_; }
 
   private:

@@ -32,11 +32,43 @@ parsePolicy(std::string_view name)
     return std::nullopt;
 }
 
+namespace {
+
+/** Registry label value of a tenant ("" is the default bucket). */
+const std::string &
+tenantLabel(const std::string &tenant)
+{
+    static const std::string defaultTenant = "default";
+    return tenant.empty() ? defaultTenant : tenant;
+}
+
+} // namespace
+
 JobScheduler::JobScheduler(SchedulerConfig config)
     : config_(std::move(config))
 {
     if (config_.quantumShots < 1)
         config_.quantumShots = 1;
+    preemptions_ = telemetry::registry().counter(
+        "eqasm_sched_preemptions_total",
+        "Worker visits that switched away from a job still holding "
+        "unclaimed shots");
+}
+
+const telemetry::Counter &
+JobScheduler::servedCounter(const std::string &tenant)
+{
+    auto it = servedShots_.find(tenant);
+    if (it == servedShots_.end()) {
+        it = servedShots_
+                 .emplace(tenant,
+                          telemetry::registry().counter(
+                              "eqasm_sched_tenant_served_shots_total",
+                              "Shots claimed for execution, by tenant",
+                              {{"tenant", tenantLabel(tenant)}}))
+                 .first;
+    }
+    return it->second;
 }
 
 int
@@ -61,12 +93,20 @@ JobScheduler::enqueue(QueuedJob job)
         return;
     auto [it, inserted] = tenants_.try_emplace(tenant);
     TenantQueue &queue = it->second;
+    if (inserted) {
+        queue.deficitGauge = telemetry::registry().gauge(
+            "eqasm_sched_tenant_deficit_shots",
+            "Fair-share deficit (shots the tenant may claim before its "
+            "next replenish), by tenant",
+            {{"tenant", tenantLabel(tenant)}});
+    }
     if (queue.jobs.empty()) {
         // First pending job of this tenant: (re)join the ring with a
         // fresh quantum so a newly active tenant serves immediately.
         queue.weight = weightOf(tenant);
         queue.deficitShots = static_cast<long long>(config_.quantumShots) *
                              queue.weight;
+        queue.deficitGauge.add(queue.deficitShots);
         tenantRing_.push_back(tenant);
     }
     queue.jobs.push_back(id);
@@ -89,8 +129,10 @@ JobScheduler::pickFairShare()
                      "idle tenants leave the fair-share ring");
         if (queue.deficitShots > 0)
             return queue.jobs.front();
-        queue.deficitShots +=
+        long long replenish =
             static_cast<long long>(config_.quantumShots) * queue.weight;
+        queue.deficitShots += replenish;
+        queue.deficitGauge.add(replenish);
         tenantRing_.push_back(tenant);
         tenantRing_.pop_front();
     }
@@ -98,6 +140,21 @@ JobScheduler::pickFairShare()
 
 uint64_t
 JobScheduler::pickNext()
+{
+    uint64_t picked = pickNextByPolicy();
+    // A pick that switches away from a job still holding unclaimed
+    // shots preempts it (its next chunk goes to someone else). FIFO
+    // never fires this — its front job only changes by removal.
+    if (picked != 0 && lastPicked_ != 0 && picked != lastPicked_ &&
+        jobs_.count(lastPicked_)) {
+        preemptions_.inc();
+    }
+    lastPicked_ = picked;
+    return picked;
+}
+
+uint64_t
+JobScheduler::pickNextByPolicy()
 {
     if (jobs_.empty())
         return 0;
@@ -141,12 +198,17 @@ JobScheduler::pickNext()
 void
 JobScheduler::charge(uint64_t id, int shots)
 {
-    if (config_.policy != Policy::fairShare)
-        return;
     auto it = jobs_.find(id);
     if (it == jobs_.end())
         return;
-    tenants_.at(it->second.tenant).deficitShots -= shots;
+    // Served-shots accounting applies to every policy; the deficit is
+    // fair-share bookkeeping only.
+    servedCounter(it->second.tenant).add(static_cast<uint64_t>(shots));
+    if (config_.policy != Policy::fairShare)
+        return;
+    TenantQueue &queue = tenants_.at(it->second.tenant);
+    queue.deficitShots -= shots;
+    queue.deficitGauge.add(-static_cast<int64_t>(shots));
 }
 
 void
@@ -166,6 +228,7 @@ JobScheduler::remove(uint64_t id)
     if (queue.jobs.empty()) {
         // Leftover deficit is discarded: an idle tenant must not bank
         // credit against future arrivals.
+        queue.deficitGauge.add(-queue.deficitShots);
         tenants_.erase(tenant);
         tenantRing_.erase(std::find(tenantRing_.begin(),
                                     tenantRing_.end(), tenant));

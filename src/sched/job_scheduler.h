@@ -41,6 +41,8 @@
 #include <string_view>
 #include <vector>
 
+#include "telemetry/metrics.h"
+
 namespace eqasm::sched {
 
 /** Queue-ordering policy of a JobScheduler. */
@@ -115,10 +117,17 @@ class JobScheduler
         std::deque<uint64_t> jobs;  ///< admission order within tenant.
         long long deficitShots = 0;
         int weight = 1;
+        /** Mirrors deficitShots into the registry by deltas. */
+        telemetry::Gauge deficitGauge;
     };
 
     int weightOf(const std::string &tenant) const;
+    uint64_t pickNextByPolicy();
     uint64_t pickFairShare();
+    /** Lazily registered per-tenant served-shots counter. Registration
+     *  locks the registry mutex, so it happens once per tenant, not per
+     *  charge. */
+    const telemetry::Counter &servedCounter(const std::string &tenant);
 
     SchedulerConfig config_;
 
@@ -132,6 +141,14 @@ class JobScheduler
     // --- fairShare: round-robin ring of tenants with pending jobs ---
     std::map<std::string, TenantQueue> tenants_;
     std::deque<std::string> tenantRing_;
+
+    // --- telemetry (engine-mutex-guarded like everything above) ---
+    /** The job the previous pickNext() chose; a different pick while it
+     *  is still queued is a preemption (FIFO never triggers this: its
+     *  front job only changes by removal). */
+    uint64_t lastPicked_ = 0;
+    std::map<std::string, telemetry::Counter> servedShots_;
+    telemetry::Counter preemptions_;
 };
 
 } // namespace eqasm::sched

@@ -1,0 +1,440 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace eqasm::telemetry {
+
+namespace {
+
+/** Steady-clock origin captured once; all timestamps are relative. */
+std::chrono::steady_clock::time_point processStart()
+{
+    static const auto start = std::chrono::steady_clock::now();
+    return start;
+}
+
+/** Forces the origin capture before main() spawns any threads. */
+const bool originCaptured = (processStart(), true);
+
+bool validMetricName(std::string_view name)
+{
+    if (name.empty())
+        return false;
+    auto head = [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+               c == '_' || c == ':';
+    };
+    if (!head(name[0]))
+        return false;
+    for (char c : name.substr(1)) {
+        if (!head(c) && !(c >= '0' && c <= '9'))
+            return false;
+    }
+    return true;
+}
+
+/** Escapes a label value for the text exposition (\\ " \n). */
+std::string escapeLabelValue(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        case '\n': out += "\\n"; break;
+        default: out += c;
+        }
+    }
+    return out;
+}
+
+/** Renders {key="value",...} (empty string for no labels). */
+std::string renderLabels(const Labels &labels)
+{
+    if (labels.empty())
+        return "";
+    std::string out = "{";
+    for (size_t i = 0; i < labels.size(); ++i) {
+        if (i != 0)
+            out += ",";
+        out += labels[i].first + "=\"" +
+               escapeLabelValue(labels[i].second) + "\"";
+    }
+    out += "}";
+    return out;
+}
+
+/** Renders a `le` bound: integers plain, +Inf for the overflow. */
+std::string renderBound(uint64_t bound)
+{
+    return format("%llu", static_cast<unsigned long long>(bound));
+}
+
+Labels canonicalise(Labels labels)
+{
+    std::sort(labels.begin(), labels.end());
+    return labels;
+}
+
+} // namespace
+
+uint64_t
+nowMonotonicUs()
+{
+    (void)originCaptured;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - processStart())
+            .count());
+}
+
+const std::vector<uint64_t> &
+defaultLatencyBucketsUs()
+{
+    // 50 us .. 10 s, roughly x3 steps: wide enough for a sub-ms chunk
+    // and a multi-second queue wait in the same family.
+    static const std::vector<uint64_t> buckets = {
+        50,      150,      500,      1500,      5000,      15000,
+        50000,   150000,   500000,   1500000,   5000000,   10000000,
+    };
+    return buckets;
+}
+
+namespace detail {
+
+int
+threadShardIndex()
+{
+    static std::atomic<unsigned> nextShard{0};
+    thread_local const int shard = static_cast<int>(
+        nextShard.fetch_add(1, std::memory_order_relaxed) %
+        Registry::kShards);
+    return shard;
+}
+
+} // namespace detail
+
+Registry::Registry() : shards_(new Shard[kShards])
+{
+    for (int s = 0; s < kShards; ++s)
+        for (size_t i = 0; i < kSlotsPerShard; ++i)
+            shards_[s].slots[i].store(0, std::memory_order_relaxed);
+}
+
+Registry::~Registry() = default;
+
+Registry::Series &
+Registry::registerSeries(std::string_view name, std::string_view help,
+                         Labels labels, Kind kind, uint32_t slots,
+                         std::shared_ptr<const std::vector<uint64_t>> bounds)
+{
+    if (!validMetricName(name))
+        throwError(ErrorCode::invalidArgument,
+                   format("invalid metric name '%s'",
+                          std::string(name).c_str()));
+    labels = canonicalise(std::move(labels));
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Series &s : series_) {
+        if (s.name != name || s.labels != labels)
+            continue;
+        if (s.kind != kind)
+            throwError(ErrorCode::invalidArgument,
+                       format("metric '%s' re-registered as a different "
+                              "kind", s.name.c_str()));
+        if (kind == Kind::histogram && *s.bounds != *bounds)
+            throwError(ErrorCode::invalidArgument,
+                       format("histogram '%s' re-registered with "
+                              "different buckets", s.name.c_str()));
+        return s;
+    }
+    if (nextSlot_ + slots > kSlotsPerShard)
+        throwError(ErrorCode::configError,
+                   format("telemetry slot arena exhausted registering "
+                          "'%s' (%zu slots per shard)",
+                          std::string(name).c_str(), kSlotsPerShard));
+    Series s;
+    s.name = std::string(name);
+    s.help = std::string(help);
+    s.labels = std::move(labels);
+    s.kind = kind;
+    s.slot = nextSlot_;
+    s.slots = slots;
+    s.bounds = std::move(bounds);
+    nextSlot_ += slots;
+    series_.push_back(std::move(s));
+    return series_.back();
+}
+
+Counter
+Registry::counter(std::string_view name, std::string_view help,
+                  Labels labels)
+{
+    const Series &s = registerSeries(name, help, std::move(labels),
+                                     Kind::counter, 1, nullptr);
+    Counter c;
+    c.registry_ = this;
+    c.slot_ = s.slot;
+    return c;
+}
+
+Gauge
+Registry::gauge(std::string_view name, std::string_view help, Labels labels)
+{
+    const Series &s = registerSeries(name, help, std::move(labels),
+                                     Kind::gauge, 1, nullptr);
+    Gauge g;
+    g.registry_ = this;
+    g.slot_ = s.slot;
+    return g;
+}
+
+Histogram
+Registry::histogram(std::string_view name, std::string_view help,
+                    std::vector<uint64_t> bucketBoundsUs, Labels labels)
+{
+    if (bucketBoundsUs.empty())
+        throwError(ErrorCode::invalidArgument,
+                   format("histogram '%s' needs at least one bucket",
+                          std::string(name).c_str()));
+    if (!std::is_sorted(bucketBoundsUs.begin(), bucketBoundsUs.end()) ||
+        std::adjacent_find(bucketBoundsUs.begin(), bucketBoundsUs.end()) !=
+            bucketBoundsUs.end())
+        throwError(ErrorCode::invalidArgument,
+                   format("histogram '%s' buckets must be strictly "
+                          "ascending", std::string(name).c_str()));
+    auto bounds = std::make_shared<const std::vector<uint64_t>>(
+        std::move(bucketBoundsUs));
+    // Slots: n finite buckets, +Inf bucket, sum.
+    const uint32_t n = static_cast<uint32_t>(bounds->size());
+    const Series &s = registerSeries(name, help, std::move(labels),
+                                     Kind::histogram, n + 2, bounds);
+    Histogram h;
+    h.registry_ = this;
+    h.slot_ = s.slot;
+    h.buckets_ = n;
+    h.bounds_ = s.bounds->data();
+    return h;
+}
+
+uint64_t
+Registry::sumSlot(uint32_t slot) const
+{
+    uint64_t total = 0;
+    for (int s = 0; s < kShards; ++s)
+        total += shards_[s].slots[slot].load(std::memory_order_relaxed);
+    return total;
+}
+
+const Registry::Series *
+Registry::findSeries(std::string_view name, const Labels &labels) const
+{
+    const Labels canonical = canonicalise(labels);
+    for (const Series &s : series_) {
+        if (s.name == name && s.labels == canonical)
+            return &s;
+    }
+    return nullptr;
+}
+
+uint64_t
+Registry::counterValue(std::string_view name, const Labels &labels) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Series *s = findSeries(name, labels);
+    return (s != nullptr && s->kind == Kind::counter) ? sumSlot(s->slot) : 0;
+}
+
+int64_t
+Registry::gaugeValue(std::string_view name, const Labels &labels) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Series *s = findSeries(name, labels);
+    return (s != nullptr && s->kind == Kind::gauge)
+               ? static_cast<int64_t>(sumSlot(s->slot))
+               : 0;
+}
+
+uint64_t
+Registry::histogramCount(std::string_view name, const Labels &labels) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Series *s = findSeries(name, labels);
+    if (s == nullptr || s->kind != Kind::histogram)
+        return 0;
+    uint64_t total = 0;
+    for (uint32_t b = 0; b < s->slots - 1; ++b)
+        total += sumSlot(s->slot + b);
+    return total;
+}
+
+uint64_t
+Registry::histogramSum(std::string_view name, const Labels &labels) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Series *s = findSeries(name, labels);
+    if (s == nullptr || s->kind != Kind::histogram)
+        return 0;
+    return sumSlot(s->slot + s->slots - 1);
+}
+
+std::string
+Registry::prometheus() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Sorted view so families group and output is reproducible.
+    std::vector<const Series *> sorted;
+    sorted.reserve(series_.size());
+    for (const Series &s : series_)
+        sorted.push_back(&s);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Series *a, const Series *b) {
+                  if (a->name != b->name)
+                      return a->name < b->name;
+                  return a->labels < b->labels;
+              });
+
+    std::string out;
+    const std::string *lastFamily = nullptr;
+    for (const Series *s : sorted) {
+        if (lastFamily == nullptr || *lastFamily != s->name) {
+            const char *type = s->kind == Kind::counter   ? "counter"
+                               : s->kind == Kind::gauge   ? "gauge"
+                                                          : "histogram";
+            out += "# HELP " + s->name + " " + s->help + "\n";
+            out += "# TYPE " + s->name + " " + type + "\n";
+            lastFamily = &s->name;
+        }
+        const std::string labels = renderLabels(s->labels);
+        switch (s->kind) {
+        case Kind::counter:
+            out += s->name + labels +
+                   format(" %llu\n",
+                          static_cast<unsigned long long>(sumSlot(s->slot)));
+            break;
+        case Kind::gauge:
+            out += s->name + labels +
+                   format(" %lld\n", static_cast<long long>(
+                                         static_cast<int64_t>(
+                                             sumSlot(s->slot))));
+            break;
+        case Kind::histogram: {
+            const uint32_t n = static_cast<uint32_t>(s->bounds->size());
+            uint64_t cumulative = 0;
+            for (uint32_t b = 0; b < n; ++b) {
+                cumulative += sumSlot(s->slot + b);
+                Labels withLe = s->labels;
+                withLe.emplace_back("le", renderBound((*s->bounds)[b]));
+                out += s->name + "_bucket" + renderLabels(withLe) +
+                       format(" %llu\n",
+                              static_cast<unsigned long long>(cumulative));
+            }
+            cumulative += sumSlot(s->slot + n);
+            Labels withInf = s->labels;
+            withInf.emplace_back("le", "+Inf");
+            out += s->name + "_bucket" + renderLabels(withInf) +
+                   format(" %llu\n",
+                          static_cast<unsigned long long>(cumulative));
+            out += s->name + "_sum" + labels +
+                   format(" %llu\n", static_cast<unsigned long long>(
+                                         sumSlot(s->slot + n + 1)));
+            out += s->name + "_count" + labels +
+                   format(" %llu\n",
+                          static_cast<unsigned long long>(cumulative));
+            break;
+        }
+        }
+    }
+    return out;
+}
+
+Json
+Registry::snapshotJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<const Series *> sorted;
+    sorted.reserve(series_.size());
+    for (const Series &s : series_)
+        sorted.push_back(&s);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Series *a, const Series *b) {
+                  if (a->name != b->name)
+                      return a->name < b->name;
+                  return a->labels < b->labels;
+              });
+
+    Json root = Json::makeObject();
+    root.set("captured_us", static_cast<int64_t>(nowMonotonicUs()));
+    Json metrics = Json::makeArray();
+    for (const Series *s : sorted) {
+        Json m = Json::makeObject();
+        m.set("name", s->name);
+        m.set("type", s->kind == Kind::counter   ? "counter"
+                      : s->kind == Kind::gauge   ? "gauge"
+                                                 : "histogram");
+        m.set("help", s->help);
+        Json labels = Json::makeObject();
+        for (const auto &[key, value] : s->labels)
+            labels.set(key, value);
+        m.set("labels", std::move(labels));
+        switch (s->kind) {
+        case Kind::counter:
+            m.set("value", static_cast<int64_t>(sumSlot(s->slot)));
+            break;
+        case Kind::gauge:
+            m.set("value", static_cast<int64_t>(sumSlot(s->slot)));
+            break;
+        case Kind::histogram: {
+            const uint32_t n = static_cast<uint32_t>(s->bounds->size());
+            Json buckets = Json::makeArray();
+            uint64_t count = 0;
+            for (uint32_t b = 0; b <= n; ++b) {
+                const uint64_t value = sumSlot(s->slot + b);
+                count += value;
+                Json bucket = Json::makeObject();
+                bucket.set("le", b < n ? renderBound((*s->bounds)[b])
+                                       : std::string("+Inf"));
+                bucket.set("count", static_cast<int64_t>(value));
+                buckets.append(std::move(bucket));
+            }
+            m.set("buckets", std::move(buckets));
+            m.set("sum", static_cast<int64_t>(sumSlot(s->slot + n + 1)));
+            m.set("count", static_cast<int64_t>(count));
+            break;
+        }
+        }
+        metrics.append(std::move(m));
+    }
+    root.set("metrics", std::move(metrics));
+    return root;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int s = 0; s < kShards; ++s)
+        for (size_t i = 0; i < kSlotsPerShard; ++i)
+            shards_[s].slots[i].store(0, std::memory_order_relaxed);
+}
+
+size_t
+Registry::seriesCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return series_.size();
+}
+
+Registry &
+registry()
+{
+    static Registry *instance = new Registry();  // leaked: outlives all users.
+    return *instance;
+}
+
+} // namespace eqasm::telemetry

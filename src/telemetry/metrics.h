@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Lock-free metrics registry — the numeric half of the telemetry
+ * subsystem (the other half is trace_log.h).
+ *
+ * The paper's control stack is a pipeline of identifiable hardware
+ * modules; its software reproduction was, until this subsystem, a
+ * runtime black box: the only observable signals were a final
+ * BatchResult and an off-by-default printf logger. The registry gives
+ * every layer (engine, scheduler, microarchitecture, qsim) cheap named
+ * counters, gauges and fixed-bucket histograms that can be scraped at
+ * any moment — Prometheus text exposition for a monitoring stack, a
+ * JSON snapshot for scripts — without perturbing the measured system.
+ *
+ * Design constraints, in order:
+ *
+ *  1. The shot hot path must stay allocation-free and lock-free (the
+ *     PR 4 fast path is the whole value of the engine). A metric
+ *     handle therefore resolves at *registration* time to a fixed slot
+ *     index; recording is one relaxed fetch_add on a per-worker-shard
+ *     64-bit slot. No locks, no allocation, no branches beyond the
+ *     enabled check. Threads are spread across kShards slot arrays so
+ *     concurrent writers do not contend on a cache line.
+ *  2. Scraping must be safe while workers write. Slots are relaxed
+ *     std::atomic<uint64_t> (which compile to plain loads/stores on
+ *     every target we care about); a scrape sums the shards and may
+ *     observe a torn *set* of slots (some increments counted, some not
+ *     yet) but never a torn value — exactly the Prometheus contract.
+ *  3. Telemetry must never change results. Nothing here touches RNG
+ *     streams or simulation state; the fast-path identity tests pin
+ *     counts_fingerprint equality with telemetry on and off.
+ *
+ * Registration (name + labels -> slot) takes a mutex and may allocate;
+ * it happens at construction time (engine/replica/scheduler setup),
+ * never per shot. Re-registering an identical (name, labels, kind)
+ * returns the same slots, so per-replica components share one series.
+ */
+#ifndef EQASM_TELEMETRY_METRICS_H
+#define EQASM_TELEMETRY_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+
+namespace eqasm::telemetry {
+
+/** Label set of one series: (key, value) pairs, e.g. {{"tenant","a"}}.
+ *  Order-insensitive (canonicalised by key at registration). */
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Registry;
+
+/**
+ * Monotonic microseconds since process start (steady clock). The
+ * common timebase of histogram observations and trace-log spans.
+ */
+uint64_t nowMonotonicUs();
+
+/**
+ * A monotonically increasing counter. Handles are cheap value types
+ * resolved at registration; a default-constructed handle is inert
+ * (add() is a no-op), so components can hold one unconditionally.
+ */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /** Hot path: one relaxed fetch_add on this thread's shard slot. */
+    inline void add(uint64_t n) const;
+    void inc() const { add(1); }
+
+  private:
+    friend class Registry;
+    Registry *registry_ = nullptr;
+    uint32_t slot_ = 0;
+};
+
+/**
+ * A gauge tracked by *deltas*: the current value is the sum of all
+ * signed increments across shards (two's complement on the uint64
+ * slots). Delta tracking is what keeps set-like state (queue depth,
+ * active workers, fair-share deficit) lock-free: every writer adds
+ * what it knows changed, no writer needs the current value.
+ */
+class Gauge
+{
+  public:
+    Gauge() = default;
+
+    inline void add(int64_t delta) const;
+    void inc() const { add(1); }
+    void dec() const { add(-1); }
+
+  private:
+    friend class Registry;
+    Registry *registry_ = nullptr;
+    uint32_t slot_ = 0;
+};
+
+/**
+ * A fixed-bucket histogram. Bucket upper bounds are set at
+ * registration (ascending, in the observed unit — this codebase
+ * observes microseconds); observation is a linear scan over <= ~16
+ * bounds plus two relaxed adds (bucket + sum). An implicit +Inf
+ * bucket catches overflow.
+ */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    inline void observe(uint64_t value) const;
+
+  private:
+    friend class Registry;
+    Registry *registry_ = nullptr;
+    uint32_t slot_ = 0;          ///< first bucket slot.
+    uint32_t buckets_ = 0;       ///< finite buckets (excl. +Inf).
+    const uint64_t *bounds_ = nullptr;  ///< registry-owned, stable.
+};
+
+/** Default latency bucket bounds in microseconds: 50 us .. 10 s. */
+const std::vector<uint64_t> &defaultLatencyBucketsUs();
+
+/**
+ * The registry: owns the slot storage, the series metadata and the
+ * export formats. One process-wide instance lives behind registry();
+ * tests construct private instances for exactness checks.
+ */
+class Registry
+{
+  public:
+    Registry();
+    ~Registry();
+
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /**
+     * Registers (or re-finds) a series. @p name must match the
+     * Prometheus metric-name grammar ([a-zA-Z_:][a-zA-Z0-9_:]*).
+     * Registering an existing (name, labels) pair returns the same
+     * slots; a kind conflict (counter vs gauge vs histogram) or — for
+     * histograms — different bucket bounds throw Error{invalidArgument}
+     * naming the series.
+     * @throws Error{configError} once the preallocated slot arena is
+     *         full (kSlotsPerShard slots per shard).
+     */
+    Counter counter(std::string_view name, std::string_view help,
+                    Labels labels = {});
+    Gauge gauge(std::string_view name, std::string_view help,
+                Labels labels = {});
+    Histogram histogram(std::string_view name, std::string_view help,
+                        std::vector<uint64_t> bucketBoundsUs,
+                        Labels labels = {});
+
+    /**
+     * Process-wide kill switch for the hot-path handles: when false,
+     * add()/observe() return after one branch (a relaxed bool load).
+     * Scraping still works and reports whatever was recorded.
+     */
+    void setEnabled(bool enabled)
+    {
+        enabled_.store(enabled, std::memory_order_relaxed);
+    }
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Sum of @p name's counter slots over all shards (0 if absent). */
+    uint64_t counterValue(std::string_view name,
+                          const Labels &labels = {}) const;
+    /** Signed sum of @p name's gauge slots (0 if absent). */
+    int64_t gaugeValue(std::string_view name,
+                       const Labels &labels = {}) const;
+    /** Total observation count of @p name's histogram (0 if absent). */
+    uint64_t histogramCount(std::string_view name,
+                            const Labels &labels = {}) const;
+    /** Sum of observed values of @p name's histogram (0 if absent). */
+    uint64_t histogramSum(std::string_view name,
+                          const Labels &labels = {}) const;
+
+    /**
+     * Prometheus text exposition (version 0.0.4): one # HELP / # TYPE
+     * header per family, series sorted by (name, labels), histograms
+     * rendered with cumulative le buckets plus _sum and _count.
+     * Safe to call while writers record.
+     */
+    std::string prometheus() const;
+
+    /**
+     * JSON snapshot: {"captured_us": ..., "metrics": [{"name", "type",
+     * "help", "labels", and "value" | "buckets"+"sum"+"count"}, ...]}
+     * in the same sorted order as the exposition.
+     */
+    Json snapshotJson() const;
+
+    /** Zeroes every slot (registrations survive). Test/CLI helper so a
+     *  fresh run scrapes only its own activity. */
+    void reset();
+
+    size_t seriesCount() const;
+
+    /** Shards available for concurrent writers. */
+    static constexpr int kShards = 16;
+    /** Preallocated slots per shard (registration fails beyond). */
+    static constexpr size_t kSlotsPerShard = 4096;
+
+  private:
+    friend class Counter;
+    friend class Gauge;
+    friend class Histogram;
+
+    enum class Kind { counter, gauge, histogram };
+
+    struct Series {
+        std::string name;
+        std::string help;
+        Labels labels;       ///< canonical (sorted by key).
+        Kind kind = Kind::counter;
+        uint32_t slot = 0;   ///< first slot index.
+        uint32_t slots = 1;  ///< consecutive slots (histogram: n+2).
+        /** Histogram bounds; stable address (unique_ptr) so handles
+         *  can point into it while the series vector grows. */
+        std::shared_ptr<const std::vector<uint64_t>> bounds;
+    };
+
+    /** One shard: a cache-line-aligned block of slots written only by
+     *  the threads mapped onto it. */
+    struct alignas(64) Shard {
+        std::atomic<uint64_t> slots[kSlotsPerShard];
+    };
+
+    /** The calling thread's shard (assigned round-robin on first use,
+     *  stable for the thread's lifetime). */
+    inline Shard &shardForThisThread() const;
+
+    uint64_t sumSlot(uint32_t slot) const;
+    const Series *findSeries(std::string_view name,
+                             const Labels &labels) const;
+    Series &registerSeries(std::string_view name, std::string_view help,
+                           Labels labels, Kind kind, uint32_t slots,
+                           std::shared_ptr<const std::vector<uint64_t>>
+                               bounds);
+
+    std::unique_ptr<Shard[]> shards_;
+    std::atomic<bool> enabled_{true};
+
+    mutable std::mutex mutex_;  ///< registration + metadata reads.
+    std::vector<Series> series_;
+    uint32_t nextSlot_ = 0;
+};
+
+/** The process-wide registry every subsystem records into. */
+Registry &registry();
+
+/** Convenience toggles on the process-wide registry. */
+inline void setEnabled(bool enabled) { registry().setEnabled(enabled); }
+inline bool enabled() { return registry().enabled(); }
+
+// ------------------------------------------------- inline hot paths
+
+namespace detail {
+/** Round-robin thread -> shard assignment, shared by all registries
+ *  (the shard index keys position only, not storage). */
+int threadShardIndex();
+} // namespace detail
+
+inline Registry::Shard &
+Registry::shardForThisThread() const
+{
+    return shards_[detail::threadShardIndex()];
+}
+
+inline void
+Counter::add(uint64_t n) const
+{
+    if (registry_ == nullptr || !registry_->enabled())
+        return;
+    registry_->shardForThisThread().slots[slot_].fetch_add(
+        n, std::memory_order_relaxed);
+}
+
+inline void
+Gauge::add(int64_t delta) const
+{
+    if (registry_ == nullptr || !registry_->enabled())
+        return;
+    registry_->shardForThisThread().slots[slot_].fetch_add(
+        static_cast<uint64_t>(delta), std::memory_order_relaxed);
+}
+
+inline void
+Histogram::observe(uint64_t value) const
+{
+    if (registry_ == nullptr || !registry_->enabled())
+        return;
+    uint32_t bucket = 0;
+    while (bucket < buckets_ && value > bounds_[bucket])
+        ++bucket;
+    Registry::Shard &shard = registry_->shardForThisThread();
+    // Layout: [bucket 0 .. bucket n-1, +Inf, sum].
+    shard.slots[slot_ + bucket].fetch_add(1, std::memory_order_relaxed);
+    shard.slots[slot_ + buckets_ + 1].fetch_add(
+        value, std::memory_order_relaxed);
+}
+
+} // namespace eqasm::telemetry
+
+#endif // EQASM_TELEMETRY_METRICS_H

@@ -1,0 +1,128 @@
+#include "telemetry/trace_log.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+
+namespace eqasm::telemetry {
+
+TraceLog::TraceLog(size_t capacity) : capacity_(capacity)
+{
+    ring_.reserve(capacity_);
+}
+
+void
+TraceLog::record(TraceSpan span)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++recorded_;
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(span));
+        return;
+    }
+    ring_[next_] = std::move(span);
+    next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<TraceSpan>
+TraceLog::spans() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<TraceSpan> out;
+    out.reserve(ring_.size());
+    // Once wrapped, next_ points at the oldest entry.
+    for (size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(next_ + i) % ring_.size()]);
+    return out;
+}
+
+uint64_t
+TraceLog::recorded() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return recorded_;
+}
+
+size_t
+TraceLog::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ring_.size();
+}
+
+void
+TraceLog::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_.clear();
+    next_ = 0;
+    recorded_ = 0;
+}
+
+Json
+TraceLog::chromeTraceJson() const
+{
+    const std::vector<TraceSpan> all = spans();
+
+    Json events = Json::makeArray();
+
+    // Stable track names: workers by index, the job rows as one
+    // logical group above them. Sorted tids so viewers list tracks
+    // in worker order.
+    std::map<int32_t, std::string> trackNames;
+    for (const TraceSpan &s : all) {
+        if (trackNames.count(s.track))
+            continue;
+        trackNames[s.track] =
+            s.track >= kJobTrackBase
+                ? format("job track %d", s.track - kJobTrackBase)
+                : format("worker %d", s.track);
+    }
+    for (const auto &[tid, name] : trackNames) {
+        Json meta = Json::makeObject();
+        meta.set("name", "thread_name");
+        meta.set("ph", "M");
+        meta.set("pid", 1);
+        meta.set("tid", static_cast<int64_t>(tid));
+        Json args = Json::makeObject();
+        args.set("name", name);
+        meta.set("args", std::move(args));
+        events.append(std::move(meta));
+    }
+
+    for (const TraceSpan &s : all) {
+        Json e = Json::makeObject();
+        e.set("name", s.name);
+        e.set("cat", s.cat);
+        e.set("ph", "X");
+        e.set("pid", 1);
+        e.set("tid", static_cast<int64_t>(s.track));
+        e.set("ts", static_cast<int64_t>(s.startUs));
+        e.set("dur", static_cast<int64_t>(s.durUs));
+        Json args = Json::makeObject();
+        args.set("job", static_cast<int64_t>(s.jobId));
+        if (!s.tenant.empty())
+            args.set("tenant", s.tenant);
+        if (!s.detail.empty())
+            args.set("detail", s.detail);
+        e.set("args", std::move(args));
+        events.append(std::move(e));
+    }
+
+    Json root = Json::makeObject();
+    root.set("traceEvents", std::move(events));
+    root.set("displayTimeUnit", "ms");
+    return root;
+}
+
+TraceLog &
+traceLog()
+{
+    static TraceLog *instance = new TraceLog();  // leaked: outlives all users.
+    return *instance;
+}
+
+} // namespace eqasm::telemetry

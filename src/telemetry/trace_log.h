@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Bounded-ring span log — the timeline half of the telemetry
+ * subsystem (the numeric half is metrics.h).
+ *
+ * Where the registry answers "how many / how long on average", the
+ * trace log answers "in what order, on which worker": every recorded
+ * span carries a start timestamp, a duration, a track id and job
+ * identity, so a fair-share run's interleaving of tenants across the
+ * worker pool can be *seen*, not inferred. chromeTraceJson() renders
+ * the ring in the Chrome trace-event format, loadable in
+ * chrome://tracing and Perfetto with one track per worker.
+ *
+ * Recording happens at chunk cadence (tens of microseconds of work per
+ * span), not shot cadence, so a short mutex-guarded push into a
+ * preallocated ring is cheap relative to what it measures; the ring
+ * overwrites its oldest entries once full, keeping memory bounded for
+ * arbitrarily long runs. The log is disabled by default — enabling it
+ * is an explicit CLI/EngineConfig choice — so the fast-path overhead
+ * budget is spent only when a timeline was asked for.
+ */
+#ifndef EQASM_TELEMETRY_TRACE_LOG_H
+#define EQASM_TELEMETRY_TRACE_LOG_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace eqasm::telemetry {
+
+/** One completed span on a track. Times come from nowMonotonicUs(). */
+struct TraceSpan {
+    /** Event name shown on the slice, e.g. "chunk" or "job". */
+    std::string name;
+    /** Category, e.g. "engine" / "sched" (filterable in viewers). */
+    std::string cat;
+    /** Track: worker index for chunks, kJobTrackBase+n for job rows. */
+    int32_t track = 0;
+    uint64_t jobId = 0;
+    std::string tenant;
+    /** Free-form detail shown in the args pane (label, shot range). */
+    std::string detail;
+    uint64_t startUs = 0;
+    uint64_t durUs = 0;
+};
+
+/**
+ * Fixed-capacity overwrite-oldest span ring with Chrome trace-event
+ * export. Thread-safe; see file comment for the cost model.
+ */
+class TraceLog
+{
+  public:
+    explicit TraceLog(size_t capacity = kDefaultCapacity);
+
+    TraceLog(const TraceLog &) = delete;
+    TraceLog &operator=(const TraceLog &) = delete;
+
+    /** Spans record only while enabled (default off). */
+    void setEnabled(bool enabled)
+    {
+        enabled_.store(enabled, std::memory_order_relaxed);
+    }
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Appends @p span, overwriting the oldest once full. No-op while
+     *  disabled, so call sites need no guard of their own. */
+    void record(TraceSpan span);
+
+    /** Oldest-first copy of the current contents. */
+    std::vector<TraceSpan> spans() const;
+
+    /** Spans recorded since construction/clear (>= size() once the
+     *  ring has wrapped; the difference is the overwritten count). */
+    uint64_t recorded() const;
+    size_t size() const;
+    size_t capacity() const { return capacity_; }
+
+    void clear();
+
+    /**
+     * Chrome trace-event JSON: {"traceEvents": [...], "displayTimeUnit":
+     * "ms"}. Each span becomes a complete event (ph "X", pid 1, tid =
+     * track, ts/dur in us) with jobId/tenant/detail under args; one
+     * metadata event per track names it ("worker 0", "jobs") so viewers
+     * show stable track labels.
+     */
+    Json chromeTraceJson() const;
+
+    /** Track offset for per-job rows, clear of any real worker index. */
+    static constexpr int32_t kJobTrackBase = 1000;
+    static constexpr size_t kDefaultCapacity = 65536;
+
+  private:
+    const size_t capacity_;
+    std::atomic<bool> enabled_{false};
+
+    mutable std::mutex mutex_;
+    std::vector<TraceSpan> ring_;  ///< reserved to capacity_ up front.
+    size_t next_ = 0;              ///< overwrite cursor once full.
+    uint64_t recorded_ = 0;
+};
+
+/** The process-wide trace log the engine records into. */
+TraceLog &traceLog();
+
+} // namespace eqasm::telemetry
+
+#endif // EQASM_TELEMETRY_TRACE_LOG_H

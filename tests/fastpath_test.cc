@@ -24,6 +24,8 @@
 #include "runtime/platform.h"
 #include "runtime/quantum_processor.h"
 #include "runtime/simulated_device.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace_log.h"
 #include "workloads/allxy.h"
 #include "workloads/experiments.h"
 #include "workloads/surface_code.h"
@@ -144,6 +146,46 @@ TEST(FastPath, FingerprintIdenticalAcrossEveryConfiguration)
         // Full legacy configuration: textbook kernels, no cache,
         // per-gate trace logs.
         EXPECT_EQ(runFingerprint(c, 1, true, false, true), reference);
+    }
+}
+
+TEST(FastPath, FingerprintIdenticalWithTelemetryOnAndOff)
+{
+    // The telemetry subsystem observes the fast path (chunk folds,
+    // opcode-class tallies, cache hit counts) but must never perturb
+    // it: the fingerprint of every workload at every thread count is
+    // identical with the registry on, off, and with the trace timeline
+    // recording.
+    for (const Case &c : fastPathCases()) {
+        SCOPED_TRACE(c.name);
+        for (int threads : {1, 2, 4}) {
+            SCOPED_TRACE(threads);
+            telemetry::setEnabled(true);
+            std::string on = runFingerprint(c, threads, false, true,
+                                            false);
+            telemetry::setEnabled(false);
+            std::string off = runFingerprint(c, threads, false, true,
+                                             false);
+            telemetry::setEnabled(true);
+            EXPECT_EQ(on, off);
+
+            // Timeline recording changes the trace ring only.
+            Platform platform = c.platform;
+            EngineConfig config;
+            config.threads = threads;
+            config.chunkShots = 7;
+            config.traceTimeline = true;
+            ShotEngine engine(platform, config);
+            Job job;
+            job.image = c.image;
+            job.shots = c.shots;
+            job.seed = c.seed;
+            job.label = c.name;
+            EXPECT_EQ(engine.run(std::move(job)).countsFingerprint(),
+                      on);
+            telemetry::traceLog().setEnabled(false);
+            telemetry::traceLog().clear();
+        }
     }
 }
 

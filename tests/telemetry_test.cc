@@ -1,0 +1,498 @@
+/**
+ * @file
+ * Tests for the telemetry subsystem: exactness of the sharded
+ * lock-free registry under concurrency, histogram bucket boundaries,
+ * scrape-while-writing safety, the Prometheus exposition format
+ * (golden), the bounded trace ring and its Chrome trace-event export,
+ * and the end-to-end instrumentation contracts — a 2-tenant fair-share
+ * run whose per-tenant served-shot counters sum to the job totals
+ * exactly and whose timeline shows both tenants interleaved across
+ * worker tracks.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "assembler/assembler.h"
+#include "common/error.h"
+#include "common/json.h"
+#include "engine/shot_engine.h"
+#include "runtime/platform.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace_log.h"
+#include "workloads/experiments.h"
+
+using namespace eqasm;
+using namespace eqasm::telemetry;
+
+// ---------------------------------------------------- registry (unit)
+
+TEST(Registry, CounterConcurrentIncrementsAreExact)
+{
+    Registry registry;
+    Counter counter = registry.counter("test_ops_total", "ops");
+    constexpr int kThreads = 8;
+    constexpr uint64_t kPerThread = 100'000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (uint64_t i = 0; i < kPerThread; ++i)
+                counter.inc();
+            counter.add(5);
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_EQ(registry.counterValue("test_ops_total"),
+              kThreads * (kPerThread + 5));
+}
+
+TEST(Registry, GaugeTracksSignedDeltasAcrossThreads)
+{
+    Registry registry;
+    Gauge gauge = registry.gauge("test_depth", "depth");
+    gauge.add(10);
+    std::thread other([&] {
+        gauge.dec();
+        gauge.dec();
+        gauge.add(-3);
+    });
+    other.join();
+    EXPECT_EQ(registry.gaugeValue("test_depth"), 5);
+    gauge.add(-8);
+    EXPECT_EQ(registry.gaugeValue("test_depth"), -3);
+}
+
+TEST(Registry, HistogramBucketBoundariesAreInclusiveUpperBounds)
+{
+    Registry registry;
+    Histogram h =
+        registry.histogram("test_latency_us", "latency", {10, 100});
+    // le-bucket semantics: value <= bound lands in that bucket.
+    h.observe(9);
+    h.observe(10);   // boundary: still le="10".
+    h.observe(11);
+    h.observe(100);  // boundary: still le="100".
+    h.observe(101);  // +Inf.
+    EXPECT_EQ(registry.histogramCount("test_latency_us"), 5u);
+    EXPECT_EQ(registry.histogramSum("test_latency_us"),
+              9u + 10u + 11u + 100u + 101u);
+    const std::string text = registry.prometheus();
+    // Cumulative rendering: 2 at le=10, 4 at le=100, 5 at +Inf.
+    EXPECT_NE(text.find("test_latency_us_bucket{le=\"10\"} 2"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("test_latency_us_bucket{le=\"100\"} 4"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("test_latency_us_bucket{le=\"+Inf\"} 5"),
+              std::string::npos)
+        << text;
+}
+
+TEST(Registry, ReRegistrationReturnsTheSameSeries)
+{
+    Registry registry;
+    Counter a = registry.counter("test_shared_total", "shared");
+    Counter b = registry.counter("test_shared_total", "shared");
+    a.add(3);
+    b.add(4);
+    EXPECT_EQ(registry.counterValue("test_shared_total"), 7u);
+    EXPECT_EQ(registry.seriesCount(), 1u);
+    // Distinct labels are a distinct series; label order is canonical.
+    Counter l1 = registry.counter("test_shared_total", "shared",
+                                  {{"a", "1"}, {"b", "2"}});
+    Counter l2 = registry.counter("test_shared_total", "shared",
+                                  {{"b", "2"}, {"a", "1"}});
+    l1.inc();
+    l2.inc();
+    EXPECT_EQ(registry.counterValue("test_shared_total",
+                                    {{"a", "1"}, {"b", "2"}}),
+              2u);
+    EXPECT_EQ(registry.seriesCount(), 2u);
+}
+
+TEST(Registry, RegistrationRejectsConflictsAndBadNames)
+{
+    Registry registry;
+    registry.counter("test_kind_total", "x");
+    EXPECT_THROW(registry.gauge("test_kind_total", "x"), Error);
+    registry.histogram("test_hist_us", "x", {1, 2});
+    EXPECT_THROW(registry.histogram("test_hist_us", "x", {1, 3}), Error);
+    EXPECT_THROW(registry.counter("0bad", "x"), Error);
+    EXPECT_THROW(registry.counter("has space", "x"), Error);
+    EXPECT_THROW(registry.histogram("test_empty_us", "x", {}), Error);
+    EXPECT_THROW(registry.histogram("test_unsorted_us", "x", {5, 2}),
+                 Error);
+}
+
+TEST(Registry, DisabledHandlesRecordNothing)
+{
+    Registry registry;
+    Counter counter = registry.counter("test_gated_total", "gated");
+    registry.setEnabled(false);
+    counter.add(100);
+    EXPECT_EQ(registry.counterValue("test_gated_total"), 0u);
+    registry.setEnabled(true);
+    counter.add(1);
+    EXPECT_EQ(registry.counterValue("test_gated_total"), 1u);
+}
+
+TEST(Registry, ScrapeWhileWritingIsSafeAndLosesNothing)
+{
+    Registry registry;
+    Counter counter = registry.counter("test_racy_total", "racy");
+    constexpr int kThreads = 4;
+    constexpr uint64_t kPerThread = 50'000;
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+        writers.emplace_back([&] {
+            for (uint64_t i = 0; i < kPerThread; ++i)
+                counter.inc();
+        });
+    }
+    // Scrape continuously while the writers hammer the slots; every
+    // intermediate exposition must be well-formed and the final sum
+    // exact (TSan runs this suite too — see tools/ci.sh).
+    uint64_t lastSeen = 0;
+    for (int i = 0; i < 50; ++i) {
+        const std::string text = registry.prometheus();
+        EXPECT_NE(text.find("# TYPE test_racy_total counter"),
+                  std::string::npos);
+        uint64_t seen = registry.counterValue("test_racy_total");
+        EXPECT_GE(seen, lastSeen);  // counters are monotone.
+        lastSeen = seen;
+    }
+    for (std::thread &writer : writers)
+        writer.join();
+    EXPECT_EQ(registry.counterValue("test_racy_total"),
+              kThreads * kPerThread);
+}
+
+TEST(Registry, PrometheusExpositionMatchesGolden)
+{
+    Registry registry;
+    Counter shots = registry.counter("demo_shots_total",
+                                     "Shots executed");
+    Counter tenantA = registry.counter("demo_served_total",
+                                       "Shots served, by tenant",
+                                       {{"tenant", "alice"}});
+    Counter tenantB = registry.counter("demo_served_total",
+                                       "Shots served, by tenant",
+                                       {{"tenant", "bob"}});
+    Gauge depth = registry.gauge("demo_depth", "Queue depth");
+    Histogram wait = registry.histogram("demo_wait_us",
+                                        "Queue wait", {10, 100});
+    shots.add(42);
+    tenantA.add(30);
+    tenantB.add(12);
+    depth.add(3);
+    depth.dec();
+    wait.observe(7);
+    wait.observe(70);
+    wait.observe(700);
+
+    const char *golden =
+        "# HELP demo_depth Queue depth\n"
+        "# TYPE demo_depth gauge\n"
+        "demo_depth 2\n"
+        "# HELP demo_served_total Shots served, by tenant\n"
+        "# TYPE demo_served_total counter\n"
+        "demo_served_total{tenant=\"alice\"} 30\n"
+        "demo_served_total{tenant=\"bob\"} 12\n"
+        "# HELP demo_shots_total Shots executed\n"
+        "# TYPE demo_shots_total counter\n"
+        "demo_shots_total 42\n"
+        "# HELP demo_wait_us Queue wait\n"
+        "# TYPE demo_wait_us histogram\n"
+        "demo_wait_us_bucket{le=\"10\"} 1\n"
+        "demo_wait_us_bucket{le=\"100\"} 2\n"
+        "demo_wait_us_bucket{le=\"+Inf\"} 3\n"
+        "demo_wait_us_sum 777\n"
+        "demo_wait_us_count 3\n";
+    EXPECT_EQ(registry.prometheus(), golden);
+}
+
+TEST(Registry, JsonSnapshotCarriesValuesAndBuckets)
+{
+    Registry registry;
+    registry.counter("snap_total", "c").add(9);
+    Histogram h = registry.histogram("snap_us", "h", {50});
+    h.observe(40);
+    h.observe(60);
+    Json snapshot = registry.snapshotJson();
+    ASSERT_TRUE(snapshot.isObject());
+    const Json &metrics = snapshot.at("metrics");
+    ASSERT_EQ(metrics.size(), 2u);
+    EXPECT_EQ(metrics.at(size_t{0}).at("name").asString(), "snap_total");
+    EXPECT_EQ(metrics.at(size_t{0}).at("value").asInt(), 9);
+    const Json &hist = metrics.at(size_t{1});
+    EXPECT_EQ(hist.at("type").asString(), "histogram");
+    EXPECT_EQ(hist.at("count").asInt(), 2);
+    EXPECT_EQ(hist.at("sum").asInt(), 100);
+    ASSERT_EQ(hist.at("buckets").size(), 2u);
+    EXPECT_EQ(hist.at("buckets").at(size_t{0}).at("count").asInt(), 1);
+    // Round-trips through the parser (the --metrics .json output).
+    EXPECT_NO_THROW(Json::parse(snapshot.dump(2)));
+}
+
+TEST(Registry, ResetZeroesSlotsButKeepsSeries)
+{
+    Registry registry;
+    Counter counter = registry.counter("reset_total", "r");
+    counter.add(5);
+    registry.reset();
+    EXPECT_EQ(registry.counterValue("reset_total"), 0u);
+    EXPECT_EQ(registry.seriesCount(), 1u);
+    counter.inc();
+    EXPECT_EQ(registry.counterValue("reset_total"), 1u);
+}
+
+// ----------------------------------------------------------- trace log
+
+namespace {
+
+TraceSpan
+span(const char *name, int32_t track, uint64_t start, uint64_t dur)
+{
+    TraceSpan s;
+    s.name = name;
+    s.cat = "test";
+    s.track = track;
+    s.startUs = start;
+    s.durUs = dur;
+    return s;
+}
+
+} // namespace
+
+TEST(TraceLogTest, BoundedRingOverwritesOldest)
+{
+    TraceLog log(4);
+    log.setEnabled(true);
+    for (int i = 0; i < 6; ++i)
+        log.record(span(("s" + std::to_string(i)).c_str(), 0,
+                        static_cast<uint64_t>(i), 1));
+    EXPECT_EQ(log.size(), 4u);
+    EXPECT_EQ(log.recorded(), 6u);
+    std::vector<TraceSpan> spans = log.spans();
+    ASSERT_EQ(spans.size(), 4u);
+    EXPECT_EQ(spans.front().name, "s2");  // oldest surviving.
+    EXPECT_EQ(spans.back().name, "s5");
+}
+
+TEST(TraceLogTest, DisabledRecordsNothing)
+{
+    TraceLog log(4);
+    log.record(span("dropped", 0, 0, 1));
+    EXPECT_EQ(log.size(), 0u);
+    EXPECT_EQ(log.recorded(), 0u);
+}
+
+TEST(TraceLogTest, ChromeTraceJsonHasTrackMetadataAndCompleteEvents)
+{
+    TraceLog log(16);
+    log.setEnabled(true);
+    TraceSpan chunk = span("chunk", 1, 100, 50);
+    chunk.jobId = 7;
+    chunk.tenant = "alice";
+    chunk.detail = "rabi [0,32)";
+    log.record(chunk);
+    log.record(span("job", TraceLog::kJobTrackBase + 7, 90, 80));
+
+    Json trace = log.chromeTraceJson();
+    ASSERT_TRUE(trace.isObject());
+    const Json &events = trace.at("traceEvents");
+    // 2 thread_name metadata events + 2 complete events.
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events.at(size_t{0}).at("ph").asString(), "M");
+    EXPECT_EQ(events.at(size_t{0}).at("args").at("name").asString(),
+              "worker 1");
+    EXPECT_EQ(events.at(size_t{1}).at("args").at("name").asString(),
+              "job track 7");
+    const Json &complete = events.at(size_t{2});
+    EXPECT_EQ(complete.at("ph").asString(), "X");
+    EXPECT_EQ(complete.at("tid").asInt(), 1);
+    EXPECT_EQ(complete.at("ts").asInt(), 100);
+    EXPECT_EQ(complete.at("dur").asInt(), 50);
+    EXPECT_EQ(complete.at("args").at("tenant").asString(), "alice");
+    EXPECT_NO_THROW(Json::parse(trace.dump()));
+}
+
+// ------------------------------------------- engine integration (e2e)
+
+namespace {
+
+engine::Job
+testJob(const runtime::Platform &platform, int shots, uint64_t seed)
+{
+    assembler::Assembler asm_(platform.operations, platform.topology,
+                              platform.params);
+    engine::Job job;
+    job.image =
+        asm_.assemble(workloads::activeResetProgram(2)).image;
+    job.shots = shots;
+    job.seed = seed;
+    return job;
+}
+
+} // namespace
+
+TEST(EngineTelemetry, FairShareServedShotCountersSumToJobTotalsExactly)
+{
+    Registry &reg = registry();
+    const uint64_t servedABefore = reg.counterValue(
+        "eqasm_sched_tenant_served_shots_total", {{"tenant", "alice"}});
+    const uint64_t servedBBefore = reg.counterValue(
+        "eqasm_sched_tenant_served_shots_total", {{"tenant", "bob"}});
+    const uint64_t shotsBefore =
+        reg.counterValue("eqasm_engine_shots_total");
+
+    runtime::Platform platform = runtime::Platform::twoQubit();
+    engine::EngineConfig config;
+    config.threads = 2;
+    config.chunkShots = 16;
+    config.scheduler.policy = sched::Policy::fairShare;
+    config.scheduler.quantumShots = 32;
+    config.scheduler.tenantWeights = {{"alice", 3}, {"bob", 1}};
+    engine::ShotEngine engine(platform, config);
+
+    engine::Job jobA = testJob(platform, 300, 11);
+    jobA.tenant = "alice";
+    jobA.label = "alice-job";
+    engine::Job jobB = testJob(platform, 200, 11);
+    jobB.tenant = "bob";
+    jobB.label = "bob-job";
+    sched::JobHandle handleA = engine.submit(std::move(jobA));
+    sched::JobHandle handleB = engine.submit(std::move(jobB));
+    engine::BatchResult resultA = handleA.get();
+    engine::BatchResult resultB = handleB.get();
+    EXPECT_EQ(resultA.shots, 300u);
+    EXPECT_EQ(resultB.shots, 200u);
+
+    // Exactness: every claimed chunk was charged to its tenant, so the
+    // per-tenant counters account for the job totals with no slack.
+    EXPECT_EQ(reg.counterValue("eqasm_sched_tenant_served_shots_total",
+                               {{"tenant", "alice"}}) -
+                  servedABefore,
+              300u);
+    EXPECT_EQ(reg.counterValue("eqasm_sched_tenant_served_shots_total",
+                               {{"tenant", "bob"}}) -
+                  servedBBefore,
+              200u);
+    EXPECT_EQ(reg.counterValue("eqasm_engine_shots_total") - shotsBefore,
+              500u);
+    // The deficit gauges settle to zero once both tenants go idle
+    // (leftover credit is discarded on removal).
+    EXPECT_EQ(reg.gaugeValue("eqasm_sched_tenant_deficit_shots",
+                             {{"tenant", "alice"}}),
+              0);
+    EXPECT_EQ(reg.gaugeValue("eqasm_sched_tenant_deficit_shots",
+                             {{"tenant", "bob"}}),
+              0);
+    // Transient gauges return to rest.
+    EXPECT_EQ(reg.gaugeValue("eqasm_engine_queue_depth"), 0);
+    EXPECT_EQ(reg.gaugeValue("eqasm_engine_active_workers"), 0);
+    // Both jobs went through the queue-wait histogram exactly once.
+    EXPECT_GE(reg.histogramCount("eqasm_engine_queue_wait_us"), 2u);
+}
+
+TEST(EngineTelemetry, InstrumentationCoversUarchAndNoiseCache)
+{
+    Registry &reg = registry();
+    const uint64_t quantumBefore =
+        reg.counterValue("eqasm_quma_quantum_instructions_total");
+    const uint64_t singleBefore = reg.counterValue(
+        "eqasm_quma_micro_ops_total", {{"class", "single_qubit"}});
+    const uint64_t measBefore = reg.counterValue(
+        "eqasm_quma_micro_ops_total", {{"class", "measurement"}});
+    const uint64_t hitsBefore =
+        reg.counterValue("eqasm_qsim_channel_cache_hits_total");
+    const uint64_t chunksBefore =
+        reg.counterValue("eqasm_engine_chunks_total");
+
+    runtime::Platform platform = runtime::Platform::twoQubit();
+    engine::EngineConfig config;
+    config.threads = 2;
+    engine::ShotEngine engine(platform, config);
+    engine::BatchResult result = engine.run(testJob(platform, 100, 5));
+    EXPECT_EQ(result.shots, 100u);
+
+    // The active-reset program measures and conditionally flips every
+    // shot on a noisy density backend: all these must have moved.
+    EXPECT_GT(reg.counterValue("eqasm_quma_quantum_instructions_total"),
+              quantumBefore);
+    EXPECT_GT(reg.counterValue("eqasm_quma_micro_ops_total",
+                               {{"class", "single_qubit"}}),
+              singleBefore);
+    EXPECT_GT(reg.counterValue("eqasm_quma_micro_ops_total",
+                               {{"class", "measurement"}}),
+              measBefore);
+    EXPECT_GT(reg.counterValue("eqasm_qsim_channel_cache_hits_total"),
+              hitsBefore);
+    EXPECT_GT(reg.counterValue("eqasm_engine_chunks_total"),
+              chunksBefore);
+    EXPECT_GE(reg.histogramCount("eqasm_engine_chunk_exec_us"),
+              reg.counterValue("eqasm_engine_chunks_total") -
+                  chunksBefore);
+}
+
+TEST(EngineTelemetry, TraceTimelineShowsBothTenantsAcrossWorkerTracks)
+{
+    TraceLog &log = traceLog();
+    log.clear();
+
+    runtime::Platform platform = runtime::Platform::twoQubit();
+    engine::EngineConfig config;
+    config.threads = 2;
+    config.chunkShots = 8;
+    config.traceTimeline = true;
+    config.scheduler.policy = sched::Policy::fairShare;
+    config.scheduler.quantumShots = 16;
+    {
+        engine::ShotEngine engine(platform, config);
+        engine::Job jobA = testJob(platform, 120, 3);
+        jobA.tenant = "alice";
+        jobA.label = "alice-job";
+        engine::Job jobB = testJob(platform, 120, 3);
+        jobB.tenant = "bob";
+        jobB.label = "bob-job";
+        sched::JobHandle handleA = engine.submit(std::move(jobA));
+        sched::JobHandle handleB = engine.submit(std::move(jobB));
+        handleA.get();
+        handleB.get();
+    }
+    log.setEnabled(false);  // stop recording for later tests.
+
+    std::set<int32_t> workerTracks;
+    std::set<std::string> tenants;
+    size_t jobSpans = 0;
+    for (const TraceSpan &s : log.spans()) {
+        if (s.cat == "engine" && s.name == "chunk") {
+            workerTracks.insert(s.track);
+            tenants.insert(s.tenant);
+        } else if (s.cat == "job") {
+            ++jobSpans;
+        }
+    }
+    // 240 shots in 8-shot chunks over 2 workers: both tracks busy, both
+    // tenants present, one job span per job.
+    EXPECT_EQ(workerTracks, (std::set<int32_t>{0, 1}));
+    EXPECT_EQ(tenants, (std::set<std::string>{"alice", "bob"}));
+    EXPECT_EQ(jobSpans, 2u);
+
+    // The export is loadable Chrome trace-event JSON with one named
+    // track per worker.
+    Json trace = Json::parse(log.chromeTraceJson().dump());
+    std::set<std::string> trackNames;
+    for (const Json &event : trace.at("traceEvents").asArray()) {
+        if (event.at("ph").asString() == "M")
+            trackNames.insert(event.at("args").at("name").asString());
+    }
+    EXPECT_TRUE(trackNames.count("worker 0"));
+    EXPECT_TRUE(trackNames.count("worker 1"));
+    log.clear();
+}

@@ -49,6 +49,38 @@ echo "== shard + merge smoke (3 processes, rabi) =="
 tools/shard_smoke.sh "$BUILD_DIR"
 "$BUILD_DIR"/bench_shard_merge --quick
 
+# Telemetry smoke: a 2-thread priority run must leave a parseable
+# Prometheus exposition behind, with the engine's shot counter at the
+# exact shot count of the run (counters are exact, not sampled).
+echo "== telemetry smoke (--metrics exposition, 2-thread priority) =="
+rm -f "$BUILD_DIR/ci_metrics.prom"
+"$BUILD_DIR"/eqasm-run --qec 2 --backend stabilizer --shots 400 \
+    --threads 2 --policy priority --priority 5 --tenant calib \
+    --metrics "$BUILD_DIR/ci_metrics.prom" --json > /dev/null
+grep -q '^# TYPE eqasm_engine_shots_total counter$' \
+    "$BUILD_DIR/ci_metrics.prom"
+grep -q '^eqasm_engine_shots_total 400$' "$BUILD_DIR/ci_metrics.prom"
+grep -q '^eqasm_sched_tenant_served_shots_total{tenant="calib"} 400$' \
+    "$BUILD_DIR/ci_metrics.prom"
+grep -q '^# TYPE eqasm_engine_queue_wait_us histogram$' \
+    "$BUILD_DIR/ci_metrics.prom"
+echo "telemetry smoke passed"
+
+# ThreadSanitizer job: the sharded-slot registry, the engine worker
+# pool and the scheduler instrumentation are exactly the kind of code
+# TSan must watch. Opt out (slow machines) with EQASM_CI_TSAN=0.
+if [ "${EQASM_CI_TSAN:-1}" != "0" ]; then
+    echo "== ThreadSanitizer (engine/sched/fastpath/telemetry) =="
+    cmake -B "$BUILD_DIR-tsan" -S . -DEQASM_TSAN=ON
+    cmake --build "$BUILD_DIR-tsan" -j "$(nproc)" \
+        --target engine_test sched_test fastpath_test telemetry_test
+    "$BUILD_DIR-tsan"/telemetry_test
+    "$BUILD_DIR-tsan"/engine_test
+    "$BUILD_DIR-tsan"/sched_test
+    "$BUILD_DIR-tsan"/fastpath_test
+    echo "tsan passed"
+fi
+
 # Docs link check: every relative link in README.md, docs/ and the
 # per-subsystem READMEs must resolve.
 echo "== docs link check =="

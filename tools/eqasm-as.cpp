@@ -21,11 +21,14 @@
 
 #include "assembler/assembler.h"
 #include "assembler/disassembler.h"
+#include "common/logging.h"
 #include "runtime/platform.h"
 
 using namespace eqasm;
 
 namespace {
+
+const Logger log_("eqasm-as");
 
 std::string
 readAll(std::istream &in)
@@ -72,7 +75,7 @@ main(int argc, char **argv)
         } else if (arg == "--help" || arg == "-h") {
             return usage();
         } else if (!arg.empty() && arg[0] == '-') {
-            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            log_.error("unknown option '%s'", arg.c_str());
             return usage();
         } else {
             input_file = arg;
@@ -84,8 +87,8 @@ main(int argc, char **argv)
         if (!platform_file.empty()) {
             std::ifstream in(platform_file);
             if (!in) {
-                std::fprintf(stderr, "cannot open platform file '%s'\n",
-                             platform_file.c_str());
+                log_.error("cannot open platform file '%s'",
+                           platform_file.c_str());
                 return 1;
             }
             platform = runtime::Platform::fromJson(
@@ -95,7 +98,7 @@ main(int argc, char **argv)
         } else if (chip == "two_qubit") {
             platform = runtime::Platform::twoQubit();
         } else {
-            std::fprintf(stderr, "unknown chip '%s'\n", chip.c_str());
+            log_.error("unknown chip '%s'", chip.c_str());
             return usage();
         }
 
@@ -105,8 +108,7 @@ main(int argc, char **argv)
         } else {
             std::ifstream in(input_file);
             if (!in) {
-                std::fprintf(stderr, "cannot open '%s'\n",
-                             input_file.c_str());
+                log_.error("cannot open '%s'", input_file.c_str());
                 return 1;
             }
             source = readAll(in);
@@ -116,8 +118,8 @@ main(int argc, char **argv)
                                   platform.params);
         assembler::Program program = asm_.assemble(source);
 
-        std::fprintf(stderr, "assembled %zu instructions\n",
-                     program.instructions.size());
+        log_.info("assembled %zu instructions",
+                  program.instructions.size());
         if (hex || (!dis && output_file.empty())) {
             for (uint32_t word : program.image)
                 std::printf("%08x\n", word);
@@ -138,16 +140,16 @@ main(int argc, char **argv)
                     static_cast<char>((word >> 24) & 0xff)};
                 out.write(bytes, 4);
             }
-            std::fprintf(stderr, "wrote %zu words to %s\n",
-                         program.image.size(), output_file.c_str());
+            log_.info("wrote %zu words to %s", program.image.size(),
+                      output_file.c_str());
         }
         return 0;
     } catch (const assembler::AssemblyError &error) {
         for (const auto &diagnostic : error.diagnostics())
-            std::fprintf(stderr, "%s\n", diagnostic.toString().c_str());
+            log_.error("%s", diagnostic.toString().c_str());
         return 1;
     } catch (const Error &error) {
-        std::fprintf(stderr, "%s\n", error.what());
+        log_.error("%s", error.what());
         return 1;
     }
 }

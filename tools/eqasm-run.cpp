@@ -29,6 +29,23 @@
  *     --tenant NAME                fair-share tenant of the job
  *     --stream N                   print a progress line to stderr
  *                                  every N finished chunks
+ *     --progress                   live single-line progress (shots
+ *                                  done/total, shots/s, ETA) on stderr;
+ *                                  auto-disabled when stdout is not a
+ *                                  TTY so piped --json output stays
+ *                                  clean
+ *     --log-level L                none|error|warn|info|trace (also
+ *                                  settable via the EQASM_LOG env var)
+ *     --metrics [out]              dump the telemetry registry after
+ *                                  the run: a .json argument selects
+ *                                  the JSON snapshot, any other file
+ *                                  the Prometheus text exposition; no
+ *                                  argument prints the exposition to
+ *                                  stderr
+ *     --trace-timeline out.json    record the job/chunk timeline and
+ *                                  write it as Chrome trace-event JSON
+ *                                  (load in chrome://tracing or
+ *                                  Perfetto)
  *     --ideal                      disable all noise
  *     --json [out.json]            emit the BatchResult as JSON
  *                                  (includes backend/seed/threads/
@@ -46,6 +63,8 @@
  *                                  cover the whole shot range
  *     --trace                      dump shot 0's trace to stderr
  */
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -53,16 +72,21 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/strings.h"
 #include "common/table.h"
 #include "engine/shot_engine.h"
 #include "runtime/platform.h"
 #include "runtime/quantum_processor.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace_log.h"
 #include "workloads/surface_code.h"
 
 using namespace eqasm;
 
 namespace {
+
+const Logger log_("eqasm-run");
 
 std::string
 readAll(std::istream &in)
@@ -70,6 +94,54 @@ readAll(std::istream &in)
     std::ostringstream out;
     out << in.rdbuf();
     return out.str();
+}
+
+/** @return whether @p path ends in @p suffix. */
+bool
+hasSuffix(const std::string &path, const std::string &suffix)
+{
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+/** Writes @p text to @p path; complains and returns 1 on failure. */
+int
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path);
+    out << text;
+    out.flush();
+    if (!out) {
+        log_.error("cannot write '%s'", path.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+/** The --metrics dump: JSON snapshot for .json targets, Prometheus
+ *  text exposition otherwise (stderr when no file was named). */
+int
+emitMetrics(const std::string &path)
+{
+    if (path.empty()) {
+        std::fprintf(stderr, "%s", telemetry::registry().prometheus().c_str());
+        return 0;
+    }
+    if (hasSuffix(path, ".json"))
+        return writeFile(path,
+                         telemetry::registry().snapshotJson().dump(2) +
+                             "\n");
+    return writeFile(path, telemetry::registry().prometheus());
+}
+
+/** The --trace-timeline dump: Chrome trace-event JSON. */
+int
+emitTraceTimeline(const std::string &path)
+{
+    return writeFile(path,
+                     telemetry::traceLog().chromeTraceJson().dump(2) +
+                         "\n");
 }
 
 /** Parses "I/N" into a shard spec; returns false on malformed input. */
@@ -101,16 +173,10 @@ emitJson(const engine::BatchResult &result, const std::string &path)
         std::printf("%s\n", text.c_str());
         return 0;
     }
-    std::ofstream out(path);
-    out << text << "\n";
-    // Flush before checking: a buffered write that only fails in the
-    // destructor (full disk) must not exit 0 with a truncated file.
-    out.flush();
-    if (!out) {
-        std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
-        return 1;
-    }
-    return 0;
+    // writeFile flushes before checking: a buffered write that only
+    // fails in the destructor (full disk) must not exit 0 with a
+    // truncated file.
+    return writeFile(path, text + "\n");
 }
 
 /** The --merge mode: fold shard result files into one verified
@@ -128,13 +194,12 @@ mergeShardFiles(const std::vector<std::string> &files,
         // input the user meant to merge.
         std::ifstream probe(json_out);
         if (probe) {
-            std::fprintf(stderr,
-                         "merge: output file '%s' already exists; "
-                         "refusing to overwrite (it may be a shard "
-                         "input — note the argument after --json "
-                         "names the output). Delete it or choose "
-                         "another name.\n",
-                         json_out.c_str());
+            log_.error("merge: output file '%s' already exists; "
+                       "refusing to overwrite (it may be a shard "
+                       "input — note the argument after --json "
+                       "names the output). Delete it or choose "
+                       "another name.",
+                       json_out.c_str());
             return 1;
         }
     }
@@ -142,8 +207,7 @@ mergeShardFiles(const std::vector<std::string> &files,
     for (const std::string &file : files) {
         std::ifstream in(file);
         if (!in) {
-            std::fprintf(stderr, "merge: cannot open '%s'\n",
-                         file.c_str());
+            log_.error("merge: cannot open '%s'", file.c_str());
             return 1;
         }
         try {
@@ -151,15 +215,14 @@ mergeShardFiles(const std::vector<std::string> &files,
                 engine::BatchResult::fromJson(Json::parse(readAll(in)));
             merged.merge(shard);
         } catch (const Error &error) {
-            std::fprintf(stderr, "merge: %s: %s\n", file.c_str(),
-                         error.what());
+            log_.error("merge: %s: %s", file.c_str(), error.what());
             return 1;
         }
     }
     try {
         merged.verifyComplete();
     } catch (const Error &error) {
-        std::fprintf(stderr, "merge: %s\n", error.what());
+        log_.error("merge: %s", error.what());
         return 1;
     }
     std::fprintf(stderr,
@@ -231,6 +294,10 @@ main(int argc, char **argv)
     int priority = 0;
     std::string tenant;
     int stream_every = 0;
+    bool progress = false;
+    bool metrics = false;
+    std::string metrics_out;
+    std::string timeline_out;
     bool ideal = false;
     bool json = false;
     std::string json_out;
@@ -247,9 +314,8 @@ main(int argc, char **argv)
         } else if (arg == "--qec" && i + 1 < argc) {
             qec_distance = static_cast<int>(parseInt(argv[++i]));
             if (qec_distance < 2) {
-                std::fprintf(stderr,
-                             "--qec needs a distance >= 2, got %d\n",
-                             qec_distance);
+                log_.error("--qec needs a distance >= 2, got %d",
+                           qec_distance);
                 return 2;
             }
         } else if (arg == "--rounds" && i + 1 < argc) {
@@ -265,10 +331,9 @@ main(int argc, char **argv)
         } else if (arg == "--shard" && i + 1 < argc) {
             std::string spec = argv[++i];
             if (!parseShard(spec, shard)) {
-                std::fprintf(stderr,
-                             "--shard needs I/N with 0 <= I < N (e.g. "
-                             "--shard 1/3), got '%s'\n",
-                             spec.c_str());
+                log_.error("--shard needs I/N with 0 <= I < N (e.g. "
+                           "--shard 1/3), got '%s'",
+                           spec.c_str());
                 return 2;
             }
         } else if (arg == "--policy" && i + 1 < argc) {
@@ -280,12 +345,36 @@ main(int argc, char **argv)
         } else if (arg == "--stream" && i + 1 < argc) {
             stream_every = static_cast<int>(parseInt(argv[++i]));
             if (stream_every < 1) {
-                std::fprintf(stderr,
-                             "--stream needs a chunk count >= 1, got "
-                             "%d\n",
-                             stream_every);
+                log_.error("--stream needs a chunk count >= 1, got %d",
+                           stream_every);
                 return 2;
             }
+        } else if (arg == "--progress") {
+            progress = true;
+        } else if (arg == "--log-level" && i + 1 < argc) {
+            std::string name = argv[++i];
+            auto level = parseLogLevel(name);
+            if (!level) {
+                log_.error("unknown log level '%s' (expected 'none', "
+                           "'error', 'warn', 'info' or 'trace')",
+                           name.c_str());
+                return 2;
+            }
+            setLogLevel(*level);
+        } else if (arg == "--metrics") {
+            metrics = true;
+            // Optional output file, like --json: a following .prom or
+            // .json argument names the dump target.
+            if (i + 1 < argc) {
+                std::string next = argv[i + 1];
+                if (next[0] != '-' && (hasSuffix(next, ".prom") ||
+                                       hasSuffix(next, ".json"))) {
+                    metrics_out = next;
+                    ++i;
+                }
+            }
+        } else if (arg == "--trace-timeline" && i + 1 < argc) {
+            timeline_out = argv[++i];
         } else if (arg == "--ideal") {
             ideal = true;
         } else if (arg == "--json") {
@@ -316,6 +405,9 @@ main(int argc, char **argv)
                          "[--shard i/n] "
                          "[--policy fifo|priority|fair] "
                          "[--priority n] [--tenant name] [--stream n] "
+                         "[--progress] [--log-level l] "
+                         "[--metrics [out]] "
+                         "[--trace-timeline out.json] "
                          "[--ideal] [--json [out.json]] [--trace] "
                          "[input]\n"
                          "       eqasm-run --merge <shard.json>... "
@@ -329,40 +421,42 @@ main(int argc, char **argv)
     if (merge) {
         if (qec_distance > 0 || chip_set || !platform_file.empty() ||
             shard.active() || trace) {
-            std::fprintf(stderr,
-                         "--merge folds existing shard result files; "
-                         "it cannot be combined with --qec, --chip, "
-                         "--platform, --shard or --trace\n");
+            log_.error("--merge folds existing shard result files; it "
+                       "cannot be combined with --qec, --chip, "
+                       "--platform, --shard or --trace");
             return 2;
         }
         if (inputs.empty()) {
-            std::fprintf(stderr,
-                         "--merge needs at least one shard result file "
-                         "(written by eqasm-run --shard i/n --json "
-                         "out.json)\n");
+            log_.error("--merge needs at least one shard result file "
+                       "(written by eqasm-run --shard i/n --json "
+                       "out.json)");
             return 2;
         }
-        return mergeShardFiles(inputs, json_out, json);
+        int rc = mergeShardFiles(inputs, json_out, json);
+        // The merge/verify counters moved even on failure — a dump of
+        // the refusal counts is exactly what --metrics is for.
+        if (metrics && rc == 0)
+            rc = emitMetrics(metrics_out);
+        else if (metrics)
+            emitMetrics(metrics_out);
+        return rc;
     }
     if (inputs.size() > 1) {
-        std::fprintf(stderr,
-                     "more than one input file given (%s, %s, ...); "
-                     "did you mean --merge?\n",
-                     inputs[0].c_str(), inputs[1].c_str());
+        log_.error("more than one input file given (%s, %s, ...); "
+                   "did you mean --merge?",
+                   inputs[0].c_str(), inputs[1].c_str());
         return 2;
     }
     std::string input_file = inputs.empty() ? std::string() : inputs[0];
     if (qec_rounds < 1) {
-        std::fprintf(stderr, "--rounds needs a value >= 1, got %d\n",
-                     qec_rounds);
+        log_.error("--rounds needs a value >= 1, got %d", qec_rounds);
         return 2;
     }
     if (qec_distance > 0 &&
         (chip_set || !platform_file.empty() || !input_file.empty())) {
-        std::fprintf(stderr,
-                     "--qec generates its own platform and program; it "
-                     "cannot be combined with --chip, --platform or an "
-                     "input file\n");
+        log_.error("--qec generates its own platform and program; it "
+                   "cannot be combined with --chip, --platform or an "
+                   "input file");
         return 2;
     }
 
@@ -373,8 +467,8 @@ main(int argc, char **argv)
         } else if (!platform_file.empty()) {
             std::ifstream in(platform_file);
             if (!in) {
-                std::fprintf(stderr, "cannot open platform file '%s'\n",
-                             platform_file.c_str());
+                log_.error("cannot open platform file '%s'",
+                           platform_file.c_str());
                 return 1;
             }
             platform = runtime::Platform::fromJson(
@@ -387,10 +481,9 @@ main(int argc, char **argv)
         if (!backend_name.empty()) {
             auto backend = qsim::parseBackendKind(backend_name);
             if (!backend) {
-                std::fprintf(stderr,
-                             "unknown backend '%s' (expected 'density' "
-                             "or 'stabilizer')\n",
-                             backend_name.c_str());
+                log_.error("unknown backend '%s' (expected 'density' "
+                           "or 'stabilizer')",
+                           backend_name.c_str());
                 return 2;
             }
             platform.device.backend = *backend;
@@ -407,8 +500,7 @@ main(int argc, char **argv)
         } else {
             std::ifstream in(input_file);
             if (!in) {
-                std::fprintf(stderr, "cannot open '%s'\n",
-                             input_file.c_str());
+                log_.error("cannot open '%s'", input_file.c_str());
                 return 1;
             }
             source = readAll(in);
@@ -422,13 +514,13 @@ main(int argc, char **argv)
 
         engine::EngineConfig engine_config;
         engine_config.threads = threads;
+        engine_config.traceTimeline = !timeline_out.empty();
         if (!policy_name.empty()) {
             auto policy = sched::parsePolicy(policy_name);
             if (!policy) {
-                std::fprintf(stderr,
-                             "unknown policy '%s' (expected 'fifo', "
-                             "'priority' or 'fair')\n",
-                             policy_name.c_str());
+                log_.error("unknown policy '%s' (expected 'fifo', "
+                           "'priority' or 'fair')",
+                           policy_name.c_str());
                 return 2;
             }
             engine_config.scheduler.policy = *policy;
@@ -460,12 +552,47 @@ main(int argc, char **argv)
                                  static_cast<double>(range_shots),
                              partial.shotsPerSecond);
             };
+        } else if (progress && isatty(STDOUT_FILENO)) {
+            // Live single-line progress, redrawn in place on stderr.
+            // Gated on stdout being a TTY: a piped or redirected run
+            // (--json | jq, CI logs) stays clean. --stream takes
+            // precedence — it is the machine-readable variant.
+            auto range = engine::shardRange(shots, shard);
+            int range_shots = range.second - range.first;
+            job.partialEveryChunks = 1;
+            job.onPartial = [range_shots](
+                                const engine::BatchResult &partial) {
+                double done = static_cast<double>(partial.shots);
+                double rate = partial.shotsPerSecond;
+                double eta =
+                    rate > 0.0 ? (range_shots - done) / rate : 0.0;
+                std::fprintf(stderr,
+                             "\r%llu/%d shots (%.1f%%, %.0f shots/s, "
+                             "ETA %.1fs)   ",
+                             static_cast<unsigned long long>(
+                                 partial.shots),
+                             range_shots, 100.0 * done / range_shots,
+                             rate, eta);
+                if (static_cast<int>(partial.shots) >= range_shots)
+                    std::fputc('\n', stderr);
+            };
         }
         engine::BatchResult result =
             processor.submitBatch(std::move(job)).get();
 
-        if (json)
-            return emitJson(result, json_out);
+        // The telemetry dumps happen before the result is printed so
+        // a failed write is reported next to the run, but they never
+        // change the exit code of a successful run's statistics path.
+        int telemetry_rc = 0;
+        if (metrics)
+            telemetry_rc |= emitMetrics(metrics_out);
+        if (!timeline_out.empty())
+            telemetry_rc |= emitTraceTimeline(timeline_out);
+
+        if (json) {
+            int rc = emitJson(result, json_out);
+            return rc != 0 ? rc : telemetry_rc;
+        }
 
         if (shard.active()) {
             std::fprintf(stderr,
@@ -499,13 +626,13 @@ main(int argc, char **argv)
                                     static_cast<double>(counts.shots))});
         }
         std::printf("%s", table.render().c_str());
-        return 0;
+        return telemetry_rc;
     } catch (const assembler::AssemblyError &error) {
         for (const auto &diagnostic : error.diagnostics())
-            std::fprintf(stderr, "%s\n", diagnostic.toString().c_str());
+            log_.error("%s", diagnostic.toString().c_str());
         return 1;
     } catch (const Error &error) {
-        std::fprintf(stderr, "%s\n", error.what());
+        log_.error("%s", error.what());
         return 1;
     }
 }
