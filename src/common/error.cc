@@ -15,6 +15,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::runtimeError: return "runtime_error";
       case ErrorCode::configError: return "config_error";
       case ErrorCode::notFound: return "not_found";
+      case ErrorCode::quotaExceeded: return "quota_exceeded";
     }
     return "unknown_error";
 }

@@ -30,6 +30,7 @@ enum class ErrorCode {
     runtimeError,      ///< A failure during microarchitecture execution.
     configError,       ///< Bad platform / operation configuration.
     notFound,          ///< Lookup failure (label, register, opcode, ...).
+    quotaExceeded,     ///< A tenant hit an admission quota or rate limit.
 };
 
 /** @return a stable lower-case name for @p code (used in messages/tests). */

@@ -723,6 +723,37 @@ BatchResult::fromJson(const Json &json)
     return result;
 }
 
+void
+insertShotRange(std::vector<std::pair<uint64_t, uint64_t>> &ranges,
+                uint64_t begin, uint64_t end)
+{
+    if (end <= begin) {
+        throwError(ErrorCode::invalidArgument,
+                   format("cannot insert empty shot range [%llu, %llu)",
+                          static_cast<unsigned long long>(begin),
+                          static_cast<unsigned long long>(end)));
+    }
+    ranges = unionRanges(ranges, {{begin, end}});
+}
+
+std::vector<std::pair<uint64_t, uint64_t>>
+missingShotRanges(const std::vector<std::pair<uint64_t, uint64_t>> &ranges,
+                  uint64_t totalShots)
+{
+    std::vector<std::pair<uint64_t, uint64_t>> gaps;
+    uint64_t cursor = 0;
+    for (const auto &[begin, end] : ranges) {
+        if (begin >= totalShots)
+            break;
+        if (begin > cursor)
+            gaps.emplace_back(cursor, begin);
+        cursor = std::max(cursor, std::min(end, totalShots));
+    }
+    if (cursor < totalShots)
+        gaps.emplace_back(cursor, totalShots);
+    return gaps;
+}
+
 std::string
 imageFingerprint(const std::vector<uint32_t> &image)
 {

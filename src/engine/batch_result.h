@@ -165,6 +165,28 @@ struct BatchResult {
  */
 std::string imageFingerprint(const std::vector<uint32_t> &image);
 
+/**
+ * Inserts [begin, end) into @p ranges, keeping the sorted / disjoint /
+ * coalesced invariant of BatchResult::shotRanges. The engine uses this
+ * to track which chunks of a job have actually completed (the coverage
+ * a partial snapshot reports), and the service journal to fold
+ * recovered checkpoint coverage.
+ * @throws Error{invalidArgument} when the new range is empty or
+ *         overlaps an existing one.
+ */
+void insertShotRange(std::vector<std::pair<uint64_t, uint64_t>> &ranges,
+                     uint64_t begin, uint64_t end);
+
+/**
+ * The complement of @p ranges (sorted, disjoint, coalesced) within
+ * [0, totalShots) — the shots a recovered result does NOT cover, in
+ * ascending order. A crashed daemon resumes a job by submitting one
+ * range-override job (Job::range) per returned gap.
+ */
+std::vector<std::pair<uint64_t, uint64_t>>
+missingShotRanges(const std::vector<std::pair<uint64_t, uint64_t>> &ranges,
+                  uint64_t totalShots);
+
 } // namespace eqasm::engine
 
 #endif // EQASM_ENGINE_BATCH_RESULT_H

@@ -62,6 +62,24 @@ shardRange(int totalShots, const ShardSpec &shard)
     return {boundary(shard.index), boundary(shard.index + 1)};
 }
 
+/**
+ * An explicit absolute shot sub-range [begin, end) of a job — the
+ * journal-resume counterpart of ShardSpec. Where a shard derives its
+ * range from an (index, count) plan, a resumed job names the exact
+ * uncovered range a crashed run left behind (which is generally not
+ * expressible as a slice i/n of the total). Like a shard, the range
+ * keeps its absolute indices so Rng::forShot streams line up and the
+ * result merges with already-persisted coverage. end == 0 (the
+ * default) means no override: the whole range (or the shard's slice)
+ * runs.
+ */
+struct ShotRange {
+    int begin = 0;  ///< first shot index, >= 0.
+    int end = 0;    ///< one past the last shot; 0 = no override.
+
+    bool active() const { return end > begin; }
+};
+
 /** One batch-execution request. */
 struct Job {
     std::vector<uint32_t> image;  ///< assembled eQASM binary image.
@@ -72,6 +90,11 @@ struct Job {
     /** Which slice of the job this process executes (see ShardSpec);
      *  default: not sharded, the whole range runs here. */
     ShardSpec shard;
+
+    /** Explicit absolute sub-range override (see ShotRange) — used by
+     *  the service journal to resume exactly the shots a crashed run
+     *  never covered. Mutually exclusive with an active shard. */
+    ShotRange range;
 
     // --- scheduling metadata (see sched::JobScheduler) ---
     std::string tenant;           ///< fair-share bucket ("" = default).

@@ -145,6 +145,11 @@ struct ShotEngine::JobState : sched::JobControl {
      *  rangeBegin and advances to rangeEnd as workers claim chunks. */
     int claimedShots = 0;
     int accountedShots = 0;  ///< shots whose chunks finished/skipped.
+    /** Absolute ranges whose shots have actually executed and folded
+     *  into the aggregate — what a partial snapshot truthfully covers
+     *  (chunks finish out of order, so this is generally a disjoint
+     *  set until the job completes). */
+    std::vector<std::pair<uint64_t, uint64_t>> completedRanges;
     int chunksSinceSnapshot = 0;
     bool firstClaimObserved = false;  ///< queue-wait histogram fired.
     bool failed = false;
@@ -282,7 +287,30 @@ ShotEngine::submit(Job job)
                    job.label.empty() ? "(unlabelled)" : job.label.c_str(),
                    job.shard.index, job.shard.count));
     }
+    if (job.range.active() && job.shard.active()) {
+        throwError(
+            ErrorCode::invalidArgument,
+            format("job '%s' combines shard %d/%d with an explicit "
+                   "range [%d, %d); a resume range already names its "
+                   "absolute shots",
+                   job.label.empty() ? "(unlabelled)" : job.label.c_str(),
+                   job.shard.index, job.shard.count, job.range.begin,
+                   job.range.end));
+    }
+    if (job.range.active() &&
+        (job.range.begin < 0 || job.range.end > job.shots)) {
+        throwError(
+            ErrorCode::invalidArgument,
+            format("job '%s' range [%d, %d) lies outside the job's "
+                   "[0, %d) shots",
+                   job.label.empty() ? "(unlabelled)" : job.label.c_str(),
+                   job.range.begin, job.range.end, job.shots));
+    }
     auto [rangeBegin, rangeEnd] = shardRange(job.shots, job.shard);
+    if (job.range.active()) {
+        rangeBegin = job.range.begin;
+        rangeEnd = job.range.end;
+    }
     if (rangeBegin == rangeEnd) {
         throwError(
             ErrorCode::invalidArgument,
@@ -557,12 +585,12 @@ ShotEngine::runChunk(std::optional<Replica> &replica, JobState &state,
         }
         metrics.activeWorkers.dec();
     }
-    finishChunk(state, std::move(partial), end - begin, error);
+    finishChunk(state, std::move(partial), begin, end - begin, error);
 }
 
 void
 ShotEngine::finishChunk(JobState &state, BatchResult &&partial,
-                        int count, std::exception_ptr error)
+                        int begin, int count, std::exception_ptr error)
 {
     bool done;
     bool snapshot = false;
@@ -575,6 +603,16 @@ ShotEngine::finishChunk(JobState &state, BatchResult &&partial,
             state.error = error;
         }
         state.aggregate.merge(partial);
+        // Record what this chunk actually executed (a chunk that threw
+        // mid-way covers only its completed prefix — shots run in
+        // order). The coverage feeds partial snapshots so a persisted
+        // checkpoint never claims shots it does not hold.
+        if (partial.shots > 0) {
+            insertShotRange(state.completedRanges,
+                            static_cast<uint64_t>(begin),
+                            static_cast<uint64_t>(begin) +
+                                partial.shots);
+        }
         state.executedShots.store(
             static_cast<int>(state.aggregate.shots),
             std::memory_order_relaxed);
@@ -589,6 +627,10 @@ ShotEngine::finishChunk(JobState &state, BatchResult &&partial,
             if (++state.chunksSinceSnapshot >= every) {
                 state.chunksSinceSnapshot = 0;
                 snapshotCopy = state.aggregate;
+                // The aggregate's shotRanges claim the job's whole
+                // assigned range (its provenance); a snapshot instead
+                // reports the coverage that has truly completed.
+                snapshotCopy.shotRanges = state.completedRanges;
                 snapshot = true;
             }
         }

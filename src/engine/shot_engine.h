@@ -113,10 +113,18 @@ class ShotEngine
      * program hash, total shot count and covered range so the slices
      * can be folded back with BatchResult::merge and verified with
      * verifyComplete().
+     * A job with an explicit range override (job.range.active())
+     * executes only that absolute sub-range — the journal-resume path,
+     * where the uncovered remainder of a crashed job is generally not
+     * expressible as a shard slice. Partial snapshots report the
+     * coverage that has actually completed (BatchResult::shotRanges of
+     * a snapshot holds the finished chunk ranges, coalesced), so a
+     * persisted snapshot is an honest checkpoint.
      * @throws Error{invalidArgument} when the job requests fewer than
-     *         one shot, names an out-of-range shard index, or shards
-     *         so finely that its slice is empty; the message names the
-     *         job's label.
+     *         one shot, names an out-of-range shard index, shards so
+     *         finely that its slice is empty, combines a shard with a
+     *         range override, or names a range outside [0, shots); the
+     *         message names the job's label.
      */
     sched::JobHandle submit(Job job);
 
@@ -144,8 +152,8 @@ class ShotEngine
      *  use (thread-safe; every replica then shares the one copy). */
     std::shared_ptr<const std::vector<isa::Instruction>>
     decodedProgram(JobState &state);
-    void finishChunk(JobState &state, BatchResult &&partial, int count,
-                     std::exception_ptr error);
+    void finishChunk(JobState &state, BatchResult &&partial, int begin,
+                     int count, std::exception_ptr error);
     /** Claims the remaining range of every cancelled queued job (called
      *  under mutex_); returns the claims to account outside the lock. */
     std::vector<std::pair<std::shared_ptr<JobState>, int>>

@@ -16,6 +16,7 @@
 #ifndef EQASM_SCHED_JOB_HANDLE_H
 #define EQASM_SCHED_JOB_HANDLE_H
 
+#include <chrono>
 #include <future>
 #include <memory>
 
@@ -96,6 +97,20 @@ class JobHandle
     {
         if (future_.valid())
             future_.wait();
+    }
+
+    /**
+     * Blocks until the job completes or @p timeout elapses — the
+     * bounded wait a serving loop needs (a daemon polling many jobs
+     * must never park forever on one of them).
+     * @return true once the result (or error) is available within the
+     *         timeout; false on expiry — and false immediately on an
+     *         invalid handle, mirroring done().
+     */
+    bool waitFor(std::chrono::milliseconds timeout) const
+    {
+        return future_.valid() &&
+               future_.wait_for(timeout) == std::future_status::ready;
     }
 
     /** @return true once the result (or error) is available (false on

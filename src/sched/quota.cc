@@ -1,0 +1,235 @@
+#include "sched/quota.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace eqasm::sched {
+
+const TenantLimits &
+QuotaConfig::limitsFor(const std::string &tenant) const
+{
+    auto it = tenants.find(tenant);
+    return it != tenants.end() ? it->second : defaults;
+}
+
+namespace {
+
+/** Parses one limits object, rejecting unknown keys so a typo in a
+ *  quota file surfaces instead of silently meaning "unlimited". */
+TenantLimits
+limitsFromJson(const Json &json, const std::string &context)
+{
+    if (!json.isObject()) {
+        throwError(ErrorCode::invalidArgument,
+                   format("quota limits of %s must be a JSON object",
+                          context.c_str()));
+    }
+    TenantLimits limits;
+    for (const auto &[key, value] : json.asObject()) {
+        double number;
+        if (!value.isNumber()) {
+            throwError(ErrorCode::invalidArgument,
+                       format("quota field '%s' of %s must be a number",
+                              key.c_str(), context.c_str()));
+        }
+        number = value.asDouble();
+        if (number < 0) {
+            throwError(ErrorCode::invalidArgument,
+                       format("quota field '%s' of %s must be >= 0 "
+                              "(0 = unlimited)",
+                              key.c_str(), context.c_str()));
+        }
+        if (key == "max_active_jobs") {
+            limits.maxActiveJobs = static_cast<int>(value.asInt());
+        } else if (key == "max_active_shots") {
+            limits.maxActiveShots = value.asInt();
+        } else if (key == "submit_rate_per_sec") {
+            limits.submitRatePerSec = number;
+        } else if (key == "submit_burst") {
+            limits.submitBurst = number;
+        } else {
+            throwError(ErrorCode::invalidArgument,
+                       format("unknown quota field '%s' of %s (expected "
+                              "max_active_jobs, max_active_shots, "
+                              "submit_rate_per_sec or submit_burst)",
+                              key.c_str(), context.c_str()));
+        }
+    }
+    return limits;
+}
+
+Json
+limitsToJson(const TenantLimits &limits)
+{
+    Json json = Json::makeObject();
+    json.set("max_active_jobs", static_cast<int64_t>(limits.maxActiveJobs));
+    json.set("max_active_shots", limits.maxActiveShots);
+    json.set("submit_rate_per_sec", limits.submitRatePerSec);
+    json.set("submit_burst", limits.submitBurst);
+    return json;
+}
+
+} // namespace
+
+QuotaConfig
+QuotaConfig::fromJson(const Json &json)
+{
+    if (!json.isObject()) {
+        throwError(ErrorCode::invalidArgument,
+                   "a quota configuration must be a JSON object");
+    }
+    QuotaConfig config;
+    for (const auto &[key, value] : json.asObject()) {
+        if (key == "defaults") {
+            config.defaults = limitsFromJson(value, "'defaults'");
+        } else if (key == "tenants") {
+            if (!value.isObject()) {
+                throwError(ErrorCode::invalidArgument,
+                           "quota field 'tenants' must be an object of "
+                           "tenant -> limits");
+            }
+            for (const auto &[tenant, limits] : value.asObject()) {
+                config.tenants[tenant] = limitsFromJson(
+                    limits, format("tenant '%s'", tenant.c_str()));
+            }
+        } else {
+            throwError(ErrorCode::invalidArgument,
+                       format("unknown quota field '%s' (expected "
+                              "'defaults' or 'tenants')",
+                              key.c_str()));
+        }
+    }
+    return config;
+}
+
+Json
+QuotaConfig::toJson() const
+{
+    Json json = Json::makeObject();
+    json.set("defaults", limitsToJson(defaults));
+    Json byTenant = Json::makeObject();
+    for (const auto &[tenant, limits] : tenants)
+        byTenant.set(tenant, limitsToJson(limits));
+    json.set("tenants", std::move(byTenant));
+    return json;
+}
+
+QuotaManager::QuotaManager(QuotaConfig config)
+    : config_(std::move(config))
+{
+}
+
+const telemetry::Counter &
+QuotaManager::rejectionCounter(const std::string &tenant,
+                               const char *reason)
+{
+    auto key = std::make_pair(tenant, std::string(reason));
+    auto it = rejections_.find(key);
+    if (it == rejections_.end()) {
+        it = rejections_
+                 .emplace(std::move(key),
+                          telemetry::registry().counter(
+                              "eqasm_sched_quota_rejections_total",
+                              "Submits refused by per-tenant quotas, "
+                              "by tenant and violated limit",
+                              {{"tenant", tenant}, {"reason", reason}}))
+                 .first;
+    }
+    return it->second;
+}
+
+void
+QuotaManager::admit(const std::string &tenant, int shots, uint64_t nowUs)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    const TenantLimits &limits = config_.limitsFor(tenant);
+    TenantState &state = tenants_[tenant];
+    const char *label = tenant.empty() ? "(default)" : tenant.c_str();
+
+    if (limits.maxActiveJobs > 0 &&
+        state.activeJobs >= limits.maxActiveJobs) {
+        rejectionCounter(tenant, "active_jobs").inc();
+        throwError(
+            ErrorCode::quotaExceeded,
+            format("tenant '%s' already has %d active jobs (limit %d)",
+                   label, state.activeJobs, limits.maxActiveJobs));
+    }
+    if (limits.maxActiveShots > 0 &&
+        state.activeShots + shots > limits.maxActiveShots) {
+        rejectionCounter(tenant, "active_shots").inc();
+        throwError(
+            ErrorCode::quotaExceeded,
+            format("tenant '%s' holds %lld active shots; %d more would "
+                   "exceed the limit of %lld",
+                   label, static_cast<long long>(state.activeShots),
+                   shots,
+                   static_cast<long long>(limits.maxActiveShots)));
+    }
+    if (limits.submitRatePerSec > 0.0) {
+        double burst = limits.submitBurst > 0.0
+                           ? limits.submitBurst
+                           : std::max(1.0, limits.submitRatePerSec);
+        if (!state.bucketPrimed) {
+            // A fresh bucket starts full so the first burst passes.
+            state.tokens = burst;
+            state.lastRefillUs = nowUs;
+            state.bucketPrimed = true;
+        } else if (nowUs > state.lastRefillUs) {
+            state.tokens = std::min(
+                burst,
+                state.tokens +
+                    static_cast<double>(nowUs - state.lastRefillUs) *
+                        1e-6 * limits.submitRatePerSec);
+            state.lastRefillUs = nowUs;
+        }
+        if (state.tokens < 1.0) {
+            rejectionCounter(tenant, "rate").inc();
+            throwError(
+                ErrorCode::quotaExceeded,
+                format("tenant '%s' exceeded its submit rate limit of "
+                       "%.3g/s (burst %.3g); retry later",
+                       label, limits.submitRatePerSec, burst));
+        }
+        state.tokens -= 1.0;
+    }
+    ++state.activeJobs;
+    state.activeShots += shots;
+}
+
+void
+QuotaManager::track(const std::string &tenant, int shots)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    TenantState &state = tenants_[tenant];
+    ++state.activeJobs;
+    state.activeShots += shots;
+}
+
+void
+QuotaManager::release(const std::string &tenant, int shots)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    TenantState &state = tenants_[tenant];
+    state.activeJobs = std::max(0, state.activeJobs - 1);
+    state.activeShots = std::max<int64_t>(0, state.activeShots - shots);
+}
+
+int
+QuotaManager::activeJobs(const std::string &tenant) const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = tenants_.find(tenant);
+    return it != tenants_.end() ? it->second.activeJobs : 0;
+}
+
+int64_t
+QuotaManager::activeShots(const std::string &tenant) const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = tenants_.find(tenant);
+    return it != tenants_.end() ? it->second.activeShots : 0;
+}
+
+} // namespace eqasm::sched

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Per-tenant admission quotas and submit rate limits — the layer a
+ * serving front-end (eqasmd) puts *above* the fair-share scheduler.
+ *
+ * Fair-share decides who runs next among admitted work; it cannot stop
+ * a tenant from flooding the queue in the first place (every queued job
+ * costs memory, journal space and scheduling work even if it never gets
+ * a worker visit). The quota manager therefore gates admission:
+ *
+ *  - active-job and active-shot ceilings: a submit that would push a
+ *    tenant past its cap is refused outright;
+ *  - a token-bucket submit rate limit: tokens refill at ratePerSec up
+ *    to a burst cap, every admitted submit spends one — sustained
+ *    submit storms are throttled while short bursts pass.
+ *
+ * Refusals throw Error{quotaExceeded} with a message naming the tenant
+ * and the exact limit, so the wire protocol can relay a typed error,
+ * and each refusal bumps a per-tenant, per-reason telemetry counter
+ * (eqasm_sched_quota_rejections_total) so operators see who is being
+ * throttled. Admission is time-stamped by the caller (microseconds,
+ * any monotonic base), which keeps the refill arithmetic deterministic
+ * and directly testable.
+ *
+ * Thread-safe: all operations take an internal mutex (admission is a
+ * per-submit event, never a per-shot one, so a mutex costs nothing
+ * that matters).
+ */
+#ifndef EQASM_SCHED_QUOTA_H
+#define EQASM_SCHED_QUOTA_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/json.h"
+#include "telemetry/metrics.h"
+
+namespace eqasm::sched {
+
+/** Limits applied to one tenant; 0 means "unlimited" for each field. */
+struct TenantLimits {
+    int maxActiveJobs = 0;      ///< admitted-but-unfinished job cap.
+    int64_t maxActiveShots = 0; ///< shots across those jobs.
+    double submitRatePerSec = 0.0;  ///< token-bucket refill rate.
+    /** Token-bucket capacity; <= 0 selects max(1, submitRatePerSec). */
+    double submitBurst = 0.0;
+};
+
+/** Quota configuration: defaults plus per-tenant overrides. */
+struct QuotaConfig {
+    TenantLimits defaults;                      ///< unlisted tenants.
+    std::map<std::string, TenantLimits> tenants;
+
+    /** @return the limits governing @p tenant. */
+    const TenantLimits &limitsFor(const std::string &tenant) const;
+
+    /**
+     * Parses {"defaults": {...}, "tenants": {"name": {...}, ...}} where
+     * each limits object may set "max_active_jobs", "max_active_shots",
+     * "submit_rate_per_sec" and "submit_burst" (all optional, 0 =
+     * unlimited).
+     * @throws Error{invalidArgument} on unknown keys or negative
+     *         values, naming the offending field.
+     */
+    static QuotaConfig fromJson(const Json &json);
+    Json toJson() const;
+};
+
+/**
+ * Tracks per-tenant admission state and enforces QuotaConfig.
+ * admit() either records the submit or throws; release() returns the
+ * job's footprint when it settles (completed, failed or cancelled).
+ */
+class QuotaManager
+{
+  public:
+    explicit QuotaManager(QuotaConfig config = {});
+
+    /**
+     * Admits a @p shots -shot submit of @p tenant at time @p nowUs
+     * (monotonic microseconds; only differences matter).
+     * @throws Error{quotaExceeded} naming the tenant and the violated
+     *         limit (active jobs, active shots, or submit rate). A
+     *         refused submit spends no token and charges nothing.
+     */
+    void admit(const std::string &tenant, int shots, uint64_t nowUs);
+
+    /**
+     * Records a recovered job (journal replay) without checking any
+     * limit — the job was admitted before the restart; re-checking
+     * would let a quota change strand durable work.
+     */
+    void track(const std::string &tenant, int shots);
+
+    /** Releases one admitted/tracked job's footprint. */
+    void release(const std::string &tenant, int shots);
+
+    int activeJobs(const std::string &tenant) const;
+    int64_t activeShots(const std::string &tenant) const;
+    const QuotaConfig &config() const { return config_; }
+
+  private:
+    struct TenantState {
+        int activeJobs = 0;
+        int64_t activeShots = 0;
+        double tokens = 0.0;
+        uint64_t lastRefillUs = 0;
+        bool bucketPrimed = false;  ///< first admit fills the bucket.
+    };
+
+    /** Lazily registered per-(tenant, reason) rejection counter. */
+    const telemetry::Counter &rejectionCounter(const std::string &tenant,
+                                               const char *reason);
+
+    QuotaConfig config_;
+    mutable std::mutex mutex_;
+    std::map<std::string, TenantState> tenants_;
+    std::map<std::pair<std::string, std::string>, telemetry::Counter>
+        rejections_;
+};
+
+} // namespace eqasm::sched
+
+#endif // EQASM_SCHED_QUOTA_H

@@ -1,0 +1,467 @@
+#include "service/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "telemetry/metrics.h"
+
+namespace eqasm::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct JournalMetrics {
+    telemetry::Counter checkpoints;
+    telemetry::Counter replays;
+    telemetry::Counter recoveredJobs;
+};
+
+const JournalMetrics &
+journalMetrics()
+{
+    static const JournalMetrics metrics = [] {
+        telemetry::Registry &r = telemetry::registry();
+        JournalMetrics m;
+        m.checkpoints = r.counter(
+            "eqasm_service_journal_checkpoints_total",
+            "Shard-format checkpoint files durably written");
+        m.replays = r.counter("eqasm_service_journal_replays_total",
+                              "Intent-log replays performed at startup");
+        m.recoveredJobs = r.counter(
+            "eqasm_service_journal_recovered_jobs_total",
+            "Unfinished jobs recovered from the intent log");
+        return m;
+    }();
+    return metrics;
+}
+
+/** fsync(2) wrapper that converts failure into a typed error — a
+ *  checkpoint that may not be durable must not be reported as one. */
+void
+syncFd(int fd, const std::string &what)
+{
+    if (::fsync(fd) != 0) {
+        throwError(ErrorCode::runtimeError,
+                   format("fsync of %s failed: %s", what.c_str(),
+                          std::strerror(errno)));
+    }
+}
+
+/** fsyncs a directory so a rename/creat inside it is durable. */
+void
+syncDir(const std::string &path)
+{
+    int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) {
+        throwError(ErrorCode::runtimeError,
+                   format("cannot open directory '%s' to sync it: %s",
+                          path.c_str(), std::strerror(errno)));
+    }
+    // Best effort on the directory itself: some filesystems refuse
+    // directory fsync; the file-level fsync above already happened.
+    ::fsync(fd);
+    ::close(fd);
+}
+
+/** Writes @p text to @p path via tmp + fsync + rename. */
+void
+writeAtomically(const std::string &path, const std::string &text)
+{
+    const std::string tmp = path + ".tmp";
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        throwError(ErrorCode::runtimeError,
+                   format("cannot create '%s': %s", tmp.c_str(),
+                          std::strerror(errno)));
+    }
+    size_t written = 0;
+    while (written < text.size()) {
+        ssize_t n = ::write(fd, text.data() + written,
+                            text.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            int err = errno;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            throwError(ErrorCode::runtimeError,
+                       format("write to '%s' failed: %s", tmp.c_str(),
+                              std::strerror(err)));
+        }
+        written += static_cast<size_t>(n);
+    }
+    try {
+        syncFd(fd, tmp);
+    } catch (...) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        throw;
+    }
+    ::close(fd);
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        int err = errno;
+        ::unlink(tmp.c_str());
+        throwError(ErrorCode::runtimeError,
+                   format("cannot rename '%s' into place: %s",
+                          path.c_str(), std::strerror(err)));
+    }
+    syncDir(fs::path(path).parent_path().string());
+}
+
+std::string
+readFileOrThrow(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        throwError(ErrorCode::runtimeError,
+                   format("cannot open '%s'", path.c_str()));
+    }
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/** The member @p key of @p json, an integral number. */
+int64_t
+specInt(const Json &json, const char *key)
+{
+    const Json *value = json.find(key);
+    if (!value || !value->isNumber()) {
+        throwError(ErrorCode::invalidArgument,
+                   format("job spec is missing numeric field '%s'",
+                          key));
+    }
+    return value->asInt();
+}
+
+} // namespace
+
+Json
+JobSpec::toJson() const
+{
+    Json json = Json::makeObject();
+    json.set("id", id);
+    json.set("label", label);
+    json.set("tenant", tenant);
+    json.set("priority", static_cast<int64_t>(priority));
+    json.set("shots", static_cast<int64_t>(shots));
+    json.set("seed", seed);
+    Json words = Json::makeArray();
+    for (uint32_t word : image)
+        words.append(static_cast<int64_t>(word));
+    json.set("image", std::move(words));
+    return json;
+}
+
+JobSpec
+JobSpec::fromJson(const Json &json)
+{
+    if (!json.isObject()) {
+        throwError(ErrorCode::invalidArgument,
+                   "a job spec must be a JSON object");
+    }
+    JobSpec spec;
+    int64_t id = specInt(json, "id");
+    if (id <= 0) {
+        throwError(ErrorCode::invalidArgument,
+                   format("job spec id must be > 0, got %lld",
+                          static_cast<long long>(id)));
+    }
+    spec.id = static_cast<uint64_t>(id);
+    const Json *label = json.find("label");
+    if (!label || !label->isString()) {
+        throwError(ErrorCode::invalidArgument,
+                   "job spec is missing string field 'label'");
+    }
+    spec.label = label->asString();
+    const Json *tenant = json.find("tenant");
+    if (!tenant || !tenant->isString()) {
+        throwError(ErrorCode::invalidArgument,
+                   "job spec is missing string field 'tenant'");
+    }
+    spec.tenant = tenant->asString();
+    spec.priority = static_cast<int>(specInt(json, "priority"));
+    int64_t shots = specInt(json, "shots");
+    if (shots < 1) {
+        throwError(ErrorCode::invalidArgument,
+                   format("job spec shots must be >= 1, got %lld",
+                          static_cast<long long>(shots)));
+    }
+    spec.shots = static_cast<int>(shots);
+    int64_t seed = specInt(json, "seed");
+    if (seed < 0) {
+        throwError(ErrorCode::invalidArgument, "job spec seed must be >= 0");
+    }
+    spec.seed = static_cast<uint64_t>(seed);
+    const Json *image = json.find("image");
+    if (!image || !image->isArray()) {
+        throwError(ErrorCode::invalidArgument,
+                   "job spec is missing array field 'image'");
+    }
+    spec.image.reserve(image->size());
+    for (const Json &word : image->asArray()) {
+        if (!word.isNumber()) {
+            throwError(ErrorCode::invalidArgument,
+                       "job spec image words must be numbers");
+        }
+        int64_t value = word.asInt();
+        if (value < 0 || value > 0xffffffffLL) {
+            throwError(ErrorCode::invalidArgument,
+                       format("job spec image word %lld does not fit 32 "
+                              "bits",
+                              static_cast<long long>(value)));
+        }
+        spec.image.push_back(static_cast<uint32_t>(value));
+    }
+    return spec;
+}
+
+Journal::Journal(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec) {
+        throwError(ErrorCode::configError,
+                   format("cannot create journal directory '%s': %s",
+                          dir_.c_str(), ec.message().c_str()));
+    }
+    const std::string path = dir_ + "/intent.log";
+    intentFd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (intentFd_ < 0) {
+        throwError(ErrorCode::configError,
+                   format("cannot open journal intent log '%s': %s",
+                          path.c_str(), std::strerror(errno)));
+    }
+}
+
+void
+Journal::appendLine(const std::string &line)
+{
+    std::string record = line + "\n";
+    size_t written = 0;
+    while (written < record.size()) {
+        ssize_t n = ::write(intentFd_, record.data() + written,
+                            record.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throwError(ErrorCode::runtimeError,
+                       format("append to journal intent log failed: %s",
+                              std::strerror(errno)));
+        }
+        written += static_cast<size_t>(n);
+    }
+    syncFd(intentFd_, dir_ + "/intent.log");
+}
+
+void
+Journal::appendAccept(const JobSpec &spec)
+{
+    Json record = Json::makeObject();
+    record.set("event", "accept");
+    record.set("id", spec.id);
+    record.set("job", spec.toJson());
+    appendLine(record.dump());
+}
+
+void
+Journal::appendEvent(const std::string &event, uint64_t id,
+                     const std::string &detail)
+{
+    Json record = Json::makeObject();
+    record.set("event", event);
+    record.set("id", id);
+    if (!detail.empty())
+        record.set("detail", detail);
+    appendLine(record.dump());
+}
+
+Journal::Replay
+Journal::replay() const
+{
+    journalMetrics().replays.inc();
+    Replay replay;
+    const std::string path = dir_ + "/intent.log";
+    std::ifstream in(path);
+    if (!in)
+        return replay;  // fresh journal: nothing to recover.
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (trim(line).empty())
+            continue;
+        Json record;
+        try {
+            record = Json::parse(line);
+            const Json *event = record.find("event");
+            if (!event || !event->isString()) {
+                throwError(ErrorCode::invalidArgument,
+                           "journal record has no 'event' field");
+            }
+            const std::string &kind = event->asString();
+            if (kind == "accept") {
+                JobSpec spec = JobSpec::fromJson(record.at("job"));
+                replay.maxId = std::max(replay.maxId, spec.id);
+                replay.accepted.push_back(std::move(spec));
+            } else if (kind == "done" || kind == "failed" ||
+                       kind == "cancelled") {
+                uint64_t id =
+                    static_cast<uint64_t>(specInt(record, "id"));
+                replay.maxId = std::max(replay.maxId, id);
+                replay.terminal[id] = kind;
+                replay.terminalDetail[id] =
+                    record.getString("detail", "");
+            } else {
+                throwError(ErrorCode::invalidArgument,
+                           format("unknown journal event '%s'",
+                                  kind.c_str()));
+            }
+        } catch (const Error &error) {
+            // A torn *final* line is the signature of a crash mid-
+            // append: that submit was never acknowledged, so dropping
+            // it is correct. Anything earlier is corruption.
+            if (in.peek() == std::char_traits<char>::eof()) {
+                replay.tornTail = true;
+                break;
+            }
+            throwError(ErrorCode::invalidArgument,
+                       format("journal intent log '%s' line %d is "
+                              "corrupt (%s); refusing to replay past "
+                              "it",
+                              path.c_str(), lineNo, error.message().c_str()));
+        }
+    }
+    size_t unfinished = 0;
+    for (const JobSpec &spec : replay.accepted) {
+        if (!replay.terminal.count(spec.id))
+            ++unfinished;
+    }
+    journalMetrics().recoveredJobs.add(unfinished);
+    return replay;
+}
+
+std::string
+Journal::jobDir(uint64_t id) const
+{
+    std::string path =
+        dir_ + format("/job-%06llu", static_cast<unsigned long long>(id));
+    std::error_code ec;
+    fs::create_directories(path, ec);
+    if (ec) {
+        throwError(ErrorCode::runtimeError,
+                   format("cannot create job directory '%s': %s",
+                          path.c_str(), ec.message().c_str()));
+    }
+    return path;
+}
+
+void
+Journal::writePart(uint64_t id, int epoch, int gap,
+                   const engine::BatchResult &snapshot)
+{
+    const std::string path =
+        jobDir(id) + format("/part-%03d-%03d.json", epoch, gap);
+    writeAtomically(path, snapshot.toJson().dump(2) + "\n");
+    journalMetrics().checkpoints.inc();
+}
+
+engine::BatchResult
+Journal::loadParts(uint64_t id) const
+{
+    engine::BatchResult merged;
+    const std::string dir =
+        dir_ + format("/job-%06llu", static_cast<unsigned long long>(id));
+    std::error_code ec;
+    std::vector<std::string> files;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (startsWith(name, "part-") &&
+            name.size() > 5 + 5 &&
+            name.compare(name.size() - 5, 5, ".json") == 0)
+            files.push_back(entry.path().string());
+    }
+    std::sort(files.begin(), files.end());
+    for (const std::string &file : files) {
+        try {
+            merged.merge(engine::BatchResult::fromJson(
+                Json::parse(readFileOrThrow(file))));
+        } catch (const Error &error) {
+            throwError(error.code(),
+                       format("checkpoint '%s' cannot be recovered: %s",
+                              file.c_str(), error.message().c_str()));
+        }
+    }
+    return merged;
+}
+
+int
+Journal::maxEpoch(uint64_t id) const
+{
+    int epoch = -1;
+    const std::string dir =
+        dir_ + format("/job-%06llu", static_cast<unsigned long long>(id));
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (!startsWith(name, "part-"))
+            continue;
+        try {
+            epoch = std::max(
+                epoch,
+                static_cast<int>(parseInt(name.substr(5, 3))));
+        } catch (const Error &) {
+            // Not a part file of ours; ignore.
+        }
+    }
+    return epoch;
+}
+
+void
+Journal::writeResult(uint64_t id, const engine::BatchResult &result)
+{
+    const std::string dir = jobDir(id);
+    writeAtomically(dir + "/result.json",
+                    result.toJson().dump(2) + "\n");
+    // The parts are superseded by the durable complete result; leaving
+    // them would make the job directory refuse a whole-directory merge
+    // (their coverage overlaps the result's).
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (startsWith(name, "part-"))
+            fs::remove(entry.path(), ec);
+    }
+}
+
+std::optional<engine::BatchResult>
+Journal::loadResult(uint64_t id) const
+{
+    const std::string path =
+        dir_ + format("/job-%06llu/result.json",
+                      static_cast<unsigned long long>(id));
+    std::ifstream in(path);
+    if (!in)
+        return std::nullopt;
+    try {
+        return engine::BatchResult::fromJson(
+            Json::parse(readFileOrThrow(path)));
+    } catch (const Error &error) {
+        throwError(error.code(),
+                   format("result file '%s' cannot be read: %s",
+                          path.c_str(), error.message().c_str()));
+    }
+}
+
+} // namespace eqasm::service

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The crash-safe job journal of eqasmd.
+ *
+ * Durability comes from an invariant, not from coordination (the FastSV
+ * lesson): BatchResult shot ranges carry *absolute* shot indices and
+ * counts_fingerprint makes any divergence detectable, so the daemon can
+ * persist progress as ordinary shard-format JSON files and recover by
+ * folding whatever survived a crash through the strict
+ * BatchResult::fromJson / merge / verifyComplete path. The frozen shard
+ * schema (docs/result_format.md) IS the checkpoint format — no second
+ * serialisation to version, and any tool that reads shard files reads
+ * checkpoints too (eqasm-run --merge folds a job directory directly).
+ *
+ * On disk, a journal directory holds:
+ *
+ *   intent.log                 append-only, fsync'd line JSON:
+ *                              {"event":"accept","id":N,"job":{...}}
+ *                              {"event":"done"|"failed"|"cancelled",
+ *                               "id":N, "detail":"..."}
+ *   job-<id>/part-<e>-<g>.json cumulative checkpoint of run attempt
+ *                              (epoch) e, gap g — atomically replaced
+ *                              (tmp + rename) as coverage grows, so a
+ *                              kill -9 leaves the last durable one
+ *   job-<id>/result.json       the verified complete result
+ *
+ * A job is accepted only after its "accept" line is durable, so every
+ * acknowledged submit survives a crash. Replay tolerates a torn final
+ * line (the crash interrupted an append — that submit was never
+ * acknowledged); garbage anywhere else is refused with an error naming
+ * the file and line, because it means corruption, not interruption.
+ */
+#ifndef EQASM_SERVICE_JOURNAL_H
+#define EQASM_SERVICE_JOURNAL_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/batch_result.h"
+
+namespace eqasm::service {
+
+/** Everything needed to re-run a job after a restart. */
+struct JobSpec {
+    uint64_t id = 0;
+    std::string label;
+    std::string tenant;
+    int priority = 0;
+    int shots = 0;
+    uint64_t seed = 1;
+    std::vector<uint32_t> image;  ///< assembled eQASM binary.
+
+    Json toJson() const;
+    /** Strict inverse of toJson().
+     *  @throws Error{invalidArgument} naming a missing/mistyped field. */
+    static JobSpec fromJson(const Json &json);
+};
+
+/** The journal: one directory, one daemon. */
+class Journal
+{
+  public:
+    /** Opens (creating if needed) the journal at @p dir.
+     *  @throws Error{configError} when the directory cannot be made. */
+    explicit Journal(std::string dir);
+
+    /** Appends the accept record and fsyncs before returning — once
+     *  this returns, the job survives kill -9. */
+    void appendAccept(const JobSpec &spec);
+
+    /** Appends a terminal event ("done", "failed", "cancelled"). */
+    void appendEvent(const std::string &event, uint64_t id,
+                     const std::string &detail = "");
+
+    /** What an intent log replay recovers. */
+    struct Replay {
+        std::vector<JobSpec> accepted;  ///< in acceptance order.
+        /** id -> terminal event name for settled jobs. */
+        std::map<uint64_t, std::string> terminal;
+        /** id -> detail of the terminal event (error text). */
+        std::map<uint64_t, std::string> terminalDetail;
+        uint64_t maxId = 0;
+        bool tornTail = false;  ///< a torn final line was dropped.
+    };
+
+    /**
+     * Reads the intent log back. A torn (unparseable) *final* line is
+     * dropped — the crash interrupted that append and the submit was
+     * never acknowledged.
+     * @throws Error{invalidArgument} naming the file and line on a
+     *         malformed line before the end (real corruption).
+     */
+    Replay replay() const;
+
+    /** @return the job's checkpoint directory (created on demand). */
+    std::string jobDir(uint64_t id) const;
+
+    /**
+     * Atomically writes @p snapshot as the cumulative checkpoint of
+     * run attempt @p epoch, gap @p gap (tmp + fsync + rename), so a
+     * crash leaves either the previous checkpoint or this one, never
+     * a torn file.
+     */
+    void writePart(uint64_t id, int epoch, int gap,
+                   const engine::BatchResult &snapshot);
+
+    /**
+     * Folds every part-*.json of @p id through the strict
+     * BatchResult::fromJson + merge path.
+     * @return the recovered coverage, or an empty BatchResult when the
+     *         job has no checkpoint yet.
+     * @throws Error naming the offending file on a tampered/corrupt
+     *         checkpoint or an incompatible merge.
+     */
+    engine::BatchResult loadParts(uint64_t id) const;
+
+    /** @return the largest epoch among @p id's part files, or -1. */
+    int maxEpoch(uint64_t id) const;
+
+    /** Atomically writes the verified complete result, then removes
+     *  the superseded part files. */
+    void writeResult(uint64_t id, const engine::BatchResult &result);
+
+    /** @return the persisted complete result, if any.
+     *  @throws Error naming the file when present but corrupt. */
+    std::optional<engine::BatchResult> loadResult(uint64_t id) const;
+
+    const std::string &dir() const { return dir_; }
+
+  private:
+    void appendLine(const std::string &line);
+
+    std::string dir_;
+    int intentFd_ = -1;  ///< O_APPEND fd of intent.log.
+};
+
+} // namespace eqasm::service
+
+#endif // EQASM_SERVICE_JOURNAL_H

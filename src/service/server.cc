@@ -1,0 +1,298 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace eqasm::service {
+
+namespace {
+
+/** The server the signal handler targets (one per process). */
+std::atomic<Server *> signalTarget{nullptr};
+
+extern "C" void
+handleStopSignal(int)
+{
+    // Async-signal-safe: just poke the self-pipe via stop().
+    Server *server = signalTarget.load(std::memory_order_relaxed);
+    if (server)
+        server->stop();
+}
+
+int
+listenUnix(const std::string &path)
+{
+    if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+        throwError(ErrorCode::configError,
+                   format("unix socket path '%s' is too long",
+                          path.c_str()));
+    }
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        throwError(ErrorCode::configError,
+                   format("cannot create unix socket: %s",
+                          std::strerror(errno)));
+    }
+    // A daemon that crashed leaves its socket file behind; rebinding
+    // is the expected restart path, so remove the stale node.
+    ::unlink(path.c_str());
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+        int err = errno;
+        ::close(fd);
+        throwError(ErrorCode::configError,
+                   format("cannot listen on unix socket '%s': %s",
+                          path.c_str(), std::strerror(err)));
+    }
+    return fd;
+}
+
+int
+listenTcp(int port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        throwError(ErrorCode::configError,
+                   format("cannot create TCP socket: %s",
+                          std::strerror(errno)));
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    // Loopback only: the daemon speaks an unauthenticated protocol;
+    // remote access belongs behind a tunnel.
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+        int err = errno;
+        ::close(fd);
+        throwError(ErrorCode::configError,
+                   format("cannot listen on 127.0.0.1:%d: %s", port,
+                          std::strerror(err)));
+    }
+    return fd;
+}
+
+} // namespace
+
+Server::Server(Service &service, ServerConfig config)
+    : service_(service), config_(std::move(config))
+{
+    if (config_.unixPath.empty()) {
+        throwError(ErrorCode::configError,
+                   "the server needs a unix socket path");
+    }
+    if (::pipe(wakePipe_) != 0) {
+        throwError(ErrorCode::configError,
+                   format("cannot create wake pipe: %s",
+                          std::strerror(errno)));
+    }
+    unixFd_ = listenUnix(config_.unixPath);
+    if (config_.tcpPort > 0)
+        tcpFd_ = listenTcp(config_.tcpPort);
+    telemetry::Registry &registry = telemetry::registry();
+    connectionsTotal_ =
+        registry.counter("eqasm_service_connections_total",
+                         "Client connections accepted");
+    connectionsActive_ =
+        registry.gauge("eqasm_service_connections_active",
+                       "Client connections currently open");
+}
+
+Server::~Server()
+{
+    stop();
+    Server *self = this;
+    signalTarget.compare_exchange_strong(self, nullptr);
+    for (int fd : {unixFd_, tcpFd_, wakePipe_[0], wakePipe_[1]}) {
+        if (fd >= 0)
+            ::close(fd);
+    }
+    ::unlink(config_.unixPath.c_str());
+}
+
+void
+Server::installSignalHandlers()
+{
+    signalTarget.store(this, std::memory_order_relaxed);
+    struct sigaction action{};
+    action.sa_handler = handleStopSignal;
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+    // A client that vanishes mid-response must not kill the daemon.
+    ::signal(SIGPIPE, SIG_IGN);
+}
+
+void
+Server::stop()
+{
+    stopping_.store(true, std::memory_order_relaxed);
+    char byte = 0;
+    // Best effort; the poll loop also wakes on its own timeout.
+    [[maybe_unused]] ssize_t n = ::write(wakePipe_[1], &byte, 1);
+}
+
+void
+Server::run()
+{
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        pollfd fds[3];
+        nfds_t count = 0;
+        fds[count++] = {wakePipe_[0], POLLIN, 0};
+        fds[count++] = {unixFd_, POLLIN, 0};
+        if (tcpFd_ >= 0)
+            fds[count++] = {tcpFd_, POLLIN, 0};
+        int ready = ::poll(fds, count, 500);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (service_.shutdownRequested())
+            break;
+        if (ready == 0)
+            continue;
+        if (fds[0].revents & POLLIN)
+            break;  // stop() poked the pipe.
+        for (nfds_t i = 1; i < count; ++i) {
+            if (!(fds[i].revents & POLLIN))
+                continue;
+            int fd = ::accept(fds[i].fd, nullptr, nullptr);
+            if (fd < 0)
+                continue;
+            connectionsTotal_.inc();
+            connectionsActive_.inc();
+            std::lock_guard<std::mutex> guard(threadsMutex_);
+            connections_.emplace_back(
+                [this, fd] { serveConnection(fd); });
+        }
+    }
+    stopping_.store(true, std::memory_order_relaxed);
+    // Drain: every in-flight request finishes, then the threads exit
+    // (stream loops observe stopping_ and send their final response).
+    std::vector<std::thread> connections;
+    {
+        std::lock_guard<std::mutex> guard(threadsMutex_);
+        connections.swap(connections_);
+    }
+    for (std::thread &thread : connections) {
+        if (thread.joinable())
+            thread.join();
+    }
+}
+
+bool
+Server::writeLine(int fd, const std::string &text)
+{
+    std::string line = text + "\n";
+    size_t written = 0;
+    while (written < line.size()) {
+        ssize_t n =
+            ::send(fd, line.data() + written, line.size() - written,
+                   MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        written += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+Server::serveRequest(int fd, const std::string &line)
+{
+    Json request;
+    try {
+        request = Json::parse(line);
+    } catch (const Error &error) {
+        Json detail = Json::makeObject();
+        detail.set("code", errorCodeName(error.code()));
+        detail.set("message", error.message());
+        Json response = Json::makeObject();
+        response.set("ok", false);
+        response.set("error", std::move(detail));
+        return writeLine(fd, response.dump());
+    }
+    const Json *verb = request.find("verb");
+    bool stream = verb && verb->isString() &&
+                  verb->asString() == "stream";
+    Json response = service_.handle(request);
+    if (!stream)
+        return writeLine(fd, response.dump());
+    // stream: a status response per interval until the job settles
+    // (or the request was bad, or the server drains).
+    while (true) {
+        if (!writeLine(fd, response.dump()))
+            return false;
+        if (!response.getBool("ok", false))
+            return true;
+        const std::string state =
+            response.getString("state", "done");
+        if (state != "queued" && state != "running")
+            return true;
+        if (stopping_.load(std::memory_order_relaxed))
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::max(1, config_.streamIntervalMs)));
+        response = service_.handle(request);
+    }
+}
+
+void
+Server::serveConnection(int fd)
+{
+    std::string buffer;
+    char chunk[4096];
+    bool open = true;
+    while (open && !stopping_.load(std::memory_order_relaxed)) {
+        // Wait readably so a drain is noticed within the poll period
+        // even on an idle connection.
+        pollfd pfd{fd, POLLIN, 0};
+        int ready = ::poll(&pfd, 1, 200);
+        if (ready < 0 && errno != EINTR)
+            break;
+        if (ready <= 0)
+            continue;
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            break;
+        buffer.append(chunk, static_cast<size_t>(n));
+        size_t eol;
+        while (open && (eol = buffer.find('\n')) != std::string::npos) {
+            std::string line = buffer.substr(0, eol);
+            buffer.erase(0, eol + 1);
+            if (trim(line).empty())
+                continue;
+            open = serveRequest(fd, line);
+        }
+        if (service_.shutdownRequested())
+            stop();
+    }
+    ::close(fd);
+    connectionsActive_.dec();
+}
+
+} // namespace eqasm::service

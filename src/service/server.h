@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Server — the line-delimited-JSON socket transport of eqasmd.
+ *
+ * Listens on an AF_UNIX socket (and optionally a loopback-bound TCP
+ * port), accepts connections, and serves one request per line: read a
+ * JSON object, hand it to Service::handle, write the response object
+ * followed by '\n'. The "stream" verb is the one transport-level verb:
+ * the server answers it with a status response every poll interval
+ * until the job settles, then one final response — so a client watches
+ * a long job over a single connection without polling from its side.
+ *
+ * Shutdown is graceful by design: a SIGTERM/SIGINT (relayed through a
+ * self-pipe so the handler stays async-signal-safe) or a "shutdown"
+ * verb stops the accept loop, wakes every connection, lets in-flight
+ * requests finish, and returns from run(). Running jobs are *not*
+ * awaited — the journal owns their durability; the next daemon start
+ * resumes them from their last checkpoint (that is the whole point of
+ * the crash-safe design; a drain is just a crash the daemon planned).
+ */
+#ifndef EQASM_SERVICE_SERVER_H
+#define EQASM_SERVICE_SERVER_H
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.h"
+
+namespace eqasm::service {
+
+/** Transport configuration. */
+struct ServerConfig {
+    std::string unixPath;  ///< AF_UNIX socket path (required).
+    int tcpPort = 0;       ///< optional loopback TCP port; 0 = off.
+    /** Poll cadence of the "stream" verb, milliseconds. */
+    int streamIntervalMs = 200;
+};
+
+/** The accept/serve loop over one Service. */
+class Server
+{
+  public:
+    /**
+     * Binds the listening sockets (unlinking a stale unix socket path
+     * first).
+     * @throws Error{configError} when binding fails, naming the path
+     *         or port.
+     */
+    Server(Service &service, ServerConfig config);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Serves until stop() — from a signal via installSignalHandlers(),
+     * a "shutdown" verb, or another thread. Joins every connection
+     * thread before returning.
+     */
+    void run();
+
+    /** Requests the run() loop to exit (thread- and signal-safe). */
+    void stop();
+
+    /**
+     * Routes SIGTERM and SIGINT to stop() through the self-pipe. One
+     * server per process (the handler targets the last installed).
+     */
+    void installSignalHandlers();
+
+    const ServerConfig &config() const { return config_; }
+
+  private:
+    void serveConnection(int fd);
+    /** Serves one parsed request on @p fd; true to keep the
+     *  connection. */
+    bool serveRequest(int fd, const std::string &line);
+    bool writeLine(int fd, const std::string &text);
+
+    Service &service_;
+    ServerConfig config_;
+    int unixFd_ = -1;
+    int tcpFd_ = -1;
+    int wakePipe_[2] = {-1, -1};  ///< self-pipe: signals -> poll loop.
+    std::atomic<bool> stopping_{false};
+
+    std::mutex threadsMutex_;
+    std::vector<std::thread> connections_;
+
+    telemetry::Counter connectionsTotal_;
+    telemetry::Gauge connectionsActive_;
+};
+
+} // namespace eqasm::service
+
+#endif // EQASM_SERVICE_SERVER_H

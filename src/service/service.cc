@@ -1,0 +1,490 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "telemetry/metrics.h"
+#include "workloads/surface_code.h"
+
+// Stamped by the build system (git describe); a source build without
+// CMake metadata still exposes a well-formed build_info series.
+#ifndef EQASM_BUILD_VERSION
+#define EQASM_BUILD_VERSION "unknown"
+#endif
+
+namespace eqasm::service {
+
+const std::string &
+recordBuildInfo()
+{
+    static const std::string version = [] {
+        telemetry::registry()
+            .gauge("eqasm_build_info",
+                   "Constant 1; the version label carries the build",
+                   {{"version", EQASM_BUILD_VERSION}})
+            .add(1);
+        return std::string(EQASM_BUILD_VERSION);
+    }();
+    return version;
+}
+
+std::string
+metricsExposition()
+{
+    recordBuildInfo();
+    // The gauge is a delta sum, so refreshing means adding how far the
+    // monotonic clock moved since the last refresh — every scrape then
+    // reads seconds since process start.
+    static std::mutex mutex;
+    static int64_t reportedSeconds = 0;
+    static telemetry::Gauge uptime = telemetry::registry().gauge(
+        "eqasm_uptime_seconds", "Seconds since the process started");
+    {
+        std::lock_guard<std::mutex> guard(mutex);
+        int64_t now = static_cast<int64_t>(telemetry::nowMonotonicUs() /
+                                           1000000);
+        uptime.add(now - reportedSeconds);
+        reportedSeconds = now;
+    }
+    return telemetry::registry().prometheus();
+}
+
+namespace {
+
+/** Typed-error response: {"ok": false, "error": {"code", "message"}}. */
+Json
+errorResponse(ErrorCode code, const std::string &message)
+{
+    Json error = Json::makeObject();
+    error.set("code", errorCodeName(code));
+    error.set("message", message);
+    Json response = Json::makeObject();
+    response.set("ok", false);
+    response.set("error", std::move(error));
+    return response;
+}
+
+Json
+okResponse()
+{
+    Json response = Json::makeObject();
+    response.set("ok", true);
+    return response;
+}
+
+const char *
+stateName(int state)
+{
+    switch (state) {
+      case 0: return "running";
+      case 1: return "done";
+      case 2: return "failed";
+      case 3: return "cancelled";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+Service::Service(engine::ShotEngine &engine, Journal &journal,
+                 sched::QuotaConfig quotas, ServiceOptions options)
+    : engine_(engine), journal_(journal), quotas_(std::move(quotas)),
+      options_(options),
+      assembler_(engine.platform().operations,
+                 engine.platform().topology, engine.platform().params)
+{
+    if (options_.checkpointEveryChunks < 1) {
+        throwError(ErrorCode::configError,
+                   format("checkpoint cadence must be >= 1 chunks, got "
+                          "%d",
+                          options_.checkpointEveryChunks));
+    }
+    recordBuildInfo();
+    reaper_ = std::thread([this] { reaperLoop(); });
+}
+
+Service::~Service()
+{
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        stopping_ = true;
+    }
+    reaperWake_.notify_all();
+    if (reaper_.joinable())
+        reaper_.join();
+}
+
+void
+Service::recover()
+{
+    Journal::Replay replay = journal_.replay();
+    std::lock_guard<std::mutex> guard(mutex_);
+    nextId_ = std::max(nextId_, replay.maxId + 1);
+    for (JobSpec &spec : replay.accepted) {
+        uint64_t id = spec.id;
+        Record &record = jobs_[id];
+        record.spec = std::move(spec);
+        auto terminal = replay.terminal.find(id);
+        if (terminal != replay.terminal.end()) {
+            // Settled before the crash; keep it queryable.
+            const std::string &kind = terminal->second;
+            if (kind == "done") {
+                record.state = State::done;
+                record.fingerprint = replay.terminalDetail[id];
+            } else {
+                record.state = kind == "cancelled" ? State::cancelled
+                                                   : State::failed;
+                record.detail = replay.terminalDetail[id];
+            }
+            continue;
+        }
+        if (auto result = journal_.loadResult(id)) {
+            // Crashed between writing result.json and appending the
+            // terminal record: the result is durable, so settle now.
+            record.state = State::done;
+            record.fingerprint = result->countsFingerprint();
+            journal_.appendEvent("done", id, record.fingerprint);
+            continue;
+        }
+        // Unfinished: fold surviving checkpoints (refusing corruption,
+        // with the offending file named) and resume the complement.
+        record.recovered = journal_.loadParts(id);
+        auto gaps = engine::missingShotRanges(
+            record.recovered.shotRanges,
+            static_cast<uint64_t>(record.spec.shots));
+        quotas_.track(record.spec.tenant, record.spec.shots);
+        launch(record, gaps, journal_.maxEpoch(id) + 1);
+    }
+    reaperWake_.notify_all();
+}
+
+void
+Service::launch(Record &record,
+                const std::vector<std::pair<uint64_t, uint64_t>> &gaps,
+                int epoch)
+{
+    const JobSpec &spec = record.spec;
+    for (size_t g = 0; g < gaps.size(); ++g) {
+        engine::Job job;
+        job.image = spec.image;
+        job.shots = spec.shots;
+        job.seed = spec.seed;
+        job.label = spec.label;
+        job.tenant = spec.tenant;
+        job.priority = spec.priority;
+        if (gaps[g].first != 0 ||
+            gaps[g].second != static_cast<uint64_t>(spec.shots)) {
+            job.range.begin = static_cast<int>(gaps[g].first);
+            job.range.end = static_cast<int>(gaps[g].second);
+        }
+        job.partialEveryChunks = options_.checkpointEveryChunks;
+        uint64_t id = spec.id;
+        int gapIndex = static_cast<int>(g);
+        // A throwing checkpoint (disk full, journal gone) fails the
+        // job — better than acknowledging durability it doesn't have.
+        job.onPartial = [this, id, epoch, gapIndex](
+                            const engine::BatchResult &snapshot) {
+            journal_.writePart(id, epoch, gapIndex, snapshot);
+        };
+        record.handles.push_back(engine_.submit(std::move(job)));
+    }
+}
+
+Json
+Service::handle(const Json &request)
+{
+    try {
+        return dispatch(request);
+    } catch (const assembler::AssemblyError &error) {
+        std::vector<std::string> lines;
+        for (const auto &diagnostic : error.diagnostics())
+            lines.push_back(diagnostic.toString());
+        return errorResponse(ErrorCode::semanticError,
+                             join(lines, "; "));
+    } catch (const Error &error) {
+        return errorResponse(error.code(), error.message());
+    } catch (const std::exception &error) {
+        return errorResponse(ErrorCode::runtimeError, error.what());
+    }
+}
+
+const telemetry::Counter &
+Service::verbCounter(const std::string &verb)
+{
+    auto it = verbCounters_.find(verb);
+    if (it == verbCounters_.end()) {
+        it = verbCounters_
+                 .emplace(verb,
+                          telemetry::registry().counter(
+                              "eqasm_service_requests_total",
+                              "Requests served, by verb",
+                              {{"verb", verb}}))
+                 .first;
+    }
+    return it->second;
+}
+
+Json
+Service::dispatch(const Json &request)
+{
+    if (!request.isObject()) {
+        throwError(ErrorCode::invalidArgument,
+                   "a request must be a JSON object with a 'verb'");
+    }
+    const Json *verb = request.find("verb");
+    if (!verb || !verb->isString()) {
+        throwError(ErrorCode::invalidArgument,
+                   "request has no string 'verb' member");
+    }
+    const std::string &name = verb->asString();
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        verbCounter(name).inc();
+    }
+    if (name == "submit")
+        return verbSubmit(request);
+    if (name == "status" || name == "stream")
+        return verbStatus(request);
+    if (name == "cancel")
+        return verbCancel(request);
+    if (name == "metrics")
+        return verbMetrics(request);
+    if (name == "shutdown")
+        return verbShutdown(request);
+    throwError(ErrorCode::invalidArgument,
+               format("unknown verb '%s' (expected submit, status, "
+                      "cancel, stream, metrics or shutdown)",
+                      name.c_str()));
+}
+
+Json
+Service::verbSubmit(const Json &request)
+{
+    JobSpec spec;
+    spec.label = request.getString("label", "");
+    spec.tenant = request.getString("tenant", "");
+    spec.priority = static_cast<int>(request.getInt("priority", 0));
+    int64_t shots = request.getInt("shots", 1024);
+    if (shots < 1) {
+        throwError(ErrorCode::invalidArgument,
+                   format("submit needs shots >= 1, got %lld",
+                          static_cast<long long>(shots)));
+    }
+    spec.shots = static_cast<int>(shots);
+    int64_t seed = request.getInt("seed", 1);
+    if (seed < 0)
+        throwError(ErrorCode::invalidArgument, "seed must be >= 0");
+    spec.seed = static_cast<uint64_t>(seed);
+
+    std::string source;
+    const Json *sourceField = request.find("source");
+    const Json *workload = request.find("workload");
+    if (sourceField && workload) {
+        throwError(ErrorCode::invalidArgument,
+                   "submit takes 'source' or 'workload', not both");
+    } else if (sourceField) {
+        if (!sourceField->isString()) {
+            throwError(ErrorCode::invalidArgument,
+                       "submit 'source' must be an eQASM string");
+        }
+        source = sourceField->asString();
+    } else if (workload) {
+        if (!workload->isString() || workload->asString() != "qec") {
+            throwError(ErrorCode::invalidArgument,
+                       "the only built-in workload is \"qec\"");
+        }
+        if (options_.qecDistance < 2) {
+            throwError(ErrorCode::invalidArgument,
+                       "this daemon was not started with --qec; submit "
+                       "eQASM 'source' instead");
+        }
+        int rounds =
+            static_cast<int>(request.getInt("rounds", 1));
+        if (rounds < 1) {
+            throwError(ErrorCode::invalidArgument,
+                       format("workload rounds must be >= 1, got %d",
+                              rounds));
+        }
+        source = workloads::syndromeProgram(
+            options_.qecDistance, rounds,
+            engine_.platform().operations);
+    } else {
+        throwError(ErrorCode::invalidArgument,
+                   "submit needs eQASM 'source' (or 'workload' on a "
+                   "--qec daemon)");
+    }
+    spec.image = assembler_.assemble(source).image;
+
+    std::lock_guard<std::mutex> guard(mutex_);
+    // Admission gate; a refusal throws Error{quotaExceeded} naming the
+    // tenant and limit, which handle() relays as the typed error.
+    quotas_.admit(spec.tenant, spec.shots, telemetry::nowMonotonicUs());
+    spec.id = nextId_++;
+    // Durability before acknowledgement: once the accept record is
+    // fsync'd, a kill -9 cannot lose this job.
+    journal_.appendAccept(spec);
+    Record &record = jobs_[spec.id];
+    record.spec = std::move(spec);
+    launch(record,
+           {{0, static_cast<uint64_t>(record.spec.shots)}}, 0);
+    reaperWake_.notify_all();
+
+    Json response = okResponse();
+    response.set("id", record.spec.id);
+    return response;
+}
+
+Json
+Service::verbStatus(const Json &request)
+{
+    int64_t id = request.getInt("id", 0);
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = jobs_.find(static_cast<uint64_t>(id));
+    if (it == jobs_.end()) {
+        throwError(ErrorCode::notFound,
+                   format("no job with id %lld",
+                          static_cast<long long>(id)));
+    }
+    const Record &record = it->second;
+    Json response = okResponse();
+    response.set("id", record.spec.id);
+    response.set("label", record.spec.label);
+    response.set("tenant", record.spec.tenant);
+    response.set("shots_total",
+                 static_cast<int64_t>(record.spec.shots));
+    int64_t done = static_cast<int64_t>(record.recovered.shots);
+    for (const auto &handle : record.handles)
+        done += handle.progress().completedShots;
+    if (record.state != State::running)
+        done = record.state == State::done ? record.spec.shots : done;
+    response.set("shots_done", done);
+    response.set("state", record.state == State::running && done == 0
+                              ? "queued"
+                              : stateName(static_cast<int>(record.state)));
+    if (record.state == State::done) {
+        response.set("fingerprint", record.fingerprint);
+        if (request.getBool("result", false)) {
+            auto result = journal_.loadResult(record.spec.id);
+            if (result)
+                response.set("result", result->toJson());
+        }
+    }
+    if (!record.detail.empty())
+        response.set("detail", record.detail);
+    return response;
+}
+
+Json
+Service::verbCancel(const Json &request)
+{
+    int64_t id = request.getInt("id", 0);
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = jobs_.find(static_cast<uint64_t>(id));
+    if (it == jobs_.end()) {
+        throwError(ErrorCode::notFound,
+                   format("no job with id %lld",
+                          static_cast<long long>(id)));
+    }
+    Record &record = it->second;
+    if (record.state == State::running) {
+        record.cancelRequested = true;
+        for (auto &handle : record.handles)
+            handle.cancel();
+        reaperWake_.notify_all();
+    }
+    Json response = okResponse();
+    response.set("state", stateName(static_cast<int>(record.state)));
+    return response;
+}
+
+Json
+Service::verbMetrics(const Json &)
+{
+    Json response = okResponse();
+    response.set("prometheus", metricsExposition());
+    return response;
+}
+
+Json
+Service::verbShutdown(const Json &)
+{
+    shutdownRequested_.store(true, std::memory_order_relaxed);
+    return okResponse();
+}
+
+void
+Service::reaperLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopping_) {
+        reaperWake_.wait_for(lock, std::chrono::milliseconds(50));
+        bool anyRunning = false;
+        for (auto &[id, record] : jobs_) {
+            if (record.state != State::running)
+                continue;
+            bool allDone = true;
+            for (const auto &handle : record.handles)
+                allDone = allDone && handle.done();
+            if (allDone)
+                settle(id, record);
+            anyRunning =
+                anyRunning || record.state == State::running;
+        }
+        if (!anyRunning)
+            idle_.notify_all();
+    }
+}
+
+void
+Service::settle(uint64_t id, Record &record)
+{
+    engine::BatchResult merged = record.recovered;
+    std::string failure;
+    for (auto &handle : record.handles) {
+        try {
+            merged.merge(handle.get());
+        } catch (const Error &error) {
+            if (failure.empty())
+                failure = error.message();
+        }
+    }
+    if (failure.empty()) {
+        try {
+            merged.verifyComplete();
+            journal_.writeResult(id, merged);
+            record.fingerprint = merged.countsFingerprint();
+            journal_.appendEvent("done", id, record.fingerprint);
+            record.state = State::done;
+        } catch (const Error &error) {
+            failure = error.message();
+        }
+    }
+    if (!failure.empty()) {
+        record.state = record.cancelRequested ? State::cancelled
+                                              : State::failed;
+        record.detail = failure;
+        journal_.appendEvent(record.state == State::cancelled
+                                 ? "cancelled"
+                                 : "failed",
+                             id, failure);
+    }
+    record.handles.clear();  // release the engine-side job state.
+    quotas_.release(record.spec.tenant, record.spec.shots);
+}
+
+void
+Service::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] {
+        for (const auto &[id, record] : jobs_) {
+            if (record.state == State::running)
+                return false;
+        }
+        return true;
+    });
+}
+
+} // namespace eqasm::service

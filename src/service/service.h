@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Service — the verb layer of eqasmd, decoupled from sockets.
+ *
+ * The daemon's wire protocol is line-delimited JSON: every request is
+ * one JSON object with a "verb" member, every response one JSON object
+ * with "ok" (true/false) plus verb-specific members or a typed error
+ * {"code": "<errorCodeName>", "message": "..."}. The Service holds the
+ * daemon's whole state machine — admission quotas, the crash-safe job
+ * journal, the engine handles of live jobs and the reaper that settles
+ * them — behind one synchronous entry point, Json handle(const Json&).
+ * The socket Server (server.h) is a thin transport over it, and the
+ * tests drive the exact production code paths in-process, no socket
+ * needed.
+ *
+ * Verbs:
+ *   submit   {source|workload, shots, [label, tenant, seed, priority]}
+ *            -> {ok, id}; refused with code "quota_exceeded" naming the
+ *            tenant and limit when admission quotas say no.
+ *   status   {id} -> {ok, state: queued|running|done|failed|cancelled,
+ *            shots_done, shots_total, tenant, label; fingerprint +
+ *            optionally the full result when done, detail when failed}.
+ *   cancel   {id} -> {ok}.
+ *   stream   handled by the Server: repeated status responses until the
+ *            job settles (the Service just answers each poll).
+ *   metrics  -> {ok, prometheus: "<text exposition>"} with build_info
+ *            and uptime_seconds refreshed.
+ *   shutdown -> {ok}; flips shutdownRequested() for the transport.
+ *
+ * Crash safety (see journal.h for the file formats): a submit is
+ * acknowledged only after its intent-log record is fsync'd; running
+ * jobs checkpoint cumulative coverage as ordinary shard-format files;
+ * recover() replays the log on startup, folds surviving checkpoints
+ * through the strict BatchResult::fromJson/merge path, and resubmits
+ * exactly the uncovered shot ranges (Job::range) — so a kill -9'd
+ * daemon resumes every acknowledged job to the bitwise-identical
+ * counts_fingerprint of an uninterrupted run. A tampered checkpoint is
+ * a refusal naming the file, never silently diverging counts.
+ */
+#ifndef EQASM_SERVICE_SERVICE_H
+#define EQASM_SERVICE_SERVICE_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "assembler/assembler.h"
+#include "engine/shot_engine.h"
+#include "sched/quota.h"
+#include "service/journal.h"
+
+namespace eqasm::service {
+
+/** Knobs of the verb layer. */
+struct ServiceOptions {
+    /** Checkpoint cadence: persist a coverage snapshot every this many
+     *  finished chunks of a job (>= 1). Smaller = less work lost to a
+     *  crash, more fsync traffic. */
+    int checkpointEveryChunks = 8;
+
+    /** Built-in QEC workload distance the daemon was started with
+     *  (--qec); 0 disables {"workload": "qec"} submits. */
+    int qecDistance = 0;
+};
+
+/** Registers the eqasm_build_info gauge (value 1, version label) and
+ *  returns the version string baked in at build time. Idempotent. */
+const std::string &recordBuildInfo();
+
+/** Refreshes the monotonic eqasm_uptime_seconds gauge to "now" and
+ *  returns the process-wide Prometheus exposition. */
+std::string metricsExposition();
+
+/** The daemon's verb dispatcher and job table. */
+class Service
+{
+  public:
+    /**
+     * Binds the service to an engine (whose Platform defines what
+     * submitted programs are assembled against), a journal directory
+     * and the admission quotas. Call recover() next.
+     */
+    Service(engine::ShotEngine &engine, Journal &journal,
+            sched::QuotaConfig quotas, ServiceOptions options = {});
+    ~Service();
+
+    Service(const Service &) = delete;
+    Service &operator=(const Service &) = delete;
+
+    /**
+     * Replays the intent log and resumes every acknowledged,
+     * unsettled job from its first uncovered shot range.
+     * @throws Error naming the offending file when a checkpoint or the
+     *         intent log is corrupt — the daemon refuses to start
+     *         rather than serve diverging counts (delete the named
+     *         file to accept losing exactly that coverage).
+     */
+    void recover();
+
+    /**
+     * Serves one request object; never throws — every failure becomes
+     * {"ok": false, "error": {"code", "message"}}.
+     */
+    Json handle(const Json &request);
+
+    /** True once a shutdown verb was served. */
+    bool shutdownRequested() const
+    {
+        return shutdownRequested_.load(std::memory_order_relaxed);
+    }
+
+    /** Blocks until every live job has settled (drain helper). */
+    void waitIdle();
+
+  private:
+    enum class State { running, done, failed, cancelled };
+
+    /** One accepted job: its spec, engine handles (one per uncovered
+     *  range) and the settled outcome. */
+    struct Record {
+        JobSpec spec;
+        State state = State::running;
+        /** Coverage recovered from checkpoints before (re)submission;
+         *  empty for a fresh job. */
+        engine::BatchResult recovered;
+        std::vector<sched::JobHandle> handles;
+        std::string fingerprint;  ///< set when state == done.
+        std::string detail;       ///< error text when failed/cancelled.
+        bool cancelRequested = false;
+    };
+
+    Json dispatch(const Json &request);
+    Json verbSubmit(const Json &request);
+    Json verbStatus(const Json &request);
+    Json verbCancel(const Json &request);
+    Json verbMetrics(const Json &request);
+    Json verbShutdown(const Json &request);
+
+    /** Submits engine jobs covering @p gaps of @p record 's spec at
+     *  checkpoint epoch @p epoch (mutex_ held). */
+    void launch(Record &record,
+                const std::vector<std::pair<uint64_t, uint64_t>> &gaps,
+                int epoch);
+
+    /** Reaper: polls live handles and settles finished jobs (merge +
+     *  verifyComplete + writeResult + terminal intent record). */
+    void reaperLoop();
+    void settle(uint64_t id, Record &record);
+
+    const telemetry::Counter &verbCounter(const std::string &verb);
+
+    engine::ShotEngine &engine_;
+    Journal &journal_;
+    sched::QuotaManager quotas_;
+    ServiceOptions options_;
+    assembler::Assembler assembler_;
+
+    mutable std::mutex mutex_;
+    std::map<uint64_t, Record> jobs_;
+    uint64_t nextId_ = 1;
+    std::atomic<bool> shutdownRequested_{false};
+
+    std::condition_variable reaperWake_;
+    std::condition_variable idle_;
+    bool stopping_ = false;
+    std::thread reaper_;
+
+    std::map<std::string, telemetry::Counter> verbCounters_;
+};
+
+} // namespace eqasm::service
+
+#endif // EQASM_SERVICE_SERVICE_H

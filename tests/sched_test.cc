@@ -427,4 +427,28 @@ TEST(JobHandle, InvalidHandleIsInertNotUndefined)
     handle.cancel();  // no-op.
     EXPECT_EQ(handle.progress().totalShots, 0);
     EXPECT_THROW(handle.get(), Error);
+    // waitFor mirrors done(): immediately false, no blocking.
+    EXPECT_FALSE(handle.waitFor(std::chrono::milliseconds(0)));
+    EXPECT_FALSE(handle.waitFor(std::chrono::hours(1)));
+}
+
+TEST(JobHandle, WaitForBoundsTheWaitAndObservesCompletion)
+{
+    Platform platform = Platform::twoQubit();
+    EngineConfig config;
+    config.threads = 1;
+    config.chunkShots = 8;
+    ShotEngine engine(platform, config);
+
+    // A long job: a zero-timeout poll right after submission expires
+    // (the single worker cannot have finished 20k shots yet)...
+    sched::JobHandle handle =
+        engine.submit(activeResetJob(platform, 20000, 3));
+    EXPECT_FALSE(handle.waitFor(std::chrono::milliseconds(0)));
+    // ...while a generous bound observes completion well before it,
+    // and the handle then answers instantly and repeatedly.
+    EXPECT_TRUE(handle.waitFor(std::chrono::minutes(5)));
+    EXPECT_TRUE(handle.done());
+    EXPECT_TRUE(handle.waitFor(std::chrono::milliseconds(0)));
+    EXPECT_EQ(handle.get().shots, 20000u);
 }

@@ -1,0 +1,768 @@
+/**
+ * @file
+ * Tests for the eqasmd service subsystem: per-tenant admission quotas
+ * (ceilings + token bucket), the crash-safe job journal (fsync'd
+ * intent log, shard-format checkpoints, torn-tail tolerance vs
+ * corruption refusal), and the Service verb layer — including the
+ * load-bearing property: a daemon killed at an arbitrary point resumes
+ * every acknowledged job to the bitwise-identical counts_fingerprint
+ * of an uninterrupted single-process run, or refuses naming the bad
+ * file.
+ */
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "assembler/assembler.h"
+#include "common/error.h"
+#include "common/strings.h"
+#include "engine/shot_engine.h"
+#include "runtime/platform.h"
+#include "sched/quota.h"
+#include "service/journal.h"
+#include "service/server.h"
+#include "service/service.h"
+#include "telemetry/metrics.h"
+#include "workloads/experiments.h"
+
+using namespace eqasm;
+using namespace eqasm::engine;
+using namespace eqasm::runtime;
+using namespace eqasm::service;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/** A fresh directory under the test temp root. */
+std::string
+freshDir(const std::string &hint)
+{
+    static int counter = 0;
+    std::string path =
+        format("%s/eqasm_service_%d_%s_%d", testing::TempDir().c_str(),
+               getpid(), hint.c_str(), counter++);
+    fs::remove_all(path);
+    fs::create_directories(path);
+    return path;
+}
+
+/** The noisy two-qubit active-reset workload used across the suite. */
+std::string
+testSource()
+{
+    return workloads::activeResetProgram(2);
+}
+
+std::vector<uint32_t>
+testImage(const Platform &platform)
+{
+    assembler::Assembler asm_(platform.operations, platform.topology,
+                              platform.params);
+    return asm_.assemble(testSource()).image;
+}
+
+JobSpec
+testSpec(const Platform &platform, uint64_t id, int shots,
+         uint64_t seed = 7)
+{
+    JobSpec spec;
+    spec.id = id;
+    spec.label = "svc";
+    spec.tenant = "alice";
+    spec.shots = shots;
+    spec.seed = seed;
+    spec.image = testImage(platform);
+    return spec;
+}
+
+/** Submits via the verb layer and returns the assigned id. */
+uint64_t
+submitVia(Service &service, int shots, const std::string &tenant,
+          uint64_t seed = 7)
+{
+    Json request = Json::makeObject();
+    request.set("verb", "submit");
+    request.set("source", testSource());
+    request.set("shots", static_cast<int64_t>(shots));
+    request.set("seed", seed);
+    request.set("label", "svc");
+    request.set("tenant", tenant);
+    Json response = service.handle(request);
+    EXPECT_TRUE(response.getBool("ok", false)) << response.dump();
+    return static_cast<uint64_t>(response.getInt("id", 0));
+}
+
+Json
+statusOf(Service &service, uint64_t id)
+{
+    Json request = Json::makeObject();
+    request.set("verb", "status");
+    request.set("id", id);
+    return service.handle(request);
+}
+
+} // namespace
+
+// --------------------------------------------------------- QuotaManager
+
+TEST(Quota, ActiveJobCeilingRejectsNamingTenantAndLimit)
+{
+    sched::QuotaConfig config;
+    config.tenants["alice"].maxActiveJobs = 2;
+    sched::QuotaManager quotas(config);
+    quotas.admit("alice", 10, 0);
+    quotas.admit("alice", 10, 0);
+    try {
+        quotas.admit("alice", 10, 0);
+        FAIL() << "third submit should exceed the 2-job ceiling";
+    } catch (const Error &error) {
+        EXPECT_EQ(error.code(), ErrorCode::quotaExceeded);
+        EXPECT_NE(error.message().find("alice"), std::string::npos);
+        EXPECT_NE(error.message().find("limit 2"), std::string::npos);
+    }
+    // Another tenant is unaffected, and releasing frees the slot.
+    quotas.admit("bob", 10, 0);
+    quotas.release("alice", 10);
+    quotas.admit("alice", 10, 0);
+    EXPECT_EQ(quotas.activeJobs("alice"), 2);
+}
+
+TEST(Quota, ActiveShotCeilingCountsFootprint)
+{
+    sched::QuotaConfig config;
+    config.defaults.maxActiveShots = 100;
+    sched::QuotaManager quotas(config);
+    quotas.admit("t", 80, 0);
+    EXPECT_THROW(quotas.admit("t", 30, 0), Error);
+    quotas.admit("t", 20, 0);  // exactly at the ceiling is fine.
+    EXPECT_EQ(quotas.activeShots("t"), 100);
+}
+
+TEST(Quota, TokenBucketThrottlesSustainedRate)
+{
+    sched::QuotaConfig config;
+    config.tenants["alice"].submitRatePerSec = 1.0;
+    config.tenants["alice"].submitBurst = 2.0;
+    sched::QuotaManager quotas(config);
+    // The bucket starts full: the first burst of 2 passes.
+    quotas.admit("alice", 1, 0);
+    quotas.admit("alice", 1, 0);
+    EXPECT_THROW(quotas.admit("alice", 1, 0), Error);
+    // Half a second refills half a token — still short.
+    EXPECT_THROW(quotas.admit("alice", 1, 500'000), Error);
+    // A full second from the last refill: one token is back.
+    quotas.admit("alice", 1, 1'600'000);
+    // Rejections were counted per tenant and reason.
+    EXPECT_GE(telemetry::registry().counterValue(
+                  "eqasm_sched_quota_rejections_total",
+                  {{"tenant", "alice"}, {"reason", "rate"}}),
+              2u);
+}
+
+TEST(Quota, ConfigRoundTripAndStrictParse)
+{
+    Json json = Json::parse(R"({
+        "defaults": {"max_active_jobs": 4},
+        "tenants": {"a": {"submit_rate_per_sec": 2.5,
+                          "submit_burst": 5}}
+    })");
+    sched::QuotaConfig config = sched::QuotaConfig::fromJson(json);
+    EXPECT_EQ(config.defaults.maxActiveJobs, 4);
+    EXPECT_DOUBLE_EQ(config.limitsFor("a").submitRatePerSec, 2.5);
+    EXPECT_EQ(config.limitsFor("unknown").maxActiveJobs, 4);
+    // Unknown keys and negative values are refusals naming the field.
+    EXPECT_THROW(sched::QuotaConfig::fromJson(
+                     Json::parse(R"({"defaults": {"max_jobs": 1}})")),
+                 Error);
+    EXPECT_THROW(
+        sched::QuotaConfig::fromJson(Json::parse(
+            R"({"defaults": {"max_active_jobs": -1}})")),
+        Error);
+    // toJson -> fromJson is stable.
+    sched::QuotaConfig again =
+        sched::QuotaConfig::fromJson(config.toJson());
+    EXPECT_EQ(again.toJson().dump(), config.toJson().dump());
+}
+
+// -------------------------------------------------------------- Journal
+
+TEST(Journal, JobSpecRoundTripIsStrict)
+{
+    Platform platform = Platform::twoQubit();
+    JobSpec spec = testSpec(platform, 3, 128);
+    JobSpec back = JobSpec::fromJson(spec.toJson());
+    EXPECT_EQ(back.id, spec.id);
+    EXPECT_EQ(back.label, spec.label);
+    EXPECT_EQ(back.tenant, spec.tenant);
+    EXPECT_EQ(back.shots, spec.shots);
+    EXPECT_EQ(back.seed, spec.seed);
+    EXPECT_EQ(back.image, spec.image);
+    Json bad = spec.toJson();
+    bad.set("shots", "many");
+    EXPECT_THROW(JobSpec::fromJson(bad), Error);
+}
+
+TEST(Journal, AcceptReplayAndTerminalEvents)
+{
+    Platform platform = Platform::twoQubit();
+    std::string dir = freshDir("journal");
+    Journal journal(dir);
+    journal.appendAccept(testSpec(platform, 1, 64));
+    journal.appendAccept(testSpec(platform, 2, 64));
+    journal.appendEvent("done", 1, "fnv1a:deadbeef");
+    Journal::Replay replay = journal.replay();
+    ASSERT_EQ(replay.accepted.size(), 2u);
+    EXPECT_EQ(replay.accepted[0].id, 1u);
+    EXPECT_EQ(replay.terminal.at(1), "done");
+    EXPECT_EQ(replay.terminalDetail.at(1), "fnv1a:deadbeef");
+    EXPECT_EQ(replay.terminal.count(2), 0u);
+    EXPECT_EQ(replay.maxId, 2u);
+    EXPECT_FALSE(replay.tornTail);
+}
+
+TEST(Journal, TornFinalLineIsDroppedMidFileGarbageRefused)
+{
+    Platform platform = Platform::twoQubit();
+    std::string dir = freshDir("torn");
+    {
+        Journal journal(dir);
+        journal.appendAccept(testSpec(platform, 1, 64));
+    }
+    // A crash mid-append tears the final line: that submit was never
+    // acknowledged, so replay drops it and carries on.
+    {
+        std::ofstream out(dir + "/intent.log", std::ios::app);
+        out << "{\"event\":\"accept\",\"id\":2,\"jo";
+    }
+    {
+        Journal journal(dir);
+        Journal::Replay replay = journal.replay();
+        EXPECT_EQ(replay.accepted.size(), 1u);
+        EXPECT_TRUE(replay.tornTail);
+    }
+    // The same garbage *before* a valid line is corruption: refuse,
+    // naming the file and line.
+    {
+        std::ofstream out(dir + "/intent.log", std::ios::app);
+        out << "\n{\"event\":\"done\",\"id\":1}\n";
+    }
+    Journal journal(dir);
+    try {
+        journal.replay();
+        FAIL() << "mid-file garbage must refuse";
+    } catch (const Error &error) {
+        EXPECT_NE(error.message().find("intent.log"),
+                  std::string::npos);
+        EXPECT_NE(error.message().find("line 2"), std::string::npos);
+    }
+}
+
+TEST(Journal, CheckpointsFoldAndTamperingIsRefusedNamingTheFile)
+{
+    Platform platform = Platform::twoQubit();
+    ShotEngine engine(platform, {.threads = 2});
+    std::string dir = freshDir("parts");
+    Journal journal(dir);
+
+    // Two disjoint genuine partial results as checkpoints.
+    Job job;
+    job.image = testImage(platform);
+    job.shots = 96;
+    job.seed = 7;
+    job.label = "svc";
+    job.range = {0, 32};
+    BatchResult first = engine.submit(job).get();
+    job.range = {64, 96};
+    BatchResult second = engine.submit(job).get();
+    journal.writePart(5, 0, 0, first);
+    journal.writePart(5, 1, 0, second);
+
+    BatchResult merged = journal.loadParts(5);
+    EXPECT_EQ(merged.shots, 64u);
+    auto gaps = missingShotRanges(merged.shotRanges, 96);
+    ASSERT_EQ(gaps.size(), 1u);
+    EXPECT_EQ(gaps[0].first, 32u);
+    EXPECT_EQ(gaps[0].second, 64u);
+    EXPECT_EQ(journal.maxEpoch(5), 1);
+
+    // Flip a byte inside a checkpoint: the strict fromJson fingerprint
+    // check refuses, and the error names the file.
+    std::string victim = journal.jobDir(5) + "/part-000-000.json";
+    std::string text;
+    {
+        std::ifstream in(victim);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        text = buffer.str();
+    }
+    size_t pos = text.find("\"ones\": ");
+    ASSERT_NE(pos, std::string::npos);
+    text[pos + 8] = text[pos + 8] == '1' ? '2' : '1';
+    {
+        std::ofstream out(victim);
+        out << text;
+    }
+    try {
+        journal.loadParts(5);
+        FAIL() << "a tampered checkpoint must refuse";
+    } catch (const Error &error) {
+        EXPECT_NE(error.message().find("part-000-000.json"),
+                  std::string::npos);
+    }
+}
+
+TEST(Journal, ResultSupersedesParts)
+{
+    Platform platform = Platform::twoQubit();
+    ShotEngine engine(platform, {.threads = 2});
+    std::string dir = freshDir("result");
+    Journal journal(dir);
+    Job job;
+    job.image = testImage(platform);
+    job.shots = 64;
+    job.seed = 7;
+    job.label = "svc";
+    BatchResult result = engine.submit(job).get();
+    journal.writePart(9, 0, 0, result);
+    EXPECT_FALSE(journal.loadResult(9).has_value());
+    journal.writeResult(9, result);
+    auto loaded = journal.loadResult(9);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->countsFingerprint(),
+              result.countsFingerprint());
+    // The superseded part files are gone; loadParts finds nothing.
+    EXPECT_EQ(journal.loadParts(9).shots, 0u);
+}
+
+// ------------------------------------------- engine shot-range helpers
+
+TEST(ShotRanges, InsertAndComplement)
+{
+    std::vector<std::pair<uint64_t, uint64_t>> ranges;
+    insertShotRange(ranges, 32, 64);
+    insertShotRange(ranges, 0, 32);  // coalesces.
+    ASSERT_EQ(ranges.size(), 1u);
+    EXPECT_EQ(ranges[0], (std::pair<uint64_t, uint64_t>{0, 64}));
+    insertShotRange(ranges, 96, 128);
+    EXPECT_THROW(insertShotRange(ranges, 60, 70), Error);  // overlap.
+    EXPECT_THROW(insertShotRange(ranges, 5, 5), Error);    // empty.
+    auto gaps = missingShotRanges(ranges, 160);
+    ASSERT_EQ(gaps.size(), 2u);
+    EXPECT_EQ(gaps[0], (std::pair<uint64_t, uint64_t>{64, 96}));
+    EXPECT_EQ(gaps[1], (std::pair<uint64_t, uint64_t>{128, 160}));
+    EXPECT_TRUE(missingShotRanges({{0, 8}}, 8).empty());
+    EXPECT_EQ(missingShotRanges({}, 8).size(), 1u);
+}
+
+TEST(ShotRanges, PartialSnapshotsReportTrueCoverage)
+{
+    Platform platform = Platform::twoQubit();
+    ShotEngine engine(platform, {.threads = 2, .chunkShots = 16});
+    Job job;
+    job.image = testImage(platform);
+    job.shots = 256;
+    job.seed = 7;
+    job.partialEveryChunks = 1;
+    std::mutex mutex;
+    std::vector<BatchResult> snapshots;
+    job.onPartial = [&](const BatchResult &partial) {
+        std::lock_guard<std::mutex> guard(mutex);
+        snapshots.push_back(partial);
+    };
+    BatchResult final = engine.submit(std::move(job)).get();
+    // The final result claims the whole range (shard provenance)...
+    ASSERT_EQ(final.shotRanges.size(), 1u);
+    EXPECT_EQ(final.shotRanges[0],
+              (std::pair<uint64_t, uint64_t>{0, 256}));
+    // ...but every snapshot covers exactly the shots it folded.
+    std::lock_guard<std::mutex> guard(mutex);
+    ASSERT_FALSE(snapshots.empty());
+    for (const BatchResult &snapshot : snapshots) {
+        uint64_t covered = 0;
+        for (const auto &[begin, end] : snapshot.shotRanges)
+            covered += end - begin;
+        EXPECT_EQ(covered, snapshot.shots);
+    }
+}
+
+// -------------------------------------------------------- Service verbs
+
+TEST(Service, SubmitRunsToTheEngineFingerprint)
+{
+    Platform platform = Platform::twoQubit();
+    ShotEngine engine(platform, {.threads = 2});
+    std::string dir = freshDir("svc_submit");
+    Journal journal(dir);
+    Service service(engine, journal, {});
+    uint64_t id = submitVia(service, 256, "alice");
+    service.waitIdle();
+    Json status = statusOf(service, id);
+    EXPECT_EQ(status.getString("state", ""), "done") << status.dump();
+    EXPECT_EQ(status.getInt("shots_done", 0), 256);
+
+    // The daemon's persisted result carries the same fingerprint as a
+    // direct engine run of the identical job.
+    Job job;
+    job.image = testImage(platform);
+    job.shots = 256;
+    job.seed = 7;
+    job.label = "svc";
+    BatchResult direct = engine.submit(std::move(job)).get();
+    EXPECT_EQ(status.getString("fingerprint", ""),
+              direct.countsFingerprint());
+
+    // status --result returns the full shard-format result.
+    Json request = Json::makeObject();
+    request.set("verb", "status");
+    request.set("id", id);
+    request.set("result", true);
+    Json full = service.handle(request);
+    ASSERT_TRUE(full.find("result") != nullptr);
+    EXPECT_EQ(BatchResult::fromJson(*full.find("result"))
+                  .countsFingerprint(),
+              direct.countsFingerprint());
+}
+
+TEST(Service, OverQuotaTenantIsRejectedWhileOthersProceed)
+{
+    Platform platform = Platform::twoQubit();
+    ShotEngine engine(platform, {.threads = 2});
+    std::string dir = freshDir("svc_quota");
+    Journal journal(dir);
+    sched::QuotaConfig quotas;
+    // One token, effectively never refilled: alice's second submit is
+    // deterministically over quota no matter how fast jobs finish.
+    quotas.tenants["alice"].submitRatePerSec = 1e-9;
+    quotas.tenants["alice"].submitBurst = 1.0;
+    Service service(engine, journal, quotas);
+
+    uint64_t first = submitVia(service, 64, "alice");
+    EXPECT_GT(first, 0u);
+    Json request = Json::makeObject();
+    request.set("verb", "submit");
+    request.set("source", testSource());
+    request.set("shots", 64);
+    request.set("tenant", "alice");
+    Json rejected = service.handle(request);
+    EXPECT_FALSE(rejected.getBool("ok", true));
+    const Json *error = rejected.find("error");
+    ASSERT_NE(error, nullptr);
+    EXPECT_EQ(error->getString("code", ""), "quota_exceeded");
+    EXPECT_NE(error->getString("message", "").find("alice"),
+              std::string::npos);
+    // bob is unaffected.
+    uint64_t bob = submitVia(service, 64, "bob");
+    EXPECT_GT(bob, 0u);
+    service.waitIdle();
+    // The rejection shows up as a per-tenant counter in the metrics
+    // verb's Prometheus exposition.
+    Json metricsReq = Json::makeObject();
+    metricsReq.set("verb", "metrics");
+    std::string exposition =
+        service.handle(metricsReq).getString("prometheus", "");
+    EXPECT_NE(exposition.find("eqasm_sched_quota_rejections_total"),
+              std::string::npos);
+    EXPECT_NE(exposition.find("tenant=\"alice\""), std::string::npos);
+}
+
+TEST(Service, MetricsVerbCarriesBuildInfoAndUptime)
+{
+    Platform platform = Platform::twoQubit();
+    ShotEngine engine(platform, {.threads = 1});
+    std::string dir = freshDir("svc_metrics");
+    Journal journal(dir);
+    Service service(engine, journal, {});
+    Json request = Json::makeObject();
+    request.set("verb", "metrics");
+    std::string exposition =
+        service.handle(request).getString("prometheus", "");
+    EXPECT_NE(exposition.find("eqasm_build_info{version=\""),
+              std::string::npos);
+    EXPECT_NE(exposition.find("eqasm_uptime_seconds"),
+              std::string::npos);
+    EXPECT_NE(exposition.find("eqasm_service_requests_total"),
+              std::string::npos);
+}
+
+TEST(Service, UnknownVerbAndUnknownIdAreTypedErrors)
+{
+    Platform platform = Platform::twoQubit();
+    ShotEngine engine(platform, {.threads = 1});
+    std::string dir = freshDir("svc_errors");
+    Journal journal(dir);
+    Service service(engine, journal, {});
+    Json bogus = Json::makeObject();
+    bogus.set("verb", "frobnicate");
+    Json response = service.handle(bogus);
+    EXPECT_FALSE(response.getBool("ok", true));
+    EXPECT_EQ(response.find("error")->getString("code", ""),
+              "invalid_argument");
+    Json status = statusOf(service, 999);
+    EXPECT_EQ(status.find("error")->getString("code", ""),
+              "not_found");
+    // shutdown flips the drain flag.
+    EXPECT_FALSE(service.shutdownRequested());
+    Json shutdown = Json::makeObject();
+    shutdown.set("verb", "shutdown");
+    EXPECT_TRUE(service.handle(shutdown).getBool("ok", false));
+    EXPECT_TRUE(service.shutdownRequested());
+}
+
+TEST(Service, CancelSettlesAsCancelled)
+{
+    Platform platform = Platform::twoQubit();
+    // One thread and a big job so the cancel lands mid-run.
+    ShotEngine engine(platform, {.threads = 1, .chunkShots = 8});
+    std::string dir = freshDir("svc_cancel");
+    Journal journal(dir);
+    Service service(engine, journal, {});
+    uint64_t id = submitVia(service, 20000, "alice");
+    Json cancel = Json::makeObject();
+    cancel.set("verb", "cancel");
+    cancel.set("id", id);
+    EXPECT_TRUE(service.handle(cancel).getBool("ok", false));
+    service.waitIdle();
+    Json status = statusOf(service, id);
+    // Usually "cancelled"; "done" only if the tiny race let every
+    // shot finish first — both are settled outcomes.
+    std::string state = status.getString("state", "");
+    EXPECT_TRUE(state == "cancelled" || state == "done") << state;
+}
+
+// -------------------------------------------------- crash recovery
+
+/**
+ * The resume property, exercised at an arbitrary interruption point:
+ * an accept record plus a genuine checkpoint covering [0, k) must
+ * resume to the exact fingerprint of an uninterrupted run, for any k.
+ */
+class ServiceRecovery : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ServiceRecovery, ResumesToIdenticalFingerprint)
+{
+    const int shots = 256;
+    const int k = GetParam();
+    Platform platform = Platform::twoQubit();
+    ShotEngine engine(platform, {.threads = 2});
+
+    // Reference: one uninterrupted run.
+    Job reference;
+    reference.image = testImage(platform);
+    reference.shots = shots;
+    reference.seed = 7;
+    reference.label = "svc";
+    std::string expected =
+        engine.submit(reference).get().countsFingerprint();
+
+    // Simulated crash: the journal holds the accept record and (for
+    // k > 0) a checkpoint covering [0, k) — exactly what a kill -9
+    // after the k-th shot's checkpoint leaves behind.
+    std::string dir = freshDir(format("recover_%d", k));
+    {
+        Journal journal(dir);
+        JobSpec spec = testSpec(platform, 1, shots);
+        journal.appendAccept(spec);
+        if (k > 0) {
+            Job head = reference;
+            head.range = {0, k};
+            journal.writePart(1, 0, 0, engine.submit(head).get());
+        }
+    }
+
+    // Restart: recover() resumes the uncovered range.
+    Journal journal(dir);
+    Service service(engine, journal, {});
+    service.recover();
+    service.waitIdle();
+    Json status = statusOf(service, 1);
+    EXPECT_EQ(status.getString("state", ""), "done") << status.dump();
+    EXPECT_EQ(status.getString("fingerprint", ""), expected);
+    // And the recovery survives a *second* restart as settled state.
+    Journal journal2(dir);
+    Service service2(engine, journal2, {});
+    service2.recover();
+    Json status2 = statusOf(service2, 1);
+    EXPECT_EQ(status2.getString("state", ""), "done");
+    EXPECT_EQ(status2.getString("fingerprint", ""), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(InterruptionPoints, ServiceRecovery,
+                         ::testing::Values(0, 1, 32, 100, 255, 256));
+
+TEST(ServiceRecoveryEdge, MultiGapResume)
+{
+    const int shots = 256;
+    Platform platform = Platform::twoQubit();
+    ShotEngine engine(platform, {.threads = 2});
+    Job reference;
+    reference.image = testImage(platform);
+    reference.shots = shots;
+    reference.seed = 7;
+    reference.label = "svc";
+    std::string expected =
+        engine.submit(reference).get().countsFingerprint();
+
+    // Checkpoints from two different epochs covering [0,64) and
+    // [128,192): the restart must fill both holes.
+    std::string dir = freshDir("recover_gaps");
+    {
+        Journal journal(dir);
+        journal.appendAccept(testSpec(platform, 1, shots));
+        Job part = reference;
+        part.range = {0, 64};
+        journal.writePart(1, 0, 0, engine.submit(part).get());
+        part.range = {128, 192};
+        journal.writePart(1, 1, 0, engine.submit(part).get());
+    }
+    Journal journal(dir);
+    Service service(engine, journal, {});
+    service.recover();
+    service.waitIdle();
+    Json status = statusOf(service, 1);
+    EXPECT_EQ(status.getString("state", ""), "done") << status.dump();
+    EXPECT_EQ(status.getString("fingerprint", ""), expected);
+}
+
+TEST(ServiceRecoveryEdge, DeletedCheckpointRerunsTamperedRefuses)
+{
+    const int shots = 128;
+    Platform platform = Platform::twoQubit();
+    ShotEngine engine(platform, {.threads = 2});
+    Job reference;
+    reference.image = testImage(platform);
+    reference.shots = shots;
+    reference.seed = 7;
+    reference.label = "svc";
+    std::string expected =
+        engine.submit(reference).get().countsFingerprint();
+
+    // Lays down an accept record plus a checkpoint covering [0, 64)
+    // and returns the checkpoint's path.
+    auto craftJournal = [&](const std::string &dir) {
+        Journal journal(dir);
+        journal.appendAccept(testSpec(platform, 1, shots));
+        Job head = reference;
+        head.range = {0, 64};
+        journal.writePart(1, 0, 0, engine.submit(head).get());
+        return journal.jobDir(1) + "/part-000-000.json";
+    };
+
+    // Deleting the checkpoint merely loses its coverage: the restart
+    // reruns those shots and still lands on the exact fingerprint.
+    {
+        std::string dir = freshDir("recover_delete");
+        fs::remove(craftJournal(dir));
+        Journal journal(dir);
+        Service service(engine, journal, {});
+        service.recover();
+        service.waitIdle();
+        Json status = statusOf(service, 1);
+        EXPECT_EQ(status.getString("state", ""), "done");
+        EXPECT_EQ(status.getString("fingerprint", ""), expected);
+    }
+    // Tampering with it must refuse recovery, naming the file (the
+    // alternative would be silently diverging counts).
+    {
+        std::string dir = freshDir("recover_tamper");
+        std::string victim = craftJournal(dir);
+        std::string text;
+        {
+            std::ifstream in(victim);
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            text = buffer.str();
+        }
+        size_t pos = text.find("\"shots\": ");
+        ASSERT_NE(pos, std::string::npos);
+        text[pos + 9] = '9';
+        {
+            std::ofstream out(victim);
+            out << text;
+        }
+        Journal journal(dir);
+        Service service(engine, journal, {});
+        try {
+            service.recover();
+            FAIL() << "tampered checkpoint must refuse recovery";
+        } catch (const Error &error) {
+            EXPECT_NE(error.message().find("part-000-000.json"),
+                      std::string::npos);
+        }
+    }
+}
+
+// ------------------------------------------------------ socket server
+
+TEST(Server, ServesLineDelimitedJsonOverUnixSocket)
+{
+    Platform platform = Platform::twoQubit();
+    ShotEngine engine(platform, {.threads = 2});
+    std::string dir = freshDir("server");
+    Journal journal(dir);
+    Service service(engine, journal, {});
+    ServerConfig config;
+    config.unixPath = dir + "/sock";
+    Server server(service, config);
+    std::thread serving([&] { server.run(); });
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, config.unixPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    auto roundTrip = [&](const std::string &request) {
+        std::string line = request + "\n";
+        EXPECT_EQ(::send(fd, line.data(), line.size(), 0),
+                  static_cast<ssize_t>(line.size()));
+        std::string buffer;
+        char chunk[4096];
+        while (buffer.find('\n') == std::string::npos) {
+            ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+            if (n <= 0)
+                break;
+            buffer.append(chunk, static_cast<size_t>(n));
+        }
+        return Json::parse(buffer.substr(0, buffer.find('\n')));
+    };
+
+    Json submit = Json::makeObject();
+    submit.set("verb", "submit");
+    submit.set("source", testSource());
+    submit.set("shots", 64);
+    Json accepted = roundTrip(submit.dump());
+    EXPECT_TRUE(accepted.getBool("ok", false)) << accepted.dump();
+    int64_t id = accepted.getInt("id", 0);
+    EXPECT_GT(id, 0);
+    // Malformed JSON gets a parse_error response, connection stays up.
+    Json bad = roundTrip("{nope");
+    EXPECT_FALSE(bad.getBool("ok", true));
+    service.waitIdle();
+    Json status = Json::makeObject();
+    status.set("verb", "status");
+    status.set("id", id);
+    EXPECT_EQ(roundTrip(status.dump()).getString("state", ""), "done");
+    Json shutdown = Json::makeObject();
+    shutdown.set("verb", "shutdown");
+    EXPECT_TRUE(roundTrip(shutdown.dump()).getBool("ok", false));
+    ::close(fd);
+    serving.join();  // the shutdown verb drains the accept loop.
+    EXPECT_EQ(telemetry::registry().gaugeValue(
+                  "eqasm_service_connections_active"),
+              0);
+}

@@ -49,6 +49,13 @@ echo "== shard + merge smoke (3 processes, rabi) =="
 tools/shard_smoke.sh "$BUILD_DIR"
 "$BUILD_DIR"/bench_shard_merge --quick
 
+# Daemon smoke: eqasmd over its unix socket — two tenants, a typed
+# over-quota refusal, kill -9 mid-job, journal replay, and a resumed
+# fingerprint bit-identical to a 1-process eqasm-run (service_test, run
+# by ctest above, covers the unit-level contracts).
+echo "== service smoke (eqasmd: quotas, kill -9 crash-resume) =="
+tools/service_smoke.sh "$BUILD_DIR"
+
 # Telemetry smoke: a 2-thread priority run must leave a parseable
 # Prometheus exposition behind, with the engine's shot counter at the
 # exact shot count of the run (counters are exact, not sampled).
@@ -73,11 +80,13 @@ if [ "${EQASM_CI_TSAN:-1}" != "0" ]; then
     echo "== ThreadSanitizer (engine/sched/fastpath/telemetry) =="
     cmake -B "$BUILD_DIR-tsan" -S . -DEQASM_TSAN=ON
     cmake --build "$BUILD_DIR-tsan" -j "$(nproc)" \
-        --target engine_test sched_test fastpath_test telemetry_test
+        --target engine_test sched_test fastpath_test telemetry_test \
+        service_test
     "$BUILD_DIR-tsan"/telemetry_test
     "$BUILD_DIR-tsan"/engine_test
     "$BUILD_DIR-tsan"/sched_test
     "$BUILD_DIR-tsan"/fastpath_test
+    "$BUILD_DIR-tsan"/service_test
     echo "tsan passed"
 fi
 

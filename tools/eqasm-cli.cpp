@@ -1,0 +1,264 @@
+/**
+ * @file
+ * eqasm-cli — command-line client of eqasmd (see docs/service.md).
+ *
+ *   eqasm-cli [--socket path | --tcp port] <verb> [options]
+ *
+ *   submit   --file prog.eqasm | --workload qec [--rounds n]
+ *            [--shots n] [--seed s] [--label l] [--tenant t]
+ *            [--priority p]            -> prints {"ok":true,"id":N}
+ *   status   <id> [--result]           -> one status object
+ *   stream   <id>                      -> status objects until settled
+ *   cancel   <id>
+ *   metrics                            -> Prometheus text exposition
+ *   shutdown
+ *
+ * Exit code 0 when the daemon answered ok, 1 on a daemon-side error
+ * (the typed error object is printed), 2 on usage / connection errors.
+ */
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "common/strings.h"
+
+using namespace eqasm;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: eqasm-cli [--socket path | --tcp port] <verb> ...\n"
+        "  submit --file f.eqasm | --workload qec [--rounds n]\n"
+        "         [--shots n] [--seed s] [--label l] [--tenant t] "
+        "[--priority p]\n"
+        "  status <id> [--result]\n"
+        "  stream <id>\n"
+        "  cancel <id>\n"
+        "  metrics\n"
+        "  shutdown\n");
+    return 2;
+}
+
+int
+connectUnix(const std::string &path)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectTcp(int port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+sendLine(int fd, const std::string &text)
+{
+    std::string line = text + "\n";
+    size_t written = 0;
+    while (written < line.size()) {
+        ssize_t n = ::send(fd, line.data() + written,
+                           line.size() - written, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        written += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/** Reads one '\n'-terminated line; false on EOF/error. */
+bool
+readLine(int fd, std::string &buffer, std::string &line)
+{
+    size_t eol;
+    while ((eol = buffer.find('\n')) == std::string::npos) {
+        char chunk[4096];
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            return false;
+        buffer.append(chunk, static_cast<size_t>(n));
+    }
+    line = buffer.substr(0, eol);
+    buffer.erase(0, eol + 1);
+    return true;
+}
+
+/** Prints one response; @return the process exit code it implies. */
+int
+printResponse(const Json &response, bool metricsText)
+{
+    if (response.getBool("ok", false) && metricsText) {
+        std::printf("%s",
+                    response.getString("prometheus", "").c_str());
+        return 0;
+    }
+    std::printf("%s\n", response.dump(2).c_str());
+    return response.getBool("ok", false) ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path = "eqasmd.sock";
+    int tcp_port = 0;
+    std::string verb;
+    Json request = Json::makeObject();
+    bool metricsText = false;
+
+    int i = 1;
+    for (; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--socket" && i + 1 < argc) {
+            socket_path = argv[++i];
+        } else if (arg == "--tcp" && i + 1 < argc) {
+            tcp_port = static_cast<int>(parseInt(argv[++i]));
+        } else if (!arg.empty() && arg[0] != '-') {
+            verb = arg;
+            ++i;
+            break;
+        } else {
+            return usage();
+        }
+    }
+    if (verb.empty())
+        return usage();
+
+    try {
+        request.set("verb", verb);
+        if (verb == "submit") {
+            for (; i < argc; ++i) {
+                std::string arg = argv[i];
+                if (arg == "--file" && i + 1 < argc) {
+                    std::ifstream in(argv[++i]);
+                    if (!in) {
+                        std::fprintf(stderr,
+                                     "eqasm-cli: cannot open '%s'\n",
+                                     argv[i]);
+                        return 2;
+                    }
+                    std::ostringstream text;
+                    text << in.rdbuf();
+                    request.set("source", text.str());
+                } else if (arg == "--workload" && i + 1 < argc) {
+                    request.set("workload", std::string(argv[++i]));
+                } else if (arg == "--rounds" && i + 1 < argc) {
+                    request.set("rounds", parseInt(argv[++i]));
+                } else if (arg == "--shots" && i + 1 < argc) {
+                    request.set("shots", parseInt(argv[++i]));
+                } else if (arg == "--seed" && i + 1 < argc) {
+                    request.set("seed", parseInt(argv[++i]));
+                } else if (arg == "--label" && i + 1 < argc) {
+                    request.set("label", std::string(argv[++i]));
+                } else if (arg == "--tenant" && i + 1 < argc) {
+                    request.set("tenant", std::string(argv[++i]));
+                } else if (arg == "--priority" && i + 1 < argc) {
+                    request.set("priority", parseInt(argv[++i]));
+                } else {
+                    return usage();
+                }
+            }
+        } else if (verb == "status" || verb == "stream" ||
+                   verb == "cancel") {
+            if (i >= argc)
+                return usage();
+            request.set("id", parseInt(argv[i++]));
+            for (; i < argc; ++i) {
+                if (std::string(argv[i]) == "--result")
+                    request.set("result", true);
+                else
+                    return usage();
+            }
+        } else if (verb == "metrics") {
+            metricsText = true;
+        } else if (verb != "shutdown") {
+            return usage();
+        }
+    } catch (const Error &error) {
+        std::fprintf(stderr, "eqasm-cli: %s\n", error.what());
+        return 2;
+    }
+
+    int fd = tcp_port > 0 ? connectTcp(tcp_port)
+                          : connectUnix(socket_path);
+    if (fd < 0) {
+        std::fprintf(stderr,
+                     "eqasm-cli: cannot connect to %s: %s\n",
+                     tcp_port > 0
+                         ? format("127.0.0.1:%d", tcp_port).c_str()
+                         : socket_path.c_str(),
+                     std::strerror(errno));
+        return 2;
+    }
+    if (!sendLine(fd, request.dump())) {
+        std::fprintf(stderr, "eqasm-cli: send failed: %s\n",
+                     std::strerror(errno));
+        ::close(fd);
+        return 2;
+    }
+
+    int rc = 2;
+    std::string buffer, line;
+    while (readLine(fd, buffer, line)) {
+        Json response;
+        try {
+            response = Json::parse(line);
+        } catch (const Error &error) {
+            std::fprintf(stderr,
+                         "eqasm-cli: bad response line: %s\n",
+                         error.what());
+            rc = 2;
+            break;
+        }
+        rc = printResponse(response, metricsText);
+        if (verb != "stream" || rc != 0)
+            break;
+        const std::string state = response.getString("state", "");
+        if (state != "queued" && state != "running")
+            break;
+    }
+    ::close(fd);
+    return rc;
+}

@@ -55,7 +55,11 @@
  *                                  file instead of stdout
  *     --merge                      fold the named shard result files
  *                                  (written by --shard ... --json)
- *                                  into one verified result: every
+ *                                  into one verified result; a
+ *                                  directory argument stands for its
+ *                                  *.json files sorted by name (e.g. a
+ *                                  shard output dir or an eqasmd
+ *                                  journal job directory): every
  *                                  file's fingerprint is re-checked,
  *                                  compatibility (program, seed,
  *                                  backend, disjoint ranges) is
@@ -65,7 +69,9 @@
  */
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -177,6 +183,41 @@ emitJson(const engine::BatchResult &result, const std::string &path)
     // fails in the destructor (full disk) must not exit 0 with a
     // truncated file.
     return writeFile(path, text + "\n");
+}
+
+/**
+ * Expands --merge inputs: a directory argument stands for its *.json
+ * files, sorted by name (the shard and journal writers both use
+ * zero-padded names, so name order is shard order). An empty directory
+ * is an error — silently merging nothing would "verify" a result that
+ * covers no shots.
+ */
+bool
+expandMergeInputs(const std::vector<std::string> &inputs,
+                  std::vector<std::string> &files)
+{
+    for (const std::string &input : inputs) {
+        std::error_code ec;
+        if (!std::filesystem::is_directory(input, ec)) {
+            files.push_back(input);
+            continue;
+        }
+        std::vector<std::string> found;
+        for (const auto &entry :
+             std::filesystem::directory_iterator(input, ec)) {
+            if (entry.path().extension() == ".json")
+                found.push_back(entry.path().string());
+        }
+        if (found.empty()) {
+            log_.error("merge: directory '%s' contains no .json shard "
+                       "files",
+                       input.c_str());
+            return false;
+        }
+        std::sort(found.begin(), found.end());
+        files.insert(files.end(), found.begin(), found.end());
+    }
+    return true;
 }
 
 /** The --merge mode: fold shard result files into one verified
@@ -429,10 +470,13 @@ main(int argc, char **argv)
         if (inputs.empty()) {
             log_.error("--merge needs at least one shard result file "
                        "(written by eqasm-run --shard i/n --json "
-                       "out.json)");
+                       "out.json) or a directory of them");
             return 2;
         }
-        int rc = mergeShardFiles(inputs, json_out, json);
+        std::vector<std::string> files;
+        if (!expandMergeInputs(inputs, files))
+            return 1;
+        int rc = mergeShardFiles(files, json_out, json);
         // The merge/verify counters moved even on failure — a dump of
         // the refusal counts is exactly what --metrics is for.
         if (metrics && rc == 0)

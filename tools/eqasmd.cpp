@@ -1,0 +1,262 @@
+/**
+ * @file
+ * eqasmd — the long-running eQASM batch service daemon.
+ *
+ * Speaks the line-delimited JSON protocol of docs/service.md over an
+ * AF_UNIX socket (and optionally loopback TCP): submit / status /
+ * cancel / stream / metrics / shutdown. Every acknowledged submit is
+ * durable in the crash-safe job journal; on startup the daemon replays
+ * the journal and resumes unfinished jobs from their last checkpoint,
+ * reproducing the bitwise-identical counts of an uninterrupted run.
+ *
+ *   eqasmd [options]
+ *     --socket PATH              unix socket (default eqasmd.sock)
+ *     --tcp PORT                 also listen on 127.0.0.1:PORT
+ *     --journal DIR              job journal (default eqasmd-journal)
+ *     --chip two_qubit|surface7  platform (default two_qubit)
+ *     --platform config.json     full platform configuration
+ *     --qec D                    distance-D rotated-surface platform;
+ *                                enables {"workload": "qec"} submits
+ *     --backend density|stabilizer
+ *     --ideal                    disable all noise
+ *     --threads K                engine worker threads (0 = auto)
+ *     --policy fifo|priority|fair
+ *     --quotas FILE              per-tenant admission quota JSON
+ *                                (see docs/service.md)
+ *     --checkpoint-chunks N      checkpoint cadence (default 8)
+ *     --metrics-file PATH        rewrite the Prometheus exposition
+ *                                there every 2 s and on exit
+ *     --log-level L              none|error|warn|info|trace
+ *
+ * SIGTERM/SIGINT drain gracefully: in-flight requests finish, running
+ * jobs stay journalled for the next start.
+ */
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "engine/shot_engine.h"
+#include "runtime/platform.h"
+#include "service/server.h"
+#include "service/service.h"
+
+using namespace eqasm;
+
+namespace {
+
+const Logger log_("eqasmd");
+
+std::string
+readAll(std::istream &in)
+{
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+int
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path);
+    out << text;
+    out.flush();
+    if (!out) {
+        log_.error("cannot write '%s'", path.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path = "eqasmd.sock";
+    int tcp_port = 0;
+    std::string journal_dir = "eqasmd-journal";
+    std::string chip = "two_qubit";
+    bool chip_set = false;
+    std::string platform_file;
+    int qec_distance = 0;
+    std::string backend_name;
+    bool ideal = false;
+    int threads = 0;
+    std::string policy_name;
+    std::string quotas_file;
+    int checkpoint_chunks = 8;
+    std::string metrics_file;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--socket" && i + 1 < argc) {
+            socket_path = argv[++i];
+        } else if (arg == "--tcp" && i + 1 < argc) {
+            tcp_port = static_cast<int>(parseInt(argv[++i]));
+        } else if (arg == "--journal" && i + 1 < argc) {
+            journal_dir = argv[++i];
+        } else if (arg == "--chip" && i + 1 < argc) {
+            chip = argv[++i];
+            chip_set = true;
+        } else if (arg == "--platform" && i + 1 < argc) {
+            platform_file = argv[++i];
+        } else if (arg == "--qec" && i + 1 < argc) {
+            qec_distance = static_cast<int>(parseInt(argv[++i]));
+            if (qec_distance < 2) {
+                log_.error("--qec needs a distance >= 2, got %d",
+                           qec_distance);
+                return 2;
+            }
+        } else if (arg == "--backend" && i + 1 < argc) {
+            backend_name = argv[++i];
+        } else if (arg == "--ideal") {
+            ideal = true;
+        } else if (arg == "--threads" && i + 1 < argc) {
+            threads = static_cast<int>(parseInt(argv[++i]));
+        } else if (arg == "--policy" && i + 1 < argc) {
+            policy_name = argv[++i];
+        } else if (arg == "--quotas" && i + 1 < argc) {
+            quotas_file = argv[++i];
+        } else if (arg == "--checkpoint-chunks" && i + 1 < argc) {
+            checkpoint_chunks = static_cast<int>(parseInt(argv[++i]));
+        } else if (arg == "--metrics-file" && i + 1 < argc) {
+            metrics_file = argv[++i];
+        } else if (arg == "--log-level" && i + 1 < argc) {
+            std::string name = argv[++i];
+            auto level = parseLogLevel(name);
+            if (!level) {
+                log_.error("unknown log level '%s'", name.c_str());
+                return 2;
+            }
+            setLogLevel(*level);
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: eqasmd [--socket path] [--tcp port] "
+                "[--journal dir] [--chip c] [--platform f] [--qec d] "
+                "[--backend density|stabilizer] [--ideal] "
+                "[--threads k] [--policy p] [--quotas f] "
+                "[--checkpoint-chunks n] [--metrics-file f] "
+                "[--log-level l]\n");
+            return 2;
+        }
+    }
+    if (qec_distance > 0 && (chip_set || !platform_file.empty())) {
+        log_.error("--qec generates its own platform; it cannot be "
+                   "combined with --chip or --platform");
+        return 2;
+    }
+
+    try {
+        runtime::Platform platform;
+        if (qec_distance > 0) {
+            platform = runtime::Platform::rotatedSurface(qec_distance);
+        } else if (!platform_file.empty()) {
+            std::ifstream in(platform_file);
+            if (!in) {
+                log_.error("cannot open platform file '%s'",
+                           platform_file.c_str());
+                return 1;
+            }
+            platform =
+                runtime::Platform::fromJson(Json::parse(readAll(in)));
+        } else if (chip == "surface7") {
+            platform = runtime::Platform::surface7();
+        } else {
+            platform = runtime::Platform::twoQubit();
+        }
+        if (!backend_name.empty()) {
+            auto backend = qsim::parseBackendKind(backend_name);
+            if (!backend) {
+                log_.error("unknown backend '%s'",
+                           backend_name.c_str());
+                return 2;
+            }
+            platform.device.backend = *backend;
+        }
+        if (ideal)
+            platform = runtime::Platform::ideal(platform);
+
+        engine::EngineConfig engine_config;
+        engine_config.threads = threads;
+        if (!policy_name.empty()) {
+            auto policy = sched::parsePolicy(policy_name);
+            if (!policy) {
+                log_.error("unknown policy '%s'", policy_name.c_str());
+                return 2;
+            }
+            engine_config.scheduler.policy = *policy;
+        }
+
+        sched::QuotaConfig quotas;
+        if (!quotas_file.empty()) {
+            std::ifstream in(quotas_file);
+            if (!in) {
+                log_.error("cannot open quota file '%s'",
+                           quotas_file.c_str());
+                return 1;
+            }
+            quotas =
+                sched::QuotaConfig::fromJson(Json::parse(readAll(in)));
+        }
+
+        engine::ShotEngine engine(std::move(platform), engine_config);
+        service::Journal journal(journal_dir);
+        service::ServiceOptions options;
+        options.checkpointEveryChunks = checkpoint_chunks;
+        options.qecDistance = qec_distance;
+        service::Service service(engine, journal, std::move(quotas),
+                                 options);
+        service.recover();
+
+        service::ServerConfig server_config;
+        server_config.unixPath = socket_path;
+        server_config.tcpPort = tcp_port;
+        service::Server server(service, server_config);
+        server.installSignalHandlers();
+
+        // Periodic Prometheus exposition for file-based scrapers.
+        std::atomic<bool> metrics_stop{false};
+        std::thread metrics_writer;
+        if (!metrics_file.empty()) {
+            metrics_writer = std::thread([&] {
+                while (!metrics_stop.load(std::memory_order_relaxed)) {
+                    writeFile(metrics_file,
+                              service::metricsExposition());
+                    for (int tick = 0; tick < 20 &&
+                                       !metrics_stop.load(
+                                           std::memory_order_relaxed);
+                         ++tick) {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(100));
+                    }
+                }
+            });
+        }
+
+        log_.info("eqasmd serving on '%s'%s, journal '%s'",
+                  socket_path.c_str(),
+                  tcp_port > 0
+                      ? format(" and 127.0.0.1:%d", tcp_port).c_str()
+                      : "",
+                  journal_dir.c_str());
+        server.run();
+        log_.info("draining; journal '%s' resumes unfinished jobs on "
+                  "next start",
+                  journal_dir.c_str());
+
+        if (metrics_writer.joinable()) {
+            metrics_stop.store(true, std::memory_order_relaxed);
+            metrics_writer.join();
+            writeFile(metrics_file, service::metricsExposition());
+        }
+        return 0;
+    } catch (const Error &error) {
+        log_.error("%s", error.what());
+        return 1;
+    }
+}
