@@ -13,7 +13,11 @@
  *  - qec_d2_density  — distance-2 surface-code syndrome round on the
  *                      exact density backend (Kraus-channel bound);
  *  - qec_d3_stab     — distance-3 (17-qubit) syndrome round on the
- *                      stabilizer backend.
+ *                      stabilizer backend;
+ *  - qec_d3_trajectory — the same distance-3 syndrome round on the
+ *                      Monte-Carlo trajectory backend (17-qubit
+ *                      amplitude vector, SIMD kernels, one sampled
+ *                      noise branch per shot).
  *
  * Each workload runs on 1/2/4-thread pools (fingerprints must match
  * across pool sizes) and once in "legacy" configuration — textbook
@@ -235,6 +239,22 @@ main(int argc, char **argv)
                           3, 1, w.platform.operations))
                       .image;
         w.shots = quick ? 4000 : 20000;
+        w.seed = 11;
+        workloads.push_back(std::move(w));
+    }
+    {
+        Workload w;
+        w.name = "qec_d3_trajectory";
+        w.platform = runtime::Platform::rotatedSurface(3);
+        w.platform.device.backend = qsim::BackendKind::trajectory;
+        assembler::Assembler assembler(w.platform.operations,
+                                       w.platform.topology,
+                                       w.platform.params);
+        w.image = assembler
+                      .assemble(workloads::syndromeProgram(
+                          3, 1, w.platform.operations))
+                      .image;
+        w.shots = quick ? 100 : 1000;
         w.seed = 11;
         workloads.push_back(std::move(w));
     }

@@ -1,9 +1,10 @@
 /**
  * @file
  * google-benchmark microbenchmarks of the toolchain itself: assembler
- * throughput, binary encode/decode, microarchitecture simulation rate
- * and the density-matrix backend. These quantify the cost of the
- * infrastructure used by the experiment harnesses.
+ * throughput, binary encode/decode, microarchitecture simulation rate,
+ * the density-matrix backend, and SIMD-vs-scalar rows for the
+ * vectorized state-vector/density-matrix kernels. These quantify the
+ * cost of the infrastructure used by the experiment harnesses.
  */
 #include <benchmark/benchmark.h>
 
@@ -13,7 +14,9 @@
 #include "compiler/schedule.h"
 #include "isa/encoding.h"
 #include "qsim/density_matrix.h"
+#include "qsim/kernels.h"
 #include "qsim/noise.h"
+#include "qsim/trajectory_state_vector.h"
 #include "runtime/platform.h"
 #include "runtime/quantum_processor.h"
 #include "telemetry/metrics.h"
@@ -276,6 +279,161 @@ BENCHMARK(BM_NoisyGate1Telemetry)
     ->ArgNames({"enabled"})
     ->Arg(0)
     ->Arg(1);
+
+/**
+ * SIMD-vs-scalar rows for the vectorized simulator kernels
+ * (qsim/kernels.h): each benchmark runs the identical operation
+ * sequence with the runtime dispatch forced to the scalar fallback
+ * (simd = 0) and with the detected vector ISA active (simd = 1). The
+ * spread is the measured vectorization win; the kernels are
+ * bit-identical by contract, so only time differs. On machines
+ * without AVX2/NEON both rows take the scalar path and read equal.
+ */
+void
+BM_SvGate1Simd(benchmark::State &state)
+{
+    int qubits = static_cast<int>(state.range(0));
+    bool simd = state.range(1) != 0;
+    qsim::kernels::setSimdEnabled(simd);
+    qsim::TrajectoryStateVector psi(qubits);
+    qsim::CMatrix x90 = qsim::matRx(M_PI / 2.0);
+    int target = 0;
+    for (auto _ : state) {
+        psi.applyGate1(x90, target);
+        // Stay off qubit 0: that stride always takes the scalar path.
+        target = 1 + (target % (qubits - 1));
+        benchmark::DoNotOptimize(psi.amplitudes().data());
+    }
+    qsim::kernels::setSimdEnabled(true);
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(std::string(
+        simd ? qsim::kernels::simdLevelName(
+                   qsim::kernels::availableLevel())
+             : "scalar"));
+}
+BENCHMARK(BM_SvGate1Simd)
+    ->ArgNames({"qubits", "simd"})
+    ->Args({10, 0})
+    ->Args({10, 1})
+    ->Args({17, 0})
+    ->Args({17, 1});
+
+void
+BM_SvGate2Simd(benchmark::State &state)
+{
+    int qubits = static_cast<int>(state.range(0));
+    bool simd = state.range(1) != 0;
+    qsim::kernels::setSimdEnabled(simd);
+    qsim::TrajectoryStateVector psi(qubits);
+    // Dense 4x4 (CNOT): exercises the full svGate2 kernel, not the
+    // diagonal/CZ fast path.
+    qsim::CMatrix cnot = qsim::matCnot();
+    int target = 1;
+    for (auto _ : state) {
+        psi.applyGate2(cnot, target, 1 + (target % (qubits - 1)));
+        target = 1 + (target % (qubits - 1));
+        benchmark::DoNotOptimize(psi.amplitudes().data());
+    }
+    qsim::kernels::setSimdEnabled(true);
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(std::string(
+        simd ? qsim::kernels::simdLevelName(
+                   qsim::kernels::availableLevel())
+             : "scalar"));
+}
+BENCHMARK(BM_SvGate2Simd)
+    ->ArgNames({"qubits", "simd"})
+    ->Args({10, 0})
+    ->Args({10, 1})
+    ->Args({17, 0})
+    ->Args({17, 1});
+
+void
+BM_SvIdleNoiseSimd(benchmark::State &state)
+{
+    int qubits = static_cast<int>(state.range(0));
+    bool simd = state.range(1) != 0;
+    qsim::kernels::setSimdEnabled(simd);
+    qsim::TrajectoryStateVector psi(qubits);
+    qsim::CMatrix h = qsim::matH();
+    for (int qubit = 0; qubit < qubits; ++qubit)
+        psi.applyGate1(h, qubit);
+    qsim::NoiseModel noise;
+    Rng rng(1);
+    int target = 1;
+    for (auto _ : state) {
+        // Dominated by svProbHalf + the deferred-K0 half-scale; rare
+        // draws take the jump/collapse kernels.
+        psi.applyIdleNoise(target, 20.0, noise, rng);
+        target = 1 + (target % (qubits - 1));
+        benchmark::DoNotOptimize(psi.amplitudes().data());
+    }
+    qsim::kernels::setSimdEnabled(true);
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(std::string(
+        simd ? qsim::kernels::simdLevelName(
+                   qsim::kernels::availableLevel())
+             : "scalar"));
+}
+BENCHMARK(BM_SvIdleNoiseSimd)
+    ->ArgNames({"qubits", "simd"})
+    ->Args({17, 0})
+    ->Args({17, 1});
+
+void
+BM_DmChannel1Simd(benchmark::State &state)
+{
+    int qubits = static_cast<int>(state.range(0));
+    bool simd = state.range(1) != 0;
+    qsim::kernels::setSimdEnabled(simd);
+    qsim::DensityMatrix rho(qubits);
+    qsim::NoiseModel noise;
+    Rng rng(1);
+    int target = 1;
+    for (auto _ : state) {
+        rho.applyGateNoise1(target, noise, rng);
+        target = 1 + (target % (qubits - 1));
+        benchmark::DoNotOptimize(rho.matrix().data().data());
+    }
+    qsim::kernels::setSimdEnabled(true);
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(std::string(
+        simd ? qsim::kernels::simdLevelName(
+                   qsim::kernels::availableLevel())
+             : "scalar"));
+}
+BENCHMARK(BM_DmChannel1Simd)
+    ->ArgNames({"qubits", "simd"})
+    ->Args({7, 0})
+    ->Args({7, 1});
+
+void
+BM_DmChannel2Simd(benchmark::State &state)
+{
+    int qubits = static_cast<int>(state.range(0));
+    bool simd = state.range(1) != 0;
+    qsim::kernels::setSimdEnabled(simd);
+    qsim::DensityMatrix rho(qubits);
+    qsim::NoiseModel noise;
+    Rng rng(1);
+    int target = 1;
+    for (auto _ : state) {
+        rho.applyGateNoise2(target, 1 + (target % (qubits - 1)), noise,
+                            rng);
+        target = 1 + (target % (qubits - 1));
+        benchmark::DoNotOptimize(rho.matrix().data().data());
+    }
+    qsim::kernels::setSimdEnabled(true);
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(std::string(
+        simd ? qsim::kernels::simdLevelName(
+                   qsim::kernels::availableLevel())
+             : "scalar"));
+}
+BENCHMARK(BM_DmChannel2Simd)
+    ->ArgNames({"qubits", "simd"})
+    ->Args({7, 0})
+    ->Args({7, 1});
 
 void
 BM_RbSurvivalSequence(benchmark::State &state)

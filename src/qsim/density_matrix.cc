@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "common/strings.h"
+#include "qsim/kernels.h"
 #include "qsim/noise.h"
 
 namespace eqasm::qsim {
@@ -150,6 +151,11 @@ DensityMatrix::applyGate1(const CMatrix &unitary, int qubit)
     // reload per block write defeats the register kernel.
     const Complex u00 = unitary(0, 0), u01 = unitary(0, 1);
     const Complex u10 = unitary(1, 0), u11 = unitary(1, 1);
+    // SIMD path first (bit-identical per the qsim/kernels.h contract);
+    // it declines qubit-0 gates and forced-scalar runs.
+    const Complex uflat[4] = {u00, u01, u10, u11};
+    if (kernels::dmGate1Vec(rho_.data().data(), n, qubit, uflat))
+        return;
     // U rho U^dagger in one pass: each 2x2 block spanned by a row pair
     // and a column pair differing in the qubit bit maps independently
     // (t = U a, then out = t U^dagger — the same per-element expression
@@ -205,6 +211,10 @@ DensityMatrix::applyGate2(const CMatrix &unitary, int qubit0, int qubit1)
     size_t bit0 = size_t{1} << qubit0;
     size_t bit1 = size_t{1} << qubit1;
     size_t n = dim();
+    if (kernels::dmGate2Vec(rho_.data().data(), n, qubit0, qubit1,
+                            &u[0][0])) {
+        return;
+    }
     auto indexOf = [&](size_t base, size_t k) {
         return base | (k & 1 ? bit0 : 0) | (k & 2 ? bit1 : 0);
     };
@@ -356,12 +366,10 @@ DensityMatrix::applyChannel1(const std::vector<CMatrix> &kraus, int qubit)
     // coefficients: those contribute exactly +/-0 to each sum, so
     // every value is unchanged (only the sign of exact zeros can
     // differ, which no probability, sum or comparison observes).
-    // Operators with a denser row use the full expression.
-    struct Kraus1 {
-        Complex k[4];  ///< k00, k01, k10, k11.
-        int nz[2];     ///< nonzero column of rows 0 and 1, or -1.
-        bool sparse;   ///< both rows mono (use the sparse kernel).
-    };
+    // Operators with a denser row use the full expression. (The
+    // hoisted form is kernels::Kraus1 so the SIMD kernel can consume
+    // it directly.)
+    using kernels::Kraus1;
     Kraus1 fixed[16];
     std::vector<Kraus1> overflow;
     Kraus1 *kk = fixed;
@@ -390,6 +398,10 @@ DensityMatrix::applyChannel1(const std::vector<CMatrix> &kraus, int qubit)
     }
     size_t stride = size_t{1} << qubit;
     size_t n = dim();
+    if (kernels::dmChannel1Vec(rho_.data().data(), n, qubit, kk,
+                               num_kraus)) {
+        return;
+    }
     for (size_t rbase = 0; rbase < n; rbase += 2 * stride) {
         for (size_t roffset = 0; roffset < stride; ++roffset) {
             size_t r0 = rbase + roffset;
@@ -487,11 +499,7 @@ DensityMatrix::applyChannel2(const std::vector<CMatrix> &kraus, int qubit0,
     // exactly one nonzero per row, so the sparse kernel does 32
     // multiplies per operator per block instead of 128, and skipped
     // products contribute exactly +/-0 (values unchanged).
-    struct Kraus2 {
-        std::array<std::array<Complex, 4>, 4> k;
-        int nz[4];    ///< nonzero column per row, or -1.
-        bool sparse;  ///< all four rows mono.
-    };
+    using kernels::Kraus2;
     Kraus2 fixed[16];
     std::vector<Kraus2> overflow;
     Kraus2 *kk = fixed;
@@ -518,6 +526,10 @@ DensityMatrix::applyChannel2(const std::vector<CMatrix> &kraus, int qubit0,
     size_t bit0 = size_t{1} << qubit0;
     size_t bit1 = size_t{1} << qubit1;
     size_t n = dim();
+    if (kernels::dmChannel2Vec(rho_.data().data(), n, qubit0, qubit1, kk,
+                               num_kraus)) {
+        return;
+    }
     auto indexOf = [&](size_t base, size_t k) {
         return base | (k & 1 ? bit0 : 0) | (k & 2 ? bit1 : 0);
     };

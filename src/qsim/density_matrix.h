@@ -20,7 +20,7 @@
 #include "qsim/gates.h"
 #include "qsim/linalg.h"
 #include "qsim/state_backend.h"
-#include "qsim/state_vector.h"
+#include "qsim/trajectory_state_vector.h"
 
 namespace eqasm::qsim {
 

@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Kernel dispatch + the scalar reference paths.
+ *
+ * The scalar loops here are the canonical definition of every kernel's
+ * arithmetic: the vector paths in kernels_vec.cc reproduce these
+ * expression trees lane for lane (see kernels.h for the bit-identity
+ * contract). Keep the two files in sync — any change to an expression
+ * here must be mirrored there, and tests/trajectory_test.cc will catch
+ * a mismatch as a non-zero element diff.
+ */
+#include "qsim/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace eqasm::qsim::kernels {
+
+namespace {
+
+/** Finite-value complex multiply; see the cmul note in
+ *  density_matrix.cc (bit-identical to __muldc3 on finite operands,
+ *  but inlinable). */
+inline Complex
+cmul(const Complex &lhs, const Complex &rhs)
+{
+    return Complex{lhs.real() * rhs.real() - lhs.imag() * rhs.imag(),
+                   lhs.real() * rhs.imag() + lhs.imag() * rhs.real()};
+}
+
+inline Complex
+cmulConj(const Complex &lhs, const Complex &rhs)
+{
+    return cmul(lhs, std::conj(rhs));
+}
+
+SimdLevel
+detectLevel()
+{
+#if defined(__AVX2__)
+    // The whole binary targets AVX2 already; no runtime check needed.
+    return SimdLevel::avx2;
+#elif (defined(__x86_64__) || defined(_M_X64)) &&                        \
+    (defined(__GNUC__) || defined(__clang__))
+    return __builtin_cpu_supports("avx2") ? SimdLevel::avx2
+                                          : SimdLevel::scalar;
+#elif defined(__aarch64__)
+    return SimdLevel::neon;
+#else
+    return SimdLevel::scalar;
+#endif
+}
+
+std::atomic<bool> g_simd_enabled{true};
+
+/** One-time env application, racing initialisations are idempotent. */
+bool
+initFromEnv()
+{
+    applySimdEnv();
+    return true;
+}
+
+inline void
+ensureInit()
+{
+    static const bool once = initFromEnv();
+    (void)once;
+}
+
+} // namespace
+
+std::string_view
+simdLevelName(SimdLevel level)
+{
+    switch (level) {
+    case SimdLevel::avx2:
+        return "avx2";
+    case SimdLevel::neon:
+        return "neon";
+    case SimdLevel::scalar:
+        break;
+    }
+    return "scalar";
+}
+
+SimdLevel
+availableLevel()
+{
+    static const SimdLevel level = detectLevel();
+    return level;
+}
+
+SimdLevel
+activeLevel()
+{
+    ensureInit();
+    return g_simd_enabled.load(std::memory_order_relaxed)
+               ? availableLevel()
+               : SimdLevel::scalar;
+}
+
+bool
+simdActive()
+{
+    return activeLevel() != SimdLevel::scalar;
+}
+
+void
+setSimdEnabled(bool enabled)
+{
+    ensureInit();
+    g_simd_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+simdEnabled()
+{
+    ensureInit();
+    return g_simd_enabled.load(std::memory_order_relaxed);
+}
+
+void
+applySimdEnv()
+{
+    const char *env = std::getenv("EQASM_SIMD");
+    bool enabled = true;
+    if (env != nullptr &&
+        (std::strcmp(env, "scalar") == 0 || std::strcmp(env, "off") == 0 ||
+         std::strcmp(env, "0") == 0)) {
+        enabled = false;
+    }
+    g_simd_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------------
+// State-vector kernels.
+// ------------------------------------------------------------------
+
+namespace {
+
+void
+svGate1Scalar(Complex *amp, size_t n, int qubit, const Complex *u)
+{
+    const Complex u00 = u[0], u01 = u[1], u10 = u[2], u11 = u[3];
+    size_t stride = size_t{1} << qubit;
+    for (size_t base = 0; base < n; base += 2 * stride) {
+        for (size_t offset = 0; offset < stride; ++offset) {
+            size_t i0 = base + offset;
+            size_t i1 = i0 + stride;
+            Complex a0 = amp[i0];
+            Complex a1 = amp[i1];
+            amp[i0] = cmul(u00, a0) + cmul(u01, a1);
+            amp[i1] = cmul(u10, a0) + cmul(u11, a1);
+        }
+    }
+}
+
+void
+svGate2Scalar(Complex *amp, size_t n, int qubit0, int qubit1,
+              const Complex *u)
+{
+    size_t bit0 = size_t{1} << qubit0;
+    size_t bit1 = size_t{1} << qubit1;
+    size_t mask = bit0 | bit1;
+    for (size_t index = 0; index < n; ++index) {
+        if (index & mask)
+            continue;
+        const size_t idx[4] = {index, index | bit0, index | bit1,
+                               index | mask};
+        const Complex a[4] = {amp[idx[0]], amp[idx[1]], amp[idx[2]],
+                              amp[idx[3]]};
+        for (size_t r = 0; r < 4; ++r) {
+            Complex sum{};
+            for (size_t c = 0; c < 4; ++c)
+                sum += cmul(u[4 * r + c], a[c]);
+            amp[idx[r]] = sum;
+        }
+    }
+}
+
+double
+svProbHalfScalar(const Complex *amp, size_t n, int qubit, int bit)
+{
+    size_t stride = size_t{1} << qubit;
+    size_t start = bit ? stride : 0;
+    double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+    if (stride == 1) {
+        // Runs of a single complex value: both components go into the
+        // first accumulator pair (the canonical order for short runs).
+        for (size_t i = start; i < n; i += 2) {
+            acc0 += amp[i].real() * amp[i].real();
+            acc1 += amp[i].imag() * amp[i].imag();
+        }
+    } else {
+        for (size_t base = start; base < n; base += 2 * stride) {
+            for (size_t offset = 0; offset < stride; offset += 2) {
+                const Complex &a0 = amp[base + offset];
+                const Complex &a1 = amp[base + offset + 1];
+                acc0 += a0.real() * a0.real();
+                acc1 += a0.imag() * a0.imag();
+                acc2 += a1.real() * a1.real();
+                acc3 += a1.imag() * a1.imag();
+            }
+        }
+    }
+    return (acc0 + acc1) + (acc2 + acc3);
+}
+
+void
+svScaleHalfScalar(Complex *amp, size_t n, int qubit, int bit, double s)
+{
+    size_t stride = size_t{1} << qubit;
+    size_t start = bit ? stride : 0;
+    for (size_t base = start; base < n; base += 2 * stride) {
+        for (size_t offset = 0; offset < stride; ++offset) {
+            Complex &a = amp[base + offset];
+            a = Complex{a.real() * s, a.imag() * s};
+        }
+    }
+}
+
+void
+svJumpDownScalar(Complex *amp, size_t n, int qubit, double scale)
+{
+    size_t stride = size_t{1} << qubit;
+    for (size_t base = 0; base < n; base += 2 * stride) {
+        for (size_t offset = 0; offset < stride; ++offset) {
+            size_t i0 = base + offset;
+            size_t i1 = i0 + stride;
+            amp[i0] = Complex{amp[i1].real() * scale,
+                              amp[i1].imag() * scale};
+            amp[i1] = Complex{};
+        }
+    }
+}
+
+void
+svDiagHalfScalar(Complex *amp, size_t n, int qubit, int bit, Complex d)
+{
+    size_t stride = size_t{1} << qubit;
+    size_t start = bit ? stride : 0;
+    for (size_t base = start; base < n; base += 2 * stride) {
+        for (size_t offset = 0; offset < stride; ++offset) {
+            Complex &a = amp[base + offset];
+            a = cmul(d, a);
+        }
+    }
+}
+
+void
+svPauliScalar(Complex *amp, size_t n, int qubit, int pauli)
+{
+    size_t stride = size_t{1} << qubit;
+    for (size_t base = 0; base < n; base += 2 * stride) {
+        for (size_t offset = 0; offset < stride; ++offset) {
+            size_t i0 = base + offset;
+            size_t i1 = i0 + stride;
+            Complex a0 = amp[i0];
+            Complex a1 = amp[i1];
+            switch (pauli) {
+            case 1: // X: swap.
+                amp[i0] = a1;
+                amp[i1] = a0;
+                break;
+            case 2: // Y = [[0,-i],[i,0]]: component moves + sign flips.
+                amp[i0] = Complex{a1.imag(), -a1.real()};
+                amp[i1] = Complex{-a0.imag(), a0.real()};
+                break;
+            default: // Z: negate the |1> half.
+                amp[i1] = Complex{-a1.real(), -a1.imag()};
+                break;
+            }
+        }
+    }
+}
+
+void
+svPhaseFlipWhereScalar(Complex *amp, size_t n, size_t mask, size_t match)
+{
+    for (size_t i = 0; i < n; ++i) {
+        if ((i & mask) == match)
+            amp[i] = Complex{-amp[i].real(), -amp[i].imag()};
+    }
+}
+
+} // namespace
+
+void
+svGate1(Complex *amp, size_t n, int qubit, const Complex *u)
+{
+    if (qubit >= 1 && simdActive()) {
+        vec::svGate1(amp, n, qubit, u);
+        return;
+    }
+    svGate1Scalar(amp, n, qubit, u);
+}
+
+void
+svGate2(Complex *amp, size_t n, int qubit0, int qubit1, const Complex *u)
+{
+    if (qubit0 >= 1 && qubit1 >= 1 && simdActive()) {
+        vec::svGate2(amp, n, qubit0, qubit1, u);
+        return;
+    }
+    svGate2Scalar(amp, n, qubit0, qubit1, u);
+}
+
+double
+svProbHalf(const Complex *amp, size_t n, int qubit, int bit)
+{
+    if (qubit >= 1 && simdActive())
+        return vec::svProbHalf(amp, n, qubit, bit);
+    return svProbHalfScalar(amp, n, qubit, bit);
+}
+
+void
+svScalePair(Complex *amp, size_t n, int qubit, double s0, double s1)
+{
+    if (qubit >= 1 && simdActive()) {
+        vec::svScalePair(amp, n, qubit, s0, s1);
+        return;
+    }
+    if (s0 != 1.0)
+        svScaleHalfScalar(amp, n, qubit, 0, s0);
+    if (s1 != 1.0)
+        svScaleHalfScalar(amp, n, qubit, 1, s1);
+}
+
+void
+svJumpDown(Complex *amp, size_t n, int qubit, double scale)
+{
+    if (qubit >= 1 && simdActive()) {
+        vec::svJumpDown(amp, n, qubit, scale);
+        return;
+    }
+    svJumpDownScalar(amp, n, qubit, scale);
+}
+
+void
+svDiag1(Complex *amp, size_t n, int qubit, Complex d0, Complex d1)
+{
+    if (qubit >= 1 && simdActive()) {
+        vec::svDiag1(amp, n, qubit, d0, d1);
+        return;
+    }
+    if (d0 != Complex{1.0, 0.0})
+        svDiagHalfScalar(amp, n, qubit, 0, d0);
+    if (d1 != Complex{1.0, 0.0})
+        svDiagHalfScalar(amp, n, qubit, 1, d1);
+}
+
+void
+svPauli(Complex *amp, size_t n, int qubit, int pauli)
+{
+    // Exact component moves/negations: any implementation is
+    // bit-identical, so the vector path only needs contiguous runs.
+    if (qubit >= 1 && simdActive()) {
+        vec::svPauli(amp, n, qubit, pauli);
+        return;
+    }
+    svPauliScalar(amp, n, qubit, pauli);
+}
+
+void
+svPhaseFlipWhere(Complex *amp, size_t n, size_t mask, size_t match)
+{
+    if ((mask & 1) == 0 && simdActive()) {
+        vec::svPhaseFlipWhere(amp, n, mask, match);
+        return;
+    }
+    svPhaseFlipWhereScalar(amp, n, mask, match);
+}
+
+// ------------------------------------------------------------------
+// Density-matrix dispatchers. The vectorizable layout is contiguous
+// column pairs, which needs every gate qubit above bit 0; otherwise
+// report false and let density_matrix.cc run its scalar loops.
+// ------------------------------------------------------------------
+
+bool
+dmGate1Vec(Complex *rho, size_t dim, int qubit, const Complex *u)
+{
+    if (qubit < 1 || !simdActive())
+        return false;
+    return vec::dmGate1(rho, dim, qubit, u);
+}
+
+bool
+dmGate2Vec(Complex *rho, size_t dim, int qubit0, int qubit1,
+           const Complex *u)
+{
+    if (qubit0 < 1 || qubit1 < 1 || !simdActive())
+        return false;
+    return vec::dmGate2(rho, dim, qubit0, qubit1, u);
+}
+
+bool
+dmChannel1Vec(Complex *rho, size_t dim, int qubit, const Kraus1 *kk,
+              size_t num_kraus)
+{
+    if (qubit < 1 || !simdActive())
+        return false;
+    return vec::dmChannel1(rho, dim, qubit, kk, num_kraus);
+}
+
+bool
+dmChannel2Vec(Complex *rho, size_t dim, int qubit0, int qubit1,
+              const Kraus2 *kk, size_t num_kraus)
+{
+    if (qubit0 < 1 || qubit1 < 1 || !simdActive())
+        return false;
+    return vec::dmChannel2(rho, dim, qubit0, qubit1, kk, num_kraus);
+}
+
+} // namespace eqasm::qsim::kernels

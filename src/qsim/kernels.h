@@ -1,0 +1,173 @@
+/**
+ * @file
+ * SIMD-dispatched inner kernels for the amplitude-vector and
+ * density-matrix backends.
+ *
+ * Every hot loop of the state simulators — the fused single-/two-qubit
+ * gate butterflies, the Kraus-channel block maps and the probability
+ * reductions — lives behind this interface in two implementations:
+ *
+ *  - a scalar path (kernels.cc), plain C++ loops;
+ *  - a vector path (kernels_vec.cc), hand-written with explicit-width
+ *    GCC/Clang vector types processing two complex doubles per
+ *    operation. On x86-64 the translation unit is compiled with -mavx2
+ *    and entered only after a runtime cpuid check; on AArch64 the same
+ *    code lowers to baseline NEON.
+ *
+ * Bit-identity contract: both paths evaluate the *same IEEE-754
+ * expression tree per element* (lanes are independent elements, FMA
+ * contraction is disabled, and reductions use a fixed four-accumulator
+ * scheme defined on the data layout rather than the ISA), so a result
+ * computed with SIMD on is bit-identical to the scalar fallback — the
+ * counts fingerprint of a run does not depend on the host's vector
+ * ISA. tests/trajectory_test.cc asserts exact element equality per
+ * gate/channel class on random states.
+ *
+ * Dispatch: the vector path is used when the CPU supports it, unless
+ * disabled via setSimdEnabled(false) or the EQASM_SIMD environment
+ * variable ("scalar" / "off" / "0" force the scalar fallback).
+ */
+#ifndef EQASM_QSIM_KERNELS_H
+#define EQASM_QSIM_KERNELS_H
+
+#include <cstddef>
+#include <string_view>
+
+#include "qsim/linalg.h"
+
+namespace eqasm::qsim::kernels {
+
+/** Vector instruction set selected by the runtime dispatcher. */
+enum class SimdLevel {
+    scalar,  ///< plain C++ loops (always available).
+    avx2,    ///< 256-bit path on x86-64 (cpuid-gated).
+    neon,    ///< 128-bit path on AArch64 (baseline).
+};
+
+/** @return a stable lower-case name ("scalar", "avx2", "neon"). */
+std::string_view simdLevelName(SimdLevel level);
+
+/** The best level this binary + CPU supports (ignores overrides). */
+SimdLevel availableLevel();
+
+/** The level kernels actually run at: availableLevel() unless the
+ *  programmatic switch or EQASM_SIMD forces the scalar fallback. */
+SimdLevel activeLevel();
+
+/** @return activeLevel() != SimdLevel::scalar. */
+bool simdActive();
+
+/**
+ * Programmatic force-fallback switch (process-global): false routes
+ * every kernel through the scalar path. Results are bit-identical
+ * either way; tests use this to assert exactly that, benches to
+ * measure the vector speedup.
+ */
+void setSimdEnabled(bool enabled);
+bool simdEnabled();
+
+/** Re-reads EQASM_SIMD ("scalar"/"off"/"0" force the fallback; empty
+ *  or "auto" restore dispatch). Called once at startup automatically;
+ *  exposed so tests can exercise the env switch. */
+void applySimdEnv();
+
+// ------------------------------------------------------------------
+// State-vector kernels. amp is a 2^n complex array, qubit 0 the least
+// significant index bit; n is the array length (a power of two).
+// ------------------------------------------------------------------
+
+/** Butterfly u (2x2, row-major u[0..3] = u00,u01,u10,u11) on @p qubit. */
+void svGate1(Complex *amp, size_t n, int qubit, const Complex *u);
+
+/** 4x4 unitary (row-major, operand 0 = LSB) on (qubit0, qubit1). */
+void svGate2(Complex *amp, size_t n, int qubit0, int qubit1,
+             const Complex *u);
+
+/**
+ * Sum of |amp_i|^2 over indices whose @p qubit bit equals @p bit.
+ * Canonical reduction order (identical on every path): contiguous runs
+ * are consumed as pairs of complex values into four accumulators
+ * (re0^2, im0^2, re1^2, im1^2), odd single values into the first two,
+ * and the result is (acc0 + acc1) + (acc2 + acc3).
+ */
+double svProbHalf(const Complex *amp, size_t n, int qubit, int bit);
+
+/** amp_i *= (bit of @p qubit ? s1 : s0); a factor exactly 1.0 skips
+ *  its half entirely (bit-preserving no-op). */
+void svScalePair(Complex *amp, size_t n, int qubit, double s0, double s1);
+
+/** The amplitude-damping jump: amp_i0 = amp_i1 * scale, amp_i1 = 0
+ *  for every (i0, i1) pair differing in @p qubit. */
+void svJumpDown(Complex *amp, size_t n, int qubit, double scale);
+
+/** Diagonal single-qubit gate diag(d0, d1): each half is multiplied by
+ *  its (complex) entry; an entry exactly (1, 0) skips its half. */
+void svDiag1(Complex *amp, size_t n, int qubit, Complex d0, Complex d1);
+
+/** Pauli applications as exact component moves/negations (no rounding,
+ *  used by the trajectory noise sampler). pauli: 1 = X, 2 = Y, 3 = Z. */
+void svPauli(Complex *amp, size_t n, int qubit, int pauli);
+
+/** Negates every amp_i with (i & mask) == match (the CZ fast path:
+ *  mask = match = bit0 | bit1). */
+void svPhaseFlipWhere(Complex *amp, size_t n, size_t mask, size_t match);
+
+// ------------------------------------------------------------------
+// Density-matrix kernels. rho is a dim x dim row-major complex array.
+// The vector entry points return false when they did not run (SIMD
+// inactive, or the block layout is not vectorizable — qubit 0 gates,
+// whose column pairs interleave); the caller then runs its scalar
+// loop. Where they do run, results are bit-identical to the scalar
+// loops in density_matrix.cc.
+// ------------------------------------------------------------------
+
+/** Hoisted single-qubit Kraus operator with mono-row sparsity info
+ *  (see DensityMatrix::applyChannel1). */
+struct Kraus1 {
+    Complex k[4];  ///< k00, k01, k10, k11.
+    int nz[2];     ///< nonzero column of rows 0 and 1, or -1.
+    bool sparse;   ///< both rows mono (use the sparse kernel).
+};
+
+/** Hoisted two-qubit Kraus operator (see applyChannel2). */
+struct Kraus2 {
+    Complex k[4][4];
+    int nz[4];    ///< nonzero column per row, or -1.
+    bool sparse;  ///< all four rows mono.
+};
+
+bool dmGate1Vec(Complex *rho, size_t dim, int qubit, const Complex *u);
+bool dmGate2Vec(Complex *rho, size_t dim, int qubit0, int qubit1,
+                const Complex *u);
+bool dmChannel1Vec(Complex *rho, size_t dim, int qubit, const Kraus1 *kk,
+                   size_t num_kraus);
+bool dmChannel2Vec(Complex *rho, size_t dim, int qubit0, int qubit1,
+                   const Kraus2 *kk, size_t num_kraus);
+
+// ------------------------------------------------------------------
+// Raw vector-path entry points (kernels_vec.cc). Call only through
+// the dispatchers above: on x86-64 they contain AVX2 instructions and
+// are safe only after the cpuid check.
+// ------------------------------------------------------------------
+namespace vec {
+void svGate1(Complex *amp, size_t n, int qubit, const Complex *u);
+void svGate2(Complex *amp, size_t n, int qubit0, int qubit1,
+             const Complex *u);
+double svProbHalf(const Complex *amp, size_t n, int qubit, int bit);
+void svScalePair(Complex *amp, size_t n, int qubit, double s0, double s1);
+void svJumpDown(Complex *amp, size_t n, int qubit, double scale);
+void svDiag1(Complex *amp, size_t n, int qubit, Complex d0, Complex d1);
+void svPauli(Complex *amp, size_t n, int qubit, int pauli);
+void svPhaseFlipWhere(Complex *amp, size_t n, size_t mask, size_t match);
+bool dmGate1(Complex *rho, size_t dim, int qubit, const Complex *u);
+bool dmGate2(Complex *rho, size_t dim, int qubit0, int qubit1,
+             const Complex *u);
+bool dmChannel1(Complex *rho, size_t dim, int qubit, const Kraus1 *kk,
+                size_t num_kraus);
+bool dmChannel2(Complex *rho, size_t dim, int qubit0, int qubit1,
+                const Kraus2 *kk, size_t num_kraus);
+} // namespace vec
+
+} // namespace eqasm::qsim::kernels
+
+#endif // EQASM_QSIM_KERNELS_H

@@ -1,0 +1,494 @@
+/**
+ * @file
+ * Vector-path kernels: explicit 256-bit lanes (two complex doubles)
+ * via GCC/Clang vector extensions.
+ *
+ * On x86-64 this translation unit is compiled with -mavx2 (see
+ * CMakeLists.txt) and entered only behind the runtime cpuid dispatch
+ * in kernels.cc; on AArch64 the same source lowers to two 128-bit NEON
+ * operations per vector and is the baseline path.
+ *
+ * Bit-identity with kernels.cc's scalar loops: every lane evaluates
+ * the same expression tree as the scalar element —
+ *   cmulv(k, v)  per lane pair = (kr*re + (ki*im)*-1, kr*im + (ki*re)*+1)
+ * which matches cmul's (kr*re - ki*im, kr*im + ki*re) exactly
+ * (x + (-y) == x - y, and *±1.0 is an exact sign operation in IEEE
+ * 754). FMA contraction is disabled for this file (-ffp-contract=off)
+ * so the two-instruction multiply+add sequence is never fused into a
+ * differently-rounded fma. Reductions replicate the canonical
+ * four-accumulator scheme: the accumulator vector's four slots ARE
+ * acc0..acc3.
+ */
+#include "qsim/kernels.h"
+
+#include <cstring>
+
+namespace eqasm::qsim::kernels::vec {
+
+namespace {
+
+typedef double v4df __attribute__((vector_size(32)));
+
+inline v4df
+loadv(const Complex *p)
+{
+    v4df v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+inline void
+storev(Complex *p, v4df v)
+{
+    std::memcpy(static_cast<void *>(p), &v, sizeof(v));
+}
+
+/** Swaps (re, im) within each complex lane. */
+inline v4df
+swapv(v4df v)
+{
+    return __builtin_shufflevector(v, v, 1, 0, 3, 2);
+}
+
+/** Broadcast complex k times two complex lanes; lane expression tree
+ *  identical to kernels.cc's cmul(k, a). */
+inline v4df
+cmulv(const Complex &k, v4df v)
+{
+    const v4df sign = {-1.0, 1.0, -1.0, 1.0};
+    return k.real() * v + (k.imag() * swapv(v)) * sign;
+}
+
+/** Matches cmulConj(a, k) == cmul(a, conj(k)) per lane (complex
+ *  multiplication commutes operand-wise at the bit level: products
+ *  commute exactly and the two cross terms feed one IEEE addition,
+ *  which is commutative). */
+inline v4df
+cmulConjv(const Complex &k, v4df v)
+{
+    return cmulv(Complex{k.real(), -k.imag()}, v);
+}
+
+inline v4df
+zerov()
+{
+    return v4df{0.0, 0.0, 0.0, 0.0};
+}
+
+} // namespace
+
+// ------------------------------------------------------------------
+// State-vector kernels. All entered with qubit >= 1 (contiguous runs
+// of >= 2 complex values); dispatch guarantees it.
+// ------------------------------------------------------------------
+
+void
+svGate1(Complex *amp, size_t n, int qubit, const Complex *u)
+{
+    const Complex u00 = u[0], u01 = u[1], u10 = u[2], u11 = u[3];
+    size_t stride = size_t{1} << qubit;
+    for (size_t base = 0; base < n; base += 2 * stride) {
+        for (size_t offset = 0; offset < stride; offset += 2) {
+            Complex *p0 = amp + base + offset;
+            Complex *p1 = p0 + stride;
+            v4df a0 = loadv(p0);
+            v4df a1 = loadv(p1);
+            storev(p0, cmulv(u00, a0) + cmulv(u01, a1));
+            storev(p1, cmulv(u10, a0) + cmulv(u11, a1));
+        }
+    }
+}
+
+void
+svGate2(Complex *amp, size_t n, int qubit0, int qubit1, const Complex *u)
+{
+    size_t bit0 = size_t{1} << qubit0;
+    size_t bit1 = size_t{1} << qubit1;
+    size_t mask = bit0 | bit1;
+    // Valid base indices (no mask bit set) come in adjacent pairs
+    // because bit 0 is not in the mask: vectorize over the pair.
+    for (size_t base = 0; base < n; base += 2) {
+        if (base & mask)
+            continue;
+        Complex *p[4] = {amp + base, amp + (base | bit0),
+                         amp + (base | bit1), amp + (base | mask)};
+        v4df a[4];
+        for (size_t k = 0; k < 4; ++k)
+            a[k] = loadv(p[k]);
+        for (size_t r = 0; r < 4; ++r) {
+            v4df sum = zerov();
+            for (size_t c = 0; c < 4; ++c)
+                sum += cmulv(u[4 * r + c], a[c]);
+            storev(p[r], sum);
+        }
+    }
+}
+
+double
+svProbHalf(const Complex *amp, size_t n, int qubit, int bit)
+{
+    size_t stride = size_t{1} << qubit;
+    size_t start = bit ? stride : 0;
+    v4df acc = zerov(); // slots are the canonical acc0..acc3.
+    for (size_t base = start; base < n; base += 2 * stride) {
+        for (size_t offset = 0; offset < stride; offset += 2) {
+            v4df v = loadv(amp + base + offset);
+            acc += v * v;
+        }
+    }
+    return (acc[0] + acc[1]) + (acc[2] + acc[3]);
+}
+
+namespace {
+
+void
+svScaleHalf(Complex *amp, size_t n, int qubit, int bit, double s)
+{
+    size_t stride = size_t{1} << qubit;
+    size_t start = bit ? stride : 0;
+    for (size_t base = start; base < n; base += 2 * stride) {
+        for (size_t offset = 0; offset < stride; offset += 2) {
+            Complex *p = amp + base + offset;
+            storev(p, loadv(p) * s);
+        }
+    }
+}
+
+void
+svDiagHalf(Complex *amp, size_t n, int qubit, int bit, Complex d)
+{
+    size_t stride = size_t{1} << qubit;
+    size_t start = bit ? stride : 0;
+    for (size_t base = start; base < n; base += 2 * stride) {
+        for (size_t offset = 0; offset < stride; offset += 2) {
+            Complex *p = amp + base + offset;
+            storev(p, cmulv(d, loadv(p)));
+        }
+    }
+}
+
+} // namespace
+
+void
+svScalePair(Complex *amp, size_t n, int qubit, double s0, double s1)
+{
+    if (s0 != 1.0)
+        svScaleHalf(amp, n, qubit, 0, s0);
+    if (s1 != 1.0)
+        svScaleHalf(amp, n, qubit, 1, s1);
+}
+
+void
+svJumpDown(Complex *amp, size_t n, int qubit, double scale)
+{
+    size_t stride = size_t{1} << qubit;
+    for (size_t base = 0; base < n; base += 2 * stride) {
+        for (size_t offset = 0; offset < stride; offset += 2) {
+            Complex *p0 = amp + base + offset;
+            Complex *p1 = p0 + stride;
+            storev(p0, loadv(p1) * scale);
+            storev(p1, zerov());
+        }
+    }
+}
+
+void
+svDiag1(Complex *amp, size_t n, int qubit, Complex d0, Complex d1)
+{
+    if (d0 != Complex{1.0, 0.0})
+        svDiagHalf(amp, n, qubit, 0, d0);
+    if (d1 != Complex{1.0, 0.0})
+        svDiagHalf(amp, n, qubit, 1, d1);
+}
+
+void
+svPauli(Complex *amp, size_t n, int qubit, int pauli)
+{
+    size_t stride = size_t{1} << qubit;
+    const v4df yneglow = {1.0, -1.0, 1.0, -1.0};  // (im, -re) lanes.
+    const v4df yneghigh = {-1.0, 1.0, -1.0, 1.0}; // (-im, re) lanes.
+    for (size_t base = 0; base < n; base += 2 * stride) {
+        for (size_t offset = 0; offset < stride; offset += 2) {
+            Complex *p0 = amp + base + offset;
+            Complex *p1 = p0 + stride;
+            switch (pauli) {
+            case 1: { // X: swap halves.
+                v4df a0 = loadv(p0);
+                storev(p0, loadv(p1));
+                storev(p1, a0);
+                break;
+            }
+            case 2: { // Y: component swap + exact sign flips.
+                v4df a0 = loadv(p0);
+                v4df a1 = loadv(p1);
+                storev(p0, swapv(a1) * yneglow);
+                storev(p1, swapv(a0) * yneghigh);
+                break;
+            }
+            default: // Z: negate the |1> half.
+                storev(p1, loadv(p1) * -1.0);
+                break;
+            }
+        }
+    }
+}
+
+void
+svPhaseFlipWhere(Complex *amp, size_t n, size_t mask, size_t match)
+{
+    // Dispatch guarantees bit 0 is not in the mask, so matching
+    // indices come in adjacent pairs.
+    for (size_t base = 0; base < n; base += 2) {
+        if ((base & mask) != match)
+            continue;
+        Complex *p = amp + base;
+        storev(p, loadv(p) * -1.0);
+    }
+}
+
+// ------------------------------------------------------------------
+// Density-matrix kernels: vectorized over the contiguous column
+// offset within each block (qubits >= 1 guaranteed by dispatch).
+// The per-lane expression sequences mirror density_matrix.cc's
+// scalar block loops operation for operation.
+// ------------------------------------------------------------------
+
+bool
+dmGate1(Complex *rho, size_t dim, int qubit, const Complex *u)
+{
+    const Complex u00 = u[0], u01 = u[1], u10 = u[2], u11 = u[3];
+    size_t stride = size_t{1} << qubit;
+    for (size_t rbase = 0; rbase < dim; rbase += 2 * stride) {
+        for (size_t roffset = 0; roffset < stride; ++roffset) {
+            Complex *row0 = rho + (rbase + roffset) * dim;
+            Complex *row1 = row0 + stride * dim;
+            for (size_t cbase = 0; cbase < dim; cbase += 2 * stride) {
+                for (size_t coffset = 0; coffset < stride; coffset += 2) {
+                    size_t c0 = cbase + coffset;
+                    size_t c1 = c0 + stride;
+                    v4df a00 = loadv(row0 + c0);
+                    v4df a01 = loadv(row0 + c1);
+                    v4df a10 = loadv(row1 + c0);
+                    v4df a11 = loadv(row1 + c1);
+                    v4df t00 = cmulv(u00, a00) + cmulv(u01, a10);
+                    v4df t01 = cmulv(u00, a01) + cmulv(u01, a11);
+                    v4df t10 = cmulv(u10, a00) + cmulv(u11, a10);
+                    v4df t11 = cmulv(u10, a01) + cmulv(u11, a11);
+                    storev(row0 + c0,
+                           cmulConjv(u00, t00) + cmulConjv(u01, t01));
+                    storev(row0 + c1,
+                           cmulConjv(u10, t00) + cmulConjv(u11, t01));
+                    storev(row1 + c0,
+                           cmulConjv(u00, t10) + cmulConjv(u01, t11));
+                    storev(row1 + c1,
+                           cmulConjv(u10, t10) + cmulConjv(u11, t11));
+                }
+            }
+        }
+    }
+    return true;
+}
+
+bool
+dmGate2(Complex *rho, size_t dim, int qubit0, int qubit1, const Complex *u)
+{
+    size_t bit0 = size_t{1} << qubit0;
+    size_t bit1 = size_t{1} << qubit1;
+    size_t mask = bit0 | bit1;
+    auto indexOf = [&](size_t base, size_t k) {
+        return base | (k & 1 ? bit0 : 0) | (k & 2 ? bit1 : 0);
+    };
+    for (size_t rbase = 0; rbase < dim; ++rbase) {
+        if (rbase & mask)
+            continue;
+        // Column bases pair up (bit 0 is not in the mask).
+        for (size_t cbase = 0; cbase < dim; cbase += 2) {
+            if (cbase & mask)
+                continue;
+            v4df a[4][4];
+            for (size_t r = 0; r < 4; ++r) {
+                const Complex *row = rho + indexOf(rbase, r) * dim;
+                for (size_t c = 0; c < 4; ++c)
+                    a[r][c] = loadv(row + indexOf(cbase, c));
+            }
+            v4df t[4][4];
+            for (size_t c = 0; c < 4; ++c) {
+                for (size_t r = 0; r < 4; ++r) {
+                    v4df value = zerov();
+                    for (size_t j = 0; j < 4; ++j)
+                        value += cmulv(u[4 * r + j], a[j][c]);
+                    t[r][c] = value;
+                }
+            }
+            for (size_t r = 0; r < 4; ++r) {
+                Complex *row = rho + indexOf(rbase, r) * dim;
+                for (size_t c = 0; c < 4; ++c) {
+                    v4df value = zerov();
+                    for (size_t j = 0; j < 4; ++j)
+                        value += cmulConjv(u[4 * c + j], t[r][j]);
+                    storev(row + indexOf(cbase, c), value);
+                }
+            }
+        }
+    }
+    return true;
+}
+
+bool
+dmChannel1(Complex *rho, size_t dim, int qubit, const Kraus1 *kk,
+           size_t num_kraus)
+{
+    size_t stride = size_t{1} << qubit;
+    for (size_t rbase = 0; rbase < dim; rbase += 2 * stride) {
+        for (size_t roffset = 0; roffset < stride; ++roffset) {
+            Complex *row0 = rho + (rbase + roffset) * dim;
+            Complex *row1 = row0 + stride * dim;
+            for (size_t cbase = 0; cbase < dim; cbase += 2 * stride) {
+                for (size_t coffset = 0; coffset < stride; coffset += 2) {
+                    size_t c0 = cbase + coffset;
+                    size_t c1 = c0 + stride;
+                    const v4df a[2][2] = {
+                        {loadv(row0 + c0), loadv(row0 + c1)},
+                        {loadv(row1 + c0), loadv(row1 + c1)}};
+                    v4df s00 = zerov(), s01 = zerov();
+                    v4df s10 = zerov(), s11 = zerov();
+                    for (size_t ki = 0; ki < num_kraus; ++ki) {
+                        const Kraus1 &h = kk[ki];
+                        if (h.sparse) {
+                            int j0 = h.nz[0], j1 = h.nz[1];
+                            v4df t[2][2] = {{zerov(), zerov()},
+                                            {zerov(), zerov()}};
+                            if (j0 >= 0) {
+                                const Complex k0 = h.k[j0];
+                                t[0][0] = cmulv(k0, a[j0][0]);
+                                t[0][1] = cmulv(k0, a[j0][1]);
+                            }
+                            if (j1 >= 0) {
+                                const Complex k1 = h.k[2 + j1];
+                                t[1][0] = cmulv(k1, a[j1][0]);
+                                t[1][1] = cmulv(k1, a[j1][1]);
+                            }
+                            if (j0 >= 0) {
+                                const Complex k0 = h.k[j0];
+                                s00 += cmulConjv(k0, t[0][j0]);
+                                s10 += cmulConjv(k0, t[1][j0]);
+                            }
+                            if (j1 >= 0) {
+                                const Complex k1 = h.k[2 + j1];
+                                s01 += cmulConjv(k1, t[0][j1]);
+                                s11 += cmulConjv(k1, t[1][j1]);
+                            }
+                        } else {
+                            const Complex k00 = h.k[0], k01 = h.k[1];
+                            const Complex k10 = h.k[2], k11 = h.k[3];
+                            v4df t00 =
+                                cmulv(k00, a[0][0]) + cmulv(k01, a[1][0]);
+                            v4df t01 =
+                                cmulv(k00, a[0][1]) + cmulv(k01, a[1][1]);
+                            v4df t10 =
+                                cmulv(k10, a[0][0]) + cmulv(k11, a[1][0]);
+                            v4df t11 =
+                                cmulv(k10, a[0][1]) + cmulv(k11, a[1][1]);
+                            s00 += cmulConjv(k00, t00) +
+                                   cmulConjv(k01, t01);
+                            s01 += cmulConjv(k10, t00) +
+                                   cmulConjv(k11, t01);
+                            s10 += cmulConjv(k00, t10) +
+                                   cmulConjv(k01, t11);
+                            s11 += cmulConjv(k10, t10) +
+                                   cmulConjv(k11, t11);
+                        }
+                    }
+                    storev(row0 + c0, s00);
+                    storev(row0 + c1, s01);
+                    storev(row1 + c0, s10);
+                    storev(row1 + c1, s11);
+                }
+            }
+        }
+    }
+    return true;
+}
+
+bool
+dmChannel2(Complex *rho, size_t dim, int qubit0, int qubit1,
+           const Kraus2 *kk, size_t num_kraus)
+{
+    size_t bit0 = size_t{1} << qubit0;
+    size_t bit1 = size_t{1} << qubit1;
+    size_t mask = bit0 | bit1;
+    auto indexOf = [&](size_t base, size_t k) {
+        return base | (k & 1 ? bit0 : 0) | (k & 2 ? bit1 : 0);
+    };
+    for (size_t rbase = 0; rbase < dim; ++rbase) {
+        if (rbase & mask)
+            continue;
+        for (size_t cbase = 0; cbase < dim; cbase += 2) {
+            if (cbase & mask)
+                continue;
+            v4df a[4][4];
+            for (size_t r = 0; r < 4; ++r) {
+                const Complex *row = rho + indexOf(rbase, r) * dim;
+                for (size_t c = 0; c < 4; ++c)
+                    a[r][c] = loadv(row + indexOf(cbase, c));
+            }
+            v4df sum[4][4];
+            for (size_t r = 0; r < 4; ++r) {
+                for (size_t c = 0; c < 4; ++c)
+                    sum[r][c] = zerov();
+            }
+            for (size_t ki = 0; ki < num_kraus; ++ki) {
+                const Kraus2 &h = kk[ki];
+                if (h.sparse) {
+                    v4df t[4][4];
+                    for (size_t r = 0; r < 4; ++r) {
+                        for (size_t c = 0; c < 4; ++c)
+                            t[r][c] = zerov();
+                    }
+                    for (size_t r = 0; r < 4; ++r) {
+                        int jr = h.nz[r];
+                        if (jr < 0)
+                            continue;
+                        const Complex kr = h.k[r][jr];
+                        for (size_t c = 0; c < 4; ++c)
+                            t[r][c] = cmulv(kr, a[jr][c]);
+                    }
+                    for (size_t c = 0; c < 4; ++c) {
+                        int jc = h.nz[c];
+                        if (jc < 0)
+                            continue;
+                        const Complex kc = h.k[c][jc];
+                        for (size_t r = 0; r < 4; ++r)
+                            sum[r][c] += cmulConjv(kc, t[r][jc]);
+                    }
+                    continue;
+                }
+                v4df t[4][4];
+                for (size_t c = 0; c < 4; ++c) {
+                    for (size_t r = 0; r < 4; ++r) {
+                        v4df value = zerov();
+                        for (size_t j = 0; j < 4; ++j)
+                            value += cmulv(h.k[r][j], a[j][c]);
+                        t[r][c] = value;
+                    }
+                }
+                for (size_t r = 0; r < 4; ++r) {
+                    for (size_t c = 0; c < 4; ++c) {
+                        v4df value = zerov();
+                        for (size_t j = 0; j < 4; ++j)
+                            value += cmulConjv(h.k[c][j], t[r][j]);
+                        sum[r][c] += value;
+                    }
+                }
+            }
+            for (size_t r = 0; r < 4; ++r) {
+                Complex *row = rho + indexOf(rbase, r) * dim;
+                for (size_t c = 0; c < 4; ++c)
+                    storev(row + indexOf(cbase, c), sum[r][c]);
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace eqasm::qsim::kernels::vec

@@ -4,6 +4,7 @@
 #include "common/strings.h"
 #include "qsim/density_matrix.h"
 #include "qsim/stabilizer_tableau.h"
+#include "qsim/trajectory_state_vector.h"
 
 namespace eqasm::qsim {
 
@@ -17,6 +18,8 @@ backendKindName(BackendKind kind)
         return "density";
       case BackendKind::stabilizer:
         return "stabilizer";
+      case BackendKind::trajectory:
+        return "trajectory";
     }
     return "unknown";
 }
@@ -31,6 +34,11 @@ parseBackendKind(std::string_view name)
     }
     if (lower == "stabilizer" || lower == "chp" || lower == "tableau")
         return BackendKind::stabilizer;
+    if (lower == "trajectory" || lower == "traj" ||
+        lower == "statevector" || lower == "state_vector" ||
+        lower == "sv") {
+        return BackendKind::trajectory;
+    }
     return std::nullopt;
 }
 
@@ -45,6 +53,9 @@ backendMaxQubits(BackendKind kind)
         // O(n^2) storage; far beyond what the mask-based ISA can
         // address, so the tableau never becomes the limit.
         return 4096;
+      case BackendKind::trajectory:
+        // O(2^n) storage: 24 qubits is a 256 MiB amplitude vector.
+        return 24;
     }
     return 0;
 }
@@ -62,15 +73,21 @@ makeBackend(BackendKind kind, int num_qubits)
                    static_cast<int>(backendKindName(kind).size()),
                    backendKindName(kind).data(), limit,
                    kind == BackendKind::density
-                       ? " — select the stabilizer backend for larger "
-                         "Clifford workloads"
-                       : ""));
+                       ? " — select the trajectory backend for larger "
+                         "noisy workloads or the stabilizer backend "
+                         "for larger Clifford workloads"
+                       : kind == BackendKind::trajectory
+                             ? " — select the stabilizer backend for "
+                               "larger Clifford workloads"
+                             : ""));
     }
     switch (kind) {
       case BackendKind::density:
         return std::make_unique<DensityMatrix>(num_qubits);
       case BackendKind::stabilizer:
         return std::make_unique<StabilizerTableau>(num_qubits);
+      case BackendKind::trajectory:
+        return std::make_unique<TrajectoryStateVector>(num_qubits);
     }
     throwError(ErrorCode::invalidArgument, "unknown backend kind");
 }

@@ -18,6 +18,12 @@
  *    noise. Opens distance-3+ surface-code QEC (17+ qubits) — the
  *    workload the paper names as benefiting most from SOMQ — to the
  *    parallel shot engine.
+ *  - BackendKind::trajectory — the O(2^n) TrajectoryStateVector:
+ *    Monte-Carlo quantum trajectories sampling one Kraus branch per
+ *    noise event per shot. Exact circuit-level noise in distribution
+ *    (beyond the stabilizer backend's Pauli-twirl approximation) up
+ *    to 24 qubits; aggregate counts match density statistically, not
+ *    by fingerprint.
  *
  * Determinism contract: backends draw randomness only from the Rng
  * passed into the noise/measurement hooks. The device hands them the
@@ -42,9 +48,11 @@ struct NoiseModel;
 enum class BackendKind {
     density,     ///< exact mixed-state density matrix (<= 8 qubits).
     stabilizer,  ///< CHP stabilizer tableau (Clifford circuits only).
+    trajectory,  ///< Monte-Carlo trajectory state vector (<= 24 qubits).
 };
 
-/** @return a stable lower-case name ("density", "stabilizer"). */
+/** @return a stable lower-case name ("density", "stabilizer",
+ *  "trajectory"). */
 std::string_view backendKindName(BackendKind kind);
 
 /** Parses a backend name (case-insensitive). */

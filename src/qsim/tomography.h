@@ -18,7 +18,7 @@
 
 #include "qsim/density_matrix.h"
 #include "qsim/linalg.h"
-#include "qsim/state_vector.h"
+#include "qsim/trajectory_state_vector.h"
 
 namespace eqasm::qsim {
 

@@ -1,0 +1,382 @@
+#include "qsim/trajectory_state_vector.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "qsim/kernels.h"
+#include "qsim/noise.h"
+
+namespace eqasm::qsim {
+
+namespace {
+
+/** Exact-bit-pattern key for a duration (same idiom as
+ *  NoiseChannelCache::durationKey). */
+uint64_t
+durationKey(double duration_ns)
+{
+    uint64_t key;
+    static_assert(sizeof(key) == sizeof(duration_ns));
+    std::memcpy(&key, &duration_ns, sizeof(key));
+    return key;
+}
+
+} // namespace
+
+TrajectoryStateVector::TrajectoryStateVector(int num_qubits)
+    : numQubits_(num_qubits)
+{
+    if (num_qubits < 1 || num_qubits > 24) {
+        throwError(ErrorCode::invalidArgument,
+                   format("state vector supports 1..24 qubits, got %d",
+                          num_qubits));
+    }
+    amplitudes_.assign(size_t{1} << num_qubits, Complex{0.0, 0.0});
+    amplitudes_[0] = 1.0;
+}
+
+void
+TrajectoryStateVector::reset()
+{
+    std::fill(amplitudes_.begin(), amplitudes_.end(), Complex{0.0, 0.0});
+    amplitudes_[0] = 1.0;
+    unnormalized_ = false;
+}
+
+void
+TrajectoryStateVector::checkQubit(int qubit) const
+{
+    if (qubit < 0 || qubit >= numQubits_) {
+        throwError(ErrorCode::invalidArgument,
+                   format("qubit %d out of range [0, %d)", qubit,
+                          numQubits_));
+    }
+}
+
+void
+TrajectoryStateVector::applyGate1(const CMatrix &unitary, int qubit)
+{
+    checkQubit(qubit);
+    EQASM_ASSERT(unitary.rows() == 2 && unitary.cols() == 2,
+                 "applyGate1 needs a 2x2 matrix");
+    const Complex u[4] = {unitary(0, 0), unitary(0, 1), unitary(1, 0),
+                          unitary(1, 1)};
+    // Diagonal gates (rz/s/t/z/i) touch each amplitude once — and an
+    // exact-identity diagonal half not at all — instead of running the
+    // full butterfly.
+    if (u[1] == Complex{} && u[2] == Complex{}) {
+        kernels::svDiag1(amplitudes_.data(), amplitudes_.size(), qubit,
+                         u[0], u[3]);
+        return;
+    }
+    kernels::svGate1(amplitudes_.data(), amplitudes_.size(), qubit, u);
+}
+
+void
+TrajectoryStateVector::applyGate2(const CMatrix &unitary, int qubit0,
+                                  int qubit1)
+{
+    checkQubit(qubit0);
+    checkQubit(qubit1);
+    EQASM_ASSERT(unitary.rows() == 4 && unitary.cols() == 4,
+                 "applyGate2 needs a 4x4 matrix");
+    EQASM_ASSERT(qubit0 != qubit1, "two-qubit gate needs distinct qubits");
+    Complex u[16];
+    bool diag = true;
+    for (size_t r = 0; r < 4; ++r) {
+        for (size_t c = 0; c < 4; ++c) {
+            u[4 * r + c] = unitary(r, c);
+            if (r != c && u[4 * r + c] != Complex{})
+                diag = false;
+        }
+    }
+    // CZ — the workhorse two-qubit gate of every surface-code round —
+    // is diag(1, 1, 1, -1): flip the sign of the |11> quadrant and
+    // leave the other three quadrants untouched (exact no-ops).
+    if (diag && u[0] == Complex{1.0} && u[5] == Complex{1.0} &&
+        u[10] == Complex{1.0} && u[15] == Complex{-1.0}) {
+        size_t mask = (size_t{1} << qubit0) | (size_t{1} << qubit1);
+        kernels::svPhaseFlipWhere(amplitudes_.data(), amplitudes_.size(),
+                                  mask, mask);
+        return;
+    }
+    kernels::svGate2(amplitudes_.data(), amplitudes_.size(), qubit0,
+                     qubit1, u);
+}
+
+void
+TrajectoryStateVector::apply(const Gate &gate,
+                             const std::vector<int> &qubits)
+{
+    if (gate.numQubits == 1) {
+        EQASM_ASSERT(qubits.size() == 1, "gate arity mismatch");
+        applyGate1(gate.matrix, qubits[0]);
+    } else {
+        EQASM_ASSERT(qubits.size() == 2, "gate arity mismatch");
+        applyGate2(gate.matrix, qubits[0], qubits[1]);
+    }
+}
+
+void
+TrajectoryStateVector::halfNorms(int qubit, double &p1,
+                                 double &total) const
+{
+    p1 = kernels::svProbHalf(amplitudes_.data(), amplitudes_.size(),
+                             qubit, 1);
+    total = unnormalized_
+                ? p1 + kernels::svProbHalf(amplitudes_.data(),
+                                           amplitudes_.size(), qubit, 0)
+                : 1.0;
+}
+
+void
+TrajectoryStateVector::collapse(int qubit, int outcome,
+                                double kept_unnorm)
+{
+    double scale = 1.0 / std::sqrt(kept_unnorm);
+    if (outcome == 1) {
+        kernels::svScalePair(amplitudes_.data(), amplitudes_.size(),
+                             qubit, 0.0, scale);
+    } else {
+        kernels::svScalePair(amplitudes_.data(), amplitudes_.size(),
+                             qubit, scale, 0.0);
+    }
+    unnormalized_ = false;
+}
+
+const TrajectoryStateVector::IdleParams &
+TrajectoryStateVector::idleParams(double duration_ns,
+                                  const NoiseModel &model)
+{
+    if (model.t1Ns != idleT1_ || model.t2Ns != idleT2_) {
+        idleParams_.clear();
+        idleT1_ = model.t1Ns;
+        idleT2_ = model.t2Ns;
+    }
+    uint64_t key = durationKey(duration_ns);
+    auto it = idleParams_.find(key);
+    if (it == idleParams_.end()) {
+        IdleParams p;
+        p.gamma = 1.0 - std::exp(-duration_ns / model.t1Ns);
+        double inv_tphi = 1.0 / model.t2Ns - 0.5 / model.t1Ns;
+        p.lambda = inv_tphi > 0.0
+                       ? 1.0 - std::exp(-2.0 * duration_ns * inv_tphi)
+                       : 0.0;
+        p.k0scale = std::sqrt((1.0 - p.gamma) * (1.0 - p.lambda));
+        p.gl = p.gamma + (1.0 - p.gamma) * p.lambda;
+        it = idleParams_.emplace(key, p).first;
+    }
+    return it->second;
+}
+
+void
+TrajectoryStateVector::applyIdleNoise(int qubit, double duration_ns,
+                                      const NoiseModel &model, Rng &rng)
+{
+    if (!model.enabled || duration_ns <= 0.0)
+        return;
+    checkQubit(qubit);
+    const IdleParams &p = idleParams(duration_ns, model);
+    double u = rng.uniform();
+    if (u >= p.gl) {
+        // P(K1) + P(K2) = gl * p1/N <= gl, so this draw selects the
+        // no-jump branch K0 whatever the state holds. Deferred
+        // normalization: scale only the |1> half by K0's damping
+        // factor and leave ||psi|| < 1 until an operation that needs
+        // p1 anyway renormalizes.
+        if (p.k0scale != 1.0) {
+            kernels::svScalePair(amplitudes_.data(), amplitudes_.size(),
+                                 qubit, 1.0, p.k0scale);
+            unnormalized_ = true;
+        }
+        return;
+    }
+    // Rare path: resolve the branch with the exact Born weights.
+    double p1, total;
+    halfNorms(qubit, p1, total);
+    double t1 = p.gamma * p1 / total;
+    double t2 = t1 + (1.0 - p.gamma) * p.lambda * p1 / total;
+    if (u < t1) {
+        // T1 relaxation jump: |1> amplitudes move to |0>, normalized.
+        kernels::svJumpDown(amplitudes_.data(), amplitudes_.size(),
+                            qubit, 1.0 / std::sqrt(p1));
+        unnormalized_ = false;
+        return;
+    }
+    if (u < t2) {
+        // Pure-dephasing projection onto |1>.
+        collapse(qubit, 1, p1);
+        return;
+    }
+    // No-jump branch taken with its exact probability; since p1 and
+    // the norm are in hand, renormalize instead of deferring. The
+    // kept weight is N - gl*p1; a non-positive value can only mean
+    // p1 ~ N with gamma ~ 1 (all weight decays), where the jump is
+    // the right branch.
+    double kept = total - p.gl * p1;
+    if (kept <= 0.0) {
+        kernels::svJumpDown(amplitudes_.data(), amplitudes_.size(),
+                            qubit, 1.0 / std::sqrt(p1));
+        unnormalized_ = false;
+        return;
+    }
+    double inv = 1.0 / std::sqrt(kept);
+    kernels::svScalePair(amplitudes_.data(), amplitudes_.size(), qubit,
+                         inv, p.k0scale * inv);
+    unnormalized_ = false;
+}
+
+void
+TrajectoryStateVector::applyGateNoise1(int qubit, const NoiseModel &model,
+                                       Rng &rng)
+{
+    if (!model.enabled || model.depol1q <= 0.0)
+        return;
+    checkQubit(qubit);
+    // Depolarizing branch weights are state-independent (Pauli Kraus
+    // operators are unitary up to the branch weight): one draw, and
+    // the overwhelmingly common identity branch never reads the state.
+    double u = rng.uniform();
+    if (u >= model.depol1q)
+        return;
+    int pauli = 1 + static_cast<int>(u / (model.depol1q / 3.0));
+    if (pauli > 3)
+        pauli = 3;
+    kernels::svPauli(amplitudes_.data(), amplitudes_.size(), qubit,
+                     pauli);
+}
+
+void
+TrajectoryStateVector::applyGateNoise2(int qubit0, int qubit1,
+                                       const NoiseModel &model, Rng &rng)
+{
+    if (!model.enabled || model.depol2q <= 0.0)
+        return;
+    checkQubit(qubit0);
+    checkQubit(qubit1);
+    double u = rng.uniform();
+    if (u >= model.depol2q)
+        return;
+    // One of the 15 non-identity Pauli pairs, uniformly; index 1..15
+    // decomposes as (low two bits -> qubit0's Pauli, high two bits ->
+    // qubit1's), matching krausDepolarizing2's enumeration.
+    int idx = 1 + static_cast<int>(u / (model.depol2q / 15.0));
+    if (idx > 15)
+        idx = 15;
+    int pauli0 = idx & 3;
+    int pauli1 = idx >> 2;
+    if (pauli0 != 0) {
+        kernels::svPauli(amplitudes_.data(), amplitudes_.size(), qubit0,
+                         pauli0);
+    }
+    if (pauli1 != 0) {
+        kernels::svPauli(amplitudes_.data(), amplitudes_.size(), qubit1,
+                         pauli1);
+    }
+}
+
+void
+TrajectoryStateVector::resetQubit(int qubit, Rng &rng)
+{
+    checkQubit(qubit);
+    // The gamma = 1 amplitude-damping channel, sampled: with
+    // probability p1 the qubit relaxes from |1> (jump branch), else it
+    // is projected onto |0>. Either way it ends in |0>; the branch
+    // decides what happens to the rest of the register's correlations.
+    double p1, total;
+    halfNorms(qubit, p1, total);
+    double u = rng.uniform();
+    if (u < p1 / total) {
+        kernels::svJumpDown(amplitudes_.data(), amplitudes_.size(),
+                            qubit, 1.0 / std::sqrt(p1));
+        unnormalized_ = false;
+        return;
+    }
+    collapse(qubit, 0, total - p1);
+}
+
+double
+TrajectoryStateVector::probabilityOne(int qubit) const
+{
+    checkQubit(qubit);
+    double p1, total;
+    halfNorms(qubit, p1, total);
+    return unnormalized_ ? p1 / total : p1;
+}
+
+int
+TrajectoryStateVector::measure(int qubit, Rng &rng)
+{
+    checkQubit(qubit);
+    double p1, total;
+    halfNorms(qubit, p1, total);
+    double prob_one = unnormalized_ ? p1 / total : p1;
+    int outcome = rng.uniform() < prob_one ? 1 : 0;
+    collapse(qubit, outcome, outcome == 1 ? p1 : total - p1);
+    return outcome;
+}
+
+void
+TrajectoryStateVector::postselect(int qubit, int outcome)
+{
+    checkQubit(qubit);
+    double p1, total;
+    halfNorms(qubit, p1, total);
+    double kept = outcome == 1 ? p1 : total - p1;
+    if (kept <= 0.0) {
+        throwError(ErrorCode::invalidArgument,
+                   format("postselecting qubit %d on %d has probability 0",
+                          qubit, outcome));
+    }
+    collapse(qubit, outcome, kept);
+}
+
+double
+TrajectoryStateVector::fidelity(const TrajectoryStateVector &other) const
+{
+    EQASM_ASSERT(numQubits_ == other.numQubits_,
+                 "fidelity needs equal qubit counts");
+    Complex overlap = 0.0;
+    for (size_t index = 0; index < amplitudes_.size(); ++index)
+        overlap += std::conj(amplitudes_[index]) * other.amplitudes_[index];
+    return std::norm(overlap);
+}
+
+double
+TrajectoryStateVector::probabilityOf(uint64_t index) const
+{
+    EQASM_ASSERT(index < amplitudes_.size(), "basis index out of range");
+    return std::norm(amplitudes_[index]);
+}
+
+uint64_t
+TrajectoryStateVector::sampleAll(Rng &rng) const
+{
+    double r = rng.uniform();
+    double cumulative = 0.0;
+    for (size_t index = 0; index < amplitudes_.size(); ++index) {
+        cumulative += std::norm(amplitudes_[index]);
+        if (r < cumulative)
+            return index;
+    }
+    return amplitudes_.size() - 1;
+}
+
+double
+TrajectoryStateVector::expectationZ(int qubit) const
+{
+    return 1.0 - 2.0 * probabilityOne(qubit);
+}
+
+double
+TrajectoryStateVector::norm() const
+{
+    double sum = 0.0;
+    for (const Complex &amp : amplitudes_)
+        sum += std::norm(amp);
+    return sum;
+}
+
+} // namespace eqasm::qsim

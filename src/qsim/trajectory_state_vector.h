@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Monte-Carlo trajectory state-vector simulator.
+ *
+ * The third StateBackend: a 2^n pure-state amplitude vector in which
+ * every noise event (idle T1/T2, post-gate depolarizing, qubit reset)
+ * samples exactly ONE Kraus branch with the Born probability
+ * p_k = ||K_k psi||^2 / ||psi||^2, drawing one uniform from the
+ * per-shot RNG stream per event. Averaged over shots this reproduces
+ * the density-matrix channel exactly (it is the standard quantum
+ * trajectory / quantum jump unravelling), while a single shot costs
+ * O(2^n) memory instead of O(4^n) — circuit-level noise at d=3
+ * (17 qubits) and beyond, where the density backend stops at 8.
+ *
+ * Validation contract: per-shot results are bit-deterministic for a
+ * fixed (seed, shot index) at any thread count — the same fingerprint
+ * guarantees as every other backend — but aggregate counts agree with
+ * density only in distribution, so cross-backend checks are
+ * statistical (total-variation bounds in tests), never fingerprints.
+ *
+ * Sampling scheme (one draw per event, deferred normalization):
+ *
+ *  - The fused idle channel is the 3-operator set
+ *      K0 = diag(1, sqrt((1-g)(1-l)))   (no jump)
+ *      K1 = [[0, sqrt(g)], [0, 0]]      (T1 relaxation jump)
+ *      K2 = diag(0, sqrt((1-g) l))      (pure-dephasing projection)
+ *    with g = 1 - exp(-t/T1) and l = 1 - exp(-2 t / T_phi). This is
+ *    element-for-element the operator product of the phase-damping
+ *    set after the amplitude-damping set (the cross term
+ *    K1_phase K1_amp is the zero matrix), so one draw from this set
+ *    is distributed identically to density's sequential
+ *    amplitude-then-phase composition.
+ *  - P(K1) + P(K2) = (g + (1-g) l) * p1 / N <= gl regardless of the
+ *    state, so a draw u >= gl selects K0 with certainty WITHOUT
+ *    reading the state; the kernel then multiplies only the |1> half
+ *    by K0's sqrt((1-g)(1-l)) and leaves the vector unnormalized
+ *    (tracked by a flag). Rare branches (u < gl) and measurements
+ *    compute p1 and the norm exactly and renormalize, restoring the
+ *    invariant. Depolarizing branches are state-independent Pauli
+ *    mixtures — one draw, no state read, applied as exact
+ *    permutation/negation kernels.
+ *
+ * The class absorbs the former standalone qsim::StateVector (same
+ * constructor contract, gate application, measurement, fidelity and
+ * sampling API; `StateVector` is now an alias), so tomography, the
+ * Grover analysis and the DensityMatrix pure-state bridge all run on
+ * this one implementation. All hot loops go through qsim/kernels.h
+ * and are SIMD-dispatched.
+ *
+ * Qubit 0 is the least significant bit of the basis index, matching
+ * DensityMatrix.
+ */
+#ifndef EQASM_QSIM_TRAJECTORY_STATE_VECTOR_H
+#define EQASM_QSIM_TRAJECTORY_STATE_VECTOR_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "qsim/gates.h"
+#include "qsim/linalg.h"
+#include "qsim/state_backend.h"
+
+namespace eqasm::qsim {
+
+struct NoiseModel;
+
+/** Trajectory state-vector simulator for up to 24 qubits. */
+class TrajectoryStateVector : public StateBackend
+{
+  public:
+    /** Initialises |0...0> on @p num_qubits qubits. */
+    explicit TrajectoryStateVector(int num_qubits);
+
+    BackendKind kind() const override { return BackendKind::trajectory; }
+    int numQubits() const override { return numQubits_; }
+    size_t dim() const { return amplitudes_.size(); }
+
+    /** Resets to |0...0>. */
+    void reset() override;
+
+    const std::vector<Complex> &amplitudes() const { return amplitudes_; }
+
+    /** Applies a 2x2 unitary to @p qubit. */
+    void applyGate1(const CMatrix &unitary, int qubit);
+
+    /** Applies a 4x4 unitary to (qubit0 = LSB operand, qubit1). */
+    void applyGate2(const CMatrix &unitary, int qubit0, int qubit1);
+
+    /** Applies a named/parsed Gate to the listed qubits. */
+    void apply(const Gate &gate, const std::vector<int> &qubits);
+
+    // --- StateBackend gate hooks ---
+    void applyGate1(const Gate &gate, int qubit) override
+    {
+        applyGate1(gate.matrix, qubit);
+    }
+    void applyGate2(const Gate &gate, int qubit0, int qubit1) override
+    {
+        applyGate2(gate.matrix, qubit0, qubit1);
+    }
+
+    /** Samples the gamma = 1 amplitude-damping branch pair: one
+     *  uniform draw decides whether the qubit relaxes from |1> or is
+     *  projected onto |0>; either way it ends in |0>. */
+    void resetQubit(int qubit, Rng &rng) override;
+
+    /** Samples one branch of the fused T1/T2 idle channel (one
+     *  uniform draw when the model is enabled and the duration is
+     *  positive; see the file comment for the scheme). */
+    void applyIdleNoise(int qubit, double duration_ns,
+                        const NoiseModel &model, Rng &rng) override;
+
+    /** Samples the post-gate depolarizing Pauli (one uniform draw;
+     *  probability depol1q split evenly over X, Y, Z). */
+    void applyGateNoise1(int qubit, const NoiseModel &model,
+                         Rng &rng) override;
+
+    /** Samples the two-qubit depolarizing Pauli pair (one uniform
+     *  draw over the 15 non-identity pairs). */
+    void applyGateNoise2(int qubit0, int qubit1, const NoiseModel &model,
+                         Rng &rng) override;
+
+    /** @return probability of measuring |1> on @p qubit (normalized
+     *  even while the vector is internally unnormalized). */
+    double probabilityOne(int qubit) const override;
+
+    /**
+     * Projective measurement of @p qubit: consumes exactly one uniform
+     * draw (the StateBackend contract), collapses and renormalises.
+     */
+    int measure(int qubit, Rng &rng) override;
+
+    /** Collapses @p qubit to @p outcome (must have nonzero probability). */
+    void postselect(int qubit, int outcome);
+
+    /** @return |<this|other>|^2 (assumes both states normalized). */
+    double fidelity(const TrajectoryStateVector &other) const;
+
+    /** @return probability of the computational basis state @p index. */
+    double probabilityOf(uint64_t index) const;
+
+    /** Samples a full computational-basis outcome without collapse
+     *  (assumes a normalized state). */
+    uint64_t sampleAll(Rng &rng) const;
+
+    /** @return <Z_qubit>. */
+    double expectationZ(int qubit) const;
+
+    /** Squared norm (1 within rounding after any renormalizing op). */
+    double norm() const;
+
+  private:
+    /** Precomputed per-duration idle-channel parameters (mirrors
+     *  NoiseChannelCache's exact-bit-pattern keying: idle gaps are
+     *  cycle-grid multiples, so durations repeat exactly). */
+    struct IdleParams {
+        double gamma;    ///< 1 - exp(-t/T1).
+        double lambda;   ///< 1 - exp(-2 t/T_phi), 0 if no dephasing.
+        double k0scale;  ///< sqrt((1-gamma)(1-lambda)).
+        double gl;       ///< gamma + (1-gamma) lambda = P_max(non-K0).
+    };
+
+    void checkQubit(int qubit) const;
+    const IdleParams &idleParams(double duration_ns,
+                                 const NoiseModel &model);
+    /** Unnormalized |1>-weight and total norm^2 of @p qubit. */
+    void halfNorms(int qubit, double &p1, double &total) const;
+    /** Collapses @p qubit to @p outcome given its unnormalized kept
+     *  weight; renormalises and clears the deferred-norm flag. */
+    void collapse(int qubit, int outcome, double kept_unnorm);
+
+    int numQubits_;
+    std::vector<Complex> amplitudes_;
+    /** True while a deferred idle-K0 branch has left ||psi|| < 1;
+     *  every renormalizing operation (measure, collapse, rare idle
+     *  branch, reset) restores it to false. */
+    bool unnormalized_ = false;
+
+    double idleT1_ = 0.0;
+    double idleT2_ = 0.0;
+    std::unordered_map<uint64_t, IdleParams> idleParams_;
+};
+
+/** The amplitude-vector implementation behind the historical name:
+ *  tomography, Grover analysis and the DensityMatrix bridge take a
+ *  StateVector; noise-free use never touches the sampling hooks. */
+using StateVector = TrajectoryStateVector;
+
+} // namespace eqasm::qsim
+
+#endif // EQASM_QSIM_TRAJECTORY_STATE_VECTOR_H

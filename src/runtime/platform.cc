@@ -102,7 +102,7 @@ Platform::fromJson(const Json &json)
     if (!backend) {
         throwError(ErrorCode::configError,
                    format("unknown simulation backend '%s' (expected "
-                          "'density' or 'stabilizer')",
+                          "'density', 'stabilizer' or 'trajectory')",
                           backend_name.c_str()));
     }
     platform.device.backend = *backend;

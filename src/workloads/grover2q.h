@@ -19,7 +19,7 @@
 #include <string>
 
 #include "compiler/circuit.h"
-#include "qsim/state_vector.h"
+#include "qsim/trajectory_state_vector.h"
 
 namespace eqasm::workloads {
 

@@ -80,7 +80,10 @@ TEST(BackendFactory, NamesRoundTrip)
     EXPECT_EQ(parseBackendKind("density"), BackendKind::density);
     EXPECT_EQ(parseBackendKind("Stabilizer"), BackendKind::stabilizer);
     EXPECT_EQ(parseBackendKind("chp"), BackendKind::stabilizer);
-    EXPECT_FALSE(parseBackendKind("statevector").has_value());
+    EXPECT_EQ(backendKindName(BackendKind::trajectory), "trajectory");
+    EXPECT_EQ(parseBackendKind("trajectory"), BackendKind::trajectory);
+    EXPECT_EQ(parseBackendKind("statevector"), BackendKind::trajectory);
+    EXPECT_FALSE(parseBackendKind("montecarlo").has_value());
 }
 
 TEST(BackendFactory, CreatesConfiguredKind)

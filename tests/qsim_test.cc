@@ -13,7 +13,7 @@
 #include "qsim/gates.h"
 #include "qsim/linalg.h"
 #include "qsim/noise.h"
-#include "qsim/state_vector.h"
+#include "qsim/trajectory_state_vector.h"
 #include "qsim/tomography.h"
 
 using namespace eqasm;

@@ -1,0 +1,565 @@
+/**
+ * @file
+ * Tests for the Monte-Carlo trajectory state-vector backend and the
+ * SIMD kernel dispatch layer:
+ *
+ *  - factory wiring (names, limits, clear oversize errors);
+ *  - statistical agreement of trajectory sampling with the exact
+ *    density-matrix channels, at the qsim unit level (trajectory
+ *    frequencies vs density Born probabilities on a noisy entangling
+ *    mini-circuit) and through the engine (total-variation distance of
+ *    full-batch histograms on the noisy active-reset workload) — fixed
+ *    seeds, so CI is deterministic;
+ *  - bitwise fingerprint identity of trajectory batches across thread
+ *    counts and across a 3-way shard + merge, plus backend provenance
+ *    and the trajectory/density strict-merge refusal;
+ *  - exact-element SIMD-vs-scalar identity for every state-vector and
+ *    density-matrix kernel class on random states (the qsim/kernels.h
+ *    bit-identity contract; on machines without AVX2 both paths are
+ *    the scalar one and the comparison is trivially true);
+ *  - the forced-fallback switches (EQASM_SIMD env and
+ *    setSimdEnabled).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "assembler/assembler.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "engine/shot_engine.h"
+#include "qsim/density_matrix.h"
+#include "qsim/kernels.h"
+#include "qsim/noise.h"
+#include "qsim/state_backend.h"
+#include "qsim/trajectory_state_vector.h"
+#include "runtime/platform.h"
+#include "runtime/quantum_processor.h"
+#include "workloads/experiments.h"
+#include "workloads/surface_code.h"
+
+using namespace eqasm;
+using namespace eqasm::engine;
+using namespace eqasm::qsim;
+using namespace eqasm::runtime;
+
+namespace {
+
+/** Restores the SIMD switch on scope exit. */
+struct ScopedSimd {
+    bool saved = kernels::simdEnabled();
+    ~ScopedSimd() { kernels::setSimdEnabled(saved); }
+};
+
+BatchResult
+runProgram(const Platform &platform, const std::string &source, int shots,
+           uint64_t seed, int threads)
+{
+    QuantumProcessor processor(platform, seed);
+    processor.loadSource(source);
+    return processor.runBatch(shots, threads);
+}
+
+Platform
+withBackend(Platform platform, BackendKind kind)
+{
+    platform.device.backend = kind;
+    return platform;
+}
+
+Job
+makeJob(const Platform &platform, const std::string &source, int shots,
+        uint64_t seed)
+{
+    assembler::Assembler asm_(platform.operations, platform.topology,
+                              platform.params);
+    Job job;
+    job.image = asm_.assemble(source).image;
+    job.shots = shots;
+    job.seed = seed;
+    return job;
+}
+
+BatchResult
+runOnFreshEngine(const Platform &platform, Job job, int threads)
+{
+    EngineConfig config;
+    config.threads = threads;
+    ShotEngine engine(platform, config);
+    return engine.run(std::move(job));
+}
+
+/** Total-variation distance between two result histograms. */
+double
+tvDistance(const BatchResult &a, const BatchResult &b)
+{
+    std::set<std::string> keys;
+    for (const auto &[key, count] : a.histogram)
+        keys.insert(key);
+    for (const auto &[key, count] : b.histogram)
+        keys.insert(key);
+    double tv = 0.0;
+    for (const std::string &key : keys) {
+        auto ita = a.histogram.find(key);
+        auto itb = b.histogram.find(key);
+        double pa = ita == a.histogram.end()
+                        ? 0.0
+                        : static_cast<double>(ita->second) /
+                              static_cast<double>(a.shots);
+        double pb = itb == b.histogram.end()
+                        ? 0.0
+                        : static_cast<double>(itb->second) /
+                              static_cast<double>(b.shots);
+        tv += std::fabs(pa - pb);
+    }
+    return 0.5 * tv;
+}
+
+std::vector<Complex>
+randomState(int num_qubits, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Complex> amp(size_t{1} << num_qubits);
+    for (Complex &a : amp)
+        a = Complex{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    return amp;
+}
+
+CMatrix
+randomMatrix(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    CMatrix m(n, n);
+    for (size_t r = 0; r < n; ++r) {
+        for (size_t c = 0; c < n; ++c)
+            m(r, c) = Complex{rng.uniform(-1.0, 1.0),
+                              rng.uniform(-1.0, 1.0)};
+    }
+    return m;
+}
+
+void
+expectBitEqual(const std::vector<Complex> &a, const std::vector<Complex> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(Complex)),
+              0);
+}
+
+template <typename Fn>
+void
+expectErrorContaining(Fn &&fn, const std::string &needle)
+{
+    try {
+        fn();
+        FAIL() << "expected Error mentioning '" << needle << "'";
+    } catch (const Error &error) {
+        EXPECT_NE(std::string(error.what()).find(needle),
+                  std::string::npos)
+            << "message: " << error.what();
+    }
+}
+
+const Gate &
+gate(const char *name)
+{
+    static std::map<std::string, Gate> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        auto parsed = makeGate(name);
+        EXPECT_TRUE(parsed.has_value()) << name;
+        it = cache.emplace(name, *parsed).first;
+    }
+    return it->second;
+}
+
+} // namespace
+
+// ------------------------------------------------------------- factory
+
+TEST(TrajectoryFactory, NamesRoundTrip)
+{
+    EXPECT_EQ(backendKindName(BackendKind::trajectory), "trajectory");
+    EXPECT_EQ(parseBackendKind("trajectory"), BackendKind::trajectory);
+    EXPECT_EQ(parseBackendKind("Trajectory"), BackendKind::trajectory);
+    EXPECT_EQ(parseBackendKind("traj"), BackendKind::trajectory);
+    EXPECT_EQ(parseBackendKind("statevector"), BackendKind::trajectory);
+    EXPECT_EQ(parseBackendKind("sv"), BackendKind::trajectory);
+    EXPECT_EQ(backendMaxQubits(BackendKind::trajectory), 24);
+}
+
+TEST(TrajectoryFactory, CreatesBackend)
+{
+    auto backend = makeBackend(BackendKind::trajectory, 17);
+    EXPECT_EQ(backend->kind(), BackendKind::trajectory);
+    EXPECT_EQ(backend->numQubits(), 17);
+}
+
+TEST(TrajectoryFactory, RejectsOversizedTopologyWithClearError)
+{
+    try {
+        makeBackend(BackendKind::trajectory, 25);
+        FAIL() << "trajectory backend accepted 25 qubits";
+    } catch (const Error &error) {
+        std::string message = error.message();
+        EXPECT_NE(message.find("25 qubits"), std::string::npos) << message;
+        EXPECT_NE(message.find("trajectory"), std::string::npos)
+            << message;
+        EXPECT_NE(message.find("stabilizer"), std::string::npos)
+            << message;
+    }
+}
+
+// ------------------------------------------- statistical noise physics
+
+TEST(TrajectoryStatistics, T1DecayMatchesExponential)
+{
+    NoiseModel model;
+    model.t2Ns = 2.0 * model.t1Ns; // pure T1 (no dephasing branch).
+    const double t = 20'000.0;
+    const double p_keep = std::exp(-t / model.t1Ns);
+    const int trials = 4000;
+    int ones = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+        TrajectoryStateVector state(1);
+        Rng rng = Rng::forShot(11, trial);
+        state.applyGate1(gate("x"), 0);
+        state.applyIdleNoise(0, t, model, rng);
+        ones += state.measure(0, rng);
+    }
+    double fraction = static_cast<double>(ones) / trials;
+    // 4+ sigma of the binomial at p ~ 0.565 and N = 4000 is ~0.032.
+    EXPECT_NEAR(fraction, p_keep, 0.04);
+}
+
+/**
+ * Trajectory branch frequencies vs the density backend's exact Born
+ * probabilities on a noisy entangling mini-circuit (superpositions +
+ * CZ + fused T1/T2 idle with both damping and dephasing active + 1q/2q
+ * depolarizing). The density side applies the same channel hooks
+ * exactly once (they are deterministic for density), then the joint
+ * outcome distribution is read off by postselection.
+ */
+TEST(TrajectoryStatistics, NoisyCircuitMatchesDensityDistribution)
+{
+    NoiseModel model; // defaults: T1 = 35 us, T2 = 25 us, depol on.
+    model.depol1q = 0.05; // crank the depolarizing branches so every
+    model.depol2q = 0.10; // Kraus class actually fires in 4000 trials.
+    auto drive = [&](StateBackend &state, Rng &rng) {
+        state.applyGate1(gate("x90"), 0);
+        state.applyGate1(gate("y90"), 1);
+        state.applyGate2(gate("cz"), 0, 1);
+        state.applyGateNoise2(0, 1, model, rng);
+        state.applyIdleNoise(0, 20'000.0, model, rng);
+        state.applyIdleNoise(1, 7'500.0, model, rng);
+        state.applyGateNoise1(0, model, rng);
+    };
+
+    DensityMatrix dm(2);
+    Rng dmRng(1); // density hooks never draw; any rng works.
+    drive(dm, dmRng);
+    double p1q0 = dm.probabilityOne(0);
+    double exact[4];
+    for (int b0 = 0; b0 < 2; ++b0) {
+        DensityMatrix conditioned = dm;
+        conditioned.postselect(0, b0);
+        double p1q1 = conditioned.probabilityOne(1);
+        double pb0 = b0 == 1 ? p1q0 : 1.0 - p1q0;
+        exact[b0] = pb0 * (1.0 - p1q1);
+        exact[b0 + 2] = pb0 * p1q1;
+    }
+
+    const int trials = 4000;
+    int counts[4] = {0, 0, 0, 0};
+    for (int trial = 0; trial < trials; ++trial) {
+        TrajectoryStateVector state(2);
+        Rng rng = Rng::forShot(23, trial);
+        drive(state, rng);
+        int b0 = state.measure(0, rng);
+        int b1 = state.measure(1, rng);
+        ++counts[b0 + 2 * b1];
+    }
+    double tv = 0.0;
+    for (int outcome = 0; outcome < 4; ++outcome) {
+        tv += std::fabs(static_cast<double>(counts[outcome]) / trials -
+                        exact[outcome]);
+    }
+    tv *= 0.5;
+    EXPECT_LT(tv, 0.04) << "trajectory vs density TV distance";
+}
+
+TEST(TrajectoryStatistics, ResetQubitEndsInZero)
+{
+    NoiseModel model;
+    for (int trial = 0; trial < 32; ++trial) {
+        TrajectoryStateVector state(2);
+        Rng rng = Rng::forShot(5, trial);
+        state.applyGate1(gate("x90"), 0);
+        state.applyGate2(gate("cz"), 0, 1);
+        state.applyIdleNoise(0, 10'000.0, model, rng);
+        state.resetQubit(0, rng);
+        EXPECT_NEAR(state.probabilityOne(0), 0.0, 1e-12);
+        EXPECT_NEAR(state.norm(), 1.0, 1e-9);
+    }
+}
+
+// ----------------------------------------------- engine determinism
+
+TEST(TrajectoryEngine, StatisticalAgreementWithDensityThroughEngine)
+{
+    Platform platform = Platform::twoQubit(); // density by default.
+    std::string source = workloads::activeResetProgram(2);
+    BatchResult density = runProgram(platform, source, 4000, 42, 2);
+    BatchResult trajectory =
+        runProgram(withBackend(platform, BackendKind::trajectory), source,
+                   4000, 43, 2);
+    EXPECT_EQ(density.backend, "density");
+    EXPECT_EQ(trajectory.backend, "trajectory");
+    EXPECT_LT(tvDistance(density, trajectory), 0.06);
+}
+
+TEST(TrajectoryEngine, FingerprintInvariantAcrossThreadCounts)
+{
+    Platform platform = withBackend(Platform::rotatedSurface(2),
+                                    BackendKind::trajectory);
+    std::string source =
+        workloads::syndromeProgram(2, 2, platform.operations);
+    BatchResult one = runProgram(platform, source, 300, 7, 1);
+    BatchResult two = runProgram(platform, source, 300, 7, 2);
+    BatchResult four = runProgram(platform, source, 300, 7, 4);
+    EXPECT_EQ(one.countsFingerprint(), two.countsFingerprint());
+    EXPECT_EQ(one.countsFingerprint(), four.countsFingerprint());
+}
+
+TEST(TrajectoryEngine, ShardMergeBitIdentity)
+{
+    Platform platform = withBackend(Platform::twoQubit(),
+                                    BackendKind::trajectory);
+    std::string source = workloads::activeResetProgram(2);
+    BatchResult whole =
+        runOnFreshEngine(platform, makeJob(platform, source, 300, 9), 2);
+
+    BatchResult merged;
+    for (int index = 0; index < 3; ++index) {
+        Job job = makeJob(platform, source, 300, 9);
+        job.shard = {index, 3};
+        BatchResult slice = runOnFreshEngine(platform, std::move(job), 1);
+        EXPECT_EQ(slice.backend, "trajectory");
+        if (index == 0)
+            merged = std::move(slice);
+        else
+            merged.merge(slice);
+    }
+    merged.verifyComplete();
+    EXPECT_EQ(merged.countsFingerprint(), whole.countsFingerprint());
+}
+
+TEST(TrajectoryEngine, RefusesToMergeWithDensityResults)
+{
+    Platform platform = Platform::twoQubit();
+    std::string source = workloads::activeResetProgram(2);
+    Platform trajPlatform = withBackend(platform, BackendKind::trajectory);
+
+    Job densityHalf = makeJob(platform, source, 100, 3);
+    densityHalf.shard = {0, 2};
+    BatchResult density =
+        runOnFreshEngine(platform, std::move(densityHalf), 1);
+
+    Job trajectoryHalf = makeJob(trajPlatform, source, 100, 3);
+    trajectoryHalf.shard = {1, 2};
+    BatchResult trajectory =
+        runOnFreshEngine(trajPlatform, std::move(trajectoryHalf), 1);
+
+    expectErrorContaining([&] { density.merge(trajectory); }, "backend");
+}
+
+// --------------------------------------------- SIMD kernel identity
+
+TEST(KernelIdentity, StateVectorKernelsMatchScalarBitwise)
+{
+    ScopedSimd guard;
+    const int n = 5;
+    const CMatrix u1 = randomMatrix(2, 101);
+    const CMatrix u2 = randomMatrix(4, 202);
+    Complex u1flat[4] = {u1(0, 0), u1(0, 1), u1(1, 0), u1(1, 1)};
+    Complex u2flat[16];
+    for (size_t r = 0; r < 4; ++r) {
+        for (size_t c = 0; c < 4; ++c)
+            u2flat[4 * r + c] = u2(r, c);
+    }
+
+    struct Case {
+        const char *name;
+        void (*op)(std::vector<Complex> &, const Complex *,
+                   const Complex *);
+    };
+    using kernels::svDiag1;
+    using kernels::svGate1;
+    using kernels::svGate2;
+    using kernels::svJumpDown;
+    using kernels::svPauli;
+    using kernels::svPhaseFlipWhere;
+    using kernels::svScalePair;
+    const Case cases[] = {
+        {"gate1 q0",
+         [](std::vector<Complex> &a, const Complex *g1, const Complex *) {
+             svGate1(a.data(), a.size(), 0, g1);
+         }},
+        {"gate1 q3",
+         [](std::vector<Complex> &a, const Complex *g1, const Complex *) {
+             svGate1(a.data(), a.size(), 3, g1);
+         }},
+        {"gate2 q1q3",
+         [](std::vector<Complex> &a, const Complex *, const Complex *g2) {
+             svGate2(a.data(), a.size(), 1, 3, g2);
+         }},
+        {"gate2 q0q2",
+         [](std::vector<Complex> &a, const Complex *, const Complex *g2) {
+             svGate2(a.data(), a.size(), 0, 2, g2);
+         }},
+        {"diag1 q2",
+         [](std::vector<Complex> &a, const Complex *g1, const Complex *) {
+             svDiag1(a.data(), a.size(), 2, g1[0], g1[3]);
+         }},
+        {"scalePair q4",
+         [](std::vector<Complex> &a, const Complex *, const Complex *) {
+             svScalePair(a.data(), a.size(), 4, 0.75, 1.25);
+         }},
+        {"jumpDown q1",
+         [](std::vector<Complex> &a, const Complex *, const Complex *) {
+             svJumpDown(a.data(), a.size(), 1, 1.5);
+         }},
+        {"pauliX q2",
+         [](std::vector<Complex> &a, const Complex *, const Complex *) {
+             svPauli(a.data(), a.size(), 2, 1);
+         }},
+        {"pauliY q3",
+         [](std::vector<Complex> &a, const Complex *, const Complex *) {
+             svPauli(a.data(), a.size(), 3, 2);
+         }},
+        {"pauliZ q1",
+         [](std::vector<Complex> &a, const Complex *, const Complex *) {
+             svPauli(a.data(), a.size(), 1, 3);
+         }},
+        {"phaseFlip q2q4",
+         [](std::vector<Complex> &a, const Complex *, const Complex *) {
+             size_t mask = (size_t{1} << 2) | (size_t{1} << 4);
+             svPhaseFlipWhere(a.data(), a.size(), mask, mask);
+         }},
+    };
+
+    for (const Case &test : cases) {
+        std::vector<Complex> simd = randomState(n, 999);
+        std::vector<Complex> scalar = simd;
+        kernels::setSimdEnabled(true);
+        test.op(simd, u1flat, u2flat);
+        kernels::setSimdEnabled(false);
+        test.op(scalar, u1flat, u2flat);
+        SCOPED_TRACE(test.name);
+        expectBitEqual(simd, scalar);
+    }
+
+    // The probability reduction must agree to the last bit too.
+    std::vector<Complex> amp = randomState(n, 77);
+    for (int qubit = 0; qubit < n; ++qubit) {
+        for (int bit = 0; bit < 2; ++bit) {
+            kernels::setSimdEnabled(true);
+            double vec = kernels::svProbHalf(amp.data(), amp.size(),
+                                             qubit, bit);
+            kernels::setSimdEnabled(false);
+            double scl = kernels::svProbHalf(amp.data(), amp.size(),
+                                             qubit, bit);
+            EXPECT_EQ(vec, scl) << "qubit " << qubit << " bit " << bit;
+        }
+    }
+}
+
+TEST(KernelIdentity, DensityMatrixKernelsMatchScalarBitwise)
+{
+    ScopedSimd guard;
+    const CMatrix dense1 = randomMatrix(2, 303);
+    const CMatrix dense2 = randomMatrix(4, 404);
+    auto drive = [&](DensityMatrix &dm) {
+        dm.applyGate1(gate("h").matrix, 0);
+        dm.applyGate1(gate("x90").matrix, 1);
+        dm.applyGate1(gate("t").matrix, 3);
+        dm.applyGate2(gate("cz").matrix, 1, 2);
+        dm.applyGate2(gate("cnot").matrix, 0, 3);
+        dm.applyGate1(randomMatrix(2, 1), 3);
+        dm.applyGate2(randomMatrix(4, 2), 1, 3);
+        dm.applyChannel1(krausAmplitudeDamping(0.25), 2);
+        dm.applyChannel1(krausDepolarizing1(0.1), 1);
+        dm.applyChannel1(krausDepolarizing1(0.1), 0); // scalar fallback.
+        dm.applyChannel1({dense1}, 2); // dense (non-mono-row) branch.
+        dm.applyChannel2(krausDepolarizing2(0.08), 1, 2);
+        dm.applyChannel2(krausDepolarizing2(0.08), 0, 2); // fallback.
+        dm.applyChannel2({dense2}, 2, 3); // dense branch.
+    };
+
+    DensityMatrix simd(4);
+    kernels::setSimdEnabled(true);
+    drive(simd);
+    DensityMatrix scalar(4);
+    kernels::setSimdEnabled(false);
+    drive(scalar);
+    ASSERT_EQ(simd.matrix().data().size(), scalar.matrix().data().size());
+    EXPECT_EQ(std::memcmp(simd.matrix().data().data(),
+                          scalar.matrix().data().data(),
+                          simd.matrix().data().size() * sizeof(Complex)),
+              0);
+
+    // And both agree with the textbook reference kernels to rounding.
+    DensityMatrix reference(4);
+    reference.setReferenceKernels(true);
+    kernels::setSimdEnabled(true);
+    drive(reference);
+    EXPECT_LT(simd.matrix().maxAbsDiff(reference.matrix()), 1e-12);
+}
+
+// ------------------------------------------------- dispatch switches
+
+TEST(SimdDispatch, SetterForcesScalarFallback)
+{
+    ScopedSimd guard;
+    kernels::setSimdEnabled(false);
+    EXPECT_EQ(kernels::activeLevel(), kernels::SimdLevel::scalar);
+    EXPECT_FALSE(kernels::simdActive());
+    kernels::setSimdEnabled(true);
+    EXPECT_EQ(kernels::activeLevel(), kernels::availableLevel());
+}
+
+TEST(SimdDispatch, EnvVarForcesScalarFallback)
+{
+    ScopedSimd guard;
+    ::setenv("EQASM_SIMD", "scalar", 1);
+    kernels::applySimdEnv();
+    EXPECT_EQ(kernels::activeLevel(), kernels::SimdLevel::scalar);
+    EXPECT_FALSE(kernels::simdActive());
+
+    // A forced-scalar engine run must be bit-identical to the
+    // dispatched run — the cross-ISA determinism guarantee.
+    Platform platform = withBackend(Platform::twoQubit(),
+                                    BackendKind::trajectory);
+    std::string source = workloads::activeResetProgram(2);
+    BatchResult scalar = runProgram(platform, source, 200, 13, 2);
+
+    ::unsetenv("EQASM_SIMD");
+    kernels::applySimdEnv();
+    EXPECT_TRUE(kernels::simdEnabled());
+    BatchResult dispatched = runProgram(platform, source, 200, 13, 2);
+    EXPECT_EQ(scalar.countsFingerprint(),
+              dispatched.countsFingerprint());
+}
+
+TEST(SimdDispatch, LevelNamesAreStable)
+{
+    EXPECT_EQ(kernels::simdLevelName(kernels::SimdLevel::scalar),
+              "scalar");
+    EXPECT_EQ(kernels::simdLevelName(kernels::SimdLevel::avx2), "avx2");
+    EXPECT_EQ(kernels::simdLevelName(kernels::SimdLevel::neon), "neon");
+}

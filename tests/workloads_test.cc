@@ -10,7 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "compiler/schedule.h"
-#include "qsim/state_vector.h"
+#include "qsim/trajectory_state_vector.h"
 #include "runtime/analysis.h"
 #include "runtime/platform.h"
 #include "runtime/quantum_processor.h"

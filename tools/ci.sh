@@ -28,6 +28,28 @@ echo "== stabilizer backend smoke (d=3 syndrome round) =="
     --threads 4 --json > /dev/null
 echo "stabilizer smoke passed"
 
+# Trajectory-backend smoke: the same distance-3 workload on the
+# Monte-Carlo trajectory state-vector backend (17-qubit amplitude
+# vector, SIMD kernels), plus a forced-scalar run that must produce a
+# bit-identical result — the cross-ISA determinism contract
+# (trajectory_test, run by ctest above, covers it at unit level).
+echo "== trajectory backend smoke (d=3 syndrome round, SIMD + scalar) =="
+"$BUILD_DIR"/eqasm-run --qec 3 --backend trajectory --shots 100 \
+    --threads 4 --json > "$BUILD_DIR/ci_traj_simd.json"
+EQASM_SIMD=scalar "$BUILD_DIR"/eqasm-run --qec 3 --backend trajectory \
+    --shots 100 --threads 2 --json > "$BUILD_DIR/ci_traj_scalar.json"
+fp_simd=$(grep -o '"counts_fingerprint": "[^"]*"' \
+    "$BUILD_DIR/ci_traj_simd.json")
+fp_scalar=$(grep -o '"counts_fingerprint": "[^"]*"' \
+    "$BUILD_DIR/ci_traj_scalar.json")
+if [ -z "$fp_simd" ] || [ "$fp_simd" != "$fp_scalar" ]; then
+    echo "trajectory SIMD/scalar fingerprint mismatch:" >&2
+    echo "  simd:   $fp_simd" >&2
+    echo "  scalar: $fp_scalar" >&2
+    exit 1
+fi
+echo "trajectory smoke passed ($fp_simd)"
+
 # Scheduler smoke: the three policies + cross-policy determinism on a
 # 2-thread pool (bench_scheduler --quick), the scheduler test suite,
 # and the priority/streaming path through the CLI.
@@ -81,12 +103,13 @@ if [ "${EQASM_CI_TSAN:-1}" != "0" ]; then
     cmake -B "$BUILD_DIR-tsan" -S . -DEQASM_TSAN=ON
     cmake --build "$BUILD_DIR-tsan" -j "$(nproc)" \
         --target engine_test sched_test fastpath_test telemetry_test \
-        service_test
+        service_test trajectory_test
     "$BUILD_DIR-tsan"/telemetry_test
     "$BUILD_DIR-tsan"/engine_test
     "$BUILD_DIR-tsan"/sched_test
     "$BUILD_DIR-tsan"/fastpath_test
     "$BUILD_DIR-tsan"/service_test
+    "$BUILD_DIR-tsan"/trajectory_test
     echo "tsan passed"
 fi
 

@@ -16,7 +16,8 @@
  *                                  surface-code syndrome workload on
  *                                  the generated chip (no input file)
  *     --rounds N                   syndrome rounds for --qec (default 1)
- *     --backend density|stabilizer simulation backend override
+ *     --backend density|stabilizer|trajectory
+ *                                  simulation backend override
  *     --shots N                    number of shots (default 1024)
  *     --threads K                  worker threads (default 0 = auto)
  *     --seed S                     RNG seed (default 1)
@@ -441,7 +442,7 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "usage: eqasm-run [--chip c] [--platform f] "
                          "[--qec d] [--rounds n] "
-                         "[--backend density|stabilizer] "
+                         "[--backend density|stabilizer|trajectory] "
                          "[--shots n] [--threads k] [--seed s] "
                          "[--shard i/n] "
                          "[--policy fifo|priority|fair] "
@@ -525,8 +526,8 @@ main(int argc, char **argv)
         if (!backend_name.empty()) {
             auto backend = qsim::parseBackendKind(backend_name);
             if (!backend) {
-                log_.error("unknown backend '%s' (expected 'density' "
-                           "or 'stabilizer')",
+                log_.error("unknown backend '%s' (expected 'density', "
+                           "'stabilizer' or 'trajectory')",
                            backend_name.c_str());
                 return 2;
             }

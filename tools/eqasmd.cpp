@@ -17,7 +17,7 @@
  *     --platform config.json     full platform configuration
  *     --qec D                    distance-D rotated-surface platform;
  *                                enables {"workload": "qec"} submits
- *     --backend density|stabilizer
+ *     --backend density|stabilizer|trajectory
  *     --ideal                    disable all noise
  *     --threads K                engine worker threads (0 = auto)
  *     --policy fifo|priority|fair
@@ -138,7 +138,7 @@ main(int argc, char **argv)
                 stderr,
                 "usage: eqasmd [--socket path] [--tcp port] "
                 "[--journal dir] [--chip c] [--platform f] [--qec d] "
-                "[--backend density|stabilizer] [--ideal] "
+                "[--backend density|stabilizer|trajectory] [--ideal] "
                 "[--threads k] [--policy p] [--quotas f] "
                 "[--checkpoint-chunks n] [--metrics-file f] "
                 "[--log-level l]\n");
