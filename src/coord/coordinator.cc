@@ -1,0 +1,669 @@
+#include "coord/coordinator.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "telemetry/metrics.h"
+
+namespace eqasm::coord {
+
+namespace {
+
+struct CoordMetrics {
+    telemetry::Counter plans;
+    telemetry::Counter leasesGranted;
+    telemetry::Counter renewals;
+    telemetry::Counter heartbeats;
+    telemetry::Counter completions;
+    telemetry::Counter duplicates;
+    telemetry::Counter expiries;
+    telemetry::Counter deadWorkers;
+    telemetry::Gauge shardsPending;
+    telemetry::Gauge shardsLeased;
+    telemetry::Gauge workersAlive;
+    telemetry::Gauge jobsActive;
+};
+
+const CoordMetrics &
+coordMetrics()
+{
+    static const CoordMetrics metrics = [] {
+        telemetry::Registry &r = telemetry::registry();
+        CoordMetrics m;
+        m.plans = r.counter("eqasm_coord_plans_total",
+                            "Shard plans registered");
+        m.leasesGranted = r.counter("eqasm_coord_leases_granted_total",
+                                    "Shard leases granted to workers");
+        m.renewals = r.counter("eqasm_coord_lease_renewals_total",
+                               "Lease renewals accepted");
+        m.heartbeats = r.counter("eqasm_coord_heartbeats_total",
+                                 "Worker heartbeats received");
+        m.completions = r.counter(
+            "eqasm_coord_shards_completed_total",
+            "Shard results accepted and merged");
+        m.duplicates = r.counter(
+            "eqasm_coord_duplicates_discarded_total",
+            "Duplicate shard completions verified equal and discarded");
+        m.expiries = r.counter(
+            "eqasm_coord_lease_expiries_total",
+            "Leases expired (TTL or dead worker) and re-queued");
+        m.deadWorkers = r.counter(
+            "eqasm_coord_workers_expired_total",
+            "Workers declared dead after missing heartbeats");
+        m.shardsPending = r.gauge("eqasm_coord_shards_pending",
+                                  "Shards awaiting a lease");
+        m.shardsLeased = r.gauge("eqasm_coord_shards_leased",
+                                 "Shards currently leased out");
+        m.workersAlive = r.gauge("eqasm_coord_workers_alive",
+                                 "Workers within their heartbeat TTL");
+        m.jobsActive = r.gauge("eqasm_coord_jobs_active",
+                               "Coordinated jobs not yet settled");
+        return m;
+    }();
+    return metrics;
+}
+
+const char *
+planStateName(int state)
+{
+    switch (state) {
+      case 0: return "running";
+      case 1: return "done";
+      case 2: return "failed";
+      case 3: return "cancelled";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+Coordinator::Coordinator(service::Journal *journal,
+                         CoordinatorOptions options)
+    : journal_(journal), options_(options)
+{
+    if (options_.leaseTtlUs == 0 || options_.heartbeatTtlUs == 0) {
+        throwError(ErrorCode::configError,
+                   "coordinator lease and heartbeat TTLs must be > 0");
+    }
+}
+
+void
+Coordinator::addPlan(service::JobSpec spec, int shards, uint64_t nowUs)
+{
+    (void)nowUs;  // plans carry no deadline; the signature keeps the
+                  // caller-timestamped style uniform across verbs.
+    if (shards < 1 || shards > options_.maxShards) {
+        throwError(ErrorCode::invalidArgument,
+                   format("a shard plan needs 1..%d shards, got %d",
+                          options_.maxShards, shards));
+    }
+    if (shards > spec.shots) {
+        throwError(ErrorCode::invalidArgument,
+                   format("cannot split %d shots into %d shards (a "
+                          "shard must cover at least one shot)",
+                          spec.shots, shards));
+    }
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (plans_.count(spec.id)) {
+        throwError(ErrorCode::invalidArgument,
+                   format("job id %llu already has a shard plan",
+                          static_cast<unsigned long long>(spec.id)));
+    }
+    // Durability before visibility: once the coord_plan record is
+    // fsync'd, a coordinator crash resumes this plan.
+    if (journal_)
+        journal_->appendCoordPlan(spec, shards);
+    Plan &plan = plans_[spec.id];
+    plan.spec = std::move(spec);
+    plan.shardCount = shards;
+    plan.programHash = engine::imageFingerprint(plan.spec.image);
+    plan.shards.assign(static_cast<size_t>(shards),
+                       ShardState::pending);
+    plan.shardFingerprints.assign(static_cast<size_t>(shards), "");
+    coordMetrics().plans.inc();
+    coordMetrics().jobsActive.inc();
+    coordMetrics().shardsPending.add(shards);
+}
+
+void
+Coordinator::restorePlan(service::JobSpec spec, int shards)
+{
+    uint64_t id = spec.id;
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        if (plans_.count(id)) {
+            throwError(ErrorCode::invalidArgument,
+                       format("job id %llu already has a shard plan",
+                              static_cast<unsigned long long>(id)));
+        }
+        Plan &plan = plans_[id];
+        plan.spec = std::move(spec);
+        plan.shardCount = shards;
+        plan.programHash = engine::imageFingerprint(plan.spec.image);
+        plan.shards.assign(static_cast<size_t>(shards),
+                           ShardState::pending);
+        plan.shardFingerprints.assign(static_cast<size_t>(shards), "");
+        coordMetrics().jobsActive.inc();
+        coordMetrics().shardsPending.add(shards);
+    }
+    // Re-read the completed-shard files outside the lock (disk I/O),
+    // then fold them in through the same path a live completion takes.
+    std::vector<engine::BatchResult> parts;
+    if (journal_)
+        parts = journal_->loadShardList(id);
+    std::lock_guard<std::mutex> guard(mutex_);
+    Plan &plan = plans_.at(id);
+    for (engine::BatchResult &part : parts) {
+        if (!part.shard.active() ||
+            part.shard.count != plan.shardCount ||
+            part.shard.index < 0 ||
+            part.shard.index >= plan.shardCount) {
+            throwError(ErrorCode::invalidArgument,
+                       format("job %llu has a recovered shard file "
+                              "whose shard provenance does not match "
+                              "the plan's %d-shard split",
+                              static_cast<unsigned long long>(id),
+                              plan.shardCount));
+        }
+        int shard = part.shard.index;
+        if (plan.shards[shard] == ShardState::complete)
+            continue;  // shard files are unique; defensive only.
+        validateShardResult(plan, shard, part);
+        plan.shardFingerprints[shard] = part.countsFingerprint();
+        plan.merged.merge(part);
+        plan.shards[shard] = ShardState::complete;
+        ++plan.completed;
+        coordMetrics().shardsPending.dec();
+    }
+    if (plan.completed == plan.shardCount) {
+        // Crashed after the last shard landed but before result.json:
+        // finish the fold now.
+        try {
+            plan.merged.verifyComplete();
+            if (journal_)
+                journal_->writeResult(id, plan.merged);
+            settle(id, plan, PlanState::done, "");
+        } catch (const Error &error) {
+            settle(id, plan, PlanState::failed, error.message());
+        }
+    }
+}
+
+void
+Coordinator::restoreSettled(service::JobSpec spec, int shards,
+                            const std::string &event,
+                            const std::string &detail)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    Plan &plan = plans_[spec.id];
+    plan.spec = std::move(spec);
+    plan.shardCount = shards;
+    plan.shards.assign(static_cast<size_t>(shards),
+                       ShardState::complete);
+    plan.shardFingerprints.assign(static_cast<size_t>(shards), "");
+    plan.completed = shards;
+    if (event == "done") {
+        plan.state = PlanState::done;
+        plan.fingerprint = detail;
+    } else {
+        plan.state = event == "cancelled" ? PlanState::cancelled
+                                          : PlanState::failed;
+        plan.detail = detail;
+    }
+}
+
+void
+Coordinator::noteWorker(const std::string &worker, uint64_t nowUs)
+{
+    auto [it, inserted] = workers_.try_emplace(worker);
+    it->second.lastSeenUs = nowUs;
+    if (inserted)
+        coordMetrics().workersAlive.inc();
+}
+
+std::optional<LeaseGrant>
+Coordinator::acquire(const std::string &worker, uint64_t nowUs)
+{
+    if (worker.empty()) {
+        throwError(ErrorCode::invalidArgument,
+                   "lease_acquire needs a non-empty worker name");
+    }
+    std::lock_guard<std::mutex> guard(mutex_);
+    noteWorker(worker, nowUs);
+    for (auto &[jobId, plan] : plans_) {
+        if (plan.state != PlanState::running)
+            continue;
+        for (int shard = 0; shard < plan.shardCount; ++shard) {
+            if (plan.shards[shard] != ShardState::pending)
+                continue;
+            auto [begin, end] = engine::shardRange(
+                plan.spec.shots, {shard, plan.shardCount});
+            uint64_t leaseId = nextLeaseId_++;
+            LeaseState &state = leases_[leaseId];
+            state.jobId = jobId;
+            state.shard = shard;
+            state.worker = worker;
+            state.expiresAtUs = nowUs + options_.leaseTtlUs;
+            workers_[worker].leases.push_back(leaseId);
+            plan.shards[shard] = ShardState::leased;
+            coordMetrics().leasesGranted.inc();
+            coordMetrics().shardsPending.dec();
+            coordMetrics().shardsLeased.inc();
+
+            LeaseGrant grant;
+            grant.lease.id = leaseId;
+            grant.lease.jobId = jobId;
+            grant.lease.shard = shard;
+            grant.lease.shardCount = plan.shardCount;
+            grant.lease.begin = static_cast<uint64_t>(begin);
+            grant.lease.end = static_cast<uint64_t>(end);
+            grant.lease.expiresAtUs = state.expiresAtUs;
+            grant.lease.ttlUs = options_.leaseTtlUs;
+            grant.spec = plan.spec;
+            return grant;
+        }
+    }
+    return std::nullopt;
+}
+
+uint64_t
+Coordinator::renew(const std::string &worker, uint64_t leaseId,
+                   uint64_t nowUs)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    noteWorker(worker, nowUs);
+    auto it = leases_.find(leaseId);
+    if (it == leases_.end()) {
+        throwError(ErrorCode::notFound,
+                   format("lease %llu was never issued",
+                          static_cast<unsigned long long>(leaseId)));
+    }
+    LeaseState &lease = it->second;
+    if (!lease.live) {
+        throwError(ErrorCode::notFound,
+                   format("lease %llu on shard %d of job %llu is no "
+                          "longer live (expired and possibly "
+                          "re-issued); abandon the slice",
+                          static_cast<unsigned long long>(leaseId),
+                          lease.shard,
+                          static_cast<unsigned long long>(lease.jobId)));
+    }
+    if (lease.expiresAtUs <= nowUs) {
+        // The renewal arrived too late; expire it now rather than
+        // waiting for the next tick, so the caller learns immediately.
+        expireLease(leaseId, lease);
+        throwError(ErrorCode::notFound,
+                   format("lease %llu expired %llu us before this "
+                          "renewal; shard %d of job %llu was "
+                          "re-queued",
+                          static_cast<unsigned long long>(leaseId),
+                          static_cast<unsigned long long>(
+                              nowUs - lease.expiresAtUs),
+                          lease.shard,
+                          static_cast<unsigned long long>(lease.jobId)));
+    }
+    lease.expiresAtUs = nowUs + options_.leaseTtlUs;
+    coordMetrics().renewals.inc();
+    return lease.expiresAtUs;
+}
+
+void
+Coordinator::validateShardResult(const Plan &plan, int shard,
+                                 const engine::BatchResult &result) const
+{
+    auto [begin, end] =
+        engine::shardRange(plan.spec.shots, {shard, plan.shardCount});
+    auto refuse = [&](const std::string &what) {
+        throwError(ErrorCode::invalidArgument,
+                   format("shard %d of job %llu: %s", shard,
+                          static_cast<unsigned long long>(plan.spec.id),
+                          what.c_str()));
+    };
+    if (result.programHash != plan.programHash) {
+        refuse(format("result ran program %s but the plan is %s",
+                      result.programHash.c_str(),
+                      plan.programHash.c_str()));
+    }
+    if (result.seed != plan.spec.seed) {
+        refuse(format("result used seed %llu but the plan's seed is "
+                      "%llu",
+                      static_cast<unsigned long long>(result.seed),
+                      static_cast<unsigned long long>(plan.spec.seed)));
+    }
+    if (result.totalShots != static_cast<uint64_t>(plan.spec.shots)) {
+        refuse(format("result claims %llu total shots but the plan has "
+                      "%d",
+                      static_cast<unsigned long long>(result.totalShots),
+                      plan.spec.shots));
+    }
+    if (!result.shard.active() || result.shard.index != shard ||
+        result.shard.count != plan.shardCount) {
+        refuse(format("result carries shard %d/%d but the lease names "
+                      "shard %d/%d",
+                      result.shard.index, result.shard.count, shard,
+                      plan.shardCount));
+    }
+    if (result.shotRanges.size() != 1 ||
+        result.shotRanges[0].first != static_cast<uint64_t>(begin) ||
+        result.shotRanges[0].second != static_cast<uint64_t>(end)) {
+        refuse(format("result does not cover exactly the leased range "
+                      "[%d, %d)",
+                      begin, end));
+    }
+    if (result.shots != static_cast<uint64_t>(end - begin)) {
+        refuse(format("result folded %llu shots but the slice holds %d",
+                      static_cast<unsigned long long>(result.shots),
+                      end - begin));
+    }
+}
+
+bool
+Coordinator::complete(const std::string &worker, uint64_t leaseId,
+                      const engine::BatchResult &result, uint64_t nowUs)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    noteWorker(worker, nowUs);
+    auto leaseIt = leases_.find(leaseId);
+    if (leaseIt == leases_.end()) {
+        throwError(ErrorCode::notFound,
+                   format("lease %llu was never issued",
+                          static_cast<unsigned long long>(leaseId)));
+    }
+    uint64_t jobId = leaseIt->second.jobId;
+    int shard = leaseIt->second.shard;
+    auto planIt = plans_.find(jobId);
+    if (planIt == plans_.end() ||
+        planIt->second.state != PlanState::running) {
+        // The job settled (or was cancelled) while this worker was
+        // computing; its result is moot, not wrong.
+        return false;
+    }
+    Plan &plan = planIt->second;
+
+    if (plan.shards[shard] == ShardState::complete) {
+        // Re-issued and already completed by someone else: the
+        // determinism invariant says both executions must agree
+        // bit-for-bit; verify, then discard.
+        validateShardResult(plan, shard, result);
+        const std::string fingerprint = result.countsFingerprint();
+        if (fingerprint != plan.shardFingerprints[shard]) {
+            throwError(
+                ErrorCode::invalidArgument,
+                format("duplicate completion of shard %d of job %llu "
+                       "has fingerprint %s but %s was accepted — the "
+                       "same (program, seed, shot range) must be "
+                       "bit-identical; refusing a diverging worker",
+                       shard, static_cast<unsigned long long>(jobId),
+                       fingerprint.c_str(),
+                       plan.shardFingerprints[shard].c_str()));
+        }
+        ++plan.duplicates;
+        coordMetrics().duplicates.inc();
+        return false;
+    }
+
+    validateShardResult(plan, shard, result);
+    // Durability before visibility, like every other accept in the
+    // journal: persist the shard file, then fold it into the aggregate.
+    if (journal_)
+        journal_->writeShard(jobId, shard, result);
+    plan.merged.merge(result);  // strict; *this untouched on refusal.
+    plan.shardFingerprints[shard] = result.countsFingerprint();
+
+    // Retire this lease and any replacement lease on the same shard
+    // (this completion may have arrived under an expired lease after
+    // the shard was re-issued; the replacement's work is now moot and
+    // its eventual completion will take the duplicate path above).
+    bool wasLeased = plan.shards[shard] == ShardState::leased;
+    plan.shards[shard] = ShardState::complete;
+    ++plan.completed;
+    if (wasLeased)
+        coordMetrics().shardsLeased.dec();
+    else
+        coordMetrics().shardsPending.dec();
+    for (auto &[otherId, other] : leases_) {
+        if (other.jobId == jobId && other.shard == shard && other.live)
+            other.live = false;
+    }
+    coordMetrics().completions.inc();
+
+    if (plan.completed == plan.shardCount) {
+        try {
+            plan.merged.verifyComplete();
+            if (journal_)
+                journal_->writeResult(jobId, plan.merged);
+            settle(jobId, plan, PlanState::done, "");
+        } catch (const Error &error) {
+            settle(jobId, plan, PlanState::failed, error.message());
+        }
+    }
+    return true;
+}
+
+void
+Coordinator::heartbeat(const std::string &worker, uint64_t nowUs)
+{
+    if (worker.empty()) {
+        throwError(ErrorCode::invalidArgument,
+                   "worker_heartbeat needs a non-empty worker name");
+    }
+    std::lock_guard<std::mutex> guard(mutex_);
+    noteWorker(worker, nowUs);
+    coordMetrics().heartbeats.inc();
+}
+
+void
+Coordinator::expireLease(uint64_t leaseId, LeaseState &lease)
+{
+    lease.live = false;
+    auto planIt = plans_.find(lease.jobId);
+    if (planIt != plans_.end() &&
+        planIt->second.state == PlanState::running &&
+        planIt->second.shards[lease.shard] == ShardState::leased) {
+        planIt->second.shards[lease.shard] = ShardState::pending;
+        ++planIt->second.reissues;
+        coordMetrics().shardsLeased.dec();
+        coordMetrics().shardsPending.inc();
+        coordMetrics().expiries.inc();
+    }
+    auto workerIt = workers_.find(lease.worker);
+    if (workerIt != workers_.end()) {
+        auto &ids = workerIt->second.leases;
+        ids.erase(std::remove(ids.begin(), ids.end(), leaseId),
+                  ids.end());
+    }
+}
+
+size_t
+Coordinator::tick(uint64_t nowUs)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    size_t requeued = 0;
+    // Dead workers first: losing the heartbeat forfeits every lease at
+    // once, well before the individual lease TTLs run out.
+    for (auto it = workers_.begin(); it != workers_.end();) {
+        WorkerState &state = it->second;
+        if (state.lastSeenUs + options_.heartbeatTtlUs > nowUs) {
+            ++it;
+            continue;
+        }
+        std::vector<uint64_t> held = state.leases;
+        for (uint64_t leaseId : held) {
+            auto leaseIt = leases_.find(leaseId);
+            if (leaseIt != leases_.end() && leaseIt->second.live) {
+                expireLease(leaseId, leaseIt->second);
+                ++requeued;
+            }
+        }
+        coordMetrics().deadWorkers.inc();
+        coordMetrics().workersAlive.dec();
+        it = workers_.erase(it);
+    }
+    // Then individually expired leases.
+    for (auto &[leaseId, lease] : leases_) {
+        if (lease.live && lease.expiresAtUs <= nowUs) {
+            expireLease(leaseId, lease);
+            ++requeued;
+        }
+    }
+    return requeued;
+}
+
+void
+Coordinator::dropLeasesOf(uint64_t jobId)
+{
+    // Retire rather than erase: a worker still computing under one of
+    // these leases will report in eventually, and complete() must be
+    // able to route that to "the job settled, your result is moot"
+    // (false) instead of a confusing never-issued refusal. The entries
+    // are retained for the lifetime of the plan record, like the plan
+    // itself.
+    for (auto &[leaseId, lease] : leases_) {
+        if (lease.jobId != jobId || !lease.live)
+            continue;
+        lease.live = false;
+        auto workerIt = workers_.find(lease.worker);
+        if (workerIt != workers_.end()) {
+            auto &ids = workerIt->second.leases;
+            ids.erase(std::remove(ids.begin(), ids.end(), leaseId),
+                      ids.end());
+        }
+    }
+}
+
+void
+Coordinator::settle(uint64_t jobId, Plan &plan, PlanState state,
+                    const std::string &eventDetail)
+{
+    // Return the unfinished shards' gauge contributions.
+    int pending = 0, leased = 0;
+    for (ShardState shard : plan.shards) {
+        if (shard == ShardState::pending)
+            ++pending;
+        else if (shard == ShardState::leased)
+            ++leased;
+    }
+    coordMetrics().shardsPending.add(-pending);
+    coordMetrics().shardsLeased.add(-leased);
+    coordMetrics().jobsActive.dec();
+
+    plan.state = state;
+    if (state == PlanState::done) {
+        plan.fingerprint = plan.merged.countsFingerprint();
+        if (journal_)
+            journal_->appendEvent("done", jobId, plan.fingerprint);
+    } else {
+        plan.detail = eventDetail;
+        if (journal_) {
+            journal_->appendEvent(state == PlanState::cancelled
+                                      ? "cancelled"
+                                      : "failed",
+                                  jobId, eventDetail);
+        }
+    }
+    dropLeasesOf(jobId);
+    settled_.push_back(
+        {jobId, plan.spec.tenant, plan.spec.shots});
+}
+
+void
+Coordinator::cancel(uint64_t jobId)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = plans_.find(jobId);
+    if (it == plans_.end()) {
+        throwError(ErrorCode::notFound,
+                   format("no coordinated job with id %llu",
+                          static_cast<unsigned long long>(jobId)));
+    }
+    Plan &plan = it->second;
+    if (plan.state != PlanState::running)
+        return;
+    settle(jobId, plan,
+           PlanState::cancelled,
+           format("cancelled after %d of %d shards", plan.completed,
+                  plan.shardCount));
+}
+
+std::vector<SettledJob>
+Coordinator::drainSettled()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    std::vector<SettledJob> drained;
+    drained.swap(settled_);
+    return drained;
+}
+
+bool
+Coordinator::knows(uint64_t jobId) const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return plans_.count(jobId) > 0;
+}
+
+Json
+Coordinator::statusJson(uint64_t jobId) const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = plans_.find(jobId);
+    if (it == plans_.end()) {
+        throwError(ErrorCode::notFound,
+                   format("no coordinated job with id %llu",
+                          static_cast<unsigned long long>(jobId)));
+    }
+    const Plan &plan = it->second;
+    int leased = 0, pending = 0;
+    for (ShardState shard : plan.shards) {
+        if (shard == ShardState::leased)
+            ++leased;
+        else if (shard == ShardState::pending)
+            ++pending;
+    }
+    Json response = Json::makeObject();
+    response.set("ok", true);
+    response.set("id", plan.spec.id);
+    response.set("label", plan.spec.label);
+    response.set("tenant", plan.spec.tenant);
+    response.set("coordinated", true);
+    response.set("shots_total",
+                 static_cast<int64_t>(plan.spec.shots));
+    response.set("shots_done",
+                 static_cast<int64_t>(plan.merged.shots));
+    response.set("state",
+                 plan.state == PlanState::running &&
+                         plan.completed == 0 && leased == 0
+                     ? "queued"
+                     : planStateName(static_cast<int>(plan.state)));
+    response.set("shards_total", static_cast<int64_t>(plan.shardCount));
+    response.set("shards_done", static_cast<int64_t>(plan.completed));
+    response.set("shards_leased", static_cast<int64_t>(leased));
+    response.set("shards_pending", static_cast<int64_t>(pending));
+    response.set("lease_reissues", plan.reissues);
+    response.set("duplicates_discarded", plan.duplicates);
+    if (plan.state == PlanState::done)
+        response.set("fingerprint", plan.fingerprint);
+    if (!plan.detail.empty())
+        response.set("detail", plan.detail);
+    Json workers = Json::makeArray();
+    for (const auto &[name, state] : workers_)
+        workers.append(name);
+    response.set("workers", std::move(workers));
+    return response;
+}
+
+const engine::BatchResult &
+Coordinator::result(uint64_t jobId) const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = plans_.find(jobId);
+    if (it == plans_.end() || it->second.state != PlanState::done) {
+        throwError(ErrorCode::notFound,
+                   format("coordinated job %llu has no completed "
+                          "result",
+                          static_cast<unsigned long long>(jobId)));
+    }
+    return it->second.merged;
+}
+
+} // namespace eqasm::coord

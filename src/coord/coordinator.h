@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Coordinator — elastic shard leases over the determinism invariant.
+ *
+ * PR 5 made a k-process shard run fold back bit-identically to a
+ * 1-process run, but left the operator doing the `--shard i/n`
+ * bookkeeping by hand. The coordinator automates exactly that
+ * bookkeeping and nothing more: one process owns a job's shard plan
+ * and hands out shard *leases* to workers; workers execute their slice
+ * at absolute shot indices and return the ordinary shard-format result;
+ * the coordinator folds returns through the strict
+ * engine::BatchResult::merge + verifyComplete path.
+ *
+ * Like FastSV's distributed-memory scaling, correctness rests on a
+ * convergence invariant rather than on coordination: because the
+ * counter-based Rng::forShot(seed, shotIndex) streams make a shard's
+ * counts a pure function of (program, seed, shot range), any two
+ * executions of the same shard are bit-identical. The coordinator
+ * therefore never needs consensus about which worker "really" owns a
+ * shard — it needs only lease bookkeeping:
+ *
+ *  - a lease grants one shard slice to one worker until an expiry
+ *    deadline; the worker renews while it computes;
+ *  - a worker that stops renewing (crash, hang, partition) loses the
+ *    lease at expiry and the shard is re-queued for re-issue — no
+ *    work transfer, the next worker just recomputes the slice;
+ *  - a worker that misses its heartbeat deadline is declared dead and
+ *    ALL its leases are re-queued at once (faster than waiting for
+ *    each lease to expire individually);
+ *  - a duplicate completion — the original worker was merely slow, not
+ *    dead, and returns after its shard was re-issued and completed —
+ *    is verified fingerprint-equal against the accepted result and
+ *    discarded. An *unequal* duplicate is refused loudly: same (seed,
+ *    range) must be bit-identical, so inequality means a broken
+ *    worker, never a benign race.
+ *
+ * Time is a caller-supplied microsecond timestamp on every entry point
+ * (the sched::QuotaManager style), so lease expiry, dead-worker
+ * detection and re-issue are deterministic under test — no sleeps,
+ * no wall clocks. Production callers pass telemetry::nowMonotonicUs().
+ *
+ * Durability reuses the service journal: the plan is an intent-log
+ * record, every accepted shard result is an atomically-written
+ * shard-format file, and the verified complete result supersedes them
+ * — so a coordinator crash resumes the plan from its completed-shard
+ * set (leases are deliberately *not* persisted: after a restart they
+ * would have expired anyway, and re-issue is free).
+ *
+ * See docs/coordinator.md for the wire protocol the Service exposes
+ * over this class.
+ */
+#ifndef EQASM_COORD_COORDINATOR_H
+#define EQASM_COORD_COORDINATOR_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/batch_result.h"
+#include "service/journal.h"
+
+namespace eqasm::coord {
+
+/** Timing and sizing knobs. */
+struct CoordinatorOptions {
+    /** A lease not renewed for this long is expired and its shard
+     *  re-queued. */
+    uint64_t leaseTtlUs = 10'000'000;
+
+    /** A worker silent (no heartbeat, acquire, renew or complete) for
+     *  this long is declared dead and all its leases re-queued. */
+    uint64_t heartbeatTtlUs = 30'000'000;
+
+    /** Upper bound on a plan's shard count (journal file naming and
+     *  sanity; a shard must cover >= 1 shot regardless). */
+    int maxShards = 4096;
+};
+
+/** One granted lease, echoed to the worker. */
+struct Lease {
+    uint64_t id = 0;         ///< unique lease id (never reused).
+    uint64_t jobId = 0;      ///< the coordinated job.
+    int shard = 0;           ///< shard index in [0, shardCount).
+    int shardCount = 0;      ///< the plan's shard count.
+    uint64_t begin = 0;      ///< absolute first shot of the slice.
+    uint64_t end = 0;        ///< one past the last shot.
+    uint64_t expiresAtUs = 0;  ///< renew before this deadline.
+    uint64_t ttlUs = 0;      ///< the lease TTL (renewal cadence hint).
+};
+
+/** What acquire() hands a worker: the lease plus the job to run. */
+struct LeaseGrant {
+    Lease lease;
+    service::JobSpec spec;   ///< image, seed, shots, label, tenant.
+};
+
+/** A job that reached a terminal state since the last drain —
+ *  the serving layer releases its admission-quota footprint. */
+struct SettledJob {
+    uint64_t id = 0;
+    std::string tenant;
+    int shots = 0;
+};
+
+/**
+ * The lease bookkeeper. Thread-safe (one internal mutex — every
+ * operation is per-lease or per-plan, never per-shot, so a mutex costs
+ * nothing that matters next to a shard execution).
+ */
+class Coordinator
+{
+  public:
+    /**
+     * @param journal the durability store for plans / shard results /
+     *        final results, or nullptr for a purely in-memory
+     *        coordinator (unit tests of the lease protocol itself).
+     */
+    explicit Coordinator(service::Journal *journal,
+                         CoordinatorOptions options = {});
+
+    Coordinator(const Coordinator &) = delete;
+    Coordinator &operator=(const Coordinator &) = delete;
+
+    /**
+     * Registers a new shard plan: @p spec (whose id the caller has
+     * allocated and whose image/seed/shots define the work) split into
+     * @p shards slices. Appends the coord_plan intent record before the
+     * plan becomes visible, so an acknowledged plan survives a crash.
+     * @throws Error{invalidArgument} when shards < 1, exceeds
+     *         maxShards, exceeds spec.shots (an empty slice can never
+     *         complete), or the id is already in use.
+     */
+    void addPlan(service::JobSpec spec, int shards, uint64_t nowUs);
+
+    /**
+     * Rebuilds a plan from the journal after a restart: re-reads the
+     * completed-shard files (strict fromJson + merge; a tampered file
+     * is a refusal naming it), marks the remainder pending, and — when
+     * every shard had already completed — settles the job. Leases are
+     * not restored; in-flight work at crash time simply re-runs.
+     */
+    void restorePlan(service::JobSpec spec, int shards);
+
+    /** Re-registers a plan that settled before a restart so status
+     *  queries keep answering. @p event is "done"/"failed"/"cancelled";
+     *  @p detail is the fingerprint (done) or the error text. */
+    void restoreSettled(service::JobSpec spec, int shards,
+                        const std::string &event,
+                        const std::string &detail);
+
+    /**
+     * Grants the next pending shard (oldest plan first, lowest shard
+     * index first) to @p worker, or nullopt when nothing is pending.
+     * Doubles as a heartbeat for @p worker.
+     */
+    std::optional<LeaseGrant> acquire(const std::string &worker,
+                                      uint64_t nowUs);
+
+    /**
+     * Extends the lease's expiry to nowUs + leaseTtlUs.
+     * @return the new expiry deadline.
+     * @throws Error{notFound} when the lease is unknown, already
+     *         expired (and possibly re-issued), or was retired — the
+     *         worker should abandon the slice; its result, if it still
+     *         completes, will be handled by the duplicate-discard rule.
+     */
+    uint64_t renew(const std::string &worker, uint64_t leaseId,
+                   uint64_t nowUs);
+
+    /**
+     * Accepts a completed shard result under @p leaseId.
+     *
+     * The result must carry the exact provenance the plan predicts
+     * (program hash, seed, total shots, shard index/count, covered
+     * range) — anything else throws Error{invalidArgument} naming the
+     * field. An accepted result is durably persisted (journal shard
+     * file) before it is folded into the aggregate via the strict
+     * merge.
+     *
+     * A completion under an *expired* lease is still accepted when the
+     * shard has not been completed by anyone else (the worker was slow,
+     * not wrong — its work is valid and taking it maximizes progress;
+     * the replacement lease, if any, is retired and its holder's
+     * eventual return becomes the duplicate). When the shard HAS
+     * completed, the duplicate is verified fingerprint-equal against
+     * the accepted result and discarded; a mismatch throws
+     * Error{invalidArgument} naming both fingerprints, because equal
+     * (seed, range) inputs must be bit-identical.
+     *
+     * When the last shard lands, the aggregate is verifyComplete()d,
+     * persisted as the job's result, and the job settles as done.
+     *
+     * @return true when the result was merged, false when it was
+     *         discarded as a verified duplicate (or the job was no
+     *         longer running — e.g. cancelled).
+     * @throws Error{notFound} when the lease id was never issued.
+     */
+    bool complete(const std::string &worker, uint64_t leaseId,
+                  const engine::BatchResult &result, uint64_t nowUs);
+
+    /** Records @p worker as alive at @p nowUs. */
+    void heartbeat(const std::string &worker, uint64_t nowUs);
+
+    /**
+     * Advances the failure detectors to @p nowUs: workers whose last
+     * sign of life is older than heartbeatTtlUs lose all their leases;
+     * leases past their expiry are re-queued for re-issue.
+     * @return the number of leases re-queued.
+     */
+    size_t tick(uint64_t nowUs);
+
+    /**
+     * Cancels a running plan: pending shards stop being issued, live
+     * leases are retired (their completions will be discarded), and the
+     * job settles as cancelled.
+     * @throws Error{notFound} for an unknown id.
+     */
+    void cancel(uint64_t jobId);
+
+    /** Jobs settled since the last call (for quota release). */
+    std::vector<SettledJob> drainSettled();
+
+    /** True when @p jobId names a coordinated job (any state). */
+    bool knows(uint64_t jobId) const;
+
+    /**
+     * Status of a coordinated job, in the shape of the service status
+     * verb (id, label, tenant, state, shots_total, shots_done,
+     * fingerprint when done, detail when failed) plus the coordinator
+     * view: shards_total / shards_done / shards_leased /
+     * shards_pending, lease re-issue and duplicate counts, and the
+     * workers currently known alive.
+     * @throws Error{notFound} for an unknown id.
+     */
+    Json statusJson(uint64_t jobId) const;
+
+    /** The final verified result of a done job (from memory).
+     *  @throws Error{notFound} unless the job is done. */
+    const engine::BatchResult &result(uint64_t jobId) const;
+
+    const CoordinatorOptions &options() const { return options_; }
+
+  private:
+    enum class PlanState { running, done, failed, cancelled };
+    enum class ShardState { pending, leased, complete };
+
+    struct Plan {
+        service::JobSpec spec;
+        int shardCount = 0;
+        std::string programHash;  ///< imageFingerprint(spec.image).
+        PlanState state = PlanState::running;
+        std::vector<ShardState> shards;
+        /** Per-shard counts fingerprint once complete (the
+         *  duplicate-discard comparison key). */
+        std::vector<std::string> shardFingerprints;
+        engine::BatchResult merged;
+        int completed = 0;
+        uint64_t reissues = 0;    ///< leases expired and re-queued.
+        uint64_t duplicates = 0;  ///< completions discarded as equal.
+        std::string fingerprint;  ///< of the verified complete result.
+        std::string detail;       ///< failure / cancellation text.
+    };
+
+    struct LeaseState {
+        uint64_t jobId = 0;
+        int shard = 0;
+        std::string worker;
+        uint64_t expiresAtUs = 0;
+        /** false once expired / superseded / settled: the lease no
+         *  longer holds the shard, but completions under it are still
+         *  routed (to the stale-accept or duplicate-discard path). */
+        bool live = true;
+    };
+
+    struct WorkerState {
+        uint64_t lastSeenUs = 0;
+        std::vector<uint64_t> leases;  ///< live lease ids.
+    };
+
+    void noteWorker(const std::string &worker, uint64_t nowUs);
+    /** Re-queues the lease's shard and retires the lease (mutex_
+     *  held). */
+    void expireLease(uint64_t leaseId, LeaseState &lease);
+    /** Validates @p result against what @p plan predicts for
+     *  @p shard. */
+    void validateShardResult(const Plan &plan, int shard,
+                             const engine::BatchResult &result) const;
+    void settle(uint64_t jobId, Plan &plan, PlanState state,
+                const std::string &eventDetail);
+    /** Drops every lease (live or retired) of @p jobId (mutex_
+     *  held). */
+    void dropLeasesOf(uint64_t jobId);
+
+    service::Journal *journal_;
+    CoordinatorOptions options_;
+
+    mutable std::mutex mutex_;
+    std::map<uint64_t, Plan> plans_;
+    std::map<uint64_t, LeaseState> leases_;
+    std::map<std::string, WorkerState> workers_;
+    uint64_t nextLeaseId_ = 1;
+    std::vector<SettledJob> settled_;
+};
+
+} // namespace eqasm::coord
+
+#endif // EQASM_COORD_COORDINATOR_H

@@ -1,0 +1,121 @@
+#include "coord/failpoints.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace eqasm::coord {
+
+namespace {
+
+std::mutex &
+pointsMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+std::map<std::string, int> &
+points()
+{
+    static std::map<std::string, int> map;
+    return map;
+}
+
+/** Fast empty check so unarmed processes skip the mutex entirely. */
+std::atomic<int> armedCount{0};
+
+} // namespace
+
+void
+Failpoints::arm(const std::string &name, int count)
+{
+    if (name.empty()) {
+        throwError(ErrorCode::invalidArgument,
+                   "a failpoint needs a non-empty name");
+    }
+    std::lock_guard<std::mutex> guard(pointsMutex());
+    auto [it, inserted] = points().emplace(name, count);
+    if (!inserted)
+        it->second = count;
+    if (inserted)
+        armedCount.fetch_add(1, std::memory_order_relaxed);
+    if (count == 0) {
+        points().erase(it);
+        armedCount.fetch_sub(1, std::memory_order_relaxed);
+    }
+}
+
+bool
+Failpoints::fire(const std::string &name)
+{
+    if (armedCount.load(std::memory_order_relaxed) == 0)
+        return false;
+    std::lock_guard<std::mutex> guard(pointsMutex());
+    auto it = points().find(name);
+    if (it == points().end())
+        return false;
+    if (it->second > 0 && --it->second == 0) {
+        points().erase(it);
+        armedCount.fetch_sub(1, std::memory_order_relaxed);
+    }
+    return true;
+}
+
+bool
+Failpoints::armed(const std::string &name)
+{
+    if (armedCount.load(std::memory_order_relaxed) == 0)
+        return false;
+    std::lock_guard<std::mutex> guard(pointsMutex());
+    return points().count(name) > 0;
+}
+
+void
+Failpoints::clear()
+{
+    std::lock_guard<std::mutex> guard(pointsMutex());
+    points().clear();
+    armedCount.store(0, std::memory_order_relaxed);
+}
+
+void
+Failpoints::armFromSpec(const std::string &spec)
+{
+    for (const std::string &entry : split(spec, ',')) {
+        std::string item(trim(entry));
+        if (item.empty())
+            continue;
+        size_t colon = item.find(':');
+        int count = 1;
+        std::string name = item;
+        if (colon != std::string::npos) {
+            name = std::string(trim(item.substr(0, colon)));
+            try {
+                count = static_cast<int>(
+                    parseInt(trim(item.substr(colon + 1))));
+            } catch (const Error &) {
+                throwError(ErrorCode::invalidArgument,
+                           format("failpoint spec entry '%s' has a "
+                                  "malformed count",
+                                  item.c_str()));
+            }
+        }
+        arm(name, count);
+    }
+}
+
+std::vector<std::string>
+Failpoints::armedNames()
+{
+    std::lock_guard<std::mutex> guard(pointsMutex());
+    std::vector<std::string> names;
+    for (const auto &[name, count] : points())
+        names.push_back(name);
+    return names;
+}
+
+} // namespace eqasm::coord

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Failpoints — deterministic fault injection for the coordinator stack.
+ *
+ * The lease protocol's interesting behavior lives in its failure
+ * windows: a heartbeat that never arrives, a renewal that stalls until
+ * the lease expires, a worker that dies just before — or just after —
+ * it reports `lease_complete`. Reproducing those windows with real
+ * process kills and sleeps makes tests slow and flaky; this registry
+ * makes them a deterministic program point instead. A test (or an
+ * operator, via EQASM_FAILPOINTS) arms a named point with a fire
+ * count; the instrumented code asks `fire(name)` at the exact moment
+ * the fault would strike and alters its behavior while arms remain.
+ *
+ * Combined with the caller-timestamped clocks of coord::Coordinator
+ * (the sched::QuotaManager style — time is a parameter, never a
+ * syscall), every lease-expiry / re-issue / duplicate-discard schedule
+ * is unit-testable without a single sleep. The production worker
+ * (eqasm-worker) consults the same points, armed from the
+ * EQASM_FAILPOINTS environment variable, so the smoke tests can crash
+ * a real process at a chosen protocol step too.
+ *
+ * Names are free-form; the coordinator test harness composes them as
+ * "<worker>.<event>" (e.g. "w1.stall_renew"). eqasm-worker consults:
+ *   drop_heartbeat        skip sending worker_heartbeat
+ *   stall_renew           skip sending lease_renew
+ *   kill_before_complete  _exit(137) before lease_complete is sent
+ *   kill_after_complete   _exit(137) after the completion is acked
+ */
+#ifndef EQASM_COORD_FAILPOINTS_H
+#define EQASM_COORD_FAILPOINTS_H
+
+#include <string>
+#include <vector>
+
+namespace eqasm::coord {
+
+/** Process-global named failpoint registry (thread-safe). */
+class Failpoints
+{
+  public:
+    /** Arms @p name to fire @p count times (count < 0 = forever). */
+    static void arm(const std::string &name, int count = 1);
+
+    /** True (consuming one arm) when @p name is armed. A disarmed or
+     *  unknown point returns false — instrumented code costs one map
+     *  lookup only while tests are running with armed points, and the
+     *  lookup is skipped entirely while the registry is empty. */
+    static bool fire(const std::string &name);
+
+    /** True when @p name has arms remaining, without consuming one. */
+    static bool armed(const std::string &name);
+
+    /** Disarms everything (tests call this in SetUp/TearDown). */
+    static void clear();
+
+    /**
+     * Arms from a spec string "name[:count][,name[:count]]..." — the
+     * EQASM_FAILPOINTS syntax of eqasm-worker. Empty spec is a no-op.
+     * @throws Error{invalidArgument} naming a malformed entry.
+     */
+    static void armFromSpec(const std::string &spec);
+
+    /** Names currently armed (for diagnostics). */
+    static std::vector<std::string> armedNames();
+};
+
+} // namespace eqasm::coord
+
+#endif // EQASM_COORD_FAILPOINTS_H

@@ -248,6 +248,7 @@ Journal::Journal(std::string dir) : dir_(std::move(dir))
 void
 Journal::appendLine(const std::string &line)
 {
+    std::lock_guard<std::mutex> guard(appendMutex_);
     std::string record = line + "\n";
     size_t written = 0;
     while (written < record.size()) {
@@ -287,6 +288,17 @@ Journal::appendEvent(const std::string &event, uint64_t id,
     appendLine(record.dump());
 }
 
+void
+Journal::appendCoordPlan(const JobSpec &spec, int shards)
+{
+    Json record = Json::makeObject();
+    record.set("event", "coord_plan");
+    record.set("id", spec.id);
+    record.set("shards", static_cast<int64_t>(shards));
+    record.set("job", spec.toJson());
+    appendLine(record.dump());
+}
+
 Journal::Replay
 Journal::replay() const
 {
@@ -315,6 +327,19 @@ Journal::replay() const
                 JobSpec spec = JobSpec::fromJson(record.at("job"));
                 replay.maxId = std::max(replay.maxId, spec.id);
                 replay.accepted.push_back(std::move(spec));
+            } else if (kind == "coord_plan") {
+                CoordPlan plan;
+                plan.spec = JobSpec::fromJson(record.at("job"));
+                int64_t shards = specInt(record, "shards");
+                if (shards < 1) {
+                    throwError(ErrorCode::invalidArgument,
+                               format("coord_plan record has %lld "
+                                      "shards",
+                                      static_cast<long long>(shards)));
+                }
+                plan.shards = static_cast<int>(shards);
+                replay.maxId = std::max(replay.maxId, plan.spec.id);
+                replay.coordPlans.push_back(std::move(plan));
             } else if (kind == "done" || kind == "failed" ||
                        kind == "cancelled") {
                 uint64_t id =
@@ -346,6 +371,10 @@ Journal::replay() const
     size_t unfinished = 0;
     for (const JobSpec &spec : replay.accepted) {
         if (!replay.terminal.count(spec.id))
+            ++unfinished;
+    }
+    for (const CoordPlan &plan : replay.coordPlans) {
+        if (!replay.terminal.count(plan.spec.id))
             ++unfinished;
     }
     journalMetrics().recoveredJobs.add(unfinished);
@@ -429,18 +458,58 @@ Journal::maxEpoch(uint64_t id) const
 }
 
 void
+Journal::writeShard(uint64_t id, int shard,
+                    const engine::BatchResult &result)
+{
+    const std::string path =
+        jobDir(id) + format("/shard-%04d.json", shard);
+    writeAtomically(path, result.toJson().dump(2) + "\n");
+    journalMetrics().checkpoints.inc();
+}
+
+std::vector<engine::BatchResult>
+Journal::loadShardList(uint64_t id) const
+{
+    const std::string dir =
+        dir_ + format("/job-%06llu", static_cast<unsigned long long>(id));
+    std::error_code ec;
+    std::vector<std::string> files;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (startsWith(name, "shard-") &&
+            name.size() > 6 + 5 &&
+            name.compare(name.size() - 5, 5, ".json") == 0)
+            files.push_back(entry.path().string());
+    }
+    std::sort(files.begin(), files.end());
+    std::vector<engine::BatchResult> shards;
+    shards.reserve(files.size());
+    for (const std::string &file : files) {
+        try {
+            shards.push_back(engine::BatchResult::fromJson(
+                Json::parse(readFileOrThrow(file))));
+        } catch (const Error &error) {
+            throwError(error.code(),
+                       format("shard file '%s' cannot be recovered: %s",
+                              file.c_str(), error.message().c_str()));
+        }
+    }
+    return shards;
+}
+
+void
 Journal::writeResult(uint64_t id, const engine::BatchResult &result)
 {
     const std::string dir = jobDir(id);
     writeAtomically(dir + "/result.json",
                     result.toJson().dump(2) + "\n");
-    // The parts are superseded by the durable complete result; leaving
-    // them would make the job directory refuse a whole-directory merge
-    // (their coverage overlaps the result's).
+    // The parts and shards are superseded by the durable complete
+    // result; leaving them would make the job directory refuse a
+    // whole-directory merge (their coverage overlaps the result's).
     std::error_code ec;
     for (const auto &entry : fs::directory_iterator(dir, ec)) {
         const std::string name = entry.path().filename().string();
-        if (startsWith(name, "part-"))
+        if (startsWith(name, "part-") || startsWith(name, "shard-"))
             fs::remove(entry.path(), ec);
     }
 }

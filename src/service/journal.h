@@ -16,12 +16,16 @@
  *
  *   intent.log                 append-only, fsync'd line JSON:
  *                              {"event":"accept","id":N,"job":{...}}
+ *                              {"event":"coord_plan","id":N,
+ *                               "shards":k,"job":{...}}
  *                              {"event":"done"|"failed"|"cancelled",
  *                               "id":N, "detail":"..."}
  *   job-<id>/part-<e>-<g>.json cumulative checkpoint of run attempt
  *                              (epoch) e, gap g — atomically replaced
  *                              (tmp + rename) as coverage grows, so a
  *                              kill -9 leaves the last durable one
+ *   job-<id>/shard-<s>.json    an accepted coordinator shard result
+ *                              (atomic; one per completed shard index)
  *   job-<id>/result.json       the verified complete result
  *
  * A job is accepted only after its "accept" line is durable, so every
@@ -35,6 +39,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -75,9 +80,26 @@ class Journal
     void appendEvent(const std::string &event, uint64_t id,
                      const std::string &detail = "");
 
+    /**
+     * Appends the coordinator shard-plan record (fsync'd) — once this
+     * returns, a coordinator crash resumes the plan from its
+     * completed-shard files. Leases are deliberately not journalled:
+     * after a restart they would have expired anyway.
+     */
+    void appendCoordPlan(const JobSpec &spec, int shards);
+
+    /** A replayed coordinator shard plan. */
+    struct CoordPlan {
+        JobSpec spec;
+        int shards = 0;
+    };
+
     /** What an intent log replay recovers. */
     struct Replay {
         std::vector<JobSpec> accepted;  ///< in acceptance order.
+        /** Coordinated shard plans, in acceptance order. A plan id
+         *  appears here instead of in `accepted`. */
+        std::vector<CoordPlan> coordPlans;
         /** id -> terminal event name for settled jobs. */
         std::map<uint64_t, std::string> terminal;
         /** id -> detail of the terminal event (error text). */
@@ -120,8 +142,27 @@ class Journal
     /** @return the largest epoch among @p id's part files, or -1. */
     int maxEpoch(uint64_t id) const;
 
+    /**
+     * Atomically writes an accepted coordinator shard result as
+     * job-<id>/shard-<shard>.json (frozen shard schema — the same
+     * format eqasm-run --merge folds). One file per shard index;
+     * a re-write of the same index is bit-identical by the
+     * determinism invariant, so last-writer-wins is safe.
+     */
+    void writeShard(uint64_t id, int shard,
+                    const engine::BatchResult &result);
+
+    /**
+     * Loads every shard-*.json of @p id (strict fromJson), in shard
+     * order. Unlike loadParts this returns the individual results
+     * rather than folding them, so the coordinator can track which
+     * shard indices are already complete.
+     * @throws Error naming the offending file on corruption.
+     */
+    std::vector<engine::BatchResult> loadShardList(uint64_t id) const;
+
     /** Atomically writes the verified complete result, then removes
-     *  the superseded part files. */
+     *  the superseded part and shard files. */
     void writeResult(uint64_t id, const engine::BatchResult &result);
 
     /** @return the persisted complete result, if any.
@@ -135,6 +176,9 @@ class Journal
 
     std::string dir_;
     int intentFd_ = -1;  ///< O_APPEND fd of intent.log.
+    /** Serialises appendLine: the service and the coordinator append
+     *  from different threads under different locks. */
+    std::mutex appendMutex_;
 };
 
 } // namespace eqasm::service

@@ -93,7 +93,13 @@ Service::Service(engine::ShotEngine &engine, Journal &journal,
     : engine_(engine), journal_(journal), quotas_(std::move(quotas)),
       options_(options),
       assembler_(engine.platform().operations,
-                 engine.platform().topology, engine.platform().params)
+                 engine.platform().topology, engine.platform().params),
+      coordinator_(&journal,
+                   coord::CoordinatorOptions{
+                       static_cast<uint64_t>(options.leaseTtlMs) * 1000,
+                       static_cast<uint64_t>(options.heartbeatTtlMs) *
+                           1000,
+                       4096})
 {
     if (options_.checkpointEveryChunks < 1) {
         throwError(ErrorCode::configError,
@@ -156,6 +162,32 @@ Service::recover()
             static_cast<uint64_t>(record.spec.shots));
         quotas_.track(record.spec.tenant, record.spec.shots);
         launch(record, gaps, journal_.maxEpoch(id) + 1);
+    }
+    for (Journal::CoordPlan &plan : replay.coordPlans) {
+        uint64_t id = plan.spec.id;
+        auto terminal = replay.terminal.find(id);
+        if (terminal != replay.terminal.end()) {
+            coordinator_.restoreSettled(std::move(plan.spec),
+                                        plan.shards, terminal->second,
+                                        replay.terminalDetail[id]);
+            continue;
+        }
+        if (auto result = journal_.loadResult(id)) {
+            // Crashed between writing result.json and the terminal
+            // record: the result is durable, so settle now.
+            std::string fingerprint = result->countsFingerprint();
+            journal_.appendEvent("done", id, fingerprint);
+            coordinator_.restoreSettled(std::move(plan.spec),
+                                        plan.shards, "done",
+                                        fingerprint);
+            continue;
+        }
+        // Unfinished plan: re-fold the completed-shard files; the
+        // uncompleted shards go back to pending and will be leased out
+        // again (in-flight leases at crash time are gone by design —
+        // they would have expired anyway).
+        quotas_.track(plan.spec.tenant, plan.spec.shots);
+        coordinator_.restorePlan(std::move(plan.spec), plan.shards);
     }
     reaperWake_.notify_all();
 }
@@ -253,14 +285,26 @@ Service::dispatch(const Json &request)
         return verbMetrics(request);
     if (name == "shutdown")
         return verbShutdown(request);
+    if (name == "coord_submit")
+        return verbCoordSubmit(request);
+    if (name == "lease_acquire")
+        return verbLeaseAcquire(request);
+    if (name == "lease_renew")
+        return verbLeaseRenew(request);
+    if (name == "lease_complete")
+        return verbLeaseComplete(request);
+    if (name == "worker_heartbeat")
+        return verbWorkerHeartbeat(request);
     throwError(ErrorCode::invalidArgument,
                format("unknown verb '%s' (expected submit, status, "
-                      "cancel, stream, metrics or shutdown)",
+                      "cancel, stream, metrics, shutdown, coord_submit, "
+                      "lease_acquire, lease_renew, lease_complete or "
+                      "worker_heartbeat)",
                       name.c_str()));
 }
 
-Json
-Service::verbSubmit(const Json &request)
+JobSpec
+Service::parseSubmitSpec(const Json &request)
 {
     JobSpec spec;
     spec.label = request.getString("label", "");
@@ -316,6 +360,13 @@ Service::verbSubmit(const Json &request)
                    "--qec daemon)");
     }
     spec.image = assembler_.assemble(source).image;
+    return spec;
+}
+
+Json
+Service::verbSubmit(const Json &request)
+{
+    JobSpec spec = parseSubmitSpec(request);
 
     std::lock_guard<std::mutex> guard(mutex_);
     // Admission gate; a refusal throws Error{quotaExceeded} naming the
@@ -343,6 +394,16 @@ Service::verbStatus(const Json &request)
     std::lock_guard<std::mutex> guard(mutex_);
     auto it = jobs_.find(static_cast<uint64_t>(id));
     if (it == jobs_.end()) {
+        uint64_t coordId = static_cast<uint64_t>(id);
+        if (id > 0 && coordinator_.knows(coordId)) {
+            Json response = coordinator_.statusJson(coordId);
+            if (request.getBool("result", false) &&
+                response.getString("state", "") == "done") {
+                if (auto result = journal_.loadResult(coordId))
+                    response.set("result", result->toJson());
+            }
+            return response;
+        }
         throwError(ErrorCode::notFound,
                    format("no job with id %lld",
                           static_cast<long long>(id)));
@@ -383,6 +444,17 @@ Service::verbCancel(const Json &request)
     std::lock_guard<std::mutex> guard(mutex_);
     auto it = jobs_.find(static_cast<uint64_t>(id));
     if (it == jobs_.end()) {
+        uint64_t coordId = static_cast<uint64_t>(id);
+        if (id > 0 && coordinator_.knows(coordId)) {
+            coordinator_.cancel(coordId);
+            reaperWake_.notify_all();  // drain quota release promptly.
+            Json response = okResponse();
+            response.set(
+                "state",
+                coordinator_.statusJson(coordId).getString("state",
+                                                           ""));
+            return response;
+        }
         throwError(ErrorCode::notFound,
                    format("no job with id %lld",
                           static_cast<long long>(id)));
@@ -414,6 +486,116 @@ Service::verbShutdown(const Json &)
     return okResponse();
 }
 
+Json
+Service::verbCoordSubmit(const Json &request)
+{
+    JobSpec spec = parseSubmitSpec(request);
+    int64_t shards = request.getInt("shards", 0);
+    if (shards < 1) {
+        throwError(ErrorCode::invalidArgument,
+                   format("coord_submit needs shards >= 1, got %lld",
+                          static_cast<long long>(shards)));
+    }
+    const std::string tenant = spec.tenant;
+    const int shots = spec.shots;
+
+    std::lock_guard<std::mutex> guard(mutex_);
+    quotas_.admit(tenant, shots, telemetry::nowMonotonicUs());
+    spec.id = nextId_++;
+    uint64_t id = spec.id;
+    try {
+        // addPlan appends the fsync'd coord_plan record before the
+        // plan becomes visible — same durability-before-ack as submit.
+        coordinator_.addPlan(std::move(spec), static_cast<int>(shards),
+                             telemetry::nowMonotonicUs());
+    } catch (...) {
+        quotas_.release(tenant, shots);
+        throw;
+    }
+
+    Json response = okResponse();
+    response.set("id", id);
+    response.set("shards", shards);
+    return response;
+}
+
+Json
+Service::verbLeaseAcquire(const Json &request)
+{
+    auto grant = coordinator_.acquire(request.getString("worker", ""),
+                                      telemetry::nowMonotonicUs());
+    Json response = okResponse();
+    response.set("granted", grant.has_value());
+    if (grant) {
+        Json lease = Json::makeObject();
+        lease.set("id", grant->lease.id);
+        lease.set("job_id", grant->lease.jobId);
+        lease.set("shard", static_cast<int64_t>(grant->lease.shard));
+        lease.set("shard_count",
+                  static_cast<int64_t>(grant->lease.shardCount));
+        lease.set("begin", grant->lease.begin);
+        lease.set("end", grant->lease.end);
+        lease.set("expires_at_us", grant->lease.expiresAtUs);
+        lease.set("ttl_us", grant->lease.ttlUs);
+        response.set("lease", std::move(lease));
+        response.set("job", grant->spec.toJson());
+        // The platform travels with the lease so workers need no
+        // configuration beyond the daemon's address.
+        response.set("platform", engine_.platform().toJson());
+    }
+    return response;
+}
+
+Json
+Service::verbLeaseRenew(const Json &request)
+{
+    int64_t lease = request.getInt("lease", 0);
+    if (lease < 1) {
+        throwError(ErrorCode::invalidArgument,
+                   "lease_renew needs the granted 'lease' id");
+    }
+    uint64_t expires = coordinator_.renew(
+        request.getString("worker", ""), static_cast<uint64_t>(lease),
+        telemetry::nowMonotonicUs());
+    Json response = okResponse();
+    response.set("expires_at_us", expires);
+    return response;
+}
+
+Json
+Service::verbLeaseComplete(const Json &request)
+{
+    int64_t lease = request.getInt("lease", 0);
+    if (lease < 1) {
+        throwError(ErrorCode::invalidArgument,
+                   "lease_complete needs the granted 'lease' id");
+    }
+    const Json *result = request.find("result");
+    if (!result || !result->isObject()) {
+        throwError(ErrorCode::invalidArgument,
+                   "lease_complete needs the shard-format 'result' "
+                   "object");
+    }
+    // Strict parse (recomputes the fingerprint) before the coordinator
+    // sees it — a tampered result is refused at the door.
+    engine::BatchResult shard = engine::BatchResult::fromJson(*result);
+    bool merged = coordinator_.complete(
+        request.getString("worker", ""), static_cast<uint64_t>(lease),
+        shard, telemetry::nowMonotonicUs());
+    reaperWake_.notify_all();  // a settled plan releases quota.
+    Json response = okResponse();
+    response.set("merged", merged);
+    return response;
+}
+
+Json
+Service::verbWorkerHeartbeat(const Json &request)
+{
+    coordinator_.heartbeat(request.getString("worker", ""),
+                           telemetry::nowMonotonicUs());
+    return okResponse();
+}
+
 void
 Service::reaperLoop()
 {
@@ -432,6 +614,12 @@ Service::reaperLoop()
             anyRunning =
                 anyRunning || record.state == State::running;
         }
+        // Advance the coordinator's failure detectors (lease expiry,
+        // dead workers) and release the quota of settled plans.
+        coordinator_.tick(telemetry::nowMonotonicUs());
+        for (const coord::SettledJob &job :
+             coordinator_.drainSettled())
+            quotas_.release(job.tenant, job.shots);
         if (!anyRunning)
             idle_.notify_all();
     }

@@ -20,12 +20,28 @@
  *   status   {id} -> {ok, state: queued|running|done|failed|cancelled,
  *            shots_done, shots_total, tenant, label; fingerprint +
  *            optionally the full result when done, detail when failed}.
- *   cancel   {id} -> {ok}.
+ *            Answers for coordinated jobs too (plus shard/lease view).
+ *   cancel   {id} -> {ok}; coordinated jobs too.
  *   stream   handled by the Server: repeated status responses until the
  *            job settles (the Service just answers each poll).
  *   metrics  -> {ok, prometheus: "<text exposition>"} with build_info
  *            and uptime_seconds refreshed.
  *   shutdown -> {ok}; flips shutdownRequested() for the transport.
+ *
+ * Coordinator verbs (docs/coordinator.md has the full protocol): the
+ * daemon can run a job's shards on external worker processes instead of
+ * its own engine — it owns the shard plan and hands out leases:
+ *   coord_submit     submit args + {shards} -> {ok, id, shards}.
+ *   lease_acquire    {worker} -> {ok, granted; lease {id, job_id,
+ *                    shard, shard_count, begin, end, expires_at_us,
+ *                    ttl_us}, job spec and platform when granted}.
+ *   lease_renew      {worker, lease} -> {ok, expires_at_us}; typed
+ *                    not_found once the lease expired or was retired.
+ *   lease_complete   {worker, lease, result: <shard-format JSON>} ->
+ *                    {ok, merged}; merged=false means the result was a
+ *                    verified duplicate (or the job settled) and was
+ *                    discarded.
+ *   worker_heartbeat {worker} -> {ok}.
  *
  * Crash safety (see journal.h for the file formats): a submit is
  * acknowledged only after its intent-log record is fsync'd; running
@@ -51,6 +67,7 @@
 #include <vector>
 
 #include "assembler/assembler.h"
+#include "coord/coordinator.h"
 #include "engine/shot_engine.h"
 #include "sched/quota.h"
 #include "service/journal.h"
@@ -67,6 +84,14 @@ struct ServiceOptions {
     /** Built-in QEC workload distance the daemon was started with
      *  (--qec); 0 disables {"workload": "qec"} submits. */
     int qecDistance = 0;
+
+    /** Coordinator lease TTL: a worker must renew within this long or
+     *  its shard is re-queued (--lease-ttl-ms). */
+    int leaseTtlMs = 10000;
+
+    /** Coordinator heartbeat TTL: a worker silent for this long is
+     *  declared dead and loses all its leases (--heartbeat-ttl-ms). */
+    int heartbeatTtlMs = 30000;
 };
 
 /** Registers the eqasm_build_info gauge (value 1, version label) and
@@ -141,6 +166,15 @@ class Service
     Json verbCancel(const Json &request);
     Json verbMetrics(const Json &request);
     Json verbShutdown(const Json &request);
+    Json verbCoordSubmit(const Json &request);
+    Json verbLeaseAcquire(const Json &request);
+    Json verbLeaseRenew(const Json &request);
+    Json verbLeaseComplete(const Json &request);
+    Json verbWorkerHeartbeat(const Json &request);
+
+    /** Parses the shared submit fields (label, tenant, shots, seed,
+     *  source/workload) into an id-less spec, assembling the program. */
+    JobSpec parseSubmitSpec(const Json &request);
 
     /** Submits engine jobs covering @p gaps of @p record 's spec at
      *  checkpoint epoch @p epoch (mutex_ held). */
@@ -160,6 +194,9 @@ class Service
     sched::QuotaManager quotas_;
     ServiceOptions options_;
     assembler::Assembler assembler_;
+    /** Shard-lease bookkeeper for coordinated jobs. Lock order:
+     *  mutex_ may be held when calling into it, never the reverse. */
+    coord::Coordinator coordinator_;
 
     mutable std::mutex mutex_;
     std::map<uint64_t, Record> jobs_;

@@ -1,0 +1,956 @@
+/**
+ * @file
+ * Tests for the shard-lease coordinator (src/coord/): the failpoint
+ * registry, the lease protocol (grant / renew / expiry / re-issue /
+ * heartbeat-based dead-worker detection), the duplicate-discard rule,
+ * coordinator crash-resume from the journal, the Service verb layer
+ * over it, and the load-bearing property: every randomly seeded
+ * worker-death schedule over k workers converges to the bit-identical
+ * 1-process counts_fingerprint, with duplicate returns discarded and
+ * never double-merged. All of it on an injectable microsecond clock —
+ * no sleeps.
+ */
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "assembler/assembler.h"
+#include "common/error.h"
+#include "common/strings.h"
+#include "coord/coordinator.h"
+#include "coord/failpoints.h"
+#include "engine/shot_engine.h"
+#include "runtime/platform.h"
+#include "service/journal.h"
+#include "service/service.h"
+#include "workloads/experiments.h"
+
+using namespace eqasm;
+using namespace eqasm::coord;
+using namespace eqasm::engine;
+using namespace eqasm::runtime;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string
+freshDir(const std::string &hint)
+{
+    static int counter = 0;
+    std::string path =
+        format("%s/eqasm_coord_%d_%s_%d", testing::TempDir().c_str(),
+               getpid(), hint.c_str(), counter++);
+    fs::remove_all(path);
+    fs::create_directories(path);
+    return path;
+}
+
+std::string
+testSource()
+{
+    return workloads::activeResetProgram(2);
+}
+
+/** One engine for the whole suite — shard results are pure functions
+ *  of (program, seed, range), so sharing replicas is safe and fast. */
+ShotEngine &
+testEngine()
+{
+    static ShotEngine engine(Platform::twoQubit(), [] {
+        EngineConfig config;
+        config.threads = 2;
+        return config;
+    }());
+    return engine;
+}
+
+std::vector<uint32_t>
+testImage()
+{
+    static const std::vector<uint32_t> image = [] {
+        const Platform &platform = testEngine().platform();
+        assembler::Assembler asm_(platform.operations,
+                                  platform.topology, platform.params);
+        return asm_.assemble(testSource()).image;
+    }();
+    return image;
+}
+
+service::JobSpec
+testSpec(uint64_t id, int shots, uint64_t seed = 7)
+{
+    service::JobSpec spec;
+    spec.id = id;
+    spec.label = "coord";
+    spec.tenant = "alice";
+    spec.shots = shots;
+    spec.seed = seed;
+    spec.image = testImage();
+    return spec;
+}
+
+/** Executes one shard slice of @p spec (bit-identical wherever run). */
+BatchResult
+runShard(const service::JobSpec &spec, int shard, int count)
+{
+    Job job;
+    job.image = spec.image;
+    job.shots = spec.shots;
+    job.seed = spec.seed;
+    job.label = spec.label;
+    job.tenant = spec.tenant;
+    job.shard.index = shard;
+    job.shard.count = count;
+    return testEngine().run(std::move(job));
+}
+
+/** The 1-process fingerprint every coordinated schedule must hit. */
+std::string
+baselineFingerprint(const service::JobSpec &spec)
+{
+    Job job;
+    job.image = spec.image;
+    job.shots = spec.shots;
+    job.seed = spec.seed;
+    job.label = spec.label;
+    return testEngine().run(std::move(job)).countsFingerprint();
+}
+
+} // namespace
+
+// ------------------------------------------------------------ Failpoints
+
+TEST(Failpoints, FireConsumesArmsAndDisarms)
+{
+    Failpoints::clear();
+    Failpoints::arm("boom", 2);
+    EXPECT_TRUE(Failpoints::armed("boom"));
+    EXPECT_TRUE(Failpoints::fire("boom"));
+    EXPECT_TRUE(Failpoints::fire("boom"));
+    EXPECT_FALSE(Failpoints::fire("boom"));  // arms exhausted.
+    EXPECT_FALSE(Failpoints::armed("boom"));
+    EXPECT_FALSE(Failpoints::fire("never_armed"));
+    Failpoints::clear();
+}
+
+TEST(Failpoints, NegativeCountFiresForever)
+{
+    Failpoints::clear();
+    Failpoints::arm("always", -1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(Failpoints::fire("always"));
+    Failpoints::clear();
+    EXPECT_FALSE(Failpoints::fire("always"));
+}
+
+TEST(Failpoints, ArmFromSpecParsesNamesAndCounts)
+{
+    Failpoints::clear();
+    Failpoints::armFromSpec(
+        "drop_heartbeat, kill_before_complete:3 ,stall_renew:-1");
+    EXPECT_TRUE(Failpoints::armed("drop_heartbeat"));
+    EXPECT_TRUE(Failpoints::armed("kill_before_complete"));
+    EXPECT_TRUE(Failpoints::armed("stall_renew"));
+    EXPECT_TRUE(Failpoints::fire("drop_heartbeat"));
+    EXPECT_FALSE(Failpoints::fire("drop_heartbeat"));  // count 1.
+    EXPECT_THROW(Failpoints::armFromSpec("bad:count:here"), Error);
+    Failpoints::clear();
+}
+
+// --------------------------------------------------- lease bookkeeping
+
+TEST(Coordinator, LeasesPartitionTheShotRangeExactly)
+{
+    Coordinator coordinator(nullptr);
+    coordinator.addPlan(testSpec(1, 100), 4, 0);
+    uint64_t expectedBegin = 0;
+    for (int i = 0; i < 4; ++i) {
+        auto grant = coordinator.acquire("w1", 10);
+        ASSERT_TRUE(grant.has_value());
+        EXPECT_EQ(grant->lease.jobId, 1u);
+        EXPECT_EQ(grant->lease.shard, i);
+        EXPECT_EQ(grant->lease.shardCount, 4);
+        EXPECT_EQ(grant->lease.begin, expectedBegin);
+        expectedBegin = grant->lease.end;
+        EXPECT_EQ(grant->spec.shots, 100);
+        EXPECT_EQ(grant->spec.seed, 7u);
+    }
+    EXPECT_EQ(expectedBegin, 100u);
+    // Everything is leased out: nothing more to grant.
+    EXPECT_FALSE(coordinator.acquire("w2", 20).has_value());
+}
+
+TEST(Coordinator, PlanValidationRefusesBadShardCounts)
+{
+    Coordinator coordinator(nullptr);
+    EXPECT_THROW(coordinator.addPlan(testSpec(1, 100), 0, 0), Error);
+    // More shards than shots would leave empty slices that can never
+    // complete.
+    EXPECT_THROW(coordinator.addPlan(testSpec(2, 3), 4, 0), Error);
+    coordinator.addPlan(testSpec(3, 100), 4, 0);
+    EXPECT_THROW(coordinator.addPlan(testSpec(3, 100), 2, 0), Error);
+}
+
+TEST(Coordinator, CompletingAllShardsReproducesOneProcessFingerprint)
+{
+    service::JobSpec spec = testSpec(1, 300);
+    Coordinator coordinator(nullptr);
+    coordinator.addPlan(spec, 3, 0);
+    for (int i = 0; i < 3; ++i) {
+        auto grant = coordinator.acquire("w1", 10);
+        ASSERT_TRUE(grant.has_value());
+        EXPECT_TRUE(coordinator.complete(
+            "w1", grant->lease.id,
+            runShard(spec, grant->lease.shard, 3), 20));
+    }
+    Json status = coordinator.statusJson(1);
+    EXPECT_EQ(status.getString("state", ""), "done");
+    EXPECT_EQ(status.getInt("shards_done", 0), 3);
+    EXPECT_EQ(status.getInt("shots_done", 0), 300);
+    EXPECT_EQ(status.getString("fingerprint", ""),
+              baselineFingerprint(spec));
+    // The settled job is handed to the quota-release drain exactly once.
+    auto settled = coordinator.drainSettled();
+    ASSERT_EQ(settled.size(), 1u);
+    EXPECT_EQ(settled[0].id, 1u);
+    EXPECT_EQ(settled[0].tenant, "alice");
+    EXPECT_TRUE(coordinator.drainSettled().empty());
+}
+
+TEST(Coordinator, ExpiredLeaseIsReissuedAndOldRenewRefused)
+{
+    CoordinatorOptions options;
+    options.leaseTtlUs = 1000;
+    options.heartbeatTtlUs = 100000;
+    Coordinator coordinator(nullptr, options);
+    coordinator.addPlan(testSpec(1, 100), 1, 0);
+
+    auto grant = coordinator.acquire("w1", 0);
+    ASSERT_TRUE(grant.has_value());
+    EXPECT_EQ(grant->lease.expiresAtUs, 1000u);
+
+    // Renewal inside the TTL pushes the deadline out.
+    EXPECT_EQ(coordinator.renew("w1", grant->lease.id, 500), 1500u);
+
+    // Nothing pending while the lease is live.
+    EXPECT_FALSE(coordinator.acquire("w2", 600).has_value());
+
+    // Let it expire: the shard is re-queued and re-issued to w2.
+    EXPECT_EQ(coordinator.tick(1500), 1u);
+    auto regrant = coordinator.acquire("w2", 1600);
+    ASSERT_TRUE(regrant.has_value());
+    EXPECT_EQ(regrant->lease.shard, grant->lease.shard);
+    EXPECT_NE(regrant->lease.id, grant->lease.id);
+
+    // The original holder's renewal is now refused as not_found.
+    try {
+        coordinator.renew("w1", grant->lease.id, 1700);
+        FAIL() << "renew of an expired lease should be refused";
+    } catch (const Error &error) {
+        EXPECT_EQ(error.code(), ErrorCode::notFound);
+    }
+    EXPECT_EQ(coordinator.statusJson(1).getInt("lease_reissues", 0), 1);
+}
+
+TEST(Coordinator, LateRenewExpiresTheLeaseImmediately)
+{
+    CoordinatorOptions options;
+    options.leaseTtlUs = 1000;
+    Coordinator coordinator(nullptr, options);
+    coordinator.addPlan(testSpec(1, 100), 1, 0);
+    auto grant = coordinator.acquire("w1", 0);
+    ASSERT_TRUE(grant.has_value());
+    // No tick has run, but the renewal itself arrives after the
+    // deadline: the coordinator must not resurrect the lease.
+    EXPECT_THROW(coordinator.renew("w1", grant->lease.id, 5000), Error);
+    // The shard went back to pending without waiting for a tick.
+    EXPECT_TRUE(coordinator.acquire("w2", 5001).has_value());
+}
+
+TEST(Coordinator, DeadWorkerLosesAllLeasesAtOnce)
+{
+    CoordinatorOptions options;
+    options.leaseTtlUs = 50000;     // leases alone would survive...
+    options.heartbeatTtlUs = 10000; // ...but the heartbeat gives out.
+    Coordinator coordinator(nullptr, options);
+    coordinator.addPlan(testSpec(1, 100), 2, 0);
+
+    ASSERT_TRUE(coordinator.acquire("w1", 0).has_value());
+    ASSERT_TRUE(coordinator.acquire("w1", 100).has_value());
+    coordinator.heartbeat("w2", 100);
+
+    // w1 goes silent; w2 keeps beating.
+    coordinator.heartbeat("w2", 9000);
+    EXPECT_EQ(coordinator.tick(10200), 2u);
+
+    // Both shards are immediately grantable again — to w2.
+    EXPECT_TRUE(coordinator.acquire("w2", 10300).has_value());
+    EXPECT_TRUE(coordinator.acquire("w2", 10400).has_value());
+    EXPECT_EQ(coordinator.statusJson(1).getInt("lease_reissues", 0), 2);
+}
+
+TEST(Coordinator, SlowWorkerCompletionAcceptedThenDuplicateDiscarded)
+{
+    service::JobSpec spec = testSpec(1, 200);
+    CoordinatorOptions options;
+    options.leaseTtlUs = 1000;
+    options.heartbeatTtlUs = 1000000;
+    Coordinator coordinator(nullptr, options);
+    coordinator.addPlan(spec, 2, 0);
+
+    auto slow = coordinator.acquire("w1", 0);  // shard 0, will stall.
+    ASSERT_TRUE(slow.has_value());
+    EXPECT_EQ(coordinator.tick(2000), 1u);     // w1's lease expires.
+    auto retry = coordinator.acquire("w2", 2100);
+    ASSERT_TRUE(retry.has_value());
+    EXPECT_EQ(retry->lease.shard, 0);
+
+    // The slow worker was not dead — its (bit-identical) result lands
+    // first, under the expired lease, and is ACCEPTED: recomputing it
+    // would be waste, and determinism makes it indistinguishable from
+    // the replacement's future result.
+    BatchResult shard0 = runShard(spec, 0, 2);
+    EXPECT_TRUE(coordinator.complete("w1", slow->lease.id, shard0,
+                                     2500));
+
+    // The replacement's return is now the duplicate: verified
+    // fingerprint-equal, discarded, counted — never double-merged.
+    EXPECT_FALSE(coordinator.complete("w2", retry->lease.id, shard0,
+                                      3000));
+    Json status = coordinator.statusJson(1);
+    EXPECT_EQ(status.getInt("duplicates_discarded", 0), 1);
+    EXPECT_EQ(status.getInt("shards_done", 0), 1);
+    EXPECT_EQ(status.getInt("shots_done", 0), 100);
+
+    // Finishing shard 1 completes the job at the 1-process fingerprint
+    // (proof the duplicate did not double-fold shard 0's counts).
+    auto grant1 = coordinator.acquire("w2", 3100);
+    ASSERT_TRUE(grant1.has_value());
+    EXPECT_EQ(grant1->lease.shard, 1);
+    EXPECT_TRUE(coordinator.complete("w2", grant1->lease.id,
+                                     runShard(spec, 1, 2), 3200));
+    EXPECT_EQ(coordinator.statusJson(1).getString("fingerprint", ""),
+              baselineFingerprint(spec));
+}
+
+TEST(Coordinator, DivergingDuplicateIsRefusedLoudly)
+{
+    service::JobSpec spec = testSpec(1, 200);
+    CoordinatorOptions options;
+    options.leaseTtlUs = 1000;
+    Coordinator coordinator(nullptr, options);
+    coordinator.addPlan(spec, 2, 0);
+
+    auto first = coordinator.acquire("w1", 0);
+    ASSERT_TRUE(first.has_value());
+    coordinator.tick(2000);
+    auto second = coordinator.acquire("w2", 2100);
+    ASSERT_TRUE(second.has_value());
+
+    BatchResult shard0 = runShard(spec, 0, 2);
+    EXPECT_TRUE(coordinator.complete("w2", second->lease.id, shard0,
+                                     2200));
+
+    // A worker returning *different* counts for the same (program,
+    // seed, range) violates the determinism invariant — that is a
+    // broken worker, and discarding silently would hide it.
+    BatchResult diverged = shard0;
+    diverged.qubitCounts.begin()->second.ones ^= 1;
+    try {
+        coordinator.complete("w1", first->lease.id, diverged, 2300);
+        FAIL() << "a diverging duplicate must be refused";
+    } catch (const Error &error) {
+        EXPECT_EQ(error.code(), ErrorCode::invalidArgument);
+        EXPECT_NE(error.message().find("fingerprint"),
+                  std::string::npos)
+            << error.message();
+    }
+}
+
+TEST(Coordinator, CompletionValidatesProvenanceAgainstThePlan)
+{
+    service::JobSpec spec = testSpec(1, 200);
+    Coordinator coordinator(nullptr);
+    coordinator.addPlan(spec, 2, 0);
+    auto grant = coordinator.acquire("w1", 0);
+    ASSERT_TRUE(grant.has_value());
+
+    // Wrong seed: the result is internally consistent but belongs to a
+    // different run; the refusal names the seed.
+    service::JobSpec wrongSeed = testSpec(1, 200, 8);
+    try {
+        coordinator.complete("w1", grant->lease.id,
+                             runShard(wrongSeed, 0, 2), 100);
+        FAIL() << "wrong-seed shard must be refused";
+    } catch (const Error &error) {
+        EXPECT_NE(error.message().find("seed"), std::string::npos)
+            << error.message();
+    }
+
+    // Wrong shard: covers a different slice than the lease names.
+    try {
+        coordinator.complete("w1", grant->lease.id,
+                             runShard(spec, 1, 2), 200);
+        FAIL() << "wrong-shard result must be refused";
+    } catch (const Error &error) {
+        EXPECT_NE(error.message().find("shard"), std::string::npos)
+            << error.message();
+    }
+
+    // The shard stays incomplete after the refusals and the correct
+    // result still lands.
+    EXPECT_TRUE(coordinator.complete("w1", grant->lease.id,
+                                     runShard(spec, 0, 2), 300));
+}
+
+TEST(Coordinator, CancelRetiresLeasesAndDiscardsLateCompletions)
+{
+    service::JobSpec spec = testSpec(1, 100);
+    Coordinator coordinator(nullptr);
+    coordinator.addPlan(spec, 2, 0);
+    auto grant = coordinator.acquire("w1", 0);
+    ASSERT_TRUE(grant.has_value());
+
+    coordinator.cancel(1);
+    EXPECT_EQ(coordinator.statusJson(1).getString("state", ""),
+              "cancelled");
+    // No more grants, and the in-flight completion is moot (false),
+    // not an error.
+    EXPECT_FALSE(coordinator.acquire("w2", 10).has_value());
+    EXPECT_FALSE(coordinator.complete("w1", grant->lease.id,
+                                      runShard(spec, 0, 2), 20));
+    auto settled = coordinator.drainSettled();
+    ASSERT_EQ(settled.size(), 1u);
+    EXPECT_EQ(settled[0].id, 1u);
+}
+
+// ------------------------------------------ property: death schedules
+
+namespace {
+
+/**
+ * Deterministic cluster simulation: k workers against one coordinator
+ * on a virtual microsecond clock. A seeded schedule kills workers at
+ * random times; a killed worker stops renewing and heartbeating, and
+ * with probability 1/2 its in-flight shard still arrives later (the
+ * "slow, not dead" case — exercising stale-accept and duplicate
+ * discard). A respawned worker guarantees progress when everyone died.
+ * Returns the number of duplicate completions the coordinator
+ * discarded.
+ */
+uint64_t
+runDeathSchedule(const service::JobSpec &spec, int shardCount,
+                 int workerCount, uint64_t scheduleSeed,
+                 const std::vector<BatchResult> &shardResults)
+{
+    CoordinatorOptions options;
+    options.leaseTtlUs = 8000;
+    options.heartbeatTtlUs = 20000;
+    Coordinator coordinator(nullptr, options);
+    coordinator.addPlan(spec, shardCount, 0);
+
+    std::mt19937_64 rng(scheduleSeed);
+
+    struct Worker {
+        std::string name;
+        bool alive = true;
+        uint64_t diesAtUs = 0;  ///< 0 = survives the whole run.
+        std::optional<Lease> lease;
+        uint64_t finishAtUs = 0;
+    };
+    std::vector<Worker> workers;
+    for (int w = 0; w < workerCount; ++w) {
+        Worker worker;
+        worker.name = format("w%d", w);
+        // Most workers die, at a random point of the window the job
+        // actually runs in (it converges within a few tens of ms) —
+        // later deaths would be no-ops that test nothing.
+        if (rng() % 4 != 0)
+            worker.diesAtUs = 1 + rng() % 25000;
+        workers.push_back(std::move(worker));
+    }
+
+    struct ZombieCompletion {
+        uint64_t atUs;
+        std::string worker;
+        uint64_t leaseId;
+        int shard;
+    };
+    std::vector<ZombieCompletion> zombies;
+
+    uint64_t duplicates = 0;
+    const uint64_t tickUs = 1000;
+    uint64_t now = 0;
+    bool respawned = false;
+    for (int step = 0; step < 3000; ++step) {
+        now += tickUs;
+        coordinator.tick(now);
+
+        // Deliver due zombie completions (dead workers' results).
+        for (auto it = zombies.begin(); it != zombies.end();) {
+            if (it->atUs > now) {
+                ++it;
+                continue;
+            }
+            if (!coordinator.complete(it->worker, it->leaseId,
+                                      shardResults[it->shard], now))
+                ++duplicates;
+            it = zombies.erase(it);
+        }
+
+        bool anyAlive = false;
+        for (Worker &worker : workers) {
+            if (!worker.alive)
+                continue;
+            if (worker.diesAtUs != 0 && now >= worker.diesAtUs) {
+                worker.alive = false;
+                // Every killed leaseholder is "slow, not dead": its
+                // in-flight result arrives shortly after its lease
+                // expired and the shard was re-issued — the
+                // duplicate-discard path's natural habitat.
+                if (worker.lease) {
+                    zombies.push_back(
+                        {now + options.leaseTtlUs + 1000 + rng() % 8000,
+                         worker.name, worker.lease->id,
+                         worker.lease->shard});
+                }
+                worker.lease.reset();
+                continue;
+            }
+            anyAlive = true;
+            coordinator.heartbeat(worker.name, now);
+            if (worker.lease) {
+                if (now >= worker.finishAtUs) {
+                    if (!coordinator.complete(
+                            worker.name, worker.lease->id,
+                            shardResults[worker.lease->shard], now))
+                        ++duplicates;
+                    worker.lease.reset();
+                } else {
+                    try {
+                        coordinator.renew(worker.name,
+                                          worker.lease->id, now);
+                    } catch (const Error &) {
+                        // Expired under us (shouldn't happen for a
+                        // renewing worker, but harmless): abandon.
+                        worker.lease.reset();
+                    }
+                }
+            }
+            if (!worker.lease) {
+                auto grant = coordinator.acquire(worker.name, now);
+                if (grant) {
+                    worker.lease = grant->lease;
+                    worker.finishAtUs = now + 2000 + rng() % 12000;
+                }
+            }
+        }
+        if (!anyAlive && !respawned) {
+            // Everyone died: elasticity means a fresh worker finishes
+            // the job.
+            Worker fresh;
+            fresh.name = "respawn";
+            workers.push_back(std::move(fresh));
+            respawned = true;
+        }
+
+        if (coordinator.statusJson(spec.id).getString("state", "") ==
+            "done")
+            break;
+    }
+
+    // Zombies whose delivery time never came before convergence still
+    // report in: a settled plan must treat them as moot (false), never
+    // as an error or a double-merge.
+    for (const ZombieCompletion &zombie : zombies) {
+        EXPECT_FALSE(coordinator.complete(zombie.worker, zombie.leaseId,
+                                          shardResults[zombie.shard],
+                                          now + 1000));
+        ++duplicates;
+    }
+
+    Json status = coordinator.statusJson(spec.id);
+    EXPECT_EQ(status.getString("state", ""), "done")
+        << "schedule seed " << scheduleSeed << " with " << workerCount
+        << " workers never converged: " << status.dump();
+    EXPECT_EQ(status.getString("fingerprint", ""),
+              baselineFingerprint(spec))
+        << "schedule seed " << scheduleSeed;
+    EXPECT_EQ(status.getInt("shots_done", 0), spec.shots)
+        << "duplicates were double-merged (schedule seed "
+        << scheduleSeed << ")";
+    return duplicates;
+}
+
+} // namespace
+
+TEST(CoordinatorProperty, RandomDeathSchedulesConvergeToBaseline)
+{
+    const int shardCount = 6;
+    service::JobSpec spec = testSpec(1, 240);
+    std::vector<BatchResult> shardResults;
+    for (int i = 0; i < shardCount; ++i)
+        shardResults.push_back(runShard(spec, i, shardCount));
+
+    uint64_t totalDuplicates = 0;
+    for (int workerCount = 2; workerCount <= 5; ++workerCount) {
+        for (uint64_t scheduleSeed = 1; scheduleSeed <= 4;
+             ++scheduleSeed) {
+            totalDuplicates += runDeathSchedule(
+                spec, shardCount, workerCount,
+                scheduleSeed * 1000 + workerCount, shardResults);
+        }
+    }
+    // The sweep is seeded and deterministic; at least one schedule
+    // exercises the duplicate-discard path (zombie completions).
+    EXPECT_GT(totalDuplicates, 0u);
+}
+
+// ----------------------------------------------------- crash-resume
+
+TEST(Coordinator, CrashResumeContinuesThePlanFromShardFiles)
+{
+    service::JobSpec spec = testSpec(1, 300);
+    const std::string dir = freshDir("resume");
+    std::string fingerprintBefore;
+    {
+        service::Journal journal(dir);
+        Coordinator coordinator(&journal);
+        coordinator.addPlan(spec, 3, 0);
+        auto grant = coordinator.acquire("w1", 10);
+        ASSERT_TRUE(grant.has_value());
+        EXPECT_TRUE(coordinator.complete("w1", grant->lease.id,
+                                         runShard(spec, 0, 3), 20));
+        // kill -9: the coordinator object is simply dropped with a
+        // live lease on shard 1 outstanding.
+        auto inflight = coordinator.acquire("w1", 30);
+        ASSERT_TRUE(inflight.has_value());
+    }
+    {
+        service::Journal journal(dir);
+        service::Journal::Replay replay = journal.replay();
+        ASSERT_EQ(replay.coordPlans.size(), 1u);
+        EXPECT_EQ(replay.coordPlans[0].shards, 3);
+        EXPECT_EQ(replay.coordPlans[0].spec.id, 1u);
+        EXPECT_TRUE(replay.terminal.empty());
+
+        Coordinator coordinator(&journal);
+        coordinator.restorePlan(replay.coordPlans[0].spec,
+                                replay.coordPlans[0].shards);
+        Json status = coordinator.statusJson(1);
+        EXPECT_EQ(status.getString("state", ""), "running");
+        EXPECT_EQ(status.getInt("shards_done", 0), 1);
+
+        // The in-flight lease from before the crash is gone; shards 1
+        // and 2 are pending again and finish the job.
+        for (int remaining = 0; remaining < 2; ++remaining) {
+            auto grant = coordinator.acquire("w2", 100 + remaining);
+            ASSERT_TRUE(grant.has_value());
+            EXPECT_TRUE(coordinator.complete(
+                "w2", grant->lease.id,
+                runShard(spec, grant->lease.shard, 3), 200));
+        }
+        fingerprintBefore =
+            coordinator.statusJson(1).getString("fingerprint", "");
+        EXPECT_EQ(fingerprintBefore, baselineFingerprint(spec));
+    }
+    // The verified result is durable and the shard files superseded.
+    {
+        service::Journal journal(dir);
+        auto result = journal.loadResult(1);
+        ASSERT_TRUE(result.has_value());
+        EXPECT_EQ(result->countsFingerprint(), fingerprintBefore);
+        EXPECT_TRUE(journal.loadShardList(1).empty());
+    }
+}
+
+TEST(Coordinator, CrashAfterLastShardBeforeResultStillSettles)
+{
+    service::JobSpec spec = testSpec(1, 200);
+    const std::string dir = freshDir("lastshard");
+    {
+        service::Journal journal(dir);
+        journal.appendCoordPlan(spec, 2);
+        // Both shard files landed but the crash hit before result.json
+        // was written and before any terminal record.
+        journal.writeShard(1, 0, runShard(spec, 0, 2));
+        journal.writeShard(1, 1, runShard(spec, 1, 2));
+    }
+    service::Journal journal(dir);
+    service::Journal::Replay replay = journal.replay();
+    ASSERT_EQ(replay.coordPlans.size(), 1u);
+    Coordinator coordinator(&journal);
+    coordinator.restorePlan(replay.coordPlans[0].spec,
+                            replay.coordPlans[0].shards);
+    EXPECT_EQ(coordinator.statusJson(1).getString("state", ""),
+              "done");
+    EXPECT_EQ(coordinator.statusJson(1).getString("fingerprint", ""),
+              baselineFingerprint(spec));
+    ASSERT_TRUE(journal.loadResult(1).has_value());
+}
+
+TEST(Coordinator, TamperedShardFileRefusedOnResume)
+{
+    service::JobSpec spec = testSpec(1, 200);
+    const std::string dir = freshDir("tampered");
+    {
+        service::Journal journal(dir);
+        journal.appendCoordPlan(spec, 2);
+        journal.writeShard(1, 0, runShard(spec, 0, 2));
+    }
+    // Flip one digit of a stored count.
+    const std::string shardFile =
+        dir + "/job-000001/shard-0000.json";
+    std::ifstream in(shardFile);
+    ASSERT_TRUE(in.good());
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    size_t pos = text.find("\"ones\": ");
+    ASSERT_NE(pos, std::string::npos);
+    text[pos + 8] = text[pos + 8] == '1' ? '2' : '1';
+    std::ofstream out(shardFile);
+    out << text;
+    out.close();
+
+    service::Journal journal(dir);
+    service::Journal::Replay replay = journal.replay();
+    Coordinator coordinator(&journal);
+    try {
+        coordinator.restorePlan(replay.coordPlans[0].spec,
+                                replay.coordPlans[0].shards);
+        FAIL() << "a tampered shard file must refuse to resume";
+    } catch (const Error &error) {
+        EXPECT_NE(error.message().find("shard-0000.json"),
+                  std::string::npos)
+            << error.message();
+    }
+}
+
+// -------------------------------------------------- Service verb layer
+
+TEST(ServiceCoord, CoordSubmitLeaseCompleteRoundTrip)
+{
+    const std::string dir = freshDir("svc");
+    service::Journal journal(dir);
+    service::Service service(testEngine(), journal, {});
+    service.recover();
+
+    // coord_submit via the verb layer (what `eqasm-cli submit
+    // --shards 3` sends).
+    Json submit = Json::makeObject();
+    submit.set("verb", "coord_submit");
+    submit.set("source", testSource());
+    submit.set("shots", static_cast<int64_t>(300));
+    submit.set("seed", static_cast<int64_t>(7));
+    submit.set("label", "coord");
+    submit.set("tenant", "alice");
+    submit.set("shards", static_cast<int64_t>(3));
+    Json accepted = service.handle(submit);
+    ASSERT_TRUE(accepted.getBool("ok", false)) << accepted.dump();
+    uint64_t id = static_cast<uint64_t>(accepted.getInt("id", 0));
+    ASSERT_GT(id, 0u);
+
+    service::JobSpec spec = testSpec(id, 300);
+    for (int i = 0; i < 3; ++i) {
+        Json acquire = Json::makeObject();
+        acquire.set("verb", "lease_acquire");
+        acquire.set("worker", "w1");
+        Json grant = service.handle(acquire);
+        ASSERT_TRUE(grant.getBool("ok", false)) << grant.dump();
+        ASSERT_TRUE(grant.getBool("granted", false)) << grant.dump();
+        const Json &lease = grant.at("lease");
+        // The lease carries everything a zero-config worker needs.
+        EXPECT_TRUE(grant.find("platform") != nullptr);
+        service::JobSpec leased =
+            service::JobSpec::fromJson(grant.at("job"));
+        EXPECT_EQ(leased.shots, 300);
+
+        Json renew = Json::makeObject();
+        renew.set("verb", "lease_renew");
+        renew.set("worker", "w1");
+        renew.set("lease", lease.getInt("id", 0));
+        EXPECT_TRUE(service.handle(renew).getBool("ok", false));
+
+        BatchResult result = runShard(
+            leased, static_cast<int>(lease.getInt("shard", 0)), 3);
+        Json complete = Json::makeObject();
+        complete.set("verb", "lease_complete");
+        complete.set("worker", "w1");
+        complete.set("lease", lease.getInt("id", 0));
+        complete.set("result", result.toJson());
+        Json ack = service.handle(complete);
+        ASSERT_TRUE(ack.getBool("ok", false)) << ack.dump();
+        EXPECT_TRUE(ack.getBool("merged", false));
+    }
+
+    // status answers for the coordinated job (the eqasm-cli stream
+    // path) and reports the 1-process fingerprint.
+    Json status = Json::makeObject();
+    status.set("verb", "status");
+    status.set("id", id);
+    status.set("result", true);
+    Json report = service.handle(status);
+    ASSERT_TRUE(report.getBool("ok", false)) << report.dump();
+    EXPECT_EQ(report.getString("state", ""), "done");
+    EXPECT_TRUE(report.getBool("coordinated", false));
+    EXPECT_EQ(report.getString("fingerprint", ""),
+              baselineFingerprint(spec));
+    EXPECT_TRUE(report.find("result") != nullptr);
+
+    // heartbeat verb round-trips.
+    Json heartbeat = Json::makeObject();
+    heartbeat.set("verb", "worker_heartbeat");
+    heartbeat.set("worker", "w1");
+    EXPECT_TRUE(service.handle(heartbeat).getBool("ok", false));
+}
+
+TEST(ServiceCoord, DaemonRestartResumesThePlanOverVerbs)
+{
+    const std::string dir = freshDir("svcresume");
+    uint64_t id = 0;
+    {
+        service::Journal journal(dir);
+        service::Service service(testEngine(), journal, {});
+        service.recover();
+        Json submit = Json::makeObject();
+        submit.set("verb", "coord_submit");
+        submit.set("source", testSource());
+        submit.set("shots", static_cast<int64_t>(200));
+        submit.set("seed", static_cast<int64_t>(7));
+        submit.set("label", "coord");
+        submit.set("tenant", "alice");
+        submit.set("shards", static_cast<int64_t>(2));
+        Json accepted = service.handle(submit);
+        ASSERT_TRUE(accepted.getBool("ok", false)) << accepted.dump();
+        id = static_cast<uint64_t>(accepted.getInt("id", 0));
+
+        // One shard completes before the "crash".
+        Json acquire = Json::makeObject();
+        acquire.set("verb", "lease_acquire");
+        acquire.set("worker", "w1");
+        Json grant = service.handle(acquire);
+        ASSERT_TRUE(grant.getBool("granted", false)) << grant.dump();
+        service::JobSpec leased =
+            service::JobSpec::fromJson(grant.at("job"));
+        Json complete = Json::makeObject();
+        complete.set("verb", "lease_complete");
+        complete.set("worker", "w1");
+        complete.set("lease", grant.at("lease").getInt("id", 0));
+        complete.set(
+            "result",
+            runShard(leased,
+                     static_cast<int>(
+                         grant.at("lease").getInt("shard", 0)),
+                     2)
+                .toJson());
+        ASSERT_TRUE(service.handle(complete).getBool("ok", false));
+        // The Service is destroyed with shard 1 never leased — the
+        // daemon-restart analogue of kill -9.
+    }
+    {
+        service::Journal journal(dir);
+        service::Service service(testEngine(), journal, {});
+        service.recover();
+
+        Json status = Json::makeObject();
+        status.set("verb", "status");
+        status.set("id", id);
+        Json report = service.handle(status);
+        ASSERT_TRUE(report.getBool("ok", false)) << report.dump();
+        EXPECT_EQ(report.getString("state", ""), "running");
+        EXPECT_EQ(report.getInt("shards_done", 0), 1);
+
+        // A worker connecting to the restarted daemon finishes it.
+        Json acquire = Json::makeObject();
+        acquire.set("verb", "lease_acquire");
+        acquire.set("worker", "w2");
+        Json grant = service.handle(acquire);
+        ASSERT_TRUE(grant.getBool("granted", false)) << grant.dump();
+        service::JobSpec leased =
+            service::JobSpec::fromJson(grant.at("job"));
+        Json complete = Json::makeObject();
+        complete.set("verb", "lease_complete");
+        complete.set("worker", "w2");
+        complete.set("lease", grant.at("lease").getInt("id", 0));
+        complete.set(
+            "result",
+            runShard(leased,
+                     static_cast<int>(
+                         grant.at("lease").getInt("shard", 0)),
+                     2)
+                .toJson());
+        ASSERT_TRUE(service.handle(complete).getBool("ok", false));
+
+        report = service.handle(status);
+        EXPECT_EQ(report.getString("state", ""), "done");
+        EXPECT_EQ(report.getString("fingerprint", ""),
+                  baselineFingerprint(testSpec(id, 200)));
+    }
+    // Third start: the settled plan replays as terminal and still
+    // answers status.
+    {
+        service::Journal journal(dir);
+        service::Service service(testEngine(), journal, {});
+        service.recover();
+        Json status = Json::makeObject();
+        status.set("verb", "status");
+        status.set("id", id);
+        Json report = service.handle(status);
+        EXPECT_EQ(report.getString("state", ""), "done");
+    }
+}
+
+TEST(ServiceCoord, CancelSettlesACoordinatedJob)
+{
+    const std::string dir = freshDir("svccancel");
+    service::Journal journal(dir);
+    service::Service service(testEngine(), journal, {});
+    service.recover();
+    Json submit = Json::makeObject();
+    submit.set("verb", "coord_submit");
+    submit.set("source", testSource());
+    submit.set("shots", static_cast<int64_t>(100));
+    submit.set("shards", static_cast<int64_t>(2));
+    Json accepted = service.handle(submit);
+    ASSERT_TRUE(accepted.getBool("ok", false)) << accepted.dump();
+
+    Json cancel = Json::makeObject();
+    cancel.set("verb", "cancel");
+    cancel.set("id", accepted.getInt("id", 0));
+    Json ack = service.handle(cancel);
+    EXPECT_TRUE(ack.getBool("ok", false)) << ack.dump();
+    EXPECT_EQ(ack.getString("state", ""), "cancelled");
+
+    // No leases are granted for a cancelled plan.
+    Json acquire = Json::makeObject();
+    acquire.set("verb", "lease_acquire");
+    acquire.set("worker", "w1");
+    EXPECT_FALSE(service.handle(acquire).getBool("granted", true));
+}
+
+TEST(ServiceCoord, CoordSubmitValidatesShardCount)
+{
+    const std::string dir = freshDir("svcbad");
+    service::Journal journal(dir);
+    service::Service service(testEngine(), journal, {});
+    service.recover();
+    Json submit = Json::makeObject();
+    submit.set("verb", "coord_submit");
+    submit.set("source", testSource());
+    submit.set("shots", static_cast<int64_t>(10));
+    submit.set("shards", static_cast<int64_t>(0));
+    Json refused = service.handle(submit);
+    EXPECT_FALSE(refused.getBool("ok", true));
+    submit.set("shards", static_cast<int64_t>(11));
+    refused = service.handle(submit);
+    EXPECT_FALSE(refused.getBool("ok", true)) << refused.dump();
+}

@@ -611,3 +611,81 @@ TEST(ShardMerge, ShardJobsKeepSchedulingMetadata)
         EXPECT_EQ(merged.label, "shard");
     }
 }
+
+// ----------------------------------------- shot-range coverage algebra
+
+namespace {
+
+using Ranges = std::vector<std::pair<uint64_t, uint64_t>>;
+
+} // namespace
+
+TEST(ShotRanges, AdjacentInsertsCoalesceIntoOneRange)
+{
+    Ranges ranges;
+    insertShotRange(ranges, 10, 20);
+    insertShotRange(ranges, 20, 30);  // touches on the right.
+    insertShotRange(ranges, 0, 10);   // touches on the left.
+    ASSERT_EQ(ranges.size(), 1u);
+    EXPECT_EQ(ranges[0], std::make_pair(uint64_t{0}, uint64_t{30}));
+
+    // A gap keeps two ranges apart; filling it coalesces all three.
+    insertShotRange(ranges, 40, 50);
+    ASSERT_EQ(ranges.size(), 2u);
+    insertShotRange(ranges, 30, 40);
+    ASSERT_EQ(ranges.size(), 1u);
+    EXPECT_EQ(ranges[0], std::make_pair(uint64_t{0}, uint64_t{50}));
+}
+
+TEST(ShotRanges, SingleShotRangesBehaveLikeAnyOther)
+{
+    Ranges ranges;
+    insertShotRange(ranges, 5, 6);
+    insertShotRange(ranges, 7, 8);
+    ASSERT_EQ(ranges.size(), 2u);
+    insertShotRange(ranges, 6, 7);  // the single missing shot.
+    ASSERT_EQ(ranges.size(), 1u);
+    EXPECT_EQ(ranges[0], std::make_pair(uint64_t{5}, uint64_t{8}));
+
+    Ranges gaps = missingShotRanges(ranges, 10);
+    ASSERT_EQ(gaps.size(), 2u);
+    EXPECT_EQ(gaps[0], std::make_pair(uint64_t{0}, uint64_t{5}));
+    EXPECT_EQ(gaps[1], std::make_pair(uint64_t{8}, uint64_t{10}));
+}
+
+TEST(ShotRanges, InsertRefusesEmptyAndOverlappingRanges)
+{
+    Ranges ranges;
+    EXPECT_THROW(insertShotRange(ranges, 5, 5), Error);
+    EXPECT_THROW(insertShotRange(ranges, 6, 5), Error);
+    insertShotRange(ranges, 0, 10);
+    // Every flavour of overlap: identical, contained, straddling.
+    EXPECT_THROW(insertShotRange(ranges, 0, 10), Error);
+    EXPECT_THROW(insertShotRange(ranges, 3, 4), Error);
+    EXPECT_THROW(insertShotRange(ranges, 9, 12), Error);
+    // The refused inserts left the coverage untouched.
+    ASSERT_EQ(ranges.size(), 1u);
+    EXPECT_EQ(ranges[0], std::make_pair(uint64_t{0}, uint64_t{10}));
+}
+
+TEST(ShotRanges, FullCoverageHasNoMissingRanges)
+{
+    Ranges ranges;
+    insertShotRange(ranges, 0, 100);
+    EXPECT_TRUE(missingShotRanges(ranges, 100).empty());
+    // Coverage beyond totalShots is clamped, not reported as a gap.
+    EXPECT_TRUE(missingShotRanges(ranges, 50).empty());
+}
+
+TEST(ShotRanges, EmptyCoverageIsMissingEverything)
+{
+    Ranges empty;
+    Ranges gaps = missingShotRanges(empty, 25);
+    ASSERT_EQ(gaps.size(), 1u);
+    EXPECT_EQ(gaps[0], std::make_pair(uint64_t{0}, uint64_t{25}));
+    // Zero shots: nothing can be missing, covered or not.
+    EXPECT_TRUE(missingShotRanges(empty, 0).empty());
+    Ranges some;
+    insertShotRange(some, 0, 5);
+    EXPECT_TRUE(missingShotRanges(some, 0).empty());
+}

@@ -78,6 +78,14 @@ tools/shard_smoke.sh "$BUILD_DIR"
 echo "== service smoke (eqasmd: quotas, kill -9 crash-resume) =="
 tools/service_smoke.sh "$BUILD_DIR"
 
+# Coordinator smoke: a coordinated job over 3 real eqasm-worker
+# processes, one killed with SIGKILL mid-job and one dying on the
+# kill_before_complete failpoint; the survivors' re-issued leases must
+# finish the job at the exact 1-process fingerprint (coord_test, run by
+# ctest above, covers the unit-level lease protocol).
+echo "== coordinator smoke (3 workers, kill -9 + failpoint death) =="
+tools/coord_smoke.sh "$BUILD_DIR"
+
 # Telemetry smoke: a 2-thread priority run must leave a parseable
 # Prometheus exposition behind, with the engine's shot counter at the
 # exact shot count of the run (counters are exact, not sampled).
@@ -103,12 +111,13 @@ if [ "${EQASM_CI_TSAN:-1}" != "0" ]; then
     cmake -B "$BUILD_DIR-tsan" -S . -DEQASM_TSAN=ON
     cmake --build "$BUILD_DIR-tsan" -j "$(nproc)" \
         --target engine_test sched_test fastpath_test telemetry_test \
-        service_test trajectory_test
+        service_test coord_test trajectory_test
     "$BUILD_DIR-tsan"/telemetry_test
     "$BUILD_DIR-tsan"/engine_test
     "$BUILD_DIR-tsan"/sched_test
     "$BUILD_DIR-tsan"/fastpath_test
     "$BUILD_DIR-tsan"/service_test
+    "$BUILD_DIR-tsan"/coord_test
     "$BUILD_DIR-tsan"/trajectory_test
     echo "tsan passed"
 fi

@@ -1,0 +1,162 @@
+#!/usr/bin/env bash
+# Coordinator smoke: the elastic-worker serving path end to end, the
+# way a fleet operator would run it (see docs/coordinator.md).
+#
+#  1. eqasmd starts with short lease/heartbeat TTLs; a coordinated job
+#     is submitted with `eqasm-cli submit --shards 6`.
+#  2. Three real eqasm-worker processes attach over the unix socket and
+#     pull shard leases. One is killed with SIGKILL mid-job; another is
+#     armed with the kill_before_complete failpoint and dies
+#     deterministically just before reporting its first shard.
+#  3. The survivors' leases expire, the shards are re-issued, and the
+#     job must finish with a counts_fingerprint bit-identical to a
+#     1-process eqasm-run of the same job — the elasticity contract.
+#  4. The daemon's Prometheus exposition must carry the coordinator
+#     counters (granted leases, expiries, completions).
+#
+# Usage: tools/coord_smoke.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+DAEMON="$BUILD_DIR/eqasmd"
+CLI="$BUILD_DIR/eqasm-cli"
+RUN="$BUILD_DIR/eqasm-run"
+WORKER="$BUILD_DIR/eqasm-worker"
+WORK="$BUILD_DIR/coord_smoke"
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+SOCK="$WORK/eqasmd.sock"
+JOURNAL="$WORK/journal"
+SHOTS=6000
+SEED=11
+SHARDS=6
+
+cleanup() {
+    kill -9 "${WPIDS[@]}" "$DPID" 2>/dev/null || true
+    wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+fingerprint() {
+    sed -n 's/.*"counts_fingerprint": "\(fnv1a:[0-9a-f]*\)".*/\1/p' "$1"
+}
+
+# The 1-process reference every elastic schedule must reproduce.
+"$RUN" --qec 3 --rounds 2 --shots "$SHOTS" --seed "$SEED" --threads 2 \
+    --json "$WORK/ref.json" > /dev/null
+REF=$(fingerprint "$WORK/ref.json")
+[ -n "$REF" ] || { echo "no reference fingerprint" >&2; exit 1; }
+
+wait_for_socket() {
+    for _ in $(seq 1 100); do
+        if "$CLI" --socket "$SOCK" metrics > /dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "eqasmd did not come up on $SOCK" >&2
+    exit 1
+}
+
+echo "-- start eqasmd (lease TTL 1.5 s, heartbeat TTL 3 s)"
+"$DAEMON" --socket "$SOCK" --journal "$JOURNAL" --qec 3 --threads 2 \
+    --lease-ttl-ms 1500 --heartbeat-ttl-ms 3000 \
+    > "$WORK/daemon.log" 2>&1 &
+DPID=$!
+WPIDS=()
+wait_for_socket
+
+echo "-- submit the coordinated job ($SHARDS shards)"
+"$CLI" --socket "$SOCK" submit --workload qec --rounds 2 \
+    --shots "$SHOTS" --seed "$SEED" --tenant alice \
+    --shards "$SHARDS" > "$WORK/submit.json"
+JOB=$(sed -n 's/.*"id": \([0-9]*\).*/\1/p' "$WORK/submit.json")
+[ -n "$JOB" ] || { echo "coord_submit returned no id" >&2; exit 1; }
+
+echo "-- start 3 workers (w3 armed to die before its first report)"
+"$WORKER" --socket "$SOCK" --name w1 --threads 2 --poll-ms 100 \
+    > "$WORK/w1.log" 2>&1 &
+WPIDS+=($!)
+"$WORKER" --socket "$SOCK" --name w2 --threads 2 --poll-ms 100 \
+    > "$WORK/w2.log" 2>&1 &
+WPIDS+=($!)
+EQASM_FAILPOINTS="kill_before_complete:1" \
+    "$WORKER" --socket "$SOCK" --name w3 --threads 2 --poll-ms 100 \
+    > "$WORK/w3.log" 2>&1 &
+WPIDS+=($!)
+
+status() {
+    "$CLI" --socket "$SOCK" status "$JOB"
+}
+field() {
+    sed -n "s/.*\"$2\": \([0-9]*\).*/\1/p" <<< "$1"
+}
+
+echo "-- kill -9 worker w1 once the job is visibly under way"
+STARTED=0
+for _ in $(seq 1 600); do
+    S=$(status)
+    LEASED=$(field "$S" shards_leased)
+    DONE=$(field "$S" shards_done)
+    if [ "${LEASED:-0}" -gt 0 ] || [ "${DONE:-0}" -gt 0 ]; then
+        STARTED=1
+        break
+    fi
+    sleep 0.05
+done
+[ "$STARTED" = 1 ] || { echo "job never started" >&2; status >&2; exit 1; }
+kill -9 "${WPIDS[0]}"
+wait "${WPIDS[0]}" 2>/dev/null || true
+echo "   (killed at: $(status))"
+
+echo "-- survivors finish the job after the leases expire"
+STATE=""
+for _ in $(seq 1 1200); do
+    S=$(status)
+    STATE=$(sed -n 's/.*"state": "\([a-z]*\)".*/\1/p' <<< "$S")
+    [ "$STATE" = "done" ] && break
+    if [ "$STATE" = "failed" ] || [ "$STATE" = "cancelled" ]; then
+        echo "coordinated job entered state '$STATE'" >&2
+        status >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ "$STATE" != "done" ]; then
+    echo "coordinated job did not converge" >&2
+    status >&2
+    tail -5 "$WORK"/w*.log >&2
+    exit 1
+fi
+
+FINAL=$(status)
+GOT=$(sed -n 's/.*"fingerprint": "\(fnv1a:[0-9a-f]*\)".*/\1/p' \
+    <<< "$FINAL")
+if [ -z "$GOT" ] || [ "$GOT" != "$REF" ]; then
+    echo "elastic fingerprint mismatch: coordinated='$GOT'" \
+         "1-process='$REF'" >&2
+    exit 1
+fi
+REISSUES=$(field "$FINAL" lease_reissues)
+if [ "${REISSUES:-0}" -lt 1 ]; then
+    echo "w3 died before lease_complete yet nothing was re-issued" >&2
+    echo "$FINAL" >&2
+    exit 1
+fi
+
+echo "-- coordinator counters are exported"
+"$CLI" --socket "$SOCK" metrics > "$WORK/metrics.prom"
+grep -q '^eqasm_coord_leases_granted_total ' "$WORK/metrics.prom"
+grep -q '^eqasm_coord_shards_completed_total ' "$WORK/metrics.prom"
+grep -q '^eqasm_coord_lease_expiries_total ' "$WORK/metrics.prom"
+
+# The durable result survives the daemon: merge-verify it offline too.
+[ -f "$JOURNAL/job-$(printf '%06d' "$JOB")/result.json" ] || {
+    echo "no durable result file for job $JOB" >&2
+    exit 1
+}
+
+echo "coord smoke passed (kill -9 + failpoint death == 1 process:" \
+     "$GOT, $REISSUES leases re-issued)"

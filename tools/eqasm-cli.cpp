@@ -45,6 +45,7 @@ usage()
         "  submit --file f.eqasm | --workload qec [--rounds n]\n"
         "         [--shots n] [--seed s] [--label l] [--tenant t] "
         "[--priority p]\n"
+        "         [--shards n]   (coordinated: workers run the shards)\n"
         "  status <id> [--result]\n"
         "  stream <id>\n"
         "  cancel <id>\n"
@@ -196,6 +197,11 @@ main(int argc, char **argv)
                     request.set("tenant", std::string(argv[++i]));
                 } else if (arg == "--priority" && i + 1 < argc) {
                     request.set("priority", parseInt(argv[++i]));
+                } else if (arg == "--shards" && i + 1 < argc) {
+                    // A sharded submit is served by the coordinator:
+                    // external eqasm-worker processes run the shards.
+                    request.set("verb", "coord_submit");
+                    request.set("shards", parseInt(argv[++i]));
                 } else {
                     return usage();
                 }

@@ -257,7 +257,16 @@ mergeShardFiles(const std::vector<std::string> &files,
                 engine::BatchResult::fromJson(Json::parse(readAll(in)));
             merged.merge(shard);
         } catch (const Error &error) {
-            log_.error("merge: %s: %s", file.c_str(), error.what());
+            log_.error("merge: '%s' is not a mergeable shard result: "
+                       "%s",
+                       file.c_str(), error.what());
+            return 1;
+        } catch (const std::exception &error) {
+            // Anything non-typed (a .json file that is not a result at
+            // all) must still name the offending file, not abort.
+            log_.error("merge: '%s' is not a mergeable shard result: "
+                       "%s",
+                       file.c_str(), error.what());
             return 1;
         }
     }

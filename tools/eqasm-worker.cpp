@@ -1,0 +1,379 @@
+/**
+ * @file
+ * eqasm-worker — shard-lease worker of eqasmd (see docs/coordinator.md).
+ *
+ *   eqasm-worker [--socket path | --tcp port] [--name w]
+ *                [--threads n] [--poll-ms n] [--idle-exit-ms n]
+ *
+ * The worker needs no configuration beyond the daemon's address: it
+ * acquires a shard lease (`lease_acquire`), builds its engine from the
+ * platform the lease carries, executes the leased slice at absolute
+ * shot indices (so the counts are bit-identical to a 1-process run),
+ * renews the lease while computing, and returns the ordinary
+ * shard-format result (`lease_complete`). When its lease has expired
+ * under it (daemon restart, long stall) it abandons the slice — some
+ * other worker holds it now, and a late completion would be discarded
+ * as a verified duplicate anyway.
+ *
+ * EQASM_FAILPOINTS ("name[:count],...") arms deterministic faults for
+ * the smoke tests: drop_heartbeat, stall_renew, kill_before_complete,
+ * kill_after_complete (see src/coord/failpoints.h).
+ *
+ * Exit code 0 on a clean idle exit, 1 when the daemon went away.
+ */
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "common/strings.h"
+#include "coord/failpoints.h"
+#include "engine/shot_engine.h"
+#include "runtime/platform.h"
+#include "service/journal.h"
+
+using namespace eqasm;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: eqasm-worker [--socket path | --tcp port] [--name w]\n"
+        "                    [--threads n] [--poll-ms n] "
+        "[--idle-exit-ms n]\n");
+    return 2;
+}
+
+int
+connectUnix(const std::string &path)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectTcp(int port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+sendLine(int fd, const std::string &text)
+{
+    std::string line = text + "\n";
+    size_t written = 0;
+    while (written < line.size()) {
+        ssize_t n = ::send(fd, line.data() + written,
+                           line.size() - written, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        written += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+readLine(int fd, std::string &buffer, std::string &line)
+{
+    size_t eol;
+    while ((eol = buffer.find('\n')) == std::string::npos) {
+        char chunk[4096];
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            return false;
+        buffer.append(chunk, static_cast<size_t>(n));
+    }
+    line = buffer.substr(0, eol);
+    buffer.erase(0, eol + 1);
+    return true;
+}
+
+/** One request/response round trip on a fresh connection. */
+class Daemon
+{
+  public:
+    Daemon(std::string socketPath, int tcpPort)
+        : socketPath_(std::move(socketPath)), tcpPort_(tcpPort)
+    {
+    }
+
+    /** Sends @p request; @return the response, or nullopt when the
+     *  daemon cannot be reached / answers garbage. */
+    std::optional<Json> request(const Json &request)
+    {
+        int fd = tcpPort_ > 0 ? connectTcp(tcpPort_)
+                              : connectUnix(socketPath_);
+        if (fd < 0)
+            return std::nullopt;
+        std::optional<Json> response;
+        std::string buffer, line;
+        if (sendLine(fd, request.dump()) &&
+            readLine(fd, buffer, line)) {
+            try {
+                response = Json::parse(line);
+            } catch (const Error &) {
+                // Torn response: treat like a connection failure.
+            }
+        }
+        ::close(fd);
+        return response;
+    }
+
+  private:
+    std::string socketPath_;
+    int tcpPort_;
+};
+
+/** The daemon-side error code of a not-ok response, or "". */
+std::string
+errorCodeOf(const Json &response)
+{
+    const Json *error = response.find("error");
+    return error ? error->getString("code", "") : std::string();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socketPath = "eqasmd.sock";
+    int tcpPort = 0;
+    std::string name = format("worker-%d", static_cast<int>(::getpid()));
+    int threads = 0;
+    int pollMs = 200;
+    int idleExitMs = 0;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--socket" && i + 1 < argc)
+                socketPath = argv[++i];
+            else if (arg == "--tcp" && i + 1 < argc)
+                tcpPort = static_cast<int>(parseInt(argv[++i]));
+            else if (arg == "--name" && i + 1 < argc)
+                name = argv[++i];
+            else if (arg == "--threads" && i + 1 < argc)
+                threads = static_cast<int>(parseInt(argv[++i]));
+            else if (arg == "--poll-ms" && i + 1 < argc)
+                pollMs = static_cast<int>(parseInt(argv[++i]));
+            else if (arg == "--idle-exit-ms" && i + 1 < argc)
+                idleExitMs = static_cast<int>(parseInt(argv[++i]));
+            else
+                return usage();
+        }
+        if (const char *spec = std::getenv("EQASM_FAILPOINTS"))
+            coord::Failpoints::armFromSpec(spec);
+    } catch (const Error &error) {
+        std::fprintf(stderr, "eqasm-worker: %s\n", error.what());
+        return 2;
+    }
+    for (const std::string &point : coord::Failpoints::armedNames())
+        std::fprintf(stderr, "eqasm-worker[%s]: failpoint armed: %s\n",
+                     name.c_str(), point.c_str());
+
+    Daemon daemon(socketPath, tcpPort);
+    // One engine per distinct platform the daemon hands out (in
+    // practice one); keyed on the serialised platform.
+    std::map<std::string, std::unique_ptr<engine::ShotEngine>> engines;
+
+    auto sleepPoll = [&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(pollMs));
+    };
+
+    int consecutiveFailures = 0;
+    int idleMs = 0;
+    while (true) {
+        if (!coord::Failpoints::fire("drop_heartbeat")) {
+            Json heartbeat = Json::makeObject();
+            heartbeat.set("verb", "worker_heartbeat");
+            heartbeat.set("worker", name);
+            daemon.request(heartbeat);
+        }
+
+        Json acquire = Json::makeObject();
+        acquire.set("verb", "lease_acquire");
+        acquire.set("worker", name);
+        std::optional<Json> response = daemon.request(acquire);
+        if (!response) {
+            if (++consecutiveFailures >= 50) {
+                std::fprintf(stderr,
+                             "eqasm-worker[%s]: daemon unreachable, "
+                             "giving up\n",
+                             name.c_str());
+                return 1;
+            }
+            sleepPoll();
+            continue;
+        }
+        consecutiveFailures = 0;
+        if (!response->getBool("ok", false) ||
+            !response->getBool("granted", false)) {
+            if (idleExitMs > 0 && (idleMs += pollMs) >= idleExitMs)
+                return 0;
+            sleepPoll();
+            continue;
+        }
+        idleMs = 0;
+
+        try {
+            const Json &lease = response->at("lease");
+            uint64_t leaseId =
+                static_cast<uint64_t>(lease.getInt("id", 0));
+            uint64_t ttlUs =
+                static_cast<uint64_t>(lease.getInt("ttl_us", 0));
+            service::JobSpec spec =
+                service::JobSpec::fromJson(response->at("job"));
+            const Json &platformJson = response->at("platform");
+
+            const std::string platformKey = platformJson.dump();
+            auto engineIt = engines.find(platformKey);
+            if (engineIt == engines.end()) {
+                engine::EngineConfig config;
+                config.threads = threads;
+                engineIt =
+                    engines
+                        .emplace(platformKey,
+                                 std::make_unique<engine::ShotEngine>(
+                                     runtime::Platform::fromJson(
+                                         platformJson),
+                                     config))
+                        .first;
+            }
+
+            engine::Job job;
+            job.image = spec.image;
+            job.shots = spec.shots;
+            job.seed = spec.seed;
+            job.label = spec.label;
+            job.tenant = spec.tenant;
+            job.shard.index =
+                static_cast<int>(lease.getInt("shard", 0));
+            job.shard.count =
+                static_cast<int>(lease.getInt("shard_count", 0));
+            sched::JobHandle handle =
+                engineIt->second->submit(std::move(job));
+
+            // Renew at a third of the TTL; the single-threaded wait
+            // keeps the protocol free of socket races.
+            int renewMs =
+                std::max(10, static_cast<int>(ttlUs / 1000 / 3));
+            bool abandoned = false;
+            while (
+                !handle.waitFor(std::chrono::milliseconds(renewMs))) {
+                if (coord::Failpoints::fire("stall_renew"))
+                    continue;  // simulate a stalled worker: no renew.
+                Json renew = Json::makeObject();
+                renew.set("verb", "lease_renew");
+                renew.set("worker", name);
+                renew.set("lease", leaseId);
+                std::optional<Json> renewed = daemon.request(renew);
+                if (renewed && !renewed->getBool("ok", false) &&
+                    errorCodeOf(*renewed) == "not_found") {
+                    // Expired under us; the shard is someone else's
+                    // now. Stop computing it.
+                    std::fprintf(
+                        stderr,
+                        "eqasm-worker[%s]: lease %llu expired, "
+                        "abandoning shard\n",
+                        name.c_str(),
+                        static_cast<unsigned long long>(leaseId));
+                    handle.cancel();
+                    abandoned = true;
+                    break;
+                }
+            }
+            if (abandoned) {
+                try {
+                    handle.get();
+                } catch (const Error &) {
+                    // The cancellation error — expected.
+                }
+                continue;
+            }
+
+            engine::BatchResult result = handle.get();
+            if (coord::Failpoints::fire("kill_before_complete")) {
+                std::fprintf(stderr,
+                             "eqasm-worker[%s]: failpoint "
+                             "kill_before_complete\n",
+                             name.c_str());
+                ::_exit(137);
+            }
+            Json complete = Json::makeObject();
+            complete.set("verb", "lease_complete");
+            complete.set("worker", name);
+            complete.set("lease", leaseId);
+            complete.set("result", result.toJson());
+            std::optional<Json> completed = daemon.request(complete);
+            if (completed && completed->getBool("ok", false)) {
+                std::fprintf(
+                    stderr,
+                    "eqasm-worker[%s]: shard %lld of job %lld %s\n",
+                    name.c_str(),
+                    static_cast<long long>(lease.getInt("shard", 0)),
+                    static_cast<long long>(lease.getInt("job_id", 0)),
+                    completed->getBool("merged", false)
+                        ? "merged"
+                        : "discarded (duplicate)");
+            } else if (completed) {
+                std::fprintf(
+                    stderr, "eqasm-worker[%s]: completion refused: %s\n",
+                    name.c_str(), completed->dump().c_str());
+            }
+            if (coord::Failpoints::fire("kill_after_complete")) {
+                std::fprintf(stderr,
+                             "eqasm-worker[%s]: failpoint "
+                             "kill_after_complete\n",
+                             name.c_str());
+                ::_exit(137);
+            }
+        } catch (const Error &error) {
+            // A malformed lease / failed shard must not kill the
+            // worker loop; the lease will expire and be re-issued.
+            std::fprintf(stderr, "eqasm-worker[%s]: %s\n", name.c_str(),
+                         error.what());
+            sleepPoll();
+        }
+    }
+}

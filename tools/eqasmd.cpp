@@ -24,6 +24,10 @@
  *     --quotas FILE              per-tenant admission quota JSON
  *                                (see docs/service.md)
  *     --checkpoint-chunks N      checkpoint cadence (default 8)
+ *     --lease-ttl-ms N           coordinator shard-lease TTL
+ *                                (default 10000; see docs/coordinator.md)
+ *     --heartbeat-ttl-ms N       declare a worker dead after this long
+ *                                without a heartbeat (default 30000)
  *     --metrics-file PATH        rewrite the Prometheus exposition
  *                                there every 2 s and on exit
  *     --log-level L              none|error|warn|info|trace
@@ -89,6 +93,8 @@ main(int argc, char **argv)
     std::string policy_name;
     std::string quotas_file;
     int checkpoint_chunks = 8;
+    int lease_ttl_ms = 10000;
+    int heartbeat_ttl_ms = 30000;
     std::string metrics_file;
 
     for (int i = 1; i < argc; ++i) {
@@ -123,6 +129,10 @@ main(int argc, char **argv)
             quotas_file = argv[++i];
         } else if (arg == "--checkpoint-chunks" && i + 1 < argc) {
             checkpoint_chunks = static_cast<int>(parseInt(argv[++i]));
+        } else if (arg == "--lease-ttl-ms" && i + 1 < argc) {
+            lease_ttl_ms = static_cast<int>(parseInt(argv[++i]));
+        } else if (arg == "--heartbeat-ttl-ms" && i + 1 < argc) {
+            heartbeat_ttl_ms = static_cast<int>(parseInt(argv[++i]));
         } else if (arg == "--metrics-file" && i + 1 < argc) {
             metrics_file = argv[++i];
         } else if (arg == "--log-level" && i + 1 < argc) {
@@ -140,7 +150,8 @@ main(int argc, char **argv)
                 "[--journal dir] [--chip c] [--platform f] [--qec d] "
                 "[--backend density|stabilizer|trajectory] [--ideal] "
                 "[--threads k] [--policy p] [--quotas f] "
-                "[--checkpoint-chunks n] [--metrics-file f] "
+                "[--checkpoint-chunks n] [--lease-ttl-ms n] "
+                "[--heartbeat-ttl-ms n] [--metrics-file f] "
                 "[--log-level l]\n");
             return 2;
         }
@@ -209,6 +220,8 @@ main(int argc, char **argv)
         service::ServiceOptions options;
         options.checkpointEveryChunks = checkpoint_chunks;
         options.qecDistance = qec_distance;
+        options.leaseTtlMs = lease_ttl_ms;
+        options.heartbeatTtlMs = heartbeat_ttl_ms;
         service::Service service(engine, journal, std::move(quotas),
                                  options);
         service.recover();

@@ -60,6 +60,25 @@ if [ -z "$merged" ] || [ "$merged" != "$baseline" ]; then
     exit 1
 fi
 
+# A directory merge tripping over a stray non-result .json file must
+# fail naming the offending file, not opaquely.
+rm -rf "$WORK/dir_merge"
+mkdir -p "$WORK/dir_merge"
+cp "$WORK/shard_0.json" "$WORK/shard_1.json" "$WORK/shard_2.json" \
+    "$WORK/dir_merge/"
+echo '{"note": "not a shard result"}' > "$WORK/dir_merge/stray.json"
+if "$RUN" --merge "$WORK/dir_merge" \
+    > /dev/null 2> "$WORK/stray.err"; then
+    echo "merging a directory with a stray non-result .json" \
+         "unexpectedly succeeded" >&2
+    exit 1
+fi
+grep -q "stray.json" "$WORK/stray.err" || {
+    echo "merge refusal did not name the stray file:" >&2
+    cat "$WORK/stray.err" >&2
+    exit 1
+}
+
 # Incompatible shards must be refused with a clear message.
 "$RUN" --shots "$SHOTS" --seed 8 --shard 1/3 \
     --json "$WORK/wrong_seed.json" "$WORK/rabi.eqasm"
